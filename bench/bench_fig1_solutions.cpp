@@ -1,0 +1,93 @@
+// E1 / Figure 1: G1, G2 are solutions under Ω (egd), G3 under Ω′ (sameAs),
+// and the example's query answer sets JQK_G1 / JQK_G2.
+// Timing: solution checking throughput as the Flight/Hotel workload grows.
+#include "bench_util.h"
+
+#include "exchange/solution_check.h"
+#include "graph/cnre.h"
+#include "solver/existence.h"
+#include "workload/flights.h"
+#include "workload/paper_graphs.h"
+
+namespace gdx {
+namespace {
+
+AutomatonNreEvaluator eval;
+
+void PrintRepro() {
+  Scenario omega = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  Graph g1 = BuildFigure1G1(omega);
+  Graph g2 = BuildFigure1G2(omega);
+  std::printf("Figure 1 under Omega (egd):\n");
+  std::printf("  G1 solution: %s   (paper: yes)\n",
+              IsSolution(omega.setting, *omega.instance, g1, eval,
+                         *omega.universe)
+                  ? "yes"
+                  : "NO");
+  std::printf("  G2 solution: %s   (paper: yes)\n",
+              IsSolution(omega.setting, *omega.instance, g2, eval,
+                         *omega.universe)
+                  ? "yes"
+                  : "NO");
+  std::printf("  |JQK_G1| = %zu (paper: 4), |JQK_G2| = %zu (paper: 9)\n",
+              EvaluateCnre(*omega.query, g1, eval).size(),
+              EvaluateCnre(*omega.query, g2, eval).size());
+
+  Scenario prime = MakeExample22Scenario(FlightConstraintMode::kSameAs);
+  Graph g3 = BuildFigure1G3(prime);
+  std::printf("Figure 1 under Omega' (sameAs):\n");
+  std::printf("  G3 solution: %s   (paper: yes)\n",
+              IsSolution(prime.setting, *prime.instance, g3, eval,
+                         *prime.universe)
+                  ? "yes"
+                  : "NO");
+  Scenario cross = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  Graph g3_egd = BuildFigure1G3(cross);
+  std::printf("  G3 under Omega (egd): %s   (paper: not a solution)\n",
+              IsSolution(cross.setting, *cross.instance, g3_egd, eval,
+                         *cross.universe)
+                  ? "YES (bug)"
+                  : "no");
+}
+
+/// Checking a verified canonical solution for a generated workload.
+void BM_SolutionCheck(benchmark::State& state) {
+  FlightWorkloadParams params;
+  params.num_flights = static_cast<size_t>(state.range(0));
+  params.num_hotels = params.num_flights / 4 + 2;
+  params.num_cities = params.num_flights / 3 + 3;
+  params.mode = FlightConstraintMode::kEgd;
+  Scenario s = MakeFlightScenario(params);
+  ExistenceOptions options;
+  options.instantiation.max_witnesses_per_edge = 2;
+  ExistenceReport report = ExistenceSolver(&eval, options)
+                               .Decide(s.setting, *s.instance, *s.universe);
+  if (!report.witness.has_value()) {
+    state.SkipWithError("workload admits no solution for this seed");
+    return;
+  }
+  const Graph& g = *report.witness;
+  for (auto _ : state) {
+    bool ok = IsSolution(s.setting, *s.instance, g, eval, *s.universe);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["graph_edges"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_SolutionCheck)->Arg(10)->Arg(20)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+/// Query evaluation on the Figure 1 graphs (micro).
+void BM_QueryOnFigure1(benchmark::State& state) {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  Graph g = state.range(0) == 1 ? BuildFigure1G1(s) : BuildFigure1G2(s);
+  for (auto _ : state) {
+    auto answers = EvaluateCnre(*s.query, g, eval);
+    benchmark::DoNotOptimize(answers);
+  }
+}
+BENCHMARK(BM_QueryOnFigure1)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace gdx
+
+GDX_BENCH_MAIN(gdx::PrintRepro)

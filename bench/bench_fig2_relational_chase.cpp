@@ -1,0 +1,117 @@
+// E2 / Figure 2: the §3.1 single-symbol fragment lowered to relational
+// data exchange; the chased solution for Example 3.1 (7 nodes, 7 edges
+// after the egd merged the two hx-cities).
+// Timing: relational chase scaling on generated single-symbol workloads.
+#include "bench_util.h"
+
+#include "chase/relational_lowering.h"
+#include "exchange/parser.h"
+#include "workload/flights.h"
+
+namespace gdx {
+namespace {
+
+void PrintRepro() {
+  Scenario s = MakeExample31Scenario();
+  RelChaseStats stats;
+  Result<Graph> g =
+      RunLoweredExchange(s.setting, *s.instance, *s.universe, &stats);
+  if (!g.ok()) {
+    std::printf("chase failed: %s\n", g.status().ToString().c_str());
+    return;
+  }
+  std::printf("Example 3.1 chased solution (paper Figure 2: 7 nodes, "
+              "7 edges, one egd merge):\n");
+  std::printf("  nodes=%zu edges=%zu merges=%zu triggers=%zu\n",
+              g->num_nodes(), g->num_edges(), stats.merges,
+              stats.triggers_fired);
+  std::printf("%s", g->ToString(*s.universe, *s.alphabet).c_str());
+}
+
+/// Builds a generated single-symbol (§3.1) scenario of the given size.
+Scenario MakeRestrictedWorkload(size_t flights, uint64_t seed) {
+  Scenario s;
+  s.universe = std::make_unique<Universe>();
+  s.source_schema = std::make_unique<Schema>();
+  s.alphabet = std::make_unique<Alphabet>();
+  (void)s.source_schema->AddRelation("Flight", 3);
+  (void)s.source_schema->AddRelation("Hotel", 2);
+  s.instance = std::make_unique<Instance>(s.source_schema.get());
+  s.setting.source_schema = s.source_schema.get();
+  s.setting.alphabet = s.alphabet.get();
+  Result<StTgd> tgd = ParseStTgd(
+      "Flight(x1, x2, x3), Hotel(x1, x4) -> "
+      "(x2, f, y), (y, h, x4), (y, f, x3)",
+      s.source_schema.get(), *s.alphabet, *s.universe);
+  s.setting.st_tgds.push_back(std::move(tgd).value());
+  Result<TargetEgd> egd = ParseTargetEgd(
+      "(x1, h, x3), (x2, h, x3) -> x1 = x2", *s.alphabet, *s.universe);
+  s.setting.egds.push_back(std::move(egd).value());
+
+  Rng rng(seed);
+  RelationId flight = s.source_schema->Find("Flight").value();
+  RelationId hotel = s.source_schema->Find("Hotel").value();
+  size_t cities = flights / 2 + 2;
+  size_t hotels = flights / 3 + 2;
+  for (size_t i = 0; i < flights; ++i) {
+    std::string id = "fl" + std::to_string(i);
+    (void)s.instance->AddFact(
+        flight,
+        {s.universe->MakeConstant(id),
+         s.universe->MakeConstant(
+             "city" + std::to_string(rng.NextU64() % cities)),
+         s.universe->MakeConstant(
+             "city" + std::to_string(rng.NextU64() % cities))});
+    for (int k = 0; k < 2; ++k) {
+      (void)s.instance->AddFact(
+          hotel, {s.universe->MakeConstant(id),
+                  s.universe->MakeConstant(
+                      "hotel" + std::to_string(rng.NextU64() % hotels))});
+    }
+  }
+  return s;
+}
+
+void BM_LoweredExchange(benchmark::State& state) {
+  const size_t flights = static_cast<size_t>(state.range(0));
+  size_t merges = 0;
+  size_t facts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Scenario s = MakeRestrictedWorkload(flights, 42);
+    state.ResumeTiming();
+    RelChaseStats stats;
+    Result<Graph> g =
+        RunLoweredExchange(s.setting, *s.instance, *s.universe, &stats);
+    benchmark::DoNotOptimize(g);
+    merges = stats.merges;
+    facts = stats.facts_added;
+  }
+  state.counters["merges"] = static_cast<double>(merges);
+  state.counters["facts"] = static_cast<double>(facts);
+}
+BENCHMARK(BM_LoweredExchange)
+    ->Arg(20)->Arg(40)->Arg(80)->Arg(160)->Arg(320)
+    ->Unit(benchmark::kMillisecond);
+
+/// Ablation: s-t chase only (no egds) at the same sizes.
+void BM_StChaseOnly(benchmark::State& state) {
+  const size_t flights = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Scenario s = MakeRestrictedWorkload(flights, 42);
+    s.setting.egds.clear();
+    state.ResumeTiming();
+    Result<Graph> g = RunLoweredExchange(s.setting, *s.instance,
+                                         *s.universe, nullptr);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_StChaseOnly)
+    ->Arg(20)->Arg(80)->Arg(320)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gdx
+
+GDX_BENCH_MAIN(gdx::PrintRepro)

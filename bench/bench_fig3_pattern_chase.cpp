@@ -1,0 +1,80 @@
+// E3 / Figure 3: the universal representative chased for Example 2.2
+// (8 nodes incl. nulls N1..N3, 9 NRE edges) — §3.2.
+// Timing: pattern chase scaling and homomorphism (Rep membership) checks.
+#include "bench_util.h"
+
+#include "chase/pattern_chase.h"
+#include "pattern/homomorphism.h"
+#include "pattern/witness.h"
+#include "workload/flights.h"
+#include "workload/paper_graphs.h"
+
+namespace gdx {
+namespace {
+
+AutomatonNreEvaluator eval;
+
+void PrintRepro() {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kNone);
+  PatternChaseStats stats;
+  GraphPattern pi =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe, &stats);
+  std::printf("Example 3.2 universal representative (paper Figure 3: "
+              "nulls N1..N3, f.f* and h edges):\n%s",
+              pi.ToString(*s.universe, *s.alphabet).c_str());
+  Graph g1 = BuildFigure1G1(s);
+  Graph g2 = BuildFigure1G2(s);
+  std::printf("pattern -> G1 homomorphism: %s (paper: exists)\n",
+              InRep(pi, g1, eval) ? "exists" : "MISSING");
+  std::printf("pattern -> G2 homomorphism: %s (paper: exists)\n",
+              InRep(pi, g2, eval) ? "exists" : "MISSING");
+}
+
+void BM_PatternChase(benchmark::State& state) {
+  FlightWorkloadParams params;
+  params.num_flights = static_cast<size_t>(state.range(0));
+  params.num_hotels = params.num_flights / 3 + 2;
+  params.num_cities = params.num_flights / 2 + 2;
+  params.mode = FlightConstraintMode::kNone;
+  size_t edges = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Scenario s = MakeFlightScenario(params);
+    state.ResumeTiming();
+    GraphPattern pi =
+        ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+    benchmark::DoNotOptimize(pi);
+    edges = pi.num_edges();
+  }
+  state.counters["pattern_edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_PatternChase)
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+/// Rep membership: pattern -> canonical instantiation homomorphism.
+void BM_RepMembership(benchmark::State& state) {
+  FlightWorkloadParams params;
+  params.num_flights = static_cast<size_t>(state.range(0));
+  params.mode = FlightConstraintMode::kNone;
+  Scenario s = MakeFlightScenario(params);
+  GraphPattern pi =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+  PatternInstantiator inst(&pi, s.universe.get(), {});
+  Result<Graph> g = inst.InstantiateCanonical();
+  if (!g.ok()) {
+    state.SkipWithError("instantiation failed");
+    return;
+  }
+  for (auto _ : state) {
+    bool in_rep = InRep(pi, *g, eval);
+    benchmark::DoNotOptimize(in_rep);
+  }
+}
+BENCHMARK(BM_RepMembership)->Arg(5)->Arg(10)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gdx
+
+GDX_BENCH_MAIN(gdx::PrintRepro)

@@ -1,0 +1,91 @@
+// E5 / Figure 5: the adapted egd chase (§5) on Example 2.2's pattern —
+// the two hx-hosting cities merge (one null disappears).
+// Timing: egd chase scaling with hotel sharing, plus the merge-policy
+// ablation (pattern-level vs graph-level chase).
+#include "bench_util.h"
+
+#include "chase/egd_chase.h"
+#include "chase/pattern_chase.h"
+#include "pattern/witness.h"
+#include "workload/flights.h"
+
+namespace gdx {
+namespace {
+
+AutomatonNreEvaluator eval;
+
+void PrintRepro() {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  GraphPattern pi =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+  std::printf("before egd chase: %zu nodes, %zu edges (Figure 3)\n",
+              pi.num_nodes(), pi.num_edges());
+  EgdChaseResult result = ChasePatternEgds(pi, s.setting.egds, eval);
+  std::printf("after egd chase:  %zu nodes, %zu edges, %zu merge(s), "
+              "failed=%s (paper Figure 5: 7 nodes, 7 edges, N1<-N3)\n",
+              pi.num_nodes(), pi.num_edges(), result.merges,
+              result.failed ? "yes" : "no");
+  std::printf("%s", pi.ToString(*s.universe, *s.alphabet).c_str());
+}
+
+/// Hotel sharing drives merge counts: fewer hotels => more shared stops
+/// => more cities merged per round.
+void BM_PatternEgdChase(benchmark::State& state) {
+  FlightWorkloadParams params;
+  params.num_flights = 40;
+  params.num_cities = 12;
+  params.num_hotels = static_cast<size_t>(state.range(0));
+  params.mode = FlightConstraintMode::kEgd;
+  size_t merges = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Scenario s = MakeFlightScenario(params);
+    GraphPattern pi =
+        ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+    state.ResumeTiming();
+    EgdChaseResult result = ChasePatternEgds(pi, s.setting.egds, eval);
+    benchmark::DoNotOptimize(result);
+    merges = result.merges;
+  }
+  state.counters["merges"] = static_cast<double>(merges);
+}
+BENCHMARK(BM_PatternEgdChase)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+/// Ablation: graph-level egd chase on the canonical instantiation of the
+/// same workloads (full NRE matching instead of definite-subgraph only).
+void BM_GraphEgdChase(benchmark::State& state) {
+  FlightWorkloadParams params;
+  params.num_flights = 40;
+  params.num_cities = 12;
+  params.num_hotels = static_cast<size_t>(state.range(0));
+  params.mode = FlightConstraintMode::kEgd;
+  size_t merges = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Scenario s = MakeFlightScenario(params);
+    GraphPattern pi =
+        ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+    PatternInstantiator inst(&pi, s.universe.get(), {});
+    Result<Graph> g = inst.InstantiateCanonical();
+    if (!g.ok()) {
+      state.SkipWithError("instantiation failed");
+      return;
+    }
+    Graph graph = std::move(*g);
+    state.ResumeTiming();
+    EgdChaseResult result = ChaseGraphEgds(graph, s.setting.egds, eval);
+    benchmark::DoNotOptimize(result);
+    merges = result.merges;
+  }
+  state.counters["merges"] = static_cast<double>(merges);
+}
+BENCHMARK(BM_GraphEgdChase)
+    ->Arg(2)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gdx
+
+GDX_BENCH_MAIN(gdx::PrintRepro)

@@ -1,0 +1,86 @@
+// E7 / Figure 7 + Proposition 5.3: a graph admitting a homomorphism from
+// the chased (egd-merged) pattern that is NOT a solution — graph patterns
+// alone cannot be universal representatives once egds are present; the
+// pair (pattern, egds) classifies correctly.
+// Timing: hom-check + egd-check on increasingly corrupted graphs.
+#include "bench_util.h"
+
+#include "chase/egd_chase.h"
+#include "chase/pattern_chase.h"
+#include "exchange/solution_check.h"
+#include "pattern/homomorphism.h"
+#include "pattern/witness.h"
+#include "workload/flights.h"
+#include "workload/paper_graphs.h"
+
+namespace gdx {
+namespace {
+
+AutomatonNreEvaluator eval;
+
+void PrintRepro() {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  GraphPattern pi =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+  EgdChaseResult chase = ChasePatternEgds(pi, s.setting.egds, eval);
+  std::printf("Figure 5 pattern chased (failed=%s)\n",
+              chase.failed ? "yes" : "no");
+  Graph fig7 = BuildFigure7(s);
+  std::printf("Figure 7 graph (G1 + stray h edges at c2): %zu nodes, %zu "
+              "edges\n",
+              fig7.num_nodes(), fig7.num_edges());
+  bool hom = InRep(pi, fig7, eval);
+  SolutionCheckReport check =
+      CheckSolution(s.setting, *s.instance, fig7, eval, *s.universe);
+  std::printf("  pattern -> Figure7 homomorphism: %s (paper: exists)\n",
+              hom ? "exists" : "MISSING");
+  std::printf("  Figure7 egd check: %s (paper: violated => not a "
+              "solution)\n",
+              check.egds_ok ? "OK?!" : "violated");
+  std::printf("  => Rep(pattern) != Sol(I): Proposition 5.3 reproduced; "
+              "the pair (pattern, egds) rejects it: %s\n",
+              (hom && !check.IsSolution()) ? "yes" : "no");
+}
+
+/// The pair-classifier (hom check + egd check) on corrupted instantiations
+/// of growing workloads.
+void BM_PairClassifier(benchmark::State& state) {
+  FlightWorkloadParams params;
+  params.num_flights = static_cast<size_t>(state.range(0));
+  params.mode = FlightConstraintMode::kEgd;
+  Scenario s = MakeFlightScenario(params);
+  GraphPattern pi =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+  EgdChaseResult chase = ChasePatternEgds(pi, s.setting.egds, eval);
+  if (chase.failed) {
+    state.SkipWithError("workload unsatisfiable for this seed");
+    return;
+  }
+  PatternInstantiator inst(&pi, s.universe.get(), {});
+  Result<Graph> g = inst.InstantiateCanonical();
+  if (!g.ok()) {
+    state.SkipWithError("instantiation failed");
+    return;
+  }
+  // Corrupt: attach every hotel to one extra city (the Figure 7 move).
+  Graph corrupted = *g;
+  SymbolId h = s.alphabet->Intern("h");
+  Value rogue = s.universe->MakeConstant("rogue_city");
+  for (const Edge& e : g->edges()) {
+    if (e.label == h) corrupted.AddEdge(rogue, h, e.dst);
+  }
+  for (auto _ : state) {
+    bool hom = InRep(pi, corrupted, eval);
+    bool sol = IsSolution(s.setting, *s.instance, corrupted, eval,
+                          *s.universe);
+    benchmark::DoNotOptimize(hom);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_PairClassifier)->Arg(5)->Arg(10)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gdx
+
+GDX_BENCH_MAIN(gdx::PrintRepro)

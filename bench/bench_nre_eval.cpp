@@ -1,0 +1,106 @@
+// E10 / substrate ablation: the two NRE evaluation engines (naive
+// relation-algebra vs product-automaton) on random graphs and on the
+// paper's query shape. Reproduces the Example 2.2 query semantics first.
+#include "bench_util.h"
+
+#include "graph/nre_parser.h"
+#include "workload/flights.h"
+#include "workload/paper_graphs.h"
+#include "workload/random_graph.h"
+
+namespace gdx {
+namespace {
+
+NaiveNreEvaluator naive;
+AutomatonNreEvaluator automaton;
+
+void PrintRepro() {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  Graph g1 = BuildFigure1G1(s);
+  NrePtr q = s.query->atoms()[0].nre;
+  std::printf("JQK_G1 with Q = %s:\n", q->ToString(*s.alphabet).c_str());
+  for (const NreEvaluator* eval :
+       {static_cast<const NreEvaluator*>(&naive),
+        static_cast<const NreEvaluator*>(&automaton)}) {
+    BinaryRelation rel = eval->Eval(q, g1);
+    std::printf("  %-26s -> %zu pairs (paper: 4)\n", eval->name(),
+                rel.size());
+  }
+}
+
+/// The paper-shaped query over random graphs: n nodes, 4n edges, 2 labels.
+void RunQueryBench(benchmark::State& state, const NreEvaluator& eval) {
+  Universe universe;
+  Alphabet alphabet;
+  RandomGraphParams params;
+  params.num_nodes = static_cast<size_t>(state.range(0));
+  params.num_edges = params.num_nodes * 4;
+  params.num_labels = 2;
+  Graph g = MakeRandomGraph(params, universe, alphabet);
+  Result<NrePtr> q = ParseNre("l1 . l1* [l2] . l1- . (l1-)*", alphabet);
+  if (!q.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  size_t pairs = 0;
+  for (auto _ : state) {
+    BinaryRelation rel = eval.Eval(*q, g);
+    benchmark::DoNotOptimize(rel);
+    pairs = rel.size();
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
+void BM_NaiveEval(benchmark::State& state) { RunQueryBench(state, naive); }
+void BM_AutomatonEval(benchmark::State& state) {
+  RunQueryBench(state, automaton);
+}
+BENCHMARK(BM_NaiveEval)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AutomatonEval)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+/// Single-source evaluation: the automaton engine's native strength.
+void BM_AutomatonEvalFrom(benchmark::State& state) {
+  Universe universe;
+  Alphabet alphabet;
+  RandomGraphParams params;
+  params.num_nodes = static_cast<size_t>(state.range(0));
+  params.num_edges = params.num_nodes * 4;
+  params.num_labels = 2;
+  Graph g = MakeRandomGraph(params, universe, alphabet);
+  Result<NrePtr> q = ParseNre("l1 . l1* [l2] . l1- . (l1-)*", alphabet);
+  Value src = g.nodes().front();
+  for (auto _ : state) {
+    std::vector<Value> out = automaton.EvalFrom(*q, g, src);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_AutomatonEvalFrom)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+/// NRE depth sweep: random expressions of growing AST depth (fixed graph).
+void BM_DepthSweep(benchmark::State& state) {
+  Universe universe;
+  Alphabet alphabet;
+  RandomGraphParams params;
+  params.num_nodes = 100;
+  params.num_edges = 400;
+  params.num_labels = 3;
+  Graph g = MakeRandomGraph(params, universe, alphabet);
+  Rng rng(31);
+  NrePtr nre = MakeRandomNre(static_cast<size_t>(state.range(0)), 3,
+                             alphabet, rng);
+  for (auto _ : state) {
+    BinaryRelation rel = automaton.Eval(nre, g);
+    benchmark::DoNotOptimize(rel);
+  }
+  state.counters["ast_nodes"] = static_cast<double>(nre->Size());
+}
+BENCHMARK(BM_DepthSweep)->Arg(2)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gdx
+
+GDX_BENCH_MAIN(gdx::PrintRepro)

@@ -1,0 +1,27 @@
+#ifndef GDX_BENCH_BENCH_UTIL_H_
+#define GDX_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+/// Every bench binary reproduces its paper artifact first (so the harness
+/// output doubles as the experiment record), then runs the timing sweeps.
+/// Usage:  GDX_BENCH_MAIN(PrintReproArtifact);
+#define GDX_BENCH_MAIN(repro_fn)                                    \
+  int main(int argc, char** argv) {                                 \
+    std::printf("################ reproduction artifact "           \
+                "################\n");                              \
+    repro_fn();                                                     \
+    std::printf("################ timing sweeps "                   \
+                "########################\n");                      \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {     \
+      return 1;                                                     \
+    }                                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    return 0;                                                       \
+  }
+
+#endif  // GDX_BENCH_BENCH_UTIL_H_

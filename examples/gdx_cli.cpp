@@ -1,0 +1,178 @@
+// gdx_cli: drive the full library from a .gdx scenario file — the tool a
+// downstream user reaches for first.
+//
+//   gdx_cli <scenario.gdx> chase         chase + adapted egd chase, print
+//                                        the (pattern, constraints) pair
+//   gdx_cli <scenario.gdx> exists        decide existence, print a witness
+//   gdx_cli <scenario.gdx> certain       certain answers of the query
+//   gdx_cli <scenario.gdx> solve         existence + core-minimized witness
+//   gdx_cli <scenario.gdx> dot           chased pattern as GraphViz DOT
+//   gdx_cli <scenario.gdx> check <file>  is the edge-list graph in <file>
+//                                        a solution? (src label dst lines,
+//                                        "_:n" for nulls)
+//
+// Try:  ./gdx_cli example22.gdx certain
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "chase/egd_chase.h"
+#include "chase/pattern_chase.h"
+#include "exchange/solution_check.h"
+#include "exchange/universal_pair.h"
+#include "graph/dot_export.h"
+#include "graph/graph_io.h"
+#include "solver/certain.h"
+#include "solver/core_minimizer.h"
+#include "solver/existence.h"
+#include "workload/scenario_parser.h"
+
+using namespace gdx;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunChase(Scenario& s, const NreEvaluator& eval) {
+  Result<UniversalPair> pair =
+      BuildUniversalPair(s.setting, *s.instance, *s.universe, eval);
+  if (!pair.ok()) {
+    std::printf("chase failed — no solution exists.\n  %s\n",
+                pair.status().message().c_str());
+    return 0;
+  }
+  std::printf("%s", pair->ToString(*s.universe).c_str());
+  return 0;
+}
+
+int RunExists(Scenario& s, const NreEvaluator& eval, bool minimize) {
+  ExistenceSolver solver(&eval);
+  ExistenceReport report = solver.Decide(s.setting, *s.instance, *s.universe);
+  const char* verdict = report.verdict == ExistenceVerdict::kYes ? "YES"
+                        : report.verdict == ExistenceVerdict::kNo ? "NO"
+                                                                  : "UNKNOWN";
+  std::printf("existence: %s  (%s)\n", verdict, report.note.c_str());
+  if (!report.witness.has_value()) return 0;
+  Graph witness = std::move(*report.witness);
+  if (minimize) {
+    CoreMinimizeStats stats;
+    witness = GreedyCoreMinimize(witness, s.setting, *s.instance, eval,
+                                 *s.universe, &stats);
+    std::printf("core-minimized: removed %zu edge(s), %zu node(s) in %zu "
+                "checks\n",
+                stats.edges_removed, stats.nodes_removed, stats.checks);
+  }
+  std::printf("%s", witness.ToString(*s.universe, *s.alphabet).c_str());
+  return 0;
+}
+
+int RunCertain(Scenario& s, const NreEvaluator& eval) {
+  if (s.query == nullptr) {
+    std::fprintf(stderr, "scenario has no 'query' directive\n");
+    return 1;
+  }
+  CertainAnswerOptions options;
+  options.existence.instantiation.max_witnesses_per_edge = 3;
+  options.max_solutions = 16;
+  CertainAnswerSolver solver(&eval, options);
+  CertainAnswerResult result =
+      solver.Compute(s.setting, *s.instance, *s.query, *s.universe);
+  if (result.no_solution) {
+    std::printf("no solution exists: every tuple is vacuously certain.\n");
+    return 0;
+  }
+  std::printf("certain answers (%zu solution(s) intersected):\n",
+              result.solutions_considered);
+  for (const auto& tuple : result.tuples) {
+    std::printf("  (");
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      std::printf("%s%s", i > 0 ? ", " : "",
+                  s.universe->NameOf(tuple[i]).c_str());
+    }
+    std::printf(")\n");
+  }
+  return 0;
+}
+
+int RunCheck(Scenario& s, const NreEvaluator& eval, const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open graph file: %s\n", path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<Graph> g =
+      ParseGraphText(buffer.str(), *s.universe, *s.alphabet);
+  if (!g.ok()) return Fail(g.status());
+  SolutionCheckReport report =
+      CheckSolution(s.setting, *s.instance, *g, eval, *s.universe);
+  std::printf("graph: %zu nodes, %zu edges\n", g->num_nodes(),
+              g->num_edges());
+  std::printf("solution: %s\n", report.IsSolution() ? "YES" : "NO");
+  for (const std::string& violation : report.violations) {
+    std::printf("  violation: %s\n", violation.c_str());
+  }
+  return report.IsSolution() ? 0 : 3;
+}
+
+int RunDot(Scenario& s, const NreEvaluator& eval) {
+  GraphPattern pattern =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+  if (!s.setting.egds.empty()) {
+    EgdChaseResult chased =
+        ChasePatternEgds(pattern, s.setting.egds, eval);
+    if (chased.failed) {
+      std::fprintf(stderr, "chase failed: %s\n",
+                   chased.failure_reason.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s", ToDot(pattern, *s.universe, *s.alphabet).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <scenario.gdx> "
+                 "chase|exists|certain|solve|dot|check [graph-file]\n",
+                 argv[0]);
+    return 2;
+  }
+  Result<Scenario> scenario = LoadScenarioFile(argv[1]);
+  if (!scenario.ok()) return Fail(scenario.status());
+  AutomatonNreEvaluator eval;
+  const char* command = argv[2];
+  if (std::strcmp(command, "check") == 0) {
+    if (argc != 4) {
+      std::fprintf(stderr, "usage: %s <scenario.gdx> check <graph-file>\n",
+                   argv[0]);
+      return 2;
+    }
+    return RunCheck(*scenario, eval, argv[3]);
+  }
+  if (std::strcmp(command, "chase") == 0) {
+    return RunChase(*scenario, eval);
+  }
+  if (std::strcmp(command, "exists") == 0) {
+    return RunExists(*scenario, eval, /*minimize=*/false);
+  }
+  if (std::strcmp(command, "solve") == 0) {
+    return RunExists(*scenario, eval, /*minimize=*/true);
+  }
+  if (std::strcmp(command, "certain") == 0) {
+    return RunCertain(*scenario, eval);
+  }
+  if (std::strcmp(command, "dot") == 0) {
+    return RunDot(*scenario, eval);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command);
+  return 2;
+}

@@ -1,0 +1,91 @@
+// Relational-to-RDF-style direct mapping with sameAs deduplication — the
+// interoperability scenario motivating the paper's sameAs constraints
+// (§1, §4.2): person records from two tables map to an RDF-ish graph;
+// records sharing a mailbox are linked by sameAs; the quotient graph gives
+// the merged view.
+//
+// Run:  ./rdf_sameas
+#include <cstdio>
+
+#include "chase/pattern_chase.h"
+#include "chase/sameas_completion.h"
+#include "exchange/parser.h"
+#include "exchange/solution_check.h"
+#include "pattern/witness.h"
+#include "solver/sameas_engine.h"
+#include "workload/scenario.h"
+
+using namespace gdx;
+
+int main() {
+  Scenario s;
+  s.universe = std::make_unique<Universe>();
+  s.source_schema = std::make_unique<Schema>();
+  s.alphabet = std::make_unique<Alphabet>();
+  RelationId crm = *s.source_schema->AddRelation("CrmPerson", 2);
+  RelationId billing = *s.source_schema->AddRelation("BillingPerson", 2);
+  s.instance = std::make_unique<Instance>(s.source_schema.get());
+  s.setting.source_schema = s.source_schema.get();
+  s.setting.alphabet = s.alphabet.get();
+
+  // Direct mapping: both tables emit (person) -name-> and -mbox-> edges,
+  // inventing one node per row.
+  for (const char* text :
+       {"CrmPerson(n, m) -> (p, name, n), (p, mbox, m)",
+        "BillingPerson(n, m) -> (p, name, n), (p, mbox, m)"}) {
+    Result<StTgd> tgd = ParseStTgd(text, s.source_schema.get(), *s.alphabet,
+                                   *s.universe);
+    if (!tgd.ok()) {
+      std::fprintf(stderr, "%s\n", tgd.status().ToString().c_str());
+      return 1;
+    }
+    s.setting.st_tgds.push_back(std::move(tgd).value());
+  }
+  // Shared mailbox => same real-world person (the W3C sameAs idiom).
+  Result<SameAsConstraint> sac = ParseSameAsConstraint(
+      "(p1, mbox, m), (p2, mbox, m) -> (p1, sameAs, p2)", *s.alphabet,
+      *s.universe);
+  s.setting.sameas.push_back(std::move(sac).value());
+
+  auto add = [&](RelationId rel, const char* name, const char* mbox) {
+    (void)s.instance->AddFact(rel, {s.universe->MakeConstant(name),
+                                    s.universe->MakeConstant(mbox)});
+  };
+  add(crm, "Ada Lovelace", "ada@example.org");
+  add(crm, "Alan Turing", "alan@example.org");
+  add(billing, "A. Lovelace", "ada@example.org");   // same mailbox as Ada
+  add(billing, "Grace Hopper", "grace@example.org");
+
+  std::printf("source: %zu rows across CrmPerson/BillingPerson\n\n",
+              s.instance->TotalFacts());
+
+  AutomatonNreEvaluator eval;
+  GraphPattern pattern =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+  PatternInstantiator inst(&pattern, s.universe.get(), {});
+  Result<Graph> graph = inst.InstantiateCanonical();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  SameAsCompletionStats stats;
+  if (!CompleteSameAs(*graph, s.setting.sameas, *s.alphabet, eval, &stats)
+           .ok()) {
+    return 1;
+  }
+  std::printf("exchanged RDF-ish graph (+%zu sameAs edge(s)):\n%s\n",
+              stats.edges_added,
+              graph->ToString(*s.universe, *s.alphabet).c_str());
+  std::printf("solution check: %s\n\n",
+              IsSolution(s.setting, *s.instance, *graph, eval, *s.universe)
+                  ? "OK"
+                  : "VIOLATED");
+
+  Graph quotient = SameAsEngine::QuotientGraph(*graph, *s.alphabet);
+  std::printf("quotient (deduplicated) view: %zu nodes, %zu edges\n%s",
+              quotient.num_nodes(), quotient.num_edges(),
+              quotient.ToString(*s.universe, *s.alphabet).c_str());
+  std::printf("\nAda's two source records collapsed into one entity with "
+              "both names attached.\n");
+  return 0;
+}

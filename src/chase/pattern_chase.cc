@@ -1,0 +1,34 @@
+#include "chase/pattern_chase.h"
+
+#include "relational/eval.h"
+
+namespace gdx {
+
+GraphPattern ChaseToPattern(const Instance& source,
+                            const std::vector<StTgd>& tgds,
+                            Universe& universe, PatternChaseStats* stats) {
+  GraphPattern pattern;
+  for (const StTgd& tgd : tgds) {
+    const std::vector<VarId> existential = tgd.ExistentialVars();
+    FindCqMatches(tgd.body, source, [&](const Binding& match) {
+      Binding binding = match;
+      for (VarId v : existential) {
+        binding[v] = universe.FreshNull();
+        if (stats != nullptr) ++stats->nulls_created;
+      }
+      for (const CnreAtom& atom : tgd.head) {
+        Value src =
+            atom.x.is_const() ? atom.x.constant() : *binding[atom.x.var()];
+        Value dst =
+            atom.y.is_const() ? atom.y.constant() : *binding[atom.y.var()];
+        pattern.AddEdge(src, atom.nre, dst);
+        if (stats != nullptr) ++stats->edges_added;
+      }
+      if (stats != nullptr) ++stats->triggers;
+      return true;
+    });
+  }
+  return pattern;
+}
+
+}  // namespace gdx

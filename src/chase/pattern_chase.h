@@ -1,0 +1,33 @@
+#ifndef GDX_CHASE_PATTERN_CHASE_H_
+#define GDX_CHASE_PATTERN_CHASE_H_
+
+#include <vector>
+
+#include "common/universe.h"
+#include "exchange/mapping.h"
+#include "pattern/pattern.h"
+#include "relational/instance.h"
+
+namespace gdx {
+
+/// Statistics of the source-to-target pattern chase.
+struct PatternChaseStats {
+  size_t triggers = 0;       // body matches fired
+  size_t edges_added = 0;    // pattern edges created
+  size_t nulls_created = 0;  // fresh labeled nulls
+};
+
+/// The graph-data-exchange chase of [5] adapted to the relational-to-graph
+/// setting (paper §3.2): for every s-t tgd and every body match over the
+/// source instance, instantiate the CNRE head with the match (fresh labeled
+/// nulls for the existential variables) and add the resulting NRE-labeled
+/// edges to the pattern. With M_t = ∅ the result is a universal
+/// representative of all solutions (Example 3.2 / Figure 3).
+GraphPattern ChaseToPattern(const Instance& source,
+                            const std::vector<StTgd>& tgds,
+                            Universe& universe,
+                            PatternChaseStats* stats = nullptr);
+
+}  // namespace gdx
+
+#endif  // GDX_CHASE_PATTERN_CHASE_H_

@@ -1,0 +1,92 @@
+#include "chase/pattern_saturation.h"
+
+#include "graph/cnre.h"
+
+namespace gdx {
+
+Status SaturatePatternSameAs(GraphPattern& pattern,
+                             const std::vector<SameAsConstraint>& constraints,
+                             Alphabet& alphabet, const NreEvaluator& eval,
+                             PatternSaturationStats* stats,
+                             size_t max_rounds) {
+  const SymbolId same_as = alphabet.SameAsSymbol();
+  const NrePtr same_as_nre = Nre::Symbol(same_as);
+  for (size_t round = 0; round < max_rounds; ++round) {
+    Graph definite = pattern.DefiniteGraph();
+    size_t added = 0;
+    for (const SameAsConstraint& sac : constraints) {
+      CnreMatcher matcher(&sac.body, &definite, eval);
+      std::vector<std::pair<Value, Value>> missing;
+      matcher.FindMatches({}, [&](const CnreBinding& match) {
+        if (!match[sac.x1].has_value() || !match[sac.x2].has_value()) {
+          return true;
+        }
+        Value a = *match[sac.x1];
+        Value b = *match[sac.x2];
+        if (a == b) return true;  // implicitly reflexive
+        if (!definite.HasEdge(a, same_as, b)) missing.emplace_back(a, b);
+        return true;
+      });
+      for (const auto& [a, b] : missing) {
+        size_t before = pattern.num_edges();
+        pattern.AddEdge(a, same_as_nre, b);
+        if (pattern.num_edges() > before) ++added;
+      }
+    }
+    if (stats != nullptr) {
+      ++stats->rounds;
+      stats->sameas_edges_added += added;
+    }
+    if (added == 0) return Status::Ok();
+  }
+  return Status::ResourceExhausted(
+      "pattern sameAs saturation did not converge");
+}
+
+Status SaturatePatternTargetTgds(GraphPattern& pattern,
+                                 const std::vector<TargetTgd>& tgds,
+                                 Universe& universe,
+                                 const NreEvaluator& eval,
+                                 PatternSaturationStats* stats,
+                                 size_t max_rounds) {
+  for (size_t round = 0; round < max_rounds; ++round) {
+    Graph definite = pattern.DefiniteGraph();
+    size_t fired = 0;
+    for (const TargetTgd& tgd : tgds) {
+      CnreQuery head_query = tgd.HeadQuery();
+      CnreMatcher body_matcher(&tgd.body, &definite, eval);
+      CnreMatcher head_matcher(&head_query, &definite, eval);
+      std::vector<CnreBinding> unmet;
+      body_matcher.FindMatches({}, [&](const CnreBinding& match) {
+        if (!head_matcher.Satisfiable(match)) unmet.push_back(match);
+        return true;
+      });
+      for (const CnreBinding& match : unmet) {
+        CnreBinding binding = match;
+        for (const CnreAtom& atom : tgd.head) {
+          for (const Term* t : {&atom.x, &atom.y}) {
+            if (t->is_var() && !binding[t->var()].has_value()) {
+              binding[t->var()] = universe.FreshNull();
+              if (stats != nullptr) ++stats->nulls_created;
+            }
+          }
+        }
+        for (const CnreAtom& atom : tgd.head) {
+          Value src =
+              atom.x.is_const() ? atom.x.constant() : *binding[atom.x.var()];
+          Value dst =
+              atom.y.is_const() ? atom.y.constant() : *binding[atom.y.var()];
+          pattern.AddEdge(src, atom.nre, dst);
+        }
+        ++fired;
+        if (stats != nullptr) ++stats->tgd_triggers_fired;
+      }
+    }
+    if (stats != nullptr) ++stats->rounds;
+    if (fired == 0) return Status::Ok();
+  }
+  return Status::ResourceExhausted(
+      "pattern target-tgd saturation did not converge");
+}
+
+}  // namespace gdx

@@ -1,0 +1,50 @@
+#ifndef GDX_CHASE_PATTERN_SATURATION_H_
+#define GDX_CHASE_PATTERN_SATURATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/universe.h"
+#include "exchange/constraints.h"
+#include "graph/nre_eval.h"
+#include "pattern/pattern.h"
+
+namespace gdx {
+
+/// §5's closing remark — "the above discussion can be easily generalized
+/// for sameAs constraints or arbitrary target tgds" — made concrete:
+/// chase steps for sameAs constraints and target tgds applied directly to
+/// the *pattern* (matching bodies against the definite subgraph, like the
+/// adapted egd chase).
+
+struct PatternSaturationStats {
+  size_t rounds = 0;
+  size_t sameas_edges_added = 0;
+  size_t tgd_triggers_fired = 0;
+  size_t nulls_created = 0;
+};
+
+/// Adds the sameAs edges required by the constraints to the pattern (as
+/// definite single-symbol edges). Matching is over the definite subgraph;
+/// runs to fixpoint. Never fails — sameAs edges can always be added.
+Status SaturatePatternSameAs(GraphPattern& pattern,
+                             const std::vector<SameAsConstraint>& constraints,
+                             Alphabet& alphabet, const NreEvaluator& eval,
+                             PatternSaturationStats* stats = nullptr,
+                             size_t max_rounds = 256);
+
+/// Target-tgd chase on the pattern: for every body match over the definite
+/// subgraph whose head is not yet satisfiable there, the head atoms are
+/// added as pattern edges (fresh labeled nulls for existentials). Bounded
+/// by max_rounds; may diverge like any target-tgd chase (RESOURCE_EXHAUSTED
+/// on non-convergence).
+Status SaturatePatternTargetTgds(GraphPattern& pattern,
+                                 const std::vector<TargetTgd>& tgds,
+                                 Universe& universe,
+                                 const NreEvaluator& eval,
+                                 PatternSaturationStats* stats = nullptr,
+                                 size_t max_rounds = 64);
+
+}  // namespace gdx
+
+#endif  // GDX_CHASE_PATTERN_SATURATION_H_

@@ -1,0 +1,92 @@
+#include "chase/relational_lowering.h"
+
+namespace gdx {
+namespace {
+
+/// Translates a CNRE atom with a single-symbol NRE to a relational atom.
+Result<RelAtom> LowerAtom(const CnreAtom& atom, const Schema& target_schema,
+                          const Alphabet& alphabet) {
+  if (!IsSingleSymbol(atom.nre)) {
+    return Status::InvalidArgument(
+        "not a single-symbol NRE: lowering requires the §3.1 fragment");
+  }
+  auto rel = target_schema.Find(alphabet.NameOf(atom.nre->symbol()));
+  if (!rel.has_value()) {
+    return Status::Internal("lowered relation missing for symbol");
+  }
+  RelAtom out;
+  out.relation = *rel;
+  out.terms = {atom.x, atom.y};
+  return out;
+}
+
+}  // namespace
+
+Result<LoweredSetting> LowerToRelational(const Setting& setting) {
+  LoweredSetting lowered;
+  lowered.target_schema = std::make_unique<Schema>();
+  for (SymbolId s = 0; s < setting.alphabet->size(); ++s) {
+    Result<RelationId> rel =
+        lowered.target_schema->AddRelation(setting.alphabet->NameOf(s), 2);
+    if (!rel.ok()) return rel.status();
+    lowered.symbol_of_relation.push_back(s);
+  }
+
+  for (const StTgd& tgd : setting.st_tgds) {
+    RelTgd lowered_tgd(&tgd.body.schema(), lowered.target_schema.get());
+    lowered_tgd.body = tgd.body;
+    for (const CnreAtom& atom : tgd.head) {
+      Result<RelAtom> rel_atom =
+          LowerAtom(atom, *lowered.target_schema, *setting.alphabet);
+      if (!rel_atom.ok()) return rel_atom.status();
+      lowered_tgd.head.push_back(std::move(rel_atom).value());
+    }
+    lowered.tgds.push_back(std::move(lowered_tgd));
+  }
+
+  for (const TargetEgd& egd : setting.egds) {
+    RelEgd lowered_egd(lowered.target_schema.get());
+    lowered_egd.body = ConjunctiveQuery(lowered.target_schema.get());
+    lowered_egd.body.SetVarTable(egd.body.vars());
+    for (const CnreAtom& atom : egd.body.atoms()) {
+      Result<RelAtom> rel_atom =
+          LowerAtom(atom, *lowered.target_schema, *setting.alphabet);
+      if (!rel_atom.ok()) return rel_atom.status();
+      lowered_egd.body.AddAtom(std::move(rel_atom).value());
+    }
+    lowered_egd.x1 = egd.x1;
+    lowered_egd.x2 = egd.x2;
+    lowered.egds.push_back(std::move(lowered_egd));
+  }
+
+  if (!setting.target_tgds.empty() || !setting.sameas.empty()) {
+    return Status::Unimplemented(
+        "relational lowering handles s-t tgds and egds (the §3.1 fragment)");
+  }
+  return lowered;
+}
+
+Graph LiftToGraph(const Instance& instance, const LoweredSetting& lowered) {
+  Graph g;
+  for (RelationId rel = 0; rel < lowered.target_schema->size(); ++rel) {
+    SymbolId symbol = lowered.symbol_of_relation[rel];
+    for (const Tuple& t : instance.facts(rel)) {
+      g.AddEdge(t[0], symbol, t[1]);
+    }
+  }
+  return g;
+}
+
+Result<Graph> RunLoweredExchange(const Setting& setting,
+                                 const Instance& source, Universe& universe,
+                                 RelChaseStats* stats) {
+  Result<LoweredSetting> lowered = LowerToRelational(setting);
+  if (!lowered.ok()) return lowered.status();
+  Result<Instance> chased =
+      RunRelationalExchange(source, lowered->tgds, lowered->egds,
+                            lowered->target_schema.get(), universe, stats);
+  if (!chased.ok()) return chased.status();
+  return LiftToGraph(*chased, *lowered);
+}
+
+}  // namespace gdx

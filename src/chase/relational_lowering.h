@@ -1,0 +1,43 @@
+#ifndef GDX_CHASE_RELATIONAL_LOWERING_H_
+#define GDX_CHASE_RELATIONAL_LOWERING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "exchange/setting.h"
+#include "graph/graph.h"
+#include "relational/chase.h"
+
+namespace gdx {
+
+/// The §3.1 reduction: when every NRE in s-t tgd heads (and egd bodies) is
+/// a single symbol a ∈ Σ, the target schema can be viewed as one binary
+/// relation per symbol and classical relational data exchange applies.
+struct LoweredSetting {
+  /// Binary relation per alphabet symbol; owned here (RelTgds point at it).
+  std::unique_ptr<Schema> target_schema;
+  std::vector<RelTgd> tgds;
+  std::vector<RelEgd> egds;
+  /// relation id -> alphabet symbol.
+  std::vector<SymbolId> symbol_of_relation;
+};
+
+/// Lowers a single-symbol setting; INVALID_ARGUMENT if some NRE is not a
+/// single symbol (use the graph-pattern chase instead, §3.2/§5).
+Result<LoweredSetting> LowerToRelational(const Setting& setting);
+
+/// Lifts a chased binary-relational instance back to a graph.
+Graph LiftToGraph(const Instance& instance, const LoweredSetting& lowered);
+
+/// Full §3.1 pipeline: lower, run the classical relational chase (s-t tgds
+/// then egds), lift the result. Chase failure (constant clash) propagates
+/// as FAILED_PRECONDITION — no solution exists. Reproduces Example 3.1 /
+/// Figure 2.
+Result<Graph> RunLoweredExchange(const Setting& setting,
+                                 const Instance& source, Universe& universe,
+                                 RelChaseStats* stats = nullptr);
+
+}  // namespace gdx
+
+#endif  // GDX_CHASE_RELATIONAL_LOWERING_H_

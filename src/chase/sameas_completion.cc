@@ -1,0 +1,84 @@
+#include "chase/sameas_completion.h"
+
+#include "common/union_find.h"
+#include "graph/cnre.h"
+
+#include <unordered_map>
+
+namespace gdx {
+namespace {
+
+/// Adds reflexive-symmetric-transitive closure of the sameAs relation over
+/// nodes already touched by sameAs edges. Returns edges added.
+size_t RstClose(Graph& g, SymbolId same_as) {
+  std::vector<Value> touched;
+  std::unordered_map<uint64_t, uint32_t> index;
+  for (const Edge& e : g.edges()) {
+    if (e.label != same_as) continue;
+    for (Value v : {e.src, e.dst}) {
+      if (index.emplace(v.raw(), touched.size()).second) {
+        touched.push_back(v);
+      }
+    }
+  }
+  UnionFind uf(touched.size());
+  for (const Edge& e : g.edges()) {
+    if (e.label != same_as) continue;
+    uf.Union(index[e.src.raw()], index[e.dst.raw()]);
+  }
+  // Group by class and add all intra-class pairs (including self-loops).
+  std::unordered_map<uint32_t, std::vector<Value>> classes;
+  for (uint32_t i = 0; i < touched.size(); ++i) {
+    classes[uf.Find(i)].push_back(touched[i]);
+  }
+  size_t added = 0;
+  for (const auto& [root, members] : classes) {
+    for (Value a : members) {
+      for (Value b : members) {
+        if (g.AddEdge(a, same_as, b)) ++added;
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace
+
+Status CompleteSameAs(Graph& g,
+                      const std::vector<SameAsConstraint>& constraints,
+                      Alphabet& alphabet, const NreEvaluator& eval,
+                      SameAsCompletionStats* stats,
+                      const SameAsCompletionOptions& options) {
+  const SymbolId same_as = alphabet.SameAsSymbol();
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    size_t added = 0;
+    // Bodies may mention sameAs, so matchers are rebuilt each round.
+    for (const SameAsConstraint& sac : constraints) {
+      CnreMatcher matcher(&sac.body, &g, eval);
+      std::vector<std::pair<Value, Value>> missing;
+      matcher.FindMatches({}, [&](const CnreBinding& match) {
+        if (!match[sac.x1].has_value() || !match[sac.x2].has_value()) {
+          return true;
+        }
+        Value a = *match[sac.x1];
+        Value b = *match[sac.x2];
+        if (options.implicit_reflexive && a == b) return true;
+        if (!g.HasEdge(a, same_as, b)) missing.emplace_back(a, b);
+        return true;
+      });
+      for (const auto& [a, b] : missing) {
+        if (g.AddEdge(a, same_as, b)) ++added;
+      }
+    }
+    if (options.rst_closure) added += RstClose(g, same_as);
+    if (stats != nullptr) {
+      ++stats->rounds;
+      stats->edges_added += added;
+    }
+    if (added == 0) return Status::Ok();
+  }
+  return Status::ResourceExhausted(
+      "sameAs completion did not converge within max_rounds");
+}
+
+}  // namespace gdx

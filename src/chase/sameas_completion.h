@@ -1,0 +1,44 @@
+#ifndef GDX_CHASE_SAMEAS_COMPLETION_H_
+#define GDX_CHASE_SAMEAS_COMPLETION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exchange/constraints.h"
+#include "graph/graph.h"
+#include "graph/nre_eval.h"
+
+namespace gdx {
+
+/// Options for sameAs saturation.
+struct SameAsCompletionOptions {
+  /// Additionally close sameAs under reflexivity (on sameAs-touched nodes),
+  /// symmetry and transitivity — the RDF reading. The paper's constraints
+  /// only require the asserted edges, so this is off by default.
+  bool rst_closure = false;
+  /// Skip materializing self-loop sameAs edges for triggers with x1 = x2
+  /// (sameAs is implicitly reflexive; mirrors SolutionCheckOptions and the
+  /// paper's Figure 1(c) which draws none).
+  bool implicit_reflexive = true;
+  size_t max_rounds = 1024;
+};
+
+struct SameAsCompletionStats {
+  size_t rounds = 0;
+  size_t edges_added = 0;
+};
+
+/// Saturates G with the sameAs edges required by the constraints (§4.2):
+/// repeatedly evaluate each body and add the missing (x1, sameAs, x2)
+/// edges until fixpoint. This realizes the paper's observation that
+/// existence of solutions is trivial for sameAs constraints: any graph can
+/// be completed by adding edges — even between constants.
+Status CompleteSameAs(Graph& g,
+                      const std::vector<SameAsConstraint>& constraints,
+                      Alphabet& alphabet, const NreEvaluator& eval,
+                      SameAsCompletionStats* stats = nullptr,
+                      const SameAsCompletionOptions& options = {});
+
+}  // namespace gdx
+
+#endif  // GDX_CHASE_SAMEAS_COMPLETION_H_

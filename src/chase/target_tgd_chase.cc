@@ -1,0 +1,67 @@
+#include "chase/target_tgd_chase.h"
+
+#include "graph/cnre.h"
+#include "pattern/witness.h"
+
+namespace gdx {
+
+Status ChaseTargetTgds(Graph& g, const std::vector<TargetTgd>& tgds,
+                       Universe& universe, const NreEvaluator& eval,
+                       size_t max_rounds, TargetTgdChaseStats* stats) {
+  // Precompute shortest witnesses per distinct head NRE (by pointer).
+  for (size_t round = 0; round < max_rounds; ++round) {
+    size_t fired = 0;
+    for (const TargetTgd& tgd : tgds) {
+      CnreQuery head_query = tgd.HeadQuery();
+      CnreMatcher body_matcher(&tgd.body, &g, eval);
+      CnreMatcher head_matcher(&head_query, &g, eval);
+      // Collect unmet triggers first; mutating g mid-enumeration is unsafe.
+      std::vector<CnreBinding> unmet;
+      body_matcher.FindMatches({}, [&](const CnreBinding& match) {
+        if (!head_matcher.Satisfiable(match)) unmet.push_back(match);
+        return true;
+      });
+      for (const CnreBinding& match : unmet) {
+        // Fresh nulls for existential head variables of this trigger.
+        CnreBinding binding = match;
+        for (const CnreAtom& atom : tgd.head) {
+          for (const Term* t : {&atom.x, &atom.y}) {
+            if (t->is_var() && !binding[t->var()].has_value()) {
+              binding[t->var()] = universe.FreshNull();
+            }
+          }
+        }
+        for (const CnreAtom& atom : tgd.head) {
+          Value src =
+              atom.x.is_const() ? atom.x.constant() : *binding[atom.x.var()];
+          Value dst =
+              atom.y.is_const() ? atom.y.constant() : *binding[atom.y.var()];
+          std::vector<Witness> witnesses = EnumerateWitnesses(
+              atom.nre, /*max_edges=*/16, /*max_count=*/4);
+          bool materialized = false;
+          size_t before = g.num_edges();
+          for (const Witness& w : witnesses) {
+            if (w.IsEpsilonChain() && src != dst) continue;
+            if (MaterializeWitness(g, universe, src, dst, w).ok()) {
+              materialized = true;
+              break;
+            }
+          }
+          if (!materialized) {
+            return Status::FailedPrecondition(
+                "target tgd head NRE admits no materializable witness");
+          }
+          if (stats != nullptr) stats->edges_added += g.num_edges() - before;
+        }
+        ++fired;
+        if (stats != nullptr) ++stats->triggers_fired;
+      }
+    }
+    if (stats != nullptr) ++stats->rounds;
+    if (fired == 0) return Status::Ok();
+  }
+  return Status::ResourceExhausted(
+      "target tgd chase did not converge within max_rounds");
+}
+
+}  // namespace gdx

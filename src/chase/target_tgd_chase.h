@@ -1,0 +1,34 @@
+#ifndef GDX_CHASE_TARGET_TGD_CHASE_H_
+#define GDX_CHASE_TARGET_TGD_CHASE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/universe.h"
+#include "exchange/constraints.h"
+#include "graph/graph.h"
+#include "graph/nre_eval.h"
+
+namespace gdx {
+
+struct TargetTgdChaseStats {
+  size_t rounds = 0;
+  size_t triggers_fired = 0;
+  size_t edges_added = 0;
+};
+
+/// Restricted chase for general target tgds on a concrete graph: for every
+/// body match whose head is not yet satisfiable, the head is materialized
+/// (fresh nulls for existential variables; each head NRE realized by its
+/// shortest witness). Target tgds may cascade, so the chase may diverge —
+/// `max_rounds` bounds it; non-convergence returns RESOURCE_EXHAUSTED
+/// (the paper leaves termination for target tgds open; cf. Calì et al.'s
+/// "taming the infinite chase").
+Status ChaseTargetTgds(Graph& g, const std::vector<TargetTgd>& tgds,
+                       Universe& universe, const NreEvaluator& eval,
+                       size_t max_rounds = 64,
+                       TargetTgdChaseStats* stats = nullptr);
+
+}  // namespace gdx
+
+#endif  // GDX_CHASE_TARGET_TGD_CHASE_H_

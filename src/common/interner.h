@@ -1,0 +1,49 @@
+#ifndef GDX_COMMON_INTERNER_H_
+#define GDX_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace gdx {
+
+/// Bidirectional string <-> dense id mapping. Ids are assigned in insertion
+/// order starting at 0, so iteration over ids is deterministic.
+class StringInterner {
+ public:
+  /// Interns `name`, returning its id (existing id if already present).
+  SymbolId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    SymbolId id = static_cast<SymbolId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Looks up an already-interned name; nullopt if absent.
+  std::optional<SymbolId> Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// The spelling of id. Precondition: id < size().
+  const std::string& NameOf(SymbolId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_COMMON_INTERNER_H_

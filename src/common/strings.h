@@ -1,0 +1,39 @@
+#ifndef GDX_COMMON_STRINGS_H_
+#define GDX_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gdx {
+
+/// Joins the string forms of a range with a separator.
+template <typename Range>
+std::string StrJoin(const Range& range, std::string_view sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) out << sep;
+    out << item;
+    first = false;
+  }
+  return out.str();
+}
+
+/// Splits on a single character, trimming ASCII whitespace from each piece;
+/// empty pieces are kept (callers validate).
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+inline bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace gdx
+
+#endif  // GDX_COMMON_STRINGS_H_

@@ -1,0 +1,58 @@
+#ifndef GDX_COMMON_TERM_H_
+#define GDX_COMMON_TERM_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/interner.h"
+#include "common/value.h"
+
+namespace gdx {
+
+/// Query variable identifier, dense per query/dependency (see VarTable).
+using VarId = uint32_t;
+
+/// A term in a query atom: either a variable or a constant value.
+class Term {
+ public:
+  static Term Var(VarId v) { return Term(true, v, Value()); }
+  static Term Const(Value c) { return Term(false, 0, c); }
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+  VarId var() const { return var_; }
+  Value constant() const { return constant_; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return false;
+    return a.is_var_ ? a.var_ == b.var_ : a.constant_ == b.constant_;
+  }
+
+ private:
+  Term(bool is_var, VarId var, Value constant)
+      : is_var_(is_var), var_(var), constant_(constant) {}
+  bool is_var_;
+  VarId var_;
+  Value constant_;
+};
+
+/// Per-formula variable table: maps variable names to dense VarIds.
+/// A VarTable is shared between the body and head of a dependency so the
+/// same name denotes the same variable on both sides.
+class VarTable {
+ public:
+  VarId Intern(std::string_view name) { return names_.Intern(name); }
+  std::optional<VarId> Find(std::string_view name) const {
+    return names_.Find(name);
+  }
+  const std::string& NameOf(VarId v) const { return names_.NameOf(v); }
+  size_t size() const { return names_.size(); }
+
+ private:
+  StringInterner names_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_COMMON_TERM_H_

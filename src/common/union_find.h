@@ -1,0 +1,68 @@
+#ifndef GDX_COMMON_UNION_FIND_H_
+#define GDX_COMMON_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace gdx {
+
+/// Disjoint-set forest over dense uint32 indices with union by rank and
+/// path compression. Used by the egd chase and the sameAs engine.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n = 0) { Reset(n); }
+
+  void Reset(size_t n) {
+    parent_.resize(n);
+    std::iota(parent_.begin(), parent_.end(), 0u);
+    rank_.assign(n, 0);
+    num_classes_ = n;
+  }
+
+  /// Adds one more singleton element; returns its index.
+  uint32_t Add() {
+    uint32_t id = static_cast<uint32_t>(parent_.size());
+    parent_.push_back(id);
+    rank_.push_back(0);
+    ++num_classes_;
+    return id;
+  }
+
+  uint32_t Find(uint32_t x) {
+    uint32_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      uint32_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Merges the classes of a and b; returns the surviving root.
+  uint32_t Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return a;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    --num_classes_;
+    return a;
+  }
+
+  bool Same(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  size_t size() const { return parent_.size(); }
+  size_t num_classes() const { return num_classes_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_COMMON_UNION_FIND_H_

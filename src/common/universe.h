@@ -1,0 +1,65 @@
+#ifndef GDX_COMMON_UNIVERSE_H_
+#define GDX_COMMON_UNIVERSE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/interner.h"
+#include "common/value.h"
+
+namespace gdx {
+
+/// The shared value universe of a data-exchange scenario: it owns the
+/// spelling of constants and manufactures fresh labeled nulls (N1, N2, ...).
+/// All instances, graphs and patterns in one scenario share one Universe.
+class Universe {
+ public:
+  /// Interns a constant name and returns the corresponding constant Value.
+  Value MakeConstant(std::string_view name) {
+    return Value::Constant(constants_.Intern(name));
+  }
+
+  /// Returns the constant for `name` if it was interned before.
+  std::optional<Value> FindConstant(std::string_view name) const {
+    auto id = constants_.Find(name);
+    if (!id) return std::nullopt;
+    return Value::Constant(*id);
+  }
+
+  /// Manufactures a fresh labeled null (label "N<k>" with k counting from 1).
+  Value FreshNull() {
+    uint32_t id = static_cast<uint32_t>(null_labels_.size());
+    std::string label = "N";
+    label += std::to_string(id + 1);
+    null_labels_.push_back(std::move(label));
+    return Value::Null(id);
+  }
+
+  /// Manufactures a fresh null with an explicit label (for readable chases).
+  Value FreshNullLabeled(std::string_view label) {
+    uint32_t id = static_cast<uint32_t>(null_labels_.size());
+    null_labels_.emplace_back(label);
+    return Value::Null(id);
+  }
+
+  /// Human-readable spelling of any value from this universe.
+  std::string NameOf(Value v) const {
+    if (v.is_constant()) {
+      if (v.id() < constants_.size()) return constants_.NameOf(v.id());
+      return "?const" + std::to_string(v.id());
+    }
+    if (v.id() < null_labels_.size()) return null_labels_[v.id()];
+    return "?null" + std::to_string(v.id());
+  }
+
+  size_t num_constants() const { return constants_.size(); }
+  size_t num_nulls() const { return null_labels_.size(); }
+
+ private:
+  StringInterner constants_;
+  std::vector<std::string> null_labels_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_COMMON_UNIVERSE_H_

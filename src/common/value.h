@@ -1,0 +1,93 @@
+#ifndef GDX_COMMON_VALUE_H_
+#define GDX_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace gdx {
+
+/// Interned identifier for a string (constant name, null label, edge symbol,
+/// relation name). Produced by StringInterner.
+using SymbolId = uint32_t;
+
+/// A member of the value universe V ∪ N from the paper: either a *constant*
+/// (a node id / relational domain element) or a *labeled null* (an unknown
+/// value invented by the chase). Values are small, trivially copyable and
+/// hashable; the human-readable spelling lives in a Universe.
+class Value {
+ public:
+  enum class Kind : uint8_t { kConstant = 0, kNull = 1 };
+
+  Value() : bits_(0) {}
+
+  /// Makes a constant value with the given interned id.
+  static Value Constant(uint32_t id) {
+    return Value((static_cast<uint64_t>(id) << 1) | 0u);
+  }
+
+  /// Makes a labeled null with the given null index.
+  static Value Null(uint32_t id) {
+    return Value((static_cast<uint64_t>(id) << 1) | 1u);
+  }
+
+  Kind kind() const {
+    return (bits_ & 1u) ? Kind::kNull : Kind::kConstant;
+  }
+  bool is_constant() const { return (bits_ & 1u) == 0; }
+  bool is_null() const { return (bits_ & 1u) != 0; }
+
+  /// The interned id (constant) or null index (null).
+  uint32_t id() const { return static_cast<uint32_t>(bits_ >> 1); }
+
+  /// Raw encoding; stable total order with constants before nulls of the
+  /// same id. Useful as a map key.
+  uint64_t raw() const { return bits_; }
+
+  friend bool operator==(Value a, Value b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(Value a, Value b) { return a.bits_ != b.bits_; }
+  friend bool operator<(Value a, Value b) {
+    // Order by (id, kind) so printing is stable and constants sort first
+    // within equal ids; exact order is unimportant, determinism is.
+    return a.bits_ < b.bits_;
+  }
+
+ private:
+  explicit Value(uint64_t bits) : bits_(bits) {}
+  uint64_t bits_;
+};
+
+/// Hash functor for Value, for use in unordered containers.
+struct ValueHash {
+  size_t operator()(Value v) const {
+    // SplitMix64 finalizer: cheap and well distributed.
+    uint64_t x = v.raw() + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+/// Hash functor for a pair of values (e.g. an entry of a binary relation).
+struct ValuePairHash {
+  size_t operator()(const std::pair<Value, Value>& p) const {
+    size_t h1 = ValueHash()(p.first);
+    size_t h2 = ValueHash()(p.second);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ull + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+/// Hash functor for a tuple of values (a relational tuple or query answer).
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& t) const {
+    size_t h = 0x345678u;
+    for (Value v : t) {
+      h = h * 1000003u ^ ValueHash()(v);
+    }
+    return h ^ t.size();
+  }
+};
+
+}  // namespace gdx
+
+#endif  // GDX_COMMON_VALUE_H_

@@ -1,0 +1,87 @@
+#ifndef GDX_COMMON_VALUE_PARTITION_H_
+#define GDX_COMMON_VALUE_PARTITION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/union_find.h"
+#include "common/value.h"
+
+namespace gdx {
+
+/// A congruence over Values built by egd chase steps. Class representatives
+/// prefer constants (paper §5: merging a null into a constant replaces the
+/// null by the constant); merging two *distinct constants* is a chase
+/// failure and is reported as FAILED_PRECONDITION.
+class ValuePartition {
+ public:
+  /// Merges the classes of a and b.
+  /// Fails iff the two classes contain distinct constants.
+  Status Merge(Value a, Value b) {
+    uint32_t ia = IndexOf(a);
+    uint32_t ib = IndexOf(b);
+    uint32_t ra = uf_.Find(ia);
+    uint32_t rb = uf_.Find(ib);
+    if (ra == rb) return Status::Ok();
+    Value ca = class_constant_[ra];
+    Value cb = class_constant_[rb];
+    if (ca.is_constant() && cb.is_constant() && ca != cb) {
+      return Status::FailedPrecondition(
+          "egd chase failure: attempt to merge distinct constants");
+    }
+    uint32_t root = uf_.Union(ra, rb);
+    class_constant_[root] = ca.is_constant() ? ca : cb;
+    journal_.emplace_back(a, b);
+    return Status::Ok();
+  }
+
+  /// The canonical representative of v's class: the class constant if the
+  /// class contains one, otherwise the smallest value in the class.
+  Value Find(Value v) {
+    auto it = index_.find(v.raw());
+    if (it == index_.end()) return v;  // never merged: represents itself
+    uint32_t root = uf_.Find(it->second);
+    Value c = class_constant_[root];
+    if (c.is_constant()) return c;
+    return class_min_[root];
+  }
+
+  bool Same(Value a, Value b) { return Find(a) == Find(b); }
+
+  /// Number of Merge calls that actually joined two classes or were
+  /// recorded (the chase's merge journal).
+  const std::vector<std::pair<Value, Value>>& journal() const {
+    return journal_;
+  }
+
+  size_t num_tracked() const { return values_.size(); }
+
+ private:
+  uint32_t IndexOf(Value v) {
+    auto it = index_.find(v.raw());
+    if (it != index_.end()) return it->second;
+    uint32_t id = uf_.Add();
+    index_.emplace(v.raw(), id);
+    values_.push_back(v);
+    class_constant_.push_back(v.is_constant() ? v : Value::Null(0xFFFFFFFFu));
+    // Sentinel: a null with id 0xFFFFFFFF marks "no constant in class".
+    if (!v.is_constant()) class_constant_.back() = kNoConstant();
+    class_min_.push_back(v);
+    return id;
+  }
+
+  static Value kNoConstant() { return Value::Null(0xFFFFFFFFu); }
+
+  UnionFind uf_;
+  std::unordered_map<uint64_t, uint32_t> index_;
+  std::vector<Value> values_;
+  // Per-root: the constant in the class (or sentinel), and the min value.
+  std::vector<Value> class_constant_;
+  std::vector<Value> class_min_;
+  std::vector<std::pair<Value, Value>> journal_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_COMMON_VALUE_PARTITION_H_

@@ -1,0 +1,57 @@
+#ifndef GDX_EXCHANGE_CONSTRAINTS_H_
+#define GDX_EXCHANGE_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "graph/alphabet.h"
+#include "graph/cnre.h"
+
+namespace gdx {
+
+/// A target equality-generating dependency ∀x (ψ_Σ(x) → x1 = x2) — paper
+/// §2. The body is a CNRE over the target alphabet; x1, x2 are among its
+/// variables.
+struct TargetEgd {
+  CnreQuery body;
+  VarId x1 = 0;
+  VarId x2 = 0;
+};
+
+/// A target tgd ∀x (φ_Σ(x) → ∃y ψ_Σ(x, y)) — paper §2. Head atoms share
+/// the body's VarTable; head variables bound by no body atom are
+/// existential.
+struct TargetTgd {
+  CnreQuery body;
+  std::vector<CnreAtom> head;
+
+  /// The head as a standalone Boolean query sharing this tgd's var ids.
+  CnreQuery HeadQuery() const {
+    CnreQuery q;
+    q.SetVarTable(body.vars());
+    for (const CnreAtom& atom : head) q.AddAtom(atom.x, atom.nre, atom.y);
+    return q;
+  }
+};
+
+/// A sameAs constraint ∀x (ψ_Σ(x) → (x1, sameAs, x2)) — the paper's
+/// RDF-inspired relaxation of egds (§2, §4.2). A special case of target
+/// tgd whose head is one sameAs edge between body variables.
+struct SameAsConstraint {
+  CnreQuery body;
+  VarId x1 = 0;
+  VarId x2 = 0;
+
+  /// Lowers to the equivalent target tgd.
+  TargetTgd AsTargetTgd(Alphabet& alphabet) const {
+    TargetTgd tgd;
+    tgd.body = body;
+    tgd.head.push_back(CnreAtom{Term::Var(x1),
+                                Nre::Symbol(alphabet.SameAsSymbol()),
+                                Term::Var(x2)});
+    return tgd;
+  }
+};
+
+}  // namespace gdx
+
+#endif  // GDX_EXCHANGE_CONSTRAINTS_H_

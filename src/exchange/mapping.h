@@ -1,0 +1,70 @@
+#ifndef GDX_EXCHANGE_MAPPING_H_
+#define GDX_EXCHANGE_MAPPING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/cnre.h"
+#include "relational/cq.h"
+
+namespace gdx {
+
+/// A source-to-target tgd ∀x (φ_R(x) → ∃y ψ_Σ(x, y)) — paper §2. The body
+/// φ_R is a conjunctive query over the relational source schema; the head
+/// ψ_Σ is a CNRE over the target alphabet. Body and head share the body's
+/// VarTable, so the same VarId denotes the same variable on both sides;
+/// head variables bound by no body atom are the existential vector y.
+struct StTgd {
+  explicit StTgd(const Schema* source_schema) : body(source_schema) {}
+
+  ConjunctiveQuery body;
+  std::vector<CnreAtom> head;
+
+  /// Head variables appearing in no body atom, in first-use order.
+  std::vector<VarId> ExistentialVars() const {
+    std::vector<bool> in_body(body.num_vars(), false);
+    for (const RelAtom& atom : body.atoms()) {
+      for (const Term& t : atom.terms) {
+        if (t.is_var()) in_body[t.var()] = true;
+      }
+    }
+    std::vector<bool> seen(body.num_vars(), false);
+    std::vector<VarId> out;
+    auto visit = [&](const Term& t) {
+      if (t.is_var() && !in_body[t.var()] && !seen[t.var()]) {
+        seen[t.var()] = true;
+        out.push_back(t.var());
+      }
+    };
+    for (const CnreAtom& atom : head) {
+      visit(atom.x);
+      visit(atom.y);
+    }
+    return out;
+  }
+
+  /// Builds the head as a standalone Boolean CNRE query sharing this tgd's
+  /// variable ids (used for satisfaction checks with the frontier bound).
+  CnreQuery HeadQuery() const {
+    CnreQuery q;
+    q.SetVarTable(body.vars());
+    for (const CnreAtom& atom : head) q.AddAtom(atom.x, atom.nre, atom.y);
+    return q;
+  }
+
+  Status Validate() const {
+    if (head.empty()) {
+      return Status::InvalidArgument("s-t tgd with empty head");
+    }
+    for (const CnreAtom& atom : head) {
+      if (atom.nre == nullptr) {
+        return Status::InvalidArgument("s-t tgd head atom without NRE");
+      }
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace gdx
+
+#endif  // GDX_EXCHANGE_MAPPING_H_

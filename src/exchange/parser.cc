@@ -1,0 +1,234 @@
+#include "exchange/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "graph/nre_parser.h"
+
+namespace gdx {
+namespace {
+
+/// Splits on `sep` at parenthesis/bracket depth 0.
+std::vector<std::string> SplitTopLevel(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == sep && depth == 0)) {
+      out.emplace_back(StripWhitespace(text.substr(start, i - start)));
+      start = i + 1;
+      continue;
+    }
+    if (text[i] == '(' || text[i] == '[') ++depth;
+    if (text[i] == ')' || text[i] == ']') --depth;
+  }
+  return out;
+}
+
+/// Splits "body -> head" into the two sides.
+Result<std::pair<std::string, std::string>> SplitImplication(
+    std::string_view text) {
+  size_t pos = text.find("->");
+  if (pos == std::string_view::npos) {
+    return Status::InvalidArgument("dependency must contain '->': " +
+                                   std::string(text));
+  }
+  if (text.find("->", pos + 2) != std::string_view::npos) {
+    return Status::InvalidArgument("dependency contains multiple '->'");
+  }
+  return std::make_pair(std::string(StripWhitespace(text.substr(0, pos))),
+                        std::string(StripWhitespace(text.substr(pos + 2))));
+}
+
+/// Parses a term: unquoted identifier = variable (interned into vars);
+/// 'quoted' = constant (interned into the universe).
+Result<Term> ParseTerm(std::string_view text, VarTable& vars,
+                       Universe& universe) {
+  text = StripWhitespace(text);
+  if (text.empty()) return Status::InvalidArgument("empty term");
+  if (text.front() == '\'' || text.front() == '"') {
+    if (text.size() < 3 || text.back() != text.front()) {
+      return Status::InvalidArgument("unterminated constant literal: " +
+                                     std::string(text));
+    }
+    return Term::Const(
+        universe.MakeConstant(text.substr(1, text.size() - 2)));
+  }
+  for (char c : text) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return Status::InvalidArgument("invalid variable name: " +
+                                     std::string(text));
+    }
+  }
+  return Term::Var(vars.Intern(text));
+}
+
+/// Parses a CNRE atom "(term, nre, term)".
+Result<CnreAtom> ParseCnreAtom(std::string_view text, VarTable& vars,
+                               Alphabet& alphabet, Universe& universe) {
+  text = StripWhitespace(text);
+  if (text.size() < 2 || text.front() != '(' || text.back() != ')') {
+    return Status::InvalidArgument("CNRE atom must be parenthesized: " +
+                                   std::string(text));
+  }
+  std::vector<std::string> parts =
+      SplitTopLevel(text.substr(1, text.size() - 2), ',');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument(
+        "CNRE atom must have exactly (term, nre, term): " +
+        std::string(text));
+  }
+  Result<Term> x = ParseTerm(parts[0], vars, universe);
+  if (!x.ok()) return x.status();
+  Result<NrePtr> nre = ParseNre(parts[1], alphabet);
+  if (!nre.ok()) return nre.status();
+  Result<Term> y = ParseTerm(parts[2], vars, universe);
+  if (!y.ok()) return y.status();
+  return CnreAtom{*x, std::move(nre).value(), *y};
+}
+
+/// Parses a relational atom "Name(t1, ..., tk)".
+Result<RelAtom> ParseRelAtom(std::string_view text, const Schema* schema,
+                             VarTable& vars, Universe& universe) {
+  text = StripWhitespace(text);
+  size_t open = text.find('(');
+  if (open == std::string_view::npos || text.back() != ')') {
+    return Status::InvalidArgument("malformed relational atom: " +
+                                   std::string(text));
+  }
+  std::string name(StripWhitespace(text.substr(0, open)));
+  auto rel = schema->Find(name);
+  if (!rel.has_value()) {
+    return Status::NotFound("unknown relation: " + name);
+  }
+  std::vector<std::string> args =
+      SplitTopLevel(text.substr(open + 1, text.size() - open - 2), ',');
+  if (args.size() != schema->decl(*rel).arity) {
+    return Status::InvalidArgument(
+        "arity mismatch for " + name + ": expected " +
+        std::to_string(schema->decl(*rel).arity) + ", got " +
+        std::to_string(args.size()));
+  }
+  RelAtom atom;
+  atom.relation = *rel;
+  for (const std::string& arg : args) {
+    Result<Term> t = ParseTerm(arg, vars, universe);
+    if (!t.ok()) return t.status();
+    atom.terms.push_back(*t);
+  }
+  return atom;
+}
+
+/// Parses a CNRE body into `query` (atoms only; head left empty).
+Status ParseCnreBody(std::string_view text, CnreQuery& query,
+                     Alphabet& alphabet, Universe& universe) {
+  for (const std::string& piece : SplitTopLevel(text, ',')) {
+    if (piece.empty()) {
+      return Status::InvalidArgument("empty atom in CNRE body");
+    }
+    // Re-join pieces that belong to one parenthesized atom: SplitTopLevel
+    // already respects depth, so each piece is a whole atom.
+    Result<CnreAtom> atom =
+        ParseCnreAtom(piece, query.vars(), alphabet, universe);
+    if (!atom.ok()) return atom.status();
+    query.AddAtom(atom->x, atom->nre, atom->y);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<StTgd> ParseStTgd(std::string_view text, const Schema* source_schema,
+                         Alphabet& alphabet, Universe& universe) {
+  auto sides = SplitImplication(text);
+  if (!sides.ok()) return sides.status();
+  StTgd tgd(source_schema);
+  for (const std::string& piece : SplitTopLevel(sides->first, ',')) {
+    Result<RelAtom> atom =
+        ParseRelAtom(piece, source_schema, tgd.body.vars(), universe);
+    if (!atom.ok()) return atom.status();
+    tgd.body.AddAtom(*atom);
+  }
+  for (const std::string& piece : SplitTopLevel(sides->second, ',')) {
+    Result<CnreAtom> atom =
+        ParseCnreAtom(piece, tgd.body.vars(), alphabet, universe);
+    if (!atom.ok()) return atom.status();
+    tgd.head.push_back(*atom);
+  }
+  Status st = tgd.Validate();
+  if (!st.ok()) return st;
+  return tgd;
+}
+
+Result<TargetEgd> ParseTargetEgd(std::string_view text, Alphabet& alphabet,
+                                 Universe& universe) {
+  auto sides = SplitImplication(text);
+  if (!sides.ok()) return sides.status();
+  TargetEgd egd;
+  Status st = ParseCnreBody(sides->first, egd.body, alphabet, universe);
+  if (!st.ok()) return st;
+  // Head: "x1 = x2".
+  std::vector<std::string> eq = StrSplit(sides->second, '=');
+  if (eq.size() != 2 || eq[0].empty() || eq[1].empty()) {
+    return Status::InvalidArgument("egd head must be 'x1 = x2': " +
+                                   sides->second);
+  }
+  auto v1 = egd.body.vars().Find(eq[0]);
+  auto v2 = egd.body.vars().Find(eq[1]);
+  if (!v1.has_value() || !v2.has_value()) {
+    return Status::InvalidArgument(
+        "egd head variables must occur in the body");
+  }
+  egd.x1 = *v1;
+  egd.x2 = *v2;
+  return egd;
+}
+
+Result<TargetTgd> ParseTargetTgd(std::string_view text, Alphabet& alphabet,
+                                 Universe& universe) {
+  auto sides = SplitImplication(text);
+  if (!sides.ok()) return sides.status();
+  TargetTgd tgd;
+  Status st = ParseCnreBody(sides->first, tgd.body, alphabet, universe);
+  if (!st.ok()) return st;
+  for (const std::string& piece : SplitTopLevel(sides->second, ',')) {
+    Result<CnreAtom> atom =
+        ParseCnreAtom(piece, tgd.body.vars(), alphabet, universe);
+    if (!atom.ok()) return atom.status();
+    tgd.head.push_back(*atom);
+  }
+  if (tgd.head.empty()) {
+    return Status::InvalidArgument("target tgd with empty head");
+  }
+  return tgd;
+}
+
+Result<SameAsConstraint> ParseSameAsConstraint(std::string_view text,
+                                               Alphabet& alphabet,
+                                               Universe& universe) {
+  Result<TargetTgd> tgd = ParseTargetTgd(text, alphabet, universe);
+  if (!tgd.ok()) return tgd.status();
+  if (tgd->head.size() != 1) {
+    return Status::InvalidArgument(
+        "sameAs constraint head must be a single atom");
+  }
+  const CnreAtom& atom = tgd->head[0];
+  if (!IsSingleSymbol(atom.nre) ||
+      alphabet.NameOf(atom.nre->symbol()) != "sameAs") {
+    return Status::InvalidArgument(
+        "sameAs constraint head must be (x1, sameAs, x2)");
+  }
+  if (!atom.x.is_var() || !atom.y.is_var()) {
+    return Status::InvalidArgument(
+        "sameAs constraint head terms must be variables");
+  }
+  SameAsConstraint sac;
+  sac.body = tgd->body;
+  sac.x1 = atom.x.var();
+  sac.x2 = atom.y.var();
+  return sac;
+}
+
+}  // namespace gdx

@@ -1,0 +1,40 @@
+#ifndef GDX_EXCHANGE_PARSER_H_
+#define GDX_EXCHANGE_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "common/universe.h"
+#include "exchange/constraints.h"
+#include "exchange/mapping.h"
+
+namespace gdx {
+
+/// Text syntax for dependencies (used by examples, tests and benches):
+///
+///   s-t tgd:  Flight(x1,x2,x3), Hotel(x1,x4) ->
+///                 (x2, f . f*, y), (y, h, x4), (y, f . f*, x3)
+///   egd:      (x1, h, x3), (x2, h, x3) -> x1 = x2
+///   t-tgd:    (x, a, y) -> (x, b, z)
+///   sameAs:   (x1, h, x3), (x2, h, x3) -> (x1, sameAs, x2)
+///
+/// Unquoted identifiers are variables; 'quoted' identifiers are constants
+/// (interned into the universe). NREs follow graph/nre_parser.h syntax.
+/// Head variables absent from the body are existential, per the paper.
+
+Result<StTgd> ParseStTgd(std::string_view text, const Schema* source_schema,
+                         Alphabet& alphabet, Universe& universe);
+
+Result<TargetEgd> ParseTargetEgd(std::string_view text, Alphabet& alphabet,
+                                 Universe& universe);
+
+Result<TargetTgd> ParseTargetTgd(std::string_view text, Alphabet& alphabet,
+                                 Universe& universe);
+
+Result<SameAsConstraint> ParseSameAsConstraint(std::string_view text,
+                                               Alphabet& alphabet,
+                                               Universe& universe);
+
+}  // namespace gdx
+
+#endif  // GDX_EXCHANGE_PARSER_H_

@@ -1,0 +1,50 @@
+#ifndef GDX_EXCHANGE_SETTING_H_
+#define GDX_EXCHANGE_SETTING_H_
+
+#include <string>
+#include <vector>
+
+#include "exchange/constraints.h"
+#include "exchange/mapping.h"
+#include "graph/alphabet.h"
+#include "relational/schema.h"
+
+namespace gdx {
+
+/// A relational-to-graph data exchange setting Ω = (R, Σ, M_st, M_t) —
+/// paper Definition 2.1. M_t splits into the three target-constraint
+/// classes studied in the paper: egds, target tgds, and sameAs constraints.
+struct Setting {
+  const Schema* source_schema = nullptr;
+  Alphabet* alphabet = nullptr;
+
+  std::vector<StTgd> st_tgds;
+  std::vector<TargetEgd> egds;
+  std::vector<TargetTgd> target_tgds;
+  std::vector<SameAsConstraint> sameas;
+
+  bool HasTargetConstraints() const {
+    return !egds.empty() || !target_tgds.empty() || !sameas.empty();
+  }
+
+  /// True if M_t consists of sameAs constraints only (§4.2's tractable
+  /// existence case).
+  bool SameAsOnly() const {
+    return egds.empty() && target_tgds.empty() && !sameas.empty();
+  }
+
+  /// True if every s-t tgd head NRE is a single symbol — the §3.1 fragment
+  /// that lowers to relational data exchange.
+  bool IsSingleSymbolFragment() const {
+    for (const StTgd& tgd : st_tgds) {
+      for (const CnreAtom& atom : tgd.head) {
+        if (!IsSingleSymbol(atom.nre)) return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace gdx
+
+#endif  // GDX_EXCHANGE_SETTING_H_

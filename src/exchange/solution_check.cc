@@ -1,0 +1,142 @@
+#include "exchange/solution_check.h"
+
+#include <sstream>
+
+#include "graph/cnre.h"
+#include "relational/eval.h"
+
+namespace gdx {
+namespace {
+
+constexpr size_t kMaxViolationsPerCategory = 4;
+
+std::string DescribeBinding(const CnreBinding& binding,
+                            const VarTable& vars,
+                            const Universe& universe) {
+  std::ostringstream out;
+  bool first = true;
+  for (VarId v = 0; v < vars.size(); ++v) {
+    if (!binding[v].has_value()) continue;
+    if (!first) out << ", ";
+    out << vars.NameOf(v) << "=" << universe.NameOf(*binding[v]);
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+SolutionCheckReport CheckSolution(const Setting& setting,
+                                  const Instance& source, const Graph& g,
+                                  const NreEvaluator& eval,
+                                  const Universe& universe,
+                                  const SolutionCheckOptions& options) {
+  SolutionCheckReport report;
+
+  // --- s-t tgds: every body match must extend to a head match in G. ---
+  for (size_t t = 0; t < setting.st_tgds.size(); ++t) {
+    const StTgd& tgd = setting.st_tgds[t];
+    CnreQuery head_query = tgd.HeadQuery();
+    CnreMatcher head_matcher(&head_query, &g, eval);
+    size_t violations = 0;
+    FindCqMatches(tgd.body, source, [&](const Binding& match) {
+      if (!head_matcher.Satisfiable(match)) {
+        report.st_tgds_ok = false;
+        if (violations < kMaxViolationsPerCategory) {
+          report.violations.push_back(
+              "s-t tgd #" + std::to_string(t) + " violated for body match {" +
+              DescribeBinding(match, tgd.body.vars(), universe) + "}");
+        }
+        ++violations;
+      }
+      return true;
+    });
+  }
+
+  // --- egds: every body match must equate x1 and x2. ---
+  for (size_t c = 0; c < setting.egds.size(); ++c) {
+    const TargetEgd& egd = setting.egds[c];
+    CnreMatcher matcher(&egd.body, &g, eval);
+    size_t violations = 0;
+    matcher.FindMatches({}, [&](const CnreBinding& match) {
+      if (match[egd.x1].has_value() && match[egd.x2].has_value() &&
+          *match[egd.x1] != *match[egd.x2]) {
+        report.egds_ok = false;
+        if (violations < kMaxViolationsPerCategory) {
+          report.violations.push_back(
+              "egd #" + std::to_string(c) + " violated: " +
+              universe.NameOf(*match[egd.x1]) + " != " +
+              universe.NameOf(*match[egd.x2]) + " for {" +
+              DescribeBinding(match, egd.body.vars(), universe) + "}");
+        }
+        ++violations;
+      }
+      return true;
+    });
+  }
+
+  // --- target tgds: every body match must extend to a head match. ---
+  for (size_t c = 0; c < setting.target_tgds.size(); ++c) {
+    const TargetTgd& tgd = setting.target_tgds[c];
+    CnreQuery head_query = tgd.HeadQuery();
+    CnreMatcher body_matcher(&tgd.body, &g, eval);
+    CnreMatcher head_matcher(&head_query, &g, eval);
+    size_t violations = 0;
+    body_matcher.FindMatches({}, [&](const CnreBinding& match) {
+      // Only frontier variables (bound by the body) constrain the head.
+      if (!head_matcher.Satisfiable(match)) {
+        report.target_tgds_ok = false;
+        if (violations < kMaxViolationsPerCategory) {
+          report.violations.push_back(
+              "target tgd #" + std::to_string(c) +
+              " violated for body match {" +
+              DescribeBinding(match, tgd.body.vars(), universe) + "}");
+        }
+        ++violations;
+      }
+      return true;
+    });
+  }
+
+  // --- sameAs constraints: required sameAs edge must be present. ---
+  if (!setting.sameas.empty()) {
+    SymbolId same_as = setting.alphabet->SameAsSymbol();
+    for (size_t c = 0; c < setting.sameas.size(); ++c) {
+      const SameAsConstraint& sac = setting.sameas[c];
+      CnreMatcher matcher(&sac.body, &g, eval);
+      size_t violations = 0;
+      matcher.FindMatches({}, [&](const CnreBinding& match) {
+        if (!match[sac.x1].has_value() || !match[sac.x2].has_value()) {
+          return true;
+        }
+        if (options.implicit_reflexive_sameas &&
+            *match[sac.x1] == *match[sac.x2]) {
+          return true;
+        }
+        if (!g.HasEdge(*match[sac.x1], same_as, *match[sac.x2])) {
+          report.sameas_ok = false;
+          if (violations < kMaxViolationsPerCategory) {
+            report.violations.push_back(
+                "sameAs constraint #" + std::to_string(c) +
+                " violated: missing (" + universe.NameOf(*match[sac.x1]) +
+                ", sameAs, " + universe.NameOf(*match[sac.x2]) + ")");
+          }
+          ++violations;
+        }
+        return true;
+      });
+    }
+  }
+
+  return report;
+}
+
+bool IsSolution(const Setting& setting, const Instance& source,
+                const Graph& g, const NreEvaluator& eval,
+                const Universe& universe,
+                const SolutionCheckOptions& options) {
+  return CheckSolution(setting, source, g, eval, universe, options)
+      .IsSolution();
+}
+
+}  // namespace gdx

@@ -1,0 +1,54 @@
+#ifndef GDX_EXCHANGE_SOLUTION_CHECK_H_
+#define GDX_EXCHANGE_SOLUTION_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/universe.h"
+#include "exchange/setting.h"
+#include "graph/graph.h"
+#include "graph/nre_eval.h"
+#include "relational/instance.h"
+
+namespace gdx {
+
+/// Semantic knobs for solution checking.
+struct SolutionCheckOptions {
+  /// Treat sameAs as implicitly reflexive: a sameAs constraint trigger with
+  /// x1 = x2 is satisfied without a self-loop edge. Matches the paper's
+  /// Figure 1(c), which draws no reflexive sameAs edges (RDF sameAs is
+  /// reflexive). Set false for strict first-order edge semantics.
+  bool implicit_reflexive_sameas = true;
+};
+
+/// Outcome of checking whether G ∈ Sol_Ω(I) (paper §2, "Solutions").
+struct SolutionCheckReport {
+  bool st_tgds_ok = true;
+  bool egds_ok = true;
+  bool target_tgds_ok = true;
+  bool sameas_ok = true;
+  /// Human-readable witnesses of violations (capped per category).
+  std::vector<std::string> violations;
+
+  bool IsSolution() const {
+    return st_tgds_ok && egds_ok && target_tgds_ok && sameas_ok;
+  }
+};
+
+/// Checks (I, G) ⊨ M_st and G ⊨ M_t, reporting the first few violating
+/// triggers per constraint class.
+SolutionCheckReport CheckSolution(const Setting& setting,
+                                  const Instance& source, const Graph& g,
+                                  const NreEvaluator& eval,
+                                  const Universe& universe,
+                                  const SolutionCheckOptions& options = {});
+
+/// Convenience: true iff G is a solution for I under the setting.
+bool IsSolution(const Setting& setting, const Instance& source,
+                const Graph& g, const NreEvaluator& eval,
+                const Universe& universe,
+                const SolutionCheckOptions& options = {});
+
+}  // namespace gdx
+
+#endif  // GDX_EXCHANGE_SOLUTION_CHECK_H_

@@ -1,0 +1,105 @@
+#include "exchange/universal_pair.h"
+
+#include <sstream>
+
+#include "chase/egd_chase.h"
+#include "chase/pattern_chase.h"
+#include "pattern/homomorphism.h"
+
+namespace gdx {
+namespace {
+
+/// Target-constraint satisfaction only (the G ⊨ M_t half of §5's pair
+/// semantics; the s-t side is carried by the pattern homomorphism).
+bool ConstraintsSatisfied(const Setting& setting, const Graph& g,
+                          const NreEvaluator& eval) {
+  for (const TargetEgd& egd : setting.egds) {
+    bool violated = false;
+    FindCnreMatches(egd.body, g, eval, {}, [&](const CnreBinding& match) {
+      if (match[egd.x1].has_value() && match[egd.x2].has_value() &&
+          *match[egd.x1] != *match[egd.x2]) {
+        violated = true;
+        return false;
+      }
+      return true;
+    });
+    if (violated) return false;
+  }
+  for (const TargetTgd& tgd : setting.target_tgds) {
+    CnreQuery head = tgd.HeadQuery();
+    CnreMatcher head_matcher(&head, &g, eval);
+    bool violated = false;
+    FindCnreMatches(tgd.body, g, eval, {}, [&](const CnreBinding& match) {
+      if (!head_matcher.Satisfiable(match)) {
+        violated = true;
+        return false;
+      }
+      return true;
+    });
+    if (violated) return false;
+  }
+  if (!setting.sameas.empty()) {
+    SymbolId same_as = setting.alphabet->SameAsSymbol();
+    for (const SameAsConstraint& sac : setting.sameas) {
+      bool violated = false;
+      FindCnreMatches(sac.body, g, eval, {}, [&](const CnreBinding& match) {
+        if (!match[sac.x1].has_value() || !match[sac.x2].has_value()) {
+          return true;
+        }
+        if (*match[sac.x1] == *match[sac.x2]) return true;  // reflexive
+        if (!g.HasEdge(*match[sac.x1], same_as, *match[sac.x2])) {
+          violated = true;
+          return false;
+        }
+        return true;
+      });
+      if (violated) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+UniversalPair::Verdict UniversalPair::Classify(const Graph& g,
+                                               const NreEvaluator& eval)
+    const {
+  Verdict verdict;
+  verdict.homomorphism_exists = InRep(pattern_, g, eval);
+  verdict.constraints_satisfied = ConstraintsSatisfied(*setting_, g, eval);
+  return verdict;
+}
+
+bool UniversalPair::Represents(const Graph& g,
+                               const NreEvaluator& eval) const {
+  Verdict v = Classify(g, eval);
+  return v.represented();
+}
+
+std::string UniversalPair::ToString(const Universe& universe) const {
+  std::ostringstream out;
+  out << "universal pair:\n"
+      << pattern_.ToString(universe, *setting_->alphabet) << "with "
+      << setting_->egds.size() << " egd(s), "
+      << setting_->target_tgds.size() << " target tgd(s), "
+      << setting_->sameas.size() << " sameAs constraint(s)\n";
+  return out.str();
+}
+
+Result<UniversalPair> BuildUniversalPair(const Setting& setting,
+                                         const Instance& source,
+                                         Universe& universe,
+                                         const NreEvaluator& eval) {
+  GraphPattern pattern = ChaseToPattern(source, setting.st_tgds, universe);
+  if (!setting.egds.empty()) {
+    EgdChaseResult chased = ChasePatternEgds(pattern, setting.egds, eval);
+    if (chased.failed) {
+      return Status::FailedPrecondition(
+          "adapted chase failed — no solution exists: " +
+          chased.failure_reason);
+    }
+  }
+  return UniversalPair(std::move(pattern), &setting);
+}
+
+}  // namespace gdx

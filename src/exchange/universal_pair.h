@@ -1,0 +1,64 @@
+#ifndef GDX_EXCHANGE_UNIVERSAL_PAIR_H_
+#define GDX_EXCHANGE_UNIVERSAL_PAIR_H_
+
+#include <string>
+
+#include "exchange/setting.h"
+#include "graph/nre_eval.h"
+#include "pattern/pattern.h"
+#include "relational/instance.h"
+
+namespace gdx {
+
+/// The paper's §5 proposal for universal representatives in the presence
+/// of target constraints: since no graph pattern π alone can satisfy
+/// Sol_Ω(I) = Rep_Σ(π) once egds are present (Proposition 5.3), represent
+/// the solution space by the *pair* (pattern, target constraints):
+///
+///   G is represented  ⇔  π → G  and  G ⊨ M_t.
+///
+/// The pair classifies Figure 1's G1/G2 as represented and Figure 7's
+/// corrupted graph as not, which no single pattern can do.
+class UniversalPair {
+ public:
+  /// `setting` must outlive the pair; the pattern is stored by value
+  /// (typically the output of ChaseToPattern + ChasePatternEgds).
+  UniversalPair(GraphPattern pattern, const Setting* setting)
+      : pattern_(std::move(pattern)), setting_(setting) {}
+
+  const GraphPattern& pattern() const { return pattern_; }
+  const Setting& setting() const { return *setting_; }
+
+  /// Classification per §5: homomorphism from the pattern AND target
+  /// constraints satisfied.
+  bool Represents(const Graph& g, const NreEvaluator& eval) const;
+
+  /// Detailed verdict for diagnostics.
+  struct Verdict {
+    bool homomorphism_exists = false;
+    bool constraints_satisfied = false;
+    bool represented() const {
+      return homomorphism_exists && constraints_satisfied;
+    }
+  };
+  Verdict Classify(const Graph& g, const NreEvaluator& eval) const;
+
+  std::string ToString(const Universe& universe) const;
+
+ private:
+  GraphPattern pattern_;
+  const Setting* setting_;
+};
+
+/// Builds the §5 representative for a setting and instance: chase the
+/// s-t tgds into a pattern, then run the adapted egd chase. Fails with
+/// FAILED_PRECONDITION if the chase fails (then no solution exists and no
+/// representative is needed).
+Result<UniversalPair> BuildUniversalPair(const Setting& setting,
+                                         const Instance& source,
+                                         Universe& universe,
+                                         const NreEvaluator& eval);
+
+}  // namespace gdx
+
+#endif  // GDX_EXCHANGE_UNIVERSAL_PAIR_H_

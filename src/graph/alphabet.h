@@ -1,0 +1,36 @@
+#ifndef GDX_GRAPH_ALPHABET_H_
+#define GDX_GRAPH_ALPHABET_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/interner.h"
+
+namespace gdx {
+
+/// The target schema Σ of the paper: a finite alphabet of edge labels.
+/// The distinguished label "sameAs" (§2) is interned on demand like any
+/// other symbol; SameAsSymbol() returns it.
+class Alphabet {
+ public:
+  SymbolId Intern(std::string_view name) { return symbols_.Intern(name); }
+
+  std::optional<SymbolId> Find(std::string_view name) const {
+    return symbols_.Find(name);
+  }
+
+  const std::string& NameOf(SymbolId id) const { return symbols_.NameOf(id); }
+
+  /// The RDF-inspired sameAs label used by sameAs target constraints.
+  SymbolId SameAsSymbol() { return symbols_.Intern("sameAs"); }
+
+  size_t size() const { return symbols_.size(); }
+
+ private:
+  StringInterner symbols_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_GRAPH_ALPHABET_H_

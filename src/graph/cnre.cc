@@ -1,0 +1,198 @@
+#include "graph/cnre.h"
+
+#include <algorithm>
+#include <climits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gdx {
+namespace {
+
+/// Precomputed relation of one atom with lookup indexes.
+struct AtomRelation {
+  BinaryRelation pairs;
+  std::unordered_set<std::pair<Value, Value>, ValuePairHash> pair_set;
+  std::unordered_map<uint64_t, std::vector<Value>> by_src;
+  std::unordered_map<uint64_t, std::vector<Value>> by_dst;
+
+  void Build(BinaryRelation rel) {
+    pairs = std::move(rel);
+    for (const NodePair& p : pairs) {
+      pair_set.insert(p);
+      by_src[p.first.raw()].push_back(p.second);
+      by_dst[p.second.raw()].push_back(p.first);
+    }
+  }
+};
+
+/// The value of a term under a binding, if determined.
+std::optional<Value> TermValue(const Term& t, const CnreBinding& binding) {
+  if (t.is_const()) return t.constant();
+  return binding[t.var()];
+}
+
+struct Searcher {
+  const CnreQuery& query;
+  const std::vector<AtomRelation>& relations;
+  const std::function<bool(const CnreBinding&)>& callback;
+  CnreBinding binding;
+  std::vector<bool> done;
+  size_t remaining;
+
+  /// Picks the next atom to process: prefers atoms with both terms bound,
+  /// then one bound, then smallest relation.
+  size_t PickAtom() const {
+    size_t best = query.atoms().size();
+    long best_score = LONG_MIN;
+    for (size_t i = 0; i < query.atoms().size(); ++i) {
+      if (done[i]) continue;
+      const CnreAtom& atom = query.atoms()[i];
+      long bound = 0;
+      if (TermValue(atom.x, binding).has_value()) ++bound;
+      if (TermValue(atom.y, binding).has_value()) ++bound;
+      long score = bound * 1000000 -
+                   static_cast<long>(std::min<size_t>(
+                       relations[i].pairs.size(), 999999));
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  bool Search() {
+    if (remaining == 0) return callback(binding);
+    size_t i = PickAtom();
+    done[i] = true;
+    --remaining;
+    const CnreAtom& atom = query.atoms()[i];
+    const AtomRelation& rel = relations[i];
+    std::optional<Value> xv = TermValue(atom.x, binding);
+    std::optional<Value> yv = TermValue(atom.y, binding);
+    bool keep_going = true;
+    if (xv && yv) {
+      if (rel.pair_set.count({*xv, *yv}) > 0) keep_going = Search();
+    } else if (xv) {
+      auto it = rel.by_src.find(xv->raw());
+      if (it != rel.by_src.end()) {
+        for (Value y : it->second) {
+          binding[atom.y.var()] = y;
+          keep_going = Search();
+          binding[atom.y.var()].reset();
+          if (!keep_going) break;
+        }
+      }
+    } else if (yv) {
+      auto it = rel.by_dst.find(yv->raw());
+      if (it != rel.by_dst.end()) {
+        for (Value x : it->second) {
+          binding[atom.x.var()] = x;
+          keep_going = Search();
+          binding[atom.x.var()].reset();
+          if (!keep_going) break;
+        }
+      }
+    } else {
+      for (const NodePair& p : rel.pairs) {
+        if (atom.x.var() == atom.y.var()) {
+          // x and y are the same variable: only diagonal pairs match.
+          if (p.first != p.second) continue;
+          binding[atom.x.var()] = p.first;
+          keep_going = Search();
+          binding[atom.x.var()].reset();
+        } else {
+          binding[atom.x.var()] = p.first;
+          binding[atom.y.var()] = p.second;
+          keep_going = Search();
+          binding[atom.y.var()].reset();
+          binding[atom.x.var()].reset();
+        }
+        if (!keep_going) break;
+      }
+    }
+    done[i] = false;
+    ++remaining;
+    return keep_going;
+  }
+};
+
+}  // namespace
+
+struct CnreMatcher::Impl {
+  std::vector<AtomRelation> relations;
+};
+
+CnreMatcher::CnreMatcher(const CnreQuery* query, const Graph* graph,
+                         const NreEvaluator& eval)
+    : query_(query), impl_(new Impl) {
+  impl_->relations.resize(query->atoms().size());
+  for (size_t i = 0; i < query->atoms().size(); ++i) {
+    bool shared = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (NreEquals(query->atoms()[i].nre, query->atoms()[j].nre)) {
+        impl_->relations[i] = impl_->relations[j];
+        shared = true;
+        break;
+      }
+    }
+    if (!shared) {
+      impl_->relations[i].Build(eval.Eval(query->atoms()[i].nre, *graph));
+    }
+  }
+}
+
+CnreMatcher::~CnreMatcher() = default;
+CnreMatcher::CnreMatcher(CnreMatcher&&) noexcept = default;
+CnreMatcher& CnreMatcher::operator=(CnreMatcher&&) noexcept = default;
+
+void CnreMatcher::FindMatches(
+    const CnreBinding& initial,
+    const std::function<bool(const CnreBinding&)>& callback) const {
+  CnreBinding binding = initial;
+  binding.resize(query_->num_vars());
+  Searcher searcher{*query_, impl_->relations, callback, std::move(binding),
+                    std::vector<bool>(query_->atoms().size(), false),
+                    query_->atoms().size()};
+  searcher.Search();
+}
+
+bool CnreMatcher::Satisfiable(const CnreBinding& initial) const {
+  bool found = false;
+  FindMatches(initial, [&](const CnreBinding&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+void FindCnreMatches(const CnreQuery& query, const Graph& g,
+                     const NreEvaluator& eval, const CnreBinding& initial,
+                     const std::function<bool(const CnreBinding&)>& callback) {
+  CnreMatcher(&query, &g, eval).FindMatches(initial, callback);
+}
+
+std::vector<std::vector<Value>> EvaluateCnre(const CnreQuery& query,
+                                             const Graph& g,
+                                             const NreEvaluator& eval) {
+  std::vector<std::vector<Value>> out;
+  std::unordered_set<std::vector<Value>, ValueVecHash> seen;
+  FindCnreMatches(query, g, eval, {}, [&](const CnreBinding& binding) {
+    std::vector<Value> row;
+    row.reserve(query.head().size());
+    for (VarId v : query.head()) {
+      if (!binding[v].has_value()) return true;  // head var not constrained
+      row.push_back(*binding[v]);
+    }
+    if (seen.insert(row).second) out.push_back(std::move(row));
+    return true;
+  });
+  return out;
+}
+
+bool CnreSatisfiable(const CnreQuery& query, const Graph& g,
+                     const NreEvaluator& eval, const CnreBinding& initial) {
+  return CnreMatcher(&query, &g, eval).Satisfiable(initial);
+}
+
+}  // namespace gdx

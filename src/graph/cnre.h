@@ -1,0 +1,101 @@
+#ifndef GDX_GRAPH_CNRE_H_
+#define GDX_GRAPH_CNRE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/term.h"
+#include "graph/nre_eval.h"
+
+namespace gdx {
+
+/// One atom (x, r, y) of a conjunction of NREs: two terms joined by an NRE.
+struct CnreAtom {
+  Term x;
+  NrePtr nre;
+  Term y;
+};
+
+/// A target query: conjunction of nested regular expressions (CNRE, §2).
+/// The paper's queries use variables only; constants are supported for
+/// plugged-in bindings (solution checking). Head variables select output
+/// columns; empty head = Boolean query.
+class CnreQuery {
+ public:
+  VarId InternVar(std::string_view name) { return vars_.Intern(name); }
+  const VarTable& vars() const { return vars_; }
+  VarTable& vars() { return vars_; }
+
+  /// Replaces the variable table wholesale — used when a dependency's head
+  /// shares variable ids with its body's table.
+  void SetVarTable(VarTable vars) { vars_ = std::move(vars); }
+
+  void AddAtom(Term x, NrePtr nre, Term y) {
+    atoms_.push_back(CnreAtom{x, std::move(nre), y});
+  }
+  const std::vector<CnreAtom>& atoms() const { return atoms_; }
+
+  void SetHead(std::vector<VarId> head) { head_ = std::move(head); }
+  const std::vector<VarId>& head() const { return head_; }
+
+  size_t num_vars() const { return vars_.size(); }
+
+ private:
+  VarTable vars_;
+  std::vector<CnreAtom> atoms_;
+  std::vector<VarId> head_;
+};
+
+/// Partial assignment of CNRE variables to graph nodes.
+using CnreBinding = std::vector<std::optional<Value>>;
+
+/// Matcher with per-atom relations precomputed over one graph: build once,
+/// run many (partial-binding) match enumerations. This is the workhorse of
+/// solution checking, the egd chase and certain-answer computation.
+class CnreMatcher {
+ public:
+  CnreMatcher(const CnreQuery* query, const Graph* graph,
+              const NreEvaluator& eval);
+  ~CnreMatcher();
+  CnreMatcher(CnreMatcher&&) noexcept;
+  CnreMatcher& operator=(CnreMatcher&&) noexcept;
+
+  /// Enumerates total matches extending `initial`; callback returns false
+  /// to stop early. Deterministic order.
+  void FindMatches(const CnreBinding& initial,
+                   const std::function<bool(const CnreBinding&)>& callback)
+      const;
+
+  /// True if some match extends `initial`.
+  bool Satisfiable(const CnreBinding& initial) const;
+
+  const CnreQuery& query() const { return *query_; }
+
+ private:
+  struct Impl;
+  const CnreQuery* query_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Enumerates all total matches of the query's atoms into `g`, extending
+/// `initial` (pass {} for unconstrained evaluation). One-shot convenience
+/// over CnreMatcher.
+void FindCnreMatches(const CnreQuery& query, const Graph& g,
+                     const NreEvaluator& eval, const CnreBinding& initial,
+                     const std::function<bool(const CnreBinding&)>& callback);
+
+/// The set of head tuples over all matches, duplicate-free.
+std::vector<std::vector<Value>> EvaluateCnre(const CnreQuery& query,
+                                             const Graph& g,
+                                             const NreEvaluator& eval);
+
+/// True if the query has a match extending `initial` (Boolean evaluation;
+/// this is how s-t tgd heads are checked with bound frontier variables).
+bool CnreSatisfiable(const CnreQuery& query, const Graph& g,
+                     const NreEvaluator& eval, const CnreBinding& initial);
+
+}  // namespace gdx
+
+#endif  // GDX_GRAPH_CNRE_H_

@@ -1,0 +1,71 @@
+#include "graph/dot_export.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace gdx {
+namespace {
+
+/// DOT-escapes a label (quotes and backslashes).
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Emits one node declaration; nulls are dashed when configured.
+void EmitNode(std::ostringstream& out, Value v, const Universe& universe,
+              const DotOptions& options) {
+  out << "  \"" << Escape(universe.NameOf(v)) << "\"";
+  if (options.distinguish_nulls && v.is_null()) {
+    out << " [style=dashed]";
+  }
+  out << ";\n";
+}
+
+void EmitHeader(std::ostringstream& out, const DotOptions& options) {
+  out << "digraph \"" << Escape(options.graph_name) << "\" {\n";
+  if (options.rankdir_lr) out << "  rankdir=LR;\n";
+  out << "  node [shape=circle, fontsize=11];\n";
+}
+
+}  // namespace
+
+std::string ToDot(const Graph& g, const Universe& universe,
+                  const Alphabet& alphabet, const DotOptions& options) {
+  std::ostringstream out;
+  EmitHeader(out, options);
+  for (Value v : g.nodes()) EmitNode(out, v, universe, options);
+  for (const Edge& e : g.edges()) {
+    const std::string& label = alphabet.NameOf(e.label);
+    out << "  \"" << Escape(universe.NameOf(e.src)) << "\" -> \""
+        << Escape(universe.NameOf(e.dst)) << "\" [label=\""
+        << Escape(label) << "\"";
+    if (options.dotted_sameas && label == "sameAs") {
+      out << ", style=dotted";
+    }
+    out << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string ToDot(const GraphPattern& pi, const Universe& universe,
+                  const Alphabet& alphabet, const DotOptions& options) {
+  std::ostringstream out;
+  EmitHeader(out, options);
+  for (Value v : pi.nodes()) EmitNode(out, v, universe, options);
+  for (const PatternEdge& e : pi.edges()) {
+    out << "  \"" << Escape(universe.NameOf(e.src)) << "\" -> \""
+        << Escape(universe.NameOf(e.dst)) << "\" [label=\""
+        << Escape(e.nre->ToString(alphabet)) << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace gdx

@@ -1,0 +1,34 @@
+#ifndef GDX_GRAPH_DOT_EXPORT_H_
+#define GDX_GRAPH_DOT_EXPORT_H_
+
+#include <string>
+
+#include "common/universe.h"
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace gdx {
+
+/// Options for GraphViz rendering.
+struct DotOptions {
+  std::string graph_name = "G";
+  /// Render nulls as dashed circles (paper figures draw them hollow).
+  bool distinguish_nulls = true;
+  /// Render sameAs edges dotted (paper Figure 1(c)).
+  bool dotted_sameas = true;
+  bool rankdir_lr = true;
+};
+
+/// Renders a graph database in GraphViz DOT format; the paper's figures
+/// (solutions, valuation graphs) are directly reproducible with this.
+std::string ToDot(const Graph& g, const Universe& universe,
+                  const Alphabet& alphabet, const DotOptions& options = {});
+
+/// Renders a graph pattern: NRE edge labels are printed in full
+/// (e.g. "f . f*"), nulls dashed — the paper's Figure 3/5 style.
+std::string ToDot(const GraphPattern& pi, const Universe& universe,
+                  const Alphabet& alphabet, const DotOptions& options = {});
+
+}  // namespace gdx
+
+#endif  // GDX_GRAPH_DOT_EXPORT_H_

@@ -1,0 +1,102 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gdx {
+
+namespace {
+const std::vector<Value>& EmptyValueList() {
+  static const std::vector<Value>* empty = new std::vector<Value>();
+  return *empty;
+}
+}  // namespace
+
+void Graph::AddNode(Value v) {
+  if (node_set_.insert(v.raw()).second) nodes_.push_back(v);
+}
+
+bool Graph::AddEdge(Value src, SymbolId label, Value dst) {
+  AddNode(src);
+  AddNode(dst);
+  EdgeKey key{src.raw(), label, dst.raw()};
+  if (!edge_set_.insert(key).second) return false;
+  edges_.push_back(Edge{src, label, dst});
+  successors_[NodeLabelKey{src.raw(), label}].push_back(dst);
+  predecessors_[NodeLabelKey{dst.raw(), label}].push_back(src);
+  return true;
+}
+
+bool Graph::HasEdge(Value src, SymbolId label, Value dst) const {
+  return edge_set_.count(EdgeKey{src.raw(), label, dst.raw()}) > 0;
+}
+
+const std::vector<Value>& Graph::Successors(Value v, SymbolId a) const {
+  auto it = successors_.find(NodeLabelKey{v.raw(), a});
+  return it == successors_.end() ? EmptyValueList() : it->second;
+}
+
+const std::vector<Value>& Graph::Predecessors(Value v, SymbolId a) const {
+  auto it = predecessors_.find(NodeLabelKey{v.raw(), a});
+  return it == predecessors_.end() ? EmptyValueList() : it->second;
+}
+
+std::vector<std::pair<Value, Value>> Graph::EdgesWithLabel(SymbolId a) const {
+  std::vector<std::pair<Value, Value>> out;
+  for (const Edge& e : edges_) {
+    if (e.label == a) out.emplace_back(e.src, e.dst);
+  }
+  return out;
+}
+
+void Graph::Clear() {
+  nodes_.clear();
+  node_set_.clear();
+  edges_.clear();
+  edge_set_.clear();
+  successors_.clear();
+  predecessors_.clear();
+}
+
+std::string Graph::ToString(const Universe& universe,
+                            const Alphabet& alphabet) const {
+  std::ostringstream out;
+  out << "graph {" << num_nodes() << " nodes, " << num_edges()
+      << " edges}\n";
+  for (const Edge& e : edges_) {
+    out << "  " << universe.NameOf(e.src) << " -" << alphabet.NameOf(e.label)
+        << "-> " << universe.NameOf(e.dst) << "\n";
+  }
+  return out.str();
+}
+
+std::string Graph::Signature(const Universe& universe,
+                             const Alphabet& alphabet) const {
+  std::vector<std::string> parts;
+  parts.reserve(edges_.size() + nodes_.size());
+  for (const Edge& e : edges_) {
+    parts.push_back(universe.NameOf(e.src) + "," +
+                    alphabet.NameOf(e.label) + "," +
+                    universe.NameOf(e.dst));
+  }
+  // Isolated nodes participate in the signature too.
+  for (Value v : nodes_) {
+    bool isolated = true;
+    for (const Edge& e : edges_) {
+      if (e.src == v || e.dst == v) {
+        isolated = false;
+        break;
+      }
+    }
+    if (isolated) parts.push_back("node:" + universe.NameOf(v));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::ostringstream out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out << ";";
+    out << parts[i];
+  }
+  return out.str();
+}
+
+}  // namespace gdx

@@ -1,0 +1,81 @@
+#include "graph/graph_io.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace gdx {
+namespace {
+
+std::string NodeToken(Value v, const Universe& universe) {
+  if (v.is_null()) return "_:" + universe.NameOf(v);
+  return universe.NameOf(v);
+}
+
+}  // namespace
+
+std::string SerializeGraph(const Graph& g, const Universe& universe,
+                           const Alphabet& alphabet) {
+  std::ostringstream out;
+  std::unordered_map<uint64_t, bool> has_edge;
+  for (const Edge& e : g.edges()) {
+    has_edge[e.src.raw()] = true;
+    has_edge[e.dst.raw()] = true;
+    out << NodeToken(e.src, universe) << " " << alphabet.NameOf(e.label)
+        << " " << NodeToken(e.dst, universe) << "\n";
+  }
+  for (Value v : g.nodes()) {
+    if (has_edge.count(v.raw()) == 0) {
+      out << "node " << NodeToken(v, universe) << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<Graph> ParseGraphText(std::string_view text, Universe& universe,
+                             Alphabet& alphabet) {
+  Graph g;
+  std::unordered_map<std::string, Value> blanks;
+  auto parse_node = [&](const std::string& token) -> Value {
+    if (StartsWith(token, "_:")) {
+      auto it = blanks.find(token);
+      if (it != blanks.end()) return it->second;
+      Value null = universe.FreshNullLabeled(token.substr(2));
+      blanks.emplace(token, null);
+      return null;
+    }
+    return universe.MakeConstant(token);
+  };
+
+  std::istringstream in{std::string(text)};
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    std::string first, second, third, extra;
+    fields >> first >> second;
+    if (first == "node") {
+      if (second.empty()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ": 'node' needs a name");
+      }
+      g.AddNode(parse_node(second));
+      continue;
+    }
+    fields >> third;
+    if (second.empty() || third.empty() || (fields >> extra)) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": expected 'src label dst'");
+    }
+    g.AddEdge(parse_node(first), alphabet.Intern(second),
+              parse_node(third));
+  }
+  return g;
+}
+
+}  // namespace gdx

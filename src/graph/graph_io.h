@@ -1,0 +1,29 @@
+#ifndef GDX_GRAPH_GRAPH_IO_H_
+#define GDX_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/universe.h"
+#include "graph/graph.h"
+
+namespace gdx {
+
+/// Serializes a graph as whitespace-separated triples, one edge per line
+/// ("src label dst"), NTriples-style: labeled nulls are written as blank
+/// nodes "_:<label>". Isolated nodes are written as "node <name>" lines.
+/// Deterministic (insertion order).
+std::string SerializeGraph(const Graph& g, const Universe& universe,
+                           const Alphabet& alphabet);
+
+/// Parses the SerializeGraph format. Constant names are interned into
+/// `universe`, labels into `alphabet`; each distinct "_:" blank label gets
+/// one fresh null (consistent within the text). Lines starting with '#'
+/// and blank lines are ignored.
+Result<Graph> ParseGraphText(std::string_view text, Universe& universe,
+                             Alphabet& alphabet);
+
+}  // namespace gdx
+
+#endif  // GDX_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,122 @@
+#include "graph/isomorphism.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace gdx {
+namespace {
+
+/// Per-node degree signature: sorted (label, direction) multiset sizes.
+/// Nodes can only map onto nodes with identical signatures.
+std::map<std::pair<SymbolId, bool>, size_t> Signature(const Graph& g,
+                                                      Value v) {
+  std::map<std::pair<SymbolId, bool>, size_t> sig;
+  for (const Edge& e : g.edges()) {
+    if (e.src == v) ++sig[{e.label, false}];
+    if (e.dst == v) ++sig[{e.label, true}];
+  }
+  return sig;
+}
+
+struct IsoSearcher {
+  const Graph& a;
+  const Graph& b;
+  std::vector<Value> a_nulls;
+  std::vector<Value> b_nulls;
+  std::unordered_map<uint64_t, Value> mapping;  // a-null raw -> b node
+  std::unordered_map<uint64_t, bool> used;      // b-null raw in image
+
+  Value Image(Value v) const {
+    if (v.is_constant()) return v;
+    auto it = mapping.find(v.raw());
+    return it == mapping.end() ? v : it->second;
+  }
+
+  /// Checks all edges of `a` incident to `just` whose endpoints are mapped.
+  bool LocallyConsistent(Value just) const {
+    for (const Edge& e : a.edges()) {
+      if (e.src != just && e.dst != just) continue;
+      Value s = e.src;
+      Value d = e.dst;
+      if (s.is_null() && mapping.count(s.raw()) == 0) continue;
+      if (d.is_null() && mapping.count(d.raw()) == 0) continue;
+      if (!b.HasEdge(Image(s), e.label, Image(d))) return false;
+    }
+    return true;
+  }
+
+  bool Search(size_t depth) {
+    if (depth == a_nulls.size()) return true;
+    Value v = a_nulls[depth];
+    auto v_sig = Signature(a, v);
+    for (Value candidate : b_nulls) {
+      if (used.count(candidate.raw()) > 0) continue;
+      if (Signature(b, candidate) != v_sig) continue;
+      mapping[v.raw()] = candidate;
+      used[candidate.raw()] = true;
+      if (LocallyConsistent(v) && Search(depth + 1)) return true;
+      mapping.erase(v.raw());
+      used.erase(candidate.raw());
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool IsomorphicUpToNulls(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  // Constants must coincide exactly, and every a-edge between constants
+  // must exist in b (quick rejection; full check follows).
+  IsoSearcher searcher{a, b, {}, {}, {}, {}};
+  for (Value v : a.nodes()) {
+    if (v.is_null()) {
+      searcher.a_nulls.push_back(v);
+    } else if (!b.HasNode(v)) {
+      return false;
+    }
+  }
+  for (Value v : b.nodes()) {
+    if (v.is_null()) {
+      searcher.b_nulls.push_back(v);
+    } else if (!a.HasNode(v)) {
+      return false;
+    }
+  }
+  if (searcher.a_nulls.size() != searcher.b_nulls.size()) return false;
+  for (const Edge& e : a.edges()) {
+    if (e.src.is_constant() && e.dst.is_constant() &&
+        !b.HasEdge(e.src, e.label, e.dst)) {
+      return false;
+    }
+  }
+  if (!searcher.Search(0)) return false;
+  // The mapping preserves all a-edges; with equal edge counts and
+  // injectivity it is necessarily surjective on edges too.
+  for (const Edge& e : a.edges()) {
+    if (!b.HasEdge(searcher.Image(e.src), e.label, searcher.Image(e.dst))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Graph> DeduplicateUpToIsomorphism(std::vector<Graph> graphs) {
+  std::vector<Graph> unique;
+  for (Graph& g : graphs) {
+    bool duplicate = false;
+    for (const Graph& seen : unique) {
+      if (IsomorphicUpToNulls(g, seen)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) unique.push_back(std::move(g));
+  }
+  return unique;
+}
+
+}  // namespace gdx

@@ -1,0 +1,23 @@
+#ifndef GDX_GRAPH_ISOMORPHISM_H_
+#define GDX_GRAPH_ISOMORPHISM_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gdx {
+
+/// Decides whether two graphs are isomorphic *up to null renaming*:
+/// constants must map to themselves (they are global identifiers), labeled
+/// nulls bijectively onto labeled nulls preserving all edges. This is the
+/// right equality for chase outputs and enumerated solutions, whose null
+/// names are generation artifacts.
+bool IsomorphicUpToNulls(const Graph& a, const Graph& b);
+
+/// Removes graphs that are isomorphic (up to null renaming) to an earlier
+/// element, preserving first-occurrence order.
+std::vector<Graph> DeduplicateUpToIsomorphism(std::vector<Graph> graphs);
+
+}  // namespace gdx
+
+#endif  // GDX_GRAPH_ISOMORPHISM_H_

@@ -1,0 +1,173 @@
+#include "graph/nre.h"
+
+#include <vector>
+
+namespace gdx {
+
+NrePtr Nre::Epsilon() {
+  return NrePtr(new Nre(Kind::kEpsilon, 0, nullptr, nullptr));
+}
+NrePtr Nre::Symbol(SymbolId a) {
+  return NrePtr(new Nre(Kind::kSymbol, a, nullptr, nullptr));
+}
+NrePtr Nre::Inverse(SymbolId a) {
+  return NrePtr(new Nre(Kind::kInverse, a, nullptr, nullptr));
+}
+NrePtr Nre::Union(NrePtr left, NrePtr right) {
+  return NrePtr(
+      new Nre(Kind::kUnion, 0, std::move(left), std::move(right)));
+}
+NrePtr Nre::Concat(NrePtr left, NrePtr right) {
+  return NrePtr(
+      new Nre(Kind::kConcat, 0, std::move(left), std::move(right)));
+}
+NrePtr Nre::Star(NrePtr child) {
+  return NrePtr(new Nre(Kind::kStar, 0, std::move(child), nullptr));
+}
+NrePtr Nre::Nest(NrePtr child) {
+  return NrePtr(new Nre(Kind::kNest, 0, std::move(child), nullptr));
+}
+
+bool Nre::Equals(const Nre& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kEpsilon:
+      return true;
+    case Kind::kSymbol:
+    case Kind::kInverse:
+      return symbol_ == other.symbol_;
+    case Kind::kUnion:
+    case Kind::kConcat:
+      return left_->Equals(*other.left_) && right_->Equals(*other.right_);
+    case Kind::kStar:
+    case Kind::kNest:
+      return left_->Equals(*other.left_);
+  }
+  return false;
+}
+
+size_t Nre::Size() const {
+  switch (kind_) {
+    case Kind::kEpsilon:
+    case Kind::kSymbol:
+    case Kind::kInverse:
+      return 1;
+    case Kind::kUnion:
+    case Kind::kConcat:
+      return 1 + left_->Size() + right_->Size();
+    case Kind::kStar:
+    case Kind::kNest:
+      return 1 + left_->Size();
+  }
+  return 1;
+}
+
+bool Nre::Nullable() const {
+  switch (kind_) {
+    case Kind::kEpsilon:
+    case Kind::kStar:
+    case Kind::kNest:
+      return true;
+    case Kind::kSymbol:
+    case Kind::kInverse:
+      return false;
+    case Kind::kUnion:
+      return left_->Nullable() || right_->Nullable();
+    case Kind::kConcat:
+      return left_->Nullable() && right_->Nullable();
+  }
+  return false;
+}
+
+namespace {
+// Precedence: union (1) < concat (2) < postfix star/inverse (3) < atoms (4).
+constexpr int kPrecUnion = 1;
+constexpr int kPrecConcat = 2;
+constexpr int kPrecPostfix = 3;
+}  // namespace
+
+std::string Nre::ToStringPrec(const Alphabet& alphabet,
+                              int parent_prec) const {
+  std::string text;
+  int prec = 4;
+  switch (kind_) {
+    case Kind::kEpsilon:
+      text = "eps";
+      break;
+    case Kind::kSymbol:
+      text = alphabet.NameOf(symbol_);
+      break;
+    case Kind::kInverse:
+      text = alphabet.NameOf(symbol_) + "-";
+      prec = kPrecPostfix;
+      break;
+    case Kind::kUnion:
+      text = left_->ToStringPrec(alphabet, kPrecUnion) + " + " +
+             right_->ToStringPrec(alphabet, kPrecUnion);
+      prec = kPrecUnion;
+      break;
+    case Kind::kConcat:
+      text = left_->ToStringPrec(alphabet, kPrecConcat) + " . " +
+             right_->ToStringPrec(alphabet, kPrecConcat);
+      prec = kPrecConcat;
+      break;
+    case Kind::kStar:
+      text = left_->ToStringPrec(alphabet, kPrecPostfix + 1) + "*";
+      prec = kPrecPostfix;
+      break;
+    case Kind::kNest:
+      text = left_->ToStringPrec(alphabet, 0);
+      text.insert(0, 1, '[');
+      text.push_back(']');
+      break;
+  }
+  if (prec < parent_prec) {
+    text.insert(0, 1, '(');
+    text.push_back(')');
+  }
+  return text;
+}
+
+std::string Nre::ToString(const Alphabet& alphabet) const {
+  return ToStringPrec(alphabet, 0);
+}
+
+bool NreEquals(const NrePtr& a, const NrePtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->Equals(*b);
+}
+
+bool IsSingleSymbol(const NrePtr& nre) {
+  return nre != nullptr && nre->kind() == Nre::Kind::kSymbol;
+}
+
+bool IsSymbolUnion(const NrePtr& nre, std::vector<SymbolId>* symbols) {
+  if (nre == nullptr) return false;
+  switch (nre->kind()) {
+    case Nre::Kind::kSymbol:
+      if (symbols != nullptr) symbols->push_back(nre->symbol());
+      return true;
+    case Nre::Kind::kUnion:
+      return IsSymbolUnion(nre->left(), symbols) &&
+             IsSymbolUnion(nre->right(), symbols);
+    default:
+      return false;
+  }
+}
+
+bool IsSymbolConcat(const NrePtr& nre, std::vector<SymbolId>* symbols) {
+  if (nre == nullptr) return false;
+  switch (nre->kind()) {
+    case Nre::Kind::kSymbol:
+      if (symbols != nullptr) symbols->push_back(nre->symbol());
+      return true;
+    case Nre::Kind::kConcat:
+      return IsSymbolConcat(nre->left(), symbols) &&
+             IsSymbolConcat(nre->right(), symbols);
+    default:
+      return false;
+  }
+}
+
+}  // namespace gdx

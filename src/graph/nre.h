@@ -1,0 +1,112 @@
+#ifndef GDX_GRAPH_NRE_H_
+#define GDX_GRAPH_NRE_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/alphabet.h"
+
+namespace gdx {
+
+class Nre;
+
+/// Shared immutable NRE node. NREs form immutable DAGs; copying a NrePtr is
+/// O(1) and sub-expressions may be shared freely.
+using NrePtr = std::shared_ptr<const Nre>;
+
+/// Nested regular expressions (paper §2):
+///   r := ε | a | a⁻ | r + r | r · r | r* | [r]
+/// where a ∈ Σ; "+" is disjunction, "·" concatenation, "*" Kleene star,
+/// "a⁻" traverses an a-edge backwards and "[r]" is the nesting test that
+/// holds at nodes from which an r-path leaves (selecting pairs (x, x)).
+class Nre {
+ public:
+  enum class Kind : uint8_t {
+    kEpsilon,
+    kSymbol,   // a
+    kInverse,  // a⁻  (inverse applies to alphabet symbols, per the grammar)
+    kUnion,    // r + r
+    kConcat,   // r · r
+    kStar,     // r*
+    kNest,     // [r]
+  };
+
+  static NrePtr Epsilon();
+  static NrePtr Symbol(SymbolId a);
+  static NrePtr Inverse(SymbolId a);
+  static NrePtr Union(NrePtr left, NrePtr right);
+  static NrePtr Concat(NrePtr left, NrePtr right);
+  static NrePtr Star(NrePtr child);
+  static NrePtr Nest(NrePtr child);
+
+  /// Convenience: a · a* ("one or more"), the paper's f·f* idiom.
+  static NrePtr Plus(NrePtr child) {
+    return Concat(child, Star(child));
+  }
+
+  Kind kind() const { return kind_; }
+  /// For kSymbol / kInverse.
+  SymbolId symbol() const { return symbol_; }
+  /// For kUnion / kConcat.
+  const NrePtr& left() const { return left_; }
+  const NrePtr& right() const { return right_; }
+  /// For kStar / kNest.
+  const NrePtr& child() const { return left_; }
+
+  /// Structural equality.
+  bool Equals(const Nre& other) const;
+
+  /// Structural hash, precomputed at construction: equal trees hash equal.
+  size_t hash() const { return hash_; }
+
+  /// Number of AST nodes.
+  size_t Size() const;
+
+  /// True if ε ∈ L(r) along the main path (nest tests ignored for length).
+  bool Nullable() const;
+
+  /// Pretty-prints with minimal parentheses, e.g. "f . f* [h] . f- . (f-)*".
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  Nre(Kind kind, SymbolId symbol, NrePtr left, NrePtr right)
+      : kind_(kind), symbol_(symbol), left_(std::move(left)),
+        right_(std::move(right)) {
+    uint64_t h = static_cast<uint64_t>(kind_) * 0x9e3779b97f4a7c15ull +
+                 symbol_ + 1;
+    if (left_ != nullptr) h = h * 0xbf58476d1ce4e5b9ull + left_->hash_;
+    if (right_ != nullptr) h = h * 0x94d049bb133111ebull + right_->hash_;
+    h ^= h >> 29;
+    hash_ = static_cast<size_t>(h);
+  }
+
+  std::string ToStringPrec(const Alphabet& alphabet, int parent_prec) const;
+
+  Kind kind_;
+  SymbolId symbol_ = 0;
+  size_t hash_ = 0;
+  NrePtr left_;
+  NrePtr right_;
+};
+
+/// Structural-equality helper on pointers (null-safe).
+bool NreEquals(const NrePtr& a, const NrePtr& b);
+
+/// True if the expression is a single forward symbol `a` — the "definite
+/// edge" case used by the §3.1 relational lowering and the egd chase's
+/// definite subgraph.
+bool IsSingleSymbol(const NrePtr& nre);
+
+/// True if the expression is a union of forward symbols (a, a+b, a+b+c...),
+/// the "flat head" fragment handled by the SAT-backed existence solver.
+/// On success appends the symbols to *symbols.
+bool IsSymbolUnion(const NrePtr& nre, std::vector<SymbolId>* symbols);
+
+/// True if the expression is a concatenation a1 · a2 · ... · an of forward
+/// symbols (a SORE(·) in the paper's terminology). On success appends the
+/// symbols in order.
+bool IsSymbolConcat(const NrePtr& nre, std::vector<SymbolId>* symbols);
+
+}  // namespace gdx
+
+#endif  // GDX_GRAPH_NRE_H_

@@ -1,0 +1,533 @@
+#include "graph/nre_eval.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gdx {
+
+namespace {
+
+/// Dense indexing of graph nodes for the algorithms below.
+struct NodeIndex {
+  explicit NodeIndex(const Graph& g) {
+    nodes = g.nodes();
+    for (uint32_t i = 0; i < nodes.size(); ++i) index[nodes[i].raw()] = i;
+  }
+  uint32_t Of(Value v) const { return index.at(v.raw()); }
+  size_t size() const { return nodes.size(); }
+
+  std::vector<Value> nodes;
+  std::unordered_map<uint64_t, uint32_t> index;
+};
+
+/// Dense binary relation: sorted, unique (src_idx, dst_idx) pairs.
+using DenseRel = std::vector<std::pair<uint32_t, uint32_t>>;
+
+void SortUnique(DenseRel& rel) {
+  std::sort(rel.begin(), rel.end());
+  rel.erase(std::unique(rel.begin(), rel.end()), rel.end());
+}
+
+DenseRel UnionRel(const DenseRel& a, const DenseRel& b) {
+  DenseRel out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+DenseRel ComposeRel(const DenseRel& a, const DenseRel& b, size_t n) {
+  // Index b by source.
+  std::vector<std::vector<uint32_t>> by_src(n);
+  for (const auto& [s, d] : b) by_src[s].push_back(d);
+  DenseRel out;
+  for (const auto& [s, d] : a) {
+    for (uint32_t d2 : by_src[d]) out.emplace_back(s, d2);
+  }
+  SortUnique(out);
+  return out;
+}
+
+DenseRel IdentityRel(size_t n) {
+  DenseRel out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) out.emplace_back(i, i);
+  return out;
+}
+
+/// Reflexive-transitive closure of `rel` via BFS from every node.
+DenseRel ReflexiveTransitiveClosure(const DenseRel& rel, size_t n) {
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const auto& [s, d] : rel) adj[s].push_back(d);
+  DenseRel out;
+  std::vector<uint32_t> stack;
+  std::vector<bool> visited(n);
+  for (uint32_t src = 0; src < n; ++src) {
+    std::fill(visited.begin(), visited.end(), false);
+    stack.assign(1, src);
+    visited[src] = true;
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      stack.pop_back();
+      out.emplace_back(src, u);
+      for (uint32_t v : adj[u]) {
+        if (!visited[v]) {
+          visited[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  SortUnique(out);
+  return out;
+}
+
+DenseRel EvalDense(const NrePtr& nre, const Graph& g, const NodeIndex& ix) {
+  const size_t n = ix.size();
+  switch (nre->kind()) {
+    case Nre::Kind::kEpsilon:
+      return IdentityRel(n);
+    case Nre::Kind::kSymbol: {
+      DenseRel out;
+      for (const Edge& e : g.edges()) {
+        if (e.label == nre->symbol()) {
+          out.emplace_back(ix.Of(e.src), ix.Of(e.dst));
+        }
+      }
+      SortUnique(out);
+      return out;
+    }
+    case Nre::Kind::kInverse: {
+      DenseRel out;
+      for (const Edge& e : g.edges()) {
+        if (e.label == nre->symbol()) {
+          out.emplace_back(ix.Of(e.dst), ix.Of(e.src));
+        }
+      }
+      SortUnique(out);
+      return out;
+    }
+    case Nre::Kind::kUnion:
+      return UnionRel(EvalDense(nre->left(), g, ix),
+                      EvalDense(nre->right(), g, ix));
+    case Nre::Kind::kConcat:
+      return ComposeRel(EvalDense(nre->left(), g, ix),
+                        EvalDense(nre->right(), g, ix), n);
+    case Nre::Kind::kStar:
+      return ReflexiveTransitiveClosure(EvalDense(nre->child(), g, ix), n);
+    case Nre::Kind::kNest: {
+      DenseRel child = EvalDense(nre->child(), g, ix);
+      DenseRel out;
+      uint32_t last = UINT32_MAX;
+      for (const auto& [s, d] : child) {
+        (void)d;
+        if (s != last) {
+          out.emplace_back(s, s);
+          last = s;
+        }
+      }
+      return out;  // already sorted/unique
+    }
+  }
+  return {};
+}
+
+BinaryRelation ToValueRelation(const DenseRel& rel, const NodeIndex& ix) {
+  BinaryRelation out;
+  out.reserve(rel.size());
+  for (const auto& [s, d] : rel) {
+    out.emplace_back(ix.nodes[s], ix.nodes[d]);
+  }
+  std::sort(out.begin(), out.end(), [](const NodePair& a, const NodePair& b) {
+    if (a.first.raw() != b.first.raw()) return a.first.raw() < b.first.raw();
+    return a.second.raw() < b.second.raw();
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Thompson NFA with nesting-test transitions.
+// ---------------------------------------------------------------------------
+
+struct NfaTransition {
+  enum class Kind : uint8_t { kEps, kForward, kBackward, kTest };
+  Kind kind;
+  SymbolId symbol = 0;   // kForward/kBackward
+  uint32_t test_id = 0;  // kTest
+  uint32_t to = 0;
+};
+
+struct Nfa {
+  uint32_t start = 0;
+  uint32_t accept = 0;
+  std::vector<std::vector<NfaTransition>> states;
+  std::vector<NrePtr> tests;  // nesting sub-expressions, by test_id
+
+  uint32_t NewState() {
+    states.emplace_back();
+    return static_cast<uint32_t>(states.size() - 1);
+  }
+  void Add(uint32_t from, NfaTransition t) {
+    states[from].push_back(t);
+  }
+};
+
+/// Thompson construction; returns (start, accept) fragment states.
+std::pair<uint32_t, uint32_t> Build(const NrePtr& nre, Nfa& nfa) {
+  uint32_t s = nfa.NewState();
+  uint32_t t = nfa.NewState();
+  using K = NfaTransition::Kind;
+  switch (nre->kind()) {
+    case Nre::Kind::kEpsilon:
+      nfa.Add(s, {K::kEps, 0, 0, t});
+      break;
+    case Nre::Kind::kSymbol:
+      nfa.Add(s, {K::kForward, nre->symbol(), 0, t});
+      break;
+    case Nre::Kind::kInverse:
+      nfa.Add(s, {K::kBackward, nre->symbol(), 0, t});
+      break;
+    case Nre::Kind::kUnion: {
+      auto [ls, lt] = Build(nre->left(), nfa);
+      auto [rs, rt] = Build(nre->right(), nfa);
+      nfa.Add(s, {K::kEps, 0, 0, ls});
+      nfa.Add(s, {K::kEps, 0, 0, rs});
+      nfa.Add(lt, {K::kEps, 0, 0, t});
+      nfa.Add(rt, {K::kEps, 0, 0, t});
+      break;
+    }
+    case Nre::Kind::kConcat: {
+      auto [ls, lt] = Build(nre->left(), nfa);
+      auto [rs, rt] = Build(nre->right(), nfa);
+      nfa.Add(s, {K::kEps, 0, 0, ls});
+      nfa.Add(lt, {K::kEps, 0, 0, rs});
+      nfa.Add(rt, {K::kEps, 0, 0, t});
+      break;
+    }
+    case Nre::Kind::kStar: {
+      auto [cs, ct] = Build(nre->child(), nfa);
+      nfa.Add(s, {K::kEps, 0, 0, t});
+      nfa.Add(s, {K::kEps, 0, 0, cs});
+      nfa.Add(ct, {K::kEps, 0, 0, cs});
+      nfa.Add(ct, {K::kEps, 0, 0, t});
+      break;
+    }
+    case Nre::Kind::kNest: {
+      uint32_t test_id = static_cast<uint32_t>(nfa.tests.size());
+      nfa.tests.push_back(nre->child());
+      nfa.Add(s, {K::kTest, 0, test_id, t});
+      break;
+    }
+  }
+  return {s, t};
+}
+
+Nfa CompileNre(const NrePtr& nre) {
+  Nfa nfa;
+  auto [s, t] = Build(nre, nfa);
+  nfa.start = s;
+  nfa.accept = t;
+  return nfa;
+}
+
+/// For each test of `nfa`, the set of graph nodes (as dense bitset) where
+/// the nested expression has an outgoing path. Computed recursively.
+std::vector<std::vector<bool>> SolveTests(const Nfa& nfa, const Graph& g,
+                                          const NodeIndex& ix);
+
+/// Set of nodes v such that (v, start) can reach (·, accept) in the product
+/// graph × NFA — i.e. the *domain* of ⟦r⟧. Backward reachability from
+/// every (node, accept) pair.
+std::vector<bool> BackwardStartSet(const Nfa& nfa, const Graph& g,
+                                   const NodeIndex& ix,
+                                   const std::vector<std::vector<bool>>&
+                                       test_sets) {
+  const size_t n = ix.size();
+  const size_t q = nfa.states.size();
+  // Reverse product adjacency is explored on the fly; visited[(v,state)].
+  std::vector<bool> visited(n * q, false);
+  std::deque<std::pair<uint32_t, uint32_t>> queue;
+  for (uint32_t v = 0; v < n; ++v) {
+    visited[v * q + nfa.accept] = true;
+    queue.emplace_back(v, nfa.accept);
+  }
+  // Precompute, for every state q', the transitions *into* q'.
+  std::vector<std::vector<std::pair<uint32_t, NfaTransition>>> into(q);
+  for (uint32_t s = 0; s < q; ++s) {
+    for (const NfaTransition& t : nfa.states[s]) {
+      into[t.to].emplace_back(s, t);
+    }
+  }
+  using K = NfaTransition::Kind;
+  while (!queue.empty()) {
+    auto [v, state] = queue.front();
+    queue.pop_front();
+    Value node = ix.nodes[v];
+    for (const auto& [src_state, t] : into[state]) {
+      switch (t.kind) {
+        case K::kEps: {
+          if (!visited[v * q + src_state]) {
+            visited[v * q + src_state] = true;
+            queue.emplace_back(v, src_state);
+          }
+          break;
+        }
+        case K::kTest: {
+          if (test_sets[t.test_id][v] && !visited[v * q + src_state]) {
+            visited[v * q + src_state] = true;
+            queue.emplace_back(v, src_state);
+          }
+          break;
+        }
+        case K::kForward: {
+          // Transition consumed edge u --sym--> v.
+          for (Value u : g.Predecessors(node, t.symbol)) {
+            uint32_t ui = ix.Of(u);
+            if (!visited[ui * q + src_state]) {
+              visited[ui * q + src_state] = true;
+              queue.emplace_back(ui, src_state);
+            }
+          }
+          break;
+        }
+        case K::kBackward: {
+          // Transition consumed edge v --sym--> u traversed backwards,
+          // i.e. it moved from u to v where the graph edge is v <-sym- u:
+          // a backward step from u lands on v iff (v, sym, u) ∈ E... the
+          // forward direction is: at node u, backward transition moves to
+          // any w with (w, sym, u) ∈ E. So u is a predecessor-in-product
+          // of v iff (v, sym, u) ∈ E, i.e. u ∈ Successors(v, sym).
+          for (Value u : g.Successors(node, t.symbol)) {
+            uint32_t ui = ix.Of(u);
+            if (!visited[ui * q + src_state]) {
+              visited[ui * q + src_state] = true;
+              queue.emplace_back(ui, src_state);
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+  std::vector<bool> start_set(n, false);
+  for (uint32_t v = 0; v < n; ++v) {
+    start_set[v] = visited[v * q + nfa.start];
+  }
+  return start_set;
+}
+
+std::vector<std::vector<bool>> SolveTests(const Nfa& nfa, const Graph& g,
+                                          const NodeIndex& ix) {
+  std::vector<std::vector<bool>> sets;
+  sets.reserve(nfa.tests.size());
+  for (const NrePtr& test : nfa.tests) {
+    Nfa sub = CompileNre(test);
+    std::vector<std::vector<bool>> sub_sets = SolveTests(sub, g, ix);
+    sets.push_back(BackwardStartSet(sub, g, ix, sub_sets));
+  }
+  return sets;
+}
+
+/// Forward BFS over the product from (src, start); returns accepting nodes.
+std::vector<uint32_t> ForwardReach(const Nfa& nfa, const Graph& g,
+                                   const NodeIndex& ix,
+                                   const std::vector<std::vector<bool>>&
+                                       test_sets,
+                                   uint32_t src) {
+  const size_t q = nfa.states.size();
+  const size_t n = ix.size();
+  std::vector<bool> visited(n * q, false);
+  std::vector<std::pair<uint32_t, uint32_t>> stack;
+  visited[src * q + nfa.start] = true;
+  stack.emplace_back(src, nfa.start);
+  std::vector<uint32_t> accepting;
+  std::vector<bool> accepted(n, false);
+  using K = NfaTransition::Kind;
+  while (!stack.empty()) {
+    auto [v, state] = stack.back();
+    stack.pop_back();
+    if (state == nfa.accept && !accepted[v]) {
+      accepted[v] = true;
+      accepting.push_back(v);
+    }
+    Value node = ix.nodes[v];
+    for (const NfaTransition& t : nfa.states[state]) {
+      switch (t.kind) {
+        case K::kEps:
+          if (!visited[v * q + t.to]) {
+            visited[v * q + t.to] = true;
+            stack.emplace_back(v, t.to);
+          }
+          break;
+        case K::kTest:
+          if (test_sets[t.test_id][v] && !visited[v * q + t.to]) {
+            visited[v * q + t.to] = true;
+            stack.emplace_back(v, t.to);
+          }
+          break;
+        case K::kForward:
+          for (Value w : g.Successors(node, t.symbol)) {
+            uint32_t wi = ix.Of(w);
+            if (!visited[wi * q + t.to]) {
+              visited[wi * q + t.to] = true;
+              stack.emplace_back(wi, t.to);
+            }
+          }
+          break;
+        case K::kBackward:
+          for (Value w : g.Predecessors(node, t.symbol)) {
+            uint32_t wi = ix.Of(w);
+            if (!visited[wi * q + t.to]) {
+              visited[wi * q + t.to] = true;
+              stack.emplace_back(wi, t.to);
+            }
+          }
+          break;
+      }
+    }
+  }
+  std::sort(accepting.begin(), accepting.end());
+  return accepting;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NreEvaluator defaults
+// ---------------------------------------------------------------------------
+
+std::vector<Value> NreEvaluator::EvalFrom(const NrePtr& nre, const Graph& g,
+                                          Value src) const {
+  std::vector<Value> out;
+  for (const NodePair& p : Eval(nre, g)) {
+    if (p.first == src) out.push_back(p.second);
+  }
+  return out;
+}
+
+bool NreEvaluator::Contains(const NrePtr& nre, const Graph& g, Value src,
+                            Value dst) const {
+  for (Value v : EvalFrom(nre, g, src)) {
+    if (v == dst) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// NaiveNreEvaluator
+// ---------------------------------------------------------------------------
+
+BinaryRelation NaiveNreEvaluator::Eval(const NrePtr& nre,
+                                       const Graph& g) const {
+  NodeIndex ix(g);
+  return ToValueRelation(EvalDense(nre, g, ix), ix);
+}
+
+// ---------------------------------------------------------------------------
+// AutomatonNreEvaluator
+// ---------------------------------------------------------------------------
+
+BinaryRelation AutomatonNreEvaluator::Eval(const NrePtr& nre,
+                                           const Graph& g) const {
+  NodeIndex ix(g);
+  Nfa nfa = CompileNre(nre);
+  std::vector<std::vector<bool>> test_sets = SolveTests(nfa, g, ix);
+  // Only sources in the automaton's start set can produce pairs; prune.
+  std::vector<bool> start_set = BackwardStartSet(nfa, g, ix, test_sets);
+  BinaryRelation out;
+  for (uint32_t v = 0; v < ix.size(); ++v) {
+    if (!start_set[v]) continue;
+    for (uint32_t w : ForwardReach(nfa, g, ix, test_sets, v)) {
+      out.emplace_back(ix.nodes[v], ix.nodes[w]);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const NodePair& a, const NodePair& b) {
+    if (a.first.raw() != b.first.raw()) return a.first.raw() < b.first.raw();
+    return a.second.raw() < b.second.raw();
+  });
+  return out;
+}
+
+std::vector<Value> AutomatonNreEvaluator::EvalFrom(const NrePtr& nre,
+                                                   const Graph& g,
+                                                   Value src) const {
+  if (!g.HasNode(src)) return {};
+  NodeIndex ix(g);
+  Nfa nfa = CompileNre(nre);
+  std::vector<std::vector<bool>> test_sets = SolveTests(nfa, g, ix);
+  std::vector<Value> out;
+  for (uint32_t w : ForwardReach(nfa, g, ix, test_sets, ix.Of(src))) {
+    out.push_back(ix.nodes[w]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Brute force (tests only)
+// ---------------------------------------------------------------------------
+
+bool BruteForceContains(const NrePtr& nre, const Graph& g, Value src,
+                        Value dst, int fuel) {
+  if (fuel < 0) return false;
+  switch (nre->kind()) {
+    case Nre::Kind::kEpsilon:
+      return src == dst;
+    case Nre::Kind::kSymbol:
+      return g.HasEdge(src, nre->symbol(), dst);
+    case Nre::Kind::kInverse:
+      return g.HasEdge(dst, nre->symbol(), src);
+    case Nre::Kind::kUnion:
+      return BruteForceContains(nre->left(), g, src, dst, fuel) ||
+             BruteForceContains(nre->right(), g, src, dst, fuel);
+    case Nre::Kind::kConcat:
+      for (Value mid : g.nodes()) {
+        if (BruteForceContains(nre->left(), g, src, mid, fuel) &&
+            BruteForceContains(nre->right(), g, mid, dst, fuel)) {
+          return true;
+        }
+      }
+      return false;
+    case Nre::Kind::kStar: {
+      if (src == dst) return true;
+      // Unroll: child once, then star with less fuel.
+      for (Value mid : g.nodes()) {
+        if (mid == src) continue;
+        if (BruteForceContains(nre->child(), g, src, mid, fuel - 1) &&
+            BruteForceContains(nre, g, mid, dst, fuel - 1)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case Nre::Kind::kNest: {
+      if (src != dst) return false;
+      for (Value other : g.nodes()) {
+        if (BruteForceContains(nre->child(), g, src, other, fuel)) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+BinaryRelation BruteForceEval(const NrePtr& nre, const Graph& g, int fuel) {
+  BinaryRelation out;
+  for (Value u : g.nodes()) {
+    for (Value v : g.nodes()) {
+      if (BruteForceContains(nre, g, u, v, fuel)) out.emplace_back(u, v);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const NodePair& a, const NodePair& b) {
+    if (a.first.raw() != b.first.raw()) return a.first.raw() < b.first.raw();
+    return a.second.raw() < b.second.raw();
+  });
+  return out;
+}
+
+}  // namespace gdx

@@ -1,0 +1,74 @@
+#ifndef GDX_GRAPH_NRE_EVAL_H_
+#define GDX_GRAPH_NRE_EVAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/nre.h"
+
+namespace gdx {
+
+/// A pair of graph nodes connected by an NRE path.
+using NodePair = std::pair<Value, Value>;
+
+/// The binary relation ⟦r⟧_G ⊆ V × V, sorted by (src, dst) raw encoding and
+/// duplicate-free — the NRE semantics of the paper (§2, after [5]).
+using BinaryRelation = std::vector<NodePair>;
+
+/// Interface of an NRE evaluation engine. Two implementations are provided
+/// and benchmarked against each other (DESIGN.md, experiment E10).
+class NreEvaluator {
+ public:
+  virtual ~NreEvaluator() = default;
+
+  /// Computes ⟦r⟧_G.
+  virtual BinaryRelation Eval(const NrePtr& nre, const Graph& g) const = 0;
+
+  /// Engine name for logs and benchmark labels.
+  virtual const char* name() const = 0;
+
+  /// Nodes y with (src, y) ∈ ⟦r⟧_G. Default: filter Eval().
+  virtual std::vector<Value> EvalFrom(const NrePtr& nre, const Graph& g,
+                                      Value src) const;
+
+  /// True iff (src, dst) ∈ ⟦r⟧_G.
+  virtual bool Contains(const NrePtr& nre, const Graph& g, Value src,
+                        Value dst) const;
+};
+
+/// Relation-algebra evaluator: recursively computes the relation of every
+/// sub-expression (union / composition / reflexive-transitive closure /
+/// domain test). Simple and allocation-heavy: the O(n^2)-sized intermediate
+/// relations are materialized.
+class NaiveNreEvaluator : public NreEvaluator {
+ public:
+  BinaryRelation Eval(const NrePtr& nre, const Graph& g) const override;
+  const char* name() const override { return "naive-relation-algebra"; }
+};
+
+/// Product-automaton evaluator: compiles the NRE into a Thompson NFA whose
+/// transitions walk edges forward/backward or test nesting predicates;
+/// nesting tests are solved once by backward reachability over the product
+/// (graph × NFA), then ⟦r⟧ is n forward BFS traversals. Avoids materializing
+/// intermediate relations.
+class AutomatonNreEvaluator : public NreEvaluator {
+ public:
+  BinaryRelation Eval(const NrePtr& nre, const Graph& g) const override;
+  std::vector<Value> EvalFrom(const NrePtr& nre, const Graph& g,
+                              Value src) const override;
+  const char* name() const override { return "product-automaton"; }
+};
+
+/// Reference semantics for property tests: bounded recursive membership
+/// (stars unrolled at most `fuel` times). Exact on small acyclic-ish
+/// inputs when fuel >= |V| * |r|.
+bool BruteForceContains(const NrePtr& nre, const Graph& g, Value src,
+                        Value dst, int fuel);
+
+/// Evaluates ⟦r⟧_G with the brute-force membership check on all node pairs.
+BinaryRelation BruteForceEval(const NrePtr& nre, const Graph& g, int fuel);
+
+}  // namespace gdx
+
+#endif  // GDX_GRAPH_NRE_EVAL_H_

@@ -1,0 +1,155 @@
+#include "graph/nre_parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace gdx {
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  Parser(std::string_view text, Alphabet& alphabet)
+      : text_(text), alphabet_(alphabet) {}
+
+  Result<NrePtr> Parse() {
+    Result<NrePtr> expr = ParseExpr();
+    if (!expr.ok()) return expr;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  Status ErrorStatus(const std::string& message) const {
+    return Status::InvalidArgument("NRE parse error at position " +
+                                   std::to_string(pos_) + ": " + message +
+                                   " in \"" + std::string(text_) + "\"");
+  }
+  Result<NrePtr> Error(const std::string& message) const {
+    return ErrorStatus(message);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<NrePtr> ParseExpr() {
+    Result<NrePtr> left = ParseTerm();
+    if (!left.ok()) return left;
+    NrePtr node = std::move(left).value();
+    while (Consume('+')) {
+      Result<NrePtr> right = ParseTerm();
+      if (!right.ok()) return right;
+      node = Nre::Union(std::move(node), std::move(right).value());
+    }
+    return node;
+  }
+
+  Result<NrePtr> ParseTerm() {
+    Result<NrePtr> left = ParseFactor();
+    if (!left.ok()) return left;
+    NrePtr node = std::move(left).value();
+    for (;;) {
+      SkipSpace();
+      // Explicit '.' concatenation, or implicit before '[' (the common
+      // "f*[h]" idiom from the paper).
+      if (Consume('.')) {
+        Result<NrePtr> right = ParseFactor();
+        if (!right.ok()) return right;
+        node = Nre::Concat(std::move(node), std::move(right).value());
+      } else if (Peek('[')) {
+        Result<NrePtr> right = ParseFactor();
+        if (!right.ok()) return right;
+        node = Nre::Concat(std::move(node), std::move(right).value());
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  Result<NrePtr> ParseFactor() {
+    SkipSpace();
+    Result<NrePtr> atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    NrePtr node = std::move(atom).value();
+    for (;;) {
+      SkipSpace();
+      if (Consume('*')) {
+        node = Nre::Star(std::move(node));
+      } else if (pos_ < text_.size() && text_[pos_] == '-') {
+        if (node->kind() != Nre::Kind::kSymbol) {
+          return Error("inverse '-' applies only to alphabet symbols");
+        }
+        ++pos_;
+        node = Nre::Inverse(node->symbol());
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  Result<NrePtr> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      Result<NrePtr> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (!Consume(')')) return Error("expected ')'");
+      return inner;
+    }
+    if (c == '[') {
+      ++pos_;
+      Result<NrePtr> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (!Consume(']')) return Error("expected ']'");
+      return Nre::Nest(std::move(inner).value());
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      std::string_view ident = text_.substr(start, pos_ - start);
+      if (ident == "eps") return Nre::Epsilon();
+      return Nre::Symbol(alphabet_.Intern(ident));
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  Alphabet& alphabet_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<NrePtr> ParseNre(std::string_view text, Alphabet& alphabet) {
+  return Parser(text, alphabet).Parse();
+}
+
+}  // namespace gdx

@@ -1,0 +1,25 @@
+#ifndef GDX_GRAPH_NRE_PARSER_H_
+#define GDX_GRAPH_NRE_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "graph/nre.h"
+
+namespace gdx {
+
+/// Parses the textual NRE syntax used throughout examples and tests:
+///
+///   expr   := term ('+' term)*          -- disjunction
+///   term   := factor ('.' factor)*      -- concatenation
+///   factor := atom ('*' | '-')*         -- Kleene star / backward edge
+///   atom   := IDENT | 'eps' | '(' expr ')' | '[' expr ']'
+///
+/// Examples: "f . f*", "a + b", "f . f* [h] . f- . (f-)*", "t1 + f1".
+/// '-' (inverse) is only legal directly on a symbol, per the paper's
+/// grammar (a⁻ with a ∈ Σ). New symbols are interned into `alphabet`.
+Result<NrePtr> ParseNre(std::string_view text, Alphabet& alphabet);
+
+}  // namespace gdx
+
+#endif  // GDX_GRAPH_NRE_PARSER_H_

@@ -1,0 +1,78 @@
+#include "graph/nre_simplify.h"
+
+namespace gdx {
+namespace {
+
+bool IsEpsilon(const NrePtr& r) {
+  return r->kind() == Nre::Kind::kEpsilon;
+}
+bool IsStar(const NrePtr& r) { return r->kind() == Nre::Kind::kStar; }
+
+NrePtr SimplifyUnion(NrePtr left, NrePtr right) {
+  // r + r = r.
+  if (NreEquals(left, right)) return left;
+  // r + r* = r* (and symmetric): L(r) ⊆ L(r*).
+  if (IsStar(right) && NreEquals(left, right->child())) return right;
+  if (IsStar(left) && NreEquals(right, left->child())) return left;
+  // ε + r* = r* (and symmetric): ε ∈ L(r*).
+  if (IsEpsilon(left) && IsStar(right)) return right;
+  if (IsEpsilon(right) && IsStar(left)) return left;
+  return Nre::Union(std::move(left), std::move(right));
+}
+
+NrePtr SimplifyConcat(NrePtr left, NrePtr right) {
+  // ε·r = r, r·ε = r.
+  if (IsEpsilon(left)) return right;
+  if (IsEpsilon(right)) return left;
+  // r*·r* = r*.
+  if (IsStar(left) && IsStar(right) &&
+      NreEquals(left->child(), right->child())) {
+    return left;
+  }
+  return Nre::Concat(std::move(left), std::move(right));
+}
+
+NrePtr SimplifyStar(NrePtr child) {
+  // ε* = ε.
+  if (IsEpsilon(child)) return child;
+  // (r*)* = r*.
+  if (IsStar(child)) return child;
+  // (ε + r)* = r* (and symmetric).
+  if (child->kind() == Nre::Kind::kUnion) {
+    if (IsEpsilon(child->left())) return SimplifyStar(child->right());
+    if (IsEpsilon(child->right())) return SimplifyStar(child->left());
+  }
+  return Nre::Star(std::move(child));
+}
+
+NrePtr SimplifyNest(NrePtr child) {
+  // [ε] = ε: both denote the identity relation.
+  if (IsEpsilon(child)) return child;
+  // [[r]] = [r]: a test of a test holds at exactly the same nodes.
+  if (child->kind() == Nre::Kind::kNest) return child;
+  return Nre::Nest(std::move(child));
+}
+
+}  // namespace
+
+NrePtr SimplifyNre(const NrePtr& nre) {
+  switch (nre->kind()) {
+    case Nre::Kind::kEpsilon:
+    case Nre::Kind::kSymbol:
+    case Nre::Kind::kInverse:
+      return nre;
+    case Nre::Kind::kUnion:
+      return SimplifyUnion(SimplifyNre(nre->left()),
+                           SimplifyNre(nre->right()));
+    case Nre::Kind::kConcat:
+      return SimplifyConcat(SimplifyNre(nre->left()),
+                            SimplifyNre(nre->right()));
+    case Nre::Kind::kStar:
+      return SimplifyStar(SimplifyNre(nre->child()));
+    case Nre::Kind::kNest:
+      return SimplifyNest(SimplifyNre(nre->child()));
+  }
+  return nre;
+}
+
+}  // namespace gdx

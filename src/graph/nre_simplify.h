@@ -1,0 +1,23 @@
+#ifndef GDX_GRAPH_NRE_SIMPLIFY_H_
+#define GDX_GRAPH_NRE_SIMPLIFY_H_
+
+#include "graph/nre.h"
+
+namespace gdx {
+
+/// Bottom-up algebraic simplification of NREs. All rewrites preserve the
+/// relation semantics ⟦r⟧_G on every graph (asserted by randomized
+/// property tests against both evaluators):
+///
+///   ε·r = r·ε = r          r + r = r (structural)      ε* = ε
+///   (r*)* = r*             (ε + r)* = r*               r + r* = r*
+///   ε + r* = r*            r*·r* = r*                  [[r]] = [r]
+///   [ε] = ε
+///
+/// Simplification shrinks chase outputs and speeds evaluation (see
+/// bench_nre_eval's ablation); it never changes certain answers.
+NrePtr SimplifyNre(const NrePtr& nre);
+
+}  // namespace gdx
+
+#endif  // GDX_GRAPH_NRE_SIMPLIFY_H_

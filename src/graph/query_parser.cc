@@ -1,0 +1,107 @@
+#include "graph/query_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "graph/nre_parser.h"
+
+namespace gdx {
+namespace {
+
+std::vector<std::string> SplitTopLevel(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == sep && depth == 0)) {
+      out.emplace_back(StripWhitespace(text.substr(start, i - start)));
+      start = i + 1;
+      continue;
+    }
+    if (text[i] == '(' || text[i] == '[') ++depth;
+    if (text[i] == ')' || text[i] == ']') --depth;
+  }
+  return out;
+}
+
+Result<Term> ParseQueryTerm(std::string_view text, CnreQuery& query,
+                            Universe& universe) {
+  text = StripWhitespace(text);
+  if (text.empty()) return Status::InvalidArgument("empty term");
+  if (text.front() == '\'' || text.front() == '"') {
+    if (text.size() < 3 || text.back() != text.front()) {
+      return Status::InvalidArgument("unterminated constant literal");
+    }
+    return Term::Const(
+        universe.MakeConstant(text.substr(1, text.size() - 2)));
+  }
+  for (char c : text) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return Status::InvalidArgument("invalid variable name: " +
+                                     std::string(text));
+    }
+  }
+  return Term::Var(query.InternVar(text));
+}
+
+}  // namespace
+
+Result<CnreQuery> ParseCnreQuery(std::string_view text, Alphabet& alphabet,
+                                 Universe& universe) {
+  std::string body_text;
+  std::string head_text;
+  size_t arrow = text.find("->");
+  if (arrow == std::string_view::npos) {
+    body_text = std::string(StripWhitespace(text));
+  } else {
+    body_text = std::string(StripWhitespace(text.substr(0, arrow)));
+    head_text = std::string(StripWhitespace(text.substr(arrow + 2)));
+  }
+  if (body_text.empty()) {
+    return Status::InvalidArgument("query body is empty");
+  }
+
+  CnreQuery query;
+  for (const std::string& piece : SplitTopLevel(body_text, ',')) {
+    std::string_view atom_text = StripWhitespace(piece);
+    if (atom_text.size() < 2 || atom_text.front() != '(' ||
+        atom_text.back() != ')') {
+      return Status::InvalidArgument("query atom must be parenthesized: " +
+                                     std::string(atom_text));
+    }
+    std::vector<std::string> parts =
+        SplitTopLevel(atom_text.substr(1, atom_text.size() - 2), ',');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument(
+          "query atom must be (term, nre, term): " + std::string(atom_text));
+    }
+    Result<Term> x = ParseQueryTerm(parts[0], query, universe);
+    if (!x.ok()) return x.status();
+    Result<NrePtr> nre = ParseNre(parts[1], alphabet);
+    if (!nre.ok()) return nre.status();
+    Result<Term> y = ParseQueryTerm(parts[2], query, universe);
+    if (!y.ok()) return y.status();
+    query.AddAtom(*x, std::move(nre).value(), *y);
+  }
+
+  if (!head_text.empty()) {
+    std::vector<VarId> head;
+    for (const std::string& name : SplitTopLevel(head_text, ',')) {
+      if (name.empty()) {
+        return Status::InvalidArgument("empty head variable");
+      }
+      auto var = query.vars().Find(name);
+      if (!var.has_value()) {
+        return Status::InvalidArgument("head variable '" + name +
+                                       "' does not occur in the body");
+      }
+      head.push_back(*var);
+    }
+    query.SetHead(std::move(head));
+  }
+  return query;
+}
+
+}  // namespace gdx

@@ -1,0 +1,25 @@
+#ifndef GDX_GRAPH_QUERY_PARSER_H_
+#define GDX_GRAPH_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "common/universe.h"
+#include "graph/cnre.h"
+
+namespace gdx {
+
+/// Parses a full CNRE query:
+///
+///   (x1, f . f* [h] . f- . (f-)*, x2) -> x1, x2
+///   (x, a, y), (y, b, z) -> x, z
+///   (x, a, y)                          -- Boolean (no head)
+///
+/// Unquoted identifiers are variables; 'quoted' identifiers are constants
+/// interned into `universe`. Head variables must occur in the body.
+Result<CnreQuery> ParseCnreQuery(std::string_view text, Alphabet& alphabet,
+                                 Universe& universe);
+
+}  // namespace gdx
+
+#endif  // GDX_GRAPH_QUERY_PARSER_H_

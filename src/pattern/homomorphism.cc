@@ -1,0 +1,140 @@
+#include "pattern/homomorphism.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gdx {
+namespace {
+
+struct EdgeRelation {
+  std::unordered_set<std::pair<Value, Value>, ValuePairHash> pairs;
+  std::unordered_map<uint64_t, std::vector<Value>> by_src;
+  std::unordered_map<uint64_t, std::vector<Value>> by_dst;
+};
+
+struct HomSearcher {
+  const GraphPattern& pattern;
+  const Graph& graph;
+  std::vector<EdgeRelation> relations;  // parallel to pattern.edges()
+  std::vector<Value> order;             // null nodes in assignment order
+  Homomorphism assignment;
+
+  bool Assigned(Value v) const { return assignment.count(v.raw()) > 0; }
+  Value ImageOf(Value v) const { return assignment.at(v.raw()); }
+
+  /// Checks every pattern edge whose endpoints are both assigned.
+  bool ConsistentAround(Value just_assigned) {
+    for (size_t i = 0; i < pattern.edges().size(); ++i) {
+      const PatternEdge& e = pattern.edges()[i];
+      if (e.src != just_assigned && e.dst != just_assigned) continue;
+      if (!Assigned(e.src) || !Assigned(e.dst)) continue;
+      if (relations[i].pairs.count({ImageOf(e.src), ImageOf(e.dst)}) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Candidate graph nodes for the null `v`, narrowed by incident edges
+  /// whose other endpoint is already assigned.
+  std::vector<Value> Candidates(Value v) {
+    std::vector<Value> candidates;
+    bool narrowed = false;
+    for (size_t i = 0; i < pattern.edges().size() && !narrowed; ++i) {
+      const PatternEdge& e = pattern.edges()[i];
+      if (e.src == v && e.dst != v && Assigned(e.dst)) {
+        auto it = relations[i].by_dst.find(ImageOf(e.dst).raw());
+        candidates = (it == relations[i].by_dst.end())
+                         ? std::vector<Value>{}
+                         : it->second;
+        narrowed = true;
+      } else if (e.dst == v && e.src != v && Assigned(e.src)) {
+        auto it = relations[i].by_src.find(ImageOf(e.src).raw());
+        candidates = (it == relations[i].by_src.end())
+                         ? std::vector<Value>{}
+                         : it->second;
+        narrowed = true;
+      }
+    }
+    if (!narrowed) return graph.nodes();
+    // Dedup while preserving order.
+    std::unordered_set<uint64_t> seen;
+    std::vector<Value> out;
+    for (Value c : candidates) {
+      if (seen.insert(c.raw()).second) out.push_back(c);
+    }
+    return out;
+  }
+
+  bool Search(size_t depth) {
+    if (depth == order.size()) return true;
+    Value v = order[depth];
+    for (Value candidate : Candidates(v)) {
+      assignment[v.raw()] = candidate;
+      if (ConsistentAround(v) && Search(depth + 1)) return true;
+      assignment.erase(v.raw());
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<Homomorphism> FindPatternHomomorphism(const GraphPattern& pi,
+                                                    const Graph& g,
+                                                    const NreEvaluator& eval) {
+  HomSearcher searcher{pi, g, {}, {}, {}};
+
+  // Precompute per-edge relations, sharing structurally equal NREs.
+  searcher.relations.resize(pi.edges().size());
+  for (size_t i = 0; i < pi.edges().size(); ++i) {
+    bool shared = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (NreEquals(pi.edges()[i].nre, pi.edges()[j].nre)) {
+        searcher.relations[i] = searcher.relations[j];
+        shared = true;
+        break;
+      }
+    }
+    if (shared) continue;
+    for (const NodePair& p : eval.Eval(pi.edges()[i].nre, g)) {
+      searcher.relations[i].pairs.insert(p);
+      searcher.relations[i].by_src[p.first.raw()].push_back(p.second);
+      searcher.relations[i].by_dst[p.second.raw()].push_back(p.first);
+    }
+  }
+
+  // Constants are forced: identity, and must be nodes of G.
+  for (Value v : pi.nodes()) {
+    if (v.is_constant()) {
+      if (!g.HasNode(v)) return std::nullopt;
+      searcher.assignment[v.raw()] = v;
+      if (!searcher.ConsistentAround(v)) return std::nullopt;
+    }
+  }
+
+  // Assign nulls most-constrained-first: higher degree first.
+  std::vector<std::pair<size_t, Value>> nulls_by_degree;
+  for (Value v : pi.nodes()) {
+    if (!v.is_null()) continue;
+    size_t degree = 0;
+    for (const PatternEdge& e : pi.edges()) {
+      if (e.src == v || e.dst == v) ++degree;
+    }
+    nulls_by_degree.emplace_back(degree, v);
+  }
+  std::stable_sort(nulls_by_degree.begin(), nulls_by_degree.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  for (const auto& [degree, v] : nulls_by_degree) searcher.order.push_back(v);
+
+  if (searcher.Search(0)) return searcher.assignment;
+  return std::nullopt;
+}
+
+bool InRep(const GraphPattern& pi, const Graph& g, const NreEvaluator& eval) {
+  return FindPatternHomomorphism(pi, g, eval).has_value();
+}
+
+}  // namespace gdx

@@ -1,0 +1,29 @@
+#ifndef GDX_PATTERN_HOMOMORPHISM_H_
+#define GDX_PATTERN_HOMOMORPHISM_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "graph/nre_eval.h"
+#include "pattern/pattern.h"
+
+namespace gdx {
+
+/// A homomorphism h : N → V from pattern nodes to graph nodes, keyed by
+/// Value::raw() of the pattern node.
+using Homomorphism = std::unordered_map<uint64_t, Value>;
+
+/// Searches for a homomorphism π → G (paper §3.2): h is the identity on
+/// constants and every pattern edge (u, r, v) must satisfy
+/// (h(u), h(v)) ∈ ⟦r⟧_G. Returns nullopt if none exists. Backtracking
+/// search over null images with per-edge relations precomputed by `eval`.
+std::optional<Homomorphism> FindPatternHomomorphism(const GraphPattern& pi,
+                                                    const Graph& g,
+                                                    const NreEvaluator& eval);
+
+/// True iff G ∈ Rep_Σ(π), i.e. a homomorphism π → G exists.
+bool InRep(const GraphPattern& pi, const Graph& g, const NreEvaluator& eval);
+
+}  // namespace gdx
+
+#endif  // GDX_PATTERN_HOMOMORPHISM_H_

@@ -1,0 +1,20 @@
+#include "pattern/pattern.h"
+
+#include <sstream>
+
+namespace gdx {
+
+std::string GraphPattern::ToString(const Universe& universe,
+                                   const Alphabet& alphabet) const {
+  std::ostringstream out;
+  out << "pattern {" << num_nodes() << " nodes, " << num_edges()
+      << " edges}\n";
+  for (const PatternEdge& e : edges_) {
+    out << "  " << universe.NameOf(e.src) << " =["
+        << e.nre->ToString(alphabet) << "]=> " << universe.NameOf(e.dst)
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gdx

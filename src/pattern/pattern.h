@@ -1,0 +1,109 @@
+#ifndef GDX_PATTERN_PATTERN_H_
+#define GDX_PATTERN_PATTERN_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/universe.h"
+#include "common/value.h"
+#include "graph/graph.h"
+#include "graph/nre.h"
+
+namespace gdx {
+
+/// One pattern edge (u, r, v) with an NRE label r.
+struct PatternEdge {
+  Value src;
+  NrePtr nre;
+  Value dst;
+};
+
+/// A graph pattern π = (N, D) over Σ (paper §3.2, after [4,5]): nodes are
+/// node ids (constants) or labeled nulls, and edges carry full NREs. The
+/// semantics Rep_Σ(π) is the set of graphs G admitting a homomorphism
+/// π → G (see pattern/homomorphism.h).
+class GraphPattern {
+ public:
+  void AddNode(Value v) {
+    if (node_set_.insert(v.raw()).second) nodes_.push_back(v);
+  }
+
+  /// Adds an edge, implicitly adding its endpoints. Deduplicates by
+  /// (src, dst, structural NRE equality).
+  void AddEdge(Value src, NrePtr nre, Value dst) {
+    AddNode(src);
+    AddNode(dst);
+    EdgeKey key{src.raw(), nre.get(), dst.raw()};
+    if (!edge_keys_.insert(key).second) return;
+    edges_.push_back(PatternEdge{src, std::move(nre), dst});
+  }
+
+  bool HasNode(Value v) const { return node_set_.count(v.raw()) > 0; }
+
+  const std::vector<Value>& nodes() const { return nodes_; }
+  const std::vector<PatternEdge>& edges() const { return edges_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// The *definite subgraph*: pattern edges labeled by a single forward
+  /// symbol denote exactly one edge in every represented graph (under the
+  /// homomorphism image). Egd chase steps match against this subgraph.
+  Graph DefiniteGraph() const {
+    Graph g;
+    for (Value v : nodes_) g.AddNode(v);
+    for (const PatternEdge& e : edges_) {
+      if (IsSingleSymbol(e.nre)) g.AddEdge(e.src, e.nre->symbol(), e.dst);
+    }
+    return g;
+  }
+
+  /// Rebuilds the pattern with every value replaced by rewrite(value)
+  /// (egd chase merges). Deduplicates edges that become identical.
+  template <typename Fn>
+  void RewriteValues(Fn rewrite) {
+    std::vector<Value> old_nodes = std::move(nodes_);
+    std::vector<PatternEdge> old_edges = std::move(edges_);
+    nodes_.clear();
+    node_set_.clear();
+    edges_.clear();
+    edge_keys_.clear();
+    for (Value v : old_nodes) AddNode(rewrite(v));
+    for (PatternEdge& e : old_edges) {
+      AddEdge(rewrite(e.src), std::move(e.nre), rewrite(e.dst));
+    }
+  }
+
+  /// Multi-line rendering, e.g. "c1 =[f . f*]=> N1".
+  std::string ToString(const Universe& universe,
+                       const Alphabet& alphabet) const;
+
+ private:
+  struct EdgeKey {
+    uint64_t src_raw;
+    const Nre* nre;
+    uint64_t dst_raw;
+    friend bool operator==(const EdgeKey& a, const EdgeKey& b) {
+      return a.src_raw == b.src_raw && a.dst_raw == b.dst_raw &&
+             (a.nre == b.nre || a.nre->Equals(*b.nre));
+    }
+  };
+  struct EdgeKeyHash {
+    size_t operator()(const EdgeKey& k) const {
+      uint64_t x = k.src_raw;
+      x = x * 0x9e3779b97f4a7c15ull + k.nre->hash();
+      x = x * 0x9e3779b97f4a7c15ull + k.dst_raw;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      return static_cast<size_t>(x ^ (x >> 27));
+    }
+  };
+
+  std::vector<Value> nodes_;
+  std::unordered_set<uint64_t> node_set_;
+  std::vector<PatternEdge> edges_;
+  std::unordered_set<EdgeKey, EdgeKeyHash> edge_keys_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_PATTERN_PATTERN_H_

@@ -1,0 +1,141 @@
+#include "reduction/sat_encoding.h"
+
+#include <string>
+
+namespace gdx {
+
+Result<SatEncodedExchange> EncodeSatToSetting(const CnfFormula& rho,
+                                              Universe& universe,
+                                              ReductionMode mode) {
+  if (rho.num_vars() <= 0) {
+    return Status::InvalidArgument("formula must have at least one variable");
+  }
+  SatEncodedExchange enc;
+  enc.formula = rho;
+  enc.mode = mode;
+  enc.source_schema = std::make_unique<Schema>();
+  enc.alphabet = std::make_unique<Alphabet>();
+
+  Result<RelationId> r1 = enc.source_schema->AddRelation("R1", 1);
+  Result<RelationId> r2 = enc.source_schema->AddRelation("R2", 1);
+  if (!r1.ok() || !r2.ok()) return Status::Internal("schema setup failed");
+
+  enc.a = enc.alphabet->Intern("a");
+  const int n = rho.num_vars();
+  for (int i = 1; i <= n; ++i) {
+    enc.t_syms.push_back(enc.alphabet->Intern("t" + std::to_string(i)));
+    enc.f_syms.push_back(enc.alphabet->Intern("f" + std::to_string(i)));
+  }
+
+  enc.c1 = universe.MakeConstant("c1");
+  enc.c2 = universe.MakeConstant("c2");
+  enc.instance = std::make_unique<Instance>(enc.source_schema.get());
+  Status st = enc.instance->AddFact(*r1, {enc.c1});
+  if (st.ok()) st = enc.instance->AddFact(*r2, {enc.c2});
+  if (!st.ok()) return st;
+
+  enc.setting.source_schema = enc.source_schema.get();
+  enc.setting.alphabet = enc.alphabet.get();
+
+  // M_ρst: R1(x) ∧ R2(y) → (x,a,y) ∧ ⋀_i (x, t_i + f_i, x).
+  StTgd tgd(enc.source_schema.get());
+  VarId x = tgd.body.InternVar("x");
+  VarId y = tgd.body.InternVar("y");
+  tgd.body.AddAtom(RelAtom{*r1, {Term::Var(x)}});
+  tgd.body.AddAtom(RelAtom{*r2, {Term::Var(y)}});
+  tgd.head.push_back(
+      CnreAtom{Term::Var(x), Nre::Symbol(enc.a), Term::Var(y)});
+  for (int i = 0; i < n; ++i) {
+    tgd.head.push_back(CnreAtom{
+        Term::Var(x),
+        Nre::Union(Nre::Symbol(enc.t_syms[i]), Nre::Symbol(enc.f_syms[i])),
+        Term::Var(x)});
+  }
+  enc.setting.st_tgds.push_back(std::move(tgd));
+
+  // Helper: emit either an egd or a sameAs constraint for a path body.
+  auto emit_constraint = [&](const NrePtr& path) {
+    if (mode == ReductionMode::kEgd) {
+      TargetEgd egd;
+      VarId ex = egd.body.InternVar("x");
+      VarId ey = egd.body.InternVar("y");
+      egd.body.AddAtom(Term::Var(ex), path, Term::Var(ey));
+      egd.x1 = ex;
+      egd.x2 = ey;
+      enc.setting.egds.push_back(std::move(egd));
+    } else {
+      SameAsConstraint sac;
+      VarId ex = sac.body.InternVar("x");
+      VarId ey = sac.body.InternVar("y");
+      sac.body.AddAtom(Term::Var(ex), path, Term::Var(ey));
+      sac.x1 = ex;
+      sac.x2 = ey;
+      enc.setting.sameas.push_back(std::move(sac));
+    }
+  };
+
+  // Type (*): (x, t_j . f_j . a, y) → x = y, for each variable j.
+  for (int j = 0; j < n; ++j) {
+    emit_constraint(
+        Nre::Concat(Nre::Concat(Nre::Symbol(enc.t_syms[j]),
+                                Nre::Symbol(enc.f_syms[j])),
+                    Nre::Symbol(enc.a)));
+  }
+
+  // Type (**): one per clause, spelling its falsifying valuation.
+  for (const Clause& clause : rho.clauses()) {
+    if (clause.empty()) {
+      return Status::InvalidArgument("empty clause in formula");
+    }
+    NrePtr path;
+    for (Lit l : clause) {
+      int var = l < 0 ? -l : l;
+      // Negative literal ¬x_i falsified by v(x_i)=true  -> walk t_i;
+      // positive literal  x_i falsified by v(x_i)=false -> walk f_i.
+      NrePtr step = (l < 0) ? Nre::Symbol(enc.t_syms[var - 1])
+                            : Nre::Symbol(enc.f_syms[var - 1]);
+      path = (path == nullptr) ? step : Nre::Concat(path, step);
+    }
+    path = Nre::Concat(path, Nre::Symbol(enc.a));
+    emit_constraint(path);
+  }
+
+  return enc;
+}
+
+std::optional<std::vector<bool>> DecodeGraphToValuation(
+    const Graph& g, const SatEncodedExchange& enc) {
+  const int n = enc.formula.num_vars();
+  std::vector<bool> valuation(n + 1, false);
+  for (int i = 0; i < n; ++i) {
+    bool has_t = g.HasEdge(enc.c1, enc.t_syms[i], enc.c1);
+    bool has_f = g.HasEdge(enc.c1, enc.f_syms[i], enc.c1);
+    if (!has_t && !has_f) return std::nullopt;
+    valuation[i + 1] = has_t;
+  }
+  return valuation;
+}
+
+Graph BuildValuationGraph(const SatEncodedExchange& enc,
+                          const std::vector<bool>& valuation) {
+  Graph g;
+  g.AddEdge(enc.c1, enc.a, enc.c2);
+  const int n = enc.formula.num_vars();
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(enc.c1, valuation[i + 1] ? enc.t_syms[i] : enc.f_syms[i],
+              enc.c1);
+  }
+  return g;
+}
+
+NrePtr Corollary42Query(const SatEncodedExchange& enc) {
+  return Nre::Concat(Nre::Symbol(enc.a), Nre::Symbol(enc.a));
+}
+
+NrePtr Proposition43Query(const SatEncodedExchange& enc) {
+  // unique_ptr in a const struct still grants non-const access to the
+  // pointee; interning "sameAs" is idempotent.
+  return Nre::Symbol(enc.alphabet->SameAsSymbol());
+}
+
+}  // namespace gdx

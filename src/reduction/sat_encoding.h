@@ -1,0 +1,80 @@
+#ifndef GDX_REDUCTION_SAT_ENCODING_H_
+#define GDX_REDUCTION_SAT_ENCODING_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/universe.h"
+#include "exchange/setting.h"
+#include "graph/graph.h"
+#include "relational/instance.h"
+#include "sat/cnf.h"
+
+namespace gdx {
+
+/// Which target-constraint flavor to emit for the reduction.
+enum class ReductionMode {
+  kEgd,     // Theorem 4.1: egds (x, path, y) -> x = y
+  kSameAs,  // Proposition 4.3: (x, path, y) -> (x, sameAs, y)
+};
+
+/// The complete output of the Theorem 4.1 construction for a CNF ρ:
+/// Ω_ρ = (R_ρ, Σ_ρ, M_ρst, M_ρt) and I_ρ = {R1(c1), R2(c2)}.
+///
+///  - R_ρ = {R1/1, R2/1} (fixed source schema — query complexity!)
+///  - Σ_ρ = {a, t1, f1, ..., tn, fn}
+///  - M_ρst: R1(x) ∧ R2(y) → (x,a,y) ∧ (x, t1+f1, x) ∧ ... ∧ (x, tn+fn, x)
+///  - M_ρt type (*):  (x, tj . fj . a, y) → x = y          (one per var)
+///  - M_ρt type (**): (x, b1 . b2 . b3 . a, y) → x = y     (one per clause,
+///        b_l = t_il for negative literals, f_il for positive ones — the
+///        path spells the clause's falsifying valuation)
+///
+/// A solution for I_ρ under Ω_ρ exists iff ρ is satisfiable.
+struct SatEncodedExchange {
+  std::unique_ptr<Schema> source_schema;
+  std::unique_ptr<Alphabet> alphabet;
+  std::unique_ptr<Instance> instance;
+  Setting setting;  // points into source_schema / alphabet
+
+  Value c1, c2;
+  SymbolId a = 0;
+  std::vector<SymbolId> t_syms;  // t_1..t_n
+  std::vector<SymbolId> f_syms;  // f_1..f_n
+
+  CnfFormula formula;  // the encoded ρ
+  ReductionMode mode = ReductionMode::kEgd;
+
+  SatEncodedExchange() = default;
+  SatEncodedExchange(SatEncodedExchange&&) = default;
+  SatEncodedExchange& operator=(SatEncodedExchange&&) = default;
+};
+
+/// Builds Ω_ρ and I_ρ from a CNF (any clause width >= 1; the paper states
+/// it for 3CNF). Constants c1, c2 are interned into `universe`.
+Result<SatEncodedExchange> EncodeSatToSetting(const CnfFormula& rho,
+                                              Universe& universe,
+                                              ReductionMode mode);
+
+/// Reads the valuation off a solution graph: v(x_i) = true iff c1 carries a
+/// t_i self-loop (the proof's encoding). Returns nullopt if some variable
+/// has no loop at all (not a solution shape).
+std::optional<std::vector<bool>> DecodeGraphToValuation(
+    const Graph& g, const SatEncodedExchange& enc);
+
+/// The proof's "if" direction: the two-node graph G = ({c1, c2}, E) with
+/// (c1, a, c2) and one t_i/f_i self-loop per variable according to the
+/// valuation. If the valuation satisfies ρ, this is a solution.
+Graph BuildValuationGraph(const SatEncodedExchange& enc,
+                          const std::vector<bool>& valuation);
+
+/// r_ρ = a · a, the query of Corollary 4.2: (c1,c2) ∈ cert_Ω(r_ρ, I_ρ) iff
+/// ρ is unsatisfiable.
+NrePtr Corollary42Query(const SatEncodedExchange& enc);
+
+/// r'_ρ = sameAs, the query of Proposition 4.3 (use with kSameAs mode).
+NrePtr Proposition43Query(const SatEncodedExchange& enc);
+
+}  // namespace gdx
+
+#endif  // GDX_REDUCTION_SAT_ENCODING_H_

@@ -1,0 +1,73 @@
+#ifndef GDX_RELATIONAL_CHASE_H_
+#define GDX_RELATIONAL_CHASE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/universe.h"
+#include "common/value_partition.h"
+#include "relational/cq.h"
+#include "relational/eval.h"
+#include "relational/instance.h"
+
+namespace gdx {
+
+/// A source-to-target tgd in the purely relational setting (paper §3.1):
+/// ∀x φ_R(x) → ∃y ψ(x, y), with φ_R the `body` conjunctive query over the
+/// source schema and ψ the `head` atoms over the target schema. Body and
+/// head share the body's VarTable; head variables that appear in no body
+/// atom are existential.
+struct RelTgd {
+  RelTgd(const Schema* source_schema, const Schema* target_schema)
+      : body(source_schema), target_schema(target_schema) {}
+
+  ConjunctiveQuery body;
+  std::vector<RelAtom> head;
+  const Schema* target_schema;
+
+  /// Variables appearing in the head but in no body atom (the ∃y vector).
+  std::vector<VarId> ExistentialVars() const;
+};
+
+/// A target egd ∀x ψ(x) → x1 = x2 over the target schema.
+struct RelEgd {
+  explicit RelEgd(const Schema* target_schema) : body(target_schema) {}
+
+  ConjunctiveQuery body;
+  VarId x1 = 0;
+  VarId x2 = 0;
+};
+
+/// Statistics of a chase run.
+struct RelChaseStats {
+  size_t triggers_fired = 0;   // s-t tgd triggers instantiated
+  size_t facts_added = 0;      // target facts created
+  size_t egd_rounds = 0;       // egd fixpoint iterations
+  size_t merges = 0;           // value identifications applied
+};
+
+/// Oblivious source-to-target chase: fires every tgd once per body match,
+/// inventing one fresh labeled null per existential variable per trigger.
+/// Returns the chased target instance (always succeeds; terminates because
+/// s-t tgds only match the finite source).
+Instance ChaseStTgds(const Instance& source, const std::vector<RelTgd>& tgds,
+                     const Schema* target_schema, Universe& universe,
+                     RelChaseStats* stats = nullptr);
+
+/// Egd chase to fixpoint, merging values (null↤constant preferred). Fails
+/// with FAILED_PRECONDITION iff two distinct constants must be equated —
+/// the classical "chase failure" meaning no solution exists.
+Status ChaseEgds(Instance& instance, const std::vector<RelEgd>& egds,
+                 RelChaseStats* stats = nullptr);
+
+/// Full relational data-exchange chase: s-t tgds then egds.
+Result<Instance> RunRelationalExchange(const Instance& source,
+                                       const std::vector<RelTgd>& tgds,
+                                       const std::vector<RelEgd>& egds,
+                                       const Schema* target_schema,
+                                       Universe& universe,
+                                       RelChaseStats* stats = nullptr);
+
+}  // namespace gdx
+
+#endif  // GDX_RELATIONAL_CHASE_H_

@@ -1,0 +1,53 @@
+#ifndef GDX_RELATIONAL_CQ_H_
+#define GDX_RELATIONAL_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "common/term.h"
+#include "relational/schema.h"
+
+namespace gdx {
+
+/// One atom R(t1, ..., tk) of a relational conjunctive query.
+struct RelAtom {
+  RelationId relation;
+  std::vector<Term> terms;
+};
+
+/// A conjunctive query over a relational schema. The paper's source queries
+/// use variables only; constants are nevertheless supported (useful in
+/// tests). Head variables select the output columns; an empty head makes
+/// the query Boolean.
+class ConjunctiveQuery {
+ public:
+  explicit ConjunctiveQuery(const Schema* schema) : schema_(schema) {}
+
+  const Schema& schema() const { return *schema_; }
+
+  VarId InternVar(std::string_view name) { return vars_.Intern(name); }
+  const VarTable& vars() const { return vars_; }
+  VarTable& vars() { return vars_; }
+
+  /// Replaces the variable table wholesale — used when lowering a CNRE
+  /// dependency whose atoms reuse another formula's variable ids.
+  void SetVarTable(VarTable vars) { vars_ = std::move(vars); }
+
+  void AddAtom(RelAtom atom) { atoms_.push_back(std::move(atom)); }
+  const std::vector<RelAtom>& atoms() const { return atoms_; }
+
+  void SetHead(std::vector<VarId> head) { head_ = std::move(head); }
+  const std::vector<VarId>& head() const { return head_; }
+
+  size_t num_vars() const { return vars_.size(); }
+
+ private:
+  const Schema* schema_;
+  VarTable vars_;
+  std::vector<RelAtom> atoms_;
+  std::vector<VarId> head_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_RELATIONAL_CQ_H_

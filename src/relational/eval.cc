@@ -1,0 +1,137 @@
+#include "relational/eval.h"
+
+#include <unordered_set>
+
+namespace gdx {
+namespace {
+
+/// Attempts to unify one atom's terms against a fact under the current
+/// binding. Returns the list of variables newly bound (for undo), or
+/// nullopt if unification fails.
+std::optional<std::vector<VarId>> UnifyAtom(const RelAtom& atom,
+                                            const Tuple& fact,
+                                            Binding& binding) {
+  std::vector<VarId> newly_bound;
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& t = atom.terms[i];
+    if (t.is_const()) {
+      if (t.constant() != fact[i]) {
+        for (VarId v : newly_bound) binding[v].reset();
+        return std::nullopt;
+      }
+      continue;
+    }
+    VarId v = t.var();
+    if (binding[v].has_value()) {
+      if (*binding[v] != fact[i]) {
+        for (VarId u : newly_bound) binding[u].reset();
+        return std::nullopt;
+      }
+    } else {
+      binding[v] = fact[i];
+      newly_bound.push_back(v);
+    }
+  }
+  return newly_bound;
+}
+
+bool Search(const ConjunctiveQuery& query, const Instance& instance,
+            size_t atom_index, Binding& binding,
+            const std::function<bool(const Binding&)>& callback) {
+  if (atom_index == query.atoms().size()) {
+    return callback(binding);
+  }
+  const RelAtom& atom = query.atoms()[atom_index];
+  for (const Tuple& fact : instance.facts(atom.relation)) {
+    auto bound = UnifyAtom(atom, fact, binding);
+    if (!bound.has_value()) continue;
+    bool keep_going =
+        Search(query, instance, atom_index + 1, binding, callback);
+    for (VarId v : *bound) binding[v].reset();
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void FindCqMatches(const ConjunctiveQuery& query, const Instance& instance,
+                   const std::function<bool(const Binding&)>& callback) {
+  Binding binding(query.num_vars());
+  Search(query, instance, 0, binding, callback);
+}
+
+std::vector<Tuple> EvaluateCq(const ConjunctiveQuery& query,
+                              const Instance& instance) {
+  std::vector<Tuple> out;
+  std::unordered_set<Tuple, ValueVecHash> seen;
+  FindCqMatches(query, instance, [&](const Binding& binding) {
+    Tuple row;
+    row.reserve(query.head().size());
+    for (VarId v : query.head()) row.push_back(*binding[v]);
+    if (seen.insert(row).second) out.push_back(std::move(row));
+    return true;
+  });
+  return out;
+}
+
+bool CqIsSatisfiable(const ConjunctiveQuery& query,
+                     const Instance& instance) {
+  bool found = false;
+  FindCqMatches(query, instance, [&](const Binding&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+std::vector<Tuple> EvaluateCqNaive(const ConjunctiveQuery& query,
+                                   const Instance& instance) {
+  // Active domain in first-seen order.
+  std::vector<Value> adom;
+  std::unordered_set<uint64_t> seen_values;
+  for (RelationId rel = 0; rel < instance.schema().size(); ++rel) {
+    for (const Tuple& t : instance.facts(rel)) {
+      for (Value v : t) {
+        if (seen_values.insert(v.raw()).second) adom.push_back(v);
+      }
+    }
+  }
+  std::vector<Tuple> out;
+  std::unordered_set<Tuple, ValueVecHash> seen_rows;
+  const size_t n = query.num_vars();
+  std::vector<size_t> odometer(n, 0);
+  if (adom.empty() && n > 0) return out;
+  for (;;) {
+    Binding binding(n);
+    for (size_t i = 0; i < n; ++i) binding[i] = adom[odometer[i]];
+    bool holds = true;
+    for (const RelAtom& atom : query.atoms()) {
+      Tuple fact;
+      fact.reserve(atom.terms.size());
+      for (const Term& t : atom.terms) {
+        fact.push_back(t.is_const() ? t.constant() : *binding[t.var()]);
+      }
+      if (!instance.Contains(atom.relation, fact)) {
+        holds = false;
+        break;
+      }
+    }
+    if (holds) {
+      Tuple row;
+      row.reserve(query.head().size());
+      for (VarId v : query.head()) row.push_back(*binding[v]);
+      if (seen_rows.insert(row).second) out.push_back(std::move(row));
+    }
+    // Advance the odometer.
+    size_t i = 0;
+    while (i < n && ++odometer[i] == adom.size()) {
+      odometer[i] = 0;
+      ++i;
+    }
+    if (i == n || n == 0) break;
+  }
+  return out;
+}
+
+}  // namespace gdx

@@ -1,0 +1,38 @@
+#ifndef GDX_RELATIONAL_EVAL_H_
+#define GDX_RELATIONAL_EVAL_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "relational/cq.h"
+#include "relational/instance.h"
+
+namespace gdx {
+
+/// A (partial) assignment of query variables to values.
+using Binding = std::vector<std::optional<Value>>;
+
+/// Invokes `callback` once per homomorphism from the query's atoms into the
+/// instance (every query variable bound). Deterministic order. The callback
+/// returns false to stop the enumeration early.
+void FindCqMatches(const ConjunctiveQuery& query, const Instance& instance,
+                   const std::function<bool(const Binding&)>& callback);
+
+/// Evaluates the query: the set of head-variable tuples over all matches,
+/// duplicate-free, in first-derivation order.
+std::vector<Tuple> EvaluateCq(const ConjunctiveQuery& query,
+                              const Instance& instance);
+
+/// True if the query has at least one match (Boolean evaluation).
+bool CqIsSatisfiable(const ConjunctiveQuery& query, const Instance& instance);
+
+/// Reference semantics for property tests: evaluates the query by
+/// enumerating every assignment of variables to active-domain values
+/// (|adom|^|vars| candidates) and filtering. Exponential — tests only.
+std::vector<Tuple> EvaluateCqNaive(const ConjunctiveQuery& query,
+                                   const Instance& instance);
+
+}  // namespace gdx
+
+#endif  // GDX_RELATIONAL_EVAL_H_

@@ -1,0 +1,98 @@
+#ifndef GDX_RELATIONAL_INSTANCE_H_
+#define GDX_RELATIONAL_INSTANCE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "relational/schema.h"
+
+namespace gdx {
+
+/// A relational tuple over the value universe (constants and, in chased
+/// target instances, labeled nulls).
+using Tuple = std::vector<Value>;
+
+/// An instance of a Schema: for each relation symbol, a duplicate-free set
+/// of tuples in deterministic insertion order. The schema may keep growing
+/// after the instance is created (e.g. while parsing a scenario file);
+/// internal storage tracks it lazily.
+class Instance {
+ public:
+  explicit Instance(const Schema* schema)
+      : schema_(schema),
+        facts_(schema->size()),
+        index_(schema->size()) {}
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Adds a fact; checks arity; duplicate facts are silently ignored.
+  Status AddFact(RelationId rel, Tuple t) {
+    if (rel >= schema_->size()) {
+      return Status::InvalidArgument("unknown relation id");
+    }
+    EnsureCapacity();
+    if (t.size() != schema_->decl(rel).arity) {
+      return Status::InvalidArgument(
+          "arity mismatch for relation " + schema_->decl(rel).name);
+    }
+    if (index_[rel].insert(t).second) {
+      facts_[rel].push_back(std::move(t));
+    }
+    return Status::Ok();
+  }
+
+  bool Contains(RelationId rel, const Tuple& t) const {
+    return rel < index_.size() && index_[rel].count(t) > 0;
+  }
+
+  const std::vector<Tuple>& facts(RelationId rel) const {
+    if (rel >= facts_.size()) return EmptyFactList();
+    return facts_[rel];
+  }
+
+  size_t TotalFacts() const {
+    size_t n = 0;
+    for (const auto& f : facts_) n += f.size();
+    return n;
+  }
+
+  /// Replaces every value by `rewrite(value)` (used by the egd chase after
+  /// merging nulls). Re-deduplicates.
+  template <typename Fn>
+  void RewriteValues(Fn rewrite) {
+    for (size_t rel = 0; rel < facts_.size(); ++rel) {
+      std::vector<Tuple> old = std::move(facts_[rel]);
+      facts_[rel].clear();
+      index_[rel].clear();
+      for (Tuple& t : old) {
+        for (Value& v : t) v = rewrite(v);
+        if (index_[rel].insert(t).second) {
+          facts_[rel].push_back(std::move(t));
+        }
+      }
+    }
+  }
+
+ private:
+  void EnsureCapacity() {
+    if (facts_.size() < schema_->size()) {
+      facts_.resize(schema_->size());
+      index_.resize(schema_->size());
+    }
+  }
+
+  static const std::vector<Tuple>& EmptyFactList() {
+    static const std::vector<Tuple>* empty = new std::vector<Tuple>();
+    return *empty;
+  }
+
+  const Schema* schema_;
+  std::vector<std::vector<Tuple>> facts_;
+  std::vector<std::unordered_set<Tuple, ValueVecHash>> index_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_RELATIONAL_INSTANCE_H_

@@ -1,0 +1,52 @@
+#ifndef GDX_RELATIONAL_SCHEMA_H_
+#define GDX_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gdx {
+
+/// Dense id of a relation symbol within a Schema.
+using RelationId = uint32_t;
+
+/// Declaration of one relation symbol: a name and a fixed arity.
+struct RelationDecl {
+  std::string name;
+  size_t arity = 0;
+};
+
+/// A relational source schema R: a finite collection of relation symbols.
+class Schema {
+ public:
+  /// Adds a relation; fails if the name is already declared.
+  Result<RelationId> AddRelation(std::string name, size_t arity) {
+    if (by_name_.count(name) > 0) {
+      return Status::InvalidArgument("duplicate relation: " + name);
+    }
+    RelationId id = static_cast<RelationId>(decls_.size());
+    by_name_.emplace(name, id);
+    decls_.push_back(RelationDecl{std::move(name), arity});
+    return id;
+  }
+
+  std::optional<RelationId> Find(const std::string& name) const {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const RelationDecl& decl(RelationId id) const { return decls_[id]; }
+  size_t size() const { return decls_.size(); }
+
+ private:
+  std::vector<RelationDecl> decls_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,69 @@
+#include "sat/cnf.h"
+
+#include <sstream>
+
+namespace gdx {
+
+std::string CnfFormula::ToDimacs() const {
+  std::ostringstream out;
+  out << "p cnf " << num_vars_ << " " << clauses_.size() << "\n";
+  for (const Clause& c : clauses_) {
+    for (Lit l : c) out << l << " ";
+    out << "0\n";
+  }
+  return out.str();
+}
+
+Result<CnfFormula> ParseDimacs(std::string_view text) {
+  CnfFormula formula;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  bool saw_header = false;
+  int declared_vars = 0;
+  long declared_clauses = -1;
+  Clause current;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, cnf;
+      header >> p >> cnf >> declared_vars >> declared_clauses;
+      if (cnf != "cnf" || declared_vars < 0 || declared_clauses < 0) {
+        return Status::InvalidArgument("malformed DIMACS header: " + line);
+      }
+      saw_header = true;
+      formula.set_num_vars(declared_vars);
+      continue;
+    }
+    std::istringstream body(line);
+    Lit lit;
+    while (body >> lit) {
+      if (lit == 0) {
+        formula.AddClause(current);
+        current.clear();
+      } else {
+        current.push_back(lit);
+      }
+    }
+  }
+  if (!current.empty()) {
+    return Status::InvalidArgument("DIMACS clause not zero-terminated");
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("missing DIMACS 'p cnf' header");
+  }
+  if (declared_clauses >= 0 &&
+      formula.num_clauses() != static_cast<size_t>(declared_clauses)) {
+    return Status::InvalidArgument("DIMACS clause count mismatch");
+  }
+  return formula;
+}
+
+CnfFormula Rho0() {
+  CnfFormula rho0(4);
+  rho0.AddClause({1, -2, 3});
+  rho0.AddClause({-1, 3, -4});
+  return rho0;
+}
+
+}  // namespace gdx

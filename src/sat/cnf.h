@@ -1,0 +1,76 @@
+#ifndef GDX_SAT_CNF_H_
+#define GDX_SAT_CNF_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gdx {
+
+/// A literal: +v for variable v, -v for its negation (v >= 1, DIMACS-style).
+using Lit = int;
+
+/// A clause: a disjunction of literals.
+using Clause = std::vector<Lit>;
+
+/// A propositional formula in conjunctive normal form. Variables are
+/// numbered 1..num_vars (DIMACS convention).
+class CnfFormula {
+ public:
+  CnfFormula() = default;
+  explicit CnfFormula(int num_vars) : num_vars_(num_vars) {}
+
+  int num_vars() const { return num_vars_; }
+  void set_num_vars(int n) { num_vars_ = n; }
+
+  /// Adds a clause; grows num_vars to cover its literals.
+  void AddClause(Clause clause) {
+    for (Lit l : clause) {
+      int v = l < 0 ? -l : l;
+      if (v > num_vars_) num_vars_ = v;
+    }
+    clauses_.push_back(std::move(clause));
+  }
+
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  size_t num_clauses() const { return clauses_.size(); }
+
+  /// Evaluates under a total assignment (assignment[v] for v in 1..n;
+  /// index 0 unused).
+  bool Eval(const std::vector<bool>& assignment) const {
+    for (const Clause& c : clauses_) {
+      bool sat = false;
+      for (Lit l : c) {
+        int v = l < 0 ? -l : l;
+        if ((l > 0) == assignment[v]) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) return false;
+    }
+    return true;
+  }
+
+  /// DIMACS "p cnf" serialization.
+  std::string ToDimacs() const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+/// Parses DIMACS CNF ("c" comments, "p cnf <vars> <clauses>" header,
+/// zero-terminated clauses).
+Result<CnfFormula> ParseDimacs(std::string_view text);
+
+/// The paper's running 3CNF ρ0 = (x1 ∨ ¬x2 ∨ x3) ∧ (¬x1 ∨ x3 ∨ ¬x4)
+/// (proof of Theorem 4.1), used across examples and tests.
+CnfFormula Rho0();
+
+}  // namespace gdx
+
+#endif  // GDX_SAT_CNF_H_

@@ -1,0 +1,219 @@
+#include "sat/dpll.h"
+
+#include <algorithm>
+
+namespace gdx {
+namespace {
+
+enum class VarState : uint8_t { kUnassigned, kTrue, kFalse };
+
+struct Frame {
+  std::vector<VarState> assignment;  // 1..n
+  std::vector<Clause> clauses;       // simplified residual formula
+};
+
+/// Applies `lit` to the residual clause set: removes satisfied clauses and
+/// deletes the falsified literal from the rest. Returns false on an empty
+/// clause (conflict).
+bool Assign(Frame& frame, Lit lit) {
+  int v = lit < 0 ? -lit : lit;
+  frame.assignment[v] = lit > 0 ? VarState::kTrue : VarState::kFalse;
+  std::vector<Clause> next;
+  next.reserve(frame.clauses.size());
+  for (Clause& c : frame.clauses) {
+    bool satisfied = false;
+    for (Lit l : c) {
+      if (l == lit) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) continue;
+    Clause reduced;
+    reduced.reserve(c.size());
+    for (Lit l : c) {
+      if (l != -lit) reduced.push_back(l);
+    }
+    if (reduced.empty()) return false;  // conflict
+    next.push_back(std::move(reduced));
+  }
+  frame.clauses = std::move(next);
+  return true;
+}
+
+/// Unit propagation to fixpoint. Returns false on conflict.
+bool Propagate(Frame& frame, SatResult::Stats& stats) {
+  for (;;) {
+    Lit unit = 0;
+    for (const Clause& c : frame.clauses) {
+      if (c.size() == 1) {
+        unit = c[0];
+        break;
+      }
+    }
+    if (unit == 0) return true;
+    ++stats.propagations;
+    if (!Assign(frame, unit)) return false;
+  }
+}
+
+/// Pure literal elimination: assigns literals whose complement never occurs.
+void EliminatePureLiterals(Frame& frame, SatResult::Stats& stats) {
+  for (;;) {
+    const int n = static_cast<int>(frame.assignment.size()) - 1;
+    std::vector<uint8_t> pos(n + 1, 0), neg(n + 1, 0);
+    for (const Clause& c : frame.clauses) {
+      for (Lit l : c) {
+        if (l > 0) {
+          pos[l] = 1;
+        } else {
+          neg[-l] = 1;
+        }
+      }
+    }
+    Lit pure = 0;
+    for (int v = 1; v <= n; ++v) {
+      if (frame.assignment[v] != VarState::kUnassigned) continue;
+      if (pos[v] && !neg[v]) {
+        pure = v;
+        break;
+      }
+      if (neg[v] && !pos[v]) {
+        pure = -v;
+        break;
+      }
+    }
+    if (pure == 0) return;
+    ++stats.propagations;
+    Assign(frame, pure);  // cannot conflict: complement absent
+  }
+}
+
+/// MOMS-lite branching: variable occurring most in the shortest clauses.
+Lit PickBranch(const Frame& frame, bool use_moms) {
+  if (!frame.clauses.empty() && use_moms) {
+    size_t min_len = SIZE_MAX;
+    for (const Clause& c : frame.clauses) min_len = std::min(min_len, c.size());
+    const int n = static_cast<int>(frame.assignment.size()) - 1;
+    std::vector<uint32_t> count(n + 1, 0);
+    for (const Clause& c : frame.clauses) {
+      if (c.size() != min_len) continue;
+      for (Lit l : c) ++count[l < 0 ? -l : l];
+    }
+    int best = 0;
+    for (int v = 1; v <= n; ++v) {
+      if (frame.assignment[v] == VarState::kUnassigned && count[v] > 0 &&
+          (best == 0 || count[v] > count[best])) {
+        best = v;
+      }
+    }
+    if (best != 0) return best;
+  }
+  for (size_t v = 1; v < frame.assignment.size(); ++v) {
+    if (frame.assignment[v] == VarState::kUnassigned) {
+      return static_cast<Lit>(v);
+    }
+  }
+  return 0;
+}
+
+struct DpllDriver {
+  const DpllConfig& config;
+  SatResult::Stats stats;
+  bool budget_exhausted = false;
+
+  bool Search(Frame frame, size_t depth, std::vector<VarState>* model_out) {
+    stats.max_depth = std::max(stats.max_depth, depth);
+    if (!Propagate(frame, stats)) {
+      ++stats.conflicts;
+      return false;
+    }
+    if (config.use_pure_literal) EliminatePureLiterals(frame, stats);
+    if (frame.clauses.empty()) {
+      *model_out = frame.assignment;
+      return true;
+    }
+    Lit branch = PickBranch(frame, config.use_moms_heuristic);
+    if (branch == 0) {
+      ++stats.conflicts;
+      return false;  // clauses remain but no unassigned vars: conflict
+    }
+    if (config.max_decisions != 0 && stats.decisions >= config.max_decisions) {
+      budget_exhausted = true;
+      return false;
+    }
+    ++stats.decisions;
+    {
+      Frame positive = frame;
+      if (Assign(positive, branch) &&
+          Search(std::move(positive), depth + 1, model_out)) {
+        return true;
+      }
+    }
+    if (budget_exhausted) return false;
+    Frame negative = std::move(frame);
+    if (Assign(negative, -branch) &&
+        Search(std::move(negative), depth + 1, model_out)) {
+      return true;
+    }
+    if (!budget_exhausted) ++stats.conflicts;
+    return false;
+  }
+};
+
+}  // namespace
+
+SatResult DpllSolver::Solve(const CnfFormula& formula) const {
+  SatResult result;
+  Frame root;
+  root.assignment.assign(formula.num_vars() + 1, VarState::kUnassigned);
+  root.clauses = formula.clauses();
+  // Empty clause => trivially unsat.
+  for (const Clause& c : root.clauses) {
+    if (c.empty()) return result;
+  }
+  DpllDriver driver{config_, {}, false};
+  std::vector<VarState> model;
+  bool sat = driver.Search(std::move(root), 0, &model);
+  result.stats = driver.stats;
+  result.satisfiable = sat;
+  result.budget_exhausted = driver.budget_exhausted;
+  if (sat) {
+    result.model.assign(formula.num_vars() + 1, false);
+    for (int v = 1; v <= formula.num_vars(); ++v) {
+      result.model[v] = (model[v] == VarState::kTrue);
+      // Unassigned variables (don't-cares) default to false.
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<bool>> DpllSolver::EnumerateModels(
+    const CnfFormula& formula, size_t limit) const {
+  std::vector<std::vector<bool>> models;
+  CnfFormula working = formula;
+  while (models.size() < limit) {
+    SatResult r = Solve(working);
+    if (!r.satisfiable) break;
+    models.push_back(r.model);
+    // Block this model.
+    Clause blocker;
+    for (int v = 1; v <= working.num_vars(); ++v) {
+      blocker.push_back(r.model[v] ? -v : v);
+    }
+    working.AddClause(std::move(blocker));
+  }
+  return models;
+}
+
+bool BruteForceSatisfiable(const CnfFormula& formula) {
+  const int n = formula.num_vars();
+  std::vector<bool> assignment(n + 1, false);
+  for (uint64_t bits = 0; bits < (1ull << n); ++bits) {
+    for (int v = 1; v <= n; ++v) assignment[v] = (bits >> (v - 1)) & 1;
+    if (formula.Eval(assignment)) return true;
+  }
+  return formula.num_clauses() == 0;
+}
+
+}  // namespace gdx

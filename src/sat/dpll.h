@@ -1,0 +1,61 @@
+#ifndef GDX_SAT_DPLL_H_
+#define GDX_SAT_DPLL_H_
+
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace gdx {
+
+/// Result of a SAT call.
+struct SatResult {
+  bool satisfiable = false;
+  /// True when the decision budget ran out before the search completed:
+  /// `satisfiable == false` then means "unknown", NOT a proof of UNSAT.
+  bool budget_exhausted = false;
+  /// Model (assignment[v] for v in 1..n; index 0 unused) when satisfiable.
+  std::vector<bool> model;
+
+  struct Stats {
+    size_t decisions = 0;
+    size_t propagations = 0;
+    size_t conflicts = 0;
+    size_t max_depth = 0;
+  } stats;
+};
+
+/// Configuration of the DPLL solver.
+struct DpllConfig {
+  bool use_pure_literal = true;
+  /// Branch on the variable with most occurrences in shortest clauses
+  /// (MOMS-lite) when true, else lowest-index unassigned variable.
+  bool use_moms_heuristic = true;
+  /// Hard cap on decisions; 0 = unlimited. Exceeding it returns UNSAT=false
+  /// with exhausted=true semantics via Status in SolveWithBudget.
+  size_t max_decisions = 0;
+};
+
+/// Davis–Putnam–Logemann–Loveland solver with unit propagation and optional
+/// pure-literal elimination. Deterministic. Exact (complete) — used as the
+/// ground-truth oracle for the Theorem 4.1 reduction and as the engine of
+/// the SAT-backed existence solver.
+class DpllSolver {
+ public:
+  explicit DpllSolver(DpllConfig config = {}) : config_(config) {}
+
+  SatResult Solve(const CnfFormula& formula) const;
+
+  /// Enumerates up to `limit` models (by blocking clauses); deterministic.
+  std::vector<std::vector<bool>> EnumerateModels(const CnfFormula& formula,
+                                                 size_t limit) const;
+
+ private:
+  DpllConfig config_;
+};
+
+/// Exhaustive truth-table check (tests only; 2^n assignments).
+bool BruteForceSatisfiable(const CnfFormula& formula);
+
+}  // namespace gdx
+
+#endif  // GDX_SAT_DPLL_H_

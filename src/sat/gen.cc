@@ -1,0 +1,85 @@
+#include "sat/gen.h"
+
+#include <algorithm>
+
+namespace gdx {
+namespace {
+
+/// Picks k distinct variables from 1..n.
+std::vector<int> PickVars(int num_vars, int k, Rng& rng) {
+  std::vector<int> vars;
+  while (static_cast<int>(vars.size()) < k) {
+    int v = static_cast<int>(rng.UniformInt(1, num_vars));
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  }
+  return vars;
+}
+
+}  // namespace
+
+CnfFormula RandomKSat(int num_vars, int num_clauses, int k, Rng& rng) {
+  CnfFormula formula(num_vars);
+  for (int i = 0; i < num_clauses; ++i) {
+    Clause clause;
+    for (int v : PickVars(num_vars, k, rng)) {
+      clause.push_back(rng.Bernoulli(0.5) ? v : -v);
+    }
+    formula.AddClause(std::move(clause));
+  }
+  return formula;
+}
+
+CnfFormula PlantedKSat(int num_vars, int num_clauses, int k, Rng& rng) {
+  std::vector<bool> hidden(num_vars + 1);
+  for (int v = 1; v <= num_vars; ++v) hidden[v] = rng.Bernoulli(0.5);
+  CnfFormula formula(num_vars);
+  for (int i = 0; i < num_clauses; ++i) {
+    for (;;) {
+      Clause clause;
+      for (int v : PickVars(num_vars, k, rng)) {
+        clause.push_back(rng.Bernoulli(0.5) ? v : -v);
+      }
+      bool satisfied = false;
+      for (Lit l : clause) {
+        int v = l < 0 ? -l : l;
+        if ((l > 0) == hidden[v]) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) {
+        formula.AddClause(std::move(clause));
+        break;
+      }
+    }
+  }
+  return formula;
+}
+
+CnfFormula Pigeonhole(int holes) {
+  // Variables p(i,j): pigeon i (1..holes+1) in hole j (1..holes).
+  const int pigeons = holes + 1;
+  auto var = [&](int pigeon, int hole) {
+    return (pigeon - 1) * holes + hole;
+  };
+  CnfFormula formula(pigeons * holes);
+  // Every pigeon sits somewhere.
+  for (int i = 1; i <= pigeons; ++i) {
+    Clause c;
+    for (int j = 1; j <= holes; ++j) c.push_back(var(i, j));
+    formula.AddClause(std::move(c));
+  }
+  // No two pigeons share a hole.
+  for (int j = 1; j <= holes; ++j) {
+    for (int i1 = 1; i1 <= pigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 <= pigeons; ++i2) {
+        formula.AddClause({-var(i1, j), -var(i2, j)});
+      }
+    }
+  }
+  return formula;
+}
+
+}  // namespace gdx

@@ -1,0 +1,25 @@
+#ifndef GDX_SAT_GEN_H_
+#define GDX_SAT_GEN_H_
+
+#include "common/rng.h"
+#include "sat/cnf.h"
+
+namespace gdx {
+
+/// Uniform random k-SAT: m clauses of k distinct variables with random
+/// polarity. At m/n ≈ 4.26, random 3-SAT sits at its hardness phase
+/// transition — the workload family for the Theorem 4.1 scaling benches.
+CnfFormula RandomKSat(int num_vars, int num_clauses, int k, Rng& rng);
+
+/// Random k-SAT with a planted satisfying assignment: each clause is
+/// guaranteed at least one literal true under the hidden model. Always
+/// satisfiable — the "yes" family.
+CnfFormula PlantedKSat(int num_vars, int num_clauses, int k, Rng& rng);
+
+/// Pigeonhole principle PHP(n+1, n): provably unsatisfiable, exponentially
+/// hard for resolution-style solvers — the "no" family.
+CnfFormula Pigeonhole(int holes);
+
+}  // namespace gdx
+
+#endif  // GDX_SAT_GEN_H_

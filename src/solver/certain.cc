@@ -1,0 +1,113 @@
+#include "solver/certain.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gdx {
+namespace {
+
+bool AllConstants(const std::vector<Value>& tuple) {
+  for (Value v : tuple) {
+    if (!v.is_constant()) return false;
+  }
+  return true;
+}
+
+void SortTuples(std::vector<std::vector<Value>>& tuples) {
+  std::sort(tuples.begin(), tuples.end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+                if (a[i].raw() != b[i].raw()) return a[i].raw() < b[i].raw();
+              }
+              return a.size() < b.size();
+            });
+}
+
+}  // namespace
+
+CertainAnswerResult CertainAnswerSolver::Compute(const Setting& setting,
+                                                 const Instance& source,
+                                                 const CnreQuery& query,
+                                                 Universe& universe) const {
+  CertainAnswerResult result;
+  ExistenceSolver existence(eval_, options_.existence);
+  std::vector<Graph> solutions = existence.EnumerateSolutions(
+      setting, source, universe, options_.max_solutions);
+  result.solutions_considered = solutions.size();
+  if (solutions.empty()) {
+    // Distinguish "no solution" (vacuously certain) from "enumeration came
+    // up empty for budget reasons" via a full existence decision.
+    ExistenceReport report = existence.Decide(setting, source, universe);
+    result.no_solution = (report.verdict == ExistenceVerdict::kNo);
+    return result;
+  }
+
+  std::unordered_set<std::vector<Value>, ValueVecHash> intersection;
+  bool first = true;
+  for (const Graph& g : solutions) {
+    std::vector<std::vector<Value>> answers = EvaluateCnre(query, g, *eval_);
+    std::unordered_set<std::vector<Value>, ValueVecHash> constant_answers;
+    for (auto& t : answers) {
+      if (AllConstants(t)) constant_answers.insert(std::move(t));
+    }
+    if (first) {
+      intersection = std::move(constant_answers);
+      first = false;
+    } else {
+      for (auto it = intersection.begin(); it != intersection.end();) {
+        if (constant_answers.count(*it) == 0) {
+          it = intersection.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (intersection.empty()) break;
+  }
+  result.tuples.assign(intersection.begin(), intersection.end());
+  SortTuples(result.tuples);
+  return result;
+}
+
+bool CertainAnswerSolver::IsCertain(const Setting& setting,
+                                    const Instance& source,
+                                    const CnreQuery& query,
+                                    const std::vector<Value>& tuple,
+                                    Universe& universe) const {
+  ExistenceSolver existence(eval_, options_.existence);
+  std::vector<Graph> solutions = existence.EnumerateSolutions(
+      setting, source, universe, options_.max_solutions);
+  if (solutions.empty()) {
+    ExistenceReport report = existence.Decide(setting, source, universe);
+    // No solutions: everything is vacuously certain.
+    return report.verdict == ExistenceVerdict::kNo;
+  }
+  for (const Graph& g : solutions) {
+    std::vector<std::vector<Value>> answers = EvaluateCnre(query, g, *eval_);
+    bool found = false;
+    for (const auto& t : answers) {
+      if (t == tuple) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;  // counterexample solution
+  }
+  return true;
+}
+
+std::vector<std::vector<Value>> PatternCertainAnswers(
+    const GraphPattern& pattern, const CnreQuery& query,
+    const NreEvaluator& eval) {
+  Graph definite = pattern.DefiniteGraph();
+  std::vector<std::vector<Value>> answers =
+      EvaluateCnre(query, definite, eval);
+  std::vector<std::vector<Value>> out;
+  for (auto& t : answers) {
+    if (AllConstants(t)) out.push_back(std::move(t));
+  }
+  SortTuples(out);
+  return out;
+}
+
+}  // namespace gdx

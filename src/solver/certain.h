@@ -1,0 +1,69 @@
+#ifndef GDX_SOLVER_CERTAIN_H_
+#define GDX_SOLVER_CERTAIN_H_
+
+#include <vector>
+
+#include "graph/cnre.h"
+#include "pattern/pattern.h"
+#include "solver/existence.h"
+
+namespace gdx {
+
+/// Options for certain-answer computation.
+struct CertainAnswerOptions {
+  ExistenceOptions existence;
+  /// How many structurally distinct solutions to intersect over.
+  size_t max_solutions = 64;
+};
+
+/// cert_Ω(Q, I) computed by intersecting Q over enumerated solutions
+/// (paper §2, "Query answering"). The intersection over a *subset* of
+/// solutions over-approximates the true certain answers; it converges to
+/// the exact set once the enumerated family is rich enough (exact on all
+/// of the paper's examples — see tests). Consistent with Cor 4.2/4.4's
+/// coNP-hardness, no general efficient exact procedure is possible.
+struct CertainAnswerResult {
+  /// True iff no solution exists: every tuple is vacuously certain.
+  bool no_solution = false;
+  /// Certain tuples over constants (nulls never appear in certain answers),
+  /// sorted for deterministic comparison.
+  std::vector<std::vector<Value>> tuples;
+  size_t solutions_considered = 0;
+};
+
+class CertainAnswerSolver {
+ public:
+  CertainAnswerSolver(const NreEvaluator* eval,
+                      CertainAnswerOptions options = {})
+      : eval_(eval), options_(options) {}
+
+  /// Computes cert_Ω(Q, I) by solution enumeration + intersection.
+  CertainAnswerResult Compute(const Setting& setting, const Instance& source,
+                              const CnreQuery& query,
+                              Universe& universe) const;
+
+  /// Decides membership of one tuple: searches enumerated solutions for a
+  /// counterexample (a solution where the tuple is not an answer) — the
+  /// coNP shape of Corollary 4.2. Returns false on counterexample, true if
+  /// no solution refutes it within budget (exact when enumeration covers).
+  bool IsCertain(const Setting& setting, const Instance& source,
+                 const CnreQuery& query, const std::vector<Value>& tuple,
+                 Universe& universe) const;
+
+ private:
+  const NreEvaluator* eval_;
+  CertainAnswerOptions options_;
+};
+
+/// Naive certain answers over a universal representative (tgd-only
+/// settings, paper §3.2 after [4, 5]): evaluate Q over the pattern's
+/// definite subgraph and keep all-constant tuples. Sound (a lower bound on
+/// the certain answers); exact for queries whose witnesses lie in the
+/// definite part.
+std::vector<std::vector<Value>> PatternCertainAnswers(
+    const GraphPattern& pattern, const CnreQuery& query,
+    const NreEvaluator& eval);
+
+}  // namespace gdx
+
+#endif  // GDX_SOLVER_CERTAIN_H_

@@ -1,0 +1,50 @@
+#include "solver/core_minimizer.h"
+
+namespace gdx {
+namespace {
+
+/// Rebuilds `g` without edge index `skip`; isolated *nulls* are dropped
+/// (isolated constants stay: they may carry meaning for the instance).
+Graph WithoutEdge(const Graph& g, size_t skip) {
+  Graph out;
+  for (size_t i = 0; i < g.edges().size(); ++i) {
+    if (i == skip) continue;
+    const Edge& e = g.edges()[i];
+    out.AddEdge(e.src, e.label, e.dst);
+  }
+  for (Value v : g.nodes()) {
+    if (v.is_constant()) out.AddNode(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Graph GreedyCoreMinimize(const Graph& solution, const Setting& setting,
+                         const Instance& source, const NreEvaluator& eval,
+                         const Universe& universe, CoreMinimizeStats* stats,
+                         const SolutionCheckOptions& options) {
+  Graph current = solution;
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    // Last-added edges first: chase redundancy tends to accumulate late.
+    for (size_t i = current.edges().size(); i-- > 0;) {
+      Graph candidate = WithoutEdge(current, i);
+      if (stats != nullptr) ++stats->checks;
+      if (IsSolution(setting, source, candidate, eval, universe, options)) {
+        if (stats != nullptr) {
+          ++stats->edges_removed;
+          stats->nodes_removed +=
+              current.num_nodes() - candidate.num_nodes();
+        }
+        current = std::move(candidate);
+        shrunk = true;
+        break;  // edge indices shifted; restart the scan
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace gdx

@@ -1,0 +1,34 @@
+#ifndef GDX_SOLVER_CORE_MINIMIZER_H_
+#define GDX_SOLVER_CORE_MINIMIZER_H_
+
+#include "common/universe.h"
+#include "exchange/setting.h"
+#include "exchange/solution_check.h"
+#include "graph/graph.h"
+#include "graph/nre_eval.h"
+#include "relational/instance.h"
+
+namespace gdx {
+
+struct CoreMinimizeStats {
+  size_t edges_removed = 0;
+  size_t nodes_removed = 0;
+  size_t checks = 0;
+};
+
+/// Greedy core minimization of a solution (after the *core* notion of
+/// relational data exchange, Fagin–Kolaitis–Popa): repeatedly drop edges —
+/// and then isolated nulls — while the graph remains a solution. The
+/// result is a subset-minimal solution contained in the input (not
+/// necessarily THE core, which would require hom-equivalence folding, but
+/// a deterministic, verified shrinkage). Useful because chase-produced
+/// solutions carry redundant parallel paths.
+Graph GreedyCoreMinimize(const Graph& solution, const Setting& setting,
+                         const Instance& source, const NreEvaluator& eval,
+                         const Universe& universe,
+                         CoreMinimizeStats* stats = nullptr,
+                         const SolutionCheckOptions& options = {});
+
+}  // namespace gdx
+
+#endif  // GDX_SOLVER_CORE_MINIMIZER_H_

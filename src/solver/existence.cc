@@ -1,0 +1,258 @@
+#include "solver/existence.h"
+
+#include "chase/egd_chase.h"
+#include "chase/pattern_chase.h"
+#include "chase/sameas_completion.h"
+#include "chase/target_tgd_chase.h"
+#include "exchange/solution_check.h"
+#include "graph/isomorphism.h"
+#include "sat/dpll.h"
+#include "solver/flat_encoding.h"
+
+#include <unordered_set>
+
+namespace gdx {
+namespace {
+
+/// Advances a mixed-radix odometer; returns false on wraparound.
+bool NextChoice(std::vector<size_t>& choices,
+                const std::vector<std::vector<Witness>>& lists) {
+  for (size_t i = 0; i < choices.size(); ++i) {
+    if (++choices[i] < lists[i].size()) return true;
+    choices[i] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Graph> ExistenceSolver::RepairAndVerify(
+    Graph candidate, const Setting& setting, const Instance& source,
+    Universe& universe) const {
+  if (!setting.egds.empty()) {
+    EgdChaseResult egd = ChaseGraphEgds(candidate, setting.egds, *eval_);
+    if (egd.failed) return std::nullopt;
+  }
+  if (!setting.target_tgds.empty()) {
+    Status st = ChaseTargetTgds(candidate, setting.target_tgds, universe,
+                                *eval_, options_.target_tgd_max_rounds);
+    if (!st.ok()) return std::nullopt;
+    // Target tgd chase may have re-broken egds; re-repair once.
+    if (!setting.egds.empty()) {
+      EgdChaseResult egd = ChaseGraphEgds(candidate, setting.egds, *eval_);
+      if (egd.failed) return std::nullopt;
+    }
+  }
+  if (!setting.sameas.empty()) {
+    Status st = CompleteSameAs(candidate, setting.sameas, *setting.alphabet,
+                               *eval_);
+    if (!st.ok()) return std::nullopt;
+  }
+  if (IsSolution(setting, source, candidate, *eval_, universe)) {
+    return candidate;
+  }
+  return std::nullopt;
+}
+
+ExistenceReport ExistenceSolver::DecideChaseRefute(const Setting& setting,
+                                                   const Instance& source,
+                                                   Universe& universe) const {
+  ExistenceReport report;
+  GraphPattern pattern = ChaseToPattern(source, setting.st_tgds, universe);
+  if (!setting.egds.empty()) {
+    EgdChaseResult egd = ChasePatternEgds(pattern, setting.egds, *eval_);
+    if (egd.failed) {
+      report.verdict = ExistenceVerdict::kNo;
+      report.refuted_by_chase = true;
+      report.note = "adapted chase failed: " + egd.failure_reason;
+      return report;
+    }
+  }
+  PatternInstantiator instantiator(&pattern, &universe,
+                                   options_.instantiation);
+  Result<Graph> canonical = instantiator.InstantiateCanonical();
+  if (canonical.ok()) {
+    report.candidates_tried = 1;
+    std::optional<Graph> solution =
+        RepairAndVerify(std::move(canonical).value(), setting, source,
+                        universe);
+    if (solution.has_value()) {
+      report.verdict = ExistenceVerdict::kYes;
+      report.witness = std::move(solution);
+      report.note = "canonical instantiation verified";
+      return report;
+    }
+  }
+  report.verdict = ExistenceVerdict::kUnknown;
+  report.note =
+      "chase succeeded but canonical instantiation failed verification "
+      "(chase success does not imply a solution; paper Example 5.2)";
+  return report;
+}
+
+ExistenceReport ExistenceSolver::DecideBoundedSearch(
+    const Setting& setting, const Instance& source,
+    Universe& universe) const {
+  ExistenceReport report;
+  GraphPattern pattern = ChaseToPattern(source, setting.st_tgds, universe);
+  if (!setting.egds.empty()) {
+    EgdChaseResult egd = ChasePatternEgds(pattern, setting.egds, *eval_);
+    if (egd.failed) {
+      report.verdict = ExistenceVerdict::kNo;
+      report.refuted_by_chase = true;
+      report.note = "adapted chase failed: " + egd.failure_reason;
+      return report;
+    }
+  }
+  PatternInstantiator instantiator(&pattern, &universe,
+                                   options_.instantiation);
+  const auto& lists = instantiator.witness_lists();
+  for (const auto& list : lists) {
+    if (list.empty()) {
+      report.verdict = ExistenceVerdict::kNo;
+      report.note = "a pattern edge has no witness within budget";
+      return report;
+    }
+  }
+  std::vector<size_t> choices(lists.size(), 0);
+  do {
+    if (report.candidates_tried >= options_.max_candidates) {
+      report.budget_exhausted = true;
+      report.verdict = ExistenceVerdict::kUnknown;
+      report.note = "candidate budget exhausted";
+      return report;
+    }
+    ++report.candidates_tried;
+    Result<Graph> candidate = instantiator.Instantiate(choices);
+    if (!candidate.ok()) continue;  // invalid combination (ε between nodes)
+    std::optional<Graph> solution = RepairAndVerify(
+        std::move(candidate).value(), setting, source, universe);
+    if (solution.has_value()) {
+      report.verdict = ExistenceVerdict::kYes;
+      report.witness = std::move(solution);
+      report.note = "bounded search found a verified solution";
+      return report;
+    }
+  } while (NextChoice(choices, lists));
+  report.verdict = ExistenceVerdict::kNo;
+  report.note =
+      "bounded search exhausted all witness combinations without a "
+      "solution (complete for witness-covered fragments, e.g. Thm 4.1's)";
+  return report;
+}
+
+ExistenceReport ExistenceSolver::DecideSatBacked(const Setting& setting,
+                                                 const Instance& source,
+                                                 Universe& universe) const {
+  ExistenceReport report;
+  Result<FlatEncoding> encoding = EncodeFlatSetting(setting, source);
+  if (!encoding.ok()) {
+    report = DecideBoundedSearch(setting, source, universe);
+    report.note = "not flat (" + encoding.status().message() +
+                  "); fell back to bounded search. " + report.note;
+    return report;
+  }
+  DpllSolver solver;
+  SatResult sat = solver.Solve(encoding->cnf);
+  report.candidates_tried = sat.stats.decisions + 1;
+  if (!sat.satisfiable) {
+    if (sat.budget_exhausted) {
+      report.verdict = ExistenceVerdict::kUnknown;
+      report.budget_exhausted = true;
+      report.note = "DPLL decision budget exhausted";
+      return report;
+    }
+    report.verdict = ExistenceVerdict::kNo;
+    report.note = "flat CNF unsatisfiable (exact for the flat fragment)";
+    return report;
+  }
+  Graph witness = DecodeFlatModel(*encoding, sat.model);
+  // The decoded graph is a solution by construction; verify defensively.
+  if (IsSolution(setting, source, witness, *eval_, universe)) {
+    report.verdict = ExistenceVerdict::kYes;
+    report.witness = std::move(witness);
+    report.note = "DPLL model decoded to a verified solution";
+    return report;
+  }
+  report.verdict = ExistenceVerdict::kUnknown;
+  report.note = "internal: DPLL model failed verification";
+  return report;
+}
+
+ExistenceReport ExistenceSolver::Decide(const Setting& setting,
+                                        const Instance& source,
+                                        Universe& universe) const {
+  switch (options_.strategy) {
+    case ExistenceStrategy::kChaseRefute:
+      return DecideChaseRefute(setting, source, universe);
+    case ExistenceStrategy::kBoundedSearch:
+      return DecideBoundedSearch(setting, source, universe);
+    case ExistenceStrategy::kSatBacked:
+      return DecideSatBacked(setting, source, universe);
+    case ExistenceStrategy::kAuto:
+      break;
+  }
+  // Auto strategy.
+  if (!setting.HasTargetConstraints() || setting.SameAsOnly()) {
+    // Solutions always exist (paper §3.2 / §4.2): construct one.
+    ExistenceReport report = DecideChaseRefute(setting, source, universe);
+    if (report.verdict == ExistenceVerdict::kYes) return report;
+    // Canonical instantiation can fail only on witness-budget corner
+    // cases; widen via bounded search.
+    return DecideBoundedSearch(setting, source, universe);
+  }
+  if (setting.target_tgds.empty() && setting.sameas.empty()) {
+    ExistenceReport report = DecideSatBacked(setting, source, universe);
+    if (report.verdict != ExistenceVerdict::kUnknown) return report;
+  }
+  return DecideBoundedSearch(setting, source, universe);
+}
+
+std::vector<Graph> ExistenceSolver::EnumerateSolutions(
+    const Setting& setting, const Instance& source, Universe& universe,
+    size_t max_solutions) const {
+  std::vector<Graph> solutions;
+  std::unordered_set<std::string> seen;
+  GraphPattern pattern = ChaseToPattern(source, setting.st_tgds, universe);
+  if (!setting.egds.empty()) {
+    EgdChaseResult egd = ChasePatternEgds(pattern, setting.egds, *eval_);
+    if (egd.failed) return solutions;  // no solutions at all
+  }
+  PatternInstantiator instantiator(&pattern, &universe,
+                                   options_.instantiation);
+  const auto& lists = instantiator.witness_lists();
+  for (const auto& list : lists) {
+    if (list.empty()) return solutions;
+  }
+  // A placeholder universe name provider for signatures: solutions may
+  // contain nulls; Signature uses the universe passed at call sites, so we
+  // dedup on a structural signature computed with a shared alphabet.
+  std::vector<size_t> choices(lists.size(), 0);
+  size_t tried = 0;
+  do {
+    if (tried++ >= options_.max_candidates) break;
+    Result<Graph> candidate = instantiator.Instantiate(choices);
+    if (!candidate.ok()) continue;
+    std::optional<Graph> solution = RepairAndVerify(
+        std::move(candidate).value(), setting, source, universe);
+    if (!solution.has_value()) continue;
+    std::string signature =
+        solution->Signature(universe, *setting.alphabet);
+    if (!seen.insert(signature).second) continue;
+    if (options_.dedup_isomorphic) {
+      bool duplicate = false;
+      for (const Graph& kept : solutions) {
+        if (IsomorphicUpToNulls(*solution, kept)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+    }
+    solutions.push_back(std::move(*solution));
+    if (solutions.size() >= max_solutions) break;
+  } while (NextChoice(choices, lists));
+  return solutions;
+}
+
+}  // namespace gdx

@@ -1,0 +1,110 @@
+#ifndef GDX_SOLVER_EXISTENCE_H_
+#define GDX_SOLVER_EXISTENCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/universe.h"
+#include "exchange/setting.h"
+#include "graph/graph.h"
+#include "graph/nre_eval.h"
+#include "pattern/witness.h"
+#include "relational/instance.h"
+
+namespace gdx {
+
+/// Decision strategies for the existence-of-solutions problem (paper §4).
+enum class ExistenceStrategy {
+  /// Adapted chase (§5): failure is a sound "no"; success attempts one
+  /// canonical instantiation — may return kUnknown.
+  kChaseRefute,
+  /// Complete enumeration over witness-choice combinations of the chased
+  /// pattern (+ graph-level egd repair). Exponential — this is the search
+  /// space whose size Theorem 4.1's NP-hardness speaks to.
+  kBoundedSearch,
+  /// Exact CNF encoding of the flat fragment solved by DPLL (fast path;
+  /// INVALID_ARGUMENT-fallback to bounded search outside the fragment).
+  kSatBacked,
+  /// Picks per setting: no constraints / sameAs-only -> constructive yes;
+  /// flat -> SAT-backed; otherwise bounded search.
+  kAuto,
+};
+
+enum class ExistenceVerdict { kYes, kNo, kUnknown };
+
+/// Outcome of an existence decision.
+struct ExistenceReport {
+  ExistenceVerdict verdict = ExistenceVerdict::kUnknown;
+  /// A concrete solution when verdict == kYes.
+  std::optional<Graph> witness;
+  std::string note;
+
+  size_t candidates_tried = 0;
+  /// True if the bounded search exhausted its candidate budget without
+  /// covering the whole combination space (verdict is then kUnknown, not
+  /// kNo).
+  bool budget_exhausted = false;
+  /// True if a "no" came from the adapted chase's constant-clash failure.
+  bool refuted_by_chase = false;
+};
+
+/// Tuning knobs for the existence solver.
+struct ExistenceOptions {
+  ExistenceStrategy strategy = ExistenceStrategy::kAuto;
+  InstantiationOptions instantiation;
+  /// Max witness-choice combinations explored by the bounded search.
+  size_t max_candidates = 1u << 20;
+  size_t target_tgd_max_rounds = 64;
+  /// Deduplicate enumerated solutions up to null renaming (isomorphism) in
+  /// EnumerateSolutions — distinct nulls from different instantiations
+  /// otherwise count the same shape twice.
+  bool dedup_isomorphic = true;
+};
+
+/// Decides whether Sol_Ω(I) is non-empty. Verdicts are sound: kYes comes
+/// with a verified witness, kNo with either a chase refutation or an
+/// exhausted *complete* enumeration, and anything uncertain is kUnknown
+/// (consistent with the paper's NP-hardness: no general tractable
+/// procedure exists).
+class ExistenceSolver {
+ public:
+  explicit ExistenceSolver(const NreEvaluator* eval,
+                           ExistenceOptions options = {})
+      : eval_(eval), options_(options) {}
+
+  ExistenceReport Decide(const Setting& setting, const Instance& source,
+                         Universe& universe) const;
+
+  /// Enumerates up to `max_solutions` distinct verified solutions (used by
+  /// the certain-answer solver). Solutions are deduplicated by signature.
+  std::vector<Graph> EnumerateSolutions(const Setting& setting,
+                                        const Instance& source,
+                                        Universe& universe,
+                                        size_t max_solutions) const;
+
+ private:
+  ExistenceReport DecideChaseRefute(const Setting& setting,
+                                    const Instance& source,
+                                    Universe& universe) const;
+  ExistenceReport DecideBoundedSearch(const Setting& setting,
+                                      const Instance& source,
+                                      Universe& universe) const;
+  ExistenceReport DecideSatBacked(const Setting& setting,
+                                  const Instance& source,
+                                  Universe& universe) const;
+
+  /// Completes a candidate graph (egd repair, target tgds, sameAs) and
+  /// verifies it; returns the verified solution or nullopt.
+  std::optional<Graph> RepairAndVerify(Graph candidate,
+                                       const Setting& setting,
+                                       const Instance& source,
+                                       Universe& universe) const;
+
+  const NreEvaluator* eval_;
+  ExistenceOptions options_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_SOLVER_EXISTENCE_H_

@@ -1,0 +1,192 @@
+#include "solver/flat_encoding.h"
+
+#include <unordered_map>
+
+#include "relational/eval.h"
+
+namespace gdx {
+namespace {
+
+struct EdgeVarTable {
+  std::unordered_map<uint64_t, int> var_of_key;
+  std::vector<Edge> edge_of_var;
+
+  static uint64_t Key(Value u, SymbolId s, Value v) {
+    uint64_t x = u.raw();
+    x = x * 0x9e3779b97f4a7c15ull + s;
+    x = x * 0x9e3779b97f4a7c15ull + v.raw();
+    return x;
+  }
+
+  int VarOf(Value u, SymbolId s, Value v) {
+    uint64_t key = Key(u, s, v);
+    auto it = var_of_key.find(key);
+    if (it != var_of_key.end()) return it->second;
+    edge_of_var.push_back(Edge{u, s, v});
+    int var = static_cast<int>(edge_of_var.size());
+    var_of_key.emplace(key, var);
+    return var;
+  }
+
+  /// The var of an existing candidate edge, or 0 if not a candidate.
+  int Find(Value u, SymbolId s, Value v) const {
+    auto it = var_of_key.find(Key(u, s, v));
+    return it == var_of_key.end() ? 0 : it->second;
+  }
+};
+
+/// Recursively enumerates assignments of one egd's atoms to candidate-edge
+/// paths, collecting the path edge variables; at every complete assignment
+/// with x1 != x2, appends a blocking clause.
+struct EgdGrounder {
+  const TargetEgd& egd;
+  const EdgeVarTable& vars;
+  const std::vector<Value>& nodes;
+  CnfFormula& cnf;
+
+  std::vector<std::optional<Value>> binding;
+  std::vector<int> used_edge_vars;
+
+  /// Expands atom `ai`, walking symbol `si` of its path from `at`.
+  void WalkPath(size_t ai, const std::vector<SymbolId>& path, size_t si,
+                Value at) {
+    const CnreAtom& atom = egd.body.atoms()[ai];
+    if (si == path.size()) {
+      // Atom end: bind/check the y term.
+      if (atom.y.is_const()) {
+        if (atom.y.constant() == at) NextAtom(ai + 1);
+        return;
+      }
+      VarId yv = atom.y.var();
+      if (binding[yv].has_value()) {
+        if (*binding[yv] == at) NextAtom(ai + 1);
+        return;
+      }
+      binding[yv] = at;
+      NextAtom(ai + 1);
+      binding[yv].reset();
+      return;
+    }
+    for (Value next : nodes) {
+      int var = vars.Find(at, path[si], next);
+      if (var == 0) continue;
+      used_edge_vars.push_back(var);
+      WalkPath(ai, path, si + 1, next);
+      used_edge_vars.pop_back();
+    }
+  }
+
+  void NextAtom(size_t ai) {
+    if (ai == egd.body.atoms().size()) {
+      Value a = *binding[egd.x1];
+      Value b = *binding[egd.x2];
+      if (a == b) return;  // equality already holds
+      Clause blocker;
+      for (int v : used_edge_vars) blocker.push_back(-v);
+      cnf.AddClause(std::move(blocker));
+      return;
+    }
+    const CnreAtom& atom = egd.body.atoms()[ai];
+    std::vector<SymbolId> path;
+    IsSymbolConcat(atom.nre, &path);  // validated by caller
+    if (atom.x.is_const()) {
+      WalkPath(ai, path, 0, atom.x.constant());
+      return;
+    }
+    VarId xv = atom.x.var();
+    if (binding[xv].has_value()) {
+      WalkPath(ai, path, 0, *binding[xv]);
+      return;
+    }
+    for (Value start : nodes) {
+      binding[xv] = start;
+      WalkPath(ai, path, 0, start);
+      binding[xv].reset();
+    }
+  }
+};
+
+}  // namespace
+
+Result<FlatEncoding> EncodeFlatSetting(const Setting& setting,
+                                       const Instance& source) {
+  if (!setting.target_tgds.empty() || !setting.sameas.empty()) {
+    return Status::InvalidArgument(
+        "flat encoding supports s-t tgds + egds only");
+  }
+  FlatEncoding out;
+  EdgeVarTable vars;
+  std::unordered_map<uint64_t, bool> node_seen;
+
+  // Pass 1: triggers, candidate edges, head clauses.
+  std::vector<Clause> head_clauses;
+  for (const StTgd& tgd : setting.st_tgds) {
+    if (!tgd.ExistentialVars().empty()) {
+      return Status::InvalidArgument(
+          "flat encoding requires existential-free s-t tgd heads");
+    }
+    // Validate head NREs up front.
+    for (const CnreAtom& atom : tgd.head) {
+      std::vector<SymbolId> symbols;
+      if (!IsSymbolUnion(atom.nre, &symbols)) {
+        return Status::InvalidArgument(
+            "flat encoding requires symbol-union head NREs");
+      }
+    }
+    Status failure = Status::Ok();
+    FindCqMatches(tgd.body, source, [&](const Binding& match) {
+      for (const CnreAtom& atom : tgd.head) {
+        Value u = atom.x.is_const() ? atom.x.constant()
+                                    : match[atom.x.var()].value();
+        Value v = atom.y.is_const() ? atom.y.constant()
+                                    : match[atom.y.var()].value();
+        if (node_seen.emplace(u.raw(), true).second) out.nodes.push_back(u);
+        if (node_seen.emplace(v.raw(), true).second) out.nodes.push_back(v);
+        std::vector<SymbolId> symbols;
+        IsSymbolUnion(atom.nre, &symbols);
+        Clause clause;
+        for (SymbolId s : symbols) clause.push_back(vars.VarOf(u, s, v));
+        head_clauses.push_back(std::move(clause));
+      }
+      return true;
+    });
+    if (!failure.ok()) return failure;
+  }
+
+  out.cnf.set_num_vars(static_cast<int>(vars.edge_of_var.size()));
+  for (Clause& c : head_clauses) out.cnf.AddClause(std::move(c));
+
+  // Pass 2: egd blocking clauses over candidate-edge paths.
+  for (const TargetEgd& egd : setting.egds) {
+    for (const CnreAtom& atom : egd.body.atoms()) {
+      std::vector<SymbolId> path;
+      if (!IsSymbolConcat(atom.nre, &path)) {
+        return Status::InvalidArgument(
+            "flat encoding requires symbol-concatenation egd bodies");
+      }
+    }
+    EgdGrounder grounder{egd, vars, out.nodes, out.cnf,
+                         std::vector<std::optional<Value>>(
+                             egd.body.num_vars()),
+                         {}};
+    grounder.NextAtom(0);
+  }
+
+  out.edge_of_var = std::move(vars.edge_of_var);
+  return out;
+}
+
+Graph DecodeFlatModel(const FlatEncoding& encoding,
+                      const std::vector<bool>& model) {
+  Graph g;
+  for (Value v : encoding.nodes) g.AddNode(v);
+  for (size_t i = 0; i < encoding.edge_of_var.size(); ++i) {
+    if (model[i + 1]) {
+      const Edge& e = encoding.edge_of_var[i];
+      g.AddEdge(e.src, e.label, e.dst);
+    }
+  }
+  return g;
+}
+
+}  // namespace gdx

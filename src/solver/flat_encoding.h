@@ -1,0 +1,51 @@
+#ifndef GDX_SOLVER_FLAT_ENCODING_H_
+#define GDX_SOLVER_FLAT_ENCODING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/universe.h"
+#include "exchange/setting.h"
+#include "graph/graph.h"
+#include "relational/instance.h"
+#include "sat/cnf.h"
+
+namespace gdx {
+
+/// Exact propositional encoding of the *flat fragment*:
+///   - every s-t tgd head atom is existential-free (both terms bound by the
+///     body) and its NRE is a union of forward symbols (a, a+b, ...);
+///   - every egd body atom's NRE is a concatenation of forward symbols
+///     (SORE(·), as in Theorem 4.1's restrictions);
+///   - no target tgds or sameAs constraints.
+///
+/// Completeness argument: in this fragment any solution restricted to the
+/// *candidate edges* (the symbol options of head atoms over trigger
+/// bindings) is still a solution — heads need only candidate edges, and
+/// egds are universal so removing edges cannot violate them. Existence of
+/// a solution is therefore equivalent to satisfiability of a CNF with one
+/// Boolean variable per candidate edge:
+///   - per trigger-atom: at least one of its optional edges exists;
+///   - per egd-violating path combination over candidate edges: not all
+///     of its edges exist.
+/// Applied to the Theorem 4.1 family this regenerates ρ itself (plus the
+/// t/f exclusivity clauses), which is the reduction run in reverse.
+struct FlatEncoding {
+  CnfFormula cnf;
+  /// Boolean var v (1-based) asserts the presence of edge_of_var[v-1].
+  std::vector<Edge> edge_of_var;
+  /// Nodes of every candidate graph (trigger constants).
+  std::vector<Value> nodes;
+};
+
+/// Builds the encoding; INVALID_ARGUMENT if the setting is not flat.
+Result<FlatEncoding> EncodeFlatSetting(const Setting& setting,
+                                       const Instance& source);
+
+/// Materializes the graph selected by a SAT model of the encoding.
+Graph DecodeFlatModel(const FlatEncoding& encoding,
+                      const std::vector<bool>& model);
+
+}  // namespace gdx
+
+#endif  // GDX_SOLVER_FLAT_ENCODING_H_

@@ -1,0 +1,81 @@
+#include "solver/sameas_engine.h"
+
+#include <unordered_map>
+
+#include "chase/pattern_chase.h"
+#include "chase/sameas_completion.h"
+#include "common/union_find.h"
+#include "exchange/solution_check.h"
+#include "pattern/witness.h"
+
+namespace gdx {
+
+Graph SameAsEngine::QuotientGraph(const Graph& g, Alphabet& alphabet) {
+  const SymbolId same_as = alphabet.SameAsSymbol();
+  // Union-find over all nodes; representatives prefer constants, then the
+  // smallest value. Unlike the egd chase, quotienting may merge two
+  // distinct constants — sameAs asserts world-level identity, not chase
+  // equality, so this is not a failure here.
+  std::unordered_map<uint64_t, uint32_t> index;
+  std::vector<Value> nodes = g.nodes();
+  for (uint32_t i = 0; i < nodes.size(); ++i) index[nodes[i].raw()] = i;
+  UnionFind uf(nodes.size());
+  for (const Edge& e : g.edges()) {
+    if (e.label == same_as) {
+      uf.Union(index[e.src.raw()], index[e.dst.raw()]);
+    }
+  }
+  std::unordered_map<uint32_t, Value> rep;
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    uint32_t root = uf.Find(i);
+    auto it = rep.find(root);
+    if (it == rep.end()) {
+      rep.emplace(root, nodes[i]);
+      continue;
+    }
+    Value cur = it->second;
+    bool replace = false;
+    if (nodes[i].is_constant() != cur.is_constant()) {
+      replace = nodes[i].is_constant();
+    } else {
+      replace = nodes[i] < cur;
+    }
+    if (replace) it->second = nodes[i];
+  }
+  Graph out;
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    out.AddNode(rep[uf.Find(i)]);
+  }
+  for (const Edge& e : g.edges()) {
+    if (e.label == same_as) continue;  // folded into the quotient
+    Value s = rep[uf.Find(index[e.src.raw()])];
+    Value d = rep[uf.Find(index[e.dst.raw()])];
+    out.AddEdge(s, e.label, d);
+  }
+  return out;
+}
+
+Result<Graph> SameAsEngine::TrivialSolution(const Setting& setting,
+                                            const Instance& source,
+                                            Universe& universe,
+                                            const NreEvaluator& eval) {
+  if (!setting.egds.empty() || !setting.target_tgds.empty()) {
+    return Status::InvalidArgument(
+        "TrivialSolution applies to sameAs-only settings (paper §4.2)");
+  }
+  GraphPattern pattern = ChaseToPattern(source, setting.st_tgds, universe);
+  PatternInstantiator instantiator(&pattern, &universe, {});
+  Result<Graph> graph = instantiator.InstantiateCanonical();
+  if (!graph.ok()) return graph.status();
+  Graph solution = std::move(graph).value();
+  Status st =
+      CompleteSameAs(solution, setting.sameas, *setting.alphabet, eval);
+  if (!st.ok()) return st;
+  if (!IsSolution(setting, source, solution, eval, universe)) {
+    return Status::Internal(
+        "sameAs completion failed to produce a solution (bug)");
+  }
+  return solution;
+}
+
+}  // namespace gdx

@@ -1,0 +1,38 @@
+#ifndef GDX_SOLVER_SAMEAS_ENGINE_H_
+#define GDX_SOLVER_SAMEAS_ENGINE_H_
+
+#include "common/status.h"
+#include "common/universe.h"
+#include "exchange/setting.h"
+#include "graph/graph.h"
+#include "graph/nre_eval.h"
+#include "relational/instance.h"
+
+namespace gdx {
+
+/// Utilities for the sameAs relaxation of §4.2: tractable existence and
+/// quotient semantics.
+class SameAsEngine {
+ public:
+  /// Collapses sameAs-connected components: every class is replaced by a
+  /// single representative (constants preferred, then smallest value);
+  /// non-sameAs edges are re-targeted; intra-class sameAs edges become
+  /// self-loops and are dropped. This makes the egd-style reading of a
+  /// sameAs-solution explicit (cf. the paper's Example 2.2 discussion of
+  /// cert_Ω vs cert_Ω′).
+  static Graph QuotientGraph(const Graph& g, Alphabet& alphabet);
+
+  /// The §4.2 constructive existence procedure for sameAs-only settings:
+  /// (i) chase a pattern with the s-t tgds, (ii) take any graph represented
+  /// by it (canonical instantiation), (iii) add the sameAs edges required
+  /// by the constraints. Always succeeds for sameAs-only settings — the
+  /// paper's "existence becomes trivial". Returns the verified solution.
+  static Result<Graph> TrivialSolution(const Setting& setting,
+                                       const Instance& source,
+                                       Universe& universe,
+                                       const NreEvaluator& eval);
+};
+
+}  // namespace gdx
+
+#endif  // GDX_SOLVER_SAMEAS_ENGINE_H_

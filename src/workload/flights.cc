@@ -1,0 +1,157 @@
+#include "workload/flights.h"
+
+#include <string>
+
+#include "exchange/parser.h"
+#include "graph/nre_parser.h"
+
+namespace gdx {
+namespace {
+
+/// Shared skeleton: schema, alphabet, mapping, query; callers fill facts.
+Scenario MakeFlightSkeleton(FlightConstraintMode mode) {
+  Scenario s;
+  s.universe = std::make_unique<Universe>();
+  s.source_schema = std::make_unique<Schema>();
+  s.alphabet = std::make_unique<Alphabet>();
+  (void)s.source_schema->AddRelation("Flight", 3);
+  (void)s.source_schema->AddRelation("Hotel", 2);
+  s.instance = std::make_unique<Instance>(s.source_schema.get());
+  s.setting.source_schema = s.source_schema.get();
+  s.setting.alphabet = s.alphabet.get();
+
+  Result<StTgd> tgd = ParseStTgd(
+      "Flight(x1, x2, x3), Hotel(x1, x4) -> "
+      "(x2, f . f*, y), (y, h, x4), (y, f . f*, x3)",
+      s.source_schema.get(), *s.alphabet, *s.universe);
+  s.setting.st_tgds.push_back(std::move(tgd).value());
+
+  switch (mode) {
+    case FlightConstraintMode::kNone:
+      break;
+    case FlightConstraintMode::kEgd: {
+      Result<TargetEgd> egd = ParseTargetEgd(
+          "(x1, h, x3), (x2, h, x3) -> x1 = x2", *s.alphabet, *s.universe);
+      s.setting.egds.push_back(std::move(egd).value());
+      break;
+    }
+    case FlightConstraintMode::kSameAs: {
+      Result<SameAsConstraint> sac = ParseSameAsConstraint(
+          "(x1, h, x3), (x2, h, x3) -> (x1, sameAs, x2)", *s.alphabet,
+          *s.universe);
+      s.setting.sameas.push_back(std::move(sac).value());
+      break;
+    }
+  }
+
+  // Q = (x1, f . f* [h] . f- . (f-)*, x2) — Example 2.2.
+  s.query = std::make_unique<CnreQuery>();
+  VarId x1 = s.query->InternVar("x1");
+  VarId x2 = s.query->InternVar("x2");
+  Result<NrePtr> q = ParseNre("f . f* [h] . f- . (f-)*", *s.alphabet);
+  s.query->AddAtom(Term::Var(x1), std::move(q).value(), Term::Var(x2));
+  s.query->SetHead({x1, x2});
+  return s;
+}
+
+void AddFlight(Scenario& s, const std::string& id, const std::string& src,
+               const std::string& dst) {
+  RelationId flight = s.source_schema->Find("Flight").value();
+  (void)s.instance->AddFact(flight, {s.universe->MakeConstant(id),
+                                     s.universe->MakeConstant(src),
+                                     s.universe->MakeConstant(dst)});
+}
+
+void AddHotelStop(Scenario& s, const std::string& flight_id,
+                  const std::string& hotel_id) {
+  RelationId hotel = s.source_schema->Find("Hotel").value();
+  (void)s.instance->AddFact(hotel, {s.universe->MakeConstant(flight_id),
+                                    s.universe->MakeConstant(hotel_id)});
+}
+
+}  // namespace
+
+Scenario MakeFlightScenario(const FlightWorkloadParams& params) {
+  Scenario s = MakeFlightSkeleton(params.mode);
+  Rng rng(params.seed);
+  for (size_t i = 0; i < params.num_flights; ++i) {
+    size_t src = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(params.num_cities) - 1));
+    size_t dst = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(params.num_cities) - 1));
+    if (dst == src) dst = (dst + 1) % params.num_cities;
+    std::string id = "fl" + std::to_string(i + 1);
+    AddFlight(s, id, "city" + std::to_string(src + 1),
+              "city" + std::to_string(dst + 1));
+    for (size_t k = 0; k < params.hotels_per_flight; ++k) {
+      size_t hotel = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(params.num_hotels) - 1));
+      AddHotelStop(s, id, "hotel" + std::to_string(hotel + 1));
+    }
+  }
+  return s;
+}
+
+Scenario MakeExample22Scenario(FlightConstraintMode mode) {
+  Scenario s = MakeFlightSkeleton(mode);
+  AddFlight(s, "01", "c1", "c2");
+  AddFlight(s, "02", "c3", "c2");
+  AddHotelStop(s, "01", "hx");
+  AddHotelStop(s, "01", "hy");
+  AddHotelStop(s, "02", "hx");
+  return s;
+}
+
+Scenario MakeExample31Scenario() {
+  Scenario s;
+  s.universe = std::make_unique<Universe>();
+  s.source_schema = std::make_unique<Schema>();
+  s.alphabet = std::make_unique<Alphabet>();
+  (void)s.source_schema->AddRelation("Flight", 3);
+  (void)s.source_schema->AddRelation("Hotel", 2);
+  s.instance = std::make_unique<Instance>(s.source_schema.get());
+  s.setting.source_schema = s.source_schema.get();
+  s.setting.alphabet = s.alphabet.get();
+
+  Result<StTgd> tgd = ParseStTgd(
+      "Flight(x1, x2, x3), Hotel(x1, x4) -> "
+      "(x2, f, y), (y, h, x4), (y, f, x3)",
+      s.source_schema.get(), *s.alphabet, *s.universe);
+  s.setting.st_tgds.push_back(std::move(tgd).value());
+  Result<TargetEgd> egd = ParseTargetEgd(
+      "(x1, h, x3), (x2, h, x3) -> x1 = x2", *s.alphabet, *s.universe);
+  s.setting.egds.push_back(std::move(egd).value());
+
+  AddFlight(s, "01", "c1", "c2");
+  AddFlight(s, "02", "c3", "c2");
+  AddHotelStop(s, "01", "hx");
+  AddHotelStop(s, "01", "hy");
+  AddHotelStop(s, "02", "hx");
+  return s;
+}
+
+Scenario MakeExample52Scenario() {
+  Scenario s;
+  s.universe = std::make_unique<Universe>();
+  s.source_schema = std::make_unique<Schema>();
+  s.alphabet = std::make_unique<Alphabet>();
+  Result<RelationId> r = s.source_schema->AddRelation("R", 1);
+  Result<RelationId> p = s.source_schema->AddRelation("P", 1);
+  s.instance = std::make_unique<Instance>(s.source_schema.get());
+  s.setting.source_schema = s.source_schema.get();
+  s.setting.alphabet = s.alphabet.get();
+
+  Result<StTgd> tgd = ParseStTgd(
+      "R(x), P(y) -> (x, a . (b* + c*) . a, y)", s.source_schema.get(),
+      *s.alphabet, *s.universe);
+  s.setting.st_tgds.push_back(std::move(tgd).value());
+  Result<TargetEgd> egd = ParseTargetEgd("(x, a + b + c, y) -> x = y",
+                                         *s.alphabet, *s.universe);
+  s.setting.egds.push_back(std::move(egd).value());
+
+  (void)s.instance->AddFact(*r, {s.universe->MakeConstant("c1")});
+  (void)s.instance->AddFact(*p, {s.universe->MakeConstant("c2")});
+  return s;
+}
+
+}  // namespace gdx

@@ -1,0 +1,56 @@
+#ifndef GDX_WORKLOAD_FLIGHTS_H_
+#define GDX_WORKLOAD_FLIGHTS_H_
+
+#include "common/rng.h"
+#include "workload/scenario.h"
+
+namespace gdx {
+
+/// Which target-constraint flavor to attach to a Flight/Hotel scenario.
+enum class FlightConstraintMode {
+  kNone,    // M_t = ∅  (§3.2: universal representatives exist)
+  kEgd,     // hotel in exactly one city, as an egd  (Example 2.2's Ω)
+  kSameAs,  // the sameAs version                    (Example 2.2's Ω′)
+};
+
+/// Parameters of the generated Flight/Hotel workload — the paper's running
+/// example at scale. Flights connect random city pairs; each flight's
+/// passengers stop at `hotels_per_flight` hotels drawn from a shared pool
+/// (sharing is what makes the egd merge cities).
+struct FlightWorkloadParams {
+  size_t num_cities = 10;
+  size_t num_flights = 20;
+  size_t num_hotels = 8;
+  size_t hotels_per_flight = 2;
+  FlightConstraintMode mode = FlightConstraintMode::kEgd;
+  uint64_t seed = 42;
+};
+
+/// Builds the generated scenario: schema {Flight/3, Hotel/2}, alphabet
+/// {f, h}, the Example 2.2 mapping
+///   Flight(x1,x2,x3) ∧ Hotel(x1,x4) →
+///       ∃y (x2, f·f*, y) ∧ (y, h, x4) ∧ (y, f·f*, x3)
+/// plus the chosen constraint flavor and the Example 2.2 query
+///   Q = (x1, f·f*[h]·f⁻·(f⁻)*, x2).
+Scenario MakeFlightScenario(const FlightWorkloadParams& params);
+
+/// The exact instance of Example 2.2: flights 01 (c1→c2) and 02 (c3→c2);
+/// hotel stops (01,hx), (01,hy), (02,hx). With mode kEgd this is the
+/// paper's Ω, with kSameAs its Ω′.
+Scenario MakeExample22Scenario(FlightConstraintMode mode);
+
+/// Example 3.1's restricted mapping (single-symbol heads):
+///   Flight(x1,x2,x3) ∧ Hotel(x1,x4) →
+///       ∃y (x2, f, y) ∧ (y, h, x4) ∧ (y, f, x3)
+/// over the Example 2.2 instance, with the egd — the §3.1 relational case
+/// (Figure 2).
+Scenario MakeExample31Scenario();
+
+/// Example 5.2's setting: source {R/1, P/1} with R(c1), P(c2); s-t tgd
+///   R(x) ∧ P(y) → (x, a·(b* + c*)·a, y); egd (x, a+b+c, y) → x = y.
+/// The adapted chase succeeds yet no solution exists (Figure 6).
+Scenario MakeExample52Scenario();
+
+}  // namespace gdx
+
+#endif  // GDX_WORKLOAD_FLIGHTS_H_

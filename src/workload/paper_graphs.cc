@@ -1,0 +1,73 @@
+#include "workload/paper_graphs.h"
+
+namespace gdx {
+namespace {
+
+Value C(Scenario& s, const char* name) {
+  return s.universe->MakeConstant(name);
+}
+
+}  // namespace
+
+Graph BuildFigure1G1(Scenario& s) {
+  SymbolId f = s.alphabet->Intern("f");
+  SymbolId h = s.alphabet->Intern("h");
+  Value n = s.universe->FreshNullLabeled("N");
+  Graph g;
+  g.AddEdge(C(s, "c1"), f, n);
+  g.AddEdge(C(s, "c3"), f, n);
+  g.AddEdge(n, f, C(s, "c2"));
+  g.AddEdge(n, h, C(s, "hx"));
+  g.AddEdge(n, h, C(s, "hy"));
+  return g;
+}
+
+Graph BuildFigure1G2(Scenario& s) {
+  SymbolId f = s.alphabet->Intern("f");
+  SymbolId h = s.alphabet->Intern("h");
+  Value n1 = s.universe->FreshNullLabeled("N1");
+  Value n2 = s.universe->FreshNullLabeled("N2");
+  Graph g;
+  g.AddEdge(C(s, "c1"), f, n1);
+  g.AddEdge(C(s, "c3"), f, n1);
+  g.AddEdge(n1, f, n2);
+  g.AddEdge(n1, f, C(s, "c2"));
+  g.AddEdge(n2, f, C(s, "c2"));
+  g.AddEdge(n2, h, C(s, "hx"));
+  g.AddEdge(n2, h, C(s, "hy"));
+  return g;
+}
+
+Graph BuildFigure1G3(Scenario& s) {
+  SymbolId f = s.alphabet->Intern("f");
+  SymbolId h = s.alphabet->Intern("h");
+  SymbolId same_as = s.alphabet->SameAsSymbol();
+  Value n1 = s.universe->FreshNullLabeled("N1");
+  Value n2 = s.universe->FreshNullLabeled("N2");
+  Value n3 = s.universe->FreshNullLabeled("N3");
+  Graph g;
+  g.AddEdge(C(s, "c1"), f, n1);
+  g.AddEdge(n1, f, n2);
+  g.AddEdge(n2, f, C(s, "c2"));
+  g.AddEdge(C(s, "c3"), f, n3);
+  g.AddEdge(n3, f, C(s, "c2"));
+  g.AddEdge(n1, h, C(s, "hx"));
+  g.AddEdge(n2, h, C(s, "hy"));
+  g.AddEdge(n3, h, C(s, "hx"));
+  // The dotted sameAs edges of the figure: hx's two cities.
+  g.AddEdge(n1, same_as, n3);
+  g.AddEdge(n3, same_as, n1);
+  return g;
+}
+
+Graph BuildFigure7(Scenario& s) {
+  SymbolId h = s.alphabet->Intern("h");
+  Graph g = BuildFigure1G1(s);
+  // Extra hotel edges out of c2 break the "hotel in exactly one city" egd
+  // while leaving the Figure 5 pattern's homomorphism intact.
+  g.AddEdge(C(s, "c2"), h, C(s, "hx"));
+  g.AddEdge(C(s, "c2"), h, C(s, "hy"));
+  return g;
+}
+
+}  // namespace gdx

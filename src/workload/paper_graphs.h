@@ -1,0 +1,31 @@
+#ifndef GDX_WORKLOAD_PAPER_GRAPHS_H_
+#define GDX_WORKLOAD_PAPER_GRAPHS_H_
+
+#include "graph/graph.h"
+#include "workload/scenario.h"
+
+namespace gdx {
+
+/// Concrete graphs from the paper's figures, built against an Example 2.2
+/// scenario's universe/alphabet (constants c1, c2, c3, hx, hy; labels f, h,
+/// sameAs). Each builder invents the figure's nulls via FreshNullLabeled.
+
+/// Figure 1(a) G1: one city N holds both hotels; a solution under Ω (egd).
+Graph BuildFigure1G1(Scenario& s);
+
+/// Figure 1(b) G2: flights pass through N1 then the hotel city N2;
+/// another solution under Ω.
+Graph BuildFigure1G2(Scenario& s);
+
+/// Figure 1(c) G3: hx lives in two cities N1, N3 linked by (dotted) sameAs
+/// edges; a solution under Ω′ (sameAs) but not under Ω.
+Graph BuildFigure1G3(Scenario& s);
+
+/// Figure 7 (Example 5.4): G1 plus stray h edges out of c2 — admits a
+/// homomorphism from the Figure 5 pattern yet violates the egd, witnessing
+/// Proposition 5.3 (patterns alone are not universal with egds).
+Graph BuildFigure7(Scenario& s);
+
+}  // namespace gdx
+
+#endif  // GDX_WORKLOAD_PAPER_GRAPHS_H_

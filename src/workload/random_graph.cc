@@ -1,0 +1,70 @@
+#include "workload/random_graph.h"
+
+#include <string>
+#include <vector>
+
+namespace gdx {
+
+Graph MakeRandomGraph(const RandomGraphParams& params, Universe& universe,
+                      Alphabet& alphabet) {
+  std::vector<Value> nodes;
+  nodes.reserve(params.num_nodes);
+  for (size_t i = 0; i < params.num_nodes; ++i) {
+    nodes.push_back(universe.MakeConstant("v" + std::to_string(i + 1)));
+  }
+  std::vector<SymbolId> labels;
+  for (size_t i = 0; i < params.num_labels; ++i) {
+    labels.push_back(alphabet.Intern("l" + std::to_string(i + 1)));
+  }
+  Graph g;
+  for (Value v : nodes) g.AddNode(v);
+  Rng rng(params.seed);
+  size_t added = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = params.num_edges * 20 + 100;
+  while (added < params.num_edges && attempts < max_attempts) {
+    ++attempts;
+    Value u = nodes[rng.NextU64() % nodes.size()];
+    Value v = nodes[rng.NextU64() % nodes.size()];
+    SymbolId l = labels[rng.NextU64() % labels.size()];
+    if (g.AddEdge(u, l, v)) ++added;
+  }
+  return g;
+}
+
+NrePtr MakeRandomNre(size_t depth, size_t num_labels, Alphabet& alphabet,
+                     Rng& rng) {
+  auto symbol = [&]() {
+    return alphabet.Intern(
+        "l" + std::to_string(1 + rng.NextU64() % num_labels));
+  };
+  if (depth == 0) {
+    switch (rng.NextU64() % 8) {
+      case 0:
+        return Nre::Epsilon();
+      case 1:
+      case 2:
+        return Nre::Inverse(symbol());
+      default:
+        return Nre::Symbol(symbol());
+    }
+  }
+  switch (rng.NextU64() % 8) {
+    case 0:
+    case 1:
+    case 2:
+      return Nre::Union(MakeRandomNre(depth - 1, num_labels, alphabet, rng),
+                        MakeRandomNre(depth - 1, num_labels, alphabet, rng));
+    case 3:
+    case 4:
+    case 5:
+      return Nre::Concat(MakeRandomNre(depth - 1, num_labels, alphabet, rng),
+                         MakeRandomNre(depth - 1, num_labels, alphabet, rng));
+    case 6:
+      return Nre::Star(MakeRandomNre(depth - 1, num_labels, alphabet, rng));
+    default:
+      return Nre::Nest(MakeRandomNre(depth - 1, num_labels, alphabet, rng));
+  }
+}
+
+}  // namespace gdx

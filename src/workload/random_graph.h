@@ -1,0 +1,33 @@
+#ifndef GDX_WORKLOAD_RANDOM_GRAPH_H_
+#define GDX_WORKLOAD_RANDOM_GRAPH_H_
+
+#include "common/rng.h"
+#include "common/universe.h"
+#include "graph/graph.h"
+#include "graph/nre.h"
+
+namespace gdx {
+
+/// Parameters for uniform random edge-labeled multigraphs.
+struct RandomGraphParams {
+  size_t num_nodes = 100;
+  size_t num_edges = 400;
+  size_t num_labels = 3;   // labels l1..lk interned into the alphabet
+  uint64_t seed = 7;
+};
+
+/// Generates a random graph over constants v1..vn with uniformly random
+/// labeled edges (duplicates retried a bounded number of times).
+Graph MakeRandomGraph(const RandomGraphParams& params, Universe& universe,
+                      Alphabet& alphabet);
+
+/// Generates a random NRE of the given AST depth over the alphabet's first
+/// `num_labels` symbols: leaves are symbols/inverses/ε, inner nodes are
+/// union/concat/star/nest with star and nest probability damped to keep
+/// languages non-degenerate.
+NrePtr MakeRandomNre(size_t depth, size_t num_labels, Alphabet& alphabet,
+                     Rng& rng);
+
+}  // namespace gdx
+
+#endif  // GDX_WORKLOAD_RANDOM_GRAPH_H_

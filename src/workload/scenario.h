@@ -1,0 +1,32 @@
+#ifndef GDX_WORKLOAD_SCENARIO_H_
+#define GDX_WORKLOAD_SCENARIO_H_
+
+#include <memory>
+
+#include "common/universe.h"
+#include "exchange/setting.h"
+#include "graph/cnre.h"
+#include "relational/instance.h"
+
+namespace gdx {
+
+/// A self-contained data-exchange scenario: owns the universe, schemas and
+/// instance that the Setting points into. Everything examples, tests and
+/// benches need in one bundle.
+struct Scenario {
+  std::unique_ptr<Universe> universe;
+  std::unique_ptr<Schema> source_schema;
+  std::unique_ptr<Alphabet> alphabet;
+  std::unique_ptr<Instance> instance;
+  Setting setting;
+  /// The scenario's signature query, if any (e.g. Example 2.2's Q).
+  std::unique_ptr<CnreQuery> query;
+
+  Scenario() = default;
+  Scenario(Scenario&&) = default;
+  Scenario& operator=(Scenario&&) = default;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_WORKLOAD_SCENARIO_H_

@@ -1,0 +1,158 @@
+#include "workload/scenario_parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+#include "exchange/parser.h"
+#include "graph/query_parser.h"
+
+namespace gdx {
+namespace {
+
+const char* const kDirectives[] = {"relation", "fact",   "stgd", "egd",
+                                   "ttgd",     "sameas", "query"};
+
+bool IsDirective(std::string_view token) {
+  for (const char* d : kDirectives) {
+    if (token == d) return true;
+  }
+  return false;
+}
+
+/// Splits the text into (directive, payload) statements, joining
+/// continuation lines.
+std::vector<std::pair<std::string, std::string>> SplitStatements(
+    std::string_view text) {
+  std::vector<std::pair<std::string, std::string>> statements;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    size_t space = stripped.find_first_of(" \t");
+    std::string first(space == std::string_view::npos
+                          ? stripped
+                          : stripped.substr(0, space));
+    if (IsDirective(first)) {
+      std::string payload(space == std::string_view::npos
+                              ? ""
+                              : StripWhitespace(stripped.substr(space)));
+      statements.emplace_back(std::move(first), std::move(payload));
+    } else if (!statements.empty()) {
+      statements.back().second += " ";
+      statements.back().second += std::string(stripped);
+    } else {
+      statements.emplace_back("?", std::string(stripped));
+    }
+  }
+  return statements;
+}
+
+Status ParseRelation(const std::string& payload, Schema& schema) {
+  size_t slash = payload.find('/');
+  if (slash == std::string::npos) {
+    return Status::InvalidArgument("relation directive needs Name/arity: " +
+                                   payload);
+  }
+  std::string name(StripWhitespace(payload.substr(0, slash)));
+  const char* arity_begin = payload.c_str() + slash + 1;
+  char* arity_end = nullptr;
+  long arity = std::strtol(arity_begin, &arity_end, 10);
+  if (arity_end == arity_begin || name.empty() || arity <= 0) {
+    return Status::InvalidArgument("bad relation declaration: " + payload);
+  }
+  return schema.AddRelation(name, static_cast<size_t>(arity)).ok()
+             ? Status::Ok()
+             : Status::InvalidArgument("duplicate relation: " + name);
+}
+
+Status ParseFact(const std::string& payload, Scenario& s) {
+  size_t open = payload.find('(');
+  if (open == std::string::npos || payload.back() != ')') {
+    return Status::InvalidArgument("fact needs Name(args): " + payload);
+  }
+  std::string name(StripWhitespace(payload.substr(0, open)));
+  auto rel = s.source_schema->Find(name);
+  if (!rel.has_value()) {
+    return Status::NotFound("fact over undeclared relation: " + name);
+  }
+  Tuple tuple;
+  for (const std::string& arg :
+       StrSplit(payload.substr(open + 1, payload.size() - open - 2), ',')) {
+    if (arg.empty()) {
+      return Status::InvalidArgument("empty fact argument in: " + payload);
+    }
+    tuple.push_back(s.universe->MakeConstant(arg));
+  }
+  return s.instance->AddFact(*rel, std::move(tuple));
+}
+
+}  // namespace
+
+Result<Scenario> ParseScenario(std::string_view text) {
+  Scenario s;
+  s.universe = std::make_unique<Universe>();
+  s.source_schema = std::make_unique<Schema>();
+  s.alphabet = std::make_unique<Alphabet>();
+  s.instance = std::make_unique<Instance>(s.source_schema.get());
+  s.setting.source_schema = s.source_schema.get();
+  s.setting.alphabet = s.alphabet.get();
+
+  for (const auto& [directive, payload] : SplitStatements(text)) {
+    if (directive == "relation") {
+      Status st = ParseRelation(payload, *s.source_schema);
+      if (!st.ok()) return st;
+    } else if (directive == "fact") {
+      // Facts may arrive before all relations are declared only if their
+      // relation exists already; the format requires declaration first.
+      Status st = ParseFact(payload, s);
+      if (!st.ok()) return st;
+    } else if (directive == "stgd") {
+      Result<StTgd> tgd = ParseStTgd(payload, s.source_schema.get(),
+                                     *s.alphabet, *s.universe);
+      if (!tgd.ok()) return tgd.status();
+      s.setting.st_tgds.push_back(std::move(tgd).value());
+    } else if (directive == "egd") {
+      Result<TargetEgd> egd =
+          ParseTargetEgd(payload, *s.alphabet, *s.universe);
+      if (!egd.ok()) return egd.status();
+      s.setting.egds.push_back(std::move(egd).value());
+    } else if (directive == "ttgd") {
+      Result<TargetTgd> tgd =
+          ParseTargetTgd(payload, *s.alphabet, *s.universe);
+      if (!tgd.ok()) return tgd.status();
+      s.setting.target_tgds.push_back(std::move(tgd).value());
+    } else if (directive == "sameas") {
+      Result<SameAsConstraint> sac =
+          ParseSameAsConstraint(payload, *s.alphabet, *s.universe);
+      if (!sac.ok()) return sac.status();
+      s.setting.sameas.push_back(std::move(sac).value());
+    } else if (directive == "query") {
+      Result<CnreQuery> query =
+          ParseCnreQuery(payload, *s.alphabet, *s.universe);
+      if (!query.ok()) return query.status();
+      s.query = std::make_unique<CnreQuery>(std::move(query).value());
+    } else {
+      return Status::InvalidArgument("unknown directive near: " + payload);
+    }
+  }
+  if (s.setting.st_tgds.empty()) {
+    return Status::InvalidArgument("scenario declares no s-t tgds");
+  }
+  return s;
+}
+
+Result<Scenario> LoadScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open scenario file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseScenario(buffer.str());
+}
+
+}  // namespace gdx

@@ -1,0 +1,35 @@
+#ifndef GDX_WORKLOAD_SCENARIO_PARSER_H_
+#define GDX_WORKLOAD_SCENARIO_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "workload/scenario.h"
+
+namespace gdx {
+
+/// Parses the `.gdx` scenario file format — a complete data-exchange
+/// setting in one text file. Line-oriented; '#' starts a comment. Example
+/// (the paper's Example 2.2):
+///
+///   relation Flight/3
+///   relation Hotel/2
+///   fact Flight(01, c1, c2)
+///   fact Hotel(01, hx)
+///   stgd Flight(x1,x2,x3), Hotel(x1,x4) ->
+///        (x2, f . f*, y), (y, h, x4), (y, f . f*, x3)
+///   egd (x1, h, x3), (x2, h, x3) -> x1 = x2
+///   query (x1, f . f* [h] . f- . (f-)*, x2) -> x1, x2
+///
+/// Directives: relation, fact, stgd, egd, ttgd, sameas, query. Fact
+/// arguments are ground constants (no quoting needed). A dependency may
+/// span lines: lines whose first token is not a directive continue the
+/// previous directive.
+Result<Scenario> ParseScenario(std::string_view text);
+
+/// Convenience: reads and parses a scenario file from disk.
+Result<Scenario> LoadScenarioFile(const std::string& path);
+
+}  // namespace gdx
+
+#endif  // GDX_WORKLOAD_SCENARIO_PARSER_H_

@@ -1,0 +1,234 @@
+// Tests for the chase engines: pattern chase (Figure 3), adapted egd chase
+// (Figure 5, Example 5.2/Figure 6), graph egd chase, sameAs completion,
+// target tgd chase, and the §3.1 relational lowering (Figure 2).
+#include <gtest/gtest.h>
+
+#include "chase/egd_chase.h"
+#include "chase/pattern_chase.h"
+#include "chase/relational_lowering.h"
+#include "chase/sameas_completion.h"
+#include "chase/target_tgd_chase.h"
+#include "exchange/parser.h"
+#include "exchange/solution_check.h"
+#include "pattern/homomorphism.h"
+#include "workload/flights.h"
+#include "workload/paper_graphs.h"
+
+namespace gdx {
+namespace {
+
+AutomatonNreEvaluator eval;
+
+TEST(PatternChaseTest, Figure3UniversalRepresentative) {
+  // Example 3.2: chase of Example 2.2's instance with M_st only.
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kNone);
+  PatternChaseStats stats;
+  GraphPattern pi =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe, &stats);
+  // 3 triggers x 3 head atoms = 9 edges; 3 fresh nulls (N1, N2, N3);
+  // nodes: c1, c2, c3, hx, hy + 3 nulls = 8... wait — paper Figure 3 shows
+  // 7 nodes + hx/hy: c1, c3, N1, N2, N3, hy, hx, c2.
+  EXPECT_EQ(stats.triggers, 3u);
+  EXPECT_EQ(stats.nulls_created, 3u);
+  EXPECT_EQ(pi.num_edges(), 9u);
+  EXPECT_EQ(pi.num_nodes(), 8u);
+}
+
+TEST(PatternChaseTest, ChasedPatternRepresentsFigure1Solutions) {
+  // The universal representative admits homomorphisms into every solution
+  // (Figure 1's G1, G2, G3 drop their sameAs edges harmlessly).
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kNone);
+  GraphPattern pi =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+  Graph g1 = BuildFigure1G1(s);
+  Graph g2 = BuildFigure1G2(s);
+  Graph g3 = BuildFigure1G3(s);
+  EXPECT_TRUE(InRep(pi, g1, eval));
+  EXPECT_TRUE(InRep(pi, g2, eval));
+  EXPECT_TRUE(InRep(pi, g3, eval));
+  // A graph missing the c3 flight is not represented.
+  Graph broken;
+  SymbolId f = s.alphabet->Intern("f");
+  SymbolId h = s.alphabet->Intern("h");
+  Value n = s.universe->FreshNull();
+  broken.AddEdge(s.universe->MakeConstant("c1"), f, n);
+  broken.AddEdge(n, f, s.universe->MakeConstant("c2"));
+  broken.AddEdge(n, h, s.universe->MakeConstant("hx"));
+  broken.AddEdge(n, h, s.universe->MakeConstant("hy"));
+  broken.AddNode(s.universe->MakeConstant("c3"));
+  EXPECT_FALSE(InRep(pi, broken, eval));
+}
+
+TEST(EgdChaseTest, Figure5MergesHotelCities) {
+  // Example 5.1: the adapted chase merges the two cities hosting hx.
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  GraphPattern pi =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+  EXPECT_EQ(pi.num_nodes(), 8u);
+  EgdChaseResult result = ChasePatternEgds(pi, s.setting.egds, eval);
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.merges, 1u);  // N1 (hx city of flight 01) <- N3
+  EXPECT_EQ(pi.num_nodes(), 7u);  // Figure 5: one null gone
+  EXPECT_EQ(pi.num_edges(), 7u);  // 5 f·f* edges + 2 h edges
+}
+
+TEST(EgdChaseTest, ConstantClashFails) {
+  // Pattern: c1 -h-> hx, c2 -h-> hx with the hotel egd: c1 = c2 clash.
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  GraphPattern pi;
+  SymbolId h = s.alphabet->Intern("h");
+  NrePtr h_nre = Nre::Symbol(h);
+  pi.AddEdge(s.universe->MakeConstant("c1"), h_nre,
+             s.universe->MakeConstant("hx"));
+  pi.AddEdge(s.universe->MakeConstant("c2"), h_nre,
+             s.universe->MakeConstant("hx"));
+  EgdChaseResult result = ChasePatternEgds(pi, s.setting.egds, eval);
+  EXPECT_TRUE(result.failed);
+  EXPECT_FALSE(result.failure_reason.empty());
+}
+
+TEST(EgdChaseTest, Example52ChaseSucceedsDespiteNoSolution) {
+  // Figure 6: the adapted chase runs to completion (the egd never fires on
+  // the definite subgraph — the only edge label is a full NRE), yet no
+  // solution exists. Chase success must NOT be read as "solution exists".
+  Scenario s = MakeExample52Scenario();
+  GraphPattern pi =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+  ASSERT_EQ(pi.num_edges(), 1u);  // c1 =[a.(b*+c*).a]=> c2
+  EgdChaseResult result = ChasePatternEgds(pi, s.setting.egds, eval);
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.merges, 0u);
+}
+
+TEST(EgdChaseTest, GraphLevelChaseMergesNodes) {
+  // Instantiate Figure 6(b): c1 -a-> N -a-> c2, then apply the egd
+  // (x, a+b+c, y) -> x=y: N merges into c1, then c1 = c2 clashes.
+  Scenario s = MakeExample52Scenario();
+  Graph g;
+  SymbolId a = s.alphabet->Intern("a");
+  Value n = s.universe->FreshNull();
+  Value c1 = s.universe->MakeConstant("c1");
+  Value c2 = s.universe->MakeConstant("c2");
+  g.AddEdge(c1, a, n);
+  g.AddEdge(n, a, c2);
+  EgdChaseResult result = ChaseGraphEgds(g, s.setting.egds, eval);
+  EXPECT_TRUE(result.failed);  // the paper's "attempt to merge constants"
+}
+
+TEST(RelationalLoweringTest, Figure2ChasedSolution) {
+  // Example 3.1: restricted mapping + egd. The chased solution has 7 nodes
+  // (c1, c3, N1, N2, hy, hx, c2) and 7 edges (Figure 2): the egd merged
+  // the two hx-cities.
+  Scenario s = MakeExample31Scenario();
+  ASSERT_TRUE(s.setting.IsSingleSymbolFragment());
+  RelChaseStats stats;
+  Result<Graph> g =
+      RunLoweredExchange(s.setting, *s.instance, *s.universe, &stats);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 7u);
+  EXPECT_EQ(g->num_edges(), 7u);
+  EXPECT_GE(stats.merges, 1u);
+  // The lifted graph is a genuine solution of the restricted setting.
+  EXPECT_TRUE(IsSolution(s.setting, *s.instance, *g, eval, *s.universe));
+}
+
+TEST(RelationalLoweringTest, RejectsNonFlatSettings) {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  Result<LoweredSetting> lowered = LowerToRelational(s.setting);
+  EXPECT_FALSE(lowered.ok());  // f·f* heads are not single symbols
+}
+
+TEST(SameAsCompletionTest, AddsRequiredEdges) {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kSameAs);
+  // Canonical-ish graph: two cities sharing hx, no sameAs edges yet.
+  SymbolId f = s.alphabet->Intern("f");
+  SymbolId h = s.alphabet->Intern("h");
+  SymbolId same_as = s.alphabet->SameAsSymbol();
+  Value c1 = s.universe->MakeConstant("c1");
+  Value c2 = s.universe->MakeConstant("c2");
+  Value c3 = s.universe->MakeConstant("c3");
+  Value hx = s.universe->MakeConstant("hx");
+  Value hy = s.universe->MakeConstant("hy");
+  Value n1 = s.universe->FreshNull();
+  Value n2 = s.universe->FreshNull();
+  Value n3 = s.universe->FreshNull();
+  Graph g;
+  g.AddEdge(c1, f, n1);
+  g.AddEdge(n1, f, c2);
+  g.AddEdge(c1, f, n2);
+  g.AddEdge(n2, f, c2);
+  g.AddEdge(c3, f, n3);
+  g.AddEdge(n3, f, c2);
+  g.AddEdge(n1, h, hx);
+  g.AddEdge(n2, h, hy);
+  g.AddEdge(n3, h, hx);
+
+  SameAsCompletionStats stats;
+  ASSERT_TRUE(
+      CompleteSameAs(g, s.setting.sameas, *s.alphabet, eval, &stats).ok());
+  EXPECT_TRUE(g.HasEdge(n1, same_as, n3));
+  EXPECT_TRUE(g.HasEdge(n3, same_as, n1));
+  // Implicit reflexivity: no self-loops materialized.
+  EXPECT_FALSE(g.HasEdge(n1, same_as, n1));
+  EXPECT_EQ(stats.edges_added, 2u);
+  EXPECT_TRUE(IsSolution(s.setting, *s.instance, g, eval, *s.universe));
+}
+
+TEST(SameAsCompletionTest, RstClosureAddsTransitiveEdges) {
+  Alphabet alphabet;
+  Universe universe;
+  SymbolId same_as = alphabet.SameAsSymbol();
+  Value a = universe.MakeConstant("a");
+  Value b = universe.MakeConstant("b");
+  Value c = universe.MakeConstant("c");
+  Graph g;
+  g.AddEdge(a, same_as, b);
+  g.AddEdge(b, same_as, c);
+  SameAsCompletionOptions options;
+  options.rst_closure = true;
+  ASSERT_TRUE(
+      CompleteSameAs(g, {}, alphabet, eval, nullptr, options).ok());
+  EXPECT_TRUE(g.HasEdge(c, same_as, a));
+  EXPECT_TRUE(g.HasEdge(a, same_as, a));
+}
+
+TEST(TargetTgdChaseTest, MaterializesMissingHeads) {
+  // (x, a, y) -> ∃z (y, b, z): chase adds a b-successor after every a-edge.
+  Alphabet alphabet;
+  Universe universe;
+  Result<TargetTgd> tgd =
+      ParseTargetTgd("(x, a, y) -> (y, b, z)", alphabet, universe);
+  ASSERT_TRUE(tgd.ok());
+  Graph g;
+  Value u = universe.MakeConstant("u");
+  Value v = universe.MakeConstant("v");
+  g.AddEdge(u, alphabet.Intern("a"), v);
+  TargetTgdChaseStats stats;
+  ASSERT_TRUE(
+      ChaseTargetTgds(g, {*tgd}, universe, eval, 16, &stats).ok());
+  EXPECT_EQ(stats.triggers_fired, 1u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  // Fixpoint: rerunning fires nothing.
+  TargetTgdChaseStats stats2;
+  ASSERT_TRUE(
+      ChaseTargetTgds(g, {*tgd}, universe, eval, 16, &stats2).ok());
+  EXPECT_EQ(stats2.triggers_fired, 0u);
+}
+
+TEST(TargetTgdChaseTest, DivergentChaseHitsRoundLimit) {
+  // (x, a, y) -> ∃z (y, a, z) diverges (every new edge retriggers).
+  Alphabet alphabet;
+  Universe universe;
+  Result<TargetTgd> tgd =
+      ParseTargetTgd("(x, a, y) -> (y, a, z)", alphabet, universe);
+  ASSERT_TRUE(tgd.ok());
+  Graph g;
+  g.AddEdge(universe.MakeConstant("u"), alphabet.Intern("a"),
+            universe.MakeConstant("v"));
+  Status st = ChaseTargetTgds(g, {*tgd}, universe, eval, 8);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace gdx

@@ -1,0 +1,176 @@
+// Tests for CNRE conjunctive queries over graphs: joins, constants, bound
+// frontiers, early termination and the CnreMatcher reuse path.
+#include <gtest/gtest.h>
+
+#include "graph/cnre.h"
+#include "graph/nre_parser.h"
+
+namespace gdx {
+namespace {
+
+class CnreFixture : public ::testing::Test {
+ protected:
+  Universe universe_;
+  Alphabet alphabet_;
+  AutomatonNreEvaluator eval_;
+
+  Value V(const std::string& name) { return universe_.MakeConstant(name); }
+  NrePtr Parse(const std::string& text) {
+    Result<NrePtr> r = ParseNre(text, alphabet_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  /// Diamond: s -a-> m1 -b-> t, s -a-> m2 -b-> t, m1 -c-> m1.
+  Graph Diamond() {
+    Graph g;
+    g.AddEdge(V("s"), alphabet_.Intern("a"), V("m1"));
+    g.AddEdge(V("s"), alphabet_.Intern("a"), V("m2"));
+    g.AddEdge(V("m1"), alphabet_.Intern("b"), V("t"));
+    g.AddEdge(V("m2"), alphabet_.Intern("b"), V("t"));
+    g.AddEdge(V("m1"), alphabet_.Intern("c"), V("m1"));
+    return g;
+  }
+};
+
+TEST_F(CnreFixture, SingleAtomEvaluation) {
+  Graph g = Diamond();
+  CnreQuery q;
+  VarId x = q.InternVar("x");
+  VarId y = q.InternVar("y");
+  q.AddAtom(Term::Var(x), Parse("a"), Term::Var(y));
+  q.SetHead({x, y});
+  std::vector<std::vector<Value>> out = EvaluateCnre(q, g, eval_);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(CnreFixture, TwoAtomJoin) {
+  Graph g = Diamond();
+  CnreQuery q;
+  VarId x = q.InternVar("x");
+  VarId y = q.InternVar("y");
+  VarId z = q.InternVar("z");
+  q.AddAtom(Term::Var(x), Parse("a"), Term::Var(y));
+  q.AddAtom(Term::Var(y), Parse("b"), Term::Var(z));
+  q.SetHead({x, z});
+  std::vector<std::vector<Value>> out = EvaluateCnre(q, g, eval_);
+  // (s,t) via m1 and via m2, deduplicated.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (std::vector<Value>{V("s"), V("t")}));
+}
+
+TEST_F(CnreFixture, ConstantTermsFilter) {
+  Graph g = Diamond();
+  CnreQuery q;
+  VarId y = q.InternVar("y");
+  q.AddAtom(Term::Const(V("s")), Parse("a"), Term::Var(y));
+  q.AddAtom(Term::Var(y), Parse("c"), Term::Var(y));  // self-loop filter
+  q.SetHead({y});
+  std::vector<std::vector<Value>> out = EvaluateCnre(q, g, eval_);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0], V("m1"));
+}
+
+TEST_F(CnreFixture, SameVariableBothSides) {
+  Graph g = Diamond();
+  CnreQuery q;
+  VarId x = q.InternVar("x");
+  q.AddAtom(Term::Var(x), Parse("c"), Term::Var(x));
+  q.SetHead({x});
+  std::vector<std::vector<Value>> out = EvaluateCnre(q, g, eval_);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0], V("m1"));
+}
+
+TEST_F(CnreFixture, BoundFrontierSatisfiability) {
+  Graph g = Diamond();
+  CnreQuery q;
+  VarId x = q.InternVar("x");
+  VarId y = q.InternVar("y");
+  q.AddAtom(Term::Var(x), Parse("a . b"), Term::Var(y));
+
+  CnreBinding initial(q.num_vars());
+  initial[x] = V("s");
+  initial[y] = V("t");
+  EXPECT_TRUE(CnreSatisfiable(q, g, eval_, initial));
+
+  initial[y] = V("m1");
+  EXPECT_FALSE(CnreSatisfiable(q, g, eval_, initial));
+}
+
+TEST_F(CnreFixture, MatcherReuseAcrossBindings) {
+  Graph g = Diamond();
+  CnreQuery q;
+  VarId x = q.InternVar("x");
+  VarId y = q.InternVar("y");
+  q.AddAtom(Term::Var(x), Parse("a"), Term::Var(y));
+  CnreMatcher matcher(&q, &g, eval_);
+
+  size_t total = 0;
+  matcher.FindMatches({}, [&](const CnreBinding&) {
+    ++total;
+    return true;
+  });
+  EXPECT_EQ(total, 2u);
+
+  CnreBinding initial(q.num_vars());
+  initial[y] = V("m2");
+  size_t narrowed = 0;
+  matcher.FindMatches(initial, [&](const CnreBinding& b) {
+    EXPECT_EQ(*b[x], V("s"));
+    ++narrowed;
+    return true;
+  });
+  EXPECT_EQ(narrowed, 1u);
+}
+
+TEST_F(CnreFixture, EarlyTerminationStopsEnumeration) {
+  Graph g = Diamond();
+  CnreQuery q;
+  VarId x = q.InternVar("x");
+  VarId y = q.InternVar("y");
+  q.AddAtom(Term::Var(x), Parse("a + b + c"), Term::Var(y));
+  size_t seen = 0;
+  FindCnreMatches(q, g, eval_, {}, [&](const CnreBinding&) {
+    ++seen;
+    return false;  // stop immediately
+  });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST_F(CnreFixture, SharedNreRelationsAcrossAtoms) {
+  // Two atoms with structurally equal NREs share the precomputed relation;
+  // results must match the unshared case.
+  Graph g = Diamond();
+  CnreQuery q;
+  VarId x = q.InternVar("x");
+  VarId y = q.InternVar("y");
+  VarId z = q.InternVar("z");
+  q.AddAtom(Term::Var(x), Parse("a"), Term::Var(y));
+  q.AddAtom(Term::Var(x), Parse("a"), Term::Var(z));
+  q.SetHead({y, z});
+  std::vector<std::vector<Value>> out = EvaluateCnre(q, g, eval_);
+  EXPECT_EQ(out.size(), 4u);  // {m1,m2} x {m1,m2}
+}
+
+TEST_F(CnreFixture, StarAtomWithCycle) {
+  Graph g;
+  g.AddEdge(V("p"), alphabet_.Intern("a"), V("q"));
+  g.AddEdge(V("q"), alphabet_.Intern("a"), V("p"));
+  CnreQuery q;
+  VarId x = q.InternVar("x");
+  VarId y = q.InternVar("y");
+  q.AddAtom(Term::Var(x), Parse("a*"), Term::Var(y));
+  q.SetHead({x, y});
+  std::vector<std::vector<Value>> out = EvaluateCnre(q, g, eval_);
+  EXPECT_EQ(out.size(), 4u);  // both nodes reach both
+}
+
+TEST_F(CnreFixture, BooleanQueryWithNoAtomsMatchesTrivially) {
+  Graph g = Diamond();
+  CnreQuery q;
+  EXPECT_TRUE(CnreSatisfiable(q, g, eval_, {}));
+}
+
+}  // namespace
+}  // namespace gdx

@@ -1,0 +1,177 @@
+// Unit tests for the common kernel: values, interning, universe, union-find,
+// value partitions, RNG determinism, string helpers and Status/Result.
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/union_find.h"
+#include "common/universe.h"
+#include "common/value.h"
+#include "common/value_partition.h"
+
+namespace gdx {
+namespace {
+
+TEST(ValueTest, ConstantAndNullAreDistinct) {
+  Value c = Value::Constant(7);
+  Value n = Value::Null(7);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_FALSE(c.is_null());
+  EXPECT_TRUE(n.is_null());
+  EXPECT_EQ(c.id(), 7u);
+  EXPECT_EQ(n.id(), 7u);
+  EXPECT_NE(c, n);
+}
+
+TEST(ValueTest, EqualityAndHashAgree) {
+  Value a = Value::Constant(3);
+  Value b = Value::Constant(3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ValueHash()(a), ValueHash()(b));
+}
+
+TEST(ValueTest, OrderingIsDeterministic) {
+  EXPECT_LT(Value::Constant(1), Value::Constant(2));
+  // Constants sort before the null with the same id (raw LSB tag).
+  EXPECT_LT(Value::Constant(5), Value::Null(5));
+}
+
+TEST(InternerTest, InternIsIdempotent) {
+  StringInterner interner;
+  SymbolId a = interner.Intern("alpha");
+  SymbolId b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.NameOf(a), "alpha");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, FindDoesNotCreate) {
+  StringInterner interner;
+  EXPECT_FALSE(interner.Find("ghost").has_value());
+  interner.Intern("real");
+  EXPECT_TRUE(interner.Find("real").has_value());
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(UniverseTest, ConstantsAndNullsHaveNames) {
+  Universe universe;
+  Value c = universe.MakeConstant("c1");
+  Value n1 = universe.FreshNull();
+  Value n2 = universe.FreshNull();
+  EXPECT_EQ(universe.NameOf(c), "c1");
+  EXPECT_EQ(universe.NameOf(n1), "N1");
+  EXPECT_EQ(universe.NameOf(n2), "N2");
+  EXPECT_NE(n1, n2);
+}
+
+TEST(UniverseTest, FindConstantOnlyFindsInterned) {
+  Universe universe;
+  universe.MakeConstant("x");
+  EXPECT_TRUE(universe.FindConstant("x").has_value());
+  EXPECT_FALSE(universe.FindConstant("y").has_value());
+}
+
+TEST(UnionFindTest, BasicUnionAndFind) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_classes(), 5u);
+  uf.Union(0, 1);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Same(0, 1));
+  EXPECT_FALSE(uf.Same(1, 2));
+  EXPECT_TRUE(uf.Same(3, 4));
+  EXPECT_EQ(uf.num_classes(), 3u);
+}
+
+TEST(UnionFindTest, AddGrows) {
+  UnionFind uf(1);
+  uint32_t x = uf.Add();
+  EXPECT_EQ(x, 1u);
+  uf.Union(0, x);
+  EXPECT_TRUE(uf.Same(0, 1));
+}
+
+TEST(ValuePartitionTest, NullMergesIntoConstant) {
+  ValuePartition partition;
+  Value c = Value::Constant(1);
+  Value n = Value::Null(1);
+  ASSERT_TRUE(partition.Merge(c, n).ok());
+  EXPECT_EQ(partition.Find(n), c);
+  EXPECT_EQ(partition.Find(c), c);
+}
+
+TEST(ValuePartitionTest, ConstantConstantMergeFails) {
+  ValuePartition partition;
+  Status st = partition.Merge(Value::Constant(1), Value::Constant(2));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValuePartitionTest, TransitiveConstantClashFails) {
+  // n merges with c1; then n merges with c2 -> clash through the class.
+  ValuePartition partition;
+  Value n = Value::Null(9);
+  ASSERT_TRUE(partition.Merge(n, Value::Constant(1)).ok());
+  Status st = partition.Merge(n, Value::Constant(2));
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(ValuePartitionTest, NullNullMergeKeepsDeterministicRep) {
+  ValuePartition partition;
+  Value n1 = Value::Null(1);
+  Value n2 = Value::Null(2);
+  ASSERT_TRUE(partition.Merge(n2, n1).ok());
+  EXPECT_EQ(partition.Find(n1), partition.Find(n2));
+  // Untracked values represent themselves.
+  EXPECT_EQ(partition.Find(Value::Null(77)), Value::Null(77));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t x = rng.UniformInt(-3, 5);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(StringsTest, SplitAndStrip) {
+  std::vector<std::string> pieces = StrSplit(" a, b , c ", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+  EXPECT_EQ(StripWhitespace("  x \n"), "x");
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("h", "he"));
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status bad = Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.ToString().find("nope"), std::string::npos);
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  Result<int> bad = Status::NotFound("missing");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gdx

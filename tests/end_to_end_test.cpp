@@ -1,0 +1,190 @@
+// End-to-end pipelines over generated Flight/Hotel workloads, plus
+// randomized universality properties of the chase and failure injection.
+#include <gtest/gtest.h>
+
+#include "chase/egd_chase.h"
+#include "chase/pattern_chase.h"
+#include "exchange/parser.h"
+#include "exchange/solution_check.h"
+#include "graph/nre_parser.h"
+#include "pattern/homomorphism.h"
+#include "pattern/witness.h"
+#include "solver/certain.h"
+#include "solver/existence.h"
+#include "workload/flights.h"
+
+namespace gdx {
+namespace {
+
+AutomatonNreEvaluator eval;
+
+class GeneratedWorkloadTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratedWorkloadTest, ChaseInstantiateVerifyPipeline) {
+  FlightWorkloadParams params;
+  params.seed = GetParam();
+  params.num_cities = 6;
+  params.num_flights = 8;
+  params.num_hotels = 4;
+  params.mode = FlightConstraintMode::kNone;
+  Scenario s = MakeFlightScenario(params);
+
+  PatternChaseStats stats;
+  GraphPattern pi =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe, &stats);
+  EXPECT_GT(stats.triggers, 0u);
+
+  PatternInstantiator inst(&pi, s.universe.get(), {});
+  Result<Graph> g = inst.InstantiateCanonical();
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  // Without target constraints every instantiation of the chased pattern
+  // is a solution (§3.2), and the pattern maps into it.
+  EXPECT_TRUE(IsSolution(s.setting, *s.instance, *g, eval, *s.universe));
+  EXPECT_TRUE(InRep(pi, *g, eval));
+}
+
+TEST_P(GeneratedWorkloadTest, UniversalityAcrossInstantiations) {
+  // The chased pattern (a universal representative, §3.2) admits a
+  // homomorphism into every instantiated witness-combination solution.
+  FlightWorkloadParams params;
+  params.seed = GetParam() + 1000;
+  params.num_cities = 4;
+  params.num_flights = 4;
+  params.num_hotels = 3;
+  params.mode = FlightConstraintMode::kNone;
+  Scenario s = MakeFlightScenario(params);
+  GraphPattern pi =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+  InstantiationOptions options;
+  options.max_witnesses_per_edge = 2;
+  PatternInstantiator inst(&pi, s.universe.get(), options);
+  const auto& lists = inst.witness_lists();
+  // Walk a few diagonal-ish combinations.
+  for (size_t step = 0; step < 4; ++step) {
+    std::vector<size_t> choices(lists.size());
+    for (size_t i = 0; i < lists.size(); ++i) {
+      choices[i] = (i + step) % lists[i].size();
+    }
+    Result<Graph> g = inst.Instantiate(choices);
+    if (!g.ok()) continue;  // ε-chain between distinct nodes: skip
+    EXPECT_TRUE(IsSolution(s.setting, *s.instance, *g, eval, *s.universe));
+    EXPECT_TRUE(InRep(pi, *g, eval));
+  }
+}
+
+TEST_P(GeneratedWorkloadTest, EgdWorkloadExistenceAndCertainAnswers) {
+  FlightWorkloadParams params;
+  params.seed = GetParam() + 2000;
+  params.num_cities = 4;
+  params.num_flights = 5;
+  params.num_hotels = 2;  // heavy sharing: many merges
+  params.mode = FlightConstraintMode::kEgd;
+  Scenario s = MakeFlightScenario(params);
+
+  ExistenceOptions options;
+  options.instantiation.max_witnesses_per_edge = 2;
+  ExistenceSolver solver(&eval, options);
+  ExistenceReport report =
+      solver.Decide(s.setting, *s.instance, *s.universe);
+  // Hotel egds over distinct city constants can clash; both verdicts are
+  // legitimate, but they must be decisive and witnessed when "yes".
+  ASSERT_NE(report.verdict, ExistenceVerdict::kUnknown) << report.note;
+  if (report.verdict == ExistenceVerdict::kYes) {
+    ASSERT_TRUE(report.witness.has_value());
+    EXPECT_TRUE(IsSolution(s.setting, *s.instance, *report.witness, eval,
+                           *s.universe));
+    // Certain answers are contained in every solution's answer set.
+    CertainAnswerOptions copt;
+    copt.existence = options;
+    copt.max_solutions = 6;
+    CertainAnswerResult certain =
+        CertainAnswerSolver(&eval, copt)
+            .Compute(s.setting, *s.instance, *s.query, *s.universe);
+    std::vector<std::vector<Value>> witness_answers =
+        EvaluateCnre(*s.query, *report.witness, eval);
+    for (const auto& t : certain.tuples) {
+      EXPECT_NE(std::find(witness_answers.begin(), witness_answers.end(), t),
+                witness_answers.end());
+    }
+  }
+}
+
+TEST_P(GeneratedWorkloadTest, SameAsWorkloadAlwaysHasSolutions) {
+  FlightWorkloadParams params;
+  params.seed = GetParam() + 3000;
+  params.num_cities = 5;
+  params.num_flights = 6;
+  params.num_hotels = 3;
+  params.mode = FlightConstraintMode::kSameAs;
+  Scenario s = MakeFlightScenario(params);
+  ExistenceSolver solver(&eval);
+  ExistenceReport report =
+      solver.Decide(s.setting, *s.instance, *s.universe);
+  // §4.2: existence is trivial for sameAs constraints.
+  EXPECT_EQ(report.verdict, ExistenceVerdict::kYes) << report.note;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedWorkloadTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+// --- Failure injection ----------------------------------------------------
+
+TEST(FailureInjectionTest, MalformedMappingsSurfaceAsStatus) {
+  Schema schema;
+  (void)schema.AddRelation("R", 2);
+  Alphabet alphabet;
+  Universe universe;
+  const char* bad_inputs[] = {
+      "",                             // empty
+      "R(x,y)",                       // no implication
+      "R(x,y) -> ",                   // empty head
+      "R(x,y) -> (x, , y)",           // empty NRE
+      "R(x,y) -> (x, a, y, z)",       // 4-ary CNRE atom
+      "R(x,y) -> x, a, y",            // unparenthesized atom
+      "R(x,y) -> (x, a](, y)",        // mangled brackets
+      "R(x) -> (x, a, y)",            // arity mismatch
+      "S(x,y) -> (x, a, y)",          // unknown relation
+      "R(x,y) -> (x, a, y) -> (y, b, x)",  // double implication
+  };
+  for (const char* text : bad_inputs) {
+    Result<StTgd> tgd = ParseStTgd(text, &schema, alphabet, universe);
+    EXPECT_FALSE(tgd.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(FailureInjectionTest, BudgetExhaustionIsReported) {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  ExistenceOptions options;
+  options.strategy = ExistenceStrategy::kBoundedSearch;
+  options.max_candidates = 0;  // no budget at all
+  ExistenceReport report = ExistenceSolver(&eval, options)
+                               .Decide(s.setting, *s.instance, *s.universe);
+  EXPECT_EQ(report.verdict, ExistenceVerdict::kUnknown);
+  EXPECT_TRUE(report.budget_exhausted);
+}
+
+TEST(FailureInjectionTest, InstantiatorRejectsBadChoices) {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kNone);
+  GraphPattern pi =
+      ChaseToPattern(*s.instance, s.setting.st_tgds, *s.universe);
+  PatternInstantiator inst(&pi, s.universe.get(), {});
+  std::vector<size_t> wrong_len(pi.num_edges() + 1, 0);
+  EXPECT_FALSE(inst.Instantiate(wrong_len).ok());
+  std::vector<size_t> out_of_range(pi.num_edges(), 9999);
+  EXPECT_FALSE(inst.Instantiate(out_of_range).ok());
+}
+
+TEST(FailureInjectionTest, WitnessBudgetTooSmallIsDetected) {
+  // An NRE needing 2 edges with a 1-edge witness budget: no witnesses.
+  Alphabet alphabet;
+  Universe universe;
+  Result<NrePtr> nre = ParseNre("a . b", alphabet);
+  ASSERT_TRUE(nre.ok());
+  std::vector<Witness> ws = EnumerateWitnesses(*nre, /*max_edges=*/1,
+                                               /*max_count=*/4);
+  EXPECT_TRUE(ws.empty());
+}
+
+}  // namespace
+}  // namespace gdx

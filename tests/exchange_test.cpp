@@ -1,0 +1,185 @@
+// Tests for the exchange core: the dependency parser, setting
+// classification, and solution checking against the paper's Figure 1
+// graphs under Ω (egd) and Ω′ (sameAs).
+#include <gtest/gtest.h>
+
+#include "exchange/parser.h"
+#include "exchange/solution_check.h"
+#include "graph/cnre.h"
+#include "workload/flights.h"
+#include "workload/paper_graphs.h"
+
+namespace gdx {
+namespace {
+
+AutomatonNreEvaluator eval;
+
+TEST(ParserTest, StTgdRoundTrip) {
+  Schema schema;
+  (void)schema.AddRelation("Flight", 3);
+  (void)schema.AddRelation("Hotel", 2);
+  Alphabet alphabet;
+  Universe universe;
+  Result<StTgd> tgd = ParseStTgd(
+      "Flight(x1, x2, x3), Hotel(x1, x4) -> "
+      "(x2, f . f*, y), (y, h, x4), (y, f . f*, x3)",
+      &schema, alphabet, universe);
+  ASSERT_TRUE(tgd.ok()) << tgd.status().ToString();
+  EXPECT_EQ(tgd->body.atoms().size(), 2u);
+  EXPECT_EQ(tgd->head.size(), 3u);
+  std::vector<VarId> ex = tgd->ExistentialVars();
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(tgd->body.vars().NameOf(ex[0]), "y");
+}
+
+TEST(ParserTest, StTgdErrors) {
+  Schema schema;
+  (void)schema.AddRelation("R", 1);
+  Alphabet alphabet;
+  Universe universe;
+  // Unknown relation.
+  EXPECT_FALSE(
+      ParseStTgd("S(x) -> (x, a, y)", &schema, alphabet, universe).ok());
+  // Arity mismatch.
+  EXPECT_FALSE(
+      ParseStTgd("R(x, y) -> (x, a, y)", &schema, alphabet, universe).ok());
+  // Missing implication.
+  EXPECT_FALSE(ParseStTgd("R(x)", &schema, alphabet, universe).ok());
+  // Empty head.
+  EXPECT_FALSE(ParseStTgd("R(x) -> ", &schema, alphabet, universe).ok());
+  // Bad NRE in head.
+  EXPECT_FALSE(
+      ParseStTgd("R(x) -> (x, a ++ b, y)", &schema, alphabet, universe).ok());
+}
+
+TEST(ParserTest, TargetEgd) {
+  Alphabet alphabet;
+  Universe universe;
+  Result<TargetEgd> egd = ParseTargetEgd(
+      "(x1, h, x3), (x2, h, x3) -> x1 = x2", alphabet, universe);
+  ASSERT_TRUE(egd.ok()) << egd.status().ToString();
+  EXPECT_EQ(egd->body.atoms().size(), 2u);
+  EXPECT_EQ(egd->body.vars().NameOf(egd->x1), "x1");
+  EXPECT_EQ(egd->body.vars().NameOf(egd->x2), "x2");
+  // Head variable not in body.
+  EXPECT_FALSE(
+      ParseTargetEgd("(x1, h, x3) -> x1 = zz", alphabet, universe).ok());
+  // Missing '='.
+  EXPECT_FALSE(
+      ParseTargetEgd("(x1, h, x3) -> x1", alphabet, universe).ok());
+}
+
+TEST(ParserTest, SameAsConstraint) {
+  Alphabet alphabet;
+  Universe universe;
+  Result<SameAsConstraint> sac = ParseSameAsConstraint(
+      "(x1, h, x3), (x2, h, x3) -> (x1, sameAs, x2)", alphabet, universe);
+  ASSERT_TRUE(sac.ok()) << sac.status().ToString();
+  // Head must be exactly a sameAs edge between variables.
+  EXPECT_FALSE(ParseSameAsConstraint("(x1, h, x3) -> (x1, other, x3)",
+                                     alphabet, universe)
+                   .ok());
+  EXPECT_FALSE(ParseSameAsConstraint(
+                   "(x1, h, x3) -> (x1, sameAs, x3), (x3, sameAs, x1)",
+                   alphabet, universe)
+                   .ok());
+}
+
+TEST(ParserTest, TargetTgdAndConstants) {
+  Alphabet alphabet;
+  Universe universe;
+  Result<TargetTgd> tgd =
+      ParseTargetTgd("(x, a, 'c9') -> (x, b, z)", alphabet, universe);
+  ASSERT_TRUE(tgd.ok()) << tgd.status().ToString();
+  ASSERT_EQ(tgd->body.atoms().size(), 1u);
+  EXPECT_TRUE(tgd->body.atoms()[0].y.is_const());
+  EXPECT_TRUE(universe.FindConstant("c9").has_value());
+}
+
+TEST(SettingTest, Classification) {
+  Scenario none = MakeExample22Scenario(FlightConstraintMode::kNone);
+  EXPECT_FALSE(none.setting.HasTargetConstraints());
+  Scenario egd = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  EXPECT_TRUE(egd.setting.HasTargetConstraints());
+  EXPECT_FALSE(egd.setting.SameAsOnly());
+  EXPECT_FALSE(egd.setting.IsSingleSymbolFragment());
+  Scenario sameas = MakeExample22Scenario(FlightConstraintMode::kSameAs);
+  EXPECT_TRUE(sameas.setting.SameAsOnly());
+  Scenario restricted = MakeExample31Scenario();
+  EXPECT_TRUE(restricted.setting.IsSingleSymbolFragment());
+}
+
+// --- Figure 1: solution checking under Ω and Ω′ -------------------------
+
+TEST(Figure1Test, G1IsSolutionUnderOmega) {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  Graph g1 = BuildFigure1G1(s);
+  SolutionCheckReport report =
+      CheckSolution(s.setting, *s.instance, g1, eval, *s.universe);
+  EXPECT_TRUE(report.IsSolution())
+      << (report.violations.empty() ? "" : report.violations[0]);
+}
+
+TEST(Figure1Test, G2IsSolutionUnderOmega) {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  Graph g2 = BuildFigure1G2(s);
+  SolutionCheckReport report =
+      CheckSolution(s.setting, *s.instance, g2, eval, *s.universe);
+  EXPECT_TRUE(report.IsSolution())
+      << (report.violations.empty() ? "" : report.violations[0]);
+}
+
+TEST(Figure1Test, G3IsSolutionUnderOmegaPrime) {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kSameAs);
+  Graph g3 = BuildFigure1G3(s);
+  SolutionCheckReport report =
+      CheckSolution(s.setting, *s.instance, g3, eval, *s.universe);
+  EXPECT_TRUE(report.IsSolution())
+      << (report.violations.empty() ? "" : report.violations[0]);
+}
+
+TEST(Figure1Test, G3ViolatesOmegaEgd) {
+  // hx sits in two cities in G3 — fine for sameAs, fatal for the egd.
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  Graph g3 = BuildFigure1G3(s);
+  SolutionCheckReport report =
+      CheckSolution(s.setting, *s.instance, g3, eval, *s.universe);
+  EXPECT_TRUE(report.st_tgds_ok);
+  EXPECT_FALSE(report.egds_ok);
+}
+
+TEST(Figure1Test, G1WithoutSameAsFailsOmegaPrimeOnlyIfHotelShared) {
+  // G1 merges the hotels into one city N, so all sameAs triggers are
+  // reflexive — G1 is a solution under Ω′ too (implicit reflexivity).
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kSameAs);
+  Graph g1 = BuildFigure1G1(s);
+  EXPECT_TRUE(IsSolution(s.setting, *s.instance, g1, eval, *s.universe));
+  // Under strict FO semantics the reflexive self-loops are required.
+  SolutionCheckOptions strict;
+  strict.implicit_reflexive_sameas = false;
+  EXPECT_FALSE(
+      IsSolution(s.setting, *s.instance, g1, eval, *s.universe, strict));
+}
+
+TEST(Figure1Test, EmptyGraphViolatesStTgds) {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  Graph empty;
+  SolutionCheckReport report =
+      CheckSolution(s.setting, *s.instance, empty, eval, *s.universe);
+  EXPECT_FALSE(report.st_tgds_ok);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(Figure1Test, QueryAnswersOnG1AndG2MatchPaper) {
+  // JQK_G1 = {c1,c3}², JQK_G2 = {c1,c3,N1}² (9 pairs) — Example 2.2.
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  Graph g1 = BuildFigure1G1(s);
+  Graph g2 = BuildFigure1G2(s);
+  std::vector<std::vector<Value>> a1 = EvaluateCnre(*s.query, g1, eval);
+  std::vector<std::vector<Value>> a2 = EvaluateCnre(*s.query, g2, eval);
+  EXPECT_EQ(a1.size(), 4u);
+  EXPECT_EQ(a2.size(), 9u);
+}
+
+}  // namespace
+}  // namespace gdx

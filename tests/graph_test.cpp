@@ -1,0 +1,117 @@
+// Direct unit tests for the Graph container: adjacency indexes, dedup,
+// rewriting, signatures.
+#include <gtest/gtest.h>
+
+#include "common/universe.h"
+#include "graph/graph.h"
+
+namespace gdx {
+namespace {
+
+class GraphFixture : public ::testing::Test {
+ protected:
+  Universe universe_;
+  Alphabet alphabet_;
+
+  Value C(const std::string& name) { return universe_.MakeConstant(name); }
+  SymbolId L(const std::string& name) { return alphabet_.Intern(name); }
+};
+
+TEST_F(GraphFixture, AddEdgeImplicitlyAddsNodes) {
+  Graph g;
+  EXPECT_TRUE(g.AddEdge(C("a"), L("e"), C("b")));
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasNode(C("a")));
+  EXPECT_TRUE(g.HasEdge(C("a"), L("e"), C("b")));
+  EXPECT_FALSE(g.HasEdge(C("b"), L("e"), C("a")));
+}
+
+TEST_F(GraphFixture, DuplicateEdgesIgnored) {
+  Graph g;
+  EXPECT_TRUE(g.AddEdge(C("a"), L("e"), C("b")));
+  EXPECT_FALSE(g.AddEdge(C("a"), L("e"), C("b")));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Successors(C("a"), L("e")).size(), 1u);
+}
+
+TEST_F(GraphFixture, SelfLoopsSupported) {
+  Graph g;
+  EXPECT_TRUE(g.AddEdge(C("a"), L("t1"), C("a")));
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.Successors(C("a"), L("t1")).size(), 1u);
+  EXPECT_EQ(g.Predecessors(C("a"), L("t1")).size(), 1u);
+}
+
+TEST_F(GraphFixture, AdjacencyIsPerLabel) {
+  Graph g;
+  g.AddEdge(C("a"), L("e"), C("b"));
+  g.AddEdge(C("a"), L("f"), C("c"));
+  g.AddEdge(C("a"), L("e"), C("c"));
+  EXPECT_EQ(g.Successors(C("a"), L("e")).size(), 2u);
+  EXPECT_EQ(g.Successors(C("a"), L("f")).size(), 1u);
+  EXPECT_TRUE(g.Successors(C("b"), L("e")).empty());
+  EXPECT_EQ(g.Predecessors(C("c"), L("e")).size(), 1u);
+  EXPECT_EQ(g.EdgesWithLabel(L("e")).size(), 2u);
+}
+
+TEST_F(GraphFixture, RewriteValuesMergesAndDedups) {
+  Graph g;
+  Value n1 = universe_.FreshNull();
+  Value n2 = universe_.FreshNull();
+  g.AddEdge(C("a"), L("e"), n1);
+  g.AddEdge(C("a"), L("e"), n2);
+  g.AddEdge(n1, L("f"), C("b"));
+  g.AddEdge(n2, L("f"), C("b"));
+  g.RewriteValues([&](Value v) { return v == n2 ? n1 : v; });
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(C("a"), L("e"), n1));
+  EXPECT_TRUE(g.HasEdge(n1, L("f"), C("b")));
+}
+
+TEST_F(GraphFixture, SignatureIsOrderInsensitive) {
+  Graph g1;
+  g1.AddEdge(C("a"), L("e"), C("b"));
+  g1.AddEdge(C("b"), L("f"), C("c"));
+  Graph g2;
+  g2.AddEdge(C("b"), L("f"), C("c"));
+  g2.AddEdge(C("a"), L("e"), C("b"));
+  EXPECT_EQ(g1.Signature(universe_, alphabet_),
+            g2.Signature(universe_, alphabet_));
+  Graph g3;
+  g3.AddEdge(C("a"), L("e"), C("c"));  // different edge
+  g3.AddEdge(C("b"), L("f"), C("c"));
+  EXPECT_NE(g1.Signature(universe_, alphabet_),
+            g3.Signature(universe_, alphabet_));
+}
+
+TEST_F(GraphFixture, SignatureSeesIsolatedNodes) {
+  Graph g1;
+  g1.AddEdge(C("a"), L("e"), C("b"));
+  Graph g2 = g1;
+  g2.AddNode(C("z"));
+  EXPECT_NE(g1.Signature(universe_, alphabet_),
+            g2.Signature(universe_, alphabet_));
+}
+
+TEST_F(GraphFixture, ClearResetsEverything) {
+  Graph g;
+  g.AddEdge(C("a"), L("e"), C("b"));
+  g.Clear();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.HasNode(C("a")));
+  EXPECT_TRUE(g.Successors(C("a"), L("e")).empty());
+}
+
+TEST_F(GraphFixture, ToStringListsEdges) {
+  Graph g;
+  g.AddEdge(C("a"), L("e"), C("b"));
+  std::string text = g.ToString(universe_, alphabet_);
+  EXPECT_NE(text.find("a -e-> b"), std::string::npos);
+  EXPECT_NE(text.find("1 edges"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdx

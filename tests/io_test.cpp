@@ -1,0 +1,116 @@
+// Tests for graph serialization, DOT export and the CNRE query parser.
+#include <gtest/gtest.h>
+
+#include "graph/dot_export.h"
+#include "graph/graph_io.h"
+#include "graph/isomorphism.h"
+#include "graph/nre_parser.h"
+#include "graph/query_parser.h"
+#include "workload/flights.h"
+#include "workload/paper_graphs.h"
+
+namespace gdx {
+namespace {
+
+TEST(GraphIoTest, RoundTripWithNullsAndIsolatedNodes) {
+  Universe universe;
+  Alphabet alphabet;
+  Value n = universe.FreshNullLabeled("B1");
+  Graph g;
+  g.AddEdge(universe.MakeConstant("c1"), alphabet.Intern("f"), n);
+  g.AddEdge(n, alphabet.Intern("f"), universe.MakeConstant("c2"));
+  g.AddNode(universe.MakeConstant("lonely"));
+
+  std::string text = SerializeGraph(g, universe, alphabet);
+  Result<Graph> parsed = ParseGraphText(text, universe, alphabet);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_nodes(), g.num_nodes());
+  EXPECT_EQ(parsed->num_edges(), g.num_edges());
+  EXPECT_TRUE(IsomorphicUpToNulls(g, *parsed));
+}
+
+TEST(GraphIoTest, BlankNodesShareIdentityWithinFile) {
+  Universe universe;
+  Alphabet alphabet;
+  Result<Graph> g = ParseGraphText(
+      "c1 f _:x\n_:x f c2\n# comment\n\nc1 g _:y\n", universe, alphabet);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 4u);  // c1, c2, _:x (shared), _:y
+  EXPECT_EQ(g->num_edges(), 3u);
+}
+
+TEST(GraphIoTest, ParseErrors) {
+  Universe universe;
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseGraphText("a b", universe, alphabet).ok());
+  EXPECT_FALSE(ParseGraphText("a b c d", universe, alphabet).ok());
+  EXPECT_FALSE(ParseGraphText("node", universe, alphabet).ok());
+  EXPECT_TRUE(ParseGraphText("", universe, alphabet).ok());  // empty ok
+}
+
+TEST(DotExportTest, GraphRendering) {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kSameAs);
+  Graph g3 = BuildFigure1G3(s);
+  std::string dot = ToDot(g3, *s.universe, *s.alphabet);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);   // nulls
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);   // sameAs
+  EXPECT_NE(dot.find("\"c1\" -> \"N1\""), std::string::npos);
+}
+
+TEST(DotExportTest, PatternRenderingShowsFullNres) {
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kNone);
+  GraphPattern pi;
+  Value n = s.universe->FreshNull();
+  Result<NrePtr> nre = ParseNre("f . f*", *s.alphabet);
+  ASSERT_TRUE(nre.ok());
+  pi.AddEdge(s.universe->MakeConstant("c1"), *nre, n);
+  std::string dot = ToDot(pi, *s.universe, *s.alphabet);
+  EXPECT_NE(dot.find("label=\"f . f*\""), std::string::npos);
+}
+
+TEST(QueryParserTest, FullQueryWithHead) {
+  Alphabet alphabet;
+  Universe universe;
+  Result<CnreQuery> q = ParseCnreQuery(
+      "(x1, f . f* [h] . f- . (f-)*, x2) -> x1, x2", alphabet, universe);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->atoms().size(), 1u);
+  ASSERT_EQ(q->head().size(), 2u);
+  EXPECT_EQ(q->vars().NameOf(q->head()[0]), "x1");
+}
+
+TEST(QueryParserTest, BooleanQueryWithoutHead) {
+  Alphabet alphabet;
+  Universe universe;
+  Result<CnreQuery> q =
+      ParseCnreQuery("(x, a, y), (y, b, z)", alphabet, universe);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->atoms().size(), 2u);
+  EXPECT_TRUE(q->head().empty());
+}
+
+TEST(QueryParserTest, ConstantsInQuery) {
+  Alphabet alphabet;
+  Universe universe;
+  Result<CnreQuery> q =
+      ParseCnreQuery("('c1', a, y) -> y", alphabet, universe);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->atoms()[0].x.is_const());
+  EXPECT_TRUE(universe.FindConstant("c1").has_value());
+}
+
+TEST(QueryParserTest, Errors) {
+  Alphabet alphabet;
+  Universe universe;
+  EXPECT_FALSE(ParseCnreQuery("", alphabet, universe).ok());
+  EXPECT_FALSE(ParseCnreQuery("(x, a)", alphabet, universe).ok());
+  EXPECT_FALSE(ParseCnreQuery("x, a, y", alphabet, universe).ok());
+  // Head var not in body.
+  EXPECT_FALSE(ParseCnreQuery("(x, a, y) -> z", alphabet, universe).ok());
+  // Bad NRE.
+  EXPECT_FALSE(ParseCnreQuery("(x, a ++ b, y)", alphabet, universe).ok());
+}
+
+}  // namespace
+}  // namespace gdx

@@ -1,0 +1,121 @@
+// Tests for graph isomorphism up to null renaming.
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+#include "common/universe.h"
+
+namespace gdx {
+namespace {
+
+class IsoFixture : public ::testing::Test {
+ protected:
+  Universe universe_;
+  Alphabet alphabet_;
+
+  Value C(const std::string& name) { return universe_.MakeConstant(name); }
+  SymbolId L(const std::string& name) { return alphabet_.Intern(name); }
+};
+
+TEST_F(IsoFixture, IdenticalGraphsAreIsomorphic) {
+  Graph g;
+  g.AddEdge(C("a"), L("e"), C("b"));
+  EXPECT_TRUE(IsomorphicUpToNulls(g, g));
+}
+
+TEST_F(IsoFixture, NullRenamingIsIsomorphic) {
+  Value n1 = universe_.FreshNull();
+  Value n2 = universe_.FreshNull();
+  Graph a;
+  a.AddEdge(C("c"), L("e"), n1);
+  a.AddEdge(n1, L("f"), C("d"));
+  Graph b;
+  b.AddEdge(C("c"), L("e"), n2);
+  b.AddEdge(n2, L("f"), C("d"));
+  EXPECT_TRUE(IsomorphicUpToNulls(a, b));
+}
+
+TEST_F(IsoFixture, ConstantsMustMatchExactly) {
+  // Same shape but different constants: NOT isomorphic (constants are
+  // global identifiers, not renameable).
+  Graph a;
+  a.AddEdge(C("x"), L("e"), C("y"));
+  Graph b;
+  b.AddEdge(C("x"), L("e"), C("z"));
+  EXPECT_FALSE(IsomorphicUpToNulls(a, b));
+}
+
+TEST_F(IsoFixture, EdgeDirectionMatters) {
+  Value n1 = universe_.FreshNull();
+  Value n2 = universe_.FreshNull();
+  Graph a;
+  a.AddEdge(C("c"), L("e"), n1);
+  Graph b;
+  b.AddEdge(n2, L("e"), C("c"));
+  EXPECT_FALSE(IsomorphicUpToNulls(a, b));
+}
+
+TEST_F(IsoFixture, LabelsMatter) {
+  Value n1 = universe_.FreshNull();
+  Value n2 = universe_.FreshNull();
+  Graph a;
+  a.AddEdge(C("c"), L("e"), n1);
+  Graph b;
+  b.AddEdge(C("c"), L("f"), n2);
+  EXPECT_FALSE(IsomorphicUpToNulls(a, b));
+}
+
+TEST_F(IsoFixture, DifferentNullStructureRejected) {
+  // One shared null vs two distinct nulls.
+  Value n1 = universe_.FreshNull();
+  Value n2 = universe_.FreshNull();
+  Value n3 = universe_.FreshNull();
+  Graph a;
+  a.AddEdge(C("c"), L("e"), n1);
+  a.AddEdge(C("d"), L("e"), n1);
+  Graph b;
+  b.AddEdge(C("c"), L("e"), n2);
+  b.AddEdge(C("d"), L("e"), n3);
+  EXPECT_FALSE(IsomorphicUpToNulls(a, b));
+  EXPECT_FALSE(IsomorphicUpToNulls(b, a));
+}
+
+TEST_F(IsoFixture, SwappedNullRolesFound) {
+  // Nulls with symmetric roles: the search must find the right pairing.
+  Value n1 = universe_.FreshNull();
+  Value n2 = universe_.FreshNull();
+  Value m1 = universe_.FreshNull();
+  Value m2 = universe_.FreshNull();
+  Graph a;
+  a.AddEdge(n1, L("e"), n2);
+  a.AddEdge(C("c"), L("f"), n1);
+  Graph b;
+  b.AddEdge(m2, L("e"), m1);
+  b.AddEdge(C("c"), L("f"), m2);
+  EXPECT_TRUE(IsomorphicUpToNulls(a, b));
+}
+
+TEST_F(IsoFixture, IsolatedNodesCount) {
+  Graph a;
+  a.AddNode(C("c"));
+  Graph b;
+  EXPECT_FALSE(IsomorphicUpToNulls(a, b));
+}
+
+TEST_F(IsoFixture, DeduplicateKeepsFirstOccurrence) {
+  Value n1 = universe_.FreshNull();
+  Value n2 = universe_.FreshNull();
+  Graph a;
+  a.AddEdge(C("c"), L("e"), n1);
+  Graph b;  // isomorphic to a
+  b.AddEdge(C("c"), L("e"), n2);
+  Graph c;  // different
+  c.AddEdge(C("c"), L("f"), n2);
+  std::vector<Graph> unique =
+      DeduplicateUpToIsomorphism({a, b, c});
+  ASSERT_EQ(unique.size(), 2u);
+  EXPECT_TRUE(IsomorphicUpToNulls(unique[0], a));
+  EXPECT_TRUE(IsomorphicUpToNulls(unique[1], c));
+}
+
+}  // namespace
+}  // namespace gdx

@@ -1,0 +1,247 @@
+// Tests for the two NRE evaluation engines: hand-checked semantics on small
+// graphs plus randomized agreement properties (naive vs automaton vs
+// brute force) — experiment E10's correctness basis.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/nre_eval.h"
+#include "graph/nre_parser.h"
+#include "workload/random_graph.h"
+
+namespace gdx {
+namespace {
+
+class NreEvalFixture : public ::testing::Test {
+ protected:
+  Universe universe_;
+  Alphabet alphabet_;
+  NaiveNreEvaluator naive_;
+  AutomatonNreEvaluator automaton_;
+
+  Value V(const std::string& name) { return universe_.MakeConstant(name); }
+  NrePtr Parse(const std::string& text) {
+    Result<NrePtr> r = ParseNre(text, alphabet_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+  SymbolId Sym(const std::string& name) { return alphabet_.Intern(name); }
+
+  /// Builds a chain v1 -a-> v2 -a-> ... -a-> vn.
+  Graph Chain(size_t n, const std::string& label) {
+    Graph g;
+    for (size_t i = 1; i < n; ++i) {
+      g.AddEdge(V("v" + std::to_string(i)), Sym(label),
+                V("v" + std::to_string(i + 1)));
+    }
+    return g;
+  }
+
+  bool Has(const BinaryRelation& rel, Value a, Value b) {
+    for (const NodePair& p : rel) {
+      if (p.first == a && p.second == b) return true;
+    }
+    return false;
+  }
+};
+
+TEST_F(NreEvalFixture, SymbolRelationIsEdgeSet) {
+  Graph g = Chain(3, "a");
+  for (const NreEvaluator* eval :
+       {static_cast<const NreEvaluator*>(&naive_),
+        static_cast<const NreEvaluator*>(&automaton_)}) {
+    BinaryRelation rel = eval->Eval(Parse("a"), g);
+    EXPECT_EQ(rel.size(), 2u) << eval->name();
+    EXPECT_TRUE(Has(rel, V("v1"), V("v2")));
+    EXPECT_TRUE(Has(rel, V("v2"), V("v3")));
+  }
+}
+
+TEST_F(NreEvalFixture, EpsilonIsIdentity) {
+  Graph g = Chain(3, "a");
+  for (const NreEvaluator* eval :
+       {static_cast<const NreEvaluator*>(&naive_),
+        static_cast<const NreEvaluator*>(&automaton_)}) {
+    BinaryRelation rel = eval->Eval(Parse("eps"), g);
+    EXPECT_EQ(rel.size(), 3u) << eval->name();
+    EXPECT_TRUE(Has(rel, V("v1"), V("v1")));
+  }
+}
+
+TEST_F(NreEvalFixture, InverseSwapsDirection) {
+  Graph g = Chain(2, "a");
+  for (const NreEvaluator* eval :
+       {static_cast<const NreEvaluator*>(&naive_),
+        static_cast<const NreEvaluator*>(&automaton_)}) {
+    BinaryRelation rel = eval->Eval(Parse("a-"), g);
+    ASSERT_EQ(rel.size(), 1u) << eval->name();
+    EXPECT_TRUE(Has(rel, V("v2"), V("v1")));
+  }
+}
+
+TEST_F(NreEvalFixture, StarIsReflexiveTransitive) {
+  Graph g = Chain(4, "a");
+  for (const NreEvaluator* eval :
+       {static_cast<const NreEvaluator*>(&naive_),
+        static_cast<const NreEvaluator*>(&automaton_)}) {
+    BinaryRelation rel = eval->Eval(Parse("a*"), g);
+    // 4 reflexive + 3+2+1 forward pairs.
+    EXPECT_EQ(rel.size(), 10u) << eval->name();
+    EXPECT_TRUE(Has(rel, V("v1"), V("v4")));
+    EXPECT_TRUE(Has(rel, V("v3"), V("v3")));
+    EXPECT_FALSE(Has(rel, V("v4"), V("v1")));
+  }
+}
+
+TEST_F(NreEvalFixture, UnionMergesLanguages) {
+  Graph g;
+  g.AddEdge(V("x"), Sym("a"), V("y"));
+  g.AddEdge(V("x"), Sym("b"), V("z"));
+  for (const NreEvaluator* eval :
+       {static_cast<const NreEvaluator*>(&naive_),
+        static_cast<const NreEvaluator*>(&automaton_)}) {
+    BinaryRelation rel = eval->Eval(Parse("a + b"), g);
+    EXPECT_EQ(rel.size(), 2u) << eval->name();
+  }
+}
+
+TEST_F(NreEvalFixture, NestFiltersOnOutgoingPath) {
+  // x -a-> y -b-> z: [b] holds at y only; a[b] relates x to y.
+  Graph g;
+  g.AddEdge(V("x"), Sym("a"), V("y"));
+  g.AddEdge(V("y"), Sym("b"), V("z"));
+  for (const NreEvaluator* eval :
+       {static_cast<const NreEvaluator*>(&naive_),
+        static_cast<const NreEvaluator*>(&automaton_)}) {
+    BinaryRelation nest = eval->Eval(Parse("[b]"), g);
+    ASSERT_EQ(nest.size(), 1u) << eval->name();
+    EXPECT_TRUE(Has(nest, V("y"), V("y")));
+
+    BinaryRelation combined = eval->Eval(Parse("a [b]"), g);
+    ASSERT_EQ(combined.size(), 1u) << eval->name();
+    EXPECT_TRUE(Has(combined, V("x"), V("y")));
+  }
+}
+
+TEST_F(NreEvalFixture, PaperQueryOnSmallFlightGraph) {
+  // G1 of Figure 1: c1,c3 -f-> N -f-> c2; N -h-> hx, hy.
+  Graph g;
+  Value n = universe_.FreshNull();
+  g.AddEdge(V("c1"), Sym("f"), n);
+  g.AddEdge(V("c3"), Sym("f"), n);
+  g.AddEdge(n, Sym("f"), V("c2"));
+  g.AddEdge(n, Sym("h"), V("hx"));
+  g.AddEdge(n, Sym("h"), V("hy"));
+  NrePtr q = Parse("f . f* [h] . f- . (f-)*");
+  for (const NreEvaluator* eval :
+       {static_cast<const NreEvaluator*>(&naive_),
+        static_cast<const NreEvaluator*>(&automaton_)}) {
+    BinaryRelation rel = eval->Eval(q, g);
+    // JQK_G1 = {c1,c3} x {c1,c3} — the paper's four pairs.
+    EXPECT_EQ(rel.size(), 4u) << eval->name();
+    for (const char* a : {"c1", "c3"}) {
+      for (const char* b : {"c1", "c3"}) {
+        EXPECT_TRUE(Has(rel, V(a), V(b))) << eval->name() << a << b;
+      }
+    }
+  }
+}
+
+TEST_F(NreEvalFixture, EvalFromMatchesFullRelation) {
+  Graph g = Chain(5, "a");
+  NrePtr r = Parse("a . a*");
+  std::vector<Value> from_naive = naive_.EvalFrom(r, g, V("v2"));
+  std::vector<Value> from_auto = automaton_.EvalFrom(r, g, V("v2"));
+  EXPECT_EQ(from_naive.size(), 3u);
+  EXPECT_EQ(from_auto.size(), 3u);
+  EXPECT_TRUE(automaton_.Contains(r, g, V("v1"), V("v5")));
+  EXPECT_FALSE(automaton_.Contains(r, g, V("v5"), V("v1")));
+}
+
+TEST_F(NreEvalFixture, EmptyGraphYieldsEmptyRelations) {
+  Graph g;
+  EXPECT_TRUE(naive_.Eval(Parse("a"), g).empty());
+  EXPECT_TRUE(automaton_.Eval(Parse("a*"), g).empty());
+  EXPECT_TRUE(automaton_.EvalFrom(Parse("a"), g, V("zz")).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized agreement property: naive == automaton == brute force.
+// ---------------------------------------------------------------------------
+
+struct AgreementParams {
+  uint64_t graph_seed;
+  uint64_t nre_seed;
+  size_t nodes;
+  size_t edges;
+  size_t depth;
+};
+
+class EvaluatorAgreementTest
+    : public ::testing::TestWithParam<AgreementParams> {};
+
+TEST_P(EvaluatorAgreementTest, EnginesAgree) {
+  const AgreementParams& p = GetParam();
+  Universe universe;
+  Alphabet alphabet;
+  RandomGraphParams gp;
+  gp.num_nodes = p.nodes;
+  gp.num_edges = p.edges;
+  gp.num_labels = 2;
+  gp.seed = p.graph_seed;
+  Graph g = MakeRandomGraph(gp, universe, alphabet);
+  Rng rng(p.nre_seed);
+  NrePtr nre = MakeRandomNre(p.depth, 2, alphabet, rng);
+
+  NaiveNreEvaluator naive;
+  AutomatonNreEvaluator automaton;
+  BinaryRelation a = naive.Eval(nre, g);
+  BinaryRelation b = automaton.Eval(nre, g);
+  EXPECT_EQ(a, b) << nre->ToString(alphabet);
+
+  // Brute force needs enough fuel: |V| * small factor.
+  BinaryRelation c = BruteForceEval(nre, g, static_cast<int>(p.nodes) + 4);
+  EXPECT_EQ(a, c) << nre->ToString(alphabet);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, EvaluatorAgreementTest,
+    ::testing::Values(
+        AgreementParams{1, 100, 4, 6, 2}, AgreementParams{2, 101, 5, 8, 2},
+        AgreementParams{3, 102, 5, 10, 3}, AgreementParams{4, 103, 6, 9, 3},
+        AgreementParams{5, 104, 6, 12, 2}, AgreementParams{6, 105, 7, 10, 3},
+        AgreementParams{7, 106, 7, 14, 2}, AgreementParams{8, 107, 8, 12, 3},
+        AgreementParams{9, 108, 4, 10, 4}, AgreementParams{10, 109, 5, 6, 4},
+        AgreementParams{11, 110, 6, 6, 3}, AgreementParams{12, 111, 8, 16, 2},
+        AgreementParams{13, 112, 3, 6, 4}, AgreementParams{14, 113, 5, 12, 3},
+        AgreementParams{15, 114, 6, 14, 3},
+        AgreementParams{16, 115, 7, 7, 2}));
+
+// Larger randomized sweep without brute force (automaton vs naive only).
+class EvaluatorAgreementLargeTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EvaluatorAgreementLargeTest, NaiveMatchesAutomaton) {
+  uint64_t seed = GetParam();
+  Universe universe;
+  Alphabet alphabet;
+  RandomGraphParams gp;
+  gp.num_nodes = 30;
+  gp.num_edges = 90;
+  gp.num_labels = 3;
+  gp.seed = seed;
+  Graph g = MakeRandomGraph(gp, universe, alphabet);
+  Rng rng(seed * 7919);
+  for (int i = 0; i < 5; ++i) {
+    NrePtr nre = MakeRandomNre(3, 3, alphabet, rng);
+    NaiveNreEvaluator naive;
+    AutomatonNreEvaluator automaton;
+    EXPECT_EQ(naive.Eval(nre, g), automaton.Eval(nre, g))
+        << nre->ToString(alphabet);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorAgreementLargeTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace gdx

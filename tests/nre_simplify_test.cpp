@@ -1,0 +1,115 @@
+// Tests for the NRE algebraic simplifier: every rewrite rule, plus the
+// randomized semantics-preservation property over random graphs.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/nre_parser.h"
+#include "graph/nre_simplify.h"
+#include "graph/nre_eval.h"
+#include "workload/random_graph.h"
+
+namespace gdx {
+namespace {
+
+class SimplifyFixture : public ::testing::Test {
+ protected:
+  Alphabet alphabet_;
+
+  NrePtr Parse(const std::string& text) {
+    Result<NrePtr> r = ParseNre(text, alphabet_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  void ExpectSimplifiesTo(const std::string& input,
+                          const std::string& expected) {
+    NrePtr simplified = SimplifyNre(Parse(input));
+    EXPECT_TRUE(NreEquals(simplified, Parse(expected)))
+        << input << " simplified to " << simplified->ToString(alphabet_)
+        << ", expected " << expected;
+  }
+};
+
+TEST_F(SimplifyFixture, EpsilonConcatUnits) {
+  ExpectSimplifiesTo("eps . a", "a");
+  ExpectSimplifiesTo("a . eps", "a");
+  ExpectSimplifiesTo("eps . eps", "eps");
+  ExpectSimplifiesTo("eps . a . eps . b", "a . b");
+}
+
+TEST_F(SimplifyFixture, UnionIdempotence) {
+  ExpectSimplifiesTo("a + a", "a");
+  ExpectSimplifiesTo("(a . b) + (a . b)", "a . b");
+  // Distinct branches survive.
+  ExpectSimplifiesTo("a + b", "a + b");
+}
+
+TEST_F(SimplifyFixture, StarCollapses) {
+  ExpectSimplifiesTo("eps*", "eps");
+  ExpectSimplifiesTo("(a*)*", "a*");
+  ExpectSimplifiesTo("(eps + a)*", "a*");
+  ExpectSimplifiesTo("(a + eps)*", "a*");
+}
+
+TEST_F(SimplifyFixture, UnionAbsorptionIntoStar) {
+  ExpectSimplifiesTo("a + a*", "a*");
+  ExpectSimplifiesTo("a* + a", "a*");
+  ExpectSimplifiesTo("eps + a*", "a*");
+  ExpectSimplifiesTo("a* + eps", "a*");
+}
+
+TEST_F(SimplifyFixture, StarStarConcat) {
+  ExpectSimplifiesTo("a* . a*", "a*");
+  // Different bodies do not merge.
+  ExpectSimplifiesTo("a* . b*", "a* . b*");
+}
+
+TEST_F(SimplifyFixture, NestRules) {
+  ExpectSimplifiesTo("[eps]", "eps");
+  ExpectSimplifiesTo("[[a]]", "[a]");
+  ExpectSimplifiesTo("[a]", "[a]");
+}
+
+TEST_F(SimplifyFixture, NestedRewritesCascade) {
+  // Inner simplifications enable outer ones.
+  ExpectSimplifiesTo("(eps . a)*  +  a*", "a*");
+  ExpectSimplifiesTo("((a*)* . eps)*", "a*");
+}
+
+TEST_F(SimplifyFixture, PaperQueryIsAlreadyMinimal) {
+  NrePtr q = Parse("f . f* [h] . f- . (f-)*");
+  EXPECT_TRUE(NreEquals(SimplifyNre(q), q));
+}
+
+// Randomized property: simplification preserves ⟦r⟧_G on both engines.
+class SimplifyPreservation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplifyPreservation, SemanticsPreserved) {
+  Universe universe;
+  Alphabet alphabet;
+  RandomGraphParams gp;
+  gp.num_nodes = 12;
+  gp.num_edges = 40;
+  gp.num_labels = 2;
+  gp.seed = GetParam();
+  Graph g = MakeRandomGraph(gp, universe, alphabet);
+  Rng rng(GetParam() * 31 + 7);
+  NaiveNreEvaluator naive;
+  AutomatonNreEvaluator automaton;
+  for (int i = 0; i < 8; ++i) {
+    NrePtr original = MakeRandomNre(4, 2, alphabet, rng);
+    NrePtr simplified = SimplifyNre(original);
+    EXPECT_LE(simplified->Size(), original->Size());
+    EXPECT_EQ(naive.Eval(original, g), naive.Eval(simplified, g))
+        << original->ToString(alphabet) << "  vs  "
+        << simplified->ToString(alphabet);
+    EXPECT_EQ(automaton.Eval(original, g), automaton.Eval(simplified, g))
+        << original->ToString(alphabet);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPreservation,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace gdx

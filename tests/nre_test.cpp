@@ -1,0 +1,153 @@
+// Unit tests for the NRE AST, parser, printer and structural helpers.
+#include <gtest/gtest.h>
+
+#include "graph/nre.h"
+#include "graph/nre_parser.h"
+
+namespace gdx {
+namespace {
+
+class NreFixture : public ::testing::Test {
+ protected:
+  Alphabet alphabet_;
+
+  NrePtr Parse(const std::string& text) {
+    Result<NrePtr> r = ParseNre(text, alphabet_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : nullptr;
+  }
+};
+
+TEST_F(NreFixture, ParseSymbol) {
+  NrePtr r = Parse("f");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->kind(), Nre::Kind::kSymbol);
+  EXPECT_EQ(alphabet_.NameOf(r->symbol()), "f");
+}
+
+TEST_F(NreFixture, ParseEpsilon) {
+  NrePtr r = Parse("eps");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->kind(), Nre::Kind::kEpsilon);
+  EXPECT_TRUE(r->Nullable());
+}
+
+TEST_F(NreFixture, ParseConcatAndStar) {
+  NrePtr r = Parse("f . f*");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->kind(), Nre::Kind::kConcat);
+  EXPECT_EQ(r->left()->kind(), Nre::Kind::kSymbol);
+  EXPECT_EQ(r->right()->kind(), Nre::Kind::kStar);
+  EXPECT_FALSE(r->Nullable());
+}
+
+TEST_F(NreFixture, ParseUnionPrecedence) {
+  // Concatenation binds tighter than union: a + b . c == a + (b . c).
+  NrePtr r = Parse("a + b . c");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->kind(), Nre::Kind::kUnion);
+  EXPECT_EQ(r->right()->kind(), Nre::Kind::kConcat);
+}
+
+TEST_F(NreFixture, ParseInverseOnSymbol) {
+  NrePtr r = Parse("f-");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->kind(), Nre::Kind::kInverse);
+}
+
+TEST_F(NreFixture, InverseOnGroupRejected) {
+  Result<NrePtr> r = ParseNre("(a . b)-", alphabet_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(NreFixture, ParsePaperQuery) {
+  // Q = f . f* [h] . f- . (f-)* — Example 2.2 (implicit concat before [).
+  NrePtr r = Parse("f . f* [h] . f- . (f-)*");
+  ASSERT_NE(r, nullptr);
+  // Round-trips through the printer and reparses to an equal tree.
+  std::string printed = r->ToString(alphabet_);
+  NrePtr reparsed = Parse(printed);
+  ASSERT_NE(reparsed, nullptr);
+  EXPECT_TRUE(NreEquals(r, reparsed)) << printed;
+}
+
+TEST_F(NreFixture, ParseNesting) {
+  NrePtr r = Parse("[a . b]");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->kind(), Nre::Kind::kNest);
+  EXPECT_TRUE(r->Nullable());  // nest consumes no main-path edges
+}
+
+TEST_F(NreFixture, ParseErrorsAreReported) {
+  EXPECT_FALSE(ParseNre("", alphabet_).ok());
+  EXPECT_FALSE(ParseNre("(a", alphabet_).ok());
+  EXPECT_FALSE(ParseNre("[a", alphabet_).ok());
+  EXPECT_FALSE(ParseNre("a +", alphabet_).ok());
+  EXPECT_FALSE(ParseNre("a b", alphabet_).ok());  // juxtaposition illegal
+  EXPECT_FALSE(ParseNre("1a", alphabet_).ok());
+}
+
+TEST_F(NreFixture, StructuralEquality) {
+  EXPECT_TRUE(NreEquals(Parse("a . b"), Parse("a.b")));
+  EXPECT_FALSE(NreEquals(Parse("a . b"), Parse("b . a")));
+  EXPECT_TRUE(NreEquals(Parse("(a + b)*"), Parse("( a + b )*")));
+  EXPECT_FALSE(NreEquals(Parse("a*"), Parse("a")));
+}
+
+TEST_F(NreFixture, SizeCountsAstNodes) {
+  EXPECT_EQ(Parse("a")->Size(), 1u);
+  EXPECT_EQ(Parse("a . b")->Size(), 3u);
+  EXPECT_EQ(Parse("(a + b)*")->Size(), 4u);
+  EXPECT_EQ(Parse("[a]")->Size(), 2u);
+}
+
+TEST_F(NreFixture, NullableCases) {
+  EXPECT_TRUE(Parse("a*")->Nullable());
+  EXPECT_TRUE(Parse("eps . a*")->Nullable());
+  EXPECT_FALSE(Parse("a . b*")->Nullable());
+  EXPECT_TRUE(Parse("a* + b")->Nullable());
+  EXPECT_FALSE(Parse("a + b")->Nullable());
+}
+
+TEST_F(NreFixture, IsSingleSymbol) {
+  EXPECT_TRUE(IsSingleSymbol(Parse("a")));
+  EXPECT_FALSE(IsSingleSymbol(Parse("a-")));
+  EXPECT_FALSE(IsSingleSymbol(Parse("a + b")));
+  EXPECT_FALSE(IsSingleSymbol(nullptr));
+}
+
+TEST_F(NreFixture, IsSymbolUnion) {
+  std::vector<SymbolId> symbols;
+  EXPECT_TRUE(IsSymbolUnion(Parse("a + b + c"), &symbols));
+  EXPECT_EQ(symbols.size(), 3u);
+  symbols.clear();
+  EXPECT_TRUE(IsSymbolUnion(Parse("a"), &symbols));
+  EXPECT_EQ(symbols.size(), 1u);
+  EXPECT_FALSE(IsSymbolUnion(Parse("a . b"), nullptr));
+  EXPECT_FALSE(IsSymbolUnion(Parse("a + b . c"), nullptr));
+}
+
+TEST_F(NreFixture, IsSymbolConcat) {
+  std::vector<SymbolId> symbols;
+  EXPECT_TRUE(IsSymbolConcat(Parse("t1 . f1 . a"), &symbols));
+  ASSERT_EQ(symbols.size(), 3u);
+  EXPECT_EQ(alphabet_.NameOf(symbols[0]), "t1");
+  EXPECT_EQ(alphabet_.NameOf(symbols[2]), "a");
+  EXPECT_FALSE(IsSymbolConcat(Parse("a + b"), nullptr));
+  EXPECT_FALSE(IsSymbolConcat(Parse("a . b*"), nullptr));
+}
+
+TEST_F(NreFixture, PrinterUsesMinimalParentheses) {
+  EXPECT_EQ(Parse("a + b . c")->ToString(alphabet_), "a + b . c");
+  EXPECT_EQ(Parse("(a + b) . c")->ToString(alphabet_), "(a + b) . c");
+  EXPECT_EQ(Parse("(a . b)*")->ToString(alphabet_), "(a . b)*");
+  EXPECT_EQ(Parse("(f-)*")->ToString(alphabet_), "(f-)*");
+}
+
+TEST_F(NreFixture, PlusHelperIsConcatStar) {
+  NrePtr plus = Nre::Plus(Nre::Symbol(alphabet_.Intern("f")));
+  EXPECT_TRUE(NreEquals(plus, Parse("f . f*")));
+}
+
+}  // namespace
+}  // namespace gdx

@@ -1,0 +1,212 @@
+// Tests for graph patterns: construction, definite subgraphs, homomorphism
+// search (Rep membership) and witness enumeration / instantiation.
+#include <gtest/gtest.h>
+
+#include "graph/nre_parser.h"
+#include "pattern/homomorphism.h"
+#include "pattern/pattern.h"
+#include "pattern/witness.h"
+
+namespace gdx {
+namespace {
+
+class PatternFixture : public ::testing::Test {
+ protected:
+  Universe universe_;
+  Alphabet alphabet_;
+  AutomatonNreEvaluator eval_;
+
+  Value V(const std::string& name) { return universe_.MakeConstant(name); }
+  NrePtr Parse(const std::string& text) {
+    Result<NrePtr> r = ParseNre(text, alphabet_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+  SymbolId Sym(const std::string& name) { return alphabet_.Intern(name); }
+};
+
+TEST_F(PatternFixture, EdgeDedupAndDefiniteGraph) {
+  GraphPattern pi;
+  NrePtr ff = Parse("f . f*");
+  NrePtr h = Parse("h");
+  Value n = universe_.FreshNull();
+  pi.AddEdge(V("c1"), ff, n);
+  pi.AddEdge(V("c1"), ff, n);  // same NrePtr: deduped
+  pi.AddEdge(n, h, V("hx"));
+  EXPECT_EQ(pi.num_edges(), 2u);
+  Graph definite = pi.DefiniteGraph();
+  EXPECT_EQ(definite.num_edges(), 1u);  // only the single-symbol h edge
+  EXPECT_TRUE(definite.HasEdge(n, Sym("h"), V("hx")));
+  EXPECT_EQ(definite.num_nodes(), pi.num_nodes());
+}
+
+TEST_F(PatternFixture, HomomorphismIdentityOnConstants) {
+  // Pattern: c1 =[a]=> N; graph: c1 -a-> d. N maps to d; c1 to itself.
+  GraphPattern pi;
+  Value n = universe_.FreshNull();
+  pi.AddEdge(V("c1"), Parse("a"), n);
+
+  Graph g;
+  g.AddEdge(V("c1"), Sym("a"), V("d"));
+  std::optional<Homomorphism> h = FindPatternHomomorphism(pi, g, eval_);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(V("c1").raw()), V("c1"));
+  EXPECT_EQ(h->at(n.raw()), V("d"));
+}
+
+TEST_F(PatternFixture, MissingConstantMeansNoHomomorphism) {
+  GraphPattern pi;
+  pi.AddEdge(V("c1"), Parse("a"), V("c2"));
+  Graph g;
+  g.AddEdge(V("c1"), Sym("a"), V("d"));  // no c2 in g
+  EXPECT_FALSE(InRep(pi, g, eval_));
+}
+
+TEST_F(PatternFixture, NreEdgeMapsToPath) {
+  // Pattern edge c1 =[f . f*]=> c2 maps onto a 3-step f path.
+  GraphPattern pi;
+  pi.AddEdge(V("c1"), Parse("f . f*"), V("c2"));
+  Graph g;
+  g.AddEdge(V("c1"), Sym("f"), V("m1"));
+  g.AddEdge(V("m1"), Sym("f"), V("m2"));
+  g.AddEdge(V("m2"), Sym("f"), V("c2"));
+  EXPECT_TRUE(InRep(pi, g, eval_));
+
+  Graph disconnected;
+  disconnected.AddEdge(V("c1"), Sym("f"), V("m1"));
+  disconnected.AddNode(V("c2"));
+  EXPECT_FALSE(InRep(pi, disconnected, eval_));
+}
+
+TEST_F(PatternFixture, TwoNullsMayShareImage) {
+  GraphPattern pi;
+  Value n1 = universe_.FreshNull();
+  Value n2 = universe_.FreshNull();
+  pi.AddEdge(V("c1"), Parse("a"), n1);
+  pi.AddEdge(V("c1"), Parse("a"), n2);
+  Graph g;
+  g.AddEdge(V("c1"), Sym("a"), V("only"));
+  std::optional<Homomorphism> h = FindPatternHomomorphism(pi, g, eval_);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(n1.raw()), V("only"));
+  EXPECT_EQ(h->at(n2.raw()), V("only"));
+}
+
+TEST_F(PatternFixture, RewriteValuesMergesNodes) {
+  GraphPattern pi;
+  Value n1 = universe_.FreshNull();
+  Value n2 = universe_.FreshNull();
+  pi.AddEdge(V("c1"), Parse("a"), n1);
+  pi.AddEdge(V("c1"), Parse("a"), n2);
+  EXPECT_EQ(pi.num_nodes(), 3u);
+  pi.RewriteValues([&](Value v) { return v == n2 ? n1 : v; });
+  EXPECT_EQ(pi.num_nodes(), 2u);
+  EXPECT_EQ(pi.num_edges(), 1u);  // identical edges merged
+}
+
+// --- Witness enumeration -----------------------------------------------
+
+TEST_F(PatternFixture, WitnessSymbolIsSingleStep) {
+  std::vector<Witness> ws = EnumerateWitnesses(Parse("a"), 4, 8);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws[0].NumEdges(), 1u);
+  EXPECT_FALSE(ws[0].IsEpsilonChain());
+}
+
+TEST_F(PatternFixture, WitnessStarOrderedByLength) {
+  std::vector<Witness> ws = EnumerateWitnesses(Parse("a*"), 3, 8);
+  ASSERT_GE(ws.size(), 4u);  // ε, a, aa, aaa
+  EXPECT_EQ(ws[0].NumEdges(), 0u);
+  EXPECT_TRUE(ws[0].IsEpsilonChain());
+  EXPECT_EQ(ws[1].NumEdges(), 1u);
+  EXPECT_EQ(ws[2].NumEdges(), 2u);
+  EXPECT_EQ(ws[3].NumEdges(), 3u);
+}
+
+TEST_F(PatternFixture, WitnessUnionInterleavesChoices) {
+  std::vector<Witness> ws = EnumerateWitnesses(Parse("a + b . c"), 4, 8);
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws[0].NumEdges(), 1u);  // a
+  EXPECT_EQ(ws[1].NumEdges(), 2u);  // b . c
+}
+
+TEST_F(PatternFixture, WitnessNestBecomesBranch) {
+  std::vector<Witness> ws = EnumerateWitnesses(Parse("a [b]"), 4, 8);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws[0].NumEdges(), 2u);  // a step + b branch edge
+  EXPECT_EQ(ws[0].steps.size(), 1u);
+}
+
+TEST_F(PatternFixture, MaterializeSimplePath) {
+  std::vector<Witness> ws = EnumerateWitnesses(Parse("a . a"), 4, 8);
+  ASSERT_EQ(ws.size(), 1u);
+  Graph g;
+  ASSERT_TRUE(
+      MaterializeWitness(g, universe_, V("s"), V("t"), ws[0]).ok());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_nodes(), 3u);  // s, fresh mid, t
+}
+
+TEST_F(PatternFixture, MaterializeBackwardStep) {
+  std::vector<Witness> ws = EnumerateWitnesses(Parse("a-"), 4, 8);
+  ASSERT_EQ(ws.size(), 1u);
+  Graph g;
+  ASSERT_TRUE(
+      MaterializeWitness(g, universe_, V("s"), V("t"), ws[0]).ok());
+  // Backward traversal materializes the edge t -a-> s.
+  EXPECT_TRUE(g.HasEdge(V("t"), Sym("a"), V("s")));
+}
+
+TEST_F(PatternFixture, EpsilonWitnessRejectedBetweenDistinctNodes) {
+  std::vector<Witness> ws = EnumerateWitnesses(Parse("a*"), 2, 4);
+  ASSERT_FALSE(ws.empty());
+  ASSERT_TRUE(ws[0].IsEpsilonChain());
+  Graph g;
+  EXPECT_FALSE(
+      MaterializeWitness(g, universe_, V("s"), V("t"), ws[0]).ok());
+  EXPECT_TRUE(
+      MaterializeWitness(g, universe_, V("s"), V("s"), ws[0]).ok());
+}
+
+TEST_F(PatternFixture, InstantiateCanonicalRealizesPattern) {
+  // The instantiated canonical graph must be represented by the pattern.
+  GraphPattern pi;
+  Value n = universe_.FreshNull();
+  pi.AddEdge(V("c1"), Parse("f . f*"), n);
+  pi.AddEdge(n, Parse("h"), V("hx"));
+  pi.AddEdge(n, Parse("f . f*"), V("c2"));
+  PatternInstantiator inst(&pi, &universe_, {});
+  Result<Graph> g = inst.InstantiateCanonical();
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_TRUE(InRep(pi, *g, eval_));
+  EXPECT_EQ(g->num_edges(), 3u);  // shortest witnesses: single f, h, f
+}
+
+TEST_F(PatternFixture, InstantiateChoicesGrowGraphs) {
+  GraphPattern pi;
+  pi.AddEdge(V("c1"), Parse("f . f*"), V("c2"));
+  PatternInstantiator inst(&pi, &universe_, {});
+  ASSERT_EQ(inst.witness_lists().size(), 1u);
+  ASSERT_GE(inst.witness_lists()[0].size(), 3u);
+  // Choice 0 = shortest (single f edge); later choices are longer.
+  Result<Graph> g0 = inst.Instantiate({0});
+  Result<Graph> g1 = inst.Instantiate({1});
+  ASSERT_TRUE(g0.ok());
+  ASSERT_TRUE(g1.ok());
+  EXPECT_LT(g0->num_edges(), g1->num_edges());
+  EXPECT_TRUE(InRep(pi, *g0, eval_));
+  EXPECT_TRUE(InRep(pi, *g1, eval_));
+}
+
+TEST_F(PatternFixture, NumCombinationsMultiplies) {
+  GraphPattern pi;
+  pi.AddEdge(V("c1"), Parse("a + b"), V("c2"));
+  pi.AddEdge(V("c2"), Parse("c + d"), V("c3"));
+  InstantiationOptions options;
+  options.max_edges_per_witness = 1;
+  PatternInstantiator inst(&pi, &universe_, options);
+  EXPECT_EQ(inst.NumCombinations(), 4u);
+}
+
+}  // namespace
+}  // namespace gdx

@@ -1,0 +1,180 @@
+// Tests for the Theorem 4.1 reduction: the Ω_ρ construction, the ρ0
+// example (Figure 4), both directions of the proof (valuation ⇄ solution),
+// and the randomized equivalence  ∃solution(Ω_ρ, I_ρ) ⇔ ρ ∈ SAT.
+#include <gtest/gtest.h>
+
+#include "exchange/solution_check.h"
+#include "reduction/sat_encoding.h"
+#include "sat/dpll.h"
+#include "sat/gen.h"
+#include "solver/existence.h"
+
+namespace gdx {
+namespace {
+
+AutomatonNreEvaluator eval;
+
+TEST(ReductionTest, Rho0SettingShape) {
+  Universe universe;
+  Result<SatEncodedExchange> enc =
+      EncodeSatToSetting(Rho0(), universe, ReductionMode::kEgd);
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  // Σρ0 = {a, t1..t4, f1..f4} = 9 symbols.
+  EXPECT_EQ(enc->alphabet->size(), 9u);
+  // One s-t tgd with 1 + n head atoms.
+  ASSERT_EQ(enc->setting.st_tgds.size(), 1u);
+  EXPECT_EQ(enc->setting.st_tgds[0].head.size(), 5u);
+  // n type-(*) + k type-(**) egds.
+  EXPECT_EQ(enc->setting.egds.size(), 4u + 2u);
+  // I_ρ = {R1(c1), R2(c2)}.
+  EXPECT_EQ(enc->instance->TotalFacts(), 2u);
+}
+
+TEST(ReductionTest, Figure4ValuationGraphIsSolution) {
+  // v(x1)=v(x2)=true, v(x3)=v(x4)=false makes ρ0 true (Figure 4).
+  Universe universe;
+  Result<SatEncodedExchange> enc =
+      EncodeSatToSetting(Rho0(), universe, ReductionMode::kEgd);
+  ASSERT_TRUE(enc.ok());
+  std::vector<bool> v(5, false);
+  v[1] = true;
+  v[2] = true;
+  Graph g = BuildValuationGraph(*enc, v);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 5u);  // a edge + 4 self-loops
+  EXPECT_TRUE(
+      IsSolution(enc->setting, *enc->instance, g, eval, universe));
+}
+
+TEST(ReductionTest, FalsifyingValuationGraphIsNotSolution) {
+  // v(x2)=true, rest false falsifies clause 1 -> type (**) egd fires and
+  // equates c1 = c2: not a solution.
+  Universe universe;
+  Result<SatEncodedExchange> enc =
+      EncodeSatToSetting(Rho0(), universe, ReductionMode::kEgd);
+  ASSERT_TRUE(enc.ok());
+  std::vector<bool> v(5, false);
+  v[2] = true;
+  Graph g = BuildValuationGraph(*enc, v);
+  SolutionCheckReport report =
+      CheckSolution(enc->setting, *enc->instance, g, eval, universe);
+  EXPECT_TRUE(report.st_tgds_ok);
+  EXPECT_FALSE(report.egds_ok);
+}
+
+TEST(ReductionTest, BothLoopsViolateTypeStarEgd) {
+  Universe universe;
+  Result<SatEncodedExchange> enc =
+      EncodeSatToSetting(Rho0(), universe, ReductionMode::kEgd);
+  ASSERT_TRUE(enc.ok());
+  std::vector<bool> v(5, true);  // all true satisfies ρ0
+  Graph g = BuildValuationGraph(*enc, v);
+  ASSERT_TRUE(IsSolution(enc->setting, *enc->instance, g, eval, universe));
+  // Adding the complementary f1 loop triggers (x, t1.f1.a, y) -> x = y.
+  g.AddEdge(enc->c1, enc->f_syms[0], enc->c1);
+  EXPECT_FALSE(IsSolution(enc->setting, *enc->instance, g, eval, universe));
+}
+
+TEST(ReductionTest, DecodeRoundTripsValuation) {
+  Universe universe;
+  Result<SatEncodedExchange> enc =
+      EncodeSatToSetting(Rho0(), universe, ReductionMode::kEgd);
+  ASSERT_TRUE(enc.ok());
+  std::vector<bool> v(5, false);
+  v[1] = true;
+  v[3] = true;
+  Graph g = BuildValuationGraph(*enc, v);
+  std::optional<std::vector<bool>> decoded = DecodeGraphToValuation(g, *enc);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, v);
+  // A graph with no loops decodes to nothing.
+  Graph bare;
+  bare.AddEdge(enc->c1, enc->a, enc->c2);
+  EXPECT_FALSE(DecodeGraphToValuation(bare, *enc).has_value());
+}
+
+TEST(ReductionTest, SameAsModeEmitsSameAsConstraints) {
+  Universe universe;
+  Result<SatEncodedExchange> enc =
+      EncodeSatToSetting(Rho0(), universe, ReductionMode::kSameAs);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_TRUE(enc->setting.egds.empty());
+  EXPECT_EQ(enc->setting.sameas.size(), 6u);
+  EXPECT_TRUE(enc->setting.SameAsOnly());
+}
+
+TEST(ReductionTest, QueriesHaveThePaperShape) {
+  Universe universe;
+  Result<SatEncodedExchange> enc =
+      EncodeSatToSetting(Rho0(), universe, ReductionMode::kEgd);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(Corollary42Query(*enc)->ToString(*enc->alphabet), "a . a");
+  EXPECT_EQ(Proposition43Query(*enc)->ToString(*enc->alphabet), "sameAs");
+}
+
+TEST(ReductionTest, RejectsDegenerateFormulas) {
+  Universe universe;
+  CnfFormula empty_vars;
+  EXPECT_FALSE(
+      EncodeSatToSetting(empty_vars, universe, ReductionMode::kEgd).ok());
+  CnfFormula empty_clause(2);
+  empty_clause.AddClause({});
+  EXPECT_FALSE(
+      EncodeSatToSetting(empty_clause, universe, ReductionMode::kEgd).ok());
+}
+
+// --- The headline equivalence, randomized --------------------------------
+//   ρ ∈ 3SAT  ⇔  a solution for I_ρ under Ω_ρ exists.
+// Checked with the SAT-backed (exact) and bounded (complete-within-budget)
+// existence strategies against DPLL ground truth.
+
+class ReductionEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReductionEquivalence, ExistenceMatchesSatisfiability) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    int n = 3 + static_cast<int>(rng.NextU64() % 3);  // 3..5 vars
+    int m = 2 + static_cast<int>(rng.NextU64() % (2 * n));
+    CnfFormula rho = RandomKSat(n, m, 3, rng);
+    bool sat = DpllSolver().Solve(rho).satisfiable;
+
+    Universe universe;
+    Result<SatEncodedExchange> enc =
+        EncodeSatToSetting(rho, universe, ReductionMode::kEgd);
+    ASSERT_TRUE(enc.ok());
+
+    ExistenceOptions sat_opts;
+    sat_opts.strategy = ExistenceStrategy::kSatBacked;
+    ExistenceReport sat_report = ExistenceSolver(&eval, sat_opts)
+                                     .Decide(enc->setting, *enc->instance,
+                                             universe);
+    ASSERT_NE(sat_report.verdict, ExistenceVerdict::kUnknown);
+    EXPECT_EQ(sat_report.verdict == ExistenceVerdict::kYes, sat)
+        << rho.ToDimacs();
+    if (sat_report.verdict == ExistenceVerdict::kYes) {
+      ASSERT_TRUE(sat_report.witness.has_value());
+      std::optional<std::vector<bool>> v =
+          DecodeGraphToValuation(*sat_report.witness, *enc);
+      ASSERT_TRUE(v.has_value());
+      EXPECT_TRUE(rho.Eval(*v));
+    }
+
+    ExistenceOptions bounded_opts;
+    bounded_opts.strategy = ExistenceStrategy::kBoundedSearch;
+    bounded_opts.instantiation.max_edges_per_witness = 1;
+    bounded_opts.instantiation.max_witnesses_per_edge = 2;
+    ExistenceReport bounded_report =
+        ExistenceSolver(&eval, bounded_opts)
+            .Decide(enc->setting, *enc->instance, universe);
+    ASSERT_NE(bounded_report.verdict, ExistenceVerdict::kUnknown)
+        << bounded_report.note;
+    EXPECT_EQ(bounded_report.verdict == ExistenceVerdict::kYes, sat)
+        << rho.ToDimacs();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionEquivalence,
+                         ::testing::Range<uint64_t>(200, 210));
+
+}  // namespace
+}  // namespace gdx

@@ -1,0 +1,205 @@
+// Unit tests for the relational substrate: schema, instances, conjunctive
+// query evaluation and the classical relational chase (s-t tgds + egds).
+#include <gtest/gtest.h>
+
+#include "common/universe.h"
+#include "relational/chase.h"
+#include "relational/cq.h"
+#include "relational/eval.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+namespace gdx {
+namespace {
+
+class RelationalFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *schema_.AddRelation("R", 2);
+    s_ = *schema_.AddRelation("S", 2);
+    instance_ = std::make_unique<Instance>(&schema_);
+    a_ = universe_.MakeConstant("a");
+    b_ = universe_.MakeConstant("b");
+    c_ = universe_.MakeConstant("c");
+  }
+
+  Schema schema_;
+  RelationId r_ = 0, s_ = 0;
+  std::unique_ptr<Instance> instance_;
+  Universe universe_;
+  Value a_, b_, c_;
+};
+
+TEST_F(RelationalFixture, SchemaRejectsDuplicates) {
+  EXPECT_FALSE(schema_.AddRelation("R", 1).ok());
+  EXPECT_TRUE(schema_.Find("R").has_value());
+  EXPECT_FALSE(schema_.Find("T").has_value());
+}
+
+TEST_F(RelationalFixture, InstanceChecksArityAndDedups) {
+  EXPECT_TRUE(instance_->AddFact(r_, {a_, b_}).ok());
+  EXPECT_TRUE(instance_->AddFact(r_, {a_, b_}).ok());  // dup ignored
+  EXPECT_EQ(instance_->facts(r_).size(), 1u);
+  EXPECT_FALSE(instance_->AddFact(r_, {a_}).ok());  // arity mismatch
+  EXPECT_TRUE(instance_->Contains(r_, {a_, b_}));
+  EXPECT_FALSE(instance_->Contains(r_, {b_, a_}));
+}
+
+TEST_F(RelationalFixture, CqJoinEvaluation) {
+  // R(a,b), R(b,c), S(b,c): query R(x,y), S(y,z) -> (x,z).
+  ASSERT_TRUE(instance_->AddFact(r_, {a_, b_}).ok());
+  ASSERT_TRUE(instance_->AddFact(r_, {b_, c_}).ok());
+  ASSERT_TRUE(instance_->AddFact(s_, {b_, c_}).ok());
+
+  ConjunctiveQuery q(&schema_);
+  VarId x = q.InternVar("x");
+  VarId y = q.InternVar("y");
+  VarId z = q.InternVar("z");
+  q.AddAtom(RelAtom{r_, {Term::Var(x), Term::Var(y)}});
+  q.AddAtom(RelAtom{s_, {Term::Var(y), Term::Var(z)}});
+  q.SetHead({x, z});
+
+  std::vector<Tuple> out = EvaluateCq(q, *instance_);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Tuple{a_, c_}));
+}
+
+TEST_F(RelationalFixture, CqRepeatedVariableInAtom) {
+  // R(a,a), R(a,b): query R(x,x) matches only the loop.
+  ASSERT_TRUE(instance_->AddFact(r_, {a_, a_}).ok());
+  ASSERT_TRUE(instance_->AddFact(r_, {a_, b_}).ok());
+  ConjunctiveQuery q(&schema_);
+  VarId x = q.InternVar("x");
+  q.AddAtom(RelAtom{r_, {Term::Var(x), Term::Var(x)}});
+  q.SetHead({x});
+  std::vector<Tuple> out = EvaluateCq(q, *instance_);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Tuple{a_}));
+}
+
+TEST_F(RelationalFixture, CqWithConstantTerm) {
+  ASSERT_TRUE(instance_->AddFact(r_, {a_, b_}).ok());
+  ASSERT_TRUE(instance_->AddFact(r_, {c_, b_}).ok());
+  ConjunctiveQuery q(&schema_);
+  VarId y = q.InternVar("y");
+  q.AddAtom(RelAtom{r_, {Term::Const(a_), Term::Var(y)}});
+  q.SetHead({y});
+  std::vector<Tuple> out = EvaluateCq(q, *instance_);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Tuple{b_}));
+}
+
+TEST_F(RelationalFixture, BooleanSatisfiability) {
+  ConjunctiveQuery q(&schema_);
+  VarId x = q.InternVar("x");
+  q.AddAtom(RelAtom{r_, {Term::Var(x), Term::Var(x)}});
+  EXPECT_FALSE(CqIsSatisfiable(q, *instance_));
+  ASSERT_TRUE(instance_->AddFact(r_, {b_, b_}).ok());
+  EXPECT_TRUE(CqIsSatisfiable(q, *instance_));
+}
+
+class RelChaseFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    src_rel_ = *source_schema_.AddRelation("E", 2);
+    tgt_rel_ = *target_schema_.AddRelation("F", 2);
+    source_ = std::make_unique<Instance>(&source_schema_);
+    a_ = universe_.MakeConstant("a");
+    b_ = universe_.MakeConstant("b");
+    c_ = universe_.MakeConstant("c");
+  }
+
+  /// E(x,y) -> ∃z F(x,z) ∧ F(z,y).
+  RelTgd MakeSplitTgd() {
+    RelTgd tgd(&source_schema_, &target_schema_);
+    VarId x = tgd.body.InternVar("x");
+    VarId y = tgd.body.InternVar("y");
+    VarId z = tgd.body.InternVar("z");
+    tgd.body.AddAtom(RelAtom{src_rel_, {Term::Var(x), Term::Var(y)}});
+    tgd.head.push_back(RelAtom{tgt_rel_, {Term::Var(x), Term::Var(z)}});
+    tgd.head.push_back(RelAtom{tgt_rel_, {Term::Var(z), Term::Var(y)}});
+    return tgd;
+  }
+
+  Schema source_schema_, target_schema_;
+  RelationId src_rel_ = 0, tgt_rel_ = 0;
+  std::unique_ptr<Instance> source_;
+  Universe universe_;
+  Value a_, b_, c_;
+};
+
+TEST_F(RelChaseFixture, ExistentialVarsDetected) {
+  RelTgd tgd = MakeSplitTgd();
+  std::vector<VarId> ex = tgd.ExistentialVars();
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(tgd.body.vars().NameOf(ex[0]), "z");
+}
+
+TEST_F(RelChaseFixture, StChaseInventsOneNullPerTrigger) {
+  ASSERT_TRUE(source_->AddFact(src_rel_, {a_, b_}).ok());
+  ASSERT_TRUE(source_->AddFact(src_rel_, {b_, c_}).ok());
+  std::vector<RelTgd> tgds;
+  tgds.push_back(MakeSplitTgd());
+  RelChaseStats stats;
+  Instance target =
+      ChaseStTgds(*source_, tgds, &target_schema_, universe_, &stats);
+  EXPECT_EQ(stats.triggers_fired, 2u);
+  EXPECT_EQ(target.facts(tgt_rel_).size(), 4u);
+  EXPECT_EQ(universe_.num_nulls(), 2u);
+}
+
+TEST_F(RelChaseFixture, EgdChaseMergesNulls) {
+  // Target: F(a, N1), F(a, N2). Egd F(x,y) ∧ F(x,z) -> y = z merges them.
+  Instance target(&target_schema_);
+  Value n1 = universe_.FreshNull();
+  Value n2 = universe_.FreshNull();
+  ASSERT_TRUE(target.AddFact(tgt_rel_, {a_, n1}).ok());
+  ASSERT_TRUE(target.AddFact(tgt_rel_, {a_, n2}).ok());
+
+  RelEgd egd(&target_schema_);
+  VarId x = egd.body.InternVar("x");
+  VarId y = egd.body.InternVar("y");
+  VarId z = egd.body.InternVar("z");
+  egd.body.AddAtom(RelAtom{tgt_rel_, {Term::Var(x), Term::Var(y)}});
+  egd.body.AddAtom(RelAtom{tgt_rel_, {Term::Var(x), Term::Var(z)}});
+  egd.x1 = y;
+  egd.x2 = z;
+
+  RelChaseStats stats;
+  ASSERT_TRUE(ChaseEgds(target, {egd}, &stats).ok());
+  EXPECT_EQ(target.facts(tgt_rel_).size(), 1u);
+  EXPECT_GE(stats.merges, 1u);
+}
+
+TEST_F(RelChaseFixture, EgdChaseFailsOnConstantClash) {
+  // F(a,b), F(a,c) with F(x,y) ∧ F(x,z) -> y = z: b = c is impossible.
+  Instance target(&target_schema_);
+  ASSERT_TRUE(target.AddFact(tgt_rel_, {a_, b_}).ok());
+  ASSERT_TRUE(target.AddFact(tgt_rel_, {a_, c_}).ok());
+
+  RelEgd egd(&target_schema_);
+  VarId x = egd.body.InternVar("x");
+  VarId y = egd.body.InternVar("y");
+  VarId z = egd.body.InternVar("z");
+  egd.body.AddAtom(RelAtom{tgt_rel_, {Term::Var(x), Term::Var(y)}});
+  egd.body.AddAtom(RelAtom{tgt_rel_, {Term::Var(x), Term::Var(z)}});
+  egd.x1 = y;
+  egd.x2 = z;
+
+  Status st = ChaseEgds(target, {egd});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RelChaseFixture, FullExchangePipeline) {
+  ASSERT_TRUE(source_->AddFact(src_rel_, {a_, b_}).ok());
+  std::vector<RelTgd> tgds;
+  tgds.push_back(MakeSplitTgd());
+  Result<Instance> result =
+      RunRelationalExchange(*source_, tgds, {}, &target_schema_, universe_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->facts(tgt_rel_).size(), 2u);
+}
+
+}  // namespace
+}  // namespace gdx

@@ -1,0 +1,178 @@
+// Tests for the SAT substrate: CNF, DIMACS round-trips, DPLL correctness
+// (vs brute force, randomized), model enumeration and generators.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sat/cnf.h"
+#include "sat/dpll.h"
+#include "sat/gen.h"
+
+namespace gdx {
+namespace {
+
+TEST(CnfTest, AddClauseGrowsVars) {
+  CnfFormula f;
+  f.AddClause({1, -5});
+  EXPECT_EQ(f.num_vars(), 5);
+  EXPECT_EQ(f.num_clauses(), 1u);
+}
+
+TEST(CnfTest, EvalChecksEveryClause) {
+  CnfFormula f = Rho0();
+  std::vector<bool> v(5, false);
+  // v(x1)=v(x2)=true, v(x3)=v(x4)=false: the paper's satisfying valuation.
+  v[1] = true;
+  v[2] = true;
+  EXPECT_TRUE(f.Eval(v));
+  // All-false: clause 1 = (x1 ∨ ¬x2 ∨ x3) holds via ¬x2; clause 2 holds
+  // via ¬x1. Flip to violate: x2=true, x1=false, x3=false.
+  std::vector<bool> w(5, false);
+  w[2] = true;
+  EXPECT_FALSE(f.Eval(w));
+}
+
+TEST(CnfTest, DimacsRoundTrip) {
+  CnfFormula f = Rho0();
+  std::string text = f.ToDimacs();
+  Result<CnfFormula> parsed = ParseDimacs(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_vars(), f.num_vars());
+  ASSERT_EQ(parsed->num_clauses(), f.num_clauses());
+  for (size_t i = 0; i < f.num_clauses(); ++i) {
+    EXPECT_EQ(parsed->clauses()[i], f.clauses()[i]);
+  }
+}
+
+TEST(CnfTest, DimacsErrors) {
+  EXPECT_FALSE(ParseDimacs("1 2 0").ok());            // missing header
+  EXPECT_FALSE(ParseDimacs("p cnf 2 1\n1 2").ok());   // unterminated
+  EXPECT_FALSE(ParseDimacs("p cnf 2 2\n1 0\n").ok()); // count mismatch
+  EXPECT_TRUE(ParseDimacs("c comment\np cnf 2 1\n1 -2 0\n").ok());
+}
+
+TEST(DpllTest, Rho0IsSatisfiable) {
+  DpllSolver solver;
+  SatResult r = solver.Solve(Rho0());
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(Rho0().Eval(r.model));
+}
+
+TEST(DpllTest, TrivialUnsat) {
+  CnfFormula f(1);
+  f.AddClause({1});
+  f.AddClause({-1});
+  EXPECT_FALSE(DpllSolver().Solve(f).satisfiable);
+}
+
+TEST(DpllTest, EmptyFormulaIsSat) {
+  CnfFormula f(3);
+  EXPECT_TRUE(DpllSolver().Solve(f).satisfiable);
+}
+
+TEST(DpllTest, EmptyClauseIsUnsat) {
+  CnfFormula f(1);
+  f.AddClause({});
+  EXPECT_FALSE(DpllSolver().Solve(f).satisfiable);
+}
+
+TEST(DpllTest, PigeonholeIsUnsat) {
+  for (int holes = 2; holes <= 4; ++holes) {
+    CnfFormula php = Pigeonhole(holes);
+    SatResult r = DpllSolver().Solve(php);
+    EXPECT_FALSE(r.satisfiable) << "PHP(" << holes + 1 << "," << holes << ")";
+    EXPECT_GT(r.stats.conflicts, 0u);
+  }
+}
+
+TEST(DpllTest, PlantedInstancesAreSat) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    CnfFormula f = PlantedKSat(12, 50, 3, rng);
+    SatResult r = DpllSolver().Solve(f);
+    ASSERT_TRUE(r.satisfiable);
+    EXPECT_TRUE(f.Eval(r.model));
+  }
+}
+
+TEST(DpllTest, EnumerateModelsFindsAll) {
+  // x1 ∨ x2 over 2 vars has exactly 3 models.
+  CnfFormula f(2);
+  f.AddClause({1, 2});
+  std::vector<std::vector<bool>> models =
+      DpllSolver().EnumerateModels(f, 10);
+  EXPECT_EQ(models.size(), 3u);
+  for (const auto& m : models) EXPECT_TRUE(f.Eval(m));
+}
+
+TEST(DpllTest, DecisionBudgetReportsUnknownNotUnsat) {
+  // PHP(5,4) needs many decisions; a budget of 1 cannot settle it.
+  CnfFormula php = Pigeonhole(4);
+  DpllConfig config;
+  config.max_decisions = 1;
+  SatResult r = DpllSolver(config).Solve(php);
+  EXPECT_FALSE(r.satisfiable);
+  EXPECT_TRUE(r.budget_exhausted)
+      << "budget exhaustion must not masquerade as an UNSAT proof";
+  // Unlimited budget settles it (and does not flag exhaustion).
+  SatResult full = DpllSolver().Solve(php);
+  EXPECT_FALSE(full.satisfiable);
+  EXPECT_FALSE(full.budget_exhausted);
+}
+
+TEST(DpllTest, ConfigVariantsAgree) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    CnfFormula f = RandomKSat(10, 42, 3, rng);
+    DpllConfig plain;
+    plain.use_pure_literal = false;
+    plain.use_moms_heuristic = false;
+    bool a = DpllSolver().Solve(f).satisfiable;
+    bool b = DpllSolver(plain).Solve(f).satisfiable;
+    EXPECT_EQ(a, b) << f.ToDimacs();
+  }
+}
+
+// Randomized ground-truth property: DPLL agrees with the 2^n truth table.
+class DpllVsBruteForce : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DpllVsBruteForce, Agree) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 15; ++i) {
+    int n = 4 + static_cast<int>(rng.NextU64() % 6);  // 4..9 vars
+    int m = static_cast<int>(rng.NextU64() % (4 * n)) + 1;
+    CnfFormula f = RandomKSat(n, m, 3, rng);
+    SatResult r = DpllSolver().Solve(f);
+    bool truth = BruteForceSatisfiable(f);
+    ASSERT_EQ(r.satisfiable, truth) << f.ToDimacs();
+    if (r.satisfiable) {
+      EXPECT_TRUE(f.Eval(r.model));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpllVsBruteForce,
+                         ::testing::Range<uint64_t>(100, 112));
+
+TEST(GenTest, RandomKSatShape) {
+  Rng rng(3);
+  CnfFormula f = RandomKSat(20, 85, 3, rng);
+  EXPECT_EQ(f.num_vars(), 20);
+  EXPECT_EQ(f.num_clauses(), 85u);
+  for (const Clause& c : f.clauses()) {
+    EXPECT_EQ(c.size(), 3u);
+    // Distinct variables within a clause.
+    EXPECT_NE(std::abs(c[0]), std::abs(c[1]));
+    EXPECT_NE(std::abs(c[1]), std::abs(c[2]));
+    EXPECT_NE(std::abs(c[0]), std::abs(c[2]));
+  }
+}
+
+TEST(GenTest, PigeonholeShape) {
+  CnfFormula php = Pigeonhole(3);
+  EXPECT_EQ(php.num_vars(), 12);  // 4 pigeons x 3 holes
+  // 4 "somewhere" clauses + 3 * C(4,2) exclusion clauses.
+  EXPECT_EQ(php.num_clauses(), 4u + 3u * 6u);
+}
+
+}  // namespace
+}  // namespace gdx

@@ -1,0 +1,98 @@
+// Property tests for witness enumeration and materialization: every
+// enumerated witness, once materialized between two nodes, realizes its
+// NRE (the pair is in the evaluated relation). This is the soundness of
+// the instantiation machinery that the bounded existence search and the
+// canonical solutions rest on.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/nre_eval.h"
+#include "pattern/witness.h"
+#include "workload/random_graph.h"
+
+namespace gdx {
+namespace {
+
+class WitnessProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WitnessProperty, MaterializedWitnessRealizesNre) {
+  Alphabet alphabet;
+  Rng rng(GetParam());
+  AutomatonNreEvaluator automaton;
+  NaiveNreEvaluator naive;
+  for (int round = 0; round < 6; ++round) {
+    NrePtr nre = MakeRandomNre(3, 2, alphabet, rng);
+    std::vector<Witness> witnesses =
+        EnumerateWitnesses(nre, /*max_edges=*/6, /*max_count=*/6);
+    // Costs must be nondecreasing.
+    for (size_t i = 1; i < witnesses.size(); ++i) {
+      EXPECT_LE(witnesses[i - 1].NumEdges(), witnesses[i].NumEdges());
+    }
+    for (const Witness& w : witnesses) {
+      Universe universe;
+      Value src = universe.MakeConstant("src");
+      Value dst = w.IsEpsilonChain() ? src : universe.MakeConstant("dst");
+      Graph g;
+      Status st = MaterializeWitness(g, universe, src, dst, w);
+      ASSERT_TRUE(st.ok()) << nre->ToString(alphabet);
+      EXPECT_TRUE(automaton.Contains(nre, g, src, dst))
+          << "witness of " << nre->ToString(alphabet)
+          << " not realized:\n"
+          << g.ToString(universe, alphabet);
+      EXPECT_TRUE(naive.Contains(nre, g, src, dst))
+          << nre->ToString(alphabet);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessProperty,
+                         ::testing::Range<uint64_t>(50, 62));
+
+TEST(WitnessEdgeCases, EpsilonOnlyExpression) {
+  Alphabet alphabet;
+  std::vector<Witness> ws = EnumerateWitnesses(Nre::Epsilon(), 4, 4);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_TRUE(ws[0].IsEpsilonChain());
+  EXPECT_EQ(ws[0].NumEdges(), 0u);
+}
+
+TEST(WitnessEdgeCases, StarOfEpsilonDoesNotLoopForever) {
+  Alphabet alphabet;
+  NrePtr nre = Nre::Star(Nre::Epsilon());
+  std::vector<Witness> ws = EnumerateWitnesses(nre, 4, 8);
+  ASSERT_FALSE(ws.empty());
+  for (const Witness& w : ws) EXPECT_EQ(w.NumEdges(), 0u);
+}
+
+TEST(WitnessEdgeCases, NestedStarsBounded) {
+  Alphabet alphabet;
+  SymbolId a = alphabet.Intern("a");
+  NrePtr nre = Nre::Star(Nre::Star(Nre::Symbol(a)));
+  std::vector<Witness> ws = EnumerateWitnesses(nre, 3, 10);
+  ASSERT_FALSE(ws.empty());
+  for (const Witness& w : ws) EXPECT_LE(w.NumEdges(), 3u);
+}
+
+TEST(WitnessEdgeCases, DeepNestBranches) {
+  Alphabet alphabet;
+  Universe universe;
+  SymbolId a = alphabet.Intern("a");
+  SymbolId b = alphabet.Intern("b");
+  // a [ b [ a ] ]: a step with a branch that itself has a nested branch.
+  NrePtr nre = Nre::Concat(
+      Nre::Symbol(a),
+      Nre::Nest(Nre::Concat(Nre::Symbol(b),
+                            Nre::Nest(Nre::Symbol(a)))));
+  std::vector<Witness> ws = EnumerateWitnesses(nre, 6, 4);
+  ASSERT_FALSE(ws.empty());
+  Graph g;
+  Value src = universe.MakeConstant("s");
+  Value dst = universe.MakeConstant("t");
+  ASSERT_TRUE(MaterializeWitness(g, universe, src, dst, ws[0]).ok());
+  EXPECT_EQ(g.num_edges(), 3u);  // a chain edge + b branch + a sub-branch
+  AutomatonNreEvaluator eval;
+  EXPECT_TRUE(eval.Contains(nre, g, src, dst));
+}
+
+}  // namespace
+}  // namespace gdx
