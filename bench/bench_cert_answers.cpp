@@ -7,6 +7,7 @@
 #include "bench_util.h"
 
 #include "chase/pattern_chase.h"
+#include "engine/exchange_engine.h"
 #include "reduction/sat_encoding.h"
 #include "sat/gen.h"
 #include "solver/certain.h"
@@ -90,6 +91,30 @@ void BM_CertainAnswersSameAs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CertainAnswersSameAs)->Arg(2)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same computation through the ExchangeEngine: one Solve yields the
+/// existence verdict AND the certain answers, with the answer memo
+/// amortizing repeated evaluation over recurring solution graphs.
+void BM_EngineCertainAnswersEgd(benchmark::State& state) {
+  EngineOptions options;
+  options.instantiation.max_witnesses_per_edge = 3;
+  options.max_solutions = static_cast<size_t>(state.range(0));
+  ExchangeEngine engine(options);
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  size_t tuples = 0;
+  for (auto _ : state) {
+    Result<ExchangeOutcome> outcome = engine.Solve(s);
+    benchmark::DoNotOptimize(outcome);
+    if (outcome.ok() && outcome->certain.has_value()) {
+      tuples = outcome->certain->tuples.size();
+    }
+  }
+  state.counters["certain_tuples"] = static_cast<double>(tuples);
+  state.counters["cache_hits"] =
+      static_cast<double>(engine.cache().stats().hits());
+}
+BENCHMARK(BM_EngineCertainAnswersEgd)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
 /// Ablation: pattern-based certain answers (naive evaluation over the

@@ -1,31 +1,39 @@
-// gdx_cli: drive the full library from a .gdx scenario file — the tool a
-// downstream user reaches for first.
+// gdx_cli: drive the full library from .gdx scenario files — the tool a
+// downstream user reaches for first. The solve-shaped subcommands run
+// through the ExchangeEngine (src/engine/), the single orchestration seam
+// of the library; `chase`, `dot` and `check` expose individual stages.
 //
-//   gdx_cli <scenario.gdx> chase         chase + adapted egd chase, print
-//                                        the (pattern, constraints) pair
-//   gdx_cli <scenario.gdx> exists        decide existence, print a witness
-//   gdx_cli <scenario.gdx> certain       certain answers of the query
-//   gdx_cli <scenario.gdx> solve         existence + core-minimized witness
-//   gdx_cli <scenario.gdx> dot           chased pattern as GraphViz DOT
-//   gdx_cli <scenario.gdx> check <file>  is the edge-list graph in <file>
-//                                        a solution? (src label dst lines,
-//                                        "_:n" for nulls)
+//   gdx_cli <scenario.gdx> chase          chase + adapted egd chase, print
+//                                         the (pattern, constraints) pair
+//   gdx_cli <scenario.gdx> exists         decide existence, print a witness
+//   gdx_cli <scenario.gdx> certain        certain answers of the query
+//   gdx_cli <scenario.gdx> solve          existence + core-minimized witness
+//   gdx_cli <scenario.gdx> dot            chased pattern as GraphViz DOT
+//   gdx_cli <scenario.gdx> check <file>   is the edge-list graph in <file>
+//                                         a solution? (src label dst lines,
+//                                         "_:n" for nulls)
+//   gdx_cli batch <a.gdx> <b.gdx> ...     solve many scenarios concurrently
+//           [--threads=N] [--repeat=K]    through the BatchExecutor and
+//                                         print the Metrics summary
 //
 // Try:  ./gdx_cli example22.gdx certain
+//       ./gdx_cli batch example22.gdx example22.gdx --threads=4 --repeat=8
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "chase/egd_chase.h"
 #include "chase/pattern_chase.h"
+#include "engine/batch_executor.h"
+#include "engine/exchange_engine.h"
 #include "exchange/solution_check.h"
 #include "exchange/universal_pair.h"
 #include "graph/dot_export.h"
 #include "graph/graph_io.h"
-#include "solver/certain.h"
-#include "solver/core_minimizer.h"
-#include "solver/existence.h"
 #include "workload/scenario_parser.h"
 
 using namespace gdx;
@@ -35,6 +43,13 @@ namespace {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+EngineOptions CliEngineOptions() {
+  EngineOptions options;
+  options.instantiation.max_witnesses_per_edge = 3;
+  options.max_solutions = 16;
+  return options;
 }
 
 int RunChase(Scenario& s, const NreEvaluator& eval) {
@@ -49,53 +64,77 @@ int RunChase(Scenario& s, const NreEvaluator& eval) {
   return 0;
 }
 
-int RunExists(Scenario& s, const NreEvaluator& eval, bool minimize) {
-  ExistenceSolver solver(&eval);
-  ExistenceReport report = solver.Decide(s.setting, *s.instance, *s.universe);
-  const char* verdict = report.verdict == ExistenceVerdict::kYes ? "YES"
-                        : report.verdict == ExistenceVerdict::kNo ? "NO"
-                                                                  : "UNKNOWN";
-  std::printf("existence: %s  (%s)\n", verdict, report.note.c_str());
-  if (!report.witness.has_value()) return 0;
-  Graph witness = std::move(*report.witness);
-  if (minimize) {
-    CoreMinimizeStats stats;
-    witness = GreedyCoreMinimize(witness, s.setting, *s.instance, eval,
-                                 *s.universe, &stats);
-    std::printf("core-minimized: removed %zu edge(s), %zu node(s) in %zu "
-                "checks\n",
-                stats.edges_removed, stats.nodes_removed, stats.checks);
-  }
-  std::printf("%s", witness.ToString(*s.universe, *s.alphabet).c_str());
-  return 0;
-}
-
-int RunCertain(Scenario& s, const NreEvaluator& eval) {
-  if (s.query == nullptr) {
+int RunSolve(Scenario& s, bool minimize, bool want_certain) {
+  EngineOptions options = CliEngineOptions();
+  options.minimize_core = minimize;
+  options.compute_certain_answers = want_certain;
+  if (want_certain && s.query == nullptr) {
     std::fprintf(stderr, "scenario has no 'query' directive\n");
     return 1;
   }
-  CertainAnswerOptions options;
-  options.existence.instantiation.max_witnesses_per_edge = 3;
-  options.max_solutions = 16;
-  CertainAnswerSolver solver(&eval, options);
-  CertainAnswerResult result =
-      solver.Compute(s.setting, *s.instance, *s.query, *s.universe);
-  if (result.no_solution) {
-    std::printf("no solution exists: every tuple is vacuously certain.\n");
-    return 0;
-  }
-  std::printf("certain answers (%zu solution(s) intersected):\n",
-              result.solutions_considered);
-  for (const auto& tuple : result.tuples) {
-    std::printf("  (");
-    for (size_t i = 0; i < tuple.size(); ++i) {
-      std::printf("%s%s", i > 0 ? ", " : "",
-                  s.universe->NameOf(tuple[i]).c_str());
-    }
-    std::printf(")\n");
-  }
+  ExchangeEngine engine(options);
+  Result<ExchangeOutcome> outcome = engine.Solve(s);
+  if (!outcome.ok()) return Fail(outcome.status());
+  std::printf("%s", outcome->ToString(*s.universe, *s.alphabet).c_str());
+  std::printf("%s", outcome->metrics.ToString().c_str());
   return 0;
+}
+
+int RunBatch(int argc, char** argv) {
+  BatchOptions options;
+  options.engine = CliEngineOptions();
+  size_t repeat = 1;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      int threads = std::atoi(arg + 10);
+      if (threads < 0) {
+        std::fprintf(stderr, "--threads must be >= 0 (0 = hardware)\n");
+        return 2;
+      }
+      options.num_threads = static_cast<size_t>(threads);
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      int parsed = std::atoi(arg + 9);
+      if (parsed < 1) {
+        std::fprintf(stderr, "--repeat must be >= 1\n");
+        return 2;
+      }
+      repeat = static_cast<size_t>(parsed);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: gdx_cli batch <a.gdx> [b.gdx ...] [--threads=N] "
+                 "[--repeat=K]\n");
+    return 2;
+  }
+  // --repeat=K loads each file K times: repeated scenarios exercise the
+  // engine cache (expect the hit counters to climb).
+  std::vector<Scenario> scenarios;
+  for (size_t r = 0; r < repeat; ++r) {
+    for (const std::string& path : paths) {
+      Result<Scenario> s = LoadScenarioFile(path);
+      if (!s.ok()) return Fail(s.status());
+      scenarios.push_back(std::move(s).value());
+    }
+  }
+  BatchExecutor executor(options);
+  BatchReport report = executor.SolveAll(scenarios);
+  for (size_t i = 0; i < report.outcomes.size(); ++i) {
+    const Result<ExchangeOutcome>& r = report.outcomes[i];
+    const char* verdict =
+        !r.ok() ? "ERROR"
+        : r->existence.verdict == ExistenceVerdict::kYes  ? "YES"
+        : r->existence.verdict == ExistenceVerdict::kNo   ? "NO"
+                                                          : "UNKNOWN";
+    std::printf("  [%zu] %s  %s\n", i,
+                paths[i % paths.size()].c_str(), verdict);
+  }
+  std::printf("%s", report.Summary().c_str());
+  return report.errors == 0 ? 0 : 1;
 }
 
 int RunCheck(Scenario& s, const NreEvaluator& eval, const char* path) {
@@ -139,11 +178,16 @@ int RunDot(Scenario& s, const NreEvaluator& eval) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "batch") == 0) {
+    return RunBatch(argc, argv);
+  }
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <scenario.gdx> "
-                 "chase|exists|certain|solve|dot|check [graph-file]\n",
-                 argv[0]);
+                 "chase|exists|certain|solve|dot|check [graph-file]\n"
+                 "       %s batch <a.gdx> [b.gdx ...] [--threads=N] "
+                 "[--repeat=K]\n",
+                 argv[0], argv[0]);
     return 2;
   }
   Result<Scenario> scenario = LoadScenarioFile(argv[1]);
@@ -162,13 +206,13 @@ int main(int argc, char** argv) {
     return RunChase(*scenario, eval);
   }
   if (std::strcmp(command, "exists") == 0) {
-    return RunExists(*scenario, eval, /*minimize=*/false);
+    return RunSolve(*scenario, /*minimize=*/false, /*want_certain=*/false);
   }
   if (std::strcmp(command, "solve") == 0) {
-    return RunExists(*scenario, eval, /*minimize=*/true);
+    return RunSolve(*scenario, /*minimize=*/true, /*want_certain=*/false);
   }
   if (std::strcmp(command, "certain") == 0) {
-    return RunCertain(*scenario, eval);
+    return RunSolve(*scenario, /*minimize=*/false, /*want_certain=*/true);
   }
   if (std::strcmp(command, "dot") == 0) {
     return RunDot(*scenario, eval);

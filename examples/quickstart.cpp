@@ -2,8 +2,9 @@
 //
 // Builds the Flight/Hotel instance, the s-t tgd with an f·f* head, and the
 // "hotel in exactly one city" constraint in both flavors (egd Ω and sameAs
-// Ω′); chases a universal representative, applies the adapted egd chase,
-// decides existence, and computes both certain-answer sets.
+// Ω′); walks the chase stages by hand for exposition, then solves both
+// settings through the ExchangeEngine — the one-call pipeline that
+// examples, benches and the CLI share.
 //
 // Run:  ./quickstart
 #include <cstdio>
@@ -11,9 +12,8 @@
 
 #include "chase/egd_chase.h"
 #include "chase/pattern_chase.h"
+#include "engine/exchange_engine.h"
 #include "exchange/solution_check.h"
-#include "solver/certain.h"
-#include "solver/existence.h"
 #include "workload/flights.h"
 #include "workload/paper_graphs.h"
 
@@ -56,15 +56,23 @@ int main() {
               egd.merges, egd.failed ? "yes" : "no",
               pattern.ToString(*omega.universe, *omega.alphabet).c_str());
 
-  // --- Step 3: decide existence and materialize a solution. ---
-  ExistenceSolver existence(&eval);
-  ExistenceReport report =
-      existence.Decide(omega.setting, *omega.instance, *omega.universe);
-  std::printf("\n[3] existence under Omega (egd): %s — %s\n",
-              report.verdict == ExistenceVerdict::kYes ? "YES" : "NO/UNKNOWN",
-              report.note.c_str());
-  if (report.witness.has_value()) {
-    std::printf("%s", report.witness
+  // --- Step 3: solve the whole setting through the engine. ---
+  EngineOptions engine_options;
+  engine_options.instantiation.max_witnesses_per_edge = 3;
+  engine_options.max_solutions = 12;
+  ExchangeEngine engine(engine_options);
+  Result<ExchangeOutcome> outcome = engine.Solve(omega);
+  if (!outcome.ok()) {
+    std::printf("engine error: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n[3] engine solve under Omega (egd): %s — %s\n",
+              outcome->existence.verdict == ExistenceVerdict::kYes
+                  ? "YES"
+                  : "NO/UNKNOWN",
+              outcome->existence.note.c_str());
+  if (outcome->solution.has_value()) {
+    std::printf("%s", outcome->solution
                           ->ToString(*omega.universe, *omega.alphabet)
                           .c_str());
   }
@@ -83,17 +91,12 @@ int main() {
                   ? "yes"
                   : "no");
 
-  // --- Step 5: certain answers under Ω. ---
-  CertainAnswerOptions copt;
-  copt.existence.instantiation.max_witnesses_per_edge = 3;
-  copt.max_solutions = 12;
-  CertainAnswerSolver certain(&eval, copt);
+  // --- Step 5: certain answers (computed by the same engine solve). ---
   std::printf("\n[5] cert_Omega(Q, I) with Q = f.f*[h].f-.(f-)*  "
               "(paper: the four (c1|c3, c1|c3) pairs)\n");
-  PrintAnswerSet(omega, certain.Compute(omega.setting, *omega.instance,
-                                        *omega.query, *omega.universe));
+  PrintAnswerSet(omega, *outcome->certain);
 
-  // --- Step 6: the sameAs variant Ω′. ---
+  // --- Step 6: the sameAs variant Ω′, through the same engine. ---
   Scenario prime = MakeExample22Scenario(FlightConstraintMode::kSameAs);
   Graph g3 = BuildFigure1G3(prime);
   std::printf("\n[6] Omega' (sameAs):  G3 solution? %s\n",
@@ -101,9 +104,20 @@ int main() {
                          *prime.universe)
                   ? "yes"
                   : "no");
+  Result<ExchangeOutcome> prime_outcome = engine.Solve(prime);
+  if (!prime_outcome.ok()) {
+    std::printf("engine error: %s\n",
+                prime_outcome.status().ToString().c_str());
+    return 1;
+  }
   std::printf("    cert_Omega'(Q, I)  (paper: {(c1,c1), (c3,c3)})\n");
-  PrintAnswerSet(prime, certain.Compute(prime.setting, *prime.instance,
-                                        *prime.query, *prime.universe));
+  PrintAnswerSet(prime, *prime_outcome->certain);
+
+  // --- Step 7: what the engine measured. ---
+  Metrics totals = outcome->metrics;
+  totals.Accumulate(prime_outcome->metrics);
+  std::printf("\n[7] engine metrics for the two solves:\n%s",
+              totals.ToString().c_str());
 
   std::printf("\nDone.\n");
   return 0;

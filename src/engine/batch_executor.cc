@@ -1,0 +1,67 @@
+#include "engine/batch_executor.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace gdx {
+
+BatchExecutor::BatchExecutor(BatchOptions options)
+    : options_(options),
+      engine_(options.engine),
+      pool_(options.num_threads) {}
+
+BatchReport BatchExecutor::SolveAll(std::vector<Scenario>& scenarios) {
+  BatchReport report;
+  report.num_threads = pool_.num_threads();
+  CacheStats cache_before = engine_.cache().stats();
+  auto start = std::chrono::steady_clock::now();
+
+  report.outcomes.assign(
+      scenarios.size(),
+      Result<ExchangeOutcome>(Status::Internal("solve did not run")));
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    pool_.Submit([this, &scenarios, &report, i] {
+      report.outcomes[i] = engine_.Solve(scenarios[i]);
+    });
+  }
+  pool_.Wait();
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const Result<ExchangeOutcome>& r : report.outcomes) {
+    if (!r.ok()) {
+      ++report.errors;
+      continue;
+    }
+    report.total.Accumulate(r->metrics);
+    switch (r->existence.verdict) {
+      case ExistenceVerdict::kYes: ++report.yes; break;
+      case ExistenceVerdict::kNo: ++report.no; break;
+      case ExistenceVerdict::kUnknown: ++report.unknown; break;
+    }
+  }
+  // Replace the overlapping per-solve cache deltas with the exact
+  // batch-wide ones.
+  CacheStats cache_after = engine_.cache().stats();
+  report.total.nre_cache_hits = cache_after.nre_hits - cache_before.nre_hits;
+  report.total.nre_cache_misses =
+      cache_after.nre_misses - cache_before.nre_misses;
+  report.total.answer_cache_hits =
+      cache_after.answer_hits - cache_before.answer_hits;
+  report.total.answer_cache_misses =
+      cache_after.answer_misses - cache_before.answer_misses;
+  return report;
+}
+
+std::string BatchReport::Summary() const {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "batch: %zu scenario(s) on %zu thread(s) in %.3fms  "
+                "[YES=%zu NO=%zu UNKNOWN=%zu error=%zu]\n",
+                outcomes.size(), num_threads, wall_seconds * 1e3, yes, no,
+                unknown, errors);
+  return std::string(head) + total.ToString();
+}
+
+}  // namespace gdx

@@ -1,0 +1,60 @@
+#ifndef GDX_ENGINE_BATCH_EXECUTOR_H_
+#define GDX_ENGINE_BATCH_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/exchange_engine.h"
+#include "engine/thread_pool.h"
+
+namespace gdx {
+
+/// Knobs of the batch layer.
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  size_t num_threads = 0;
+  EngineOptions engine;
+};
+
+/// Order-stable batch result: outcomes[i] belongs to scenarios[i]
+/// regardless of which worker solved it or in what order workers finished.
+struct BatchReport {
+  std::vector<Result<ExchangeOutcome>> outcomes;
+  /// Accumulated per-solve metrics; the cache counters are the batch-wide
+  /// deltas (per-solve deltas overlap under a shared concurrent cache).
+  Metrics total;
+  double wall_seconds = 0;
+  size_t num_threads = 0;
+
+  size_t yes = 0, no = 0, unknown = 0, errors = 0;
+
+  /// Human-readable verdict counts + metrics block for CLI/bench output.
+  std::string Summary() const;
+};
+
+/// Runs many scenarios concurrently through one shared ExchangeEngine over
+/// a work-stealing thread pool (ISSUE tentpole part 2). Scenarios are
+/// independent — each owns its universe/instance — so solves parallelize
+/// without coordination; the engine cache is shared and internally
+/// synchronized, and identical sub-evaluations across scenarios are paid
+/// for once. Outcomes are deterministic and order-stable: thread count
+/// affects wall time and cache traffic only, never results.
+class BatchExecutor {
+ public:
+  explicit BatchExecutor(BatchOptions options = {});
+
+  /// Solves every scenario; outcomes[i] corresponds to scenarios[i].
+  BatchReport SolveAll(std::vector<Scenario>& scenarios);
+
+  const ExchangeEngine& engine() const { return engine_; }
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  BatchOptions options_;
+  ExchangeEngine engine_;
+  ThreadPool pool_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_ENGINE_BATCH_EXECUTOR_H_

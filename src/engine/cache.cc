@@ -1,0 +1,179 @@
+#include "engine/cache.h"
+
+#include <algorithm>
+
+#include "graph/isomorphism.h"
+#include "graph/nre.h"
+
+namespace gdx {
+namespace {
+
+void AppendU64(std::string& out, uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(x & 0xff));
+    x >>= 8;
+  }
+}
+
+/// Serializes the NRE's raw structure — kinds and symbol ids only, no
+/// names. Structurally equal NREs (even from different alphabets with the
+/// same symbol ids) produce equal strings, and the serialization is
+/// prefix-unambiguous (every node emits its kind tag first).
+void AppendNreRaw(std::string& out, const Nre& nre) {
+  out.push_back(static_cast<char>(nre.kind()));
+  switch (nre.kind()) {
+    case Nre::Kind::kEpsilon:
+      break;
+    case Nre::Kind::kSymbol:
+    case Nre::Kind::kInverse:
+      AppendU64(out, nre.symbol());
+      break;
+    case Nre::Kind::kUnion:
+    case Nre::Kind::kConcat:
+      AppendNreRaw(out, *nre.left());
+      AppendNreRaw(out, *nre.right());
+      break;
+    case Nre::Kind::kStar:
+    case Nre::Kind::kNest:
+      AppendNreRaw(out, *nre.child());
+      break;
+  }
+}
+
+}  // namespace
+
+std::string EngineCache::NreKey(const NrePtr& nre, const Graph& g) {
+  std::string key = g.RawSignature();
+  AppendNreRaw(key, *nre);
+  return key;
+}
+
+namespace {
+
+constexpr uint64_t kNullMarker = ~0ull;  // nulls are renamed freely
+
+void AppendTerm(std::string& out, const Term& term) {
+  if (term.is_var()) {
+    out.push_back('v');
+    AppendU64(out, term.var());
+  } else {
+    out.push_back('c');
+    AppendU64(out, term.constant().raw());
+  }
+}
+
+uint64_t NullBlindRaw(Value v) {
+  return v.is_constant() ? v.raw() : kNullMarker;
+}
+
+}  // namespace
+
+std::string EngineCache::AnswerKey(const CnreQuery& query, const Graph& g) {
+  std::string key;
+  key.reserve(64 + g.num_edges() * 24);
+  // Query structure: atoms (term, raw NRE, term) + head columns.
+  AppendU64(key, query.atoms().size());
+  for (const CnreAtom& atom : query.atoms()) {
+    AppendTerm(key, atom.x);
+    AppendNreRaw(key, *atom.nre);
+    AppendTerm(key, atom.y);
+  }
+  AppendU64(key, query.head().size());
+  for (VarId v : query.head()) AppendU64(key, v);
+  // Null-blind graph shape: sorted edge triples and isolated-node markers
+  // with every null replaced by one marker. Equal keys are a necessary
+  // condition for null-renaming isomorphism; LookupAnswers verifies.
+  std::vector<std::string> parts;
+  parts.reserve(g.num_edges() + g.num_nodes());
+  for (const Edge& e : g.edges()) {
+    std::string part;
+    AppendU64(part, NullBlindRaw(e.src));
+    AppendU64(part, e.label);
+    AppendU64(part, NullBlindRaw(e.dst));
+    parts.push_back(std::move(part));
+  }
+  for (Value v : g.nodes()) {
+    std::string part(1, 'n');
+    AppendU64(part, NullBlindRaw(v));
+    parts.push_back(std::move(part));
+  }
+  std::sort(parts.begin(), parts.end());
+  AppendU64(key, g.num_nodes());
+  AppendU64(key, g.num_edges());
+  for (const std::string& part : parts) key += part;
+  return key;
+}
+
+bool EngineCache::LookupNre(const std::string& key, BinaryRelation* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = nre_memo_.find(key);
+  if (it == nre_memo_.end()) {
+    ++stats_.nre_misses;
+    return false;
+  }
+  ++stats_.nre_hits;
+  *out = it->second;
+  return true;
+}
+
+void EngineCache::StoreNre(std::string key, BinaryRelation relation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nre_memo_.emplace(std::move(key), std::move(relation));
+}
+
+bool EngineCache::LookupAnswers(const std::string& key, const Graph& g,
+                                std::vector<std::vector<Value>>* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = answer_memo_.find(key);
+  if (it != answer_memo_.end()) {
+    for (const AnswerEntry& entry : it->second) {
+      if (IsomorphicUpToNulls(g, entry.graph)) {
+        ++stats_.answer_hits;
+        *out = entry.answers;
+        return true;
+      }
+    }
+  }
+  ++stats_.answer_misses;
+  return false;
+}
+
+void EngineCache::StoreAnswers(const std::string& key, const Graph& g,
+                               std::vector<std::vector<Value>> answers) {
+  // Bound the per-key bucket: same-key non-isomorphic graphs are rare
+  // (the key pins the null-blind shape), so 8 entries is plenty.
+  constexpr size_t kMaxEntriesPerKey = 8;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<AnswerEntry>& bucket = answer_memo_[key];
+  if (bucket.size() >= kMaxEntriesPerKey) return;
+  bucket.push_back(AnswerEntry{g, std::move(answers)});
+}
+
+CacheStats EngineCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void EngineCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = CacheStats{};
+}
+
+void EngineCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nre_memo_.clear();
+  answer_memo_.clear();
+  stats_ = CacheStats{};
+}
+
+BinaryRelation CachingNreEvaluator::Eval(const NrePtr& nre,
+                                         const Graph& g) const {
+  std::string key = EngineCache::NreKey(nre, g);
+  BinaryRelation relation;
+  if (cache_->LookupNre(key, &relation)) return relation;
+  relation = base_->Eval(nre, g);
+  cache_->StoreNre(std::move(key), relation);
+  return relation;
+}
+
+}  // namespace gdx

@@ -1,0 +1,108 @@
+#ifndef GDX_ENGINE_CACHE_H_
+#define GDX_ENGINE_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/cnre.h"
+#include "graph/nre_eval.h"
+
+namespace gdx {
+
+/// Counter snapshot of the engine cache (copyable; see EngineCache::stats).
+struct CacheStats {
+  uint64_t nre_hits = 0;
+  uint64_t nre_misses = 0;
+  uint64_t answer_hits = 0;
+  uint64_t answer_misses = 0;
+
+  uint64_t hits() const { return nre_hits + answer_hits; }
+  uint64_t misses() const { return nre_misses + answer_misses; }
+};
+
+/// Thread-safe engine-level memo tables (ISSUE tentpole part 3):
+///
+///  * NRE memo — ⟦r⟧_G keyed by the NRE's raw structure (kinds + symbol
+///    ids) and the graph's exact RawSignature. Both are name-free and
+///    collision-free, so entries are shared soundly across scenarios and
+///    universes: equal keys imply the evaluation inputs are bitwise equal.
+///  * Answer memo — constant query-answer sets per solution graph. Nulls
+///    are generation artifacts (every solve draws fresh ones), so a plain
+///    signature key would never repeat; instead the key is the query's raw
+///    structure plus the graph's *null-blind* shape, and a candidate hit
+///    is verified with IsomorphicUpToNulls before being served. Constants
+///    map to themselves under that isomorphism, so the memoized constant
+///    tuples are exact for the probe graph. Repeated queries over an
+///    already-seen target graph thus skip CNRE matching entirely, across
+///    solves and across scenarios.
+class EngineCache {
+ public:
+  /// The NRE-memo key for ⟦nre⟧_g (raw NRE structure + exact graph raw
+  /// signature). Compute once per evaluation and reuse for lookup + store.
+  static std::string NreKey(const NrePtr& nre, const Graph& g);
+
+  /// Looks up ⟦nre⟧_g by key; returns true and fills `*out` on a hit.
+  bool LookupNre(const std::string& key, BinaryRelation* out);
+  void StoreNre(std::string key, BinaryRelation relation);
+
+  /// The answer-memo key for `query` over solution graph `g` (raw query
+  /// structure + null-blind graph shape; no names, no universe identity).
+  static std::string AnswerKey(const CnreQuery& query, const Graph& g);
+
+  /// Looks up the memoized constant answer set of the keyed query over a
+  /// graph null-isomorphic to `g`; returns true and fills `*out` on a
+  /// verified hit.
+  bool LookupAnswers(const std::string& key, const Graph& g,
+                     std::vector<std::vector<Value>>* out);
+  void StoreAnswers(const std::string& key, const Graph& g,
+                    std::vector<std::vector<Value>> answers);
+
+  CacheStats stats() const;
+  void ResetStats();
+  void Clear();
+
+ private:
+  struct AnswerEntry {
+    Graph graph;  // retained for the isomorphism verification on lookup
+    std::vector<std::vector<Value>> answers;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, BinaryRelation> nre_memo_;
+  std::unordered_map<std::string, std::vector<AnswerEntry>> answer_memo_;
+  CacheStats stats_;
+};
+
+/// NreEvaluator decorator that memoizes full-relation Eval() calls in an
+/// EngineCache. EvalFrom/Contains delegate to the base evaluator unchanged
+/// (they are cheap single-source queries and keep results bit-identical to
+/// the undecorated evaluator).
+class CachingNreEvaluator : public NreEvaluator {
+ public:
+  CachingNreEvaluator(const NreEvaluator* base, EngineCache* cache)
+      : base_(base), cache_(cache) {}
+
+  BinaryRelation Eval(const NrePtr& nre, const Graph& g) const override;
+  std::vector<Value> EvalFrom(const NrePtr& nre, const Graph& g,
+                              Value src) const override {
+    return base_->EvalFrom(nre, g, src);
+  }
+  bool Contains(const NrePtr& nre, const Graph& g, Value src,
+                Value dst) const override {
+    return base_->Contains(nre, g, src, dst);
+  }
+  const char* name() const override { return "caching"; }
+
+  const NreEvaluator& base() const { return *base_; }
+
+ private:
+  const NreEvaluator* base_;
+  EngineCache* cache_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_ENGINE_CACHE_H_

@@ -1,0 +1,253 @@
+#include "engine/exchange_engine.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "chase/egd_chase.h"
+#include "chase/pattern_chase.h"
+#include "exchange/solution_check.h"
+
+namespace gdx {
+namespace {
+
+const char* VerdictName(ExistenceVerdict v) {
+  switch (v) {
+    case ExistenceVerdict::kYes: return "YES";
+    case ExistenceVerdict::kNo: return "NO";
+    case ExistenceVerdict::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ExistenceOptions EngineOptions::ToExistenceOptions() const {
+  ExistenceOptions out;
+  switch (chase_policy) {
+    case ChasePolicy::kAuto:
+      out.strategy = ExistenceStrategy::kAuto;
+      break;
+    case ChasePolicy::kChaseRefute:
+      out.strategy = ExistenceStrategy::kChaseRefute;
+      break;
+    case ChasePolicy::kBoundedSearch:
+      out.strategy = ExistenceStrategy::kBoundedSearch;
+      break;
+    case ChasePolicy::kSatBacked:
+      out.strategy = ExistenceStrategy::kSatBacked;
+      break;
+  }
+  out.instantiation = instantiation;
+  out.max_candidates = max_candidates;
+  out.target_tgd_max_rounds = target_tgd_max_rounds;
+  out.dedup_isomorphic = dedup_isomorphic;
+  return out;
+}
+
+std::string ExchangeOutcome::ToString(const Universe& universe,
+                                      const Alphabet& alphabet) const {
+  std::ostringstream out;
+  out << "existence: " << VerdictName(existence.verdict) << "  ("
+      << existence.note << ")\n";
+  if (solution.has_value()) {
+    if (core_minimized) {
+      out << "core-minimized: removed " << core_stats.edges_removed
+          << " edge(s), " << core_stats.nodes_removed << " node(s)\n";
+    }
+    out << solution->ToString(universe, alphabet);
+  }
+  if (certain.has_value()) {
+    if (certain->no_solution) {
+      out << "certain: no solution exists; every tuple is vacuously "
+             "certain\n";
+    } else {
+      out << "certain answers (" << certain->solutions_considered
+          << " solution(s) intersected):\n";
+      for (const auto& tuple : certain->tuples) {
+        out << "  (";
+        for (size_t i = 0; i < tuple.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << universe.NameOf(tuple[i]);
+        }
+        out << ")\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+ExchangeEngine::ExchangeEngine(EngineOptions options)
+    : options_(options), cache_(new EngineCache) {
+  if (options_.evaluator == EvaluatorKind::kNaive) {
+    base_eval_.reset(new NaiveNreEvaluator);
+  } else {
+    base_eval_.reset(new AutomatonNreEvaluator);
+  }
+  if (options_.enable_cache) {
+    caching_eval_.reset(new CachingNreEvaluator(base_eval_.get(),
+                                                cache_.get()));
+  }
+}
+
+Result<ExchangeOutcome> ExchangeEngine::Solve(
+    const Scenario& scenario) const {
+  if (scenario.universe == nullptr || scenario.instance == nullptr ||
+      scenario.alphabet == nullptr) {
+    return Status::InvalidArgument(
+        "scenario is missing universe/instance/alphabet");
+  }
+  const NreEvaluator& eval = evaluator();
+  ExchangeOutcome out;
+  Metrics& m = out.metrics;
+  m.scenarios = 1;
+  CacheStats cache_before = cache_->stats();
+  {
+    StageTimer total(&m.total_seconds);
+
+    // Stage 1 — universal representative: s-t chase, then the adapted egd
+    // chase (§5). A failing adapted chase is a sound "no solution".
+    bool chase_refuted = false;
+    {
+      StageTimer t(&m.chase_seconds);
+      PatternChaseStats stats;
+      GraphPattern pattern = ChaseToPattern(
+          *scenario.instance, scenario.setting.st_tgds, *scenario.universe,
+          &stats);
+      m.chase_triggers = stats.triggers;
+      if (!scenario.setting.egds.empty()) {
+        EgdChaseResult egd =
+            ChasePatternEgds(pattern, scenario.setting.egds, eval);
+        m.chase_merges = egd.merges;
+        if (egd.failed) {
+          out.existence.verdict = ExistenceVerdict::kNo;
+          out.existence.refuted_by_chase = true;
+          out.existence.note =
+              "adapted chase failed: " + egd.failure_reason;
+          chase_refuted = true;
+        }
+      }
+      if (!chase_refuted) out.pattern = std::move(pattern);
+    }
+
+    // Stage 2 — existence decision under the configured policy.
+    if (!chase_refuted) {
+      StageTimer t(&m.existence_seconds);
+      ExistenceSolver solver(&eval, options_.ToExistenceOptions());
+      out.existence =
+          solver.Decide(scenario.setting, *scenario.instance,
+                        *scenario.universe);
+    }
+    m.candidates_tried = out.existence.candidates_tried;
+
+    // Stage 3 — materialize (and optionally core-minimize) the solution.
+    if (out.existence.witness.has_value()) {
+      if (options_.minimize_core) {
+        StageTimer t(&m.minimize_seconds);
+        out.solution = GreedyCoreMinimize(
+            *out.existence.witness, scenario.setting, *scenario.instance,
+            eval, *scenario.universe, &out.core_stats);
+        out.core_minimized = true;
+      } else {
+        out.solution = *out.existence.witness;
+      }
+    }
+
+    // Stage 4 — certain answers of the scenario query. A chase refutation
+    // already settles them (no solution: every tuple is vacuously
+    // certain), so skip the enumeration — it would only redo the failing
+    // chase.
+    if (scenario.query != nullptr && options_.compute_certain_answers) {
+      StageTimer t(&m.certain_seconds);
+      if (chase_refuted) {
+        CertainAnswerResult vacuous;
+        vacuous.no_solution = true;
+        out.certain = std::move(vacuous);
+      } else {
+        out.certain = ComputeCertainAnswers(scenario, out.existence);
+      }
+      m.solutions_enumerated = out.certain->solutions_considered;
+    }
+
+    // Stage 5 — defensive final check of the materialized solution.
+    if (options_.verify_witness && out.solution.has_value()) {
+      StageTimer t(&m.verify_seconds);
+      out.solution_verified =
+          IsSolution(scenario.setting, *scenario.instance, *out.solution,
+                     eval, *scenario.universe);
+    }
+  }
+
+  // Per-solve cache deltas. Under concurrent batch solving these include
+  // sibling solves' traffic (the cache is shared by design); the
+  // BatchExecutor therefore reports batch-wide deltas instead of summing
+  // per-solve numbers.
+  CacheStats cache_after = cache_->stats();
+  m.nre_cache_hits = cache_after.nre_hits - cache_before.nre_hits;
+  m.nre_cache_misses = cache_after.nre_misses - cache_before.nre_misses;
+  m.answer_cache_hits = cache_after.answer_hits - cache_before.answer_hits;
+  m.answer_cache_misses =
+      cache_after.answer_misses - cache_before.answer_misses;
+  return out;
+}
+
+CertainAnswerResult ExchangeEngine::ComputeCertainAnswers(
+    const Scenario& scenario, const ExistenceReport& existence) const {
+  const NreEvaluator& eval = evaluator();
+  CertainAnswerResult result;
+  ExistenceSolver solver(&eval, options_.ToExistenceOptions());
+  std::vector<Graph> solutions = solver.EnumerateSolutions(
+      scenario.setting, *scenario.instance, *scenario.universe,
+      options_.max_solutions);
+  result.solutions_considered = solutions.size();
+  if (solutions.empty()) {
+    // Stage 2 already decided existence under the same options — reuse it
+    // to tell "no solution" (vacuously certain) from an empty enumeration.
+    result.no_solution = existence.verdict == ExistenceVerdict::kNo;
+    return result;
+  }
+
+  std::unordered_set<std::vector<Value>, ValueVecHash> intersection;
+  bool first = true;
+  for (const Graph& g : solutions) {
+    // Answer memo: repeated queries over an already-seen solution graph
+    // (up to null renaming) skip CNRE matching entirely.
+    std::string key;
+    std::vector<std::vector<Value>> constant_tuples;
+    bool hit = false;
+    if (options_.enable_cache) {
+      key = EngineCache::AnswerKey(*scenario.query, g);
+      hit = cache_->LookupAnswers(key, g, &constant_tuples);
+    }
+    if (!hit) {
+      std::vector<std::vector<Value>> answers =
+          EvaluateCnre(*scenario.query, g, eval);
+      for (auto& t : answers) {
+        if (AllConstantTuple(t)) constant_tuples.push_back(std::move(t));
+      }
+      if (options_.enable_cache) {
+        cache_->StoreAnswers(key, g, constant_tuples);
+      }
+    }
+    if (first) {
+      intersection.insert(constant_tuples.begin(), constant_tuples.end());
+      first = false;
+    } else {
+      std::unordered_set<std::vector<Value>, ValueVecHash> keep(
+          constant_tuples.begin(), constant_tuples.end());
+      for (auto it = intersection.begin(); it != intersection.end();) {
+        if (keep.count(*it) == 0) {
+          it = intersection.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (intersection.empty()) break;
+  }
+  result.tuples.assign(intersection.begin(), intersection.end());
+  SortAnswerTuples(result.tuples);
+  return result;
+}
+
+}  // namespace gdx

@@ -1,0 +1,127 @@
+#ifndef GDX_ENGINE_EXCHANGE_ENGINE_H_
+#define GDX_ENGINE_EXCHANGE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "engine/cache.h"
+#include "engine/metrics.h"
+#include "pattern/pattern.h"
+#include "solver/certain.h"
+#include "solver/core_minimizer.h"
+#include "solver/existence.h"
+#include "workload/scenario.h"
+
+namespace gdx {
+
+/// Existence-decision policy of the engine (mirrors ExistenceStrategy; see
+/// solver/existence.h for the semantics of each).
+enum class ChasePolicy {
+  kAuto,           // pick per setting (default)
+  kChaseRefute,    // adapted chase + canonical instantiation only
+  kBoundedSearch,  // complete witness-combination enumeration
+  kSatBacked,      // flat-fragment CNF + DPLL, bounded-search fallback
+};
+
+/// Which NRE evaluation engine the pipeline runs on.
+enum class EvaluatorKind {
+  kAutomaton,  // product-automaton BFS (default, fastest)
+  kNaive,      // relation-algebra reference
+};
+
+/// Typed knobs of the whole solve pipeline.
+struct EngineOptions {
+  ChasePolicy chase_policy = ChasePolicy::kAuto;
+  EvaluatorKind evaluator = EvaluatorKind::kAutomaton;
+
+  /// Witness enumeration budgets for pattern instantiation.
+  InstantiationOptions instantiation;
+  /// Max instantiations the bounded existence search explores.
+  size_t max_candidates = 1u << 20;
+  size_t target_tgd_max_rounds = 64;
+  /// Dedup enumerated solutions up to null renaming.
+  bool dedup_isomorphic = true;
+
+  /// How many structurally distinct solutions certain answers intersect.
+  size_t max_solutions = 16;
+  /// Compute certain answers when the scenario carries a query.
+  bool compute_certain_answers = true;
+  /// Greedily core-minimize the existence witness.
+  bool minimize_core = false;
+  /// Re-check the final solution against the setting (defensive).
+  bool verify_witness = true;
+  /// Memoize NRE evaluations and per-solution answer sets.
+  bool enable_cache = true;
+
+  ExistenceOptions ToExistenceOptions() const;
+};
+
+/// Everything one solve produces. ToString renders the semantic content
+/// (verdict, witness, certain answers) deterministically — timings live in
+/// `metrics` and are excluded, so equal exchanges render byte-identically.
+struct ExchangeOutcome {
+  /// The §5 universal representative: s-t chased pattern after the adapted
+  /// egd chase. Present unless the adapted chase failed.
+  std::optional<GraphPattern> pattern;
+
+  ExistenceReport existence;
+
+  /// The materialized solution (the existence witness, core-minimized when
+  /// EngineOptions::minimize_core is set).
+  std::optional<Graph> solution;
+  bool core_minimized = false;
+  CoreMinimizeStats core_stats;
+  /// Result of the defensive final check (unset when skipped).
+  std::optional<bool> solution_verified;
+
+  std::optional<CertainAnswerResult> certain;
+
+  Metrics metrics;
+
+  std::string ToString(const Universe& universe,
+                       const Alphabet& alphabet) const;
+};
+
+/// The one-call orchestration subsystem (ISSUE tentpole): encapsulates the
+/// full pipeline
+///
+///   s-t pattern chase → adapted egd chase → existence decision →
+///   (core minimization) → certain answers → solution check
+///
+/// behind Solve(). The engine owns its evaluator and an EngineCache whose
+/// memo tables make repeated queries over the same target graph near-free.
+/// Solve is const and thread-safe: concurrent calls (the BatchExecutor's
+/// mode of operation) share the internally synchronized cache and touch
+/// only their own scenario's state.
+class ExchangeEngine {
+ public:
+  explicit ExchangeEngine(EngineOptions options = {});
+
+  /// Runs the pipeline on one scenario. The scenario's universe accrues
+  /// fresh nulls (as in any hand-wired run); setting/schemas are read-only.
+  Result<ExchangeOutcome> Solve(const Scenario& scenario) const;
+
+  const EngineOptions& options() const { return options_; }
+  /// The evaluator the pipeline runs on (cache-decorated when enabled).
+  const NreEvaluator& evaluator() const {
+    return caching_eval_ != nullptr
+               ? static_cast<const NreEvaluator&>(*caching_eval_)
+               : *base_eval_;
+  }
+  EngineCache& cache() const { return *cache_; }
+
+ private:
+  CertainAnswerResult ComputeCertainAnswers(
+      const Scenario& scenario, const ExistenceReport& existence) const;
+
+  EngineOptions options_;
+  std::unique_ptr<NreEvaluator> base_eval_;
+  std::unique_ptr<EngineCache> cache_;
+  std::unique_ptr<CachingNreEvaluator> caching_eval_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_ENGINE_EXCHANGE_ENGINE_H_

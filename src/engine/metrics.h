@@ -1,0 +1,105 @@
+#ifndef GDX_ENGINE_METRICS_H_
+#define GDX_ENGINE_METRICS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace gdx {
+
+/// Per-solve (and, accumulated, per-batch) engine metrics: wall time per
+/// pipeline stage, chase work counters, and cache effectiveness. Benches
+/// and the CLI `batch` subcommand report these; the BatchExecutor sums
+/// them across scenarios.
+struct Metrics {
+  // Per-stage wall time, seconds.
+  double chase_seconds = 0;      // s-t pattern chase + adapted egd chase
+  double existence_seconds = 0;  // existence decision (search / SAT)
+  double certain_seconds = 0;    // solution enumeration + intersection
+  double minimize_seconds = 0;   // greedy core minimization
+  double verify_seconds = 0;     // defensive final solution check
+  double total_seconds = 0;      // whole Solve call
+
+  // Chase / search work.
+  size_t chase_triggers = 0;   // s-t tgd body matches fired
+  size_t chase_merges = 0;     // adapted egd chase node merges
+  size_t candidates_tried = 0; // instantiations attempted by the search
+  size_t solutions_enumerated = 0;
+
+  // Cache effectiveness (snapshot deltas from the engine cache).
+  uint64_t nre_cache_hits = 0;
+  uint64_t nre_cache_misses = 0;
+  uint64_t answer_cache_hits = 0;
+  uint64_t answer_cache_misses = 0;
+
+  size_t scenarios = 0;  // solves accumulated into this struct
+
+  void Accumulate(const Metrics& other) {
+    chase_seconds += other.chase_seconds;
+    existence_seconds += other.existence_seconds;
+    certain_seconds += other.certain_seconds;
+    minimize_seconds += other.minimize_seconds;
+    verify_seconds += other.verify_seconds;
+    total_seconds += other.total_seconds;
+    chase_triggers += other.chase_triggers;
+    chase_merges += other.chase_merges;
+    candidates_tried += other.candidates_tried;
+    solutions_enumerated += other.solutions_enumerated;
+    nre_cache_hits += other.nre_cache_hits;
+    nre_cache_misses += other.nre_cache_misses;
+    answer_cache_hits += other.answer_cache_hits;
+    answer_cache_misses += other.answer_cache_misses;
+    scenarios += other.scenarios;
+  }
+
+  uint64_t cache_hits() const { return nre_cache_hits + answer_cache_hits; }
+  uint64_t cache_misses() const {
+    return nre_cache_misses + answer_cache_misses;
+  }
+
+  /// Multi-line human-readable summary for CLI / bench output.
+  std::string ToString() const {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "metrics {%zu solve(s)}\n"
+        "  wall: total=%.3fms chase=%.3fms existence=%.3fms "
+        "certain=%.3fms minimize=%.3fms verify=%.3fms\n"
+        "  work: triggers=%zu merges=%zu candidates=%zu solutions=%zu\n"
+        "  cache: nre %llu hit / %llu miss, answers %llu hit / %llu miss\n",
+        scenarios, total_seconds * 1e3, chase_seconds * 1e3,
+        existence_seconds * 1e3, certain_seconds * 1e3,
+        minimize_seconds * 1e3, verify_seconds * 1e3, chase_triggers,
+        chase_merges, candidates_tried, solutions_enumerated,
+        static_cast<unsigned long long>(nre_cache_hits),
+        static_cast<unsigned long long>(nre_cache_misses),
+        static_cast<unsigned long long>(answer_cache_hits),
+        static_cast<unsigned long long>(answer_cache_misses));
+    return buf;
+  }
+};
+
+/// Scoped wall-clock accumulator: adds the elapsed seconds to `*slot` on
+/// destruction. Usage:  { StageTimer t(&metrics.chase_seconds); ... }
+class StageTimer {
+ public:
+  explicit StageTimer(double* slot)
+      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    *slot_ += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  double* slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_ENGINE_METRICS_H_

@@ -10,10 +10,26 @@ const std::vector<Value>& EmptyValueList() {
   static const std::vector<Value>* empty = new std::vector<Value>();
   return *empty;
 }
+
+const std::vector<std::pair<Value, Value>>& EmptyPairList() {
+  static const std::vector<std::pair<Value, Value>>* empty =
+      new std::vector<std::pair<Value, Value>>();
+  return *empty;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 void Graph::AddNode(Value v) {
-  if (node_set_.insert(v.raw()).second) nodes_.push_back(v);
+  if (node_set_.insert(v.raw()).second) {
+    nodes_.push_back(v);
+    content_hash_valid_ = false;
+    raw_signature_valid_ = false;
+  }
 }
 
 bool Graph::AddEdge(Value src, SymbolId label, Value dst) {
@@ -24,6 +40,9 @@ bool Graph::AddEdge(Value src, SymbolId label, Value dst) {
   edges_.push_back(Edge{src, label, dst});
   successors_[NodeLabelKey{src.raw(), label}].push_back(dst);
   predecessors_[NodeLabelKey{dst.raw(), label}].push_back(src);
+  label_index_[label].emplace_back(src, dst);
+  content_hash_valid_ = false;
+  raw_signature_valid_ = false;
   return true;
 }
 
@@ -41,12 +60,68 @@ const std::vector<Value>& Graph::Predecessors(Value v, SymbolId a) const {
   return it == predecessors_.end() ? EmptyValueList() : it->second;
 }
 
-std::vector<std::pair<Value, Value>> Graph::EdgesWithLabel(SymbolId a) const {
-  std::vector<std::pair<Value, Value>> out;
-  for (const Edge& e : edges_) {
-    if (e.label == a) out.emplace_back(e.src, e.dst);
+const std::vector<std::pair<Value, Value>>& Graph::EdgesWithLabel(
+    SymbolId a) const {
+  auto it = label_index_.find(a);
+  return it == label_index_.end() ? EmptyPairList() : it->second;
+}
+
+std::pair<uint64_t, uint64_t> Graph::ContentHash() const {
+  if (content_hash_valid_) return content_hash_;
+  // Sum/xor of well-mixed per-element hashes: insertion-order independent,
+  // and node/edge sets are duplicate-free so multiset effects cannot occur.
+  uint64_t sum = 0x6a09e667f3bcc908ull + nodes_.size();
+  uint64_t xr = 0xbb67ae8584caa73bull ^ (edges_.size() << 32);
+  for (Value v : nodes_) {
+    uint64_t h = Mix64(v.raw() + 0x9e3779b97f4a7c15ull);
+    sum += h;
+    xr ^= Mix64(h + 1);
   }
-  return out;
+  for (const Edge& e : edges_) {
+    uint64_t h = Mix64(e.src.raw());
+    h = Mix64(h ^ (static_cast<uint64_t>(e.label) + 0x9e3779b97f4a7c15ull));
+    h = Mix64(h ^ e.dst.raw());
+    sum += h;
+    xr ^= Mix64(h + 2);
+  }
+  content_hash_ = {sum, xr};
+  content_hash_valid_ = true;
+  return content_hash_;
+}
+
+const std::string& Graph::RawSignature() const {
+  if (raw_signature_valid_) return raw_signature_;
+  auto append_u64 = [](std::string& out, uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<char>(x & 0xff));
+      x >>= 8;
+    }
+  };
+  std::vector<std::string> parts;
+  parts.reserve(nodes_.size() + edges_.size());
+  for (Value v : nodes_) {
+    std::string part(1, 'n');
+    append_u64(part, v.raw());
+    parts.push_back(std::move(part));
+  }
+  for (const Edge& e : edges_) {
+    std::string part(1, 'e');
+    append_u64(part, e.src.raw());
+    append_u64(part, e.label);
+    append_u64(part, e.dst.raw());
+    parts.push_back(std::move(part));
+  }
+  std::sort(parts.begin(), parts.end());
+  raw_signature_.clear();
+  raw_signature_.reserve(32 + parts.size() * 25);
+  auto [sum, xr] = ContentHash();
+  append_u64(raw_signature_, sum);
+  append_u64(raw_signature_, xr);
+  append_u64(raw_signature_, nodes_.size());
+  append_u64(raw_signature_, edges_.size());
+  for (const std::string& part : parts) raw_signature_ += part;
+  raw_signature_valid_ = true;
+  return raw_signature_;
 }
 
 void Graph::Clear() {
@@ -56,6 +131,9 @@ void Graph::Clear() {
   edge_set_.clear();
   successors_.clear();
   predecessors_.clear();
+  label_index_.clear();
+  content_hash_valid_ = false;
+  raw_signature_valid_ = false;
 }
 
 std::string Graph::ToString(const Universe& universe,

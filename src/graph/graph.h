@@ -50,8 +50,24 @@ class Graph {
   /// Predecessors of `v` via label `a` (empty if none).
   const std::vector<Value>& Predecessors(Value v, SymbolId a) const;
 
-  /// All (u, v) pairs with an `a`-labeled edge, in insertion order.
-  std::vector<std::pair<Value, Value>> EdgesWithLabel(SymbolId a) const;
+  /// All (u, v) pairs with an `a`-labeled edge, in insertion order. Served
+  /// from a per-label index maintained by AddEdge — O(1), no copy.
+  const std::vector<std::pair<Value, Value>>& EdgesWithLabel(
+      SymbolId a) const;
+
+  /// Order-independent 128-bit hash of the node and edge content (raw value
+  /// encodings + label ids; names play no part). Graphs with equal content
+  /// hash equal regardless of insertion order or owning universe's
+  /// spellings. Cached; invalidated by mutation.
+  std::pair<uint64_t, uint64_t> ContentHash() const;
+
+  /// Exact, order-independent binary serialization of the node and edge
+  /// content (raw encodings; no names): equal strings <=> identical
+  /// node/edge sets. Prefixed with ContentHash so unequal keys compare
+  /// unequal within the first bytes. Cached; invalidated by mutation.
+  /// This is the engine NRE-memo key component — unlike ContentHash alone
+  /// it cannot collide.
+  const std::string& RawSignature() const;
 
   /// Rebuilds the graph replacing every value by `rewrite(value)` —
   /// used when egd merges identify nodes. Re-deduplicates.
@@ -120,6 +136,13 @@ class Graph {
       successors_;
   std::unordered_map<NodeLabelKey, std::vector<Value>, NodeLabelKeyHash>
       predecessors_;
+  std::unordered_map<SymbolId, std::vector<std::pair<Value, Value>>>
+      label_index_;
+
+  mutable bool content_hash_valid_ = false;
+  mutable std::pair<uint64_t, uint64_t> content_hash_{0, 0};
+  mutable bool raw_signature_valid_ = false;
+  mutable std::string raw_signature_;
 };
 
 }  // namespace gdx

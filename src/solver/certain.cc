@@ -4,16 +4,14 @@
 #include <unordered_set>
 
 namespace gdx {
-namespace {
-
-bool AllConstants(const std::vector<Value>& tuple) {
+bool AllConstantTuple(const std::vector<Value>& tuple) {
   for (Value v : tuple) {
     if (!v.is_constant()) return false;
   }
   return true;
 }
 
-void SortTuples(std::vector<std::vector<Value>>& tuples) {
+void SortAnswerTuples(std::vector<std::vector<Value>>& tuples) {
   std::sort(tuples.begin(), tuples.end(),
             [](const std::vector<Value>& a, const std::vector<Value>& b) {
               for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
@@ -22,8 +20,6 @@ void SortTuples(std::vector<std::vector<Value>>& tuples) {
               return a.size() < b.size();
             });
 }
-
-}  // namespace
 
 CertainAnswerResult CertainAnswerSolver::Compute(const Setting& setting,
                                                  const Instance& source,
@@ -48,7 +44,7 @@ CertainAnswerResult CertainAnswerSolver::Compute(const Setting& setting,
     std::vector<std::vector<Value>> answers = EvaluateCnre(query, g, *eval_);
     std::unordered_set<std::vector<Value>, ValueVecHash> constant_answers;
     for (auto& t : answers) {
-      if (AllConstants(t)) constant_answers.insert(std::move(t));
+      if (AllConstantTuple(t)) constant_answers.insert(std::move(t));
     }
     if (first) {
       intersection = std::move(constant_answers);
@@ -65,7 +61,7 @@ CertainAnswerResult CertainAnswerSolver::Compute(const Setting& setting,
     if (intersection.empty()) break;
   }
   result.tuples.assign(intersection.begin(), intersection.end());
-  SortTuples(result.tuples);
+  SortAnswerTuples(result.tuples);
   return result;
 }
 
@@ -104,9 +100,9 @@ std::vector<std::vector<Value>> PatternCertainAnswers(
       EvaluateCnre(query, definite, eval);
   std::vector<std::vector<Value>> out;
   for (auto& t : answers) {
-    if (AllConstants(t)) out.push_back(std::move(t));
+    if (AllConstantTuple(t)) out.push_back(std::move(t));
   }
-  SortTuples(out);
+  SortAnswerTuples(out);
   return out;
 }
 

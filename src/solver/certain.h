@@ -55,6 +55,14 @@ class CertainAnswerSolver {
   CertainAnswerOptions options_;
 };
 
+/// True iff every value in the tuple is a constant (nulls never appear in
+/// certain answers).
+bool AllConstantTuple(const std::vector<Value>& tuple);
+
+/// Sorts tuples by raw value encoding — the deterministic report order
+/// shared by the certain-answer solver and the engine.
+void SortAnswerTuples(std::vector<std::vector<Value>>& tuples);
+
 /// Naive certain answers over a universal representative (tgd-only
 /// settings, paper §3.2 after [4, 5]): evaluate Q over the pattern's
 /// definite subgraph and keep all-constant tuples. Sound (a lower bound on

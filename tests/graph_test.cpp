@@ -113,5 +113,47 @@ TEST_F(GraphFixture, ToStringListsEdges) {
   EXPECT_NE(text.find("1 edges"), std::string::npos);
 }
 
+TEST_F(GraphFixture, EdgesWithLabelIsIndexedAndCoherent) {
+  Graph g;
+  g.AddEdge(C("a"), L("e"), C("b"));
+  g.AddEdge(C("b"), L("f"), C("c"));
+  g.AddEdge(C("a"), L("e"), C("c"));
+  const auto& e_edges = g.EdgesWithLabel(L("e"));
+  ASSERT_EQ(e_edges.size(), 2u);
+  EXPECT_EQ(e_edges[0].first, C("a"));
+  EXPECT_EQ(e_edges[0].second, C("b"));
+  EXPECT_EQ(e_edges[1].second, C("c"));
+  // Duplicate insertion must not grow the index.
+  g.AddEdge(C("a"), L("e"), C("b"));
+  EXPECT_EQ(g.EdgesWithLabel(L("e")).size(), 2u);
+  EXPECT_TRUE(g.EdgesWithLabel(L("missing")).empty());
+  // The index tracks rewrites (RewriteValues rebuilds via Clear+AddEdge).
+  g.RewriteValues([&](Value v) { return v == C("c") ? C("b") : v; });
+  EXPECT_EQ(g.EdgesWithLabel(L("e")).size(), 1u);
+  EXPECT_EQ(g.EdgesWithLabel(L("f")).size(), 1u);
+  EXPECT_EQ(g.EdgesWithLabel(L("f"))[0].first, C("b"));
+  EXPECT_EQ(g.EdgesWithLabel(L("f"))[0].second, C("b"));
+  g.Clear();
+  EXPECT_TRUE(g.EdgesWithLabel(L("e")).empty());
+}
+
+TEST_F(GraphFixture, ContentHashIsOrderIndependentAndMutationAware) {
+  Graph g1, g2;
+  g1.AddEdge(C("a"), L("e"), C("b"));
+  g1.AddEdge(C("b"), L("f"), C("c"));
+  g2.AddEdge(C("b"), L("f"), C("c"));
+  g2.AddEdge(C("a"), L("e"), C("b"));
+  EXPECT_EQ(g1.ContentHash(), g2.ContentHash());
+  // Hash changes under mutation and is re-memoized correctly.
+  auto before = g1.ContentHash();
+  g1.AddNode(C("d"));
+  EXPECT_NE(g1.ContentHash(), before);
+  g2.AddNode(C("d"));
+  EXPECT_EQ(g1.ContentHash(), g2.ContentHash());
+  g1.Clear();
+  Graph empty;
+  EXPECT_EQ(g1.ContentHash(), empty.ContentHash());
+}
+
 }  // namespace
 }  // namespace gdx
