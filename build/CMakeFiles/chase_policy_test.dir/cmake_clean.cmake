@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_policy_test.dir/tests/chase_policy_test.cpp.o"
+  "CMakeFiles/chase_policy_test.dir/tests/chase_policy_test.cpp.o.d"
+  "chase_policy_test"
+  "chase_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

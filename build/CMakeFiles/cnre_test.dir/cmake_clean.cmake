@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnre_test.dir/tests/cnre_test.cpp.o"
+  "CMakeFiles/cnre_test.dir/tests/cnre_test.cpp.o.d"
+  "cnre_test"
+  "cnre_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

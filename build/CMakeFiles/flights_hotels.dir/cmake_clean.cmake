@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flights_hotels.dir/examples/flights_hotels.cpp.o"
+  "CMakeFiles/flights_hotels.dir/examples/flights_hotels.cpp.o.d"
+  "flights_hotels"
+  "flights_hotels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flights_hotels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

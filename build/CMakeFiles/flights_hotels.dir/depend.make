@@ -1,0 +1,2 @@
+# Empty dependencies file for flights_hotels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/egd_chase.cc" "CMakeFiles/gdx.dir/src/chase/egd_chase.cc.o" "gcc" "CMakeFiles/gdx.dir/src/chase/egd_chase.cc.o.d"
+  "/root/repo/src/chase/pattern_chase.cc" "CMakeFiles/gdx.dir/src/chase/pattern_chase.cc.o" "gcc" "CMakeFiles/gdx.dir/src/chase/pattern_chase.cc.o.d"
+  "/root/repo/src/chase/pattern_saturation.cc" "CMakeFiles/gdx.dir/src/chase/pattern_saturation.cc.o" "gcc" "CMakeFiles/gdx.dir/src/chase/pattern_saturation.cc.o.d"
+  "/root/repo/src/chase/relational_lowering.cc" "CMakeFiles/gdx.dir/src/chase/relational_lowering.cc.o" "gcc" "CMakeFiles/gdx.dir/src/chase/relational_lowering.cc.o.d"
+  "/root/repo/src/chase/sameas_completion.cc" "CMakeFiles/gdx.dir/src/chase/sameas_completion.cc.o" "gcc" "CMakeFiles/gdx.dir/src/chase/sameas_completion.cc.o.d"
+  "/root/repo/src/chase/target_tgd_chase.cc" "CMakeFiles/gdx.dir/src/chase/target_tgd_chase.cc.o" "gcc" "CMakeFiles/gdx.dir/src/chase/target_tgd_chase.cc.o.d"
+  "/root/repo/src/common/strings.cc" "CMakeFiles/gdx.dir/src/common/strings.cc.o" "gcc" "CMakeFiles/gdx.dir/src/common/strings.cc.o.d"
+  "/root/repo/src/engine/batch_executor.cc" "CMakeFiles/gdx.dir/src/engine/batch_executor.cc.o" "gcc" "CMakeFiles/gdx.dir/src/engine/batch_executor.cc.o.d"
+  "/root/repo/src/engine/cache.cc" "CMakeFiles/gdx.dir/src/engine/cache.cc.o" "gcc" "CMakeFiles/gdx.dir/src/engine/cache.cc.o.d"
+  "/root/repo/src/engine/exchange_engine.cc" "CMakeFiles/gdx.dir/src/engine/exchange_engine.cc.o" "gcc" "CMakeFiles/gdx.dir/src/engine/exchange_engine.cc.o.d"
+  "/root/repo/src/exchange/parser.cc" "CMakeFiles/gdx.dir/src/exchange/parser.cc.o" "gcc" "CMakeFiles/gdx.dir/src/exchange/parser.cc.o.d"
+  "/root/repo/src/exchange/solution_check.cc" "CMakeFiles/gdx.dir/src/exchange/solution_check.cc.o" "gcc" "CMakeFiles/gdx.dir/src/exchange/solution_check.cc.o.d"
+  "/root/repo/src/exchange/universal_pair.cc" "CMakeFiles/gdx.dir/src/exchange/universal_pair.cc.o" "gcc" "CMakeFiles/gdx.dir/src/exchange/universal_pair.cc.o.d"
+  "/root/repo/src/graph/cnre.cc" "CMakeFiles/gdx.dir/src/graph/cnre.cc.o" "gcc" "CMakeFiles/gdx.dir/src/graph/cnre.cc.o.d"
+  "/root/repo/src/graph/dot_export.cc" "CMakeFiles/gdx.dir/src/graph/dot_export.cc.o" "gcc" "CMakeFiles/gdx.dir/src/graph/dot_export.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/gdx.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/gdx.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "CMakeFiles/gdx.dir/src/graph/graph_io.cc.o" "gcc" "CMakeFiles/gdx.dir/src/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/isomorphism.cc" "CMakeFiles/gdx.dir/src/graph/isomorphism.cc.o" "gcc" "CMakeFiles/gdx.dir/src/graph/isomorphism.cc.o.d"
+  "/root/repo/src/graph/nre.cc" "CMakeFiles/gdx.dir/src/graph/nre.cc.o" "gcc" "CMakeFiles/gdx.dir/src/graph/nre.cc.o.d"
+  "/root/repo/src/graph/nre_eval.cc" "CMakeFiles/gdx.dir/src/graph/nre_eval.cc.o" "gcc" "CMakeFiles/gdx.dir/src/graph/nre_eval.cc.o.d"
+  "/root/repo/src/graph/nre_parser.cc" "CMakeFiles/gdx.dir/src/graph/nre_parser.cc.o" "gcc" "CMakeFiles/gdx.dir/src/graph/nre_parser.cc.o.d"
+  "/root/repo/src/graph/nre_simplify.cc" "CMakeFiles/gdx.dir/src/graph/nre_simplify.cc.o" "gcc" "CMakeFiles/gdx.dir/src/graph/nre_simplify.cc.o.d"
+  "/root/repo/src/graph/query_parser.cc" "CMakeFiles/gdx.dir/src/graph/query_parser.cc.o" "gcc" "CMakeFiles/gdx.dir/src/graph/query_parser.cc.o.d"
+  "/root/repo/src/pattern/homomorphism.cc" "CMakeFiles/gdx.dir/src/pattern/homomorphism.cc.o" "gcc" "CMakeFiles/gdx.dir/src/pattern/homomorphism.cc.o.d"
+  "/root/repo/src/pattern/pattern.cc" "CMakeFiles/gdx.dir/src/pattern/pattern.cc.o" "gcc" "CMakeFiles/gdx.dir/src/pattern/pattern.cc.o.d"
+  "/root/repo/src/pattern/witness.cc" "CMakeFiles/gdx.dir/src/pattern/witness.cc.o" "gcc" "CMakeFiles/gdx.dir/src/pattern/witness.cc.o.d"
+  "/root/repo/src/reduction/sat_encoding.cc" "CMakeFiles/gdx.dir/src/reduction/sat_encoding.cc.o" "gcc" "CMakeFiles/gdx.dir/src/reduction/sat_encoding.cc.o.d"
+  "/root/repo/src/relational/chase.cc" "CMakeFiles/gdx.dir/src/relational/chase.cc.o" "gcc" "CMakeFiles/gdx.dir/src/relational/chase.cc.o.d"
+  "/root/repo/src/relational/eval.cc" "CMakeFiles/gdx.dir/src/relational/eval.cc.o" "gcc" "CMakeFiles/gdx.dir/src/relational/eval.cc.o.d"
+  "/root/repo/src/sat/cnf.cc" "CMakeFiles/gdx.dir/src/sat/cnf.cc.o" "gcc" "CMakeFiles/gdx.dir/src/sat/cnf.cc.o.d"
+  "/root/repo/src/sat/dpll.cc" "CMakeFiles/gdx.dir/src/sat/dpll.cc.o" "gcc" "CMakeFiles/gdx.dir/src/sat/dpll.cc.o.d"
+  "/root/repo/src/sat/gen.cc" "CMakeFiles/gdx.dir/src/sat/gen.cc.o" "gcc" "CMakeFiles/gdx.dir/src/sat/gen.cc.o.d"
+  "/root/repo/src/solver/certain.cc" "CMakeFiles/gdx.dir/src/solver/certain.cc.o" "gcc" "CMakeFiles/gdx.dir/src/solver/certain.cc.o.d"
+  "/root/repo/src/solver/core_minimizer.cc" "CMakeFiles/gdx.dir/src/solver/core_minimizer.cc.o" "gcc" "CMakeFiles/gdx.dir/src/solver/core_minimizer.cc.o.d"
+  "/root/repo/src/solver/existence.cc" "CMakeFiles/gdx.dir/src/solver/existence.cc.o" "gcc" "CMakeFiles/gdx.dir/src/solver/existence.cc.o.d"
+  "/root/repo/src/solver/flat_encoding.cc" "CMakeFiles/gdx.dir/src/solver/flat_encoding.cc.o" "gcc" "CMakeFiles/gdx.dir/src/solver/flat_encoding.cc.o.d"
+  "/root/repo/src/solver/sameas_engine.cc" "CMakeFiles/gdx.dir/src/solver/sameas_engine.cc.o" "gcc" "CMakeFiles/gdx.dir/src/solver/sameas_engine.cc.o.d"
+  "/root/repo/src/workload/flights.cc" "CMakeFiles/gdx.dir/src/workload/flights.cc.o" "gcc" "CMakeFiles/gdx.dir/src/workload/flights.cc.o.d"
+  "/root/repo/src/workload/paper_graphs.cc" "CMakeFiles/gdx.dir/src/workload/paper_graphs.cc.o" "gcc" "CMakeFiles/gdx.dir/src/workload/paper_graphs.cc.o.d"
+  "/root/repo/src/workload/random_graph.cc" "CMakeFiles/gdx.dir/src/workload/random_graph.cc.o" "gcc" "CMakeFiles/gdx.dir/src/workload/random_graph.cc.o.d"
+  "/root/repo/src/workload/scenario_parser.cc" "CMakeFiles/gdx.dir/src/workload/scenario_parser.cc.o" "gcc" "CMakeFiles/gdx.dir/src/workload/scenario_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdx_cli.dir/examples/gdx_cli.cpp.o"
+  "CMakeFiles/gdx_cli.dir/examples/gdx_cli.cpp.o.d"
+  "gdx_cli"
+  "gdx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

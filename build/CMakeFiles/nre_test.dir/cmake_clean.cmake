@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nre_test.dir/tests/nre_test.cpp.o"
+  "CMakeFiles/nre_test.dir/tests/nre_test.cpp.o.d"
+  "nre_test"
+  "nre_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_sameas.dir/examples/rdf_sameas.cpp.o"
+  "CMakeFiles/rdf_sameas.dir/examples/rdf_sameas.cpp.o.d"
+  "rdf_sameas"
+  "rdf_sameas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_sameas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_reduction.dir/examples/sat_reduction.cpp.o"
+  "CMakeFiles/sat_reduction.dir/examples/sat_reduction.cpp.o.d"
+  "sat_reduction"
+  "sat_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_pair_test.dir/tests/universal_pair_test.cpp.o"
+  "CMakeFiles/universal_pair_test.dir/tests/universal_pair_test.cpp.o.d"
+  "universal_pair_test"
+  "universal_pair_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_pair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_property_test.dir/tests/witness_property_test.cpp.o"
+  "CMakeFiles/witness_property_test.dir/tests/witness_property_test.cpp.o.d"
+  "witness_property_test"
+  "witness_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
