@@ -117,6 +117,34 @@ void BM_EngineCertainAnswersEgd(benchmark::State& state) {
 BENCHMARK(BM_EngineCertainAnswersEgd)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
+/// ISSUE 2 tentpole: the same engine solve with the solution enumeration
+/// (and bounded search) fanned over intra-solve workers. Args =
+/// {max_solutions, workers}; outputs are byte-identical across worker
+/// counts (asserted in intra_solve_test), only wall time moves. Cache off
+/// so every iteration re-runs the full enumeration it is timing.
+void BM_EngineCertainAnswersEgdIntra(benchmark::State& state) {
+  EngineOptions options;
+  options.instantiation.max_witnesses_per_edge = 4;
+  options.max_solutions = static_cast<size_t>(state.range(0));
+  options.intra_solve_threads = static_cast<size_t>(state.range(1));
+  options.enable_cache = false;
+  ExchangeEngine engine(options);
+  Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
+  size_t tuples = 0;
+  for (auto _ : state) {
+    Result<ExchangeOutcome> outcome = engine.Solve(s);
+    benchmark::DoNotOptimize(outcome);
+    if (outcome.ok() && outcome->certain.has_value()) {
+      tuples = outcome->certain->tuples.size();
+    }
+  }
+  state.counters["certain_tuples"] = static_cast<double>(tuples);
+  state.counters["workers"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_EngineCertainAnswersEgdIntra)
+    ->Args({16, 1})->Args({16, 2})->Args({16, 4})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 /// Ablation: pattern-based certain answers (naive evaluation over the
 /// definite subgraph) — polynomial, no solution enumeration.
 void BM_PatternCertainAnswers(benchmark::State& state) {

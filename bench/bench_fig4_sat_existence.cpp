@@ -4,6 +4,7 @@
 // the number of variables while the DPLL-backed exact solver prunes.
 #include "bench_util.h"
 
+#include "engine/thread_pool.h"
 #include "exchange/solution_check.h"
 #include "reduction/sat_encoding.h"
 #include "sat/dpll.h"
@@ -91,6 +92,44 @@ BENCHMARK(BM_BoundedExistenceUnsat)
     ->Arg(4)->Arg(6)->Arg(8)->Arg(10)
     ->Unit(benchmark::kMillisecond)->Iterations(3);
 
+/// ISSUE 2 tentpole: the same complete exhaustion with the witness-choice
+/// odometer fanned over the work-stealing pool. Args = {n, workers}. The
+/// verdict, note and candidate count are byte-identical across worker
+/// counts (asserted in intra_solve_test); on an M-core machine the
+/// 2^n-candidate UNSAT scan approaches M-fold speedup since every
+/// candidate is independent. Compare {12,1} vs {12,4} for the headline
+/// ratio (expect >= 1.5x at 4 workers on >= 4 cores).
+void BM_BoundedExistenceUnsatIntra(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const size_t workers = static_cast<size_t>(state.range(1));
+  Universe universe;
+  Result<SatEncodedExchange> enc = EncodeSatToSetting(
+      MakeFormula(n, /*satisfiable=*/false, 77), universe,
+      ReductionMode::kEgd);
+  ThreadPool pool(workers > 1 ? workers - 1 : 1);
+  ExistenceOptions options;
+  options.strategy = ExistenceStrategy::kBoundedSearch;
+  options.instantiation.max_edges_per_witness = 1;
+  options.instantiation.max_witnesses_per_edge = 2;
+  options.intra_solve_threads = workers;
+  options.intra_pool = workers > 1 ? &pool : nullptr;
+  options.parallel_min_ranks = 2;
+  size_t candidates = 0;
+  for (auto _ : state) {
+    ExistenceReport report = ExistenceSolver(&eval, options)
+                                 .Decide(enc->setting, *enc->instance,
+                                         universe);
+    benchmark::DoNotOptimize(report);
+    candidates = report.candidates_tried;
+  }
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["workers"] = static_cast<double>(workers);
+}
+BENCHMARK(BM_BoundedExistenceUnsatIntra)
+    ->Args({10, 1})->Args({10, 2})->Args({10, 4})
+    ->Args({12, 1})->Args({12, 2})->Args({12, 4})
+    ->Unit(benchmark::kMillisecond)->Iterations(3)->UseRealTime();
+
 /// The DPLL-backed exact solver on the same UNSAT family: near-linear in
 /// the encoding size here (unit propagation closes it).
 void BM_SatBackedExistenceUnsat(benchmark::State& state) {
@@ -111,6 +150,34 @@ void BM_SatBackedExistenceUnsat(benchmark::State& state) {
 BENCHMARK(BM_SatBackedExistenceUnsat)
     ->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(14)->Arg(18)
     ->Unit(benchmark::kMillisecond);
+
+/// Cube-and-conquer SAT existence (ISSUE 2): 2^4 per-worker DPLL cubes on
+/// the phase-transition-hard random family. Args = {n, workers}.
+void BM_SatBackedExistenceCubesIntra(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const size_t workers = static_cast<size_t>(state.range(1));
+  Universe universe;
+  Rng rng(55);
+  Result<SatEncodedExchange> enc = EncodeSatToSetting(
+      RandomKSat(n, static_cast<int>(n * 4.26), 3, rng), universe,
+      ReductionMode::kEgd);
+  ThreadPool pool(workers > 1 ? workers - 1 : 1);
+  ExistenceOptions options;
+  options.strategy = ExistenceStrategy::kSatBacked;
+  options.intra_solve_threads = workers;
+  options.intra_pool = workers > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    ExistenceReport report = ExistenceSolver(&eval, options)
+                                 .Decide(enc->setting, *enc->instance,
+                                         universe);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["workers"] = static_cast<double>(workers);
+}
+BENCHMARK(BM_SatBackedExistenceCubesIntra)
+    ->Args({18, 1})->Args({18, 2})->Args({18, 4})
+    ->Args({22, 1})->Args({22, 4})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 /// Satisfiable (planted) family: both solvers find a witness; the bounded
 /// search stops early once a solution verifies.

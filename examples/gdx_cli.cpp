@@ -14,10 +14,13 @@
 //                                         "_:n" for nulls)
 //   gdx_cli batch <a.gdx> <b.gdx> ...     solve many scenarios concurrently
 //           [--threads=N] [--repeat=K]    through the BatchExecutor and
-//                                         print the Metrics summary
+//           [--intra-threads=N]           print the Metrics summary;
+//                                         --intra-threads fans each solve's
+//                                         witness search over N workers
 //
 // Try:  ./gdx_cli example22.gdx certain
 //       ./gdx_cli batch example22.gdx example22.gdx --threads=4 --repeat=8
+//       ./gdx_cli batch hard.gdx --threads=1 --intra-threads=4
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -94,6 +97,14 @@ int RunBatch(int argc, char** argv) {
         return 2;
       }
       options.num_threads = static_cast<size_t>(threads);
+    } else if (std::strncmp(arg, "--intra-threads=", 16) == 0) {
+      int threads = std::atoi(arg + 16);
+      if (threads < 0) {
+        std::fprintf(stderr,
+                     "--intra-threads must be >= 0 (0 = hardware)\n");
+        return 2;
+      }
+      options.engine.intra_solve_threads = static_cast<size_t>(threads);
     } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
       int parsed = std::atoi(arg + 9);
       if (parsed < 1) {
@@ -108,7 +119,7 @@ int RunBatch(int argc, char** argv) {
   if (paths.empty()) {
     std::fprintf(stderr,
                  "usage: gdx_cli batch <a.gdx> [b.gdx ...] [--threads=N] "
-                 "[--repeat=K]\n");
+                 "[--intra-threads=N] [--repeat=K]\n");
     return 2;
   }
   // --repeat=K loads each file K times: repeated scenarios exercise the
@@ -186,7 +197,7 @@ int main(int argc, char** argv) {
                  "usage: %s <scenario.gdx> "
                  "chase|exists|certain|solve|dot|check [graph-file]\n"
                  "       %s batch <a.gdx> [b.gdx ...] [--threads=N] "
-                 "[--repeat=K]\n",
+                 "[--intra-threads=N] [--repeat=K]\n",
                  argv[0], argv[0]);
     return 2;
   }

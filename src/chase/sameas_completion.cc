@@ -3,6 +3,7 @@
 #include "common/union_find.h"
 #include "graph/cnre.h"
 
+#include <optional>
 #include <unordered_map>
 
 namespace gdx {
@@ -46,10 +47,23 @@ size_t RstClose(Graph& g, SymbolId same_as) {
 
 Status CompleteSameAs(Graph& g,
                       const std::vector<SameAsConstraint>& constraints,
-                      Alphabet& alphabet, const NreEvaluator& eval,
+                      const Alphabet& alphabet, const NreEvaluator& eval,
                       SameAsCompletionStats* stats,
                       const SameAsCompletionOptions& options) {
-  const SymbolId same_as = alphabet.SameAsSymbol();
+  std::optional<SymbolId> same_as_id = alphabet.FindSameAs();
+  if (constraints.empty()) {
+    // No constraints to enforce. rst_closure may still close existing
+    // sameAs edges — but if the label was never interned, no edge can
+    // carry it and the closure is vacuous too.
+    if (!options.rst_closure || !same_as_id.has_value()) {
+      return Status::Ok();
+    }
+  } else if (!same_as_id.has_value()) {
+    return Status::FailedPrecondition(
+        "sameAs label not interned; build sameAs constraints through the "
+        "setting's Alphabet before completing");
+  }
+  const SymbolId same_as = *same_as_id;
   for (size_t round = 0; round < options.max_rounds; ++round) {
     size_t added = 0;
     // Bodies may mention sameAs, so matchers are rebuilt each round.

@@ -33,9 +33,15 @@ struct SameAsCompletionStats {
 /// edges until fixpoint. This realizes the paper's observation that
 /// existence of solutions is trivial for sameAs constraints: any graph can
 /// be completed by adding edges — even between constants.
+///
+/// Takes the alphabet by const reference so concurrent intra-solve workers
+/// can share it without racing on the interner: the sameAs label must
+/// already be interned (constructing any sameAs constraint does that);
+/// otherwise FAILED_PRECONDITION is returned. No-op Ok() when
+/// `constraints` is empty.
 Status CompleteSameAs(Graph& g,
                       const std::vector<SameAsConstraint>& constraints,
-                      Alphabet& alphabet, const NreEvaluator& eval,
+                      const Alphabet& alphabet, const NreEvaluator& eval,
                       SameAsCompletionStats* stats = nullptr,
                       const SameAsCompletionOptions& options = {});
 

@@ -1,0 +1,188 @@
+#include "common/parallel_search.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gdx {
+namespace {
+
+/// Completion latch for the workers one search borrows from the shared
+/// pool. ThreadPool::Wait() waits for *every* pending task — including
+/// sibling solves' — so each search counts down its own tasks instead.
+class Latch {
+ public:
+  explicit Latch(size_t count) : outstanding_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--outstanding_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t outstanding_;
+};
+
+}  // namespace
+
+size_t ParallelSearch::NumWorkers(size_t num_ranks) const {
+  if (options_.pool == nullptr || options_.max_workers == 1 ||
+      num_ranks < options_.min_parallel_ranks) {
+    return 1;
+  }
+  size_t cap = options_.max_workers == 0 ? options_.pool->num_threads() + 1
+                                         : options_.max_workers;
+  size_t chunk = std::max<size_t>(1, options_.chunk_size);
+  size_t chunks = (num_ranks + chunk - 1) / chunk;
+  return std::max<size_t>(1, std::min(cap, chunks));
+}
+
+size_t ParallelSearch::EffectiveChunk(size_t num_ranks,
+                                      size_t workers) const {
+  size_t chunk = std::max<size_t>(1, options_.chunk_size);
+  // Aim for >= 4 chunks per worker so a skewed-cost chunk cannot strand
+  // the others idle; never below 1.
+  size_t balanced = std::max<size_t>(1, num_ranks / (workers * 4));
+  return std::min(chunk, balanced);
+}
+
+void ParallelSearch::RunWorkers(
+    size_t workers, const std::function<void(size_t)>& body) const {
+  auto run = [this, &body](size_t worker) {
+    if (options_.wrap_worker) {
+      options_.wrap_worker(worker, [&body, worker] { body(worker); });
+    } else {
+      body(worker);
+    }
+  };
+  if (workers <= 1 || options_.pool == nullptr) {
+    run(0);
+    return;
+  }
+  Latch latch(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    options_.pool->Submit([&run, &latch, w] {
+      run(w);
+      latch.CountDown();
+    });
+  }
+  run(0);  // The caller always participates: progress without pool slots.
+  latch.Wait();
+}
+
+size_t ParallelSearch::FindFirst(
+    size_t num_ranks,
+    const std::function<bool(size_t, size_t)>& visit) const {
+  if (num_ranks == 0) return kNotFound;
+  const size_t workers = NumWorkers(num_ranks);
+  const size_t chunk = EffectiveChunk(num_ranks, workers);
+  const size_t num_chunks = (num_ranks + chunk - 1) / chunk;
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> best{kNotFound};
+
+  RunWorkers(workers, [&](size_t worker) {
+    for (;;) {
+      if (Cancelled()) return;
+      size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      size_t begin = c * chunk;
+      // Chunks are handed out in rank order: once one starts at or above
+      // the best hit, so does every later one — this worker is done.
+      if (begin >= best.load(std::memory_order_acquire)) return;
+      size_t end = std::min(begin + chunk, num_ranks);
+      for (size_t r = begin; r < end; ++r) {
+        if (r >= best.load(std::memory_order_acquire)) break;
+        if (Cancelled()) return;
+        if (visit(r, worker)) {
+          size_t cur = best.load(std::memory_order_relaxed);
+          while (r < cur && !best.compare_exchange_weak(
+                                cur, r, std::memory_order_acq_rel)) {
+          }
+          break;  // Later ranks in this chunk are > r: irrelevant.
+        }
+      }
+    }
+  });
+  return best.load(std::memory_order_acquire);
+}
+
+void ParallelSearch::ScanAll(
+    size_t num_ranks, const std::function<void(size_t, size_t)>& visit,
+    const std::function<size_t(size_t)>& on_prefix) const {
+  if (num_ranks == 0) {
+    if (on_prefix) on_prefix(0);
+    return;
+  }
+  const size_t workers = NumWorkers(num_ranks);
+  const size_t chunk = EffectiveChunk(num_ranks, workers);
+  const size_t num_chunks = (num_ranks + chunk - 1) / chunk;
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> ceiling{num_ranks};
+
+  // Contiguous-prefix bookkeeping (a chunk "completes" once every rank in
+  // it below the ceiling has been visited; ranks above the ceiling are
+  // dead by the on_prefix contract, so skipped chunks complete too).
+  std::mutex done_mutex;
+  std::vector<char> chunk_done(num_chunks, 0);
+  size_t done_prefix = 0;
+  // Lock-free mirror of done_prefix for the lead-window check below.
+  std::atomic<size_t> prefix_chunks{0};
+
+  auto complete_chunk = [&](size_t c) {
+    std::lock_guard<std::mutex> lock(done_mutex);
+    chunk_done[c] = 1;
+    bool advanced = false;
+    while (done_prefix < num_chunks && chunk_done[done_prefix]) {
+      ++done_prefix;
+      advanced = true;
+    }
+    prefix_chunks.store(done_prefix, std::memory_order_release);
+    if (advanced && on_prefix) {
+      size_t prefix_ranks = std::min(done_prefix * chunk, num_ranks);
+      size_t cap = on_prefix(prefix_ranks);
+      if (cap != kNotFound) {
+        size_t cur = ceiling.load(std::memory_order_relaxed);
+        while (cap < cur && !ceiling.compare_exchange_weak(
+                                cur, cap, std::memory_order_acq_rel)) {
+        }
+      }
+    }
+  };
+
+  const size_t max_lead = options_.max_lead_chunks;
+  RunWorkers(workers, [&](size_t worker) {
+    for (;;) {
+      if (Cancelled()) return;
+      size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      // Lead window: don't sprint ahead of the merge frontier. The owner
+      // of the first incomplete chunk has c == prefix_chunks, which is
+      // always inside the window — so someone always progresses.
+      while (max_lead != 0 &&
+             c >= prefix_chunks.load(std::memory_order_acquire) + max_lead) {
+        if (Cancelled()) return;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      size_t begin = c * chunk;
+      size_t end = std::min(begin + chunk, num_ranks);
+      for (size_t r = begin; r < end; ++r) {
+        if (r >= ceiling.load(std::memory_order_acquire)) break;
+        if (Cancelled()) return;
+        visit(r, worker);
+      }
+      complete_chunk(c);
+    }
+  });
+}
+
+}  // namespace gdx

@@ -1,0 +1,126 @@
+#ifndef GDX_COMMON_PARALLEL_SEARCH_H_
+#define GDX_COMMON_PARALLEL_SEARCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+#include "common/thread_pool.h"
+
+namespace gdx {
+
+/// Cooperative cancellation flag shared between a solve and its workers
+/// (ISSUE 2 tentpole). Requesting a stop is advisory: workers and the DPLL
+/// inner loop poll it and abandon their current subrange / cube, turning
+/// the whole solve into a sound "unknown". Distinct from the *internal*
+/// rank ceiling ParallelSearch uses for deterministic early exit.
+class CancellationToken {
+ public:
+  void RequestStop() { stop_.store(true, std::memory_order_release); }
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+  /// The raw flag, for components that poll without depending on this
+  /// header's type (e.g. DpllConfig::cancel).
+  const std::atomic<bool>* flag() const { return &stop_; }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+/// Tuning of one ParallelSearch instance. All fields are borrowed; the
+/// caller keeps pool/cancel alive for the duration of the search calls.
+struct ParallelSearchOptions {
+  /// Pool the extra workers are submitted to. nullptr (or max_workers <= 1)
+  /// degrades to a caller-thread-only scan — same visiting order semantics,
+  /// zero thread traffic.
+  ThreadPool* pool = nullptr;
+  /// Worker count *including* the calling thread (which always
+  /// participates, so a saturated pool can never stall a search).
+  /// 0 = pool size + 1.
+  size_t max_workers = 1;
+  /// Ranks per work unit. The effective chunk shrinks for small spaces so
+  /// every worker gets several units (load balance on skewed costs).
+  size_t chunk_size = 64;
+  /// ScanAll only: how far (in chunks) a worker may run ahead of the
+  /// contiguous completed prefix. Bounds the backlog of visited-but-
+  /// unmerged ranks when one slow chunk stalls the prefix — otherwise a
+  /// solution-dense scan could buffer results for the whole space before
+  /// the on_prefix cap kicks in. Workers past the window briefly sleep
+  /// until the prefix catches up; the chunk owner advancing the prefix is
+  /// never past it, so the window cannot deadlock. 0 = unbounded.
+  size_t max_lead_chunks = 64;
+  /// Spaces smaller than this are scanned on the caller thread only — the
+  /// fan-out overhead would dominate.
+  size_t min_parallel_ranks = 128;
+  /// Optional external hard abort (see CancellationToken). When it fires,
+  /// FindFirst/ScanAll return early and their result is *not* the
+  /// deterministic full answer; callers report "cancelled"/unknown.
+  const CancellationToken* cancel = nullptr;
+  /// Wraps every worker's whole run (including the caller thread's), e.g.
+  /// to install thread-local per-solve metric sinks. Must invoke `body`
+  /// exactly once.
+  std::function<void(size_t worker, const std::function<void()>& body)>
+      wrap_worker;
+};
+
+/// Deterministic fan-out over a rank space [0, num_ranks) — the
+/// witness-choice odometer of the bounded existence search, flattened to
+/// mixed-radix ranks (ISSUE 2 tentpole). Work is handed out as contiguous
+/// chunks from an atomic cursor; early exit is a monotonically decreasing
+/// *rank ceiling*: ranks at or above it are provably irrelevant to the
+/// result and are abandoned, ranks below it are always fully visited. That
+/// invariant is what makes the outcome identical for any worker count,
+/// including 1.
+class ParallelSearch {
+ public:
+  static constexpr size_t kNotFound = ~static_cast<size_t>(0);
+
+  explicit ParallelSearch(ParallelSearchOptions options = {})
+      : options_(options) {}
+
+  /// First-hit search: visits ranks until the *minimal* rank whose
+  /// visit(rank, worker) returns true is known, then returns it (or
+  /// kNotFound). Exactly the sequential first-hit: a worker that finds a
+  /// hit lowers the ceiling to its rank; workers scanning lower ranks run
+  /// on until they pass it. `visit` runs concurrently and must be
+  /// thread-safe; `worker` ∈ [0, NumWorkers(num_ranks)).
+  size_t FindFirst(
+      size_t num_ranks,
+      const std::function<bool(size_t rank, size_t worker)>& visit) const;
+
+  /// Full scan with order-stable incremental merging: every rank below the
+  /// current ceiling is visited exactly once. Each time the *contiguous*
+  /// prefix of fully-visited ranks grows, on_prefix(prefix_ranks) is
+  /// invoked (serialized, monotone prefix_ranks, final call sees
+  /// num_ranks); it may return a new, lower ceiling — ranks >= it are
+  /// abandoned — or kNotFound to keep the current one. This is the seam
+  /// solution enumeration uses to dedup + cap in rank order while the scan
+  /// is still running.
+  void ScanAll(
+      size_t num_ranks,
+      const std::function<void(size_t rank, size_t worker)>& visit,
+      const std::function<size_t(size_t prefix_ranks)>& on_prefix) const;
+
+  /// Effective worker count for a space of `num_ranks` (1 when the space is
+  /// under min_parallel_ranks or no pool is available).
+  size_t NumWorkers(size_t num_ranks) const;
+
+  const ParallelSearchOptions& options() const { return options_; }
+
+ private:
+  size_t EffectiveChunk(size_t num_ranks, size_t workers) const;
+  /// Runs body(0) on the caller and body(1..workers-1) on the pool; blocks
+  /// until all return. Applies wrap_worker around each.
+  void RunWorkers(size_t workers,
+                  const std::function<void(size_t worker)>& body) const;
+  bool Cancelled() const {
+    return options_.cancel != nullptr && options_.cancel->stop_requested();
+  }
+
+  ParallelSearchOptions options_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_COMMON_PARALLEL_SEARCH_H_

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/interner.h"
 #include "common/value.h"
@@ -54,6 +55,39 @@ class Universe {
 
   size_t num_constants() const { return constants_.size(); }
   size_t num_nulls() const { return null_labels_.size(); }
+
+  // --- Re-entrant search support (ISSUE 2 tentpole) -----------------------
+  //
+  // The parallel witness search gives every worker a cheap private copy of
+  // the universe and rolls each candidate's fresh-null draws back before
+  // trying the next one. Null ids therefore depend only on the candidate's
+  // own allocations — the property that makes solve outputs identical for
+  // any intra-solve worker count. Constants are never interned during a
+  // search (only at parse/build time), so copies agree on all constants.
+
+  /// A rollback point: the current null count.
+  size_t NullMark() const { return null_labels_.size(); }
+
+  /// Discards every null manufactured after `mark`. The caller must not
+  /// retain Values for the discarded nulls.
+  void RollbackNulls(size_t mark) {
+    if (mark < null_labels_.size()) null_labels_.resize(mark);
+  }
+
+  /// The labels of all nulls manufactured after `mark` (snapshot for
+  /// merging a worker's winning candidate back into the shared universe).
+  std::vector<std::string> NullLabelsSince(size_t mark) const {
+    if (mark >= null_labels_.size()) return {};
+    return std::vector<std::string>(null_labels_.begin() + mark,
+                                    null_labels_.end());
+  }
+
+  /// Appends label strings verbatim — used to adopt a worker's winning
+  /// nulls. Ids line up iff this universe currently holds exactly the
+  /// nulls the worker's copy held at its mark.
+  void AppendNullLabels(const std::vector<std::string>& labels) {
+    null_labels_.insert(null_labels_.end(), labels.begin(), labels.end());
+  }
 
  private:
   StringInterner constants_;

@@ -41,8 +41,10 @@ BatchReport BatchExecutor::SolveAll(std::vector<Scenario>& scenarios) {
       case ExistenceVerdict::kUnknown: ++report.unknown; break;
     }
   }
-  // Replace the overlapping per-solve cache deltas with the exact
-  // batch-wide ones.
+  // Report the batch-wide cache deltas. Per-solve counters are exact too
+  // (thread-local attribution, ISSUE 2) and their accumulated sum equals
+  // these deltas; taking the cache's own numbers keeps the report correct
+  // even if an out-of-band client hits the shared cache mid-batch.
   CacheStats cache_after = engine_.cache().stats();
   report.total.nre_cache_hits = cache_after.nre_hits - cache_before.nre_hits;
   report.total.nre_cache_misses =

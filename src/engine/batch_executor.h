@@ -20,8 +20,9 @@ struct BatchOptions {
 /// regardless of which worker solved it or in what order workers finished.
 struct BatchReport {
   std::vector<Result<ExchangeOutcome>> outcomes;
-  /// Accumulated per-solve metrics; the cache counters are the batch-wide
-  /// deltas (per-solve deltas overlap under a shared concurrent cache).
+  /// Accumulated per-solve metrics. Since ISSUE 2 the per-solve cache
+  /// counters are exact (thread-local attribution) and sum to the
+  /// batch-wide cache deltas reported here.
   Metrics total;
   double wall_seconds = 0;
   size_t num_threads = 0;

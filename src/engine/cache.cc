@@ -104,21 +104,82 @@ std::string EngineCache::AnswerKey(const CnreQuery& query, const Graph& g) {
   return key;
 }
 
+namespace {
+
+/// The calling thread's per-solve attribution sink (ISSUE 2 satellite).
+/// One thread serves one solve at a time — the engine installs the sink
+/// around Solve and around every intra-solve worker's run.
+thread_local PerSolveCacheStats* g_solve_sink = nullptr;
+
+}  // namespace
+
+ScopedCacheAttribution::ScopedCacheAttribution(PerSolveCacheStats* sink)
+    : previous_(g_solve_sink) {
+  g_solve_sink = sink;
+}
+
+ScopedCacheAttribution::~ScopedCacheAttribution() {
+  g_solve_sink = previous_;
+}
+
+void EngineCache::TouchNre(NreEntry& entry) {
+  nre_lru_.splice(nre_lru_.begin(), nre_lru_, entry.lru);
+}
+
+void EngineCache::TouchAnswers(AnswerBucket& bucket) {
+  answer_lru_.splice(answer_lru_.begin(), answer_lru_, bucket.lru);
+}
+
+void EngineCache::EvictOverCap() {
+  // Called with mutex_ held. LRU keys fall off the back of each list.
+  if (options_.max_nre_entries != 0) {
+    while (nre_memo_.size() > options_.max_nre_entries) {
+      nre_memo_.erase(nre_lru_.back());
+      nre_lru_.pop_back();
+      ++stats_.nre_evictions;
+    }
+  }
+  if (options_.max_answer_keys != 0) {
+    while (answer_memo_.size() > options_.max_answer_keys) {
+      auto it = answer_memo_.find(answer_lru_.back());
+      answer_entries_ -= it->second.entries.size();
+      answer_memo_.erase(it);
+      answer_lru_.pop_back();
+      ++stats_.answer_evictions;
+    }
+  }
+}
+
 bool EngineCache::LookupNre(const std::string& key, BinaryRelation* out) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = nre_memo_.find(key);
   if (it == nre_memo_.end()) {
     ++stats_.nre_misses;
+    if (g_solve_sink != nullptr) {
+      g_solve_sink->nre_misses.fetch_add(1, std::memory_order_relaxed);
+    }
     return false;
   }
   ++stats_.nre_hits;
-  *out = it->second;
+  if (g_solve_sink != nullptr) {
+    g_solve_sink->nre_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  TouchNre(it->second);
+  *out = it->second.relation;
   return true;
 }
 
 void EngineCache::StoreNre(std::string key, BinaryRelation relation) {
   std::lock_guard<std::mutex> lock(mutex_);
-  nre_memo_.emplace(std::move(key), std::move(relation));
+  auto it = nre_memo_.find(key);
+  if (it != nre_memo_.end()) {
+    TouchNre(it->second);
+    return;  // racing workers computed the same relation; keep the first
+  }
+  nre_lru_.push_front(key);
+  nre_memo_.emplace(std::move(key),
+                    NreEntry{std::move(relation), nre_lru_.begin()});
+  EvictOverCap();
 }
 
 bool EngineCache::LookupAnswers(const std::string& key, const Graph& g,
@@ -126,15 +187,22 @@ bool EngineCache::LookupAnswers(const std::string& key, const Graph& g,
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = answer_memo_.find(key);
   if (it != answer_memo_.end()) {
-    for (const AnswerEntry& entry : it->second) {
+    for (const AnswerEntry& entry : it->second.entries) {
       if (IsomorphicUpToNulls(g, entry.graph)) {
         ++stats_.answer_hits;
+        if (g_solve_sink != nullptr) {
+          g_solve_sink->answer_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        TouchAnswers(it->second);
         *out = entry.answers;
         return true;
       }
     }
   }
   ++stats_.answer_misses;
+  if (g_solve_sink != nullptr) {
+    g_solve_sink->answer_misses.fetch_add(1, std::memory_order_relaxed);
+  }
   return false;
 }
 
@@ -144,14 +212,33 @@ void EngineCache::StoreAnswers(const std::string& key, const Graph& g,
   // (the key pins the null-blind shape), so 8 entries is plenty.
   constexpr size_t kMaxEntriesPerKey = 8;
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<AnswerEntry>& bucket = answer_memo_[key];
-  if (bucket.size() >= kMaxEntriesPerKey) return;
-  bucket.push_back(AnswerEntry{g, std::move(answers)});
+  auto it = answer_memo_.find(key);
+  if (it == answer_memo_.end()) {
+    answer_lru_.push_front(key);
+    it = answer_memo_.emplace(key, AnswerBucket{{}, answer_lru_.begin()})
+             .first;
+  } else {
+    TouchAnswers(it->second);
+  }
+  AnswerBucket& bucket = it->second;
+  if (bucket.entries.size() >= kMaxEntriesPerKey) return;
+  bucket.entries.push_back(AnswerEntry{g, std::move(answers)});
+  ++answer_entries_;
+  EvictOverCap();
 }
 
 CacheStats EngineCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+CacheSizes EngineCache::sizes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheSizes out;
+  out.nre_entries = nre_memo_.size();
+  out.answer_keys = answer_memo_.size();
+  out.answer_entries = answer_entries_;
+  return out;
 }
 
 void EngineCache::ResetStats() {
@@ -162,7 +249,10 @@ void EngineCache::ResetStats() {
 void EngineCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   nre_memo_.clear();
+  nre_lru_.clear();
   answer_memo_.clear();
+  answer_lru_.clear();
+  answer_entries_ = 0;
   stats_ = CacheStats{};
 }
 

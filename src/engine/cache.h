@@ -1,7 +1,9 @@
 #ifndef GDX_ENGINE_CACHE_H_
 #define GDX_ENGINE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -18,12 +20,68 @@ struct CacheStats {
   uint64_t nre_misses = 0;
   uint64_t answer_hits = 0;
   uint64_t answer_misses = 0;
+  uint64_t nre_evictions = 0;
+  uint64_t answer_evictions = 0;
 
   uint64_t hits() const { return nre_hits + answer_hits; }
   uint64_t misses() const { return nre_misses + answer_misses; }
+  uint64_t evictions() const { return nre_evictions + answer_evictions; }
 };
 
-/// Thread-safe engine-level memo tables (ISSUE tentpole part 3):
+/// Live entry counts of the cache (see EngineCache::sizes).
+struct CacheSizes {
+  size_t nre_entries = 0;
+  size_t answer_keys = 0;
+  size_t answer_entries = 0;
+};
+
+/// Size caps of the engine cache (ISSUE 2: long-running services must not
+/// grow without bound). Eviction is LRU at entry granularity for the NRE
+/// memo and at key granularity for the answer memo. 0 = unbounded.
+struct EngineCacheOptions {
+  size_t max_nre_entries = 1u << 16;
+  size_t max_answer_keys = 1u << 13;
+};
+
+/// Per-solve cache traffic sink (ISSUE 2 satellite): one instance lives on
+/// a Solve's stack; every thread working for that solve — the caller and
+/// the intra-solve workers — installs it via ScopedCacheAttribution, so
+/// concurrent sibling solves no longer bleed into each other's per-solve
+/// counters. Atomic because several workers of one solve increment it at
+/// once. Summed per-solve snapshots equal the batch-wide stats() delta
+/// exactly.
+struct PerSolveCacheStats {
+  std::atomic<uint64_t> nre_hits{0};
+  std::atomic<uint64_t> nre_misses{0};
+  std::atomic<uint64_t> answer_hits{0};
+  std::atomic<uint64_t> answer_misses{0};
+
+  CacheStats Snapshot() const {
+    CacheStats out;
+    out.nre_hits = nre_hits.load(std::memory_order_relaxed);
+    out.nre_misses = nre_misses.load(std::memory_order_relaxed);
+    out.answer_hits = answer_hits.load(std::memory_order_relaxed);
+    out.answer_misses = answer_misses.load(std::memory_order_relaxed);
+    return out;
+  }
+};
+
+/// RAII installer of the calling thread's per-solve sink (thread-local;
+/// restores the previous sink on destruction, so nested scopes and pool
+/// workers serving different solves in sequence attribute correctly).
+class ScopedCacheAttribution {
+ public:
+  explicit ScopedCacheAttribution(PerSolveCacheStats* sink);
+  ~ScopedCacheAttribution();
+  ScopedCacheAttribution(const ScopedCacheAttribution&) = delete;
+  ScopedCacheAttribution& operator=(const ScopedCacheAttribution&) = delete;
+
+ private:
+  PerSolveCacheStats* previous_;
+};
+
+/// Thread-safe engine-level memo tables (PR 1 tentpole part 3; LRU-capped
+/// and per-solve attributed since ISSUE 2):
 ///
 ///  * NRE memo — ⟦r⟧_G keyed by the NRE's raw structure (kinds + symbol
 ///    ids) and the graph's exact RawSignature. Both are name-free and
@@ -40,6 +98,9 @@ struct CacheStats {
 ///    solves and across scenarios.
 class EngineCache {
  public:
+  explicit EngineCache(EngineCacheOptions options = {})
+      : options_(options) {}
+
   /// The NRE-memo key for ⟦nre⟧_g (raw NRE structure + exact graph raw
   /// signature). Compute once per evaluation and reuse for lookup + store.
   static std::string NreKey(const NrePtr& nre, const Graph& g);
@@ -61,18 +122,36 @@ class EngineCache {
                     std::vector<std::vector<Value>> answers);
 
   CacheStats stats() const;
+  CacheSizes sizes() const;
+  const EngineCacheOptions& options() const { return options_; }
   void ResetStats();
   void Clear();
 
  private:
+  struct NreEntry {
+    BinaryRelation relation;
+    std::list<std::string>::iterator lru;
+  };
   struct AnswerEntry {
     Graph graph;  // retained for the isomorphism verification on lookup
     std::vector<std::vector<Value>> answers;
   };
+  struct AnswerBucket {
+    std::vector<AnswerEntry> entries;
+    std::list<std::string>::iterator lru;
+  };
 
+  void TouchNre(NreEntry& entry);
+  void TouchAnswers(AnswerBucket& bucket);
+  void EvictOverCap();
+
+  EngineCacheOptions options_;
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, BinaryRelation> nre_memo_;
-  std::unordered_map<std::string, std::vector<AnswerEntry>> answer_memo_;
+  std::unordered_map<std::string, NreEntry> nre_memo_;
+  std::list<std::string> nre_lru_;  // front = most recently used
+  std::unordered_map<std::string, AnswerBucket> answer_memo_;
+  std::list<std::string> answer_lru_;
+  size_t answer_entries_ = 0;
   CacheStats stats_;
 };
 

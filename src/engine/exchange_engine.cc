@@ -42,6 +42,11 @@ ExistenceOptions EngineOptions::ToExistenceOptions() const {
   out.max_candidates = max_candidates;
   out.target_tgd_max_rounds = target_tgd_max_rounds;
   out.dedup_isomorphic = dedup_isomorphic;
+  out.intra_solve_threads = intra_solve_threads;
+  out.sat_cube_vars = sat_cube_vars;
+  // intra_pool / worker_scope / cancel are per-call wiring the engine adds
+  // in MakeExistenceOptions; hand-wired solvers run sequentially unless
+  // the caller supplies a pool of their own.
   return out;
 }
 
@@ -78,7 +83,7 @@ std::string ExchangeOutcome::ToString(const Universe& universe,
 }
 
 ExchangeEngine::ExchangeEngine(EngineOptions options)
-    : options_(options), cache_(new EngineCache) {
+    : options_(options), cache_(new EngineCache(options.cache)) {
   if (options_.evaluator == EvaluatorKind::kNaive) {
     base_eval_.reset(new NaiveNreEvaluator);
   } else {
@@ -88,10 +93,35 @@ ExchangeEngine::ExchangeEngine(EngineOptions options)
     caching_eval_.reset(new CachingNreEvaluator(base_eval_.get(),
                                                 cache_.get()));
   }
+  // 0 resolves to hardware concurrency; the caller thread is worker 0, so
+  // the pool only needs the extra ones. All concurrent Solves share it.
+  size_t workers = intra_solve_threads();
+  if (workers > 1) intra_pool_.reset(new ThreadPool(workers - 1));
+}
+
+size_t ExchangeEngine::intra_solve_threads() const {
+  return options_.intra_solve_threads == 0 ? ThreadPool::DefaultThreads()
+                                           : options_.intra_solve_threads;
+}
+
+ExistenceOptions ExchangeEngine::MakeExistenceOptions(
+    PerSolveCacheStats* sink, const CancellationToken* cancel) const {
+  ExistenceOptions out = options_.ToExistenceOptions();
+  out.intra_solve_threads = intra_solve_threads();
+  out.intra_pool = intra_pool_.get();
+  out.cancel = cancel;
+  // Intra-solve workers serve *this* solve: route their cache traffic to
+  // its sink (exact per-solve attribution under concurrent batches).
+  out.worker_scope = [sink](size_t /*worker*/,
+                            const std::function<void()>& body) {
+    ScopedCacheAttribution attribution(sink);
+    body();
+  };
+  return out;
 }
 
 Result<ExchangeOutcome> ExchangeEngine::Solve(
-    const Scenario& scenario) const {
+    const Scenario& scenario, const CancellationToken* cancel) const {
   if (scenario.universe == nullptr || scenario.instance == nullptr ||
       scenario.alphabet == nullptr) {
     return Status::InvalidArgument(
@@ -101,7 +131,13 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
   ExchangeOutcome out;
   Metrics& m = out.metrics;
   m.scenarios = 1;
-  CacheStats cache_before = cache_->stats();
+  // Per-solve cache attribution (ISSUE 2 satellite): this sink collects
+  // every cache touch made on this solve's behalf — from this thread and
+  // from the intra-solve workers, which install it via worker_scope.
+  PerSolveCacheStats solve_cache;
+  ScopedCacheAttribution attribution(&solve_cache);
+  ExistenceOptions existence_options =
+      MakeExistenceOptions(&solve_cache, cancel);
   {
     StageTimer total(&m.total_seconds);
 
@@ -133,7 +169,7 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
     // Stage 2 — existence decision under the configured policy.
     if (!chase_refuted) {
       StageTimer t(&m.existence_seconds);
-      ExistenceSolver solver(&eval, options_.ToExistenceOptions());
+      ExistenceSolver solver(&eval, existence_options);
       out.existence =
           solver.Decide(scenario.setting, *scenario.instance,
                         *scenario.universe);
@@ -157,14 +193,16 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
     // already settles them (no solution: every tuple is vacuously
     // certain), so skip the enumeration — it would only redo the failing
     // chase.
-    if (scenario.query != nullptr && options_.compute_certain_answers) {
+    if (scenario.query != nullptr && options_.compute_certain_answers &&
+        (cancel == nullptr || !cancel->stop_requested())) {
       StageTimer t(&m.certain_seconds);
       if (chase_refuted) {
         CertainAnswerResult vacuous;
         vacuous.no_solution = true;
         out.certain = std::move(vacuous);
       } else {
-        out.certain = ComputeCertainAnswers(scenario, out.existence);
+        out.certain =
+            ComputeCertainAnswers(scenario, out.existence, existence_options);
       }
       m.solutions_enumerated = out.certain->solutions_considered;
     }
@@ -178,27 +216,33 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
     }
   }
 
-  // Per-solve cache deltas. Under concurrent batch solving these include
-  // sibling solves' traffic (the cache is shared by design); the
-  // BatchExecutor therefore reports batch-wide deltas instead of summing
-  // per-solve numbers.
-  CacheStats cache_after = cache_->stats();
-  m.nre_cache_hits = cache_after.nre_hits - cache_before.nre_hits;
-  m.nre_cache_misses = cache_after.nre_misses - cache_before.nre_misses;
-  m.answer_cache_hits = cache_after.answer_hits - cache_before.answer_hits;
-  m.answer_cache_misses =
-      cache_after.answer_misses - cache_before.answer_misses;
+  // Exact per-solve cache counters from this solve's own sink — no
+  // overlap with concurrent sibling solves; their sums reproduce the
+  // batch-wide deltas (BatchExecutor cross-checks that).
+  CacheStats solve_delta = solve_cache.Snapshot();
+  m.nre_cache_hits = solve_delta.nre_hits;
+  m.nre_cache_misses = solve_delta.nre_misses;
+  m.answer_cache_hits = solve_delta.answer_hits;
+  m.answer_cache_misses = solve_delta.answer_misses;
   return out;
 }
 
 CertainAnswerResult ExchangeEngine::ComputeCertainAnswers(
-    const Scenario& scenario, const ExistenceReport& existence) const {
+    const Scenario& scenario, const ExistenceReport& existence,
+    const ExistenceOptions& existence_options) const {
   const NreEvaluator& eval = evaluator();
   CertainAnswerResult result;
-  ExistenceSolver solver(&eval, options_.ToExistenceOptions());
+  ExistenceSolver solver(&eval, existence_options);
   std::vector<Graph> solutions = solver.EnumerateSolutions(
       scenario.setting, *scenario.instance, *scenario.universe,
       options_.max_solutions);
+  if (existence_options.cancel != nullptr &&
+      existence_options.cancel->stop_requested()) {
+    // A cancelled enumeration is truncated arbitrarily; intersecting over
+    // it would over-approximate the certain answers. Report the sound
+    // empty set ("nothing certified") instead.
+    return result;
+  }
   result.solutions_considered = solutions.size();
   if (solutions.empty()) {
     // Stage 2 already decided existence under the same options — reuse it

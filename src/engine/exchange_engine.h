@@ -54,6 +54,21 @@ struct EngineOptions {
   bool verify_witness = true;
   /// Memoize NRE evaluations and per-solution answer sets.
   bool enable_cache = true;
+  /// Size caps of the engine cache (LRU eviction; see EngineCacheOptions).
+  EngineCacheOptions cache;
+
+  /// Intra-solve parallelism (ISSUE 2 tentpole): workers — including the
+  /// calling thread — that one Solve's bounded existence search, solution
+  /// enumeration and SAT cube deck fan out over. 1 = sequential (default);
+  /// 0 = hardware concurrency. The engine owns the backing pool; outcomes
+  /// are byte-identical for every value of this knob. Orthogonal to
+  /// BatchOptions::num_threads (scenario-level parallelism): typical
+  /// deployments raise one of the two — batch threads for many small
+  /// scenarios, intra-solve threads for few hard ones.
+  size_t intra_solve_threads = 1;
+  /// Cube-and-conquer width of the SAT-backed path (2^k per-worker DPLL
+  /// cubes; 0 = single DPLL call). See ExistenceOptions::sat_cube_vars.
+  size_t sat_cube_vars = 4;
 
   ExistenceOptions ToExistenceOptions() const;
 };
@@ -84,7 +99,7 @@ struct ExchangeOutcome {
                        const Alphabet& alphabet) const;
 };
 
-/// The one-call orchestration subsystem (ISSUE tentpole): encapsulates the
+/// The one-call orchestration subsystem (PR 1 tentpole): encapsulates the
 /// full pipeline
 ///
 ///   s-t pattern chase → adapted egd chase → existence decision →
@@ -94,14 +109,23 @@ struct ExchangeOutcome {
 /// memo tables make repeated queries over the same target graph near-free.
 /// Solve is const and thread-safe: concurrent calls (the BatchExecutor's
 /// mode of operation) share the internally synchronized cache and touch
-/// only their own scenario's state.
+/// only their own scenario's state. With intra_solve_threads > 1 the
+/// engine additionally owns a work-stealing pool that every Solve's
+/// witness-choice search fans out over (ISSUE 2 tentpole) — concurrent
+/// solves share the pool, each waiting only on its own subranges.
 class ExchangeEngine {
  public:
   explicit ExchangeEngine(EngineOptions options = {});
 
   /// Runs the pipeline on one scenario. The scenario's universe accrues
   /// fresh nulls (as in any hand-wired run); setting/schemas are read-only.
-  Result<ExchangeOutcome> Solve(const Scenario& scenario) const;
+  /// `cancel` (optional, borrowed) aborts the solve cooperatively: a
+  /// cancelled solve reports ExistenceVerdict::kUnknown.
+  Result<ExchangeOutcome> Solve(const Scenario& scenario,
+                                const CancellationToken* cancel) const;
+  Result<ExchangeOutcome> Solve(const Scenario& scenario) const {
+    return Solve(scenario, nullptr);
+  }
 
   const EngineOptions& options() const { return options_; }
   /// The evaluator the pipeline runs on (cache-decorated when enabled).
@@ -111,15 +135,27 @@ class ExchangeEngine {
                : *base_eval_;
   }
   EngineCache& cache() const { return *cache_; }
+  /// The intra-solve worker count Solve actually uses (>= 1).
+  size_t intra_solve_threads() const;
 
  private:
   CertainAnswerResult ComputeCertainAnswers(
-      const Scenario& scenario, const ExistenceReport& existence) const;
+      const Scenario& scenario, const ExistenceReport& existence,
+      const ExistenceOptions& existence_options) const;
+  /// ToExistenceOptions() plus the per-call wiring: intra pool, the
+  /// solve's cache-attribution worker scope, and the cancellation token.
+  ExistenceOptions MakeExistenceOptions(PerSolveCacheStats* sink,
+                                        const CancellationToken* cancel)
+      const;
 
   EngineOptions options_;
   std::unique_ptr<NreEvaluator> base_eval_;
   std::unique_ptr<EngineCache> cache_;
   std::unique_ptr<CachingNreEvaluator> caching_eval_;
+  /// Workers for the intra-solve fan-out; null when intra_solve_threads
+  /// resolves to 1. Mutable state lives inside ThreadPool (internally
+  /// synchronized); Solve stays const.
+  std::unique_ptr<ThreadPool> intra_pool_;
 };
 
 }  // namespace gdx

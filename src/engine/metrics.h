@@ -28,7 +28,11 @@ struct Metrics {
   size_t candidates_tried = 0; // instantiations attempted by the search
   size_t solutions_enumerated = 0;
 
-  // Cache effectiveness (snapshot deltas from the engine cache).
+  // Cache effectiveness. Exact per-solve attribution (ISSUE 2 satellite):
+  // every thread touching the cache on a solve's behalf — the caller and
+  // all intra-solve workers — increments that solve's thread-local-routed
+  // PerSolveCacheStats sink, so concurrent sibling solves never bleed into
+  // each other's numbers and per-solve sums equal batch-wide deltas.
   uint64_t nre_cache_hits = 0;
   uint64_t nre_cache_misses = 0;
   uint64_t answer_cache_hits = 0;

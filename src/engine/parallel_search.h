@@ -1,0 +1,11 @@
+#ifndef GDX_ENGINE_PARALLEL_SEARCH_H_
+#define GDX_ENGINE_PARALLEL_SEARCH_H_
+
+// Forwarding header. ParallelSearch and CancellationToken live in
+// src/common/ so that src/solver/ can fan its witness-choice search out
+// without an upward dependency on the engine layer (the engine depends on
+// the solver, not vice versa); this spelling remains the engine-facing
+// include.
+#include "common/parallel_search.h"
+
+#endif  // GDX_ENGINE_PARALLEL_SEARCH_H_

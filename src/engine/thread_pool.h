@@ -1,147 +1,10 @@
 #ifndef GDX_ENGINE_THREAD_POOL_H_
 #define GDX_ENGINE_THREAD_POOL_H_
 
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
-
-namespace gdx {
-
-/// A small work-stealing thread pool. Each worker owns a deque; Submit
-/// round-robins tasks across deques; a worker pops from the back of its own
-/// deque (LIFO, cache-friendly) and steals from the front of a victim's
-/// deque (FIFO, reduces contention) when its own is empty. Wait() blocks
-/// until every submitted task has finished.
-///
-/// Tasks must not throw. Tasks may Submit() further tasks; Wait() counts
-/// them too (it returns only when the pending count reaches zero).
-class ThreadPool {
- public:
-  explicit ThreadPool(size_t num_threads)
-      : queues_(num_threads == 0 ? DefaultThreads() : num_threads) {
-    size_t n = queues_.size();
-    workers_.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      workers_.emplace_back([this, i] { WorkerLoop(i); });
-    }
-  }
-
-  ~ThreadPool() {
-    Wait();
-    {
-      std::lock_guard<std::mutex> lock(wake_mutex_);
-      stopping_ = true;
-    }
-    wake_cv_.notify_all();
-    for (std::thread& t : workers_) t.join();
-  }
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  size_t num_threads() const { return workers_.size(); }
-
-  /// Enqueues a task. Thread-safe; callable from worker threads.
-  void Submit(std::function<void()> task) {
-    pending_.fetch_add(1, std::memory_order_relaxed);
-    size_t slot = next_queue_.fetch_add(1, std::memory_order_relaxed) %
-                  queues_.size();
-    {
-      std::lock_guard<std::mutex> lock(queues_[slot].mutex);
-      queues_[slot].tasks.push_back(std::move(task));
-    }
-    // Notify under wake_mutex_: a worker that just found the queues empty
-    // either hasn't loaded pending_ yet (it will see our increment) or is
-    // already inside wait() (it will get this notify). An unlocked notify
-    // could fire between those two steps and be lost, stranding the task.
-    {
-      std::lock_guard<std::mutex> lock(wake_mutex_);
-    }
-    wake_cv_.notify_one();
-  }
-
-  /// Blocks until all submitted tasks (including tasks submitted by tasks)
-  /// have completed.
-  void Wait() {
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    done_cv_.wait(lock, [this] {
-      return pending_.load(std::memory_order_acquire) == 0;
-    });
-  }
-
-  static size_t DefaultThreads() {
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
-  }
-
- private:
-  struct Queue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
-  };
-
-  bool TryPop(size_t worker, std::function<void()>& out) {
-    {  // Own queue: LIFO.
-      Queue& own = queues_[worker];
-      std::lock_guard<std::mutex> lock(own.mutex);
-      if (!own.tasks.empty()) {
-        out = std::move(own.tasks.back());
-        own.tasks.pop_back();
-        return true;
-      }
-    }
-    // Steal: FIFO from the other queues, round-robin from our right.
-    for (size_t k = 1; k < queues_.size(); ++k) {
-      Queue& victim = queues_[(worker + k) % queues_.size()];
-      std::lock_guard<std::mutex> lock(victim.mutex);
-      if (!victim.tasks.empty()) {
-        out = std::move(victim.tasks.front());
-        victim.tasks.pop_front();
-        return true;
-      }
-    }
-    return false;
-  }
-
-  void WorkerLoop(size_t worker) {
-    for (;;) {
-      std::function<void()> task;
-      if (TryPop(worker, task)) {
-        task();
-        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard<std::mutex> lock(wake_mutex_);
-          done_cv_.notify_all();
-        }
-        continue;
-      }
-      std::unique_lock<std::mutex> lock(wake_mutex_);
-      if (stopping_) return;
-      if (pending_.load(std::memory_order_acquire) == 0) {
-        // Nothing anywhere: sleep until a Submit or shutdown.
-        wake_cv_.wait(lock);
-      } else {
-        // Work exists but raced away from us; re-scan soon.
-        wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
-      }
-      if (stopping_) return;
-    }
-  }
-
-  std::vector<Queue> queues_;
-  std::vector<std::thread> workers_;
-  std::atomic<size_t> next_queue_{0};
-  std::atomic<size_t> pending_{0};
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
-  bool stopping_ = false;
-};
-
-}  // namespace gdx
+// Forwarding header. ThreadPool lives in src/common/ so that stage modules
+// (e.g. the existence solver's intra-solve fan-out) can use it without
+// depending on the engine layer; this spelling remains the engine-facing
+// include.
+#include "common/thread_pool.h"
 
 #endif  // GDX_ENGINE_THREAD_POOL_H_

@@ -100,7 +100,13 @@ SolutionCheckReport CheckSolution(const Setting& setting,
 
   // --- sameAs constraints: required sameAs edge must be present. ---
   if (!setting.sameas.empty()) {
-    SymbolId same_as = setting.alphabet->SameAsSymbol();
+    // Const lookup: solution checks run concurrently on intra-solve
+    // workers sharing this alphabet; interning here would race. An
+    // un-interned sameAs (impossible for constraints built through the
+    // Alphabet) maps to an id no edge carries, so every required edge
+    // reads as missing — the sound answer.
+    SymbolId same_as = setting.alphabet->FindSameAs().value_or(
+        static_cast<SymbolId>(setting.alphabet->size()));
     for (size_t c = 0; c < setting.sameas.size(); ++c) {
       const SameAsConstraint& sac = setting.sameas[c];
       CnreMatcher matcher(&sac.body, &g, eval);

@@ -25,6 +25,15 @@ class Alphabet {
   /// The RDF-inspired sameAs label used by sameAs target constraints.
   SymbolId SameAsSymbol() { return symbols_.Intern("sameAs"); }
 
+  /// Const, data-race-free lookup of the sameAs label for concurrent
+  /// readers (the intra-solve search fans RepairAndVerify out over workers
+  /// that share one alphabet; interning there would race). Building any
+  /// sameAs constraint interns the label, so hot paths reached with
+  /// non-empty constraints always find it.
+  std::optional<SymbolId> FindSameAs() const {
+    return symbols_.Find("sameAs");
+  }
+
   size_t size() const { return symbols_.size(); }
 
  private:

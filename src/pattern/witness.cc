@@ -192,14 +192,20 @@ Status MaterializeWitness(Graph& g, Universe& universe, Value src, Value dst,
 }
 
 PatternInstantiator::PatternInstantiator(const GraphPattern* pattern,
-                                         Universe* universe,
                                          const InstantiationOptions& options)
-    : pattern_(pattern), universe_(universe) {
+    : pattern_(pattern) {
   witness_lists_.reserve(pattern->edges().size());
   for (const PatternEdge& e : pattern->edges()) {
     witness_lists_.push_back(EnumerateWitnesses(
         e.nre, options.max_edges_per_witness, options.max_witnesses_per_edge));
   }
+}
+
+PatternInstantiator::PatternInstantiator(const GraphPattern* pattern,
+                                         Universe* universe,
+                                         const InstantiationOptions& options)
+    : PatternInstantiator(pattern, options) {
+  universe_ = universe;
 }
 
 size_t PatternInstantiator::NumCombinations() const {
@@ -212,8 +218,18 @@ size_t PatternInstantiator::NumCombinations() const {
   return total;
 }
 
+std::vector<size_t> PatternInstantiator::DecodeRank(size_t rank) const {
+  std::vector<size_t> choices(witness_lists_.size(), 0);
+  for (size_t i = 0; i < witness_lists_.size() && rank > 0; ++i) {
+    size_t radix = witness_lists_[i].size();
+    choices[i] = rank % radix;
+    rank /= radix;
+  }
+  return choices;
+}
+
 Result<Graph> PatternInstantiator::Instantiate(
-    const std::vector<size_t>& choices) const {
+    const std::vector<size_t>& choices, Universe& universe) const {
   if (choices.size() != witness_lists_.size()) {
     return Status::InvalidArgument("choice vector size mismatch");
   }
@@ -224,14 +240,24 @@ Result<Graph> PatternInstantiator::Instantiate(
       return Status::InvalidArgument("witness choice out of range");
     }
     const PatternEdge& e = pattern_->edges()[i];
-    Status st = MaterializeWitness(g, *universe_, e.src, e.dst,
+    Status st = MaterializeWitness(g, universe, e.src, e.dst,
                                    witness_lists_[i][choices[i]]);
     if (!st.ok()) return st;
   }
   return g;
 }
 
-Result<Graph> PatternInstantiator::InstantiateCanonical() const {
+Result<Graph> PatternInstantiator::Instantiate(
+    const std::vector<size_t>& choices) const {
+  if (universe_ == nullptr) {
+    return Status::FailedPrecondition(
+        "instantiator has no bound universe; use the two-argument overload");
+  }
+  return Instantiate(choices, *universe_);
+}
+
+Result<Graph> PatternInstantiator::InstantiateCanonical(
+    Universe& universe) const {
   Graph g;
   for (Value v : pattern_->nodes()) g.AddNode(v);
   for (size_t i = 0; i < pattern_->edges().size(); ++i) {
@@ -239,7 +265,7 @@ Result<Graph> PatternInstantiator::InstantiateCanonical() const {
     bool materialized = false;
     for (const Witness& w : witness_lists_[i]) {
       if (w.IsEpsilonChain() && e.src != e.dst) continue;
-      Status st = MaterializeWitness(g, *universe_, e.src, e.dst, w);
+      Status st = MaterializeWitness(g, universe, e.src, e.dst, w);
       if (st.ok()) {
         materialized = true;
         break;
@@ -251,6 +277,14 @@ Result<Graph> PatternInstantiator::InstantiateCanonical() const {
     }
   }
   return g;
+}
+
+Result<Graph> PatternInstantiator::InstantiateCanonical() const {
+  if (universe_ == nullptr) {
+    return Status::FailedPrecondition(
+        "instantiator has no bound universe; use the one-argument overload");
+  }
+  return InstantiateCanonical(*universe_);
 }
 
 }  // namespace gdx

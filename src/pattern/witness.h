@@ -59,8 +59,17 @@ struct InstantiationOptions {
 /// combinations. This is the engine behind (a) canonical solutions from
 /// universal representatives (§3.2) and (b) the bounded existence search
 /// whose exponential witness-choice space mirrors Theorem 4.1's hardness.
+///
+/// Re-entrant by construction (ISSUE 2 tentpole): after the constructor the
+/// instantiator is immutable — concurrent workers call the const
+/// Instantiate overloads against their own Universe copies. The
+/// universe-less constructor is the preferred form; the Universe* one is
+/// kept for single-threaded call sites and binds the default universe the
+/// one-argument Instantiate overloads draw fresh nulls from.
 class PatternInstantiator {
  public:
+  PatternInstantiator(const GraphPattern* pattern,
+                      const InstantiationOptions& options);
   PatternInstantiator(const GraphPattern* pattern, Universe* universe,
                       const InstantiationOptions& options);
 
@@ -72,18 +81,28 @@ class PatternInstantiator {
   /// Number of distinct choice combinations (capped at SIZE_MAX).
   size_t NumCombinations() const;
 
+  /// Decodes a mixed-radix rank into a choice vector: rank r maps to the
+  /// r-th combination in odometer order (edge 0 is the least-significant
+  /// digit — the order NextChoice-style sequential scans advance in).
+  /// Precondition: rank < NumCombinations().
+  std::vector<size_t> DecodeRank(size_t rank) const;
+
   /// Materializes the graph for one choice vector (choices[i] indexes
-  /// witness_lists()[i]). All pattern nodes are included. Fails if a chosen
-  /// ε-chain connects two distinct nodes.
+  /// witness_lists()[i]) drawing fresh nulls from `universe`. All pattern
+  /// nodes are included. Fails if a chosen ε-chain connects two distinct
+  /// nodes. Thread-safe for distinct `universe` arguments.
+  Result<Graph> Instantiate(const std::vector<size_t>& choices,
+                            Universe& universe) const;
   Result<Graph> Instantiate(const std::vector<size_t>& choices) const;
 
   /// Canonical instantiation: per edge, the first witness that is valid for
   /// its endpoints (skipping ε-chains between distinct nodes).
+  Result<Graph> InstantiateCanonical(Universe& universe) const;
   Result<Graph> InstantiateCanonical() const;
 
  private:
   const GraphPattern* pattern_;
-  Universe* universe_;
+  Universe* universe_ = nullptr;  // default for the one-argument overloads
   std::vector<std::vector<Witness>> witness_lists_;
 };
 

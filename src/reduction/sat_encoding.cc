@@ -64,6 +64,10 @@ Result<SatEncodedExchange> EncodeSatToSetting(const CnfFormula& rho,
       egd.x2 = ey;
       enc.setting.egds.push_back(std::move(egd));
     } else {
+      // Intern the sameAs label now: completion and solution checking run
+      // on concurrent workers that only do const lookups (Alphabet::
+      // FindSameAs), so the single-threaded build must register it.
+      (void)enc.alphabet->SameAsSymbol();
       SameAsConstraint sac;
       VarId ex = sac.body.InternVar("x");
       VarId ey = sac.body.InternVar("y");

@@ -142,6 +142,11 @@ struct DpllDriver {
       budget_exhausted = true;
       return false;
     }
+    if (config.cancel != nullptr &&
+        config.cancel->load(std::memory_order_acquire)) {
+      budget_exhausted = true;  // abort reads as "unknown", never UNSAT
+      return false;
+    }
     ++stats.decisions;
     {
       Frame positive = frame;
@@ -164,6 +169,11 @@ struct DpllDriver {
 }  // namespace
 
 SatResult DpllSolver::Solve(const CnfFormula& formula) const {
+  return SolveWithAssumptions(formula, {});
+}
+
+SatResult DpllSolver::SolveWithAssumptions(
+    const CnfFormula& formula, const std::vector<Lit>& assumptions) const {
   SatResult result;
   Frame root;
   root.assignment.assign(formula.num_vars() + 1, VarState::kUnassigned);
@@ -171,6 +181,16 @@ SatResult DpllSolver::Solve(const CnfFormula& formula) const {
   // Empty clause => trivially unsat.
   for (const Clause& c : root.clauses) {
     if (c.empty()) return result;
+  }
+  for (Lit lit : assumptions) {
+    int v = lit < 0 ? -lit : lit;
+    if (v < 1 || v > formula.num_vars()) return result;  // malformed: unsat
+    VarState want = lit > 0 ? VarState::kTrue : VarState::kFalse;
+    if (root.assignment[v] != VarState::kUnassigned) {
+      if (root.assignment[v] != want) return result;  // conflicting cubes
+      continue;
+    }
+    if (!Assign(root, lit)) return result;  // cube refuted by propagation
   }
   DpllDriver driver{config_, {}, false};
   std::vector<VarState> model;
@@ -183,6 +203,12 @@ SatResult DpllSolver::Solve(const CnfFormula& formula) const {
     for (int v = 1; v <= formula.num_vars(); ++v) {
       result.model[v] = (model[v] == VarState::kTrue);
       // Unassigned variables (don't-cares) default to false.
+    }
+    // Assumptions hold in the reported model even when the residual search
+    // never touched them (they were satisfied structurally).
+    for (Lit lit : assumptions) {
+      int v = lit < 0 ? -lit : lit;
+      result.model[v] = lit > 0;
     }
   }
   return result;

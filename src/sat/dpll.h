@@ -1,6 +1,7 @@
 #ifndef GDX_SAT_DPLL_H_
 #define GDX_SAT_DPLL_H_
 
+#include <atomic>
 #include <vector>
 
 #include "sat/cnf.h"
@@ -33,17 +34,33 @@ struct DpllConfig {
   /// Hard cap on decisions; 0 = unlimited. Exceeding it returns UNSAT=false
   /// with exhausted=true semantics via Status in SolveWithBudget.
   size_t max_decisions = 0;
+  /// Optional cooperative cancellation (ISSUE 2): polled at every decision;
+  /// when it reads true, the search aborts with budget_exhausted semantics
+  /// ("unknown", never a wrong UNSAT). Borrowed; may be null.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Davis–Putnam–Logemann–Loveland solver with unit propagation and optional
 /// pure-literal elimination. Deterministic. Exact (complete) — used as the
 /// ground-truth oracle for the Theorem 4.1 reduction and as the engine of
 /// the SAT-backed existence solver.
+///
+/// Solve is const and the solver holds no search state, so the
+/// cube-and-conquer existence path gives each intra-solve worker its own
+/// DpllSolver instance with zero sharing (ISSUE 2 tentpole).
 class DpllSolver {
  public:
   explicit DpllSolver(DpllConfig config = {}) : config_(config) {}
 
   SatResult Solve(const CnfFormula& formula) const;
+
+  /// Solve under assumption literals pinned before the search — the cube
+  /// interface of cube-and-conquer: the assumptions carve one subcube of
+  /// the assignment space; UNSAT here means "no model in this cube" only.
+  /// An assumption conflicting with the formula (or another assumption)
+  /// returns UNSAT immediately.
+  SatResult SolveWithAssumptions(const CnfFormula& formula,
+                                 const std::vector<Lit>& assumptions) const;
 
   /// Enumerates up to `limit` models (by blocking clauses); deterministic.
   std::vector<std::vector<bool>> EnumerateModels(const CnfFormula& formula,

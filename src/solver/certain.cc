@@ -29,6 +29,12 @@ CertainAnswerResult CertainAnswerSolver::Compute(const Setting& setting,
   ExistenceSolver existence(eval_, options_.existence);
   std::vector<Graph> solutions = existence.EnumerateSolutions(
       setting, source, universe, options_.max_solutions);
+  if (options_.existence.cancel != nullptr &&
+      options_.existence.cancel->stop_requested()) {
+    // Truncated enumeration: intersecting over it would over-approximate;
+    // the empty set is the sound "nothing certified" answer.
+    return result;
+  }
   result.solutions_considered = solutions.size();
   if (solutions.empty()) {
     // Distinguish "no solution" (vacuously certain) from "enumeration came
@@ -73,6 +79,12 @@ bool CertainAnswerSolver::IsCertain(const Setting& setting,
   ExistenceSolver existence(eval_, options_.existence);
   std::vector<Graph> solutions = existence.EnumerateSolutions(
       setting, source, universe, options_.max_solutions);
+  if (options_.existence.cancel != nullptr &&
+      options_.existence.cancel->stop_requested()) {
+    // The counterexample search was cut short; "certain" can no longer be
+    // certified, so answer the sound "no".
+    return false;
+  }
   if (solutions.empty()) {
     ExistenceReport report = existence.Decide(setting, source, universe);
     // No solutions: everything is vacuously certain.

@@ -9,22 +9,12 @@
 #include "sat/dpll.h"
 #include "solver/flat_encoding.h"
 
+#include <algorithm>
+#include <map>
+#include <mutex>
 #include <unordered_set>
 
 namespace gdx {
-namespace {
-
-/// Advances a mixed-radix odometer; returns false on wraparound.
-bool NextChoice(std::vector<size_t>& choices,
-                const std::vector<std::vector<Witness>>& lists) {
-  for (size_t i = 0; i < choices.size(); ++i) {
-    if (++choices[i] < lists[i].size()) return true;
-    choices[i] = 0;
-  }
-  return false;
-}
-
-}  // namespace
 
 std::optional<Graph> ExistenceSolver::RepairAndVerify(
     Graph candidate, const Setting& setting, const Instance& source,
@@ -54,6 +44,18 @@ std::optional<Graph> ExistenceSolver::RepairAndVerify(
   return std::nullopt;
 }
 
+ParallelSearchOptions ExistenceSolver::SearchOptions(
+    size_t chunk_size, size_t min_parallel_ranks) const {
+  ParallelSearchOptions out;
+  out.pool = options_.intra_pool;
+  out.max_workers = options_.intra_solve_threads;
+  out.chunk_size = chunk_size;
+  out.min_parallel_ranks = min_parallel_ranks;
+  out.cancel = options_.cancel;
+  out.wrap_worker = options_.worker_scope;
+  return out;
+}
+
 ExistenceReport ExistenceSolver::DecideChaseRefute(const Setting& setting,
                                                    const Instance& source,
                                                    Universe& universe) const {
@@ -68,9 +70,8 @@ ExistenceReport ExistenceSolver::DecideChaseRefute(const Setting& setting,
       return report;
     }
   }
-  PatternInstantiator instantiator(&pattern, &universe,
-                                   options_.instantiation);
-  Result<Graph> canonical = instantiator.InstantiateCanonical();
+  PatternInstantiator instantiator(&pattern, options_.instantiation);
+  Result<Graph> canonical = instantiator.InstantiateCanonical(universe);
   if (canonical.ok()) {
     report.candidates_tried = 1;
     std::optional<Graph> solution =
@@ -104,8 +105,7 @@ ExistenceReport ExistenceSolver::DecideBoundedSearch(
       return report;
     }
   }
-  PatternInstantiator instantiator(&pattern, &universe,
-                                   options_.instantiation);
+  PatternInstantiator instantiator(&pattern, options_.instantiation);
   const auto& lists = instantiator.witness_lists();
   for (const auto& list : lists) {
     if (list.empty()) {
@@ -114,26 +114,80 @@ ExistenceReport ExistenceSolver::DecideBoundedSearch(
       return report;
     }
   }
-  std::vector<size_t> choices(lists.size(), 0);
-  do {
-    if (report.candidates_tried >= options_.max_candidates) {
-      report.budget_exhausted = true;
-      report.verdict = ExistenceVerdict::kUnknown;
-      report.note = "candidate budget exhausted";
-      return report;
+
+  // The odometer, flattened to ranks and fanned over the pool (ISSUE 2
+  // tentpole). Every worker owns a private universe copy and rolls each
+  // candidate's fresh-null draws back to `mark`, so a candidate's nulls
+  // depend only on its rank — the winning witness is byte-identical for
+  // any worker count, and FindFirst guarantees it is the *minimal*-rank
+  // hit, exactly the sequential first hit. The sequential configuration
+  // (one worker) skips the copies and works on the shared universe with
+  // the same rollback discipline.
+  const size_t total_combinations = instantiator.NumCombinations();
+  const size_t num_ranks =
+      std::min(total_combinations, options_.max_candidates);
+  ParallelSearch search(
+      SearchOptions(options_.parallel_chunk, options_.parallel_min_ranks));
+  const size_t workers = search.NumWorkers(num_ranks);
+  const size_t mark = universe.NullMark();
+  std::vector<Universe> scratch(workers > 1 ? workers : 0, universe);
+  auto worker_universe = [&](size_t worker) -> Universe& {
+    return scratch.empty() ? universe : scratch[worker];
+  };
+
+  struct BestHit {
+    std::mutex mutex;
+    size_t rank = ParallelSearch::kNotFound;
+    Graph witness;
+    std::vector<std::string> nulls;
+  };
+  BestHit best;
+  auto visit = [&](size_t rank, size_t worker) -> bool {
+    Universe& u = worker_universe(worker);
+    u.RollbackNulls(mark);
+    Result<Graph> candidate =
+        instantiator.Instantiate(instantiator.DecodeRank(rank), u);
+    if (!candidate.ok()) return false;  // invalid combination (ε between
+                                        // distinct nodes)
+    std::optional<Graph> solution =
+        RepairAndVerify(std::move(candidate).value(), setting, source, u);
+    if (!solution.has_value()) return false;
+    std::lock_guard<std::mutex> lock(best.mutex);
+    if (rank < best.rank) {
+      best.rank = rank;
+      best.witness = std::move(*solution);
+      best.nulls = u.NullLabelsSince(mark);
     }
-    ++report.candidates_tried;
-    Result<Graph> candidate = instantiator.Instantiate(choices);
-    if (!candidate.ok()) continue;  // invalid combination (ε between nodes)
-    std::optional<Graph> solution = RepairAndVerify(
-        std::move(candidate).value(), setting, source, universe);
-    if (solution.has_value()) {
-      report.verdict = ExistenceVerdict::kYes;
-      report.witness = std::move(solution);
-      report.note = "bounded search found a verified solution";
-      return report;
-    }
-  } while (NextChoice(choices, lists));
+    return true;
+  };
+  size_t winner = search.FindFirst(num_ranks, visit);
+  // In the one-worker configuration the shared universe still carries the
+  // last tried candidate's nulls; drop them before adopting the winner's.
+  universe.RollbackNulls(mark);
+
+  if (Cancelled()) {
+    report.verdict = ExistenceVerdict::kUnknown;
+    report.note = "search cancelled";
+    return report;
+  }
+  if (winner != ParallelSearch::kNotFound) {
+    // Adopt the winner's fresh nulls into the shared universe: it sits at
+    // `mark`, exactly where the winning worker's universe sat when the
+    // candidate was instantiated, so the ids line up.
+    universe.AppendNullLabels(best.nulls);
+    report.candidates_tried = winner + 1;
+    report.verdict = ExistenceVerdict::kYes;
+    report.witness = std::move(best.witness);
+    report.note = "bounded search found a verified solution";
+    return report;
+  }
+  report.candidates_tried = num_ranks;
+  if (total_combinations > num_ranks) {
+    report.budget_exhausted = true;
+    report.verdict = ExistenceVerdict::kUnknown;
+    report.note = "candidate budget exhausted";
+    return report;
+  }
   report.verdict = ExistenceVerdict::kNo;
   report.note =
       "bounded search exhausted all witness combinations without a "
@@ -152,9 +206,86 @@ ExistenceReport ExistenceSolver::DecideSatBacked(const Setting& setting,
                   "); fell back to bounded search. " + report.note;
     return report;
   }
-  DpllSolver solver;
-  SatResult sat = solver.Solve(encoding->cnf);
-  report.candidates_tried = sat.stats.decisions + 1;
+  const CnfFormula& cnf = encoding->cnf;
+  DpllConfig config;
+  config.max_decisions = options_.sat_max_decisions;
+  config.cancel =
+      options_.cancel != nullptr ? options_.cancel->flag() : nullptr;
+
+  // Cube-and-conquer (ISSUE 2 tentpole): pin the first k variables to all
+  // 2^k polarities and hand each cube to its own per-worker DpllSolver.
+  // The deck depends only on the formula (never the worker count), and the
+  // accepted model is the minimal-rank SAT cube's — deterministic. Small
+  // formulas stay on one plain call: carving them up buys nothing. A
+  // decision budget also forces the plain call: per-cube budgets would
+  // multiply the caller's intended latency bound by the deck size.
+  const size_t k = options_.sat_cube_vars;
+  const bool use_cubes =
+      k > 0 && k < 8 * sizeof(size_t) && config.max_decisions == 0 &&
+      cnf.num_vars() >= static_cast<int>(2 * k);
+  SatResult sat;
+  if (!use_cubes) {
+    sat = DpllSolver(config).Solve(cnf);
+    report.candidates_tried = sat.stats.decisions + 1;
+  } else {
+    const size_t num_cubes = size_t{1} << k;
+    std::vector<size_t> decisions(num_cubes, 0);
+    std::vector<uint8_t> exhausted(num_cubes, 0);
+    struct SatWin {
+      std::mutex mutex;
+      size_t rank = ParallelSearch::kNotFound;
+      std::vector<bool> model;
+    };
+    SatWin win;
+    // Every cube is pricey, so chunk = 1 and fan out from 2 cubes up.
+    ParallelSearch search(SearchOptions(/*chunk_size=*/1,
+                                        /*min_parallel_ranks=*/2));
+    auto visit = [&](size_t rank, size_t) -> bool {
+      std::vector<Lit> cube;
+      cube.reserve(k);
+      for (size_t i = 0; i < k; ++i) {
+        Lit v = static_cast<Lit>(i + 1);
+        cube.push_back(((rank >> i) & 1) != 0 ? -v : v);
+      }
+      DpllSolver solver(config);  // per-worker instance, zero sharing
+      SatResult cube_result = solver.SolveWithAssumptions(cnf, cube);
+      decisions[rank] = cube_result.stats.decisions;  // distinct slots
+      exhausted[rank] = cube_result.budget_exhausted ? 1 : 0;
+      if (!cube_result.satisfiable) return false;
+      std::lock_guard<std::mutex> lock(win.mutex);
+      if (rank < win.rank) {
+        win.rank = rank;
+        win.model = std::move(cube_result.model);
+      }
+      return true;
+    };
+    size_t winner = search.FindFirst(num_cubes, visit);
+    sat.satisfiable = winner != ParallelSearch::kNotFound;
+    if (sat.satisfiable) {
+      sat.model = std::move(win.model);
+      // Deterministic work accounting: cubes up to and including the
+      // winner always run to completion (FindFirst abandons only ranks
+      // above the best hit).
+      size_t total = 0;
+      for (size_t r = 0; r <= winner; ++r) total += decisions[r];
+      report.candidates_tried = total + 1;
+    } else {
+      size_t total = 0;
+      bool any_exhausted = false;
+      for (size_t r = 0; r < num_cubes; ++r) {
+        total += decisions[r];
+        any_exhausted = any_exhausted || exhausted[r] != 0;
+      }
+      report.candidates_tried = total + 1;
+      sat.budget_exhausted = any_exhausted;
+    }
+  }
+
+  if (Cancelled()) {
+    report.verdict = ExistenceVerdict::kUnknown;
+    report.note = "search cancelled";
+    return report;
+  }
   if (!sat.satisfiable) {
     if (sat.budget_exhausted) {
       report.verdict = ExistenceVerdict::kUnknown;
@@ -182,6 +313,13 @@ ExistenceReport ExistenceSolver::DecideSatBacked(const Setting& setting,
 ExistenceReport ExistenceSolver::Decide(const Setting& setting,
                                         const Instance& source,
                                         Universe& universe) const {
+  // Single-threaded entry: intern the sameAs label now so the concurrent
+  // workers' const lookups (sameAs completion, solution checks) always
+  // find it — even for settings whose constraints were built by hand
+  // without touching the alphabet.
+  if (!setting.sameas.empty() && setting.alphabet != nullptr) {
+    (void)setting.alphabet->SameAsSymbol();
+  }
   switch (options_.strategy) {
     case ExistenceStrategy::kChaseRefute:
       return DecideChaseRefute(setting, source, universe);
@@ -211,48 +349,101 @@ ExistenceReport ExistenceSolver::Decide(const Setting& setting,
 std::vector<Graph> ExistenceSolver::EnumerateSolutions(
     const Setting& setting, const Instance& source, Universe& universe,
     size_t max_solutions) const {
-  std::vector<Graph> solutions;
-  std::unordered_set<std::string> seen;
+  std::vector<Graph> kept;
+  if (max_solutions == 0) return kept;
+  // Single-threaded entry: see Decide() — pre-intern sameAs for the
+  // workers' const lookups.
+  if (!setting.sameas.empty() && setting.alphabet != nullptr) {
+    (void)setting.alphabet->SameAsSymbol();
+  }
   GraphPattern pattern = ChaseToPattern(source, setting.st_tgds, universe);
   if (!setting.egds.empty()) {
     EgdChaseResult egd = ChasePatternEgds(pattern, setting.egds, *eval_);
-    if (egd.failed) return solutions;  // no solutions at all
+    if (egd.failed) return kept;  // no solutions at all
   }
-  PatternInstantiator instantiator(&pattern, &universe,
-                                   options_.instantiation);
+  PatternInstantiator instantiator(&pattern, options_.instantiation);
   const auto& lists = instantiator.witness_lists();
   for (const auto& list : lists) {
-    if (list.empty()) return solutions;
+    if (list.empty()) return kept;
   }
-  // A placeholder universe name provider for signatures: solutions may
-  // contain nulls; Signature uses the universe passed at call sites, so we
-  // dedup on a structural signature computed with a shared alphabet.
-  std::vector<size_t> choices(lists.size(), 0);
-  size_t tried = 0;
-  do {
-    if (tried++ >= options_.max_candidates) break;
-    Result<Graph> candidate = instantiator.Instantiate(choices);
-    if (!candidate.ok()) continue;
-    std::optional<Graph> solution = RepairAndVerify(
-        std::move(candidate).value(), setting, source, universe);
-    if (!solution.has_value()) continue;
-    std::string signature =
-        solution->Signature(universe, *setting.alphabet);
-    if (!seen.insert(signature).second) continue;
-    if (options_.dedup_isomorphic) {
-      bool duplicate = false;
-      for (const Graph& kept : solutions) {
-        if (IsomorphicUpToNulls(*solution, kept)) {
-          duplicate = true;
-          break;
+
+  // Order-stable parallel enumeration (ISSUE 2 tentpole): workers verify
+  // candidates in arbitrary order and record hits by rank; the dedup +
+  // max_solutions cap runs in ScanAll's serialized contiguous-prefix
+  // callback, strictly in rank order — so the kept set equals the
+  // sequential scan's for any worker count. Once the cap is reached the
+  // returned ceiling abandons all higher ranks (early exit).
+  const size_t total_combinations = instantiator.NumCombinations();
+  const size_t num_ranks =
+      std::min(total_combinations, options_.max_candidates);
+  ParallelSearch search(
+      SearchOptions(options_.parallel_chunk, options_.parallel_min_ranks));
+  const size_t workers = search.NumWorkers(num_ranks);
+  const size_t mark = universe.NullMark();
+  std::vector<Universe> scratch(workers > 1 ? workers : 0, universe);
+  auto worker_universe = [&](size_t worker) -> Universe& {
+    return scratch.empty() ? universe : scratch[worker];
+  };
+
+  struct Hit {
+    Graph graph;
+    std::string signature;
+  };
+  std::mutex hits_mutex;
+  std::map<size_t, Hit> hits;            // rank -> verified solution
+  std::unordered_set<std::string> seen;  // merged signatures
+  size_t merged = 0;                     // ranks [0, merged) folded in
+
+  auto visit = [&](size_t rank, size_t worker) {
+    Universe& u = worker_universe(worker);
+    u.RollbackNulls(mark);
+    Result<Graph> candidate =
+        instantiator.Instantiate(instantiator.DecodeRank(rank), u);
+    if (!candidate.ok()) return;
+    std::optional<Graph> solution =
+        RepairAndVerify(std::move(candidate).value(), setting, source, u);
+    if (!solution.has_value()) return;
+    // Signature against the worker universe (it knows this candidate's
+    // nulls). Rollback makes rank-equal shapes literally identical, so
+    // signature dedup is exact here.
+    std::string signature = solution->Signature(u, *setting.alphabet);
+    std::lock_guard<std::mutex> lock(hits_mutex);
+    hits.emplace(rank, Hit{std::move(*solution), std::move(signature)});
+  };
+  auto on_prefix = [&](size_t prefix_ranks) -> size_t {
+    std::lock_guard<std::mutex> lock(hits_mutex);
+    for (auto it = hits.lower_bound(merged);
+         it != hits.end() && it->first < prefix_ranks;
+         it = hits.erase(it)) {
+      if (kept.size() >= max_solutions) break;
+      Hit& hit = it->second;
+      if (!seen.insert(hit.signature).second) continue;
+      if (options_.dedup_isomorphic) {
+        bool duplicate = false;
+        for (const Graph& g : kept) {
+          if (IsomorphicUpToNulls(hit.graph, g)) {
+            duplicate = true;
+            break;
+          }
         }
+        if (duplicate) continue;
       }
-      if (duplicate) continue;
+      kept.push_back(std::move(hit.graph));
+      if (kept.size() >= max_solutions) {
+        size_t ceiling = it->first + 1;
+        merged = std::max(merged, ceiling);
+        hits.erase(it);
+        return ceiling;  // every higher rank is now irrelevant
+      }
     }
-    solutions.push_back(std::move(*solution));
-    if (solutions.size() >= max_solutions) break;
-  } while (NextChoice(choices, lists));
-  return solutions;
+    merged = std::max(merged, prefix_ranks);
+    return ParallelSearch::kNotFound;
+  };
+  search.ScanAll(num_ranks, visit, on_prefix);
+  // Enumerated solutions keep their nulls search-local by contract; in
+  // the one-worker configuration the shared universe did the scanning.
+  universe.RollbackNulls(mark);
+  return kept;
 }
 
 }  // namespace gdx

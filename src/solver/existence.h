@@ -1,10 +1,12 @@
 #ifndef GDX_SOLVER_EXISTENCE_H_
 #define GDX_SOLVER_EXISTENCE_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/parallel_search.h"
 #include "common/universe.h"
 #include "exchange/setting.h"
 #include "graph/graph.h"
@@ -60,6 +62,45 @@ struct ExistenceOptions {
   /// EnumerateSolutions — distinct nulls from different instantiations
   /// otherwise count the same shape twice.
   bool dedup_isomorphic = true;
+
+  // --- Intra-solve parallelism (ISSUE 2 tentpole) -------------------------
+  //
+  // The witness-choice odometer (bounded search + solution enumeration) and
+  // the SAT cube deck fan out over a borrowed work-stealing ThreadPool.
+  // Results are invariant under the worker count — byte-identical verdicts,
+  // witnesses, enumerated solutions and certain answers at 1 and N threads
+  // — because every candidate is evaluated against a rolled-back universe
+  // copy and winners are merged in deterministic rank order.
+
+  /// Worker count, *including* the calling thread. 1 = sequential
+  /// (default); 0 = intra_pool size + 1. More than 1 requires intra_pool.
+  size_t intra_solve_threads = 1;
+  /// Pool the extra workers run on (borrowed, not owned). Typically the
+  /// ExchangeEngine's intra-solve pool.
+  ThreadPool* intra_pool = nullptr;
+  /// Odometer ranks per work unit, and the smallest choice space worth
+  /// fanning out at all.
+  size_t parallel_chunk = 64;
+  size_t parallel_min_ranks = 128;
+  /// Cube-and-conquer width of the SAT-backed path: the first
+  /// sat_cube_vars CNF variables are pinned to all 2^k polarities, one
+  /// independent (per-worker) DPLL instance per cube. 0 — or a formula
+  /// with fewer than 2*k variables, or a nonzero DPLL decision budget
+  /// (per-cube budgets would multiply the intended latency bound) — means
+  /// a single plain DPLL call. The cube deck depends only on the formula
+  /// and these options, never on the worker count.
+  size_t sat_cube_vars = 4;
+  /// DPLL decision budget for the SAT-backed path (0 = unlimited).
+  /// Exceeding it yields kUnknown with budget_exhausted. A nonzero budget
+  /// disables the cube deck so it stays a whole-call latency bound.
+  size_t sat_max_decisions = 0;
+  /// Optional cooperative hard abort: when it fires the decision returns
+  /// kUnknown ("search cancelled") instead of a complete answer.
+  const CancellationToken* cancel = nullptr;
+  /// Wraps each worker's whole run — the engine installs its thread-local
+  /// per-solve metric sink here. Must invoke the passed body exactly once.
+  std::function<void(size_t worker, const std::function<void()>& body)>
+      worker_scope;
 };
 
 /// Decides whether Sol_Ω(I) is non-empty. Verdicts are sound: kYes comes
@@ -77,7 +118,13 @@ class ExistenceSolver {
                          Universe& universe) const;
 
   /// Enumerates up to `max_solutions` distinct verified solutions (used by
-  /// the certain-answer solver). Solutions are deduplicated by signature.
+  /// the certain-answer solver), in deterministic rank order regardless of
+  /// the worker count. Solutions are deduplicated by signature (and
+  /// isomorphism when dedup_isomorphic). The returned graphs' nulls are
+  /// search-local: they are not registered in `universe`. If the
+  /// cancellation token fires mid-scan the result is an arbitrary prefix —
+  /// callers intersecting over it for certain answers must check the token
+  /// and fall back to the sound empty answer set.
   std::vector<Graph> EnumerateSolutions(const Setting& setting,
                                         const Instance& source,
                                         Universe& universe,
@@ -95,11 +142,19 @@ class ExistenceSolver {
                                   Universe& universe) const;
 
   /// Completes a candidate graph (egd repair, target tgds, sameAs) and
-  /// verifies it; returns the verified solution or nullopt.
+  /// verifies it; returns the verified solution or nullopt. Thread-safe
+  /// for distinct `universe` arguments (workers pass private copies).
   std::optional<Graph> RepairAndVerify(Graph candidate,
                                        const Setting& setting,
                                        const Instance& source,
                                        Universe& universe) const;
+
+  /// ParallelSearchOptions assembled from this solver's intra-solve knobs.
+  ParallelSearchOptions SearchOptions(size_t chunk_size,
+                                      size_t min_parallel_ranks) const;
+  bool Cancelled() const {
+    return options_.cancel != nullptr && options_.cancel->stop_requested();
+  }
 
   const NreEvaluator* eval_;
   ExistenceOptions options_;
