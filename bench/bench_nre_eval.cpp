@@ -1,6 +1,14 @@
-// E10 / substrate ablation: the two NRE evaluation engines (naive
-// relation-algebra vs product-automaton) on random graphs and on the
-// paper's query shape. Reproduces the Example 2.2 query semantics first.
+// E10 / substrate ablation: the two NRE evaluation engines (legacy
+// relation-algebra vs compiled ε-free product automaton over a CSR
+// GraphView) on random graphs and on the paper's query shape. Reproduces
+// the Example 2.2 query semantics first.
+//
+// ISSUE 3 acceptance hook: BM_NreEval* pits the engines against each other
+// on the paper-shaped query, and BM_NreEvalDenseClosure* is the guard case
+// for the legacy evaluator's worst habit — `(l1+l2)*` forces the dense
+// reflexive-transitive closure (O(n²) pairs, per-source O(n) fill/scan)
+// that the compiled evaluator never materializes. A regression in either
+// engine is visible run-over-run via scripts/bench_diff.py in CI.
 #include "bench_util.h"
 
 #include "graph/nre_parser.h"
@@ -11,8 +19,8 @@
 namespace gdx {
 namespace {
 
-NaiveNreEvaluator naive;
-AutomatonNreEvaluator automaton;
+NaiveNreEvaluator legacy;
+AutomatonNreEvaluator compiled;
 
 void PrintRepro() {
   Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
@@ -20,16 +28,17 @@ void PrintRepro() {
   NrePtr q = s.query->atoms()[0].nre;
   std::printf("JQK_G1 with Q = %s:\n", q->ToString(*s.alphabet).c_str());
   for (const NreEvaluator* eval :
-       {static_cast<const NreEvaluator*>(&naive),
-        static_cast<const NreEvaluator*>(&automaton)}) {
+       {static_cast<const NreEvaluator*>(&legacy),
+        static_cast<const NreEvaluator*>(&compiled)}) {
     BinaryRelation rel = eval->Eval(q, g1);
     std::printf("  %-26s -> %zu pairs (paper: 4)\n", eval->name(),
                 rel.size());
   }
 }
 
-/// The paper-shaped query over random graphs: n nodes, 4n edges, 2 labels.
-void RunQueryBench(benchmark::State& state, const NreEvaluator& eval) {
+/// Random graph + query benchmark body: n nodes, 4n edges, 2 labels.
+void RunQueryBench(benchmark::State& state, const NreEvaluator& eval,
+                   const char* query) {
   Universe universe;
   Alphabet alphabet;
   RandomGraphParams params;
@@ -37,7 +46,7 @@ void RunQueryBench(benchmark::State& state, const NreEvaluator& eval) {
   params.num_edges = params.num_nodes * 4;
   params.num_labels = 2;
   Graph g = MakeRandomGraph(params, universe, alphabet);
-  Result<NrePtr> q = ParseNre("l1 . l1* [l2] . l1- . (l1-)*", alphabet);
+  Result<NrePtr> q = ParseNre(query, alphabet);
   if (!q.ok()) {
     state.SkipWithError("parse failed");
     return;
@@ -51,16 +60,35 @@ void RunQueryBench(benchmark::State& state, const NreEvaluator& eval) {
   state.counters["pairs"] = static_cast<double>(pairs);
 }
 
-void BM_NaiveEval(benchmark::State& state) { RunQueryBench(state, naive); }
-void BM_AutomatonEval(benchmark::State& state) {
-  RunQueryBench(state, automaton);
-}
-BENCHMARK(BM_NaiveEval)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_AutomatonEval)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800)
-    ->Unit(benchmark::kMillisecond);
+/// The paper-shaped query (Example 2.2 skeleton).
+constexpr char kPaperQuery[] = "l1 . l1* [l2] . l1- . (l1-)*";
+/// Dense-closure guard: a star over the whole alphabet — the legacy
+/// engine's reflexive-transitive closure is the hot spot here.
+constexpr char kDenseClosureQuery[] = "(l1 + l2)*";
 
-/// Single-source evaluation: the automaton engine's native strength.
+void BM_NreEvalLegacy(benchmark::State& state) {
+  RunQueryBench(state, legacy, kPaperQuery);
+}
+void BM_NreEvalCompiled(benchmark::State& state) {
+  RunQueryBench(state, compiled, kPaperQuery);
+}
+BENCHMARK(BM_NreEvalLegacy)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NreEvalCompiled)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Arg(800)->Unit(benchmark::kMillisecond);
+
+void BM_NreEvalDenseClosureLegacy(benchmark::State& state) {
+  RunQueryBench(state, legacy, kDenseClosureQuery);
+}
+void BM_NreEvalDenseClosureCompiled(benchmark::State& state) {
+  RunQueryBench(state, compiled, kDenseClosureQuery);
+}
+BENCHMARK(BM_NreEvalDenseClosureLegacy)->Arg(50)->Arg(100)->Arg(200)
+    ->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NreEvalDenseClosureCompiled)->Arg(50)->Arg(100)->Arg(200)
+    ->Arg(400)->Arg(800)->Unit(benchmark::kMillisecond);
+
+/// Single-source evaluation: the compiled engine's native strength.
 void BM_AutomatonEvalFrom(benchmark::State& state) {
   Universe universe;
   Alphabet alphabet;
@@ -69,10 +97,10 @@ void BM_AutomatonEvalFrom(benchmark::State& state) {
   params.num_edges = params.num_nodes * 4;
   params.num_labels = 2;
   Graph g = MakeRandomGraph(params, universe, alphabet);
-  Result<NrePtr> q = ParseNre("l1 . l1* [l2] . l1- . (l1-)*", alphabet);
+  Result<NrePtr> q = ParseNre(kPaperQuery, alphabet);
   Value src = g.nodes().front();
   for (auto _ : state) {
-    std::vector<Value> out = automaton.EvalFrom(*q, g, src);
+    std::vector<Value> out = compiled.EvalFrom(*q, g, src);
     benchmark::DoNotOptimize(out);
   }
 }
@@ -92,7 +120,7 @@ void BM_DepthSweep(benchmark::State& state) {
   NrePtr nre = MakeRandomNre(static_cast<size_t>(state.range(0)), 3,
                              alphabet, rng);
   for (auto _ : state) {
-    BinaryRelation rel = automaton.Eval(nre, g);
+    BinaryRelation rel = compiled.Eval(nre, g);
     benchmark::DoNotOptimize(rel);
   }
   state.counters["ast_nodes"] = static_cast<double>(nre->Size());

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on perf regressions.
+
+The CI bench-smoke job stores every run's BENCH_*.json as a workflow
+artifact; this script diffs the current run against the previous run's
+artifact and exits non-zero when any tracked benchmark's cpu_time grew by
+more than the threshold — the ROADMAP "perf trajectory" gate.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [--threshold 0.25]
+                  [--filter REGEX]
+
+Behavior:
+  * A missing/unreadable baseline file is not an error (first run, expired
+    artifact): the script reports and exits 0.
+  * Only per-iteration entries are compared (aggregates are skipped).
+  * Benchmarks present on one side only are reported informationally.
+  * cpu_time is normalized via time_unit, so a unit change in the bench
+    source does not fake a regression.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """name -> cpu_time in ns per benchmark.
+
+    Prefers the median aggregate when the run used
+    --benchmark_repetitions (far more stable on shared CI runners than a
+    single iteration); falls back to the last per-iteration entry.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    iterations = {}
+    medians = {}
+    for entry in doc.get("benchmarks", []):
+        name = entry.get("name")
+        cpu = entry.get("cpu_time")
+        if name is None or cpu is None:
+            continue
+        ns = cpu * _UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
+        run_type = entry.get("run_type", "iteration")
+        if run_type == "iteration":
+            iterations[entry.get("run_name", name)] = ns
+        elif (run_type == "aggregate"
+              and entry.get("aggregate_name") == "median"):
+            medians[entry.get("run_name", name)] = ns
+    out = dict(iterations)
+    out.update(medians)  # medians win where both exist
+    return out
+
+
+def format_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return "%.3g%s" % (ns / scale, unit)
+    return "%.3g ns" % ns
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff google-benchmark JSON runs; fail on regression.")
+    parser.add_argument("baseline", help="previous run's JSON")
+    parser.add_argument("current", help="this run's JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative cpu_time growth "
+                             "(0.25 = +25%%)")
+    parser.add_argument("--filter", default="",
+                        help="regex of tracked benchmark names "
+                             "(default: all common names)")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+    except (OSError, ValueError) as err:
+        print("bench_diff: no usable baseline (%s); skipping diff" % err)
+        return 0
+    try:
+        current = load_benchmarks(args.current)
+    except (OSError, ValueError) as err:
+        print("bench_diff: cannot read current run: %s" % err,
+              file=sys.stderr)
+        return 2
+
+    tracked = re.compile(args.filter) if args.filter else None
+    common = sorted(name for name in baseline if name in current)
+    regressions = []
+    print("%-52s %12s %12s %8s" % ("benchmark", "baseline", "current",
+                                   "ratio"))
+    for name in common:
+        if tracked is not None and not tracked.search(name):
+            continue
+        old, new = baseline[name], current[name]
+        ratio = new / old if old > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  REGRESSED"
+            regressions.append((name, ratio))
+        elif ratio < 1.0 / (1.0 + args.threshold):
+            flag = "  improved"
+        print("%-52s %12s %12s %7.2fx%s"
+              % (name, format_ns(old), format_ns(new), ratio, flag))
+
+    for name in sorted(set(current) - set(baseline)):
+        print("new benchmark (no baseline): %s" % name)
+    for name in sorted(set(baseline) - set(current)):
+        print("dropped benchmark: %s" % name)
+
+    if regressions:
+        print("\n%d benchmark(s) regressed more than +%d%%:"
+              % (len(regressions), round(args.threshold * 100)),
+              file=sys.stderr)
+        for name, ratio in regressions:
+            print("  %s: %.2fx" % (name, ratio), file=sys.stderr)
+        return 1
+    print("\nno regression beyond +%d%% across %d compared benchmark(s)"
+          % (round(args.threshold * 100), len(common)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include "common/value_partition.h"
 #include "graph/cnre.h"
+#include "graph/graph_view.h"
 
 namespace gdx {
 namespace {
@@ -14,8 +15,10 @@ bool CollectMerges(const Graph& eval_graph,
                    const NreEvaluator& eval, ValuePartition& partition,
                    EgdChaseResult* result, bool* merged_any,
                    bool first_only) {
+  // One CSR snapshot for every egd this round (the graph is fixed).
+  GraphView view(eval_graph);
   for (const TargetEgd& egd : egds) {
-    CnreMatcher matcher(&egd.body, &eval_graph, eval);
+    CnreMatcher matcher(&egd.body, &view, eval);
     bool ok = true;
     matcher.FindMatches({}, [&](const CnreBinding& match) {
       if (!match[egd.x1].has_value() || !match[egd.x2].has_value()) {

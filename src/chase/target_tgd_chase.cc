@@ -1,6 +1,7 @@
 #include "chase/target_tgd_chase.h"
 
 #include "graph/cnre.h"
+#include "graph/graph_view.h"
 #include "pattern/witness.h"
 
 namespace gdx {
@@ -13,14 +14,21 @@ Status ChaseTargetTgds(Graph& g, const std::vector<TargetTgd>& tgds,
     size_t fired = 0;
     for (const TargetTgd& tgd : tgds) {
       CnreQuery head_query = tgd.HeadQuery();
-      CnreMatcher body_matcher(&tgd.body, &g, eval);
-      CnreMatcher head_matcher(&head_query, &g, eval);
-      // Collect unmet triggers first; mutating g mid-enumeration is unsafe.
+      // Collect unmet triggers first; mutating g mid-enumeration is
+      // unsafe. The view and matchers are scoped to this block so nothing
+      // can read the snapshot after the mutation below invalidates it.
       std::vector<CnreBinding> unmet;
-      body_matcher.FindMatches({}, [&](const CnreBinding& match) {
-        if (!head_matcher.Satisfiable(match)) unmet.push_back(match);
-        return true;
-      });
+      {
+        // One snapshot per tgd: the body and head matchers see the same
+        // graph (mutation happens only after enumeration).
+        GraphView view(g);
+        CnreMatcher body_matcher(&tgd.body, &view, eval);
+        CnreMatcher head_matcher(&head_query, &view, eval);
+        body_matcher.FindMatches({}, [&](const CnreBinding& match) {
+          if (!head_matcher.Satisfiable(match)) unmet.push_back(match);
+          return true;
+        });
+      }
       for (const CnreBinding& match : unmet) {
         // Fresh nulls for existential head variables of this trigger.
         CnreBinding binding = match;

@@ -1,0 +1,60 @@
+#ifndef GDX_COMMON_BITSET_H_
+#define GDX_COMMON_BITSET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gdx {
+
+/// Flat 64-bit-word bitset for the product-BFS evaluator hot path. Unlike
+/// std::vector<bool> every word is directly addressable, Reset() is a
+/// memset-speed fill, and TestAndSet folds the visited check and the mark
+/// into one read-modify-write of the same word.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t num_bits) { Resize(num_bits); }
+
+  /// Resizes to `num_bits`, clearing all bits.
+  void Resize(size_t num_bits) { words_.assign((num_bits + 63) / 64, 0); }
+
+  /// Clears all bits, keeping the size (word-wise fill, no reallocation).
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  bool Test(size_t i) const {
+    return ((words_[i >> 6] >> (i & 63)) & 1) != 0;
+  }
+
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+
+  /// Sets bit `i`; returns true iff it was previously clear.
+  bool TestAndSet(size_t i) {
+    uint64_t& word = words_[i >> 6];
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    if ((word & mask) != 0) return false;
+    word |= mask;
+    return true;
+  }
+
+  /// Calls fn(i) for every set bit, ascending (count-trailing-zeros walk).
+  template <typename Fn>
+  void ForEachSet(Fn fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const size_t bit = static_cast<size_t>(__builtin_ctzll(w));
+        fn(wi * 64 + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_COMMON_BITSET_H_

@@ -53,6 +53,10 @@ BatchReport BatchExecutor::SolveAll(std::vector<Scenario>& scenarios) {
       cache_after.answer_hits - cache_before.answer_hits;
   report.total.answer_cache_misses =
       cache_after.answer_misses - cache_before.answer_misses;
+  report.total.compile_cache_hits =
+      cache_after.compile_hits - cache_before.compile_hits;
+  report.total.compile_cache_misses =
+      cache_after.compile_misses - cache_before.compile_misses;
   return report;
 }
 

@@ -2,49 +2,16 @@
 
 #include <algorithm>
 
+#include "graph/graph_view.h"
 #include "graph/isomorphism.h"
 #include "graph/nre.h"
 
 namespace gdx {
-namespace {
-
-void AppendU64(std::string& out, uint64_t x) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>(x & 0xff));
-    x >>= 8;
-  }
-}
-
-/// Serializes the NRE's raw structure — kinds and symbol ids only, no
-/// names. Structurally equal NREs (even from different alphabets with the
-/// same symbol ids) produce equal strings, and the serialization is
-/// prefix-unambiguous (every node emits its kind tag first).
-void AppendNreRaw(std::string& out, const Nre& nre) {
-  out.push_back(static_cast<char>(nre.kind()));
-  switch (nre.kind()) {
-    case Nre::Kind::kEpsilon:
-      break;
-    case Nre::Kind::kSymbol:
-    case Nre::Kind::kInverse:
-      AppendU64(out, nre.symbol());
-      break;
-    case Nre::Kind::kUnion:
-    case Nre::Kind::kConcat:
-      AppendNreRaw(out, *nre.left());
-      AppendNreRaw(out, *nre.right());
-      break;
-    case Nre::Kind::kStar:
-    case Nre::Kind::kNest:
-      AppendNreRaw(out, *nre.child());
-      break;
-  }
-}
-
-}  // namespace
-
 std::string EngineCache::NreKey(const NrePtr& nre, const Graph& g) {
+  // The NRE's raw structure (kinds + symbol ids, no names; see
+  // AppendNreRawSignature) appended to the graph's exact raw signature.
   std::string key = g.RawSignature();
-  AppendNreRaw(key, *nre);
+  AppendNreRawSignature(*nre, &key);
   return key;
 }
 
@@ -55,10 +22,10 @@ constexpr uint64_t kNullMarker = ~0ull;  // nulls are renamed freely
 void AppendTerm(std::string& out, const Term& term) {
   if (term.is_var()) {
     out.push_back('v');
-    AppendU64(out, term.var());
+    AppendRawU64(term.var(), &out);
   } else {
     out.push_back('c');
-    AppendU64(out, term.constant().raw());
+    AppendRawU64(term.constant().raw(), &out);
   }
 }
 
@@ -72,14 +39,14 @@ std::string EngineCache::AnswerKey(const CnreQuery& query, const Graph& g) {
   std::string key;
   key.reserve(64 + g.num_edges() * 24);
   // Query structure: atoms (term, raw NRE, term) + head columns.
-  AppendU64(key, query.atoms().size());
+  AppendRawU64(query.atoms().size(), &key);
   for (const CnreAtom& atom : query.atoms()) {
     AppendTerm(key, atom.x);
-    AppendNreRaw(key, *atom.nre);
+    AppendNreRawSignature(*atom.nre, &key);
     AppendTerm(key, atom.y);
   }
-  AppendU64(key, query.head().size());
-  for (VarId v : query.head()) AppendU64(key, v);
+  AppendRawU64(query.head().size(), &key);
+  for (VarId v : query.head()) AppendRawU64(v, &key);
   // Null-blind graph shape: sorted edge triples and isolated-node markers
   // with every null replaced by one marker. Equal keys are a necessary
   // condition for null-renaming isomorphism; LookupAnswers verifies.
@@ -87,19 +54,19 @@ std::string EngineCache::AnswerKey(const CnreQuery& query, const Graph& g) {
   parts.reserve(g.num_edges() + g.num_nodes());
   for (const Edge& e : g.edges()) {
     std::string part;
-    AppendU64(part, NullBlindRaw(e.src));
-    AppendU64(part, e.label);
-    AppendU64(part, NullBlindRaw(e.dst));
+    AppendRawU64(NullBlindRaw(e.src), &part);
+    AppendRawU64(e.label, &part);
+    AppendRawU64(NullBlindRaw(e.dst), &part);
     parts.push_back(std::move(part));
   }
   for (Value v : g.nodes()) {
     std::string part(1, 'n');
-    AppendU64(part, NullBlindRaw(v));
+    AppendRawU64(NullBlindRaw(v), &part);
     parts.push_back(std::move(part));
   }
   std::sort(parts.begin(), parts.end());
-  AppendU64(key, g.num_nodes());
-  AppendU64(key, g.num_edges());
+  AppendRawU64(g.num_nodes(), &key);
+  AppendRawU64(g.num_edges(), &key);
   for (const std::string& part : parts) key += part;
   return key;
 }
@@ -130,6 +97,10 @@ void EngineCache::TouchAnswers(AnswerBucket& bucket) {
   answer_lru_.splice(answer_lru_.begin(), answer_lru_, bucket.lru);
 }
 
+void EngineCache::TouchCompiled(CompiledEntry& entry) {
+  compiled_lru_.splice(compiled_lru_.begin(), compiled_lru_, entry.lru);
+}
+
 void EngineCache::EvictOverCap() {
   // Called with mutex_ held. LRU keys fall off the back of each list.
   if (options_.max_nre_entries != 0) {
@@ -148,6 +119,57 @@ void EngineCache::EvictOverCap() {
       ++stats_.answer_evictions;
     }
   }
+  if (options_.max_compiled_entries != 0) {
+    while (compiled_memo_.size() > options_.max_compiled_entries) {
+      compiled_memo_.erase(compiled_lru_.back());
+      compiled_lru_.pop_back();
+      ++stats_.compile_evictions;
+    }
+  }
+}
+
+CompiledNrePtr EngineCache::GetOrCompile(const NrePtr& nre) {
+  // Each call counts as exactly one hit or one miss, decided by whether
+  // the caller was served from the memo — so hits + misses always equals
+  // the number of GetOrCompile calls, like the other memos.
+  auto count_hit = [this] {
+    ++stats_.compile_hits;  // mutex_ held
+    if (g_solve_sink != nullptr) {
+      g_solve_sink->compile_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::string key = NreRawSignature(*nre);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = compiled_memo_.find(key);
+    if (it != compiled_memo_.end()) {
+      count_hit();
+      TouchCompiled(it->second);
+      return it->second.compiled;
+    }
+  }
+  // Compile outside the lock: lowering is pure and may recurse into nested
+  // tests; holding the mutex would serialize every worker behind it.
+  CompiledNrePtr compiled = CompiledNre::Compile(nre);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = compiled_memo_.find(key);
+  if (it != compiled_memo_.end()) {
+    // A racing worker published first; keep its plan (entries are
+    // interchangeable — compilation is deterministic) and count the call
+    // as the memo serving it.
+    count_hit();
+    TouchCompiled(it->second);
+    return it->second.compiled;
+  }
+  ++stats_.compile_misses;
+  if (g_solve_sink != nullptr) {
+    g_solve_sink->compile_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  compiled_lru_.push_front(key);
+  compiled_memo_.emplace(std::move(key),
+                         CompiledEntry{compiled, compiled_lru_.begin()});
+  EvictOverCap();
+  return compiled;
 }
 
 bool EngineCache::LookupNre(const std::string& key, BinaryRelation* out) {
@@ -238,6 +260,7 @@ CacheSizes EngineCache::sizes() const {
   out.nre_entries = nre_memo_.size();
   out.answer_keys = answer_memo_.size();
   out.answer_entries = answer_entries_;
+  out.compiled_entries = compiled_memo_.size();
   return out;
 }
 
@@ -253,6 +276,8 @@ void EngineCache::Clear() {
   answer_memo_.clear();
   answer_lru_.clear();
   answer_entries_ = 0;
+  compiled_memo_.clear();
+  compiled_lru_.clear();
   stats_ = CacheStats{};
 }
 
@@ -262,6 +287,27 @@ BinaryRelation CachingNreEvaluator::Eval(const NrePtr& nre,
   BinaryRelation relation;
   if (cache_->LookupNre(key, &relation)) return relation;
   relation = base_->Eval(nre, g);
+  cache_->StoreNre(std::move(key), relation);
+  return relation;
+}
+
+BinaryRelation CachingNreEvaluator::EvalOnView(const NrePtr& nre,
+                                               const GraphView& view) const {
+  std::string key = EngineCache::NreKey(nre, view.graph());
+  BinaryRelation relation;
+  if (cache_->LookupNre(key, &relation)) return relation;
+  relation = base_->EvalOnView(nre, view);
+  cache_->StoreNre(std::move(key), relation);
+  return relation;
+}
+
+BinaryRelation CachingNreEvaluator::EvalDeferred(
+    const NrePtr& nre, const Graph& g,
+    const std::function<const GraphView&()>& view) const {
+  std::string key = EngineCache::NreKey(nre, g);
+  BinaryRelation relation;
+  if (cache_->LookupNre(key, &relation)) return relation;
+  relation = base_->EvalDeferred(nre, g, view);
   cache_->StoreNre(std::move(key), relation);
   return relation;
 }

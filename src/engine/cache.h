@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/cnre.h"
+#include "graph/nre_compile.h"
 #include "graph/nre_eval.h"
 
 namespace gdx {
@@ -20,12 +21,19 @@ struct CacheStats {
   uint64_t nre_misses = 0;
   uint64_t answer_hits = 0;
   uint64_t answer_misses = 0;
+  uint64_t compile_hits = 0;
+  uint64_t compile_misses = 0;
   uint64_t nre_evictions = 0;
   uint64_t answer_evictions = 0;
+  uint64_t compile_evictions = 0;
 
-  uint64_t hits() const { return nre_hits + answer_hits; }
-  uint64_t misses() const { return nre_misses + answer_misses; }
-  uint64_t evictions() const { return nre_evictions + answer_evictions; }
+  uint64_t hits() const { return nre_hits + answer_hits + compile_hits; }
+  uint64_t misses() const {
+    return nre_misses + answer_misses + compile_misses;
+  }
+  uint64_t evictions() const {
+    return nre_evictions + answer_evictions + compile_evictions;
+  }
 };
 
 /// Live entry counts of the cache (see EngineCache::sizes).
@@ -33,14 +41,17 @@ struct CacheSizes {
   size_t nre_entries = 0;
   size_t answer_keys = 0;
   size_t answer_entries = 0;
+  size_t compiled_entries = 0;
 };
 
 /// Size caps of the engine cache (ISSUE 2: long-running services must not
 /// grow without bound). Eviction is LRU at entry granularity for the NRE
-/// memo and at key granularity for the answer memo. 0 = unbounded.
+/// and compiled-automaton memos and at key granularity for the answer
+/// memo. 0 = unbounded.
 struct EngineCacheOptions {
   size_t max_nre_entries = 1u << 16;
   size_t max_answer_keys = 1u << 13;
+  size_t max_compiled_entries = 1u << 12;
 };
 
 /// Per-solve cache traffic sink (ISSUE 2 satellite): one instance lives on
@@ -55,6 +66,8 @@ struct PerSolveCacheStats {
   std::atomic<uint64_t> nre_misses{0};
   std::atomic<uint64_t> answer_hits{0};
   std::atomic<uint64_t> answer_misses{0};
+  std::atomic<uint64_t> compile_hits{0};
+  std::atomic<uint64_t> compile_misses{0};
 
   CacheStats Snapshot() const {
     CacheStats out;
@@ -62,6 +75,8 @@ struct PerSolveCacheStats {
     out.nre_misses = nre_misses.load(std::memory_order_relaxed);
     out.answer_hits = answer_hits.load(std::memory_order_relaxed);
     out.answer_misses = answer_misses.load(std::memory_order_relaxed);
+    out.compile_hits = compile_hits.load(std::memory_order_relaxed);
+    out.compile_misses = compile_misses.load(std::memory_order_relaxed);
     return out;
   }
 };
@@ -96,7 +111,15 @@ class ScopedCacheAttribution {
 ///    tuples are exact for the probe graph. Repeated queries over an
 ///    already-seen target graph thus skip CNRE matching entirely, across
 ///    solves and across scenarios.
-class EngineCache {
+///  * Compiled-automaton memo (ISSUE 3 tentpole part 4) — CompiledNre
+///    plans keyed by the NRE's raw structural signature alone (no graph
+///    component: a compiled automaton is graph-independent). The bounded
+///    search evaluates the same handful of constraint NREs against
+///    thousands of near-identical candidate graphs; with this memo each
+///    expression is lowered exactly once per process and shared by every
+///    intra-solve worker and batch scenario (entries are immutable
+///    shared_ptrs, handed out without copying).
+class EngineCache : public CompiledNreCache {
  public:
   explicit EngineCache(EngineCacheOptions options = {})
       : options_(options) {}
@@ -121,6 +144,12 @@ class EngineCache {
   void StoreAnswers(const std::string& key, const Graph& g,
                     std::vector<std::vector<Value>> answers);
 
+  /// The compiled automaton of `nre`, shared across callers: a hit returns
+  /// the memoized immutable plan; a miss compiles outside the lock and
+  /// publishes the result (first writer wins under races). This is the
+  /// CompiledNreCache hook the engine's AutomatonNreEvaluator is wired to.
+  CompiledNrePtr GetOrCompile(const NrePtr& nre) override;
+
   CacheStats stats() const;
   CacheSizes sizes() const;
   const EngineCacheOptions& options() const { return options_; }
@@ -140,9 +169,14 @@ class EngineCache {
     std::vector<AnswerEntry> entries;
     std::list<std::string>::iterator lru;
   };
+  struct CompiledEntry {
+    CompiledNrePtr compiled;
+    std::list<std::string>::iterator lru;
+  };
 
   void TouchNre(NreEntry& entry);
   void TouchAnswers(AnswerBucket& bucket);
+  void TouchCompiled(CompiledEntry& entry);
   void EvictOverCap();
 
   EngineCacheOptions options_;
@@ -152,6 +186,8 @@ class EngineCache {
   std::unordered_map<std::string, AnswerBucket> answer_memo_;
   std::list<std::string> answer_lru_;
   size_t answer_entries_ = 0;
+  std::unordered_map<std::string, CompiledEntry> compiled_memo_;
+  std::list<std::string> compiled_lru_;
   CacheStats stats_;
 };
 
@@ -165,6 +201,13 @@ class CachingNreEvaluator : public NreEvaluator {
       : base_(base), cache_(cache) {}
 
   BinaryRelation Eval(const NrePtr& nre, const Graph& g) const override;
+  BinaryRelation EvalOnView(const NrePtr& nre,
+                            const GraphView& view) const override;
+  /// Memo check first: a hit never invokes the view factory, so repeated
+  /// matcher builds over an already-seen graph skip CSR indexing.
+  BinaryRelation EvalDeferred(
+      const NrePtr& nre, const Graph& g,
+      const std::function<const GraphView&()>& view) const override;
   std::vector<Value> EvalFrom(const NrePtr& nre, const Graph& g,
                               Value src) const override {
     return base_->EvalFrom(nre, g, src);

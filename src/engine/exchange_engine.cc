@@ -87,7 +87,10 @@ ExchangeEngine::ExchangeEngine(EngineOptions options)
   if (options_.evaluator == EvaluatorKind::kNaive) {
     base_eval_.reset(new NaiveNreEvaluator);
   } else {
-    base_eval_.reset(new AutomatonNreEvaluator);
+    // The cache doubles as the compiled-automaton store (ISSUE 3): every
+    // intra-solve worker and batch scenario shares one lowering per NRE.
+    base_eval_.reset(new AutomatonNreEvaluator(
+        options_.enable_cache ? cache_.get() : nullptr));
   }
   if (options_.enable_cache) {
     caching_eval_.reset(new CachingNreEvaluator(base_eval_.get(),
@@ -224,6 +227,8 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
   m.nre_cache_misses = solve_delta.nre_misses;
   m.answer_cache_hits = solve_delta.answer_hits;
   m.answer_cache_misses = solve_delta.answer_misses;
+  m.compile_cache_hits = solve_delta.compile_hits;
+  m.compile_cache_misses = solve_delta.compile_misses;
   return out;
 }
 

@@ -37,6 +37,8 @@ struct Metrics {
   uint64_t nre_cache_misses = 0;
   uint64_t answer_cache_hits = 0;
   uint64_t answer_cache_misses = 0;
+  uint64_t compile_cache_hits = 0;
+  uint64_t compile_cache_misses = 0;
 
   size_t scenarios = 0;  // solves accumulated into this struct
 
@@ -55,12 +57,16 @@ struct Metrics {
     nre_cache_misses += other.nre_cache_misses;
     answer_cache_hits += other.answer_cache_hits;
     answer_cache_misses += other.answer_cache_misses;
+    compile_cache_hits += other.compile_cache_hits;
+    compile_cache_misses += other.compile_cache_misses;
     scenarios += other.scenarios;
   }
 
-  uint64_t cache_hits() const { return nre_cache_hits + answer_cache_hits; }
+  uint64_t cache_hits() const {
+    return nre_cache_hits + answer_cache_hits + compile_cache_hits;
+  }
   uint64_t cache_misses() const {
-    return nre_cache_misses + answer_cache_misses;
+    return nre_cache_misses + answer_cache_misses + compile_cache_misses;
   }
 
   /// Multi-line human-readable summary for CLI / bench output.
@@ -72,7 +78,8 @@ struct Metrics {
         "  wall: total=%.3fms chase=%.3fms existence=%.3fms "
         "certain=%.3fms minimize=%.3fms verify=%.3fms\n"
         "  work: triggers=%zu merges=%zu candidates=%zu solutions=%zu\n"
-        "  cache: nre %llu hit / %llu miss, answers %llu hit / %llu miss\n",
+        "  cache: nre %llu hit / %llu miss, answers %llu hit / %llu miss, "
+        "compile %llu hit / %llu miss\n",
         scenarios, total_seconds * 1e3, chase_seconds * 1e3,
         existence_seconds * 1e3, certain_seconds * 1e3,
         minimize_seconds * 1e3, verify_seconds * 1e3, chase_triggers,
@@ -80,7 +87,9 @@ struct Metrics {
         static_cast<unsigned long long>(nre_cache_hits),
         static_cast<unsigned long long>(nre_cache_misses),
         static_cast<unsigned long long>(answer_cache_hits),
-        static_cast<unsigned long long>(answer_cache_misses));
+        static_cast<unsigned long long>(answer_cache_misses),
+        static_cast<unsigned long long>(compile_cache_hits),
+        static_cast<unsigned long long>(compile_cache_misses));
     return buf;
   }
 };

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "graph/cnre.h"
+#include "graph/graph_view.h"
 #include "relational/eval.h"
 
 namespace gdx {
@@ -33,11 +34,15 @@ SolutionCheckReport CheckSolution(const Setting& setting,
                                   const SolutionCheckOptions& options) {
   SolutionCheckReport report;
 
+  // One CSR snapshot of the candidate for every matcher below (ISSUE 3):
+  // each constraint category used to rebuild the node index per matcher.
+  GraphView view(g);
+
   // --- s-t tgds: every body match must extend to a head match in G. ---
   for (size_t t = 0; t < setting.st_tgds.size(); ++t) {
     const StTgd& tgd = setting.st_tgds[t];
     CnreQuery head_query = tgd.HeadQuery();
-    CnreMatcher head_matcher(&head_query, &g, eval);
+    CnreMatcher head_matcher(&head_query, &view, eval);
     size_t violations = 0;
     FindCqMatches(tgd.body, source, [&](const Binding& match) {
       if (!head_matcher.Satisfiable(match)) {
@@ -56,7 +61,7 @@ SolutionCheckReport CheckSolution(const Setting& setting,
   // --- egds: every body match must equate x1 and x2. ---
   for (size_t c = 0; c < setting.egds.size(); ++c) {
     const TargetEgd& egd = setting.egds[c];
-    CnreMatcher matcher(&egd.body, &g, eval);
+    CnreMatcher matcher(&egd.body, &view, eval);
     size_t violations = 0;
     matcher.FindMatches({}, [&](const CnreBinding& match) {
       if (match[egd.x1].has_value() && match[egd.x2].has_value() &&
@@ -79,8 +84,8 @@ SolutionCheckReport CheckSolution(const Setting& setting,
   for (size_t c = 0; c < setting.target_tgds.size(); ++c) {
     const TargetTgd& tgd = setting.target_tgds[c];
     CnreQuery head_query = tgd.HeadQuery();
-    CnreMatcher body_matcher(&tgd.body, &g, eval);
-    CnreMatcher head_matcher(&head_query, &g, eval);
+    CnreMatcher body_matcher(&tgd.body, &view, eval);
+    CnreMatcher head_matcher(&head_query, &view, eval);
     size_t violations = 0;
     body_matcher.FindMatches({}, [&](const CnreBinding& match) {
       // Only frontier variables (bound by the body) constrain the head.
@@ -109,7 +114,7 @@ SolutionCheckReport CheckSolution(const Setting& setting,
         static_cast<SymbolId>(setting.alphabet->size()));
     for (size_t c = 0; c < setting.sameas.size(); ++c) {
       const SameAsConstraint& sac = setting.sameas[c];
-      CnreMatcher matcher(&sac.body, &g, eval);
+      CnreMatcher matcher(&sac.body, &view, eval);
       size_t violations = 0;
       matcher.FindMatches({}, [&](const CnreBinding& match) {
         if (!match[sac.x1].has_value() || !match[sac.x2].has_value()) {

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "graph/graph_view.h"
+
 namespace gdx {
 namespace {
 
@@ -123,23 +125,51 @@ struct CnreMatcher::Impl {
   std::vector<AtomRelation> relations;
 };
 
-CnreMatcher::CnreMatcher(const CnreQuery* query, const Graph* graph,
-                         const NreEvaluator& eval)
-    : query_(query), impl_(new Impl) {
-  impl_->relations.resize(query->atoms().size());
-  for (size_t i = 0; i < query->atoms().size(); ++i) {
+namespace {
+
+/// Shared constructor body: every atom evaluated against one view,
+/// materialized lazily through `view_factory` (memo hits never build it;
+/// duplicate NREs share their relation).
+void BuildRelations(const CnreQuery& query, const Graph& graph,
+                    const std::function<const GraphView&()>& view_factory,
+                    const NreEvaluator& eval,
+                    std::vector<AtomRelation>& relations) {
+  relations.resize(query.atoms().size());
+  for (size_t i = 0; i < query.atoms().size(); ++i) {
     bool shared = false;
     for (size_t j = 0; j < i; ++j) {
-      if (NreEquals(query->atoms()[i].nre, query->atoms()[j].nre)) {
-        impl_->relations[i] = impl_->relations[j];
+      if (NreEquals(query.atoms()[i].nre, query.atoms()[j].nre)) {
+        relations[i] = relations[j];
         shared = true;
         break;
       }
     }
     if (!shared) {
-      impl_->relations[i].Build(eval.Eval(query->atoms()[i].nre, *graph));
+      relations[i].Build(
+          eval.EvalDeferred(query.atoms()[i].nre, graph, view_factory));
     }
   }
+}
+
+}  // namespace
+
+CnreMatcher::CnreMatcher(const CnreQuery* query, const Graph* graph,
+                         const NreEvaluator& eval)
+    : query_(query), impl_(new Impl) {
+  std::optional<GraphView> owned;
+  auto factory = [&]() -> const GraphView& {
+    if (!owned.has_value()) owned.emplace(*graph);
+    return *owned;
+  };
+  BuildRelations(*query, *graph, factory, eval, impl_->relations);
+}
+
+CnreMatcher::CnreMatcher(const CnreQuery* query, const GraphView* view,
+                         const NreEvaluator& eval)
+    : query_(query), impl_(new Impl) {
+  BuildRelations(*query, view->graph(), [view]() -> const GraphView& {
+    return *view;
+  }, eval, impl_->relations);
 }
 
 CnreMatcher::~CnreMatcher() = default;

@@ -54,9 +54,17 @@ using CnreBinding = std::vector<std::optional<Value>>;
 /// Matcher with per-atom relations precomputed over one graph: build once,
 /// run many (partial-binding) match enumerations. This is the workhorse of
 /// solution checking, the egd chase and certain-answer computation.
+/// Construction builds one GraphView CSR snapshot and evaluates every atom
+/// against it (EvalOnView), so the per-graph indexing cost is paid once per
+/// matcher — or once per *graph* when the caller passes a shared view.
 class CnreMatcher {
  public:
   CnreMatcher(const CnreQuery* query, const Graph* graph,
+              const NreEvaluator& eval);
+  /// Shares a caller-owned view (solution checks build several matchers
+  /// against one candidate graph). `view` must outlive the constructor
+  /// call only; the matcher keeps no reference to it.
+  CnreMatcher(const CnreQuery* query, const GraphView* view,
               const NreEvaluator& eval);
   ~CnreMatcher();
   CnreMatcher(CnreMatcher&&) noexcept;

@@ -24,6 +24,16 @@ uint64_t Mix64(uint64_t x) {
 }
 }  // namespace
 
+void Graph::ReserveFor(size_t num_nodes, size_t num_edges) {
+  nodes_.reserve(num_nodes);
+  node_set_.reserve(num_nodes);
+  edges_.reserve(num_edges);
+  edge_set_.reserve(num_edges);
+  // Adjacency maps hold at most one entry per edge endpoint.
+  successors_.reserve(num_edges);
+  predecessors_.reserve(num_edges);
+}
+
 void Graph::AddNode(Value v) {
   if (node_set_.insert(v.raw()).second) {
     nodes_.push_back(v);

@@ -69,13 +69,21 @@ class Graph {
   /// it cannot collide.
   const std::string& RawSignature() const;
 
+  /// Pre-sizes the node/edge vectors and every rebuilt index for the given
+  /// counts — one allocation each instead of growth doubling. Rebuilds
+  /// (RewriteValues, bulk loads) know their sizes up front.
+  void ReserveFor(size_t num_nodes, size_t num_edges);
+
   /// Rebuilds the graph replacing every value by `rewrite(value)` —
-  /// used when egd merges identify nodes. Re-deduplicates.
+  /// used when egd merges identify nodes. Re-deduplicates. The rebuild
+  /// reserves from the old sizes (an upper bound: merges only shrink the
+  /// sets), so the repeated egd-merge rebuilds stop reallocating.
   template <typename Fn>
   void RewriteValues(Fn rewrite) {
     std::vector<Value> old_nodes = std::move(nodes_);
     std::vector<Edge> old_edges = std::move(edges_);
     Clear();
+    ReserveFor(old_nodes.size(), old_edges.size());
     for (Value v : old_nodes) AddNode(rewrite(v));
     for (const Edge& e : old_edges) {
       AddEdge(rewrite(e.src), e.label, rewrite(e.dst));

@@ -1,0 +1,63 @@
+#include "graph/graph_view.h"
+
+#include <algorithm>
+
+namespace gdx {
+
+GraphView::GraphView(const Graph& g)
+    : graph_(&g), num_nodes_(g.num_nodes()) {
+  const std::vector<Value>& nodes = g.nodes();
+  id_of_.reserve(num_nodes_ * 2);
+  for (uint32_t i = 0; i < num_nodes_; ++i) {
+    id_of_.emplace(nodes[i].raw(), i);
+  }
+
+  const std::vector<Edge>& edges = g.edges();
+  if (edges.empty()) return;
+  SymbolId max_label = 0;
+  for (const Edge& e : edges) max_label = std::max(max_label, e.label);
+  slot_of_label_.assign(max_label + 1, kNoSlot);
+
+  // Pass 1: assign label slots, resolve endpoint ids once per edge (the
+  // fill pass reuses them — hashing is the expensive part of a build),
+  // and count per-row degrees into the shared offsets array (shifted by
+  // one so the prefix sum lands them in place).
+  uint32_t num_slots = 0;
+  for (const Edge& e : edges) {
+    if (slot_of_label_[e.label] == kNoSlot) {
+      slot_of_label_[e.label] = num_slots++;
+    }
+  }
+  const size_t run = num_nodes_ + 1;
+  offsets_.assign(size_t{num_slots} * 2 * run, 0);
+  std::vector<std::pair<uint32_t, uint32_t>> edge_ids;
+  edge_ids.reserve(edges.size());
+  for (const Edge& e : edges) {
+    const uint32_t slot = slot_of_label_[e.label];
+    const uint32_t src = id_of_.find(e.src.raw())->second;
+    const uint32_t dst = id_of_.find(e.dst.raw())->second;
+    edge_ids.emplace_back(src, dst);
+    ++offsets_[OffsetsBase(slot, 0) + src + 1];
+    ++offsets_[OffsetsBase(slot, 1) + dst + 1];
+  }
+  // Global prefix sum: rows of consecutive runs are laid out back to back
+  // in targets_, so one running sum over the whole offsets array works —
+  // each run's leading slot already holds the previous run's end.
+  uint32_t running = 0;
+  for (size_t i = 0; i < offsets_.size(); ++i) {
+    running += offsets_[i];
+    offsets_[i] = running;
+  }
+  // Pass 2: fill rows with a cursor copy; per-row neighbor order is edge
+  // insertion order (deterministic, mirrors Graph::Successors).
+  targets_.resize(edges.size() * 2);
+  std::vector<uint32_t> cursor(offsets_);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const uint32_t slot = slot_of_label_[edges[i].label];
+    const auto [src, dst] = edge_ids[i];
+    targets_[cursor[OffsetsBase(slot, 0) + src]++] = dst;
+    targets_[cursor[OffsetsBase(slot, 1) + dst]++] = src;
+  }
+}
+
+}  // namespace gdx

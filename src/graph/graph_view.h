@@ -1,0 +1,98 @@
+#ifndef GDX_GRAPH_GRAPH_VIEW_H_
+#define GDX_GRAPH_GRAPH_VIEW_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gdx {
+
+/// Immutable CSR snapshot of a Graph (ISSUE 3 tentpole part 1): dense
+/// uint32_t node ids in nodes() insertion order and, per edge label,
+/// compressed-sparse-row forward and backward adjacency. Built in one pass;
+/// every evaluator traversal then runs on flat arrays — no hash lookups on
+/// the hot path. The view borrows the Graph: it is valid only while the
+/// graph outlives it unmutated (mutation invalidates node/edge vectors).
+class GraphView {
+ public:
+  static constexpr uint32_t kInvalidNode = UINT32_MAX;
+
+  /// Contiguous run of neighbor node ids (one CSR row).
+  struct NeighborSpan {
+    const uint32_t* data = nullptr;
+    size_t count = 0;
+    const uint32_t* begin() const { return data; }
+    const uint32_t* end() const { return data + count; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+  };
+
+  explicit GraphView(const Graph& g);
+
+  const Graph& graph() const { return *graph_; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return graph_->num_edges(); }
+
+  /// Dense id of `v`, or kInvalidNode when the graph has no such node.
+  uint32_t IdOf(Value v) const {
+    auto it = id_of_.find(v.raw());
+    return it == id_of_.end() ? kInvalidNode : it->second;
+  }
+
+  Value NodeAt(uint32_t id) const { return graph_->nodes()[id]; }
+
+  /// Successor ids of `node` over `label` (forward CSR row; edge insertion
+  /// order within the row).
+  NeighborSpan Out(SymbolId label, uint32_t node) const {
+    const uint32_t slot = SlotOf(label);
+    if (slot == kNoSlot) return {};
+    return Row(slot, 0, node);
+  }
+
+  /// Predecessor ids of `node` over `label` (backward CSR row).
+  NeighborSpan In(SymbolId label, uint32_t node) const {
+    const uint32_t slot = SlotOf(label);
+    if (slot == kNoSlot) return {};
+    return Row(slot, 1, node);
+  }
+
+ private:
+
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  /// Interned SymbolIds are small and dense, so the label->slot mapping is
+  /// a flat array — no hashing on the traversal hot path. All CSR data
+  /// lives in two shared backing arrays (offsets_/targets_), so building a
+  /// view costs a handful of allocations regardless of label count —
+  /// matchers over tiny candidate graphs build views by the thousand.
+  uint32_t SlotOf(SymbolId label) const {
+    if (label >= slot_of_label_.size()) return kNoSlot;
+    return slot_of_label_[label];
+  }
+
+  /// Base index of the slot's forward (direction 0) or backward
+  /// (direction 1) offsets run within offsets_ (num_nodes + 1 entries).
+  size_t OffsetsBase(uint32_t slot, int direction) const {
+    return (size_t{slot} * 2 + direction) * (num_nodes_ + 1);
+  }
+
+  NeighborSpan Row(uint32_t slot, int direction, uint32_t node) const {
+    const size_t base = OffsetsBase(slot, direction);
+    const uint32_t begin = offsets_[base + node];
+    const uint32_t end = offsets_[base + node + 1];
+    return NeighborSpan{targets_.data() + begin, end - begin};
+  }
+
+  const Graph* graph_;
+  size_t num_nodes_;
+  std::unordered_map<uint64_t, uint32_t> id_of_;
+  std::vector<uint32_t> slot_of_label_;  // SymbolId -> slot
+  std::vector<uint32_t> offsets_;        // slots*2 runs of (num_nodes+1)
+  std::vector<uint32_t> targets_;        // absolute indices; 2*num_edges
+};
+
+}  // namespace gdx
+
+#endif  // GDX_GRAPH_GRAPH_VIEW_H_

@@ -1,0 +1,310 @@
+#include "graph/nre_compile.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gdx {
+namespace {
+
+/// Mutable Thompson construction state: ε-edges live here and are folded
+/// into the consuming transitions at the end; only those survive.
+struct Builder {
+  std::vector<std::vector<uint32_t>> eps;  // per-state ε targets
+  std::vector<CompiledNre::State> states;
+  std::vector<NrePtr> tests;
+
+  uint32_t NewState() {
+    eps.emplace_back();
+    states.emplace_back();
+    return static_cast<uint32_t>(states.size() - 1);
+  }
+
+  /// Thompson fragment for `nre`; returns (start, accept).
+  std::pair<uint32_t, uint32_t> Build(const NrePtr& nre) {
+    uint32_t s = NewState();
+    uint32_t t = NewState();
+    switch (nre->kind()) {
+      case Nre::Kind::kEpsilon:
+        eps[s].push_back(t);
+        break;
+      case Nre::Kind::kSymbol:
+        states[s].fwd.emplace_back(nre->symbol(), t);
+        break;
+      case Nre::Kind::kInverse:
+        states[s].bwd.emplace_back(nre->symbol(), t);
+        break;
+      case Nre::Kind::kUnion: {
+        auto [ls, lt] = Build(nre->left());
+        auto [rs, rt] = Build(nre->right());
+        eps[s].push_back(ls);
+        eps[s].push_back(rs);
+        eps[lt].push_back(t);
+        eps[rt].push_back(t);
+        break;
+      }
+      case Nre::Kind::kConcat: {
+        auto [ls, lt] = Build(nre->left());
+        auto [rs, rt] = Build(nre->right());
+        eps[s].push_back(ls);
+        eps[lt].push_back(rs);
+        eps[rt].push_back(t);
+        break;
+      }
+      case Nre::Kind::kStar: {
+        auto [cs, ct] = Build(nre->child());
+        eps[s].push_back(t);
+        eps[s].push_back(cs);
+        eps[ct].push_back(cs);
+        eps[ct].push_back(t);
+        break;
+      }
+      case Nre::Kind::kNest: {
+        uint32_t test_id = static_cast<uint32_t>(tests.size());
+        tests.push_back(nre->child());
+        states[s].tests.emplace_back(test_id, t);
+        break;
+      }
+    }
+    return {s, t};
+  }
+};
+
+/// ε-closure of every state (includes the state itself; ascending).
+std::vector<std::vector<uint32_t>> ComputeClosures(
+    const std::vector<std::vector<uint32_t>>& eps) {
+  const size_t q = eps.size();
+  std::vector<std::vector<uint32_t>> closures(q);
+  std::vector<uint32_t> stack;
+  std::vector<uint8_t> seen(q, 0);
+  for (uint32_t s = 0; s < q; ++s) {
+    std::fill(seen.begin(), seen.end(), 0);
+    stack.assign(1, s);
+    seen[s] = 1;
+    std::vector<uint32_t>& closure = closures[s];
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      stack.pop_back();
+      closure.push_back(u);
+      for (uint32_t v : eps[u]) {
+        if (!seen[v]) {
+          seen[v] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+    std::sort(closure.begin(), closure.end());
+  }
+  return closures;
+}
+
+template <typename Payload>
+void SortUniqueTransitions(
+    std::vector<std::pair<Payload, uint32_t>>& transitions) {
+  std::sort(transitions.begin(), transitions.end());
+  transitions.erase(std::unique(transitions.begin(), transitions.end()),
+                    transitions.end());
+}
+
+}  // namespace
+
+CompiledNrePtr CompiledNre::Compile(const NrePtr& nre) {
+  Builder builder;
+  auto [start, accept] = builder.Build(nre);
+  const size_t raw_q = builder.states.size();
+  std::vector<std::vector<uint32_t>> closures =
+      ComputeClosures(builder.eps);
+
+  // ε-elimination: a state's effective transitions are the union of the
+  // consuming transitions of its ε-closure, and it accepts iff its closure
+  // contains the Thompson accept state.
+  std::vector<State> effective(raw_q);
+  std::vector<uint8_t> accepting(raw_q, 0);
+  for (uint32_t s = 0; s < raw_q; ++s) {
+    for (uint32_t t : closures[s]) {
+      const State& src = builder.states[t];
+      effective[s].tests.insert(effective[s].tests.end(), src.tests.begin(),
+                                src.tests.end());
+      effective[s].fwd.insert(effective[s].fwd.end(), src.fwd.begin(),
+                              src.fwd.end());
+      effective[s].bwd.insert(effective[s].bwd.end(), src.bwd.begin(),
+                              src.bwd.end());
+      if (t == accept) accepting[s] = 1;
+    }
+    SortUniqueTransitions(effective[s].tests);
+    SortUniqueTransitions(effective[s].fwd);
+    SortUniqueTransitions(effective[s].bwd);
+  }
+
+  // Keep only states reachable from the start via consuming transitions
+  // (BFS discovery order — deterministic) and renumber. This is the
+  // Glushkov-style compaction: what survives is one state per reachable
+  // symbol/test occurrence plus the start.
+  constexpr uint32_t kDropped = UINT32_MAX;
+  std::vector<uint32_t> renumber(raw_q, kDropped);
+  std::vector<uint32_t> kept;
+  renumber[start] = 0;
+  kept.push_back(start);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    const State& st = effective[kept[i]];
+    auto visit = [&](uint32_t t) {
+      if (renumber[t] == kDropped) {
+        renumber[t] = static_cast<uint32_t>(kept.size());
+        kept.push_back(t);
+      }
+    };
+    for (const auto& [id, t] : st.tests) visit(t);
+    for (const auto& [sym, t] : st.fwd) visit(t);
+    for (const auto& [sym, t] : st.bwd) visit(t);
+  }
+
+  // Renumbered ε-free automaton over the kept states.
+  const size_t kept_q = kept.size();
+  std::vector<State> fwd_states(kept_q);
+  std::vector<uint8_t> kept_accepting(kept_q);
+  for (uint32_t s = 0; s < kept_q; ++s) {
+    const State& src = effective[kept[s]];
+    State& dst = fwd_states[s];
+    kept_accepting[s] = accepting[kept[s]];
+    for (const auto& [id, t] : src.tests) dst.tests.emplace_back(id, renumber[t]);
+    for (const auto& [sym, t] : src.fwd) dst.fwd.emplace_back(sym, renumber[t]);
+    for (const auto& [sym, t] : src.bwd) dst.bwd.emplace_back(sym, renumber[t]);
+  }
+
+  // Forward-bisimulation merge (partition refinement): states with equal
+  // acceptance and equal transition sets *up to target class* recognize
+  // the same continuation language, so collapsing them preserves ⟦r⟧
+  // while shrinking the product dimension. (l1+l2)* collapses to a single
+  // state, turning product BFS into plain graph BFS.
+  std::vector<uint32_t> cls(kept_q);
+  for (uint32_t s = 0; s < kept_q; ++s) cls[s] = kept_accepting[s];
+  size_t num_classes = 2;
+  for (;;) {
+    // Signature: acceptance + transitions with targets mapped to classes.
+    struct Sig {
+      uint8_t accepting;
+      std::vector<std::pair<uint32_t, uint32_t>> tests;
+      std::vector<std::pair<SymbolId, uint32_t>> fwd, bwd;
+      bool operator<(const Sig& o) const {
+        if (accepting != o.accepting) return accepting < o.accepting;
+        if (tests != o.tests) return tests < o.tests;
+        if (fwd != o.fwd) return fwd < o.fwd;
+        return bwd < o.bwd;
+      }
+    };
+    std::vector<Sig> sigs(kept_q);
+    for (uint32_t s = 0; s < kept_q; ++s) {
+      Sig& sig = sigs[s];
+      sig.accepting = kept_accepting[s];
+      for (const auto& [id, t] : fwd_states[s].tests) {
+        sig.tests.emplace_back(id, cls[t]);
+      }
+      for (const auto& [sym, t] : fwd_states[s].fwd) {
+        sig.fwd.emplace_back(sym, cls[t]);
+      }
+      for (const auto& [sym, t] : fwd_states[s].bwd) {
+        sig.bwd.emplace_back(sym, cls[t]);
+      }
+      SortUniqueTransitions(sig.tests);
+      SortUniqueTransitions(sig.fwd);
+      SortUniqueTransitions(sig.bwd);
+    }
+    // New class ids in first-occurrence (state index) order: deterministic.
+    std::map<Sig, uint32_t> by_sig;
+    std::vector<uint32_t> next(kept_q);
+    for (uint32_t s = 0; s < kept_q; ++s) {
+      auto [it, fresh] =
+          by_sig.emplace(std::move(sigs[s]),
+                         static_cast<uint32_t>(by_sig.size()));
+      next[s] = it->second;
+      (void)fresh;
+    }
+    const size_t new_count = by_sig.size();
+    const bool stable = new_count == num_classes && next == cls;
+    cls = std::move(next);
+    num_classes = new_count;
+    if (stable) break;
+  }
+
+  auto compiled = std::shared_ptr<CompiledNre>(new CompiledNre);
+  // Class ids are assigned in first-occurrence (state index) order, so the
+  // start — kept state 0 — is always class 0 and numbering is
+  // deterministic.
+  const uint32_t q = static_cast<uint32_t>(num_classes);
+  compiled->states_.resize(q);
+  compiled->rstates_.resize(q);
+  compiled->accepting_.assign(q, 0);
+  std::vector<uint8_t> built(q, 0);
+  compiled->start_ = cls[0];
+  for (uint32_t s = 0; s < kept_q; ++s) {
+    const uint32_t c = cls[s];
+    compiled->accepting_[c] |= kept_accepting[s];
+    if (built[c]) continue;  // class representatives are bisimilar
+    built[c] = 1;
+    State& dst = compiled->states_[c];
+    for (const auto& [id, t] : fwd_states[s].tests) {
+      dst.tests.emplace_back(id, cls[t]);
+    }
+    for (const auto& [sym, t] : fwd_states[s].fwd) {
+      dst.fwd.emplace_back(sym, cls[t]);
+    }
+    for (const auto& [sym, t] : fwd_states[s].bwd) {
+      dst.bwd.emplace_back(sym, cls[t]);
+    }
+    SortUniqueTransitions(dst.tests);
+    SortUniqueTransitions(dst.fwd);
+    SortUniqueTransitions(dst.bwd);
+  }
+  for (uint32_t s = 0; s < q; ++s) {
+    for (const auto& [id, t] : compiled->states_[s].tests) {
+      compiled->rstates_[t].tests.emplace_back(id, s);
+    }
+    for (const auto& [sym, t] : compiled->states_[s].fwd) {
+      compiled->rstates_[t].fwd.emplace_back(sym, s);
+    }
+    for (const auto& [sym, t] : compiled->states_[s].bwd) {
+      compiled->rstates_[t].bwd.emplace_back(sym, s);
+    }
+  }
+
+  compiled->tests_.reserve(builder.tests.size());
+  for (const NrePtr& test : builder.tests) {
+    compiled->tests_.push_back(Compile(test));
+  }
+  return compiled;
+}
+
+void AppendRawU64(uint64_t x, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(x & 0xff));
+    x >>= 8;
+  }
+}
+
+void AppendNreRawSignature(const Nre& nre, std::string* out) {
+  out->push_back(static_cast<char>(nre.kind()));
+  switch (nre.kind()) {
+    case Nre::Kind::kEpsilon:
+      break;
+    case Nre::Kind::kSymbol:
+    case Nre::Kind::kInverse:
+      AppendRawU64(nre.symbol(), out);
+      break;
+    case Nre::Kind::kUnion:
+    case Nre::Kind::kConcat:
+      AppendNreRawSignature(*nre.left(), out);
+      AppendNreRawSignature(*nre.right(), out);
+      break;
+    case Nre::Kind::kStar:
+    case Nre::Kind::kNest:
+      AppendNreRawSignature(*nre.child(), out);
+      break;
+  }
+}
+
+std::string NreRawSignature(const Nre& nre) {
+  std::string out;
+  AppendNreRawSignature(nre, &out);
+  return out;
+}
+
+}  // namespace gdx

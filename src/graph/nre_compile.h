@@ -1,0 +1,88 @@
+#ifndef GDX_GRAPH_NRE_COMPILE_H_
+#define GDX_GRAPH_NRE_COMPILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/nre.h"
+
+namespace gdx {
+
+class CompiledNre;
+using CompiledNrePtr = std::shared_ptr<const CompiledNre>;
+
+/// An NRE lowered once to an ε-free position NFA (ISSUE 3 tentpole part 2).
+/// Compilation runs the Thompson construction, then eliminates every
+/// ε-transition by folding ε-closures into the remaining *consuming*
+/// transitions (edge-forward, edge-backward, nesting-test) and into
+/// per-state accepting flags, and finally drops states unreachable from
+/// the start — a Glushkov-style automaton of roughly one state per symbol
+/// occurrence. Everything a product-graph traversal needs is precomputed:
+///
+///  * per-state consuming transitions, grouped by kind, duplicate-free;
+///  * the reversed transition lists, so backward reachability (nesting-test
+///    sets, the start-set prune) never rebuilds an "into" index;
+///  * accepting flags (ε-paths to the accept state are compiled away);
+///  * the nested-test sub-expressions, recursively compiled into
+///    sub-automata — a compiled NRE is a self-contained evaluation plan.
+///
+/// Instances are immutable and shared across threads (CompiledNrePtr).
+class CompiledNre {
+ public:
+  /// One state's consuming transitions. In forward lists `.second` is the
+  /// target state; in reversed lists it is the source state.
+  struct State {
+    std::vector<std::pair<uint32_t, uint32_t>> tests;  // (test_id, state)
+    std::vector<std::pair<SymbolId, uint32_t>> fwd;    // consume a forward
+    std::vector<std::pair<SymbolId, uint32_t>> bwd;    // consume a backward
+  };
+
+  static CompiledNrePtr Compile(const NrePtr& nre);
+
+  uint32_t start() const { return start_; }
+  size_t num_states() const { return states_.size(); }
+  bool Accepting(uint32_t state) const { return accepting_[state] != 0; }
+
+  const State& Forward(uint32_t state) const { return states_[state]; }
+  const State& Reverse(uint32_t state) const { return rstates_[state]; }
+
+  /// Compiled sub-automata of the nesting tests, indexed by test_id.
+  const std::vector<CompiledNrePtr>& tests() const { return tests_; }
+
+ private:
+  CompiledNre() = default;
+
+  uint32_t start_ = 0;
+  std::vector<State> states_;
+  std::vector<State> rstates_;
+  std::vector<uint8_t> accepting_;
+  std::vector<CompiledNrePtr> tests_;
+};
+
+/// Appends `x` as 8 little-endian bytes — the one integer encoding every
+/// engine memo key uses (NRE signatures, graph shapes, query structures).
+/// Shared so the key byte formats cannot silently diverge.
+void AppendRawU64(uint64_t x, std::string* out);
+
+/// Appends the NRE's raw structural serialization — kind tags and symbol
+/// ids only, no names, prefix-unambiguous. Structurally equal NREs produce
+/// equal strings; this is the shared key material of the engine's NRE memo
+/// and compiled-automaton cache.
+void AppendNreRawSignature(const Nre& nre, std::string* out);
+std::string NreRawSignature(const Nre& nre);
+
+/// Source of compiled automata for evaluators. Implementations (the
+/// engine's cache) share compilations across threads, candidate graphs and
+/// scenarios; a null cache means "compile locally per call".
+class CompiledNreCache {
+ public:
+  virtual ~CompiledNreCache() = default;
+  virtual CompiledNrePtr GetOrCompile(const NrePtr& nre) = 0;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_GRAPH_NRE_COMPILE_H_

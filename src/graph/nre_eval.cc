@@ -2,14 +2,27 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <unordered_map>
-#include <unordered_set>
+
+#include "common/bitset.h"
+#include "graph/graph_view.h"
 
 namespace gdx {
 
 namespace {
+
+void SortByRaw(BinaryRelation& rel) {
+  std::sort(rel.begin(), rel.end(), [](const NodePair& a, const NodePair& b) {
+    if (a.first.raw() != b.first.raw()) return a.first.raw() < b.first.raw();
+    return a.second.raw() < b.second.raw();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Legacy relation-algebra machinery (NaiveNreEvaluator): dense binary
+// relations materialized per operator. Kept as the differential-test
+// reference; the compiled evaluator below replaces it on the hot path.
+// ---------------------------------------------------------------------------
 
 /// Dense indexing of graph nodes for the algorithms below.
 struct NodeIndex {
@@ -142,256 +155,106 @@ BinaryRelation ToValueRelation(const DenseRel& rel, const NodeIndex& ix) {
   for (const auto& [s, d] : rel) {
     out.emplace_back(ix.nodes[s], ix.nodes[d]);
   }
-  std::sort(out.begin(), out.end(), [](const NodePair& a, const NodePair& b) {
-    if (a.first.raw() != b.first.raw()) return a.first.raw() < b.first.raw();
-    return a.second.raw() < b.second.raw();
-  });
+  SortByRaw(out);
   return out;
 }
 
 // ---------------------------------------------------------------------------
-// Thompson NFA with nesting-test transitions.
+// Compiled product-graph BFS (ISSUE 3 tentpole part 3): CompiledNre × CSR
+// GraphView, visited sets as flat 64-bit-word bitsets indexed node*q+state.
+// The automaton is ε-free (closures folded in at compile time), so every
+// BFS step consumes a graph edge or a nesting test — no ε bookkeeping.
 // ---------------------------------------------------------------------------
 
-struct NfaTransition {
-  enum class Kind : uint8_t { kEps, kForward, kBackward, kTest };
-  Kind kind;
-  SymbolId symbol = 0;   // kForward/kBackward
-  uint32_t test_id = 0;  // kTest
-  uint32_t to = 0;
-};
-
-struct Nfa {
-  uint32_t start = 0;
-  uint32_t accept = 0;
-  std::vector<std::vector<NfaTransition>> states;
-  std::vector<NrePtr> tests;  // nesting sub-expressions, by test_id
-
-  uint32_t NewState() {
-    states.emplace_back();
-    return static_cast<uint32_t>(states.size() - 1);
-  }
-  void Add(uint32_t from, NfaTransition t) {
-    states[from].push_back(t);
-  }
-};
-
-/// Thompson construction; returns (start, accept) fragment states.
-std::pair<uint32_t, uint32_t> Build(const NrePtr& nre, Nfa& nfa) {
-  uint32_t s = nfa.NewState();
-  uint32_t t = nfa.NewState();
-  using K = NfaTransition::Kind;
-  switch (nre->kind()) {
-    case Nre::Kind::kEpsilon:
-      nfa.Add(s, {K::kEps, 0, 0, t});
-      break;
-    case Nre::Kind::kSymbol:
-      nfa.Add(s, {K::kForward, nre->symbol(), 0, t});
-      break;
-    case Nre::Kind::kInverse:
-      nfa.Add(s, {K::kBackward, nre->symbol(), 0, t});
-      break;
-    case Nre::Kind::kUnion: {
-      auto [ls, lt] = Build(nre->left(), nfa);
-      auto [rs, rt] = Build(nre->right(), nfa);
-      nfa.Add(s, {K::kEps, 0, 0, ls});
-      nfa.Add(s, {K::kEps, 0, 0, rs});
-      nfa.Add(lt, {K::kEps, 0, 0, t});
-      nfa.Add(rt, {K::kEps, 0, 0, t});
-      break;
-    }
-    case Nre::Kind::kConcat: {
-      auto [ls, lt] = Build(nre->left(), nfa);
-      auto [rs, rt] = Build(nre->right(), nfa);
-      nfa.Add(s, {K::kEps, 0, 0, ls});
-      nfa.Add(lt, {K::kEps, 0, 0, rs});
-      nfa.Add(rt, {K::kEps, 0, 0, t});
-      break;
-    }
-    case Nre::Kind::kStar: {
-      auto [cs, ct] = Build(nre->child(), nfa);
-      nfa.Add(s, {K::kEps, 0, 0, t});
-      nfa.Add(s, {K::kEps, 0, 0, cs});
-      nfa.Add(ct, {K::kEps, 0, 0, cs});
-      nfa.Add(ct, {K::kEps, 0, 0, t});
-      break;
-    }
-    case Nre::Kind::kNest: {
-      uint32_t test_id = static_cast<uint32_t>(nfa.tests.size());
-      nfa.tests.push_back(nre->child());
-      nfa.Add(s, {K::kTest, 0, test_id, t});
-      break;
-    }
-  }
-  return {s, t};
-}
-
-Nfa CompileNre(const NrePtr& nre) {
-  Nfa nfa;
-  auto [s, t] = Build(nre, nfa);
-  nfa.start = s;
-  nfa.accept = t;
-  return nfa;
-}
-
-/// For each test of `nfa`, the set of graph nodes (as dense bitset) where
-/// the nested expression has an outgoing path. Computed recursively.
-std::vector<std::vector<bool>> SolveTests(const Nfa& nfa, const Graph& g,
-                                          const NodeIndex& ix);
-
-/// Set of nodes v such that (v, start) can reach (·, accept) in the product
-/// graph × NFA — i.e. the *domain* of ⟦r⟧. Backward reachability from
-/// every (node, accept) pair.
-std::vector<bool> BackwardStartSet(const Nfa& nfa, const Graph& g,
-                                   const NodeIndex& ix,
-                                   const std::vector<std::vector<bool>>&
-                                       test_sets) {
-  const size_t n = ix.size();
-  const size_t q = nfa.states.size();
-  // Reverse product adjacency is explored on the fly; visited[(v,state)].
-  std::vector<bool> visited(n * q, false);
-  std::deque<std::pair<uint32_t, uint32_t>> queue;
-  for (uint32_t v = 0; v < n; ++v) {
-    visited[v * q + nfa.accept] = true;
-    queue.emplace_back(v, nfa.accept);
-  }
-  // Precompute, for every state q', the transitions *into* q'.
-  std::vector<std::vector<std::pair<uint32_t, NfaTransition>>> into(q);
+/// Nodes v from which an accepting product path leaves — i.e. the *domain*
+/// of ⟦r⟧: backward reachability from every accepting (node, state) pair
+/// over the precompiled reverse transitions.
+Bitset BackwardStartSet(const CompiledNre& nfa, const GraphView& view,
+                        const std::vector<Bitset>& test_sets) {
+  const size_t n = view.num_nodes();
+  const size_t q = nfa.num_states();
+  Bitset visited(n * q);
+  std::vector<std::pair<uint32_t, uint32_t>> stack;
+  auto push = [&](uint32_t v, uint32_t state) {
+    if (visited.TestAndSet(v * q + state)) stack.emplace_back(v, state);
+  };
   for (uint32_t s = 0; s < q; ++s) {
-    for (const NfaTransition& t : nfa.states[s]) {
-      into[t.to].emplace_back(s, t);
+    if (!nfa.Accepting(s)) continue;
+    for (uint32_t v = 0; v < n; ++v) push(v, s);
+  }
+  while (!stack.empty()) {
+    const auto [v, state] = stack.back();
+    stack.pop_back();
+    const CompiledNre::State& rs = nfa.Reverse(state);
+    for (const auto& [test_id, src_state] : rs.tests) {
+      if (test_sets[test_id].Test(v)) push(v, src_state);
+    }
+    for (const auto& [sym, src_state] : rs.fwd) {
+      // The transition consumed some edge u --sym--> v.
+      for (uint32_t u : view.In(sym, v)) push(u, src_state);
+    }
+    for (const auto& [sym, src_state] : rs.bwd) {
+      // The transition consumed an edge v --sym--> u traversed backwards.
+      for (uint32_t u : view.Out(sym, v)) push(u, src_state);
     }
   }
-  using K = NfaTransition::Kind;
-  while (!queue.empty()) {
-    auto [v, state] = queue.front();
-    queue.pop_front();
-    Value node = ix.nodes[v];
-    for (const auto& [src_state, t] : into[state]) {
-      switch (t.kind) {
-        case K::kEps: {
-          if (!visited[v * q + src_state]) {
-            visited[v * q + src_state] = true;
-            queue.emplace_back(v, src_state);
-          }
-          break;
-        }
-        case K::kTest: {
-          if (test_sets[t.test_id][v] && !visited[v * q + src_state]) {
-            visited[v * q + src_state] = true;
-            queue.emplace_back(v, src_state);
-          }
-          break;
-        }
-        case K::kForward: {
-          // Transition consumed edge u --sym--> v.
-          for (Value u : g.Predecessors(node, t.symbol)) {
-            uint32_t ui = ix.Of(u);
-            if (!visited[ui * q + src_state]) {
-              visited[ui * q + src_state] = true;
-              queue.emplace_back(ui, src_state);
-            }
-          }
-          break;
-        }
-        case K::kBackward: {
-          // Transition consumed edge v --sym--> u traversed backwards,
-          // i.e. it moved from u to v where the graph edge is v <-sym- u:
-          // a backward step from u lands on v iff (v, sym, u) ∈ E... the
-          // forward direction is: at node u, backward transition moves to
-          // any w with (w, sym, u) ∈ E. So u is a predecessor-in-product
-          // of v iff (v, sym, u) ∈ E, i.e. u ∈ Successors(v, sym).
-          for (Value u : g.Successors(node, t.symbol)) {
-            uint32_t ui = ix.Of(u);
-            if (!visited[ui * q + src_state]) {
-              visited[ui * q + src_state] = true;
-              queue.emplace_back(ui, src_state);
-            }
-          }
-          break;
-        }
-      }
-    }
-  }
-  std::vector<bool> start_set(n, false);
+  Bitset start_set(n);
   for (uint32_t v = 0; v < n; ++v) {
-    start_set[v] = visited[v * q + nfa.start];
+    if (visited.Test(v * q + nfa.start())) start_set.Set(v);
   }
   return start_set;
 }
 
-std::vector<std::vector<bool>> SolveTests(const Nfa& nfa, const Graph& g,
-                                          const NodeIndex& ix) {
-  std::vector<std::vector<bool>> sets;
-  sets.reserve(nfa.tests.size());
-  for (const NrePtr& test : nfa.tests) {
-    Nfa sub = CompileNre(test);
-    std::vector<std::vector<bool>> sub_sets = SolveTests(sub, g, ix);
-    sets.push_back(BackwardStartSet(sub, g, ix, sub_sets));
+std::vector<Bitset> SolveTests(const CompiledNre& nfa,
+                               const GraphView& view) {
+  std::vector<Bitset> sets;
+  sets.reserve(nfa.tests().size());
+  for (const CompiledNrePtr& test : nfa.tests()) {
+    std::vector<Bitset> sub_sets = SolveTests(*test, view);
+    sets.push_back(BackwardStartSet(*test, view, sub_sets));
   }
   return sets;
 }
 
-/// Forward BFS over the product from (src, start); returns accepting nodes.
-std::vector<uint32_t> ForwardReach(const Nfa& nfa, const Graph& g,
-                                   const NodeIndex& ix,
-                                   const std::vector<std::vector<bool>>&
-                                       test_sets,
-                                   uint32_t src) {
-  const size_t q = nfa.states.size();
-  const size_t n = ix.size();
-  std::vector<bool> visited(n * q, false);
-  std::vector<std::pair<uint32_t, uint32_t>> stack;
-  visited[src * q + nfa.start] = true;
-  stack.emplace_back(src, nfa.start);
-  std::vector<uint32_t> accepting;
-  std::vector<bool> accepted(n, false);
-  using K = NfaTransition::Kind;
-  while (!stack.empty()) {
-    auto [v, state] = stack.back();
-    stack.pop_back();
-    if (state == nfa.accept && !accepted[v]) {
-      accepted[v] = true;
-      accepting.push_back(v);
-    }
-    Value node = ix.nodes[v];
-    for (const NfaTransition& t : nfa.states[state]) {
-      switch (t.kind) {
-        case K::kEps:
-          if (!visited[v * q + t.to]) {
-            visited[v * q + t.to] = true;
-            stack.emplace_back(v, t.to);
-          }
-          break;
-        case K::kTest:
-          if (test_sets[t.test_id][v] && !visited[v * q + t.to]) {
-            visited[v * q + t.to] = true;
-            stack.emplace_back(v, t.to);
-          }
-          break;
-        case K::kForward:
-          for (Value w : g.Successors(node, t.symbol)) {
-            uint32_t wi = ix.Of(w);
-            if (!visited[wi * q + t.to]) {
-              visited[wi * q + t.to] = true;
-              stack.emplace_back(wi, t.to);
-            }
-          }
-          break;
-        case K::kBackward:
-          for (Value w : g.Predecessors(node, t.symbol)) {
-            uint32_t wi = ix.Of(w);
-            if (!visited[wi * q + t.to]) {
-              visited[wi * q + t.to] = true;
-              stack.emplace_back(wi, t.to);
-            }
-          }
-          break;
+/// Forward product BFS from (src, start); marks accepting nodes in
+/// `accepting`. `visited` and `stack` are caller-owned scratch reused
+/// across sources (reset here). When `stop_at` is a valid node id the
+/// traversal returns true the moment that node accepts.
+bool ForwardReach(const CompiledNre& nfa, const GraphView& view,
+                  const std::vector<Bitset>& test_sets, uint32_t src,
+                  Bitset& visited, Bitset& accepting,
+                  std::vector<std::pair<uint32_t, uint32_t>>& stack,
+                  uint32_t stop_at = GraphView::kInvalidNode) {
+  const size_t q = nfa.num_states();
+  visited.Reset();
+  accepting.Reset();
+  stack.clear();
+  bool found = false;
+  auto push = [&](uint32_t v, uint32_t state) {
+    if (visited.TestAndSet(v * q + state)) {
+      stack.emplace_back(v, state);
+      if (nfa.Accepting(state)) {
+        accepting.Set(v);
+        if (v == stop_at) found = true;
       }
     }
+  };
+  push(src, nfa.start());
+  while (!stack.empty() && !found) {
+    const auto [v, state] = stack.back();
+    stack.pop_back();
+    const CompiledNre::State& fs = nfa.Forward(state);
+    for (const auto& [test_id, to] : fs.tests) {
+      if (test_sets[test_id].Test(v)) push(v, to);
+    }
+    for (const auto& [sym, to] : fs.fwd) {
+      for (uint32_t w : view.Out(sym, v)) push(w, to);
+    }
+    for (const auto& [sym, to] : fs.bwd) {
+      for (uint32_t w : view.In(sym, v)) push(w, to);
+    }
   }
-  std::sort(accepting.begin(), accepting.end());
-  return accepting;
+  return found;
 }
 
 }  // namespace
@@ -399,6 +262,11 @@ std::vector<uint32_t> ForwardReach(const Nfa& nfa, const Graph& g,
 // ---------------------------------------------------------------------------
 // NreEvaluator defaults
 // ---------------------------------------------------------------------------
+
+BinaryRelation NreEvaluator::EvalOnView(const NrePtr& nre,
+                                        const GraphView& view) const {
+  return Eval(nre, view.graph());
+}
 
 std::vector<Value> NreEvaluator::EvalFrom(const NrePtr& nre, const Graph& g,
                                           Value src) const {
@@ -428,42 +296,100 @@ BinaryRelation NaiveNreEvaluator::Eval(const NrePtr& nre,
 }
 
 // ---------------------------------------------------------------------------
-// AutomatonNreEvaluator
+// AutomatonNreEvaluator (compiled)
 // ---------------------------------------------------------------------------
+
+CompiledNrePtr AutomatonNreEvaluator::GetCompiled(const NrePtr& nre) const {
+  if (compile_cache_ != nullptr) return compile_cache_->GetOrCompile(nre);
+  std::string key = NreRawSignature(*nre);
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    auto it = local_memo_.find(key);
+    if (it != local_memo_.end()) return it->second;
+  }
+  // Compile outside the lock; a racing worker's duplicate is discarded.
+  CompiledNrePtr compiled = CompiledNre::Compile(nre);
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  constexpr size_t kLocalMemoCap = 4096;
+  if (local_memo_.size() >= kLocalMemoCap) local_memo_.clear();
+  // emplace keeps a racing worker's entry if it got there first.
+  return local_memo_.emplace(std::move(key), compiled).first->second;
+}
 
 BinaryRelation AutomatonNreEvaluator::Eval(const NrePtr& nre,
                                            const Graph& g) const {
-  NodeIndex ix(g);
-  Nfa nfa = CompileNre(nre);
-  std::vector<std::vector<bool>> test_sets = SolveTests(nfa, g, ix);
-  // Only sources in the automaton's start set can produce pairs; prune.
-  std::vector<bool> start_set = BackwardStartSet(nfa, g, ix, test_sets);
-  BinaryRelation out;
-  for (uint32_t v = 0; v < ix.size(); ++v) {
-    if (!start_set[v]) continue;
-    for (uint32_t w : ForwardReach(nfa, g, ix, test_sets, v)) {
-      out.emplace_back(ix.nodes[v], ix.nodes[w]);
-    }
+  GraphView view(g);
+  return EvalOnView(nre, view);
+}
+
+BinaryRelation AutomatonNreEvaluator::EvalOnView(
+    const NrePtr& nre, const GraphView& view) const {
+  const size_t n = view.num_nodes();
+  if (n == 0) return {};
+  CompiledNrePtr nfa = GetCompiled(nre);
+  std::vector<Bitset> test_sets = SolveTests(*nfa, view);
+  // Only sources in the automaton's start set can produce pairs; prune
+  // before fanning one forward BFS out per source. An accepting start
+  // state makes every node its own witness — skip the backward pass.
+  Bitset start_set(n);
+  if (nfa->Accepting(nfa->start())) {
+    for (uint32_t v = 0; v < n; ++v) start_set.Set(v);
+  } else {
+    start_set = BackwardStartSet(*nfa, view, test_sets);
   }
-  std::sort(out.begin(), out.end(), [](const NodePair& a, const NodePair& b) {
-    if (a.first.raw() != b.first.raw()) return a.first.raw() < b.first.raw();
-    return a.second.raw() < b.second.raw();
+  BinaryRelation out;
+  Bitset visited(n * nfa->num_states());
+  Bitset accepting(n);
+  std::vector<std::pair<uint32_t, uint32_t>> stack;
+  start_set.ForEachSet([&](size_t v) {
+    ForwardReach(*nfa, view, test_sets, static_cast<uint32_t>(v), visited,
+                 accepting, stack);
+    accepting.ForEachSet([&](size_t w) {
+      out.emplace_back(view.NodeAt(static_cast<uint32_t>(v)),
+                       view.NodeAt(static_cast<uint32_t>(w)));
+    });
   });
+  SortByRaw(out);
   return out;
 }
 
 std::vector<Value> AutomatonNreEvaluator::EvalFrom(const NrePtr& nre,
                                                    const Graph& g,
                                                    Value src) const {
-  if (!g.HasNode(src)) return {};
-  NodeIndex ix(g);
-  Nfa nfa = CompileNre(nre);
-  std::vector<std::vector<bool>> test_sets = SolveTests(nfa, g, ix);
+  GraphView view(g);
+  const uint32_t src_id = view.IdOf(src);
+  if (src_id == GraphView::kInvalidNode) return {};
+  CompiledNrePtr nfa = GetCompiled(nre);
+  std::vector<Bitset> test_sets = SolveTests(*nfa, view);
+  Bitset visited(view.num_nodes() * nfa->num_states());
+  Bitset accepting(view.num_nodes());
+  std::vector<std::pair<uint32_t, uint32_t>> stack;
+  ForwardReach(*nfa, view, test_sets, src_id, visited, accepting, stack);
   std::vector<Value> out;
-  for (uint32_t w : ForwardReach(nfa, g, ix, test_sets, ix.Of(src))) {
-    out.push_back(ix.nodes[w]);
-  }
+  accepting.ForEachSet([&](size_t w) {
+    out.push_back(view.NodeAt(static_cast<uint32_t>(w)));
+  });
   return out;
+}
+
+bool AutomatonNreEvaluator::Contains(const NrePtr& nre, const Graph& g,
+                                     Value src, Value dst) const {
+  GraphView view(g);
+  const uint32_t src_id = view.IdOf(src);
+  const uint32_t dst_id = view.IdOf(dst);
+  if (src_id == GraphView::kInvalidNode ||
+      dst_id == GraphView::kInvalidNode) {
+    return false;
+  }
+  CompiledNrePtr nfa = GetCompiled(nre);
+  std::vector<Bitset> test_sets = SolveTests(*nfa, view);
+  Bitset visited(view.num_nodes() * nfa->num_states());
+  Bitset accepting(view.num_nodes());
+  std::vector<std::pair<uint32_t, uint32_t>> stack;
+  // ForwardReach reports the stop_at acceptance exactly: every accepting
+  // visit of dst_id sets the early-exit flag at push time.
+  return ForwardReach(*nfa, view, test_sets, src_id, visited, accepting,
+                      stack, dst_id);
 }
 
 // ---------------------------------------------------------------------------
@@ -523,10 +449,7 @@ BinaryRelation BruteForceEval(const NrePtr& nre, const Graph& g, int fuel) {
       if (BruteForceContains(nre, g, u, v, fuel)) out.emplace_back(u, v);
     }
   }
-  std::sort(out.begin(), out.end(), [](const NodePair& a, const NodePair& b) {
-    if (a.first.raw() != b.first.raw()) return a.first.raw() < b.first.raw();
-    return a.second.raw() < b.second.raw();
-  });
+  SortByRaw(out);
   return out;
 }
 

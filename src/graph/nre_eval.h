@@ -1,13 +1,19 @@
 #ifndef GDX_GRAPH_NRE_EVAL_H_
 #define GDX_GRAPH_NRE_EVAL_H_
 
+#include <functional>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/nre.h"
+#include "graph/nre_compile.h"
 
 namespace gdx {
+
+class GraphView;
 
 /// A pair of graph nodes connected by an NRE path.
 using NodePair = std::pair<Value, Value>;
@@ -25,6 +31,25 @@ class NreEvaluator {
   /// Computes ⟦r⟧_G.
   virtual BinaryRelation Eval(const NrePtr& nre, const Graph& g) const = 0;
 
+  /// Computes ⟦r⟧_G over a prebuilt CSR snapshot of G. Callers evaluating
+  /// several expressions against one graph (the CNRE matcher, solution
+  /// checks) build the view once and amortize it. Default: evaluate on
+  /// view.graph() — engines without a view-native path stay correct.
+  virtual BinaryRelation EvalOnView(const NrePtr& nre,
+                                    const GraphView& view) const;
+
+  /// Computes ⟦r⟧_G, materializing a CSR view only if evaluation actually
+  /// needs one: `view` is invoked at most once, and not at all on NRE-memo
+  /// hits or by engines that don't run on views — so warm-cache matcher
+  /// construction skips per-graph indexing entirely. Default: ignore the
+  /// factory and run Eval (correct for the legacy evaluator).
+  virtual BinaryRelation EvalDeferred(
+      const NrePtr& nre, const Graph& g,
+      const std::function<const GraphView&()>& view) const {
+    (void)view;
+    return Eval(nre, g);
+  }
+
   /// Engine name for logs and benchmark labels.
   virtual const char* name() const = 0;
 
@@ -37,27 +62,60 @@ class NreEvaluator {
                         Value dst) const;
 };
 
-/// Relation-algebra evaluator: recursively computes the relation of every
-/// sub-expression (union / composition / reflexive-transitive closure /
-/// domain test). Simple and allocation-heavy: the O(n^2)-sized intermediate
-/// relations are materialized.
+/// Legacy relation-algebra evaluator: recursively computes the relation of
+/// every sub-expression (union / composition / reflexive-transitive closure
+/// / domain test). Simple and allocation-heavy: the O(n^2)-sized
+/// intermediate relations are materialized. Kept callable (engine flag
+/// EvaluatorKind::kNaive) as the reference the differential equivalence
+/// test pits the compiled evaluator against.
 class NaiveNreEvaluator : public NreEvaluator {
  public:
   BinaryRelation Eval(const NrePtr& nre, const Graph& g) const override;
   const char* name() const override { return "naive-relation-algebra"; }
 };
 
-/// Product-automaton evaluator: compiles the NRE into a Thompson NFA whose
-/// transitions walk edges forward/backward or test nesting predicates;
-/// nesting tests are solved once by backward reachability over the product
-/// (graph × NFA), then ⟦r⟧ is n forward BFS traversals. Avoids materializing
-/// intermediate relations.
+/// Compiled-automaton evaluator (ISSUE 3 tentpole part 3): lowers the NRE
+/// once to a CompiledNre — Thompson NFA with precomputed ε-closures,
+/// reversed transitions and recursively compiled nesting tests — and runs
+/// product-graph BFS over state × node on a GraphView CSR snapshot with
+/// 64-bit-word bitsets. Answers pair- (Contains), source- (EvalFrom) and
+/// all-pairs (Eval) queries without materializing intermediate relations.
+/// Compilations are never repeated: an optional CompiledNreCache shares
+/// them across evaluators, threads and candidate graphs (the engine wires
+/// its EngineCache in, with hit/miss counters); without one the evaluator
+/// memoizes locally, keyed by the Nre's precomputed structural hash, so
+/// hand-wired solvers — which evaluate the same constraint NREs against
+/// thousands of tiny candidate graphs — pay the lowering once too.
 class AutomatonNreEvaluator : public NreEvaluator {
  public:
+  AutomatonNreEvaluator() = default;
+  explicit AutomatonNreEvaluator(CompiledNreCache* compile_cache)
+      : compile_cache_(compile_cache) {}
+
   BinaryRelation Eval(const NrePtr& nre, const Graph& g) const override;
+  BinaryRelation EvalOnView(const NrePtr& nre,
+                            const GraphView& view) const override;
+  BinaryRelation EvalDeferred(
+      const NrePtr& nre, const Graph& /*g*/,
+      const std::function<const GraphView&()>& view) const override {
+    return EvalOnView(nre, view());
+  }
   std::vector<Value> EvalFrom(const NrePtr& nre, const Graph& g,
                               Value src) const override;
-  const char* name() const override { return "product-automaton"; }
+  bool Contains(const NrePtr& nre, const Graph& g, Value src,
+                Value dst) const override;
+  const char* name() const override { return "compiled-automaton"; }
+
+ private:
+  CompiledNrePtr GetCompiled(const NrePtr& nre) const;
+
+  CompiledNreCache* compile_cache_ = nullptr;
+  /// Local fallback memo, keyed by NreRawSignature — the same collision-
+  /// free key the EngineCache memo uses. Guarded: intra-solve workers
+  /// share one evaluator. Cleared wholesale at the cap — reachable only
+  /// by pathological unbounded-distinct-NRE streams.
+  mutable std::mutex memo_mutex_;
+  mutable std::unordered_map<std::string, CompiledNrePtr> local_memo_;
 };
 
 /// Reference semantics for property tests: bounded recursive membership

@@ -90,16 +90,36 @@ bool CertainAnswerSolver::IsCertain(const Setting& setting,
     // No solutions: everything is vacuously certain.
     return report.verdict == ExistenceVerdict::kNo;
   }
-  for (const Graph& g : solutions) {
-    std::vector<std::vector<Value>> answers = EvaluateCnre(query, g, *eval_);
-    bool found = false;
-    for (const auto& t : answers) {
-      if (t == tuple) {
-        found = true;
+  // Membership probe (ISSUE 3 threading): pin the head variables to the
+  // probe tuple and ask each solution for satisfiability — the matcher's
+  // bound-first atom ordering turns this into index lookups instead of
+  // enumerating (and materializing) the full answer set per solution.
+  const std::vector<VarId>& head = query.head();
+  if (tuple.size() != head.size()) return false;
+  // A head variable no atom mentions never binds, so no tuple is ever an
+  // answer under the enumeration semantics; keep that behavior.
+  for (VarId v : head) {
+    bool mentioned = false;
+    for (const CnreAtom& atom : query.atoms()) {
+      if ((atom.x.is_var() && atom.x.var() == v) ||
+          (atom.y.is_var() && atom.y.var() == v)) {
+        mentioned = true;
         break;
       }
     }
-    if (!found) return false;  // counterexample solution
+    if (!mentioned) return false;
+  }
+  CnreBinding initial(query.num_vars());
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (initial[head[i]].has_value() && *initial[head[i]] != tuple[i]) {
+      return false;  // repeated head variable with conflicting values
+    }
+    initial[head[i]] = tuple[i];
+  }
+  for (const Graph& g : solutions) {
+    if (!CnreSatisfiable(query, g, *eval_, initial)) {
+      return false;  // counterexample solution
+    }
   }
   return true;
 }

@@ -24,11 +24,18 @@ std::optional<Graph> ExistenceSolver::RepairAndVerify(
     if (egd.failed) return std::nullopt;
   }
   if (!setting.target_tgds.empty()) {
+    const size_t nodes_before = candidate.num_nodes();
+    const size_t edges_before = candidate.num_edges();
     Status st = ChaseTargetTgds(candidate, setting.target_tgds, universe,
                                 *eval_, options_.target_tgd_max_rounds);
     if (!st.ok()) return std::nullopt;
-    // Target tgd chase may have re-broken egds; re-repair once.
-    if (!setting.egds.empty()) {
+    // Target tgd chase may have re-broken egds; re-repair once. The chase
+    // is purely additive, so an unchanged node/edge count means it fired
+    // nothing and the egds still hold — skip the re-chase (ISSUE 3: the
+    // common all-satisfied candidate pays one egd pass, not two).
+    const bool chase_extended = candidate.num_nodes() != nodes_before ||
+                                candidate.num_edges() != edges_before;
+    if (chase_extended && !setting.egds.empty()) {
       EgdChaseResult egd = ChaseGraphEgds(candidate, setting.egds, *eval_);
       if (egd.failed) return std::nullopt;
     }

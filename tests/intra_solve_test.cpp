@@ -267,18 +267,25 @@ TEST(IntraSolveTest, PerSolveCacheCountersSumToBatchTotals) {
   ASSERT_EQ(report.errors, 0u);
 
   uint64_t nre_hits = 0, nre_misses = 0, answer_hits = 0, answer_misses = 0;
+  uint64_t compile_hits = 0, compile_misses = 0;
   for (const Result<ExchangeOutcome>& r : report.outcomes) {
     ASSERT_TRUE(r.ok());
     nre_hits += r->metrics.nre_cache_hits;
     nre_misses += r->metrics.nre_cache_misses;
     answer_hits += r->metrics.answer_cache_hits;
     answer_misses += r->metrics.answer_cache_misses;
+    compile_hits += r->metrics.compile_cache_hits;
+    compile_misses += r->metrics.compile_cache_misses;
   }
   EXPECT_EQ(nre_hits, report.total.nre_cache_hits);
   EXPECT_EQ(nre_misses, report.total.nre_cache_misses);
   EXPECT_EQ(answer_hits, report.total.answer_cache_hits);
   EXPECT_EQ(answer_misses, report.total.answer_cache_misses);
+  EXPECT_EQ(compile_hits, report.total.compile_cache_hits);
+  EXPECT_EQ(compile_misses, report.total.compile_cache_misses);
   EXPECT_GT(nre_hits + nre_misses, 0u) << "the batch must touch the cache";
+  EXPECT_GT(compile_hits + compile_misses, 0u)
+      << "the batch must touch the compiled-automaton memo";
 }
 
 // --- LRU cap ----------------------------------------------------------------
