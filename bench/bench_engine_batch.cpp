@@ -9,6 +9,7 @@
 
 #include "engine/batch_executor.h"
 #include "engine/exchange_engine.h"
+#include "persist/snapshot.h"
 #include "workload/flights.h"
 
 namespace gdx {
@@ -120,6 +121,35 @@ void BM_RepeatedSolve(benchmark::State& state) {
       static_cast<double>(engine.cache().stats().hits());
 }
 BENCHMARK(BM_RepeatedSolve)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Warm-start persistence (ISSUE 4): encode + decode + import of a warm
+/// cache built from a real batch — the cost a serving process pays once
+/// at shutdown/startup to skip all recompilation. Counters report the
+/// snapshot size so growth over PRs is visible in the bench artifacts.
+void BM_SnapshotRoundTrip(benchmark::State& state) {
+  BatchOptions options;
+  options.num_threads = 1;
+  options.engine = BenchEngineOptions();
+  std::vector<Scenario> batch = MakeBatch(32);
+  BatchExecutor executor(options);
+  executor.SolveAll(batch);
+  WarmState warm = executor.engine().cache().ExportWarmState();
+  size_t bytes = 0, restored_entries = 0;
+  for (auto _ : state) {
+    std::string encoded = EncodeSnapshot(warm);
+    Result<WarmState> decoded = DecodeSnapshot(encoded);
+    EngineCache cache;
+    SnapshotRestoreStats stats =
+        cache.ImportWarmState(std::move(decoded).value());
+    benchmark::DoNotOptimize(stats);
+    bytes = encoded.size();
+    restored_entries = stats.nre_entries + stats.answer_entries +
+                       stats.compiled_entries;
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+  state.counters["restored_entries"] = static_cast<double>(restored_entries);
+}
+BENCHMARK(BM_SnapshotRoundTrip)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace gdx

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI docs gate (ISSUE 4 satellite): fail on documentation rot.
+
+Two checks, both cheap enough to run on every push:
+
+1. Dead relative links: every markdown link in a tracked ``*.md`` file
+   that points at a repository path must resolve to an existing file or
+   directory (``#fragment`` suffixes are ignored; ``http(s)://`` and
+   ``mailto:`` links are out of scope).
+
+2. Spec/code version drift: ``docs/FORMAT.md`` declares the snapshot
+   format version it documents ("Current `kFormatVersion`: `N`"); the
+   code declares it in ``src/persist/snapshot.h``
+   (``constexpr uint32_t kFormatVersion = N``). The two must agree —
+   a format change without a spec update (or vice versa) fails CI.
+
+Exit code 0 = clean, 1 = findings (listed on stdout).
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {".git", "Testing", "prev-bench"}
+SKIP_PREFIXES = ("build",)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADER_VERSION_RE = re.compile(
+    r"constexpr\s+uint32_t\s+kFormatVersion\s*=\s*(\d+)")
+SPEC_VERSION_RE = re.compile(r"Current\s+`kFormatVersion`:\s*`(\d+)`")
+
+SNAPSHOT_HEADER = os.path.join(REPO, "src", "persist", "snapshot.h")
+FORMAT_SPEC = os.path.join(REPO, "docs", "FORMAT.md")
+
+
+def markdown_files():
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [
+            d for d in dirs
+            if d not in SKIP_DIRS and not d.startswith(SKIP_PREFIXES)
+        ]
+        for name in files:
+            if name.endswith(".md"):
+                yield os.path.join(root, name)
+
+
+def check_links():
+    problems = []
+    for path in sorted(markdown_files()):
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path),
+                             target.split("#", 1)[0]))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, REPO)
+                problems.append(f"{rel}: dead link -> {target}")
+    return problems
+
+
+def check_format_version():
+    problems = []
+    try:
+        with open(SNAPSHOT_HEADER, encoding="utf-8") as handle:
+            header_match = HEADER_VERSION_RE.search(handle.read())
+    except OSError:
+        return [f"missing {os.path.relpath(SNAPSHOT_HEADER, REPO)}"]
+    try:
+        with open(FORMAT_SPEC, encoding="utf-8") as handle:
+            spec_match = SPEC_VERSION_RE.search(handle.read())
+    except OSError:
+        return [f"missing {os.path.relpath(FORMAT_SPEC, REPO)}"]
+    if header_match is None:
+        problems.append("src/persist/snapshot.h: kFormatVersion "
+                        "constant not found (check_docs.py greps for it)")
+    if spec_match is None:
+        problems.append("docs/FORMAT.md: no \"Current `kFormatVersion`: "
+                        "`N`\" line (the spec must declare its version)")
+    if header_match and spec_match and \
+            header_match.group(1) != spec_match.group(1):
+        problems.append(
+            f"version drift: src/persist/snapshot.h has kFormatVersion = "
+            f"{header_match.group(1)} but docs/FORMAT.md documents "
+            f"version {spec_match.group(1)}")
+    return problems
+
+
+def main():
+    problems = check_links() + check_format_version()
+    for problem in problems:
+        print(f"check_docs: {problem}")
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)")
+        return 1
+    print("check_docs: all markdown links resolve and "
+          "docs/FORMAT.md matches kFormatVersion")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,22 @@ namespace gdx {
 
 /// Bidirectional string <-> dense id mapping. Ids are assigned in insertion
 /// order starting at 0, so iteration over ids is deterministic.
+///
+/// Determinism contract: two interners fed the same strings in the same
+/// order assign identical ids. The whole pipeline leans on this — parsing
+/// a scenario re-interns its names identically run over run, which is
+/// what makes engine memo keys (which embed interned ids) reproducible
+/// across processes, and it is the property the snapshot string table
+/// (docs/FORMAT.md §STRT) persists: ids are the table index, so a
+/// serialized interner round-trips id-for-id.
+///
+/// Ownership and thread safety: the interner owns its strings; NameOf
+/// returns a reference that stays valid for the interner's lifetime
+/// (names are never removed). NOT internally synchronized — Intern
+/// mutates, so concurrent interning requires external locking. The
+/// engine's convention: intern only at parse/build time, then share the
+/// interner read-only with concurrent workers (see Alphabet::FindSameAs
+/// for the one hot-path lookup this enables).
 class StringInterner {
  public:
   /// Interns `name`, returning its id (existing id if already present).

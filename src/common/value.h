@@ -31,6 +31,11 @@ class Value {
     return Value((static_cast<uint64_t>(id) << 1) | 1u);
   }
 
+  /// Rebuilds a value from its raw() encoding (snapshot round-trips).
+  /// Precondition: bits >> 1 fits in 32 bits — i.e. `bits` was produced
+  /// by raw(); deserializers must range-check untrusted input first.
+  static Value FromRaw(uint64_t bits) { return Value(bits); }
+
   Kind kind() const {
     return (bits_ & 1u) ? Kind::kNull : Kind::kConstant;
   }

@@ -57,6 +57,12 @@ BatchReport BatchExecutor::SolveAll(std::vector<Scenario>& scenarios) {
       cache_after.compile_hits - cache_before.compile_hits;
   report.total.compile_cache_misses =
       cache_after.compile_misses - cache_before.compile_misses;
+  report.total.nre_cache_restored_hits =
+      cache_after.nre_restored_hits - cache_before.nre_restored_hits;
+  report.total.answer_cache_restored_hits =
+      cache_after.answer_restored_hits - cache_before.answer_restored_hits;
+  report.total.compile_cache_restored_hits =
+      cache_after.compile_restored_hits - cache_before.compile_restored_hits;
   return report;
 }
 

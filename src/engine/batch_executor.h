@@ -47,6 +47,17 @@ class BatchExecutor {
   /// Solves every scenario; outcomes[i] corresponds to scenarios[i].
   BatchReport SolveAll(std::vector<Scenario>& scenarios);
 
+  /// Warm-start hooks (ISSUE 4): restore/save the shared engine cache
+  /// around SolveAll, so a serving process resumes with every NRE memo,
+  /// answer memo, and compiled automaton of its previous life. The CLI's
+  /// `batch --cache-load/--cache-save` flags call exactly these.
+  Result<SnapshotRestoreStats> WarmStart(const std::string& path) {
+    return engine_.WarmStart(path);
+  }
+  Status SaveWarmState(const std::string& path) const {
+    return engine_.SaveWarmState(path);
+  }
+
   const ExchangeEngine& engine() const { return engine_; }
   size_t num_threads() const { return pool_.num_threads(); }
 

@@ -132,10 +132,15 @@ CompiledNrePtr EngineCache::GetOrCompile(const NrePtr& nre) {
   // Each call counts as exactly one hit or one miss, decided by whether
   // the caller was served from the memo — so hits + misses always equals
   // the number of GetOrCompile calls, like the other memos.
-  auto count_hit = [this] {
+  auto count_hit = [this](bool restored) {
     ++stats_.compile_hits;  // mutex_ held
+    if (restored) ++stats_.compile_restored_hits;
     if (g_solve_sink != nullptr) {
       g_solve_sink->compile_hits.fetch_add(1, std::memory_order_relaxed);
+      if (restored) {
+        g_solve_sink->compile_restored_hits.fetch_add(
+            1, std::memory_order_relaxed);
+      }
     }
   };
   std::string key = NreRawSignature(*nre);
@@ -143,7 +148,7 @@ CompiledNrePtr EngineCache::GetOrCompile(const NrePtr& nre) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = compiled_memo_.find(key);
     if (it != compiled_memo_.end()) {
-      count_hit();
+      count_hit(it->second.restored);
       TouchCompiled(it->second);
       return it->second.compiled;
     }
@@ -157,7 +162,7 @@ CompiledNrePtr EngineCache::GetOrCompile(const NrePtr& nre) {
     // A racing worker published first; keep its plan (entries are
     // interchangeable — compilation is deterministic) and count the call
     // as the memo serving it.
-    count_hit();
+    count_hit(it->second.restored);
     TouchCompiled(it->second);
     return it->second.compiled;
   }
@@ -183,8 +188,13 @@ bool EngineCache::LookupNre(const std::string& key, BinaryRelation* out) {
     return false;
   }
   ++stats_.nre_hits;
+  if (it->second.restored) ++stats_.nre_restored_hits;
   if (g_solve_sink != nullptr) {
     g_solve_sink->nre_hits.fetch_add(1, std::memory_order_relaxed);
+    if (it->second.restored) {
+      g_solve_sink->nre_restored_hits.fetch_add(1,
+                                                std::memory_order_relaxed);
+    }
   }
   TouchNre(it->second);
   *out = it->second.relation;
@@ -212,8 +222,13 @@ bool EngineCache::LookupAnswers(const std::string& key, const Graph& g,
     for (const AnswerEntry& entry : it->second.entries) {
       if (IsomorphicUpToNulls(g, entry.graph)) {
         ++stats_.answer_hits;
+        if (entry.restored) ++stats_.answer_restored_hits;
         if (g_solve_sink != nullptr) {
           g_solve_sink->answer_hits.fetch_add(1, std::memory_order_relaxed);
+          if (entry.restored) {
+            g_solve_sink->answer_restored_hits.fetch_add(
+                1, std::memory_order_relaxed);
+          }
         }
         TouchAnswers(it->second);
         *out = entry.answers;
@@ -230,9 +245,6 @@ bool EngineCache::LookupAnswers(const std::string& key, const Graph& g,
 
 void EngineCache::StoreAnswers(const std::string& key, const Graph& g,
                                std::vector<std::vector<Value>> answers) {
-  // Bound the per-key bucket: same-key non-isomorphic graphs are rare
-  // (the key pins the null-blind shape), so 8 entries is plenty.
-  constexpr size_t kMaxEntriesPerKey = 8;
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = answer_memo_.find(key);
   if (it == answer_memo_.end()) {
@@ -243,8 +255,8 @@ void EngineCache::StoreAnswers(const std::string& key, const Graph& g,
     TouchAnswers(it->second);
   }
   AnswerBucket& bucket = it->second;
-  if (bucket.entries.size() >= kMaxEntriesPerKey) return;
-  bucket.entries.push_back(AnswerEntry{g, std::move(answers)});
+  if (bucket.entries.size() >= kMaxAnswerEntriesPerKey) return;
+  bucket.entries.push_back(AnswerEntry{g, std::move(answers), false});
   ++answer_entries_;
   EvictOverCap();
 }
@@ -267,6 +279,98 @@ CacheSizes EngineCache::sizes() const {
 void EngineCache::ResetStats() {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_ = CacheStats{};
+}
+
+WarmState EngineCache::ExportWarmState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WarmState state;
+  // Each LRU list runs most → least recently used front to back; the
+  // snapshot stores least-recent first so a sequential restore rebuilds
+  // the exact recency order.
+  for (auto it = nre_lru_.rbegin(); it != nre_lru_.rend(); ++it) {
+    state.nre.emplace_back(*it, nre_memo_.at(*it).relation);
+  }
+  for (auto it = answer_lru_.rbegin(); it != answer_lru_.rend(); ++it) {
+    const AnswerBucket& bucket = answer_memo_.at(*it);
+    std::vector<WarmState::AnswerEntry> entries;
+    entries.reserve(bucket.entries.size());
+    for (const AnswerEntry& entry : bucket.entries) {
+      entries.push_back(WarmState::AnswerEntry{entry.graph, entry.answers});
+    }
+    state.answers.emplace_back(*it, std::move(entries));
+  }
+  for (auto it = compiled_lru_.rbegin(); it != compiled_lru_.rend(); ++it) {
+    state.compiled.emplace_back(*it, compiled_memo_.at(*it).compiled);
+  }
+  return state;
+}
+
+SnapshotRestoreStats EngineCache::ImportWarmState(WarmState state) {
+  SnapshotRestoreStats restored;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t evictions_before = stats_.evictions();
+  // Restored entries merge *under* live ones: a snapshot is by
+  // definition older than anything this process computed itself, so
+  // every restored key lands at the cold end of its LRU list — a
+  // mid-life WarmStart can never evict the live working set. Entries
+  // arrive least- to most-recently used; appending them in reverse
+  // (most-recent first) reproduces the snapshot's internal recency
+  // order below the live entries, and leaves the front-to-back order of
+  // a cold-started cache identical to the saving cache's. Keys the
+  // cache already holds win over the snapshot.
+  for (auto it = state.nre.rbegin(); it != state.nre.rend(); ++it) {
+    auto& [key, relation] = *it;
+    if (nre_memo_.find(key) != nre_memo_.end()) continue;
+    nre_lru_.push_back(key);
+    nre_memo_.emplace(std::move(key),
+                      NreEntry{std::move(relation),
+                               std::prev(nre_lru_.end()), true});
+    ++restored.nre_entries;
+  }
+  for (auto it = state.answers.rbegin(); it != state.answers.rend(); ++it) {
+    auto& [key, entries] = *it;
+    if (answer_memo_.find(key) != answer_memo_.end()) continue;
+    answer_lru_.push_back(key);
+    AnswerBucket bucket;
+    bucket.lru = std::prev(answer_lru_.end());
+    for (WarmState::AnswerEntry& entry : entries) {
+      if (bucket.entries.size() >= kMaxAnswerEntriesPerKey) break;
+      bucket.entries.push_back(AnswerEntry{std::move(entry.graph),
+                                           std::move(entry.answers), true});
+    }
+    restored.answer_entries += bucket.entries.size();
+    answer_entries_ += bucket.entries.size();
+    answer_memo_.emplace(std::move(key), std::move(bucket));
+    ++restored.answer_keys;
+  }
+  for (auto it = state.compiled.rbegin(); it != state.compiled.rend();
+       ++it) {
+    auto& [key, automaton] = *it;
+    if (compiled_memo_.find(key) != compiled_memo_.end()) continue;
+    compiled_lru_.push_back(key);
+    compiled_memo_.emplace(
+        std::move(key),
+        CompiledEntry{std::move(automaton), std::prev(compiled_lru_.end()),
+                      true});
+    ++restored.compiled_entries;
+  }
+  EvictOverCap();
+  restored.evicted_on_load =
+      static_cast<size_t>(stats_.evictions() - evictions_before);
+  return restored;
+}
+
+Status EngineCache::SaveSnapshot(const std::string& path) const {
+  return WriteSnapshotFile(path, ExportWarmState());
+}
+
+Status EngineCache::LoadSnapshot(const std::string& path,
+                                 SnapshotRestoreStats* restored) {
+  Result<WarmState> state = ReadSnapshotFile(path);
+  if (!state.ok()) return state.status();
+  SnapshotRestoreStats stats = ImportWarmState(std::move(state).value());
+  if (restored != nullptr) *restored = stats;
+  return Status::Ok();
 }
 
 void EngineCache::Clear() {

@@ -9,13 +9,19 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/cnre.h"
 #include "graph/nre_compile.h"
 #include "graph/nre_eval.h"
+#include "persist/snapshot.h"
 
 namespace gdx {
 
 /// Counter snapshot of the engine cache (copyable; see EngineCache::stats).
+/// The `*_restored_hits` counters (ISSUE 4) count the subset of hits that
+/// were served from entries restored by LoadSnapshot rather than computed
+/// in this process — each such hit increments both the plain hit counter
+/// and its restored twin, so restored_hits() <= hits() always.
 struct CacheStats {
   uint64_t nre_hits = 0;
   uint64_t nre_misses = 0;
@@ -26,6 +32,9 @@ struct CacheStats {
   uint64_t nre_evictions = 0;
   uint64_t answer_evictions = 0;
   uint64_t compile_evictions = 0;
+  uint64_t nre_restored_hits = 0;
+  uint64_t answer_restored_hits = 0;
+  uint64_t compile_restored_hits = 0;
 
   uint64_t hits() const { return nre_hits + answer_hits + compile_hits; }
   uint64_t misses() const {
@@ -34,6 +43,21 @@ struct CacheStats {
   uint64_t evictions() const {
     return nre_evictions + answer_evictions + compile_evictions;
   }
+  uint64_t restored_hits() const {
+    return nre_restored_hits + answer_restored_hits + compile_restored_hits;
+  }
+};
+
+/// What one LoadSnapshot call restored (and immediately dropped again
+/// when the receiving cache's LRU caps are smaller than the snapshot).
+struct SnapshotRestoreStats {
+  size_t nre_entries = 0;
+  size_t answer_keys = 0;
+  size_t answer_entries = 0;
+  size_t compiled_entries = 0;
+  /// Restored entries evicted straight away by EngineCacheOptions caps
+  /// (the most recently used entries of the snapshot are the ones kept).
+  size_t evicted_on_load = 0;
 };
 
 /// Live entry counts of the cache (see EngineCache::sizes).
@@ -68,6 +92,9 @@ struct PerSolveCacheStats {
   std::atomic<uint64_t> answer_misses{0};
   std::atomic<uint64_t> compile_hits{0};
   std::atomic<uint64_t> compile_misses{0};
+  std::atomic<uint64_t> nre_restored_hits{0};
+  std::atomic<uint64_t> answer_restored_hits{0};
+  std::atomic<uint64_t> compile_restored_hits{0};
 
   CacheStats Snapshot() const {
     CacheStats out;
@@ -77,6 +104,12 @@ struct PerSolveCacheStats {
     out.answer_misses = answer_misses.load(std::memory_order_relaxed);
     out.compile_hits = compile_hits.load(std::memory_order_relaxed);
     out.compile_misses = compile_misses.load(std::memory_order_relaxed);
+    out.nre_restored_hits =
+        nre_restored_hits.load(std::memory_order_relaxed);
+    out.answer_restored_hits =
+        answer_restored_hits.load(std::memory_order_relaxed);
+    out.compile_restored_hits =
+        compile_restored_hits.load(std::memory_order_relaxed);
     return out;
   }
 };
@@ -119,6 +152,32 @@ class ScopedCacheAttribution {
 ///    expression is lowered exactly once per process and shared by every
 ///    intra-solve worker and batch scenario (entries are immutable
 ///    shared_ptrs, handed out without copying).
+///
+/// Ownership: the cache owns every memoized payload. NRE relations and
+/// answer sets are stored by value and copied out on hit; compiled
+/// automata are immutable shared_ptrs handed out without copying, so a
+/// plan stays alive in callers even after the LRU evicts its entry.
+///
+/// Thread safety: every public method is safe to call concurrently; one
+/// internal mutex guards all three memos and the counters (compilation
+/// itself deliberately runs outside the lock). Per-solve counter
+/// attribution is routed through the calling thread's thread-local
+/// PerSolveCacheStats sink (ScopedCacheAttribution).
+///
+/// Invalidation: keys are pure functions of evaluation inputs — raw NRE
+/// structure and raw graph content — so entries never go stale and there
+/// is no invalidation protocol. Entries only leave via LRU eviction at
+/// the EngineCacheOptions caps or Clear(). Mutating a Graph never
+/// corrupts the cache (graphs are keyed by content, not identity), it
+/// just produces a different key on the next lookup.
+///
+/// Persistence (ISSUE 4): SaveSnapshot/LoadSnapshot serialize and
+/// restore all three memos — compiled automata included — through the
+/// versioned snapshot format of docs/FORMAT.md. Loading is transactional
+/// (a corrupt file restores nothing and returns a non-OK Status), keeps
+/// live entries over snapshot duplicates, preserves the snapshot's LRU
+/// order, and respects this cache's LRU caps. Hits on restored entries
+/// are additionally counted in the *_restored_hits counters.
 class EngineCache : public CompiledNreCache {
  public:
   explicit EngineCache(EngineCacheOptions options = {})
@@ -150,6 +209,33 @@ class EngineCache : public CompiledNreCache {
   /// CompiledNreCache hook the engine's AutomatonNreEvaluator is wired to.
   CompiledNrePtr GetOrCompile(const NrePtr& nre) override;
 
+  // --- Warm-start persistence (ISSUE 4 tentpole) ------------------------
+
+  /// Writes the cache's current warm state to `path` as one versioned
+  /// snapshot (docs/FORMAT.md). Thread-safe; concurrent stores landing
+  /// during the export are either fully included or fully absent.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Restores a snapshot saved by SaveSnapshot. Transactional: a
+  /// truncated/corrupted/wrong-version file restores nothing and returns
+  /// a descriptive non-OK Status (a cold start, not UB). On success the
+  /// restored entries join the memos flagged as restored (hits on them
+  /// tick the *_restored_hits counters), live entries win over snapshot
+  /// duplicates, and restored entries rank *below* every live entry in
+  /// LRU order (a snapshot is older than anything computed here), so a
+  /// mid-life load under tight caps evicts snapshot entries, never the
+  /// live working set. `restored` (optional) receives what was loaded.
+  Status LoadSnapshot(const std::string& path,
+                      SnapshotRestoreStats* restored = nullptr);
+
+  /// The snapshot codec's view of the cache content (entries ordered
+  /// least- to most-recently used). Exposed for the persistence layer
+  /// and its tests; SaveSnapshot == WriteSnapshotFile(ExportWarmState).
+  WarmState ExportWarmState() const;
+
+  /// Installs decoded warm state; see LoadSnapshot for the semantics.
+  SnapshotRestoreStats ImportWarmState(WarmState state);
+
   CacheStats stats() const;
   CacheSizes sizes() const;
   const EngineCacheOptions& options() const { return options_; }
@@ -157,13 +243,19 @@ class EngineCache : public CompiledNreCache {
   void Clear();
 
  private:
+  /// Same-key non-isomorphic graphs are rare (the key pins the
+  /// null-blind shape), so a handful of entries per answer key is plenty.
+  static constexpr size_t kMaxAnswerEntriesPerKey = 8;
+
   struct NreEntry {
     BinaryRelation relation;
     std::list<std::string>::iterator lru;
+    bool restored = false;  // came from LoadSnapshot
   };
   struct AnswerEntry {
     Graph graph;  // retained for the isomorphism verification on lookup
     std::vector<std::vector<Value>> answers;
+    bool restored = false;
   };
   struct AnswerBucket {
     std::vector<AnswerEntry> entries;
@@ -172,6 +264,7 @@ class EngineCache : public CompiledNreCache {
   struct CompiledEntry {
     CompiledNrePtr compiled;
     std::list<std::string>::iterator lru;
+    bool restored = false;
   };
 
   void TouchNre(NreEntry& entry);

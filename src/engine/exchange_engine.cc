@@ -102,6 +102,18 @@ ExchangeEngine::ExchangeEngine(EngineOptions options)
   if (workers > 1) intra_pool_.reset(new ThreadPool(workers - 1));
 }
 
+Result<SnapshotRestoreStats> ExchangeEngine::WarmStart(
+    const std::string& path) {
+  SnapshotRestoreStats restored;
+  Status status = cache_->LoadSnapshot(path, &restored);
+  if (!status.ok()) return status;
+  return restored;
+}
+
+Status ExchangeEngine::SaveWarmState(const std::string& path) const {
+  return cache_->SaveSnapshot(path);
+}
+
 size_t ExchangeEngine::intra_solve_threads() const {
   return options_.intra_solve_threads == 0 ? ThreadPool::DefaultThreads()
                                            : options_.intra_solve_threads;
@@ -229,6 +241,9 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
   m.answer_cache_misses = solve_delta.answer_misses;
   m.compile_cache_hits = solve_delta.compile_hits;
   m.compile_cache_misses = solve_delta.compile_misses;
+  m.nre_cache_restored_hits = solve_delta.nre_restored_hits;
+  m.answer_cache_restored_hits = solve_delta.answer_restored_hits;
+  m.compile_cache_restored_hits = solve_delta.compile_restored_hits;
   return out;
 }
 

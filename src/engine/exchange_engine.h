@@ -127,6 +127,22 @@ class ExchangeEngine {
     return Solve(scenario, nullptr);
   }
 
+  // --- Warm-start persistence (ISSUE 4 tentpole) ------------------------
+
+  /// Restores engine warm state — NRE memo, answer memo, and compiled
+  /// automata — from a snapshot saved by SaveWarmState (or
+  /// EngineCache::SaveSnapshot). A cold process that warm-starts from an
+  /// identical prior run's snapshot skips every NRE evaluation and
+  /// automaton compilation it would otherwise redo. Corruption-safe: a
+  /// bad file restores nothing and returns a descriptive error; the
+  /// engine then simply runs cold. Call before the first Solve —
+  /// restored entries merge under live ones, so later calls still work,
+  /// they just restore less.
+  Result<SnapshotRestoreStats> WarmStart(const std::string& path);
+
+  /// Saves the engine's current warm state to `path` (docs/FORMAT.md).
+  Status SaveWarmState(const std::string& path) const;
+
   const EngineOptions& options() const { return options_; }
   /// The evaluator the pipeline runs on (cache-decorated when enabled).
   const NreEvaluator& evaluator() const {

@@ -105,6 +105,36 @@ void SortUniqueTransitions(
                     transitions.end());
 }
 
+/// The reversed transition lists of an ε-free automaton, in the one
+/// canonical order both Compile and FromParts produce: source states
+/// visited ascending, so each reversed list is ordered by source state
+/// (not by payload).
+std::vector<CompiledNre::State> DeriveReverse(
+    const std::vector<CompiledNre::State>& states) {
+  std::vector<CompiledNre::State> rstates(states.size());
+  for (uint32_t s = 0; s < states.size(); ++s) {
+    for (const auto& [id, t] : states[s].tests) {
+      rstates[t].tests.emplace_back(id, s);
+    }
+    for (const auto& [sym, t] : states[s].fwd) {
+      rstates[t].fwd.emplace_back(sym, s);
+    }
+    for (const auto& [sym, t] : states[s].bwd) {
+      rstates[t].bwd.emplace_back(sym, s);
+    }
+  }
+  return rstates;
+}
+
+template <typename Payload>
+bool IsStrictlySorted(
+    const std::vector<std::pair<Payload, uint32_t>>& transitions) {
+  return std::adjacent_find(transitions.begin(), transitions.end(),
+                            [](const auto& a, const auto& b) {
+                              return !(a < b);
+                            }) == transitions.end();
+}
+
 }  // namespace
 
 CompiledNrePtr CompiledNre::Compile(const NrePtr& nre) {
@@ -231,7 +261,6 @@ CompiledNrePtr CompiledNre::Compile(const NrePtr& nre) {
   // deterministic.
   const uint32_t q = static_cast<uint32_t>(num_classes);
   compiled->states_.resize(q);
-  compiled->rstates_.resize(q);
   compiled->accepting_.assign(q, 0);
   std::vector<uint8_t> built(q, 0);
   compiled->start_ = cls[0];
@@ -254,22 +283,60 @@ CompiledNrePtr CompiledNre::Compile(const NrePtr& nre) {
     SortUniqueTransitions(dst.fwd);
     SortUniqueTransitions(dst.bwd);
   }
-  for (uint32_t s = 0; s < q; ++s) {
-    for (const auto& [id, t] : compiled->states_[s].tests) {
-      compiled->rstates_[t].tests.emplace_back(id, s);
-    }
-    for (const auto& [sym, t] : compiled->states_[s].fwd) {
-      compiled->rstates_[t].fwd.emplace_back(sym, s);
-    }
-    for (const auto& [sym, t] : compiled->states_[s].bwd) {
-      compiled->rstates_[t].bwd.emplace_back(sym, s);
-    }
-  }
+  compiled->rstates_ = DeriveReverse(compiled->states_);
 
   compiled->tests_.reserve(builder.tests.size());
   for (const NrePtr& test : builder.tests) {
     compiled->tests_.push_back(Compile(test));
   }
+  return compiled;
+}
+
+CompiledNrePtr CompiledNre::FromParts(uint32_t start,
+                                      std::vector<State> states,
+                                      std::vector<uint8_t> accepting,
+                                      std::vector<CompiledNrePtr> tests) {
+  const size_t q = states.size();
+  // Shape: at least one state (Compile never emits fewer), parallel
+  // per-state arrays, 0/1 accepting flags, no missing sub-automaton.
+  if (q == 0 || start >= q) return nullptr;
+  if (accepting.size() != q) return nullptr;
+  for (uint8_t flag : accepting) {
+    if (flag > 1) return nullptr;
+  }
+  for (const CompiledNrePtr& test : tests) {
+    if (test == nullptr) return nullptr;
+  }
+  // Transitions: every index in range, every list in the canonical
+  // sorted duplicate-free order Compile produces — evaluators iterate
+  // these lists, so canonical order keeps a restored plan's behavior
+  // bit-identical to a fresh compile.
+  for (const State& st : states) {
+    for (const auto& [id, t] : st.tests) {
+      if (id >= tests.size() || t >= q) return nullptr;
+    }
+    for (const auto& [sym, t] : st.fwd) {
+      (void)sym;
+      if (t >= q) return nullptr;
+    }
+    for (const auto& [sym, t] : st.bwd) {
+      (void)sym;
+      if (t >= q) return nullptr;
+    }
+    if (!IsStrictlySorted(st.tests) || !IsStrictlySorted(st.fwd) ||
+        !IsStrictlySorted(st.bwd)) {
+      return nullptr;
+    }
+  }
+  auto compiled = std::shared_ptr<CompiledNre>(new CompiledNre);
+  compiled->start_ = start;
+  // The reversed lists are redundant with the forward ones: derive them
+  // in the same canonical order Compile uses instead of trusting (or
+  // transporting) a second copy.
+  compiled->rstates_ = DeriveReverse(states);
+  compiled->states_ = std::move(states);
+  compiled->accepting_ = std::move(accepting);
+  compiled->tests_ = std::move(tests);
   return compiled;
 }
 

@@ -29,11 +29,21 @@ using CompiledNrePtr = std::shared_ptr<const CompiledNre>;
 ///  * the nested-test sub-expressions, recursively compiled into
 ///    sub-automata — a compiled NRE is a self-contained evaluation plan.
 ///
-/// Instances are immutable and shared across threads (CompiledNrePtr).
+/// Ownership and thread safety: instances are immutable after
+/// construction and shared by-value as CompiledNrePtr
+/// (shared_ptr<const>) — evaluators, the EngineCache compiled memo, and
+/// every intra-solve worker hold the same plan concurrently without
+/// synchronization. Compilation is deterministic: structurally equal
+/// NREs (equal NreRawSignature) compile to bit-identical automata, which
+/// is what lets racing cache publishers keep either result and lets a
+/// persisted automaton (docs/FORMAT.md) substitute for a fresh compile.
 class CompiledNre {
  public:
-  /// One state's consuming transitions. In forward lists `.second` is the
-  /// target state; in reversed lists it is the source state.
+  /// One state's consuming transitions. In forward lists `.second` is
+  /// the target state and each list is sorted by (payload, target) and
+  /// duplicate-free; in reversed lists `.second` is the source state and
+  /// entries appear in ascending-source order (the canonical reversal
+  /// order DeriveReverse produces — NOT payload-sorted).
   struct State {
     std::vector<std::pair<uint32_t, uint32_t>> tests;  // (test_id, state)
     std::vector<std::pair<SymbolId, uint32_t>> fwd;    // consume a forward
@@ -41,6 +51,20 @@ class CompiledNre {
   };
 
   static CompiledNrePtr Compile(const NrePtr& nre);
+
+  /// Reassembles an automaton from serialized parts (the persistence
+  /// subsystem's hook; see docs/FORMAT.md §"CAUT"). Every structural
+  /// invariant the evaluator relies on is validated — state/test indices
+  /// in range, canonical transition order, accepting flags 0/1, no null
+  /// sub-automaton — and nullptr is returned on any violation, so a
+  /// corrupted snapshot can never produce an automaton that walks out
+  /// of bounds. The reversed transition lists are derived internally
+  /// (they are redundant with the forward ones and are not part of the
+  /// wire format). The returned plan is indistinguishable from a fresh
+  /// Compile of the originating NRE.
+  static CompiledNrePtr FromParts(uint32_t start, std::vector<State> states,
+                                  std::vector<uint8_t> accepting,
+                                  std::vector<CompiledNrePtr> tests);
 
   uint32_t start() const { return start_; }
   size_t num_states() const { return states_.size(); }

@@ -1,0 +1,492 @@
+#include "persist/snapshot.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/interner.h"
+#include "persist/wire.h"
+
+namespace gdx {
+namespace {
+
+// Section identifiers (four ASCII bytes, read/written little-endian so
+// the id bytes appear in the file in the order they are spelled here).
+constexpr uint32_t FourCC(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(a)) |
+         static_cast<uint32_t>(static_cast<uint8_t>(b)) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(c)) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(d)) << 24;
+}
+constexpr uint32_t kSecStrings = FourCC('S', 'T', 'R', 'T');
+constexpr uint32_t kSecNreMemo = FourCC('N', 'R', 'E', 'M');
+constexpr uint32_t kSecAnswerMemo = FourCC('A', 'N', 'S', 'M');
+constexpr uint32_t kSecAutomata = FourCC('C', 'A', 'U', 'T');
+
+/// Bytes per section-table entry: id u32 + offset u64 + length u64 +
+/// checksum u64.
+constexpr size_t kSectionEntryBytes = 4 + 8 + 8 + 8;
+/// Header: magic (8 raw bytes) + version u32 + section count u32 +
+/// section-table checksum u64. With the magic and version compared
+/// directly, the table covered by the header checksum, and every payload
+/// covered by its section checksum, no byte of a well-formed file is
+/// outside some integrity check.
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8;
+
+/// Nesting-test sub-automata deeper than this are rejected: real NREs
+/// nest a handful of levels; a crafted file must not recurse the decoder
+/// off the stack.
+constexpr int kMaxAutomatonDepth = 128;
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("snapshot: " + what);
+}
+
+/// A raw value encoding is valid iff the id survives the uint32 narrow
+/// (Value::FromRaw's precondition).
+bool ValidValueRaw(uint64_t raw) { return (raw >> 1) <= 0xffffffffull; }
+
+// --- graphs ----------------------------------------------------------------
+
+void EncodeGraph(const Graph& g, WireWriter* out) {
+  out->PutU64(g.num_nodes());
+  for (Value v : g.nodes()) out->PutU64(v.raw());
+  out->PutU64(g.num_edges());
+  for (const Edge& e : g.edges()) {
+    out->PutU64(e.src.raw());
+    out->PutU32(e.label);
+    out->PutU64(e.dst.raw());
+  }
+}
+
+bool DecodeGraph(WireReader* in, Graph* out, Status* error) {
+  uint64_t num_nodes;
+  if (!in->ReadU64(&num_nodes)) {
+    *error = Corrupt("truncated graph node count");
+    return false;
+  }
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    uint64_t raw;
+    if (!in->ReadU64(&raw)) {
+      *error = Corrupt("truncated graph node");
+      return false;
+    }
+    if (!ValidValueRaw(raw)) {
+      *error = Corrupt("graph node id out of range");
+      return false;
+    }
+    out->AddNode(Value::FromRaw(raw));
+  }
+  uint64_t num_edges;
+  if (!in->ReadU64(&num_edges)) {
+    *error = Corrupt("truncated graph edge count");
+    return false;
+  }
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint64_t src, dst;
+    uint32_t label;
+    if (!in->ReadU64(&src) || !in->ReadU32(&label) || !in->ReadU64(&dst)) {
+      *error = Corrupt("truncated graph edge");
+      return false;
+    }
+    if (!ValidValueRaw(src) || !ValidValueRaw(dst)) {
+      *error = Corrupt("graph edge endpoint out of range");
+      return false;
+    }
+    out->AddEdge(Value::FromRaw(src), label, Value::FromRaw(dst));
+  }
+  return true;
+}
+
+// --- compiled automata -----------------------------------------------------
+
+void EncodeTransitions(
+    const std::vector<std::pair<uint32_t, uint32_t>>& transitions,
+    WireWriter* out) {
+  out->PutU32(static_cast<uint32_t>(transitions.size()));
+  for (const auto& [payload, state] : transitions) {
+    out->PutU32(payload);
+    out->PutU32(state);
+  }
+}
+
+bool DecodeTransitions(WireReader* in,
+                       std::vector<std::pair<uint32_t, uint32_t>>* out) {
+  uint32_t count;
+  if (!in->ReadU32(&count)) return false;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t payload, state;
+    if (!in->ReadU32(&payload) || !in->ReadU32(&state)) return false;
+    out->emplace_back(payload, state);
+  }
+  return true;
+}
+
+void EncodeAutomaton(const CompiledNre& automaton, WireWriter* out) {
+  out->PutU32(automaton.start());
+  out->PutU32(static_cast<uint32_t>(automaton.num_states()));
+  out->PutU32(static_cast<uint32_t>(automaton.tests().size()));
+  // Forward transitions only: the reversed lists are redundant, and
+  // FromParts re-derives them in the canonical order on decode.
+  for (uint32_t s = 0; s < automaton.num_states(); ++s) {
+    const CompiledNre::State& st = automaton.Forward(s);
+    EncodeTransitions(st.tests, out);
+    EncodeTransitions(st.fwd, out);
+    EncodeTransitions(st.bwd, out);
+  }
+  for (uint32_t s = 0; s < automaton.num_states(); ++s) {
+    out->PutU8(automaton.Accepting(s) ? 1 : 0);
+  }
+  for (const CompiledNrePtr& test : automaton.tests()) {
+    EncodeAutomaton(*test, out);
+  }
+}
+
+bool DecodeStates(WireReader* in, uint32_t num_states,
+                  std::vector<CompiledNre::State>* out) {
+  for (uint32_t s = 0; s < num_states; ++s) {
+    CompiledNre::State st;
+    if (!DecodeTransitions(in, &st.tests) ||
+        !DecodeTransitions(in, &st.fwd) ||
+        !DecodeTransitions(in, &st.bwd)) {
+      return false;
+    }
+    out->push_back(std::move(st));
+  }
+  return true;
+}
+
+CompiledNrePtr DecodeAutomaton(WireReader* in, int depth, Status* error) {
+  if (depth > kMaxAutomatonDepth) {
+    *error = Corrupt("automaton nesting too deep");
+    return nullptr;
+  }
+  uint32_t start, num_states, num_tests;
+  if (!in->ReadU32(&start) || !in->ReadU32(&num_states) ||
+      !in->ReadU32(&num_tests)) {
+    *error = Corrupt("truncated automaton header");
+    return nullptr;
+  }
+  std::vector<CompiledNre::State> states;
+  if (!DecodeStates(in, num_states, &states)) {
+    *error = Corrupt("truncated automaton transitions");
+    return nullptr;
+  }
+  std::vector<uint8_t> accepting;
+  for (uint32_t s = 0; s < num_states; ++s) {
+    uint8_t flag;
+    if (!in->ReadU8(&flag)) {
+      *error = Corrupt("truncated accepting flags");
+      return nullptr;
+    }
+    accepting.push_back(flag);
+  }
+  std::vector<CompiledNrePtr> tests;
+  for (uint32_t t = 0; t < num_tests; ++t) {
+    CompiledNrePtr test = DecodeAutomaton(in, depth + 1, error);
+    if (test == nullptr) return nullptr;
+    tests.push_back(std::move(test));
+  }
+  // FromParts enforces every structural invariant (index ranges,
+  // canonical transition order, flag values) and derives the reversed
+  // transition lists.
+  CompiledNrePtr automaton =
+      CompiledNre::FromParts(start, std::move(states),
+                             std::move(accepting), std::move(tests));
+  if (automaton == nullptr) {
+    *error = Corrupt("automaton fails structural validation");
+  }
+  return automaton;
+}
+
+// --- string table ----------------------------------------------------------
+
+/// Resolves a section's u32 string reference against the decoded table.
+bool ResolveKey(uint32_t ref, const std::vector<std::string>& table,
+                std::string* out, Status* error) {
+  if (ref >= table.size()) {
+    *error = Corrupt("string reference out of range");
+    return false;
+  }
+  *out = table[ref];
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const WarmState& state) {
+  // Every memo key goes through one persisted StringInterner: sections
+  // store u32 ids, the STRT section stores the table. Ids are assigned in
+  // encode-encounter order — deterministic, and stable under decode →
+  // re-encode because decoding preserves entry order.
+  StringInterner keys;
+
+  WireWriter nrem;
+  nrem.PutU32(static_cast<uint32_t>(state.nre.size()));
+  for (const auto& [key, relation] : state.nre) {
+    nrem.PutU32(keys.Intern(key));
+    nrem.PutU64(relation.size());
+    for (const NodePair& pair : relation) {
+      nrem.PutU64(pair.first.raw());
+      nrem.PutU64(pair.second.raw());
+    }
+  }
+
+  WireWriter ansm;
+  ansm.PutU32(static_cast<uint32_t>(state.answers.size()));
+  for (const auto& [key, entries] : state.answers) {
+    ansm.PutU32(keys.Intern(key));
+    ansm.PutU32(static_cast<uint32_t>(entries.size()));
+    for (const WarmState::AnswerEntry& entry : entries) {
+      EncodeGraph(entry.graph, &ansm);
+      ansm.PutU64(entry.answers.size());
+      for (const std::vector<Value>& row : entry.answers) {
+        ansm.PutU32(static_cast<uint32_t>(row.size()));
+        for (Value v : row) ansm.PutU64(v.raw());
+      }
+    }
+  }
+
+  WireWriter caut;
+  caut.PutU32(static_cast<uint32_t>(state.compiled.size()));
+  for (const auto& [key, automaton] : state.compiled) {
+    caut.PutU32(keys.Intern(key));
+    EncodeAutomaton(*automaton, &caut);
+  }
+
+  WireWriter strt;
+  strt.PutU32(static_cast<uint32_t>(keys.size()));
+  for (uint32_t id = 0; id < keys.size(); ++id) {
+    strt.PutBytes(keys.NameOf(id));
+  }
+
+  struct Section {
+    uint32_t id;
+    const std::string* payload;
+  };
+  const Section sections[] = {{kSecStrings, &strt.bytes()},
+                              {kSecNreMemo, &nrem.bytes()},
+                              {kSecAnswerMemo, &ansm.bytes()},
+                              {kSecAutomata, &caut.bytes()}};
+  const size_t num_sections = sizeof(sections) / sizeof(sections[0]);
+
+  WireWriter table;
+  uint64_t offset = kHeaderBytes + num_sections * kSectionEntryBytes;
+  for (const Section& section : sections) {
+    table.PutU32(section.id);
+    table.PutU64(offset);
+    table.PutU64(section.payload->size());
+    table.PutU64(Fnv1a64(*section.payload));
+    offset += section.payload->size();
+  }
+
+  WireWriter out;
+  out.PutRaw(std::string_view(kSnapshotMagic, sizeof(kSnapshotMagic)));
+  out.PutU32(kFormatVersion);
+  out.PutU32(static_cast<uint32_t>(num_sections));
+  out.PutU64(Fnv1a64(table.bytes()));
+  out.PutRaw(table.bytes());
+  for (const Section& section : sections) out.PutRaw(*section.payload);
+  return out.TakeBytes();
+}
+
+Result<WarmState> DecodeSnapshot(std::string_view bytes) {
+  WireReader header(bytes);
+  std::string_view magic;
+  if (!header.ReadRaw(sizeof(kSnapshotMagic), &magic)) {
+    return Corrupt("shorter than the magic");
+  }
+  if (magic != std::string_view(kSnapshotMagic, sizeof(kSnapshotMagic))) {
+    return Corrupt("bad magic (not a gdx snapshot)");
+  }
+  uint32_t version, num_sections;
+  uint64_t table_checksum;
+  if (!header.ReadU32(&version) || !header.ReadU32(&num_sections) ||
+      !header.ReadU64(&table_checksum)) {
+    return Corrupt("truncated header");
+  }
+  if (version != kFormatVersion) {
+    return Corrupt("format version " + std::to_string(version) +
+                   " unsupported (this build reads version " +
+                   std::to_string(kFormatVersion) + ")");
+  }
+  std::string_view table_bytes;
+  if (!header.ReadRaw(num_sections * kSectionEntryBytes, &table_bytes)) {
+    return Corrupt("truncated section table");
+  }
+  if (Fnv1a64(table_bytes) != table_checksum) {
+    return Corrupt("section table checksum mismatch");
+  }
+
+  // Section table: verify bounds and checksums of every section up front
+  // (unknown ids included), remember the payloads of the known ones.
+  std::string_view strings_payload, nre_payload, answer_payload,
+      automata_payload;
+  bool have_strings = false, have_nre = false, have_answers = false,
+       have_automata = false;
+  WireReader table_reader(table_bytes);
+  for (uint32_t i = 0; i < num_sections; ++i) {
+    uint32_t id;
+    uint64_t offset, length, checksum;
+    if (!table_reader.ReadU32(&id) || !table_reader.ReadU64(&offset) ||
+        !table_reader.ReadU64(&length) || !table_reader.ReadU64(&checksum)) {
+      return Corrupt("truncated section table");
+    }
+    if (offset > bytes.size() || length > bytes.size() - offset) {
+      return Corrupt("section extends past end of file");
+    }
+    std::string_view payload = bytes.substr(offset, length);
+    if (Fnv1a64(payload) != checksum) {
+      return Corrupt("section checksum mismatch");
+    }
+    auto claim = [&](std::string_view* slot, bool* have) -> bool {
+      if (*have) return false;
+      *slot = payload;
+      *have = true;
+      return true;
+    };
+    bool fresh = true;
+    if (id == kSecStrings) fresh = claim(&strings_payload, &have_strings);
+    else if (id == kSecNreMemo) fresh = claim(&nre_payload, &have_nre);
+    else if (id == kSecAnswerMemo) fresh = claim(&answer_payload, &have_answers);
+    else if (id == kSecAutomata) fresh = claim(&automata_payload, &have_automata);
+    // else: unknown section — checksummed above, otherwise skipped
+    // (the forward-compatibility policy of docs/FORMAT.md).
+    if (!fresh) return Corrupt("duplicate section");
+  }
+
+  // STRT — the persisted key table the other sections reference.
+  std::vector<std::string> table;
+  if (have_strings) {
+    WireReader in(strings_payload);
+    uint32_t count;
+    if (!in.ReadU32(&count)) return Corrupt("truncated string table");
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string_view s;
+      if (!in.ReadBytes(&s)) return Corrupt("truncated string table entry");
+      table.emplace_back(s);
+    }
+    if (!in.AtEnd()) return Corrupt("trailing bytes in string table");
+  }
+
+  WarmState state;
+  Status error = Status::Ok();
+
+  // NREM — memoized ⟦r⟧_G relations.
+  if (have_nre) {
+    WireReader in(nre_payload);
+    uint32_t count;
+    if (!in.ReadU32(&count)) return Corrupt("truncated NRE memo");
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t key_ref;
+      uint64_t num_pairs;
+      if (!in.ReadU32(&key_ref) || !in.ReadU64(&num_pairs)) {
+        return Corrupt("truncated NRE memo entry");
+      }
+      std::string key;
+      if (!ResolveKey(key_ref, table, &key, &error)) return error;
+      BinaryRelation relation;
+      for (uint64_t p = 0; p < num_pairs; ++p) {
+        uint64_t src, dst;
+        if (!in.ReadU64(&src) || !in.ReadU64(&dst)) {
+          return Corrupt("truncated NRE relation");
+        }
+        if (!ValidValueRaw(src) || !ValidValueRaw(dst)) {
+          return Corrupt("NRE relation value out of range");
+        }
+        relation.emplace_back(Value::FromRaw(src), Value::FromRaw(dst));
+      }
+      // The BinaryRelation contract: sorted by raw encoding, no
+      // duplicates. Entries violating it would poison downstream
+      // comparisons, so they are rejected, not repaired.
+      if (!std::is_sorted(relation.begin(), relation.end()) ||
+          std::adjacent_find(relation.begin(), relation.end()) !=
+              relation.end()) {
+        return Corrupt("NRE relation not in canonical order");
+      }
+      state.nre.emplace_back(std::move(key), std::move(relation));
+    }
+    if (!in.AtEnd()) return Corrupt("trailing bytes in NRE memo");
+  }
+
+  // ANSM — constant answer sets with their verification graphs.
+  if (have_answers) {
+    WireReader in(answer_payload);
+    uint32_t count;
+    if (!in.ReadU32(&count)) return Corrupt("truncated answer memo");
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t key_ref, num_entries;
+      if (!in.ReadU32(&key_ref) || !in.ReadU32(&num_entries)) {
+        return Corrupt("truncated answer memo entry");
+      }
+      std::string key;
+      if (!ResolveKey(key_ref, table, &key, &error)) return error;
+      std::vector<WarmState::AnswerEntry> entries;
+      for (uint32_t e = 0; e < num_entries; ++e) {
+        WarmState::AnswerEntry entry;
+        if (!DecodeGraph(&in, &entry.graph, &error)) return error;
+        uint64_t num_rows;
+        if (!in.ReadU64(&num_rows)) return Corrupt("truncated answer rows");
+        for (uint64_t r = 0; r < num_rows; ++r) {
+          uint32_t arity;
+          if (!in.ReadU32(&arity)) return Corrupt("truncated answer row");
+          std::vector<Value> row;
+          for (uint32_t c = 0; c < arity; ++c) {
+            uint64_t raw;
+            if (!in.ReadU64(&raw)) return Corrupt("truncated answer value");
+            if (!ValidValueRaw(raw)) {
+              return Corrupt("answer value out of range");
+            }
+            row.push_back(Value::FromRaw(raw));
+          }
+          entry.answers.push_back(std::move(row));
+        }
+        entries.push_back(std::move(entry));
+      }
+      state.answers.emplace_back(std::move(key), std::move(entries));
+    }
+    if (!in.AtEnd()) return Corrupt("trailing bytes in answer memo");
+  }
+
+  // CAUT — compiled automata, validated through CompiledNre::FromParts.
+  if (have_automata) {
+    WireReader in(automata_payload);
+    uint32_t count;
+    if (!in.ReadU32(&count)) return Corrupt("truncated automaton memo");
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t key_ref;
+      if (!in.ReadU32(&key_ref)) {
+        return Corrupt("truncated automaton memo entry");
+      }
+      std::string key;
+      if (!ResolveKey(key_ref, table, &key, &error)) return error;
+      CompiledNrePtr automaton = DecodeAutomaton(&in, 0, &error);
+      if (automaton == nullptr) return error;
+      state.compiled.emplace_back(std::move(key), std::move(automaton));
+    }
+    if (!in.AtEnd()) return Corrupt("trailing bytes in automaton memo");
+  }
+
+  return state;
+}
+
+Status WriteSnapshotFile(const std::string& path, const WarmState& state) {
+  std::string bytes = EncodeSnapshot(state);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::Internal("short write: " + path);
+  return Status::Ok();
+}
+
+Result<WarmState> ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open snapshot: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof()) return Status::Internal("read failed: " + path);
+  return DecodeSnapshot(buffer.str());
+}
+
+}  // namespace gdx

@@ -1,0 +1,76 @@
+#ifndef GDX_PERSIST_SNAPSHOT_H_
+#define GDX_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/nre_compile.h"
+#include "graph/nre_eval.h"
+
+namespace gdx {
+
+/// Warm-start persistence (ISSUE 4 tentpole): the codec of the versioned,
+/// length-prefixed binary snapshot that carries an EngineCache's warm
+/// state — NRE memo, null-blind answer memo, and compiled-automaton memo,
+/// automata included — across process boundaries. docs/FORMAT.md is the
+/// normative byte-level specification; this header is its implementation
+/// anchor (CI greps kFormatVersion out of this file and fails when the
+/// spec drifts).
+///
+/// Safety contract: DecodeSnapshot fully validates its input — magic,
+/// version, section-table bounds, per-section FNV-1a checksums, string-
+/// table references, value encodings, relation ordering, and automaton
+/// invariants (via CompiledNre::FromParts) — before anything reaches a
+/// cache. A truncated, bit-flipped, or otherwise corrupted file yields a
+/// descriptive non-OK Status and NO partial state, never UB: decoding is
+/// transactional.
+
+/// First bytes of every snapshot file: "GDXSNAP" + NUL.
+inline constexpr char kSnapshotMagic[8] = {'G', 'D', 'X', 'S',
+                                           'N', 'A', 'P', '\0'};
+
+/// Snapshot format version. Readers accept exactly this version; any
+/// layout change that alters the meaning of existing bytes must bump it.
+/// Additive changes ride in new sections instead (unknown sections are
+/// checksum-verified, then skipped — see docs/FORMAT.md §Compatibility).
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Engine warm state in plain-data form — the codec's in-memory interface,
+/// decoupled from EngineCache's internal containers. Each memo lists
+/// (key, payload) entries ordered least- to most-recently used, so a
+/// restore reproduces the saving cache's LRU order. Keys are the exact
+/// memo key byte strings (EngineCache::NreKey / AnswerKey /
+/// NreRawSignature); in the file they are stored once in the snapshot's
+/// string table and referenced by id.
+struct WarmState {
+  struct AnswerEntry {
+    Graph graph;  // the verification graph retained by the answer memo
+    std::vector<std::vector<Value>> answers;
+  };
+
+  std::vector<std::pair<std::string, BinaryRelation>> nre;
+  std::vector<std::pair<std::string, std::vector<AnswerEntry>>> answers;
+  std::vector<std::pair<std::string, CompiledNrePtr>> compiled;
+};
+
+/// Serializes warm state into snapshot bytes. Deterministic: equal states
+/// encode to identical bytes (and decode → encode is the identity on any
+/// valid snapshot), so byte comparison is a valid round-trip check.
+std::string EncodeSnapshot(const WarmState& state);
+
+/// Parses and fully validates snapshot bytes. Returns the decoded warm
+/// state, or a descriptive error — in which case nothing was produced.
+Result<WarmState> DecodeSnapshot(std::string_view bytes);
+
+/// File conveniences over Encode/DecodeSnapshot.
+Status WriteSnapshotFile(const std::string& path, const WarmState& state);
+Result<WarmState> ReadSnapshotFile(const std::string& path);
+
+}  // namespace gdx
+
+#endif  // GDX_PERSIST_SNAPSHOT_H_

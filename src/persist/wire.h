@@ -1,0 +1,135 @@
+#ifndef GDX_PERSIST_WIRE_H_
+#define GDX_PERSIST_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace gdx {
+
+/// Byte-level primitives of the snapshot wire format (docs/FORMAT.md).
+/// All multi-byte integers are little-endian, independent of host
+/// endianness. The writer appends to a std::string; the reader is a
+/// bounds-checked cursor over a string_view — every Read* returns false
+/// instead of reading past the end, so truncated or length-corrupted
+/// files surface as clean decode errors, never as out-of-bounds reads.
+
+/// FNV-1a 64-bit hash — the per-section checksum of the snapshot format.
+/// Chosen for being trivially reimplementable from the spec (docs/FORMAT.md
+/// is normative): no table, no dependency, byte-order independent.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Append-only encoder. The buffer is plain bytes in a std::string so the
+/// section payloads can be checksummed and concatenated without copies.
+class WireWriter {
+ public:
+  void PutU8(uint8_t x) { out_.push_back(static_cast<char>(x)); }
+
+  void PutU32(uint32_t x) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>(x & 0xff));
+      x >>= 8;
+    }
+  }
+
+  void PutU64(uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>(x & 0xff));
+      x >>= 8;
+    }
+  }
+
+  /// Length-prefixed byte string (u64 length + raw bytes).
+  void PutBytes(std::string_view bytes) {
+    PutU64(bytes.size());
+    out_.append(bytes.data(), bytes.size());
+  }
+
+  /// Raw bytes, no length prefix (for fixed-size fields like the magic).
+  void PutRaw(std::string_view bytes) {
+    out_.append(bytes.data(), bytes.size());
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string TakeBytes() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked decoder over a byte buffer. On any failed read the
+/// cursor is left unspecified and the caller must abandon the decode; no
+/// Read* ever touches memory outside the buffer.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU8(uint8_t* out) {
+    if (remaining() < 1) return false;
+    *out = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool ReadU32(uint32_t* out) {
+    if (remaining() < 4) return false;
+    uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) {
+      x |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = x;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* out) {
+    if (remaining() < 8) return false;
+    uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) {
+      x |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = x;
+    return true;
+  }
+
+  /// Length-prefixed byte string; the returned view aliases the buffer.
+  bool ReadBytes(std::string_view* out) {
+    uint64_t len;
+    if (!ReadU64(&len)) return false;
+    if (len > remaining()) return false;
+    *out = bytes_.substr(pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return true;
+  }
+
+  /// Exactly `len` raw bytes (no length prefix); aliases the buffer.
+  bool ReadRaw(size_t len, std::string_view* out) {
+    if (len > remaining()) return false;
+    *out = bytes_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace gdx
+
+#endif  // GDX_PERSIST_WIRE_H_
