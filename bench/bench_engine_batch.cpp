@@ -151,6 +151,51 @@ void BM_SnapshotRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotRoundTrip)->Unit(benchmark::kMillisecond);
 
+/// Chase-stage compilation (ISSUE 5): the same 32-scenario batch solved
+/// cold (every distinct content compiles its chase) vs warm-started from
+/// a snapshot whose CHSE section carries the chased artifacts (zero chase
+/// work: every stage-1 is a memo adopt, every stage-2/4 a replay).
+/// Counters expose the chase-memo traffic so the artifact diff shows the
+/// warm start paying off.
+void BM_ChaseWarmStart(benchmark::State& state) {
+  const bool warm = state.range(0) == 1;
+  // One prior life of the process: solve the batch, keep its snapshot.
+  BatchOptions options;
+  options.num_threads = 1;
+  options.engine = BenchEngineOptions();
+  std::vector<Scenario> seed_batch = MakeBatch(32);
+  BatchExecutor seed_executor(options);
+  seed_executor.SolveAll(seed_batch);
+  std::string snapshot =
+      EncodeSnapshot(seed_executor.engine().cache().ExportWarmState());
+
+  uint64_t chase_misses = 0, chase_restored = 0, triggers = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Scenario> batch = MakeBatch(32);
+    BatchExecutor executor(options);
+    if (warm) {
+      Result<WarmState> decoded = DecodeSnapshot(snapshot);
+      executor.engine().cache().ImportWarmState(
+          std::move(decoded).value());
+    }
+    state.ResumeTiming();
+    BatchReport report = executor.SolveAll(batch);
+    benchmark::DoNotOptimize(report);
+    chase_misses = report.total.chase_cache_misses;
+    chase_restored = report.total.chase_cache_restored_hits;
+    triggers = report.total.chase_triggers;
+  }
+  state.counters["chase_misses"] = static_cast<double>(chase_misses);
+  state.counters["chase_restored_hits"] =
+      static_cast<double>(chase_restored);
+  state.counters["chase_triggers"] = static_cast<double>(triggers);
+}
+BENCHMARK(BM_ChaseWarmStart)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace gdx
 

@@ -164,10 +164,10 @@ int RunBatch(int argc, char** argv) {
                    restored.status().ToString().c_str());
     } else {
       std::printf("cache: restored %zu nre + %zu answer (%zu key) + %zu "
-                  "automaton entries from %s%s\n",
+                  "automaton + %zu chased entries from %s%s\n",
                   restored->nre_entries, restored->answer_entries,
                   restored->answer_keys, restored->compiled_entries,
-                  cache_load.c_str(),
+                  restored->chased_entries, cache_load.c_str(),
                   restored->evicted_on_load > 0 ? " (some evicted by caps)"
                                                 : "");
     }

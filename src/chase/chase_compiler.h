@@ -1,0 +1,96 @@
+#ifndef GDX_CHASE_CHASE_COMPILER_H_
+#define GDX_CHASE_CHASE_COMPILER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chase/pattern_chase.h"
+#include "common/universe.h"
+#include "exchange/setting.h"
+#include "graph/nre_eval.h"
+#include "pattern/pattern.h"
+#include "relational/instance.h"
+
+namespace gdx {
+
+/// The compiled chase stage (ISSUE 5 tentpole): the paper's §5 universal
+/// representative — the s-t chased pattern after the adapted egd chase —
+/// packaged as an immutable, shareable artifact together with the null
+/// arena the chase filled and the work counters it produced. The chase
+/// depends only on (st_tgds, egds, source instance, base null count), so
+/// one compilation serves every solve over the same inputs: the engine
+/// memoizes artifacts in the EngineCache chased memo and the persistence
+/// layer round-trips them through the snapshot's CHSE section.
+struct ChasedScenario {
+  /// The chased pattern, in the id space of the compiling universe: nulls
+  /// the chase created carry ids base_nulls, base_nulls+1, ... (minus the
+  /// ones the egd chase merged away).
+  GraphPattern pattern;
+
+  /// s-t chase work counters (triggers / edges / nulls).
+  PatternChaseStats stats;
+
+  /// Adapted egd chase outcome. `failed` is the paper's §5 case (i)
+  /// constant clash — a sound "no solution exists"; the pattern field is
+  /// then meaningless (the chase aborted mid-merge) and must not be used.
+  bool failed = false;
+  std::string failure_reason;
+  size_t egd_merges = 0;
+
+  /// The universe's null count when the chase started, and the labels of
+  /// every null the chase created (in creation order). Together they are
+  /// the null arena: replaying the artifact appends exactly these nulls.
+  size_t base_nulls = 0;
+  std::vector<std::string> null_labels;
+};
+
+/// Immutable shared handle: the cache, the snapshot codec and every
+/// consuming solve hold the same artifact without copying.
+using ChasedScenarioPtr = std::shared_ptr<const ChasedScenario>;
+
+/// Compile-once/solve-many driver of the chase stage.
+class ChaseCompiler {
+ public:
+  /// The chased-memo key: a prefix-unambiguous byte encoding of everything
+  /// the chase reads — st tgds (bodies, heads, variable counts), egds
+  /// (atoms, equated variables), the source instance's facts in insertion
+  /// order, and the universe's current null count. Equal keys imply the
+  /// chase inputs are bitwise equal in interned-id space, so an artifact
+  /// compiled under one key substitutes exactly under any equal key —
+  /// across solves, scenarios and (via the snapshot) processes, by the
+  /// same determinism contract the other engine memo keys rely on.
+  static std::string Key(const Setting& setting, const Instance& source,
+                         const Universe& universe);
+
+  /// Runs the s-t pattern chase and, when egds are present, the adapted
+  /// egd chase, capturing the result plus the null arena. Appends the
+  /// chase's fresh nulls to `universe` exactly as the uncompiled stage
+  /// sequence (ChaseToPattern + ChasePatternEgds) would.
+  static ChasedScenarioPtr Compile(const Setting& setting,
+                                   const Instance& source,
+                                   Universe& universe,
+                                   const NreEvaluator& eval);
+
+  /// Installs a cache/snapshot hit into a universe positioned at the
+  /// artifact's own base (universe.num_nulls() == chased.base_nulls — the
+  /// key guarantees it): appends the stored null labels verbatim. After
+  /// Adopt, chased.pattern is valid in the universe's id space as-is.
+  static void Adopt(const ChasedScenario& chased, Universe& universe);
+};
+
+/// Replays the artifact into a universe that has grown past the artifact's
+/// base (the solver stages re-chase mid-solve): draws the arena's nulls
+/// fresh (FreshNull — the labels the pattern chase itself derives) and
+/// returns the pattern with the chase-created null ids shifted to the new
+/// base. Byte-for-byte what re-running ChaseToPattern + ChasePatternEgds
+/// at the current null count would produce: the chase derives null ids and
+/// labels purely from creation order, and every downstream choice (match
+/// order, merge representatives) is invariant under a uniform id shift.
+/// For a failed artifact the returned pattern is meaningless (as the
+/// re-run's would be) but the universe side effects still match the re-run.
+GraphPattern ReplayChase(const ChasedScenario& chased, Universe& universe);
+
+}  // namespace gdx
+
+#endif  // GDX_CHASE_CHASE_COMPILER_H_

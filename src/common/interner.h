@@ -2,11 +2,11 @@
 #define GDX_COMMON_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "common/value.h"
 
@@ -23,28 +23,54 @@ namespace gdx {
 /// (docs/FORMAT.md §STRT) persists: ids are the table index, so a
 /// serialized interner round-trips id-for-id.
 ///
+/// Lookup cost (ISSUE 5 satellite): Intern and Find hash the caller's
+/// string_view directly — the index is keyed by views into the interner's
+/// own stable storage (a deque, whose elements never move), so the hot
+/// path allocates nothing. Only interning a genuinely new name copies the
+/// bytes, once, into the deque.
+///
 /// Ownership and thread safety: the interner owns its strings; NameOf
 /// returns a reference that stays valid for the interner's lifetime
 /// (names are never removed). NOT internally synchronized — Intern
 /// mutates, so concurrent interning requires external locking. The
 /// engine's convention: intern only at parse/build time, then share the
 /// interner read-only with concurrent workers (see Alphabet::FindSameAs
-/// for the one hot-path lookup this enables).
+/// for the one hot-path lookup this enables, and Universe for the
+/// copy-on-write sharing built on top of it).
 class StringInterner {
  public:
+  StringInterner() = default;
+  /// Copies rebuild the view-keyed index against the copied storage —
+  /// default member copy would leave views dangling into the source.
+  StringInterner(const StringInterner& other) : names_(other.names_) {
+    RebuildIndex();
+  }
+  StringInterner& operator=(const StringInterner& other) {
+    if (this != &other) {
+      names_ = other.names_;
+      RebuildIndex();
+    }
+    return *this;
+  }
+  /// Moves are safe as-is: moving a deque transfers its blocks without
+  /// relocating elements, so the index's views stay valid.
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
   /// Interns `name`, returning its id (existing id if already present).
+  /// Allocation-free when the name is already interned.
   SymbolId Intern(std::string_view name) {
-    auto it = ids_.find(std::string(name));
+    auto it = ids_.find(name);
     if (it != ids_.end()) return it->second;
     SymbolId id = static_cast<SymbolId>(names_.size());
     names_.emplace_back(name);
-    ids_.emplace(names_.back(), id);
+    ids_.emplace(std::string_view(names_.back()), id);
     return id;
   }
 
-  /// Looks up an already-interned name; nullopt if absent.
+  /// Looks up an already-interned name; nullopt if absent. Allocation-free.
   std::optional<SymbolId> Find(std::string_view name) const {
-    auto it = ids_.find(std::string(name));
+    auto it = ids_.find(name);
     if (it == ids_.end()) return std::nullopt;
     return it->second;
   }
@@ -56,8 +82,18 @@ class StringInterner {
   bool empty() const { return names_.empty(); }
 
  private:
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, SymbolId> ids_;
+  void RebuildIndex() {
+    ids_.clear();
+    ids_.reserve(names_.size());
+    for (size_t i = 0; i < names_.size(); ++i) {
+      ids_.emplace(std::string_view(names_[i]), static_cast<SymbolId>(i));
+    }
+  }
+
+  /// Deque: element addresses are stable under growth, which is what lets
+  /// the index hold views instead of owned copies.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, SymbolId> ids_;
 };
 
 }  // namespace gdx

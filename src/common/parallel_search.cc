@@ -42,6 +42,14 @@ size_t ParallelSearch::NumWorkers(size_t num_ranks) const {
   }
   size_t cap = options_.max_workers == 0 ? options_.pool->num_threads() + 1
                                          : options_.max_workers;
+  if (options_.adaptive_ranks_per_worker != 0) {
+    // Adaptive scheduling: scale the worker count with the choice space so
+    // small spaces stay (near-)sequential and only genuinely large ones
+    // fan wide. Ceiling division: any remainder earns one more worker.
+    size_t adaptive = (num_ranks + options_.adaptive_ranks_per_worker - 1) /
+                      options_.adaptive_ranks_per_worker;
+    cap = std::min(cap, std::max<size_t>(1, adaptive));
+  }
   size_t chunk = std::max<size_t>(1, options_.chunk_size);
   size_t chunks = (num_ranks + chunk - 1) / chunk;
   return std::max<size_t>(1, std::min(cap, chunks));

@@ -53,6 +53,14 @@ struct ParallelSearchOptions {
   /// Spaces smaller than this are scanned on the caller thread only — the
   /// fan-out overhead would dominate.
   size_t min_parallel_ranks = 128;
+  /// Adaptive worker scaling (ISSUE 5 satellite): when nonzero, the
+  /// effective worker count is additionally capped at
+  /// ceil(num_ranks / adaptive_ranks_per_worker) — small choice spaces run
+  /// on fewer workers (down to the sequential caller thread) instead of
+  /// paying the fan-out for a handful of ranks each. 0 = off (the static
+  /// max_workers cap alone decides). Results are worker-count invariant
+  /// either way; this only moves wall time.
+  size_t adaptive_ranks_per_worker = 0;
   /// Optional external hard abort (see CancellationToken). When it fires,
   /// FindFirst/ScanAll return early and their result is *not* the
   /// deterministic full answer; callers report "cancelled"/unknown.

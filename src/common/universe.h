@@ -1,6 +1,7 @@
 #ifndef GDX_COMMON_UNIVERSE_H_
 #define GDX_COMMON_UNIVERSE_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,19 +11,44 @@
 
 namespace gdx {
 
+/// The immutable-once-shared constant side of a Universe: the interned
+/// spelling of every constant. Exactly a StringInterner; the type alias
+/// names the role it plays in the copy-on-write split below.
+using ConstantTable = StringInterner;
+
 /// The shared value universe of a data-exchange scenario: it owns the
 /// spelling of constants and manufactures fresh labeled nulls (N1, N2, ...).
 /// All instances, graphs and patterns in one scenario share one Universe.
+///
+/// Copy-on-write constant sharing (ISSUE 5 tentpole): a Universe is two
+/// parts — a shared_ptr'd ConstantTable and a cheap mutable null arena
+/// (the null-label vector). Copying a Universe shares the table and
+/// copies only the arena, so the per-worker copies the intra-solve search
+/// takes fork in O(null count) instead of deep-copying every constant
+/// string — on huge-constant (RDF-scale) workloads the difference is the
+/// whole interner. The table stays shared as long as every holder only
+/// *reads* constants (the search contract: constants are interned at
+/// parse/build time, never during a search); the first MakeConstant of a
+/// genuinely new name on a sharing holder clones the table for that
+/// holder alone (copy-on-write), so divergence is always private.
 class Universe {
  public:
+  Universe() : constants_(std::make_shared<ConstantTable>()) {}
+
   /// Interns a constant name and returns the corresponding constant Value.
+  /// Clones the shared ConstantTable first iff the name is new and the
+  /// table is shared with other Universe copies (copy-on-write).
   Value MakeConstant(std::string_view name) {
-    return Value::Constant(constants_.Intern(name));
+    if (auto id = constants_->Find(name)) return Value::Constant(*id);
+    if (constants_.use_count() > 1) {
+      constants_ = std::make_shared<ConstantTable>(*constants_);
+    }
+    return Value::Constant(constants_->Intern(name));
   }
 
   /// Returns the constant for `name` if it was interned before.
   std::optional<Value> FindConstant(std::string_view name) const {
-    auto id = constants_.Find(name);
+    auto id = constants_->Find(name);
     if (!id) return std::nullopt;
     return Value::Constant(*id);
   }
@@ -46,15 +72,27 @@ class Universe {
   /// Human-readable spelling of any value from this universe.
   std::string NameOf(Value v) const {
     if (v.is_constant()) {
-      if (v.id() < constants_.size()) return constants_.NameOf(v.id());
+      if (v.id() < constants_->size()) return constants_->NameOf(v.id());
       return "?const" + std::to_string(v.id());
     }
     if (v.id() < null_labels_.size()) return null_labels_[v.id()];
     return "?null" + std::to_string(v.id());
   }
 
-  size_t num_constants() const { return constants_.size(); }
+  size_t num_constants() const { return constants_->size(); }
   size_t num_nulls() const { return null_labels_.size(); }
+
+  // --- Copy-on-write observability (ISSUE 5) ------------------------------
+
+  /// The shared constant table itself (read-only). Two Universes returning
+  /// the same pointer share one table — the property worker forks rely on.
+  std::shared_ptr<const ConstantTable> shared_constants() const {
+    return constants_;
+  }
+
+  /// How many Universes (plus external shared_ptr holders) currently share
+  /// this universe's ConstantTable. 1 = sole owner.
+  long constants_use_count() const { return constants_.use_count(); }
 
   // --- Re-entrant search support (ISSUE 2 tentpole) -----------------------
   //
@@ -63,7 +101,8 @@ class Universe {
   // trying the next one. Null ids therefore depend only on the candidate's
   // own allocations — the property that makes solve outputs identical for
   // any intra-solve worker count. Constants are never interned during a
-  // search (only at parse/build time), so copies agree on all constants.
+  // search (only at parse/build time), so copies agree on all constants —
+  // and, since ISSUE 5, share one ConstantTable outright.
 
   /// A rollback point: the current null count.
   size_t NullMark() const { return null_labels_.size(); }
@@ -83,15 +122,16 @@ class Universe {
   }
 
   /// Appends label strings verbatim — used to adopt a worker's winning
-  /// nulls. Ids line up iff this universe currently holds exactly the
-  /// nulls the worker's copy held at its mark.
+  /// nulls (and, since ISSUE 5, a cached ChasedScenario's null arena).
+  /// Ids line up iff this universe currently holds exactly the nulls the
+  /// producer's universe held at its mark.
   void AppendNullLabels(const std::vector<std::string>& labels) {
     null_labels_.insert(null_labels_.end(), labels.begin(), labels.end());
   }
 
  private:
-  StringInterner constants_;
-  std::vector<std::string> null_labels_;
+  std::shared_ptr<ConstantTable> constants_;
+  std::vector<std::string> null_labels_;  // the mutable null arena
 };
 
 }  // namespace gdx

@@ -57,12 +57,18 @@ BatchReport BatchExecutor::SolveAll(std::vector<Scenario>& scenarios) {
       cache_after.compile_hits - cache_before.compile_hits;
   report.total.compile_cache_misses =
       cache_after.compile_misses - cache_before.compile_misses;
+  report.total.chase_cache_hits =
+      cache_after.chase_hits - cache_before.chase_hits;
+  report.total.chase_cache_misses =
+      cache_after.chase_misses - cache_before.chase_misses;
   report.total.nre_cache_restored_hits =
       cache_after.nre_restored_hits - cache_before.nre_restored_hits;
   report.total.answer_cache_restored_hits =
       cache_after.answer_restored_hits - cache_before.answer_restored_hits;
   report.total.compile_cache_restored_hits =
       cache_after.compile_restored_hits - cache_before.compile_restored_hits;
+  report.total.chase_cache_restored_hits =
+      cache_after.chase_restored_hits - cache_before.chase_restored_hits;
   return report;
 }
 

@@ -19,16 +19,6 @@ namespace {
 
 constexpr uint64_t kNullMarker = ~0ull;  // nulls are renamed freely
 
-void AppendTerm(std::string& out, const Term& term) {
-  if (term.is_var()) {
-    out.push_back('v');
-    AppendRawU64(term.var(), &out);
-  } else {
-    out.push_back('c');
-    AppendRawU64(term.constant().raw(), &out);
-  }
-}
-
 uint64_t NullBlindRaw(Value v) {
   return v.is_constant() ? v.raw() : kNullMarker;
 }
@@ -41,9 +31,9 @@ std::string EngineCache::AnswerKey(const CnreQuery& query, const Graph& g) {
   // Query structure: atoms (term, raw NRE, term) + head columns.
   AppendRawU64(query.atoms().size(), &key);
   for (const CnreAtom& atom : query.atoms()) {
-    AppendTerm(key, atom.x);
+    AppendTermRawSignature(atom.x, &key);
     AppendNreRawSignature(*atom.nre, &key);
-    AppendTerm(key, atom.y);
+    AppendTermRawSignature(atom.y, &key);
   }
   AppendRawU64(query.head().size(), &key);
   for (VarId v : query.head()) AppendRawU64(v, &key);
@@ -101,6 +91,10 @@ void EngineCache::TouchCompiled(CompiledEntry& entry) {
   compiled_lru_.splice(compiled_lru_.begin(), compiled_lru_, entry.lru);
 }
 
+void EngineCache::TouchChased(ChasedEntry& entry) {
+  chased_lru_.splice(chased_lru_.begin(), chased_lru_, entry.lru);
+}
+
 void EngineCache::EvictOverCap() {
   // Called with mutex_ held. LRU keys fall off the back of each list.
   if (options_.max_nre_entries != 0) {
@@ -126,6 +120,50 @@ void EngineCache::EvictOverCap() {
       ++stats_.compile_evictions;
     }
   }
+  if (options_.max_chased_entries != 0) {
+    while (chased_memo_.size() > options_.max_chased_entries) {
+      chased_memo_.erase(chased_lru_.back());
+      chased_lru_.pop_back();
+      ++stats_.chase_evictions;
+    }
+  }
+}
+
+ChasedScenarioPtr EngineCache::LookupChased(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = chased_memo_.find(key);
+  if (it == chased_memo_.end()) {
+    ++stats_.chase_misses;
+    if (g_solve_sink != nullptr) {
+      g_solve_sink->chase_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    return nullptr;
+  }
+  ++stats_.chase_hits;
+  if (it->second.restored) ++stats_.chase_restored_hits;
+  if (g_solve_sink != nullptr) {
+    g_solve_sink->chase_hits.fetch_add(1, std::memory_order_relaxed);
+    if (it->second.restored) {
+      g_solve_sink->chase_restored_hits.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+  }
+  TouchChased(it->second);
+  return it->second.artifact;
+}
+
+void EngineCache::StoreChased(const std::string& key,
+                              ChasedScenarioPtr artifact) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = chased_memo_.find(key);
+  if (it != chased_memo_.end()) {
+    TouchChased(it->second);
+    return;  // racing publishers compiled the same artifact; keep the first
+  }
+  chased_lru_.push_front(key);
+  chased_memo_.emplace(key,
+                       ChasedEntry{std::move(artifact), chased_lru_.begin()});
+  EvictOverCap();
 }
 
 CompiledNrePtr EngineCache::GetOrCompile(const NrePtr& nre) {
@@ -273,6 +311,7 @@ CacheSizes EngineCache::sizes() const {
   out.answer_keys = answer_memo_.size();
   out.answer_entries = answer_entries_;
   out.compiled_entries = compiled_memo_.size();
+  out.chased_entries = chased_memo_.size();
   return out;
 }
 
@@ -301,6 +340,9 @@ WarmState EngineCache::ExportWarmState() const {
   }
   for (auto it = compiled_lru_.rbegin(); it != compiled_lru_.rend(); ++it) {
     state.compiled.emplace_back(*it, compiled_memo_.at(*it).compiled);
+  }
+  for (auto it = chased_lru_.rbegin(); it != chased_lru_.rend(); ++it) {
+    state.chased.emplace_back(*it, chased_memo_.at(*it).artifact);
   }
   return state;
 }
@@ -354,6 +396,16 @@ SnapshotRestoreStats EngineCache::ImportWarmState(WarmState state) {
                       true});
     ++restored.compiled_entries;
   }
+  for (auto it = state.chased.rbegin(); it != state.chased.rend(); ++it) {
+    auto& [key, artifact] = *it;
+    if (chased_memo_.find(key) != chased_memo_.end()) continue;
+    chased_lru_.push_back(key);
+    chased_memo_.emplace(
+        std::move(key),
+        ChasedEntry{std::move(artifact), std::prev(chased_lru_.end()),
+                    true});
+    ++restored.chased_entries;
+  }
   EvictOverCap();
   restored.evicted_on_load =
       static_cast<size_t>(stats_.evictions() - evictions_before);
@@ -382,6 +434,8 @@ void EngineCache::Clear() {
   answer_entries_ = 0;
   compiled_memo_.clear();
   compiled_lru_.clear();
+  chased_memo_.clear();
+  chased_lru_.clear();
   stats_ = CacheStats{};
 }
 

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chase/chase_compiler.h"
 #include "common/status.h"
 #include "graph/cnre.h"
 #include "graph/nre_compile.h"
@@ -29,22 +30,30 @@ struct CacheStats {
   uint64_t answer_misses = 0;
   uint64_t compile_hits = 0;
   uint64_t compile_misses = 0;
+  uint64_t chase_hits = 0;
+  uint64_t chase_misses = 0;
   uint64_t nre_evictions = 0;
   uint64_t answer_evictions = 0;
   uint64_t compile_evictions = 0;
+  uint64_t chase_evictions = 0;
   uint64_t nre_restored_hits = 0;
   uint64_t answer_restored_hits = 0;
   uint64_t compile_restored_hits = 0;
+  uint64_t chase_restored_hits = 0;
 
-  uint64_t hits() const { return nre_hits + answer_hits + compile_hits; }
+  uint64_t hits() const {
+    return nre_hits + answer_hits + compile_hits + chase_hits;
+  }
   uint64_t misses() const {
-    return nre_misses + answer_misses + compile_misses;
+    return nre_misses + answer_misses + compile_misses + chase_misses;
   }
   uint64_t evictions() const {
-    return nre_evictions + answer_evictions + compile_evictions;
+    return nre_evictions + answer_evictions + compile_evictions +
+           chase_evictions;
   }
   uint64_t restored_hits() const {
-    return nre_restored_hits + answer_restored_hits + compile_restored_hits;
+    return nre_restored_hits + answer_restored_hits +
+           compile_restored_hits + chase_restored_hits;
   }
 };
 
@@ -55,6 +64,7 @@ struct SnapshotRestoreStats {
   size_t answer_keys = 0;
   size_t answer_entries = 0;
   size_t compiled_entries = 0;
+  size_t chased_entries = 0;
   /// Restored entries evicted straight away by EngineCacheOptions caps
   /// (the most recently used entries of the snapshot are the ones kept).
   size_t evicted_on_load = 0;
@@ -66,6 +76,7 @@ struct CacheSizes {
   size_t answer_keys = 0;
   size_t answer_entries = 0;
   size_t compiled_entries = 0;
+  size_t chased_entries = 0;
 };
 
 /// Size caps of the engine cache (ISSUE 2: long-running services must not
@@ -76,6 +87,7 @@ struct EngineCacheOptions {
   size_t max_nre_entries = 1u << 16;
   size_t max_answer_keys = 1u << 13;
   size_t max_compiled_entries = 1u << 12;
+  size_t max_chased_entries = 1u << 10;
 };
 
 /// Per-solve cache traffic sink (ISSUE 2 satellite): one instance lives on
@@ -92,9 +104,12 @@ struct PerSolveCacheStats {
   std::atomic<uint64_t> answer_misses{0};
   std::atomic<uint64_t> compile_hits{0};
   std::atomic<uint64_t> compile_misses{0};
+  std::atomic<uint64_t> chase_hits{0};
+  std::atomic<uint64_t> chase_misses{0};
   std::atomic<uint64_t> nre_restored_hits{0};
   std::atomic<uint64_t> answer_restored_hits{0};
   std::atomic<uint64_t> compile_restored_hits{0};
+  std::atomic<uint64_t> chase_restored_hits{0};
 
   CacheStats Snapshot() const {
     CacheStats out;
@@ -104,12 +119,16 @@ struct PerSolveCacheStats {
     out.answer_misses = answer_misses.load(std::memory_order_relaxed);
     out.compile_hits = compile_hits.load(std::memory_order_relaxed);
     out.compile_misses = compile_misses.load(std::memory_order_relaxed);
+    out.chase_hits = chase_hits.load(std::memory_order_relaxed);
+    out.chase_misses = chase_misses.load(std::memory_order_relaxed);
     out.nre_restored_hits =
         nre_restored_hits.load(std::memory_order_relaxed);
     out.answer_restored_hits =
         answer_restored_hits.load(std::memory_order_relaxed);
     out.compile_restored_hits =
         compile_restored_hits.load(std::memory_order_relaxed);
+    out.chase_restored_hits =
+        chase_restored_hits.load(std::memory_order_relaxed);
     return out;
   }
 };
@@ -152,6 +171,14 @@ class ScopedCacheAttribution {
 ///    expression is lowered exactly once per process and shared by every
 ///    intra-solve worker and batch scenario (entries are immutable
 ///    shared_ptrs, handed out without copying).
+///  * Chased-scenario memo (ISSUE 5 tentpole) — §5 universal
+///    representatives (ChasedScenario artifacts: chased pattern + null
+///    arena + chase counters) keyed by ChaseCompiler::Key, the content
+///    signature of everything the chase reads. A batch that repeats
+///    scenario content — or a warm-started process re-running a saved
+///    workload — runs the s-t + egd chase once per distinct content and
+///    replays the artifact everywhere else. Entries are immutable
+///    shared_ptrs, handed out without copying.
 ///
 /// Ownership: the cache owns every memoized payload. NRE relations and
 /// answer sets are stored by value and copied out on hit; compiled
@@ -171,9 +198,10 @@ class ScopedCacheAttribution {
 /// corrupts the cache (graphs are keyed by content, not identity), it
 /// just produces a different key on the next lookup.
 ///
-/// Persistence (ISSUE 4): SaveSnapshot/LoadSnapshot serialize and
-/// restore all three memos — compiled automata included — through the
-/// versioned snapshot format of docs/FORMAT.md. Loading is transactional
+/// Persistence (ISSUE 4, extended by ISSUE 5): SaveSnapshot/LoadSnapshot
+/// serialize and restore all four memos — compiled automata and chased
+/// scenarios included — through the versioned snapshot format of
+/// docs/FORMAT.md. Loading is transactional
 /// (a corrupt file restores nothing and returns a non-OK Status), keeps
 /// live entries over snapshot duplicates, preserves the snapshot's LRU
 /// order, and respects this cache's LRU caps. Hits on restored entries
@@ -208,6 +236,16 @@ class EngineCache : public CompiledNreCache {
   /// publishes the result (first writer wins under races). This is the
   /// CompiledNreCache hook the engine's AutomatonNreEvaluator is wired to.
   CompiledNrePtr GetOrCompile(const NrePtr& nre) override;
+
+  /// Looks up the chased-scenario artifact for a ChaseCompiler::Key;
+  /// nullptr on a miss. Every call counts as exactly one chase hit or
+  /// miss (like the other memos).
+  ChasedScenarioPtr LookupChased(const std::string& key);
+
+  /// Publishes a compiled chase artifact. Racing publishers of one key
+  /// keep the first (artifacts are interchangeable — compilation is
+  /// deterministic).
+  void StoreChased(const std::string& key, ChasedScenarioPtr artifact);
 
   // --- Warm-start persistence (ISSUE 4 tentpole) ------------------------
 
@@ -266,10 +304,16 @@ class EngineCache : public CompiledNreCache {
     std::list<std::string>::iterator lru;
     bool restored = false;
   };
+  struct ChasedEntry {
+    ChasedScenarioPtr artifact;
+    std::list<std::string>::iterator lru;
+    bool restored = false;
+  };
 
   void TouchNre(NreEntry& entry);
   void TouchAnswers(AnswerBucket& bucket);
   void TouchCompiled(CompiledEntry& entry);
+  void TouchChased(ChasedEntry& entry);
   void EvictOverCap();
 
   EngineCacheOptions options_;
@@ -281,6 +325,8 @@ class EngineCache : public CompiledNreCache {
   size_t answer_entries_ = 0;
   std::unordered_map<std::string, CompiledEntry> compiled_memo_;
   std::list<std::string> compiled_lru_;
+  std::unordered_map<std::string, ChasedEntry> chased_memo_;
+  std::list<std::string> chased_lru_;
   CacheStats stats_;
 };
 

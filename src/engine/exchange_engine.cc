@@ -4,8 +4,7 @@
 #include <sstream>
 #include <unordered_set>
 
-#include "chase/egd_chase.h"
-#include "chase/pattern_chase.h"
+#include "chase/chase_compiler.h"
 #include "exchange/solution_check.h"
 
 namespace gdx {
@@ -42,7 +41,15 @@ ExistenceOptions EngineOptions::ToExistenceOptions() const {
   out.max_candidates = max_candidates;
   out.target_tgd_max_rounds = target_tgd_max_rounds;
   out.dedup_isomorphic = dedup_isomorphic;
-  out.intra_solve_threads = intra_solve_threads;
+  if (intra_solve_threads == kIntraSolveAdaptive) {
+    // Adaptive scheduling (ISSUE 5 satellite): the sentinel never reaches
+    // the solver as a worker count — it becomes "pool size + 1, scaled
+    // down per scenario by the choice space".
+    out.intra_solve_threads = 0;
+    out.adaptive_intra = true;
+  } else {
+    out.intra_solve_threads = intra_solve_threads;
+  }
   out.sat_cube_vars = sat_cube_vars;
   // intra_pool / worker_scope / cancel are per-call wiring the engine adds
   // in MakeExistenceOptions; hand-wired solvers run sequentially unless
@@ -115,8 +122,13 @@ Status ExchangeEngine::SaveWarmState(const std::string& path) const {
 }
 
 size_t ExchangeEngine::intra_solve_threads() const {
-  return options_.intra_solve_threads == 0 ? ThreadPool::DefaultThreads()
-                                           : options_.intra_solve_threads;
+  // Adaptive (the default) sizes the *pool* for the hardware; the
+  // per-scenario scale-down happens inside the solver's searches.
+  if (options_.intra_solve_threads == 0 ||
+      options_.intra_solve_threads == EngineOptions::kIntraSolveAdaptive) {
+    return ThreadPool::DefaultThreads();
+  }
+  return options_.intra_solve_threads;
 }
 
 ExistenceOptions ExchangeEngine::MakeExistenceOptions(
@@ -156,38 +168,34 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
   {
     StageTimer total(&m.total_seconds);
 
-    // Stage 1 — universal representative: s-t chase, then the adapted egd
-    // chase (§5). A failing adapted chase is a sound "no solution".
+    // Stage 1 — universal representative (§5), compiled once per content
+    // (ISSUE 5 tentpole): the chased memo serves repeats and warm starts;
+    // a miss runs the s-t chase + adapted egd chase and publishes the
+    // artifact. A failing adapted chase is a sound "no solution".
+    ChasedScenarioPtr chased;
     bool chase_refuted = false;
     {
       StageTimer t(&m.chase_seconds);
-      PatternChaseStats stats;
-      GraphPattern pattern = ChaseToPattern(
-          *scenario.instance, scenario.setting.st_tgds, *scenario.universe,
-          &stats);
-      m.chase_triggers = stats.triggers;
-      if (!scenario.setting.egds.empty()) {
-        EgdChaseResult egd =
-            ChasePatternEgds(pattern, scenario.setting.egds, eval);
-        m.chase_merges = egd.merges;
-        if (egd.failed) {
-          out.existence.verdict = ExistenceVerdict::kNo;
-          out.existence.refuted_by_chase = true;
-          out.existence.note =
-              "adapted chase failed: " + egd.failure_reason;
-          chase_refuted = true;
-        }
+      chased = StageChase(scenario, m);
+      if (chased->failed) {
+        out.existence.verdict = ExistenceVerdict::kNo;
+        out.existence.refuted_by_chase = true;
+        out.existence.note =
+            "adapted chase failed: " + chased->failure_reason;
+        chase_refuted = true;
+      } else {
+        out.pattern = chased->pattern;
       }
-      if (!chase_refuted) out.pattern = std::move(pattern);
     }
 
-    // Stage 2 — existence decision under the configured policy.
+    // Stage 2 — existence decision under the configured policy, replaying
+    // the stage-1 artifact instead of re-chasing.
     if (!chase_refuted) {
       StageTimer t(&m.existence_seconds);
       ExistenceSolver solver(&eval, existence_options);
       out.existence =
           solver.Decide(scenario.setting, *scenario.instance,
-                        *scenario.universe);
+                        *scenario.universe, chased.get());
     }
     m.candidates_tried = out.existence.candidates_tried;
 
@@ -216,8 +224,8 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
         vacuous.no_solution = true;
         out.certain = std::move(vacuous);
       } else {
-        out.certain =
-            ComputeCertainAnswers(scenario, out.existence, existence_options);
+        out.certain = ComputeCertainAnswers(scenario, out.existence,
+                                            existence_options, chased.get());
       }
       m.solutions_enumerated = out.certain->solutions_considered;
     }
@@ -241,21 +249,47 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
   m.answer_cache_misses = solve_delta.answer_misses;
   m.compile_cache_hits = solve_delta.compile_hits;
   m.compile_cache_misses = solve_delta.compile_misses;
+  m.chase_cache_hits = solve_delta.chase_hits;
+  m.chase_cache_misses = solve_delta.chase_misses;
   m.nre_cache_restored_hits = solve_delta.nre_restored_hits;
   m.answer_cache_restored_hits = solve_delta.answer_restored_hits;
   m.compile_cache_restored_hits = solve_delta.compile_restored_hits;
+  m.chase_cache_restored_hits = solve_delta.chase_restored_hits;
   return out;
+}
+
+ChasedScenarioPtr ExchangeEngine::StageChase(const Scenario& scenario,
+                                             Metrics& m) const {
+  std::string key;
+  if (options_.enable_cache) {
+    key = ChaseCompiler::Key(scenario.setting, *scenario.instance,
+                             *scenario.universe);
+    if (ChasedScenarioPtr hit = cache_->LookupChased(key)) {
+      // The key pins the universe's base null count, so the artifact's
+      // arena drops in id-for-id; the chase itself is skipped and the
+      // work counters in `m` stay 0 for this solve.
+      ChaseCompiler::Adopt(*hit, *scenario.universe);
+      return hit;
+    }
+  }
+  ChasedScenarioPtr compiled = ChaseCompiler::Compile(
+      scenario.setting, *scenario.instance, *scenario.universe, evaluator());
+  m.chase_triggers = compiled->stats.triggers;
+  m.chase_merges = compiled->egd_merges;
+  if (options_.enable_cache) cache_->StoreChased(key, compiled);
+  return compiled;
 }
 
 CertainAnswerResult ExchangeEngine::ComputeCertainAnswers(
     const Scenario& scenario, const ExistenceReport& existence,
-    const ExistenceOptions& existence_options) const {
+    const ExistenceOptions& existence_options,
+    const ChasedScenario* chased) const {
   const NreEvaluator& eval = evaluator();
   CertainAnswerResult result;
   ExistenceSolver solver(&eval, existence_options);
   std::vector<Graph> solutions = solver.EnumerateSolutions(
       scenario.setting, *scenario.instance, *scenario.universe,
-      options_.max_solutions);
+      options_.max_solutions, chased);
   if (existence_options.cancel != nullptr &&
       existence_options.cancel->stop_requested()) {
     // A cancelled enumeration is truncated arbitrarily; intersecting over

@@ -57,15 +57,25 @@ struct EngineOptions {
   /// Size caps of the engine cache (LRU eviction; see EngineCacheOptions).
   EngineCacheOptions cache;
 
+  /// Sentinel for intra_solve_threads: derive the worker count per
+  /// scenario from the witness-choice space (NumCombinations) — small
+  /// spaces run sequentially, large ones fan out up to hardware
+  /// concurrency (ISSUE 5 satellite; ROADMAP "adaptive intra-solve
+  /// scheduling").
+  static constexpr size_t kIntraSolveAdaptive = ~static_cast<size_t>(0);
+
   /// Intra-solve parallelism (ISSUE 2 tentpole): workers — including the
   /// calling thread — that one Solve's bounded existence search, solution
-  /// enumeration and SAT cube deck fan out over. 1 = sequential (default);
-  /// 0 = hardware concurrency. The engine owns the backing pool; outcomes
-  /// are byte-identical for every value of this knob. Orthogonal to
-  /// BatchOptions::num_threads (scenario-level parallelism): typical
-  /// deployments raise one of the two — batch threads for many small
-  /// scenarios, intra-solve threads for few hard ones.
-  size_t intra_solve_threads = 1;
+  /// enumeration and SAT cube deck fan out over. 1 = sequential;
+  /// 0 = hardware concurrency; kIntraSolveAdaptive (default) sizes the
+  /// fan-out per scenario from the choice space, so tiny searches skip
+  /// the pool entirely and an explicit value always wins. The engine owns
+  /// the backing pool; outcomes are byte-identical for every value of
+  /// this knob. Orthogonal to BatchOptions::num_threads (scenario-level
+  /// parallelism): typical deployments raise one of the two — batch
+  /// threads for many small scenarios, intra-solve threads for few hard
+  /// ones.
+  size_t intra_solve_threads = kIntraSolveAdaptive;
   /// Cube-and-conquer width of the SAT-backed path (2^k per-worker DPLL
   /// cubes; 0 = single DPLL call). See ExistenceOptions::sat_cube_vars.
   size_t sat_cube_vars = 4;
@@ -157,7 +167,15 @@ class ExchangeEngine {
  private:
   CertainAnswerResult ComputeCertainAnswers(
       const Scenario& scenario, const ExistenceReport& existence,
-      const ExistenceOptions& existence_options) const;
+      const ExistenceOptions& existence_options,
+      const ChasedScenario* chased) const;
+  /// Stage 1 of Solve (ISSUE 5 tentpole): the §5 universal representative
+  /// as a compile-once artifact — served from the chased memo on a
+  /// content hit (the chase does not run; `m` then records zero triggers
+  /// and the memo's hit counters tick instead), compiled and published on
+  /// a miss. Either way the scenario's universe ends up with exactly the
+  /// nulls a fresh chase would have created.
+  ChasedScenarioPtr StageChase(const Scenario& scenario, Metrics& m) const;
   /// ToExistenceOptions() plus the per-call wiring: intra pool, the
   /// solve's cache-attribution worker scope, and the cancellation token.
   ExistenceOptions MakeExistenceOptions(PerSolveCacheStats* sink,

@@ -39,15 +39,21 @@ struct Metrics {
   uint64_t answer_cache_misses = 0;
   uint64_t compile_cache_hits = 0;
   uint64_t compile_cache_misses = 0;
+  // Chased-scenario memo traffic (ISSUE 5): a chase hit means the whole
+  // s-t + egd chase stage was served from a compiled artifact — on such a
+  // solve chase_triggers/chase_merges stay 0 (the chase did not run).
+  uint64_t chase_cache_hits = 0;
+  uint64_t chase_cache_misses = 0;
 
   // Warm-start effectiveness (ISSUE 4): the subset of the hits above that
   // were served from entries a snapshot restored (EngineCache::
   // LoadSnapshot) rather than computed in this process. A fully warm
   // re-run of a previously saved workload shows restored hits > 0 and
-  // zero NRE/compile misses.
+  // zero NRE/compile/chase misses (and zero chase triggers — ISSUE 5).
   uint64_t nre_cache_restored_hits = 0;
   uint64_t answer_cache_restored_hits = 0;
   uint64_t compile_cache_restored_hits = 0;
+  uint64_t chase_cache_restored_hits = 0;
 
   size_t scenarios = 0;  // solves accumulated into this struct
 
@@ -68,26 +74,31 @@ struct Metrics {
     answer_cache_misses += other.answer_cache_misses;
     compile_cache_hits += other.compile_cache_hits;
     compile_cache_misses += other.compile_cache_misses;
+    chase_cache_hits += other.chase_cache_hits;
+    chase_cache_misses += other.chase_cache_misses;
     nre_cache_restored_hits += other.nre_cache_restored_hits;
     answer_cache_restored_hits += other.answer_cache_restored_hits;
     compile_cache_restored_hits += other.compile_cache_restored_hits;
+    chase_cache_restored_hits += other.chase_cache_restored_hits;
     scenarios += other.scenarios;
   }
 
   uint64_t cache_hits() const {
-    return nre_cache_hits + answer_cache_hits + compile_cache_hits;
+    return nre_cache_hits + answer_cache_hits + compile_cache_hits +
+           chase_cache_hits;
   }
   uint64_t cache_misses() const {
-    return nre_cache_misses + answer_cache_misses + compile_cache_misses;
+    return nre_cache_misses + answer_cache_misses + compile_cache_misses +
+           chase_cache_misses;
   }
   uint64_t cache_restored_hits() const {
     return nre_cache_restored_hits + answer_cache_restored_hits +
-           compile_cache_restored_hits;
+           compile_cache_restored_hits + chase_cache_restored_hits;
   }
 
   /// Multi-line human-readable summary for CLI / bench output.
   std::string ToString() const {
-    char buf[768];
+    char buf[1024];
     std::snprintf(
         buf, sizeof(buf),
         "metrics {%zu solve(s)}\n"
@@ -95,8 +106,9 @@ struct Metrics {
         "certain=%.3fms minimize=%.3fms verify=%.3fms\n"
         "  work: triggers=%zu merges=%zu candidates=%zu solutions=%zu\n"
         "  cache: nre %llu hit / %llu miss, answers %llu hit / %llu miss, "
-        "compile %llu hit / %llu miss\n"
-        "  warm: restored-entry hits nre=%llu answers=%llu compile=%llu\n",
+        "compile %llu hit / %llu miss, chase %llu hit / %llu miss\n"
+        "  warm: restored-entry hits nre=%llu answers=%llu compile=%llu "
+        "chase=%llu\n",
         scenarios, total_seconds * 1e3, chase_seconds * 1e3,
         existence_seconds * 1e3, certain_seconds * 1e3,
         minimize_seconds * 1e3, verify_seconds * 1e3, chase_triggers,
@@ -107,9 +119,12 @@ struct Metrics {
         static_cast<unsigned long long>(answer_cache_misses),
         static_cast<unsigned long long>(compile_cache_hits),
         static_cast<unsigned long long>(compile_cache_misses),
+        static_cast<unsigned long long>(chase_cache_hits),
+        static_cast<unsigned long long>(chase_cache_misses),
         static_cast<unsigned long long>(nre_cache_restored_hits),
         static_cast<unsigned long long>(answer_cache_restored_hits),
-        static_cast<unsigned long long>(compile_cache_restored_hits));
+        static_cast<unsigned long long>(compile_cache_restored_hits),
+        static_cast<unsigned long long>(chase_cache_restored_hits));
     return buf;
   }
 };

@@ -374,4 +374,14 @@ std::string NreRawSignature(const Nre& nre) {
   return out;
 }
 
+void AppendTermRawSignature(const Term& term, std::string* out) {
+  if (term.is_var()) {
+    out->push_back('v');
+    AppendRawU64(term.var(), out);
+  } else {
+    out->push_back('c');
+    AppendRawU64(term.constant().raw(), out);
+  }
+}
+
 }  // namespace gdx

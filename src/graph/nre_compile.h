@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/term.h"
 #include "graph/nre.h"
 
 namespace gdx {
@@ -97,6 +98,11 @@ void AppendRawU64(uint64_t x, std::string* out);
 /// and compiled-automaton cache.
 void AppendNreRawSignature(const Nre& nre, std::string* out);
 std::string NreRawSignature(const Nre& nre);
+
+/// Appends a query term with a one-byte tag ('v' + var id, or 'c' + the
+/// constant's raw encoding) — prefix-unambiguous. Shared key material of
+/// the engine's answer memo and the chased-scenario memo.
+void AppendTermRawSignature(const Term& term, std::string* out);
 
 /// Source of compiled automata for evaluators. Implementations (the
 /// engine's cache) share compilations across threads, candidate graphs and

@@ -22,6 +22,7 @@ constexpr uint32_t kSecStrings = FourCC('S', 'T', 'R', 'T');
 constexpr uint32_t kSecNreMemo = FourCC('N', 'R', 'E', 'M');
 constexpr uint32_t kSecAnswerMemo = FourCC('A', 'N', 'S', 'M');
 constexpr uint32_t kSecAutomata = FourCC('C', 'A', 'U', 'T');
+constexpr uint32_t kSecChased = FourCC('C', 'H', 'S', 'E');
 
 /// Bytes per section-table entry: id u32 + offset u64 + length u64 +
 /// checksum u64.
@@ -199,6 +200,260 @@ CompiledNrePtr DecodeAutomaton(WireReader* in, int depth, Status* error) {
   return automaton;
 }
 
+// --- NREs (chased-pattern edge labels) -------------------------------------
+
+/// NRE trees travel as postfix (RPN) op streams: leaves push, operators
+/// pop their operands. Both codec directions are iterative, so a crafted
+/// file can make the decode *fail* but never recurse the decoder off the
+/// stack — and legitimate deep trees (long concatenation chains) have no
+/// artificial depth ceiling.
+void EncodeNre(const Nre& root, WireWriter* out) {
+  std::vector<std::pair<const Nre*, bool>> walk;  // (node, children done)
+  std::vector<const Nre*> postfix;
+  walk.emplace_back(&root, false);
+  while (!walk.empty()) {
+    auto [node, done] = walk.back();
+    walk.pop_back();
+    if (done) {
+      postfix.push_back(node);
+      continue;
+    }
+    walk.emplace_back(node, true);
+    switch (node->kind()) {
+      case Nre::Kind::kUnion:
+      case Nre::Kind::kConcat:
+        // Left below right on the stack: left is emitted first.
+        walk.emplace_back(node->right().get(), false);
+        walk.emplace_back(node->left().get(), false);
+        break;
+      case Nre::Kind::kStar:
+      case Nre::Kind::kNest:
+        walk.emplace_back(node->child().get(), false);
+        break;
+      default:
+        break;  // leaves
+    }
+  }
+  out->PutU32(static_cast<uint32_t>(postfix.size()));
+  for (const Nre* node : postfix) {
+    out->PutU8(static_cast<uint8_t>(node->kind()));
+    if (node->kind() == Nre::Kind::kSymbol ||
+        node->kind() == Nre::Kind::kInverse) {
+      out->PutU32(node->symbol());
+    }
+  }
+}
+
+bool DecodeNre(WireReader* in, NrePtr* out, Status* error) {
+  uint32_t count;
+  if (!in->ReadU32(&count)) {
+    *error = Corrupt("truncated NRE op count");
+    return false;
+  }
+  if (count == 0) {
+    *error = Corrupt("empty NRE");
+    return false;
+  }
+  std::vector<NrePtr> stack;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t kind;
+    if (!in->ReadU8(&kind)) {
+      *error = Corrupt("truncated NRE op");
+      return false;
+    }
+    switch (static_cast<Nre::Kind>(kind)) {
+      case Nre::Kind::kEpsilon:
+        stack.push_back(Nre::Epsilon());
+        break;
+      case Nre::Kind::kSymbol:
+      case Nre::Kind::kInverse: {
+        uint32_t symbol;
+        if (!in->ReadU32(&symbol)) {
+          *error = Corrupt("truncated NRE symbol");
+          return false;
+        }
+        stack.push_back(static_cast<Nre::Kind>(kind) == Nre::Kind::kSymbol
+                            ? Nre::Symbol(symbol)
+                            : Nre::Inverse(symbol));
+        break;
+      }
+      case Nre::Kind::kUnion:
+      case Nre::Kind::kConcat: {
+        if (stack.size() < 2) {
+          *error = Corrupt("NRE operator underflows its operand stack");
+          return false;
+        }
+        NrePtr right = std::move(stack.back());
+        stack.pop_back();
+        NrePtr left = std::move(stack.back());
+        stack.pop_back();
+        stack.push_back(static_cast<Nre::Kind>(kind) == Nre::Kind::kUnion
+                            ? Nre::Union(std::move(left), std::move(right))
+                            : Nre::Concat(std::move(left), std::move(right)));
+        break;
+      }
+      case Nre::Kind::kStar:
+      case Nre::Kind::kNest: {
+        if (stack.empty()) {
+          *error = Corrupt("NRE operator underflows its operand stack");
+          return false;
+        }
+        NrePtr child = std::move(stack.back());
+        stack.pop_back();
+        stack.push_back(static_cast<Nre::Kind>(kind) == Nre::Kind::kStar
+                            ? Nre::Star(std::move(child))
+                            : Nre::Nest(std::move(child)));
+        break;
+      }
+      default:
+        *error = Corrupt("unknown NRE op kind");
+        return false;
+    }
+  }
+  if (stack.size() != 1) {
+    *error = Corrupt("unbalanced NRE encoding");
+    return false;
+  }
+  *out = std::move(stack.back());
+  return true;
+}
+
+// --- chased scenarios ------------------------------------------------------
+
+void EncodeChased(const ChasedScenario& chased, WireWriter* out) {
+  out->PutU8(chased.failed ? 1 : 0);
+  out->PutBytes(chased.failure_reason);
+  out->PutU64(chased.stats.triggers);
+  out->PutU64(chased.stats.edges_added);
+  out->PutU64(chased.stats.nulls_created);
+  out->PutU64(chased.egd_merges);
+  out->PutU64(chased.base_nulls);
+  out->PutU64(chased.null_labels.size());
+  for (const std::string& label : chased.null_labels) out->PutBytes(label);
+  const GraphPattern& pattern = chased.pattern;
+  out->PutU64(pattern.num_nodes());
+  for (Value v : pattern.nodes()) out->PutU64(v.raw());
+  out->PutU64(pattern.num_edges());
+  for (const PatternEdge& edge : pattern.edges()) {
+    out->PutU64(edge.src.raw());
+    EncodeNre(*edge.nre, out);
+    out->PutU64(edge.dst.raw());
+  }
+}
+
+ChasedScenarioPtr DecodeChased(WireReader* in, Status* error) {
+  auto chased = std::make_shared<ChasedScenario>();
+  uint8_t failed;
+  std::string_view reason;
+  if (!in->ReadU8(&failed) || !in->ReadBytes(&reason)) {
+    *error = Corrupt("truncated chased-scenario header");
+    return nullptr;
+  }
+  if (failed > 1) {
+    *error = Corrupt("chased-scenario failed flag not boolean");
+    return nullptr;
+  }
+  chased->failed = failed != 0;
+  chased->failure_reason = std::string(reason);
+  uint64_t triggers, edges_added, nulls_created, merges, base_nulls,
+      num_labels;
+  if (!in->ReadU64(&triggers) || !in->ReadU64(&edges_added) ||
+      !in->ReadU64(&nulls_created) || !in->ReadU64(&merges) ||
+      !in->ReadU64(&base_nulls) || !in->ReadU64(&num_labels)) {
+    *error = Corrupt("truncated chased-scenario counters");
+    return nullptr;
+  }
+  chased->stats.triggers = static_cast<size_t>(triggers);
+  chased->stats.edges_added = static_cast<size_t>(edges_added);
+  chased->stats.nulls_created = static_cast<size_t>(nulls_created);
+  chased->egd_merges = static_cast<size_t>(merges);
+  // Null ids are 32-bit: the arena (base + every label) must fit, or the
+  // replayed nulls could not be addressed.
+  if (base_nulls > 0xffffffffull ||
+      num_labels > 0x100000000ull - base_nulls) {
+    *error = Corrupt("chased-scenario null arena out of range");
+    return nullptr;
+  }
+  chased->base_nulls = static_cast<size_t>(base_nulls);
+  for (uint64_t i = 0; i < num_labels; ++i) {
+    std::string_view label;
+    if (!in->ReadBytes(&label)) {
+      *error = Corrupt("truncated null label");
+      return nullptr;
+    }
+    chased->null_labels.emplace_back(label);
+  }
+  const uint64_t null_bound = base_nulls + num_labels;
+  auto valid_node = [&](uint64_t raw) {
+    if (!ValidValueRaw(raw)) return false;
+    Value v = Value::FromRaw(raw);
+    // Every null the pattern mentions must be resolvable against the
+    // arena a replay reconstructs (pre-existing nulls sit below base).
+    return v.is_constant() || v.id() < null_bound;
+  };
+  uint64_t num_nodes;
+  if (!in->ReadU64(&num_nodes)) {
+    *error = Corrupt("truncated chased-pattern node count");
+    return nullptr;
+  }
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    uint64_t raw;
+    if (!in->ReadU64(&raw)) {
+      *error = Corrupt("truncated chased-pattern node");
+      return nullptr;
+    }
+    if (!valid_node(raw)) {
+      *error = Corrupt("chased-pattern node out of range");
+      return nullptr;
+    }
+    Value v = Value::FromRaw(raw);
+    if (chased->pattern.HasNode(v)) {
+      *error = Corrupt("duplicate chased-pattern node");
+      return nullptr;
+    }
+    chased->pattern.AddNode(v);
+  }
+  uint64_t num_edges;
+  if (!in->ReadU64(&num_edges)) {
+    *error = Corrupt("truncated chased-pattern edge count");
+    return nullptr;
+  }
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint64_t src_raw;
+    if (!in->ReadU64(&src_raw)) {
+      *error = Corrupt("truncated chased-pattern edge");
+      return nullptr;
+    }
+    NrePtr nre;
+    if (!DecodeNre(in, &nre, error)) return nullptr;
+    uint64_t dst_raw;
+    if (!in->ReadU64(&dst_raw)) {
+      *error = Corrupt("truncated chased-pattern edge");
+      return nullptr;
+    }
+    if (!valid_node(src_raw) || !valid_node(dst_raw)) {
+      *error = Corrupt("chased-pattern edge endpoint out of range");
+      return nullptr;
+    }
+    Value src = Value::FromRaw(src_raw);
+    Value dst = Value::FromRaw(dst_raw);
+    // Endpoints must come from the node list (AddEdge would otherwise
+    // invent them, breaking the decode → encode identity), and edges must
+    // be unique (AddEdge would silently dedup, same problem).
+    if (!chased->pattern.HasNode(src) || !chased->pattern.HasNode(dst)) {
+      *error = Corrupt("chased-pattern edge endpoint not in node list");
+      return nullptr;
+    }
+    const size_t before = chased->pattern.num_edges();
+    chased->pattern.AddEdge(src, std::move(nre), dst);
+    if (chased->pattern.num_edges() != before + 1) {
+      *error = Corrupt("duplicate chased-pattern edge");
+      return nullptr;
+    }
+  }
+  return chased;
+}
+
 // --- string table ----------------------------------------------------------
 
 /// Resolves a section's u32 string reference against the decoded table.
@@ -254,6 +509,13 @@ std::string EncodeSnapshot(const WarmState& state) {
     EncodeAutomaton(*automaton, &caut);
   }
 
+  WireWriter chse;
+  chse.PutU32(static_cast<uint32_t>(state.chased.size()));
+  for (const auto& [key, chased] : state.chased) {
+    chse.PutU32(keys.Intern(key));
+    EncodeChased(*chased, &chse);
+  }
+
   WireWriter strt;
   strt.PutU32(static_cast<uint32_t>(keys.size()));
   for (uint32_t id = 0; id < keys.size(); ++id) {
@@ -267,7 +529,8 @@ std::string EncodeSnapshot(const WarmState& state) {
   const Section sections[] = {{kSecStrings, &strt.bytes()},
                               {kSecNreMemo, &nrem.bytes()},
                               {kSecAnswerMemo, &ansm.bytes()},
-                              {kSecAutomata, &caut.bytes()}};
+                              {kSecAutomata, &caut.bytes()},
+                              {kSecChased, &chse.bytes()}};
   const size_t num_sections = sizeof(sections) / sizeof(sections[0]);
 
   WireWriter table;
@@ -321,9 +584,9 @@ Result<WarmState> DecodeSnapshot(std::string_view bytes) {
   // Section table: verify bounds and checksums of every section up front
   // (unknown ids included), remember the payloads of the known ones.
   std::string_view strings_payload, nre_payload, answer_payload,
-      automata_payload;
+      automata_payload, chased_payload;
   bool have_strings = false, have_nre = false, have_answers = false,
-       have_automata = false;
+       have_automata = false, have_chased = false;
   WireReader table_reader(table_bytes);
   for (uint32_t i = 0; i < num_sections; ++i) {
     uint32_t id;
@@ -350,6 +613,7 @@ Result<WarmState> DecodeSnapshot(std::string_view bytes) {
     else if (id == kSecNreMemo) fresh = claim(&nre_payload, &have_nre);
     else if (id == kSecAnswerMemo) fresh = claim(&answer_payload, &have_answers);
     else if (id == kSecAutomata) fresh = claim(&automata_payload, &have_automata);
+    else if (id == kSecChased) fresh = claim(&chased_payload, &have_chased);
     // else: unknown section — checksummed above, otherwise skipped
     // (the forward-compatibility policy of docs/FORMAT.md).
     if (!fresh) return Corrupt("duplicate section");
@@ -465,6 +729,27 @@ Result<WarmState> DecodeSnapshot(std::string_view bytes) {
       state.compiled.emplace_back(std::move(key), std::move(automaton));
     }
     if (!in.AtEnd()) return Corrupt("trailing bytes in automaton memo");
+  }
+
+  // CHSE — chased scenarios (§5 universal representatives), an additive
+  // section: absent in pre-ISSUE-5 snapshots, which decode to an empty
+  // chased memo.
+  if (have_chased) {
+    WireReader in(chased_payload);
+    uint32_t count;
+    if (!in.ReadU32(&count)) return Corrupt("truncated chased memo");
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t key_ref;
+      if (!in.ReadU32(&key_ref)) {
+        return Corrupt("truncated chased memo entry");
+      }
+      std::string key;
+      if (!ResolveKey(key_ref, table, &key, &error)) return error;
+      ChasedScenarioPtr chased = DecodeChased(&in, &error);
+      if (chased == nullptr) return error;
+      state.chased.emplace_back(std::move(key), std::move(chased));
+    }
+    if (!in.AtEnd()) return Corrupt("trailing bytes in chased memo");
   }
 
   return state;

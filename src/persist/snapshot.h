@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "chase/chase_compiler.h"
 #include "common/status.h"
 #include "graph/graph.h"
 #include "graph/nre_compile.h"
@@ -16,11 +17,12 @@ namespace gdx {
 
 /// Warm-start persistence (ISSUE 4 tentpole): the codec of the versioned,
 /// length-prefixed binary snapshot that carries an EngineCache's warm
-/// state — NRE memo, null-blind answer memo, and compiled-automaton memo,
-/// automata included — across process boundaries. docs/FORMAT.md is the
-/// normative byte-level specification; this header is its implementation
-/// anchor (CI greps kFormatVersion out of this file and fails when the
-/// spec drifts).
+/// state — NRE memo, null-blind answer memo, compiled-automaton memo
+/// (automata included), and, since ISSUE 5, the chased-scenario memo (§5
+/// universal representatives, patterns and null arenas included) — across
+/// process boundaries. docs/FORMAT.md is the normative byte-level
+/// specification; this header is its implementation anchor (CI greps
+/// kFormatVersion out of this file and fails when the spec drifts).
 ///
 /// Safety contract: DecodeSnapshot fully validates its input — magic,
 /// version, section-table bounds, per-section FNV-1a checksums, string-
@@ -56,6 +58,9 @@ struct WarmState {
   std::vector<std::pair<std::string, BinaryRelation>> nre;
   std::vector<std::pair<std::string, std::vector<AnswerEntry>>> answers;
   std::vector<std::pair<std::string, CompiledNrePtr>> compiled;
+  /// Chased-scenario memo (ISSUE 5): §5 universal representatives keyed
+  /// by ChaseCompiler::Key, carried in the additive CHSE section.
+  std::vector<std::pair<std::string, ChasedScenarioPtr>> chased;
 };
 
 /// Serializes warm state into snapshot bytes. Deterministic: equal states

@@ -1,7 +1,6 @@
 #include "solver/existence.h"
 
 #include "chase/egd_chase.h"
-#include "chase/pattern_chase.h"
 #include "chase/sameas_completion.h"
 #include "chase/target_tgd_chase.h"
 #include "exchange/solution_check.h"
@@ -15,6 +14,44 @@
 #include <unordered_set>
 
 namespace gdx {
+namespace {
+
+/// The chase stage's output as the decision stages consume it.
+struct StagePattern {
+  GraphPattern pattern;
+  bool failed = false;
+  std::string failure_reason;
+};
+
+/// One entry point for "give me the chased pattern": replay the compiled
+/// artifact when the caller brought one (ISSUE 5 — the chase then runs
+/// once per (setting, instance) content instead of once per stage), or
+/// compile a solve-local artifact and consume it the same way. Routing
+/// both paths through ChaseCompiler makes the cached-vs-fresh byte
+/// identity hold by construction — there is exactly one chase stage
+/// sequence to drift from.
+StagePattern BuildStagePattern(const ChasedScenario* chased,
+                               const Setting& setting,
+                               const Instance& source, Universe& universe,
+                               const NreEvaluator& eval) {
+  StagePattern out;
+  ChasedScenarioPtr local;
+  if (chased == nullptr) {
+    // Compile already appends the chase's fresh nulls to `universe`, so
+    // the artifact is consumed at its own base: no replay shift needed.
+    local = ChaseCompiler::Compile(setting, source, universe, eval);
+    out.pattern = local->pattern;
+    out.failed = local->failed;
+    out.failure_reason = local->failure_reason;
+    return out;
+  }
+  out.pattern = ReplayChase(*chased, universe);
+  out.failed = chased->failed;
+  out.failure_reason = chased->failure_reason;
+  return out;
+}
+
+}  // namespace
 
 std::optional<Graph> ExistenceSolver::RepairAndVerify(
     Graph candidate, const Setting& setting, const Instance& source,
@@ -58,25 +95,29 @@ ParallelSearchOptions ExistenceSolver::SearchOptions(
   out.max_workers = options_.intra_solve_threads;
   out.chunk_size = chunk_size;
   out.min_parallel_ranks = min_parallel_ranks;
+  // Adaptive scheduling (ISSUE 5 satellite): scale workers with the rank
+  // space. The SAT cube path overrides this back to 0 — every cube is a
+  // whole DPLL call, always worth a worker.
+  out.adaptive_ranks_per_worker =
+      options_.adaptive_intra ? options_.adaptive_ranks_per_worker : 0;
   out.cancel = options_.cancel;
   out.wrap_worker = options_.worker_scope;
   return out;
 }
 
-ExistenceReport ExistenceSolver::DecideChaseRefute(const Setting& setting,
-                                                   const Instance& source,
-                                                   Universe& universe) const {
+ExistenceReport ExistenceSolver::DecideChaseRefute(
+    const Setting& setting, const Instance& source, Universe& universe,
+    const ChasedScenario* chased) const {
   ExistenceReport report;
-  GraphPattern pattern = ChaseToPattern(source, setting.st_tgds, universe);
-  if (!setting.egds.empty()) {
-    EgdChaseResult egd = ChasePatternEgds(pattern, setting.egds, *eval_);
-    if (egd.failed) {
-      report.verdict = ExistenceVerdict::kNo;
-      report.refuted_by_chase = true;
-      report.note = "adapted chase failed: " + egd.failure_reason;
-      return report;
-    }
+  StagePattern stage =
+      BuildStagePattern(chased, setting, source, universe, *eval_);
+  if (stage.failed) {
+    report.verdict = ExistenceVerdict::kNo;
+    report.refuted_by_chase = true;
+    report.note = "adapted chase failed: " + stage.failure_reason;
+    return report;
   }
+  GraphPattern& pattern = stage.pattern;
   PatternInstantiator instantiator(&pattern, options_.instantiation);
   Result<Graph> canonical = instantiator.InstantiateCanonical(universe);
   if (canonical.ok()) {
@@ -99,19 +140,18 @@ ExistenceReport ExistenceSolver::DecideChaseRefute(const Setting& setting,
 }
 
 ExistenceReport ExistenceSolver::DecideBoundedSearch(
-    const Setting& setting, const Instance& source,
-    Universe& universe) const {
+    const Setting& setting, const Instance& source, Universe& universe,
+    const ChasedScenario* chased) const {
   ExistenceReport report;
-  GraphPattern pattern = ChaseToPattern(source, setting.st_tgds, universe);
-  if (!setting.egds.empty()) {
-    EgdChaseResult egd = ChasePatternEgds(pattern, setting.egds, *eval_);
-    if (egd.failed) {
-      report.verdict = ExistenceVerdict::kNo;
-      report.refuted_by_chase = true;
-      report.note = "adapted chase failed: " + egd.failure_reason;
-      return report;
-    }
+  StagePattern stage =
+      BuildStagePattern(chased, setting, source, universe, *eval_);
+  if (stage.failed) {
+    report.verdict = ExistenceVerdict::kNo;
+    report.refuted_by_chase = true;
+    report.note = "adapted chase failed: " + stage.failure_reason;
+    return report;
   }
+  GraphPattern& pattern = stage.pattern;
   PatternInstantiator instantiator(&pattern, options_.instantiation);
   const auto& lists = instantiator.witness_lists();
   for (const auto& list : lists) {
@@ -202,13 +242,13 @@ ExistenceReport ExistenceSolver::DecideBoundedSearch(
   return report;
 }
 
-ExistenceReport ExistenceSolver::DecideSatBacked(const Setting& setting,
-                                                 const Instance& source,
-                                                 Universe& universe) const {
+ExistenceReport ExistenceSolver::DecideSatBacked(
+    const Setting& setting, const Instance& source, Universe& universe,
+    const ChasedScenario* chased) const {
   ExistenceReport report;
   Result<FlatEncoding> encoding = EncodeFlatSetting(setting, source);
   if (!encoding.ok()) {
-    report = DecideBoundedSearch(setting, source, universe);
+    report = DecideBoundedSearch(setting, source, universe, chased);
     report.note = "not flat (" + encoding.status().message() +
                   "); fell back to bounded search. " + report.note;
     return report;
@@ -244,9 +284,12 @@ ExistenceReport ExistenceSolver::DecideSatBacked(const Setting& setting,
       std::vector<bool> model;
     };
     SatWin win;
-    // Every cube is pricey, so chunk = 1 and fan out from 2 cubes up.
-    ParallelSearch search(SearchOptions(/*chunk_size=*/1,
-                                        /*min_parallel_ranks=*/2));
+    // Every cube is pricey, so chunk = 1, fan out from 2 cubes up, and no
+    // adaptive ranks-per-worker damping (a cube is a whole DPLL call).
+    ParallelSearchOptions cube_options =
+        SearchOptions(/*chunk_size=*/1, /*min_parallel_ranks=*/2);
+    cube_options.adaptive_ranks_per_worker = 0;
+    ParallelSearch search(cube_options);
     auto visit = [&](size_t rank, size_t) -> bool {
       std::vector<Lit> cube;
       cube.reserve(k);
@@ -319,7 +362,8 @@ ExistenceReport ExistenceSolver::DecideSatBacked(const Setting& setting,
 
 ExistenceReport ExistenceSolver::Decide(const Setting& setting,
                                         const Instance& source,
-                                        Universe& universe) const {
+                                        Universe& universe,
+                                        const ChasedScenario* chased) const {
   // Single-threaded entry: intern the sameAs label now so the concurrent
   // workers' const lookups (sameAs completion, solution checks) always
   // find it — even for settings whose constraints were built by hand
@@ -329,33 +373,35 @@ ExistenceReport ExistenceSolver::Decide(const Setting& setting,
   }
   switch (options_.strategy) {
     case ExistenceStrategy::kChaseRefute:
-      return DecideChaseRefute(setting, source, universe);
+      return DecideChaseRefute(setting, source, universe, chased);
     case ExistenceStrategy::kBoundedSearch:
-      return DecideBoundedSearch(setting, source, universe);
+      return DecideBoundedSearch(setting, source, universe, chased);
     case ExistenceStrategy::kSatBacked:
-      return DecideSatBacked(setting, source, universe);
+      return DecideSatBacked(setting, source, universe, chased);
     case ExistenceStrategy::kAuto:
       break;
   }
   // Auto strategy.
   if (!setting.HasTargetConstraints() || setting.SameAsOnly()) {
     // Solutions always exist (paper §3.2 / §4.2): construct one.
-    ExistenceReport report = DecideChaseRefute(setting, source, universe);
+    ExistenceReport report =
+        DecideChaseRefute(setting, source, universe, chased);
     if (report.verdict == ExistenceVerdict::kYes) return report;
     // Canonical instantiation can fail only on witness-budget corner
     // cases; widen via bounded search.
-    return DecideBoundedSearch(setting, source, universe);
+    return DecideBoundedSearch(setting, source, universe, chased);
   }
   if (setting.target_tgds.empty() && setting.sameas.empty()) {
-    ExistenceReport report = DecideSatBacked(setting, source, universe);
+    ExistenceReport report =
+        DecideSatBacked(setting, source, universe, chased);
     if (report.verdict != ExistenceVerdict::kUnknown) return report;
   }
-  return DecideBoundedSearch(setting, source, universe);
+  return DecideBoundedSearch(setting, source, universe, chased);
 }
 
 std::vector<Graph> ExistenceSolver::EnumerateSolutions(
     const Setting& setting, const Instance& source, Universe& universe,
-    size_t max_solutions) const {
+    size_t max_solutions, const ChasedScenario* chased) const {
   std::vector<Graph> kept;
   if (max_solutions == 0) return kept;
   // Single-threaded entry: see Decide() — pre-intern sameAs for the
@@ -363,11 +409,10 @@ std::vector<Graph> ExistenceSolver::EnumerateSolutions(
   if (!setting.sameas.empty() && setting.alphabet != nullptr) {
     (void)setting.alphabet->SameAsSymbol();
   }
-  GraphPattern pattern = ChaseToPattern(source, setting.st_tgds, universe);
-  if (!setting.egds.empty()) {
-    EgdChaseResult egd = ChasePatternEgds(pattern, setting.egds, *eval_);
-    if (egd.failed) return kept;  // no solutions at all
-  }
+  StagePattern stage =
+      BuildStagePattern(chased, setting, source, universe, *eval_);
+  if (stage.failed) return kept;  // no solutions at all
+  GraphPattern& pattern = stage.pattern;
   PatternInstantiator instantiator(&pattern, options_.instantiation);
   const auto& lists = instantiator.witness_lists();
   for (const auto& list : lists) {

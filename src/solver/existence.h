@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "chase/chase_compiler.h"
 #include "common/parallel_search.h"
 #include "common/universe.h"
 #include "exchange/setting.h"
@@ -82,6 +83,16 @@ struct ExistenceOptions {
   /// fanning out at all.
   size_t parallel_chunk = 64;
   size_t parallel_min_ranks = 128;
+  /// Adaptive intra-solve scheduling (ISSUE 5 satellite): when set, the
+  /// witness-choice searches derive their worker count from the choice
+  /// space — ceil(NumCombinations / adaptive_ranks_per_worker), capped at
+  /// intra_solve_threads — so small spaces run sequentially (no pool
+  /// overhead) and only large ones fan wide. An explicit worker count
+  /// (adaptive_intra == false, the default here) always wins. The SAT
+  /// cube deck is exempt: each cube is a whole DPLL call, always worth a
+  /// worker. Worker-count invariance makes this a pure wall-time knob.
+  bool adaptive_intra = false;
+  size_t adaptive_ranks_per_worker = 1024;
   /// Cube-and-conquer width of the SAT-backed path: the first
   /// sat_cube_vars CNF variables are pinned to all 2^k polarities, one
   /// independent (per-worker) DPLL instance per cube. 0 — or a formula
@@ -114,8 +125,18 @@ class ExistenceSolver {
                            ExistenceOptions options = {})
       : eval_(eval), options_(options) {}
 
+  /// `chased` (borrowed, optional): a pre-compiled chase artifact for
+  /// exactly these (setting, source) inputs — the engine passes its stage-1
+  /// ChasedScenario so the decision stages replay it instead of re-running
+  /// the s-t + egd chase. Results are byte-identical with and without it
+  /// (ReplayChase reproduces the re-chase exactly); nullptr = chase fresh.
   ExistenceReport Decide(const Setting& setting, const Instance& source,
-                         Universe& universe) const;
+                         Universe& universe,
+                         const ChasedScenario* chased) const;
+  ExistenceReport Decide(const Setting& setting, const Instance& source,
+                         Universe& universe) const {
+    return Decide(setting, source, universe, nullptr);
+  }
 
   /// Enumerates up to `max_solutions` distinct verified solutions (used by
   /// the certain-answer solver), in deterministic rank order regardless of
@@ -124,22 +145,33 @@ class ExistenceSolver {
   /// search-local: they are not registered in `universe`. If the
   /// cancellation token fires mid-scan the result is an arbitrary prefix —
   /// callers intersecting over it for certain answers must check the token
-  /// and fall back to the sound empty answer set.
+  /// and fall back to the sound empty answer set. `chased` as in Decide.
   std::vector<Graph> EnumerateSolutions(const Setting& setting,
                                         const Instance& source,
                                         Universe& universe,
-                                        size_t max_solutions) const;
+                                        size_t max_solutions,
+                                        const ChasedScenario* chased) const;
+  std::vector<Graph> EnumerateSolutions(const Setting& setting,
+                                        const Instance& source,
+                                        Universe& universe,
+                                        size_t max_solutions) const {
+    return EnumerateSolutions(setting, source, universe, max_solutions,
+                              nullptr);
+  }
 
  private:
   ExistenceReport DecideChaseRefute(const Setting& setting,
                                     const Instance& source,
-                                    Universe& universe) const;
+                                    Universe& universe,
+                                    const ChasedScenario* chased) const;
   ExistenceReport DecideBoundedSearch(const Setting& setting,
                                       const Instance& source,
-                                      Universe& universe) const;
+                                      Universe& universe,
+                                      const ChasedScenario* chased) const;
   ExistenceReport DecideSatBacked(const Setting& setting,
                                   const Instance& source,
-                                  Universe& universe) const;
+                                  Universe& universe,
+                                  const ChasedScenario* chased) const;
 
   /// Completes a candidate graph (egd repair, target tgds, sameAs) and
   /// verifies it; returns the verified solution or nullopt. Thread-safe

@@ -268,6 +268,7 @@ TEST(IntraSolveTest, PerSolveCacheCountersSumToBatchTotals) {
 
   uint64_t nre_hits = 0, nre_misses = 0, answer_hits = 0, answer_misses = 0;
   uint64_t compile_hits = 0, compile_misses = 0;
+  uint64_t chase_hits = 0, chase_misses = 0;
   for (const Result<ExchangeOutcome>& r : report.outcomes) {
     ASSERT_TRUE(r.ok());
     nre_hits += r->metrics.nre_cache_hits;
@@ -276,6 +277,8 @@ TEST(IntraSolveTest, PerSolveCacheCountersSumToBatchTotals) {
     answer_misses += r->metrics.answer_cache_misses;
     compile_hits += r->metrics.compile_cache_hits;
     compile_misses += r->metrics.compile_cache_misses;
+    chase_hits += r->metrics.chase_cache_hits;
+    chase_misses += r->metrics.chase_cache_misses;
   }
   EXPECT_EQ(nre_hits, report.total.nre_cache_hits);
   EXPECT_EQ(nre_misses, report.total.nre_cache_misses);
@@ -283,9 +286,67 @@ TEST(IntraSolveTest, PerSolveCacheCountersSumToBatchTotals) {
   EXPECT_EQ(answer_misses, report.total.answer_cache_misses);
   EXPECT_EQ(compile_hits, report.total.compile_cache_hits);
   EXPECT_EQ(compile_misses, report.total.compile_cache_misses);
+  EXPECT_EQ(chase_hits, report.total.chase_cache_hits);
+  EXPECT_EQ(chase_misses, report.total.chase_cache_misses);
   EXPECT_GT(nre_hits + nre_misses, 0u) << "the batch must touch the cache";
   EXPECT_GT(compile_hits + compile_misses, 0u)
       << "the batch must touch the compiled-automaton memo";
+  EXPECT_GT(chase_hits, 0u)
+      << "the repeated batch must serve chases from the chased memo";
+  EXPECT_GT(chase_misses, 0u);
+}
+
+// --- Adaptive intra-solve scheduling (ISSUE 5 satellite) --------------------
+
+TEST(IntraSolveTest, AdaptiveWorkerCountScalesWithChoiceSpace) {
+  ThreadPool pool(7);
+  ParallelSearchOptions options;
+  options.pool = &pool;
+  options.max_workers = 8;
+  options.min_parallel_ranks = 128;
+  options.adaptive_ranks_per_worker = 1000;
+  ParallelSearch search(options);
+  EXPECT_EQ(search.NumWorkers(100), 1u) << "below min_parallel_ranks";
+  EXPECT_EQ(search.NumWorkers(999), 1u) << "one worker's worth of ranks";
+  EXPECT_EQ(search.NumWorkers(2000), 2u);
+  EXPECT_EQ(search.NumWorkers(100000), 8u) << "capped by max_workers";
+  // The explicit knob wins: adaptive off restores the static cap.
+  options.adaptive_ranks_per_worker = 0;
+  EXPECT_EQ(ParallelSearch(options).NumWorkers(999), 8u);
+}
+
+TEST(IntraSolveTest, AdaptiveDefaultResolvesAndStaysByteIdentical) {
+  // The engine default is the adaptive sentinel; it resolves to a
+  // hardware-sized pool cap, ToExistenceOptions flags the solver, and an
+  // explicit worker count still wins.
+  EngineOptions adaptive = PaperOptions();
+  ASSERT_EQ(adaptive.intra_solve_threads,
+            EngineOptions::kIntraSolveAdaptive);
+  ExistenceOptions eopt = adaptive.ToExistenceOptions();
+  EXPECT_TRUE(eopt.adaptive_intra);
+  EXPECT_EQ(eopt.intra_solve_threads, 0u) << "pool size + 1, not a sentinel";
+  EngineOptions explicit_three = PaperOptions();
+  explicit_three.intra_solve_threads = 3;
+  EXPECT_FALSE(explicit_three.ToExistenceOptions().adaptive_intra);
+  EXPECT_EQ(explicit_three.ToExistenceOptions().intra_solve_threads, 3u);
+
+  ExchangeEngine engine(adaptive);
+  EXPECT_EQ(engine.intra_solve_threads(), ThreadPool::DefaultThreads());
+
+  // Outcomes under the adaptive default are byte-identical to explicit
+  // sequential solves (worker-count invariance).
+  std::vector<Scenario> adaptive_set = MakeScenarioSet();
+  std::vector<std::string> adaptive_out;
+  for (Scenario& s : adaptive_set) {
+    Result<ExchangeOutcome> o = engine.Solve(s);
+    ASSERT_TRUE(o.ok());
+    adaptive_out.push_back(o->ToString(*s.universe, *s.alphabet));
+  }
+  std::vector<std::string> sequential_out = SolveAllToStrings(1);
+  ASSERT_EQ(adaptive_out.size(), sequential_out.size());
+  for (size_t i = 0; i < adaptive_out.size(); ++i) {
+    EXPECT_EQ(adaptive_out[i], sequential_out[i]) << "scenario " << i;
+  }
 }
 
 // --- LRU cap ----------------------------------------------------------------

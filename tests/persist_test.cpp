@@ -137,6 +137,7 @@ TEST(SnapshotCodecTest, EmptyStateRoundTrips) {
   EXPECT_TRUE(decoded->nre.empty());
   EXPECT_TRUE(decoded->answers.empty());
   EXPECT_TRUE(decoded->compiled.empty());
+  EXPECT_TRUE(decoded->chased.empty());
   // decode → encode is the identity on valid snapshots.
   EXPECT_EQ(EncodeSnapshot(*decoded), bytes);
 }
@@ -195,6 +196,7 @@ TEST(SnapshotCodecTest, CacheRoundTripIsByteStable) {
   EXPECT_EQ(stats.nre_entries, engine.cache().sizes().nre_entries);
   EXPECT_EQ(stats.answer_keys, engine.cache().sizes().answer_keys);
   EXPECT_EQ(stats.compiled_entries, engine.cache().sizes().compiled_entries);
+  EXPECT_EQ(stats.chased_entries, engine.cache().sizes().chased_entries);
   EXPECT_EQ(stats.evicted_on_load, 0u);
 
   ASSERT_TRUE(restored.SaveSnapshot(path2).ok());
@@ -238,7 +240,15 @@ TEST(WarmStartTest, WarmEngineIsByteIdenticalAndMissFree) {
   CacheStats warm_stats = warm.cache().stats();
   EXPECT_EQ(warm_stats.nre_misses, 0u);
   EXPECT_EQ(warm_stats.compile_misses, 0u);
+  EXPECT_EQ(warm_stats.chase_misses, 0u);
   EXPECT_GT(warm_stats.nre_restored_hits, 0u);
+  // The warm chase stage is served entirely by restored §5 artifacts
+  // (ISSUE 5): zero chase work, every chase hit a restored one.
+  EXPECT_GT(warm_stats.chase_restored_hits, 0u);
+  EXPECT_EQ(warm_stats.chase_hits, warm_stats.chase_restored_hits);
+  EXPECT_EQ(warm_total.chase_triggers, 0u);
+  EXPECT_EQ(warm_total.chase_cache_restored_hits,
+            warm_stats.chase_restored_hits);
   // Restored relations short-circuit most evaluations before the
   // automaton layer; whatever compile traffic remains must be served
   // entirely by restored plans (the differential suite below proves the
