@@ -9,6 +9,8 @@
 
 #include "engine/batch_executor.h"
 #include "engine/exchange_engine.h"
+#include "obs/stats_registry.h"
+#include "obs/trace.h"
 #include "persist/snapshot.h"
 #include "workload/flights.h"
 
@@ -150,6 +152,51 @@ void BM_SnapshotRoundTrip(benchmark::State& state) {
   state.counters["restored_entries"] = static_cast<double>(restored_entries);
 }
 BENCHMARK(BM_SnapshotRoundTrip)->Unit(benchmark::kMillisecond);
+
+/// Observability overhead (ISSUE 6): the same 32-scenario batch with the
+/// tracing/stats machinery in its three states —
+///   Arg(0): tracer constructed and installed but *disabled* — every span
+///           site pays the full disabled path (global load + enabled()
+///           check). The gate: this must stay within noise (<1%) of plain
+///           BM_BatchSolve/4/32, which has no tracer installed at all.
+///   Arg(1): tracer enabled + stats registry wired — the cost of actually
+///           recording everything. Exposes exec_p50_ns/exec_p99_ns and
+///           span counts as counters, so bench_diff.py's percentile gate
+///           watches the latency distribution run over run, not just the
+///           mean.
+void BM_TracedEngineBatch(benchmark::State& state) {
+  const bool traced = state.range(0) == 1;
+  obs::Tracer tracer(/*events_per_thread=*/1u << 18);
+  tracer.set_enabled(traced);
+  obs::Tracer::SetGlobal(&tracer);
+  obs::StatsRegistry registry;
+  uint64_t p50 = 0, p99 = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BatchOptions options;
+    options.num_threads = 4;
+    options.engine = BenchEngineOptions();
+    if (traced) options.engine.stats = &registry;
+    std::vector<Scenario> batch = MakeBatch(32);
+    BatchExecutor executor(options);
+    state.ResumeTiming();
+    BatchReport report = executor.SolveAll(batch);
+    benchmark::DoNotOptimize(report);
+    obs::HistogramSnapshot exec = report.ExecuteHistogram();
+    p50 = exec.ValueAtQuantile(0.50);
+    p99 = exec.ValueAtQuantile(0.99);
+  }
+  obs::Tracer::SetGlobal(nullptr);
+  state.counters["exec_p50_ns"] = static_cast<double>(p50);
+  state.counters["exec_p99_ns"] = static_cast<double>(p99);
+  state.counters["trace_events"] = static_cast<double>(tracer.event_count());
+  state.counters["trace_dropped"] =
+      static_cast<double>(tracer.dropped_events());
+}
+BENCHMARK(BM_TracedEngineBatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 /// Chase-stage compilation (ISSUE 5): the same 32-scenario batch solved
 /// cold (every distinct content compiles its chase) vs warm-started from

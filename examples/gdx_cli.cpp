@@ -18,14 +18,19 @@
 //           [--cache-load=FILE]           --intra-threads fans each solve's
 //           [--cache-save=FILE]           witness search over N workers;
 //           [--report-out=FILE]           --cache-load/--cache-save restore/
-//                                         persist the engine cache snapshot
-//                                         (docs/FORMAT.md) so a new process
+//           [--trace-out=FILE]            persist the engine cache snapshot
+//           [--metrics-json=FILE]         (docs/FORMAT.md) so a new process
 //                                         warm-starts with every memo and
 //                                         compiled automaton of the last
 //                                         run; --report-out writes the
 //                                         deterministic per-scenario report
 //                                         (no timings — byte-identical for
-//                                         identical runs, warm or cold)
+//                                         identical runs, warm or cold,
+//                                         traced or not); --trace-out
+//                                         records the batch as Chrome/
+//                                         Perfetto trace-event JSON;
+//                                         --metrics-json dumps the stats
+//                                         registry (docs/TELEMETRY.md)
 //
 // Try:  ./gdx_cli example22.gdx certain
 //       ./gdx_cli batch example22.gdx example22.gdx --threads=4 --repeat=8
@@ -33,10 +38,14 @@
 //       ./gdx_cli batch a.gdx --repeat=8 --cache-save=warm.gdxsnap
 //       ./gdx_cli batch a.gdx --repeat=8 --cache-load=warm.gdxsnap
 //       # 2nd run: "warm: restored-entry hits" climbs, compile misses = 0
+//       ./gdx_cli batch a.gdx --repeat=32 --trace-out=trace.json
+//                             --metrics-json=metrics.json   (same command)
+//       # open trace.json in Perfetto / chrome://tracing
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -49,6 +58,8 @@
 #include "exchange/universal_pair.h"
 #include "graph/dot_export.h"
 #include "graph/graph_io.h"
+#include "obs/stats_registry.h"
+#include "obs/trace.h"
 #include "workload/scenario_parser.h"
 
 using namespace gdx;
@@ -99,7 +110,7 @@ int RunBatch(int argc, char** argv) {
   BatchOptions options;
   options.engine = CliEngineOptions();
   size_t repeat = 1;
-  std::string cache_load, cache_save, report_out;
+  std::string cache_load, cache_save, report_out, trace_out, metrics_json;
   std::vector<std::string> paths;
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
@@ -109,6 +120,10 @@ int RunBatch(int argc, char** argv) {
       cache_save = arg + 13;
     } else if (std::strncmp(arg, "--report-out=", 13) == 0) {
       report_out = arg + 13;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+      metrics_json = arg + 15;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       int threads = std::atoi(arg + 10);
       if (threads < 0) {
@@ -139,8 +154,20 @@ int RunBatch(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: gdx_cli batch <a.gdx> [b.gdx ...] [--threads=N] "
                  "[--intra-threads=N] [--repeat=K] [--cache-load=FILE] "
-                 "[--cache-save=FILE] [--report-out=FILE]\n");
+                 "[--cache-save=FILE] [--report-out=FILE] "
+                 "[--trace-out=FILE] [--metrics-json=FILE]\n");
     return 2;
+  }
+  // Observability (ISSUE 6): both sinks are pay-for-what-you-ask — no
+  // tracer is installed and no registry is wired unless the flag is given,
+  // and neither affects outcomes (--report-out stays byte-identical; CI's
+  // trace-smoke step asserts it).
+  obs::StatsRegistry registry;
+  if (!metrics_json.empty()) options.engine.stats = &registry;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_out.empty()) {
+    tracer.reset(new obs::Tracer());
+    obs::Tracer::SetGlobal(tracer.get());
   }
   // --repeat=K loads each file K times: repeated scenarios exercise the
   // engine cache (expect the hit counters to climb).
@@ -214,6 +241,30 @@ int RunBatch(int argc, char** argv) {
     }
     std::printf("cache: saved snapshot to %s\n", cache_save.c_str());
   }
+  if (tracer != nullptr) {
+    obs::Tracer::SetGlobal(nullptr);
+    Status written = tracer->WriteJson(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: trace not written: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu event(s) (%llu dropped) written to %s\n",
+                tracer->event_count(),
+                static_cast<unsigned long long>(tracer->dropped_events()),
+                trace_out.c_str());
+  }
+  if (!metrics_json.empty()) {
+    std::ofstream out(metrics_json, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics: %s\n",
+                   metrics_json.c_str());
+      return 1;
+    }
+    out << registry.ToJson();
+    std::printf("metrics: registry dumped to %s (docs/TELEMETRY.md)\n",
+                metrics_json.c_str());
+  }
   return report.errors == 0 ? 0 : 1;
 }
 
@@ -267,7 +318,8 @@ int main(int argc, char** argv) {
                  "chase|exists|certain|solve|dot|check [graph-file]\n"
                  "       %s batch <a.gdx> [b.gdx ...] [--threads=N] "
                  "[--intra-threads=N] [--repeat=K] [--cache-load=FILE] "
-                 "[--cache-save=FILE] [--report-out=FILE]\n",
+                 "[--cache-save=FILE] [--report-out=FILE] "
+                 "[--trace-out=FILE] [--metrics-json=FILE]\n",
                  argv[0], argv[0]);
     return 2;
   }

@@ -17,6 +17,11 @@ Behavior:
   * Benchmarks present on one side only are reported informationally.
   * cpu_time is normalized via time_unit, so a unit change in the bench
     source does not fake a regression.
+  * Latency-distribution counters (ISSUE 6): any user counter whose name
+    looks like a percentile — p50/p90/p99/..., optionally with a prefix or
+    a unit suffix ("p99", "solve_p50_ns") — is diffed under the same
+    threshold as cpu_time, shown as "bench/counter". A batch whose mean
+    stays flat while its tail doubles now fails the gate.
 """
 
 import argparse
@@ -26,9 +31,21 @@ import sys
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+# User counters treated as latency metrics: "p50", "p99", "exec_p50_ns"...
+_PERCENTILE_RE = re.compile(r"(^|_)p\d+(_|$)")
+
+
+def percentile_counters(entry):
+    """The percentile-shaped user counters of one benchmark entry."""
+    out = {}
+    for key, value in entry.items():
+        if _PERCENTILE_RE.search(key) and isinstance(value, (int, float)):
+            out[key] = float(value)
+    return out
+
 
 def load_benchmarks(path):
-    """name -> cpu_time in ns per benchmark.
+    """name -> {"cpu_time": ns, <percentile counter>: value, ...}.
 
     Prefers the median aggregate when the run used
     --benchmark_repetitions (far more stable on shared CI runners than a
@@ -43,13 +60,15 @@ def load_benchmarks(path):
         cpu = entry.get("cpu_time")
         if name is None or cpu is None:
             continue
-        ns = cpu * _UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
+        metrics = {"cpu_time":
+                   cpu * _UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)}
+        metrics.update(percentile_counters(entry))
         run_type = entry.get("run_type", "iteration")
         if run_type == "iteration":
-            iterations[entry.get("run_name", name)] = ns
+            iterations[entry.get("run_name", name)] = metrics
         elif (run_type == "aggregate"
               and entry.get("aggregate_name") == "median"):
-            medians[entry.get("run_name", name)] = ns
+            medians[entry.get("run_name", name)] = metrics
     out = dict(iterations)
     out.update(medians)  # medians win where both exist
     return out
@@ -90,21 +109,30 @@ def main():
     tracked = re.compile(args.filter) if args.filter else None
     common = sorted(name for name in baseline if name in current)
     regressions = []
+    compared = 0
     print("%-52s %12s %12s %8s" % ("benchmark", "baseline", "current",
                                    "ratio"))
     for name in common:
         if tracked is not None and not tracked.search(name):
             continue
-        old, new = baseline[name], current[name]
-        ratio = new / old if old > 0 else float("inf")
-        flag = ""
-        if ratio > 1.0 + args.threshold:
-            flag = "  REGRESSED"
-            regressions.append((name, ratio))
-        elif ratio < 1.0 / (1.0 + args.threshold):
-            flag = "  improved"
-        print("%-52s %12s %12s %7.2fx%s"
-              % (name, format_ns(old), format_ns(new), ratio, flag))
+        old_metrics, new_metrics = baseline[name], current[name]
+        for metric in sorted(old_metrics, key=lambda m: m != "cpu_time"):
+            if metric not in new_metrics:
+                continue
+            old, new = old_metrics[metric], new_metrics[metric]
+            label = name if metric == "cpu_time" \
+                else "%s/%s" % (name, metric)
+            ratio = new / old if old > 0 \
+                else (1.0 if new == 0 else float("inf"))
+            compared += 1
+            flag = ""
+            if ratio > 1.0 + args.threshold:
+                flag = "  REGRESSED"
+                regressions.append((label, ratio))
+            elif ratio < 1.0 / (1.0 + args.threshold):
+                flag = "  improved"
+            print("%-52s %12s %12s %7.2fx%s"
+                  % (label, format_ns(old), format_ns(new), ratio, flag))
 
     for name in sorted(set(current) - set(baseline)):
         print("new benchmark (no baseline): %s" % name)
@@ -118,8 +146,8 @@ def main():
         for name, ratio in regressions:
             print("  %s: %.2fx" % (name, ratio), file=sys.stderr)
         return 1
-    print("\nno regression beyond +%d%% across %d compared benchmark(s)"
-          % (round(args.threshold * 100), len(common)))
+    print("\nno regression beyond +%d%% across %d compared metric(s)"
+          % (round(args.threshold * 100), compared))
     return 0
 
 

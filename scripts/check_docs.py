@@ -14,6 +14,13 @@ Two checks, both cheap enough to run on every push:
    (``constexpr uint32_t kFormatVersion = N``). The two must agree —
    a format change without a spec update (or vice versa) fails CI.
 
+3. The same contract for the telemetry schema (ISSUE 6):
+   ``docs/TELEMETRY.md`` ("Current `kTelemetrySchemaVersion`: `N`") must
+   agree with ``src/obs/stats_registry.h``
+   (``constexpr uint32_t kTelemetrySchemaVersion = N``) — the
+   ``--metrics-json`` payload is a machine-read interface, so its spec
+   rots exactly as expensively as the snapshot format's.
+
 Exit code 0 = clean, 1 = findings (listed on stdout).
 """
 
@@ -32,6 +39,14 @@ SPEC_VERSION_RE = re.compile(r"Current\s+`kFormatVersion`:\s*`(\d+)`")
 
 SNAPSHOT_HEADER = os.path.join(REPO, "src", "persist", "snapshot.h")
 FORMAT_SPEC = os.path.join(REPO, "docs", "FORMAT.md")
+
+TELEMETRY_HEADER_RE = re.compile(
+    r"constexpr\s+uint32_t\s+kTelemetrySchemaVersion\s*=\s*(\d+)")
+TELEMETRY_SPEC_RE = re.compile(
+    r"Current\s+`kTelemetrySchemaVersion`:\s*`(\d+)`")
+
+STATS_HEADER = os.path.join(REPO, "src", "obs", "stats_registry.h")
+TELEMETRY_SPEC = os.path.join(REPO, "docs", "TELEMETRY.md")
 
 
 def markdown_files():
@@ -89,15 +104,45 @@ def check_format_version():
     return problems
 
 
+def check_telemetry_version():
+    problems = []
+    try:
+        with open(STATS_HEADER, encoding="utf-8") as handle:
+            header_match = TELEMETRY_HEADER_RE.search(handle.read())
+    except OSError:
+        return [f"missing {os.path.relpath(STATS_HEADER, REPO)}"]
+    try:
+        with open(TELEMETRY_SPEC, encoding="utf-8") as handle:
+            spec_match = TELEMETRY_SPEC_RE.search(handle.read())
+    except OSError:
+        return [f"missing {os.path.relpath(TELEMETRY_SPEC, REPO)}"]
+    if header_match is None:
+        problems.append("src/obs/stats_registry.h: kTelemetrySchemaVersion "
+                        "constant not found (check_docs.py greps for it)")
+    if spec_match is None:
+        problems.append("docs/TELEMETRY.md: no \"Current "
+                        "`kTelemetrySchemaVersion`: `N`\" line (the spec "
+                        "must declare its version)")
+    if header_match and spec_match and \
+            header_match.group(1) != spec_match.group(1):
+        problems.append(
+            f"version drift: src/obs/stats_registry.h has "
+            f"kTelemetrySchemaVersion = {header_match.group(1)} but "
+            f"docs/TELEMETRY.md documents version {spec_match.group(1)}")
+    return problems
+
+
 def main():
-    problems = check_links() + check_format_version()
+    problems = (check_links() + check_format_version()
+                + check_telemetry_version())
     for problem in problems:
         print(f"check_docs: {problem}")
     if problems:
         print(f"check_docs: {len(problems)} problem(s)")
         return 1
-    print("check_docs: all markdown links resolve and "
-          "docs/FORMAT.md matches kFormatVersion")
+    print("check_docs: all markdown links resolve, docs/FORMAT.md matches "
+          "kFormatVersion, docs/TELEMETRY.md matches "
+          "kTelemetrySchemaVersion")
     return 0
 
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""CI trace gate (ISSUE 6 satellite): validate a --trace-out export.
+
+A trace file that chrome://tracing silently mis-renders is worse than no
+trace at all, so the bench-smoke job runs every traced batch's output
+through this script. Checks:
+
+1. The file is well-formed JSON of the Chrome trace-event "object" form:
+   {"displayTimeUnit": ..., "traceEvents": [...]}.
+2. Every event carries the required keys for its phase; ts/dur are
+   non-negative numbers; pid/tid are integers.
+3. Duration events are *balanced and properly nested per thread*: each E
+   closes the most recent open B of the same tid with the same name
+   (LIFO), and no B stays open at the end — the invariant the tracer's
+   open-stack emitter guarantees and viewers rely on.
+4. Optional --require-span NAME flags (repeatable): at least one B event
+   with that name exists — the smoke test asserts the engine actually
+   traced a solve, not just an empty envelope.
+
+Usage:
+    check_trace.py TRACE.json [--require-span solve] [--require-span ...]
+
+Exit code 0 = clean, 1 = findings (listed on stdout), 2 = unusable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def check_events(events, problems):
+    """Walk traceEvents; return {span name -> B count}."""
+    open_spans = {}  # tid -> [names]
+    begin_counts = {}
+    for index, event in enumerate(events):
+        where = "traceEvents[%d]" % index
+        if not isinstance(event, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        phase = event.get("ph")
+        if phase not in ("B", "E", "M", "X", "i", "C"):
+            problems.append("%s: unknown phase %r" % (where, phase))
+            continue
+        if not isinstance(event.get("pid"), int) or \
+                not isinstance(event.get("tid"), int):
+            problems.append("%s: pid/tid must be integers" % where)
+            continue
+        tid = event["tid"]
+        if phase == "M":
+            if "name" not in event:
+                problems.append("%s: metadata event without name" % where)
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append("%s: bad ts %r" % (where, ts))
+        name = event.get("name")
+        if phase == "B":
+            if not isinstance(name, str) or not name:
+                problems.append("%s: B event without name" % where)
+                continue
+            open_spans.setdefault(tid, []).append(name)
+            begin_counts[name] = begin_counts.get(name, 0) + 1
+        elif phase == "E":
+            stack = open_spans.setdefault(tid, [])
+            if not stack:
+                problems.append(
+                    "%s: E with no open span on tid %d" % (where, tid))
+            elif name is not None and name != stack[-1]:
+                # Our exporter names its E events; when named, the name
+                # must LIFO-match the innermost open B.
+                problems.append(
+                    "%s: E %r does not close innermost B %r on tid %d"
+                    % (where, name, stack[-1], tid))
+                stack.pop()
+            else:
+                stack.pop()
+    for tid, stack in sorted(open_spans.items()):
+        for name in stack:
+            problems.append("tid %d: span %r never closed" % (tid, name))
+    return begin_counts
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate a Chrome trace-event JSON export.")
+    parser.add_argument("trace", help="path to the --trace-out file")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a B event with NAME exists "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        print("check_trace: cannot parse %s: %s" % (args.trace, err),
+              file=sys.stderr)
+        return 2
+
+    problems = []
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        print("check_trace: %s: no traceEvents array" % args.trace,
+              file=sys.stderr)
+        return 2
+
+    begin_counts = check_events(events, problems)
+    for required in args.require_span:
+        if begin_counts.get(required, 0) == 0:
+            problems.append("required span %r not present" % required)
+
+    for problem in problems:
+        print("check_trace: %s" % problem)
+    if problems:
+        print("check_trace: %d problem(s) in %s"
+              % (len(problems), args.trace))
+        return 1
+    spans = sum(begin_counts.values())
+    print("check_trace: %s ok — %d event(s), %d balanced span(s), "
+          "%d distinct name(s)"
+          % (args.trace, len(events), spans, len(begin_counts)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

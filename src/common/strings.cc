@@ -1,6 +1,28 @@
 #include "common/strings.h"
 
+#include <cstdarg>
+#include <cstdio>
+
 namespace gdx {
+
+void StrAppendF(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {  // encoding error: nothing sensible to append
+    va_end(args_copy);
+    return;
+  }
+  size_t old_size = out->size();
+  out->resize(old_size + static_cast<size_t>(needed) + 1);
+  std::vsnprintf(&(*out)[old_size], static_cast<size_t>(needed) + 1, fmt,
+                 args_copy);
+  va_end(args_copy);
+  out->resize(old_size + static_cast<size_t>(needed));
+}
 
 std::string_view StripWhitespace(std::string_view text) {
   size_t begin = 0;

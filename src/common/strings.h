@@ -21,6 +21,15 @@ std::string StrJoin(const Range& range, std::string_view sep) {
   return out.str();
 }
 
+/// Appends printf-formatted text to `*out`, growing it as needed — no
+/// fixed buffer, no truncation regardless of the formatted length
+/// (Metrics::ToString previously clipped silently at 1024 bytes; CI greps
+/// that output, so truncation is an observability bug, not cosmetics).
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void StrAppendF(std::string* out, const char* fmt, ...);
+
 /// Splits on a single character, trimming ASCII whitespace from each piece;
 /// empty pieces are kept (callers validate).
 std::vector<std::string> StrSplit(std::string_view text, char sep);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -11,6 +12,20 @@
 #include <vector>
 
 namespace gdx {
+
+/// Point-in-time pool health counters (ISSUE 6: observability for the
+/// road to a resident service). `submitted`/`executed`/`steals` are
+/// monotonic totals since construction; `queue_depth` is the number of
+/// tasks submitted but not yet finished at the sampling instant. The
+/// work-stealing balance of a batch shows as steals/executed: ~0 means
+/// round-robin placement already matched the load, large means the
+/// stealing deques did real rebalancing work.
+struct ThreadPoolStats {
+  uint64_t submitted = 0;
+  uint64_t executed = 0;
+  uint64_t steals = 0;
+  size_t queue_depth = 0;
+};
 
 /// A small work-stealing thread pool. Each worker owns a deque; Submit
 /// round-robins tasks across deques; a worker pops from the back of its own
@@ -46,9 +61,23 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Pool health snapshot (relaxed reads; exact once the pool is idle).
+  /// These counters feed the StatsRegistry gauges of the batch layer; the
+  /// increments are relaxed atomics on paths that already pay one, so the
+  /// pool stays exactly as fast as before they existed.
+  ThreadPoolStats stats() const {
+    ThreadPoolStats out;
+    out.submitted = submitted_.load(std::memory_order_relaxed);
+    out.executed = executed_.load(std::memory_order_relaxed);
+    out.steals = steals_.load(std::memory_order_relaxed);
+    out.queue_depth = pending_.load(std::memory_order_relaxed);
+    return out;
+  }
+
   /// Enqueues a task. Thread-safe; callable from worker threads.
   void Submit(std::function<void()> task) {
     pending_.fetch_add(1, std::memory_order_relaxed);
+    submitted_.fetch_add(1, std::memory_order_relaxed);
     size_t slot = next_queue_.fetch_add(1, std::memory_order_relaxed) %
                   queues_.size();
     {
@@ -102,6 +131,7 @@ class ThreadPool {
       if (!victim.tasks.empty()) {
         out = std::move(victim.tasks.front());
         victim.tasks.pop_front();
+        steals_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
     }
@@ -113,6 +143,7 @@ class ThreadPool {
       std::function<void()> task;
       if (TryPop(worker, task)) {
         task();
+        executed_.fetch_add(1, std::memory_order_relaxed);
         if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           std::lock_guard<std::mutex> lock(wake_mutex_);
           done_cv_.notify_all();
@@ -136,6 +167,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::atomic<size_t> next_queue_{0};
   std::atomic<size_t> pending_{0};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> steals_{0};
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;

@@ -1,9 +1,30 @@
 #include "engine/batch_executor.h"
 
 #include <chrono>
-#include <cstdio>
+
+#include "obs/trace.h"
 
 namespace gdx {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+obs::HistogramSnapshot TimingHistogram(
+    const std::vector<ScenarioTiming>& timings,
+    double ScenarioTiming::*field) {
+  obs::HistogramSnapshot h;
+  for (const ScenarioTiming& t : timings) {
+    h.Record(EngineTelemetry::ToNs(t.*field));
+  }
+  return h;
+}
+
+}  // namespace
 
 BatchExecutor::BatchExecutor(BatchOptions options)
     : options_(options),
@@ -14,21 +35,35 @@ BatchReport BatchExecutor::SolveAll(std::vector<Scenario>& scenarios) {
   BatchReport report;
   report.num_threads = pool_.num_threads();
   CacheStats cache_before = engine_.cache().stats();
-  auto start = std::chrono::steady_clock::now();
+  ThreadPoolStats pool_before = pool_.stats();
+  auto start = Clock::now();
+  GDX_TRACE_SPAN("batch.solve_all", "batch",
+                 static_cast<uint64_t>(scenarios.size()));
 
   report.outcomes.assign(
       scenarios.size(),
       Result<ExchangeOutcome>(Status::Internal("solve did not run")));
+  report.timings.assign(scenarios.size(), ScenarioTiming{});
   for (size_t i = 0; i < scenarios.size(); ++i) {
-    pool_.Submit([this, &scenarios, &report, i] {
-      report.outcomes[i] = engine_.Solve(scenarios[i]);
+    // Queue wait = submit until a worker picks the task up; execute = the
+    // solve itself (ISSUE 6 satellite). Each task writes only its own
+    // slots, so no synchronization beyond pool_.Wait() is needed.
+    Clock::time_point submitted = Clock::now();
+    pool_.Submit([this, &scenarios, &report, i, submitted] {
+      Clock::time_point picked_up = Clock::now();
+      {
+        GDX_TRACE_SPAN("scenario", "batch", static_cast<uint64_t>(i));
+        report.outcomes[i] = engine_.Solve(scenarios[i]);
+      }
+      report.timings[i].queue_wait_seconds =
+          SecondsSince(submitted, picked_up);
+      report.timings[i].execute_seconds =
+          SecondsSince(picked_up, Clock::now());
     });
   }
   pool_.Wait();
 
-  report.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  report.wall_seconds = SecondsSince(start, Clock::now());
   for (const Result<ExchangeOutcome>& r : report.outcomes) {
     if (!r.ok()) {
       ++report.errors;
@@ -69,17 +104,59 @@ BatchReport BatchExecutor::SolveAll(std::vector<Scenario>& scenarios) {
       cache_after.compile_restored_hits - cache_before.compile_restored_hits;
   report.total.chase_cache_restored_hits =
       cache_after.chase_restored_hits - cache_before.chase_restored_hits;
+
+  // Observability (ISSUE 6): fold this batch into the registry — the
+  // per-scenario latency samples into the batch histograms, the batch
+  // pool's own counter deltas, and the engine's intra-pool health.
+  if (options_.engine.stats != nullptr) {
+    obs::StatsRegistry* reg = options_.engine.stats;
+    for (const ScenarioTiming& t : report.timings) {
+      reg->GetHistogram("batch.queue_wait_ns")
+          ->Record(EngineTelemetry::ToNs(t.queue_wait_seconds));
+      reg->GetHistogram("batch.execute_ns")
+          ->Record(EngineTelemetry::ToNs(t.execute_seconds));
+    }
+    ThreadPoolStats pool_after = pool_.stats();
+    reg->GetCounter("pool.batch.submitted")
+        ->Add(pool_after.submitted - pool_before.submitted);
+    reg->GetCounter("pool.batch.executed")
+        ->Add(pool_after.executed - pool_before.executed);
+    reg->GetCounter("pool.batch.steals")
+        ->Add(pool_after.steals - pool_before.steals);
+    reg->GetGauge("pool.batch.queue_depth")
+        ->Set(static_cast<int64_t>(pool_after.queue_depth));
+    engine_.PublishPoolTelemetry();
+  }
   return report;
 }
 
+obs::HistogramSnapshot BatchReport::ExecuteHistogram() const {
+  return TimingHistogram(timings, &ScenarioTiming::execute_seconds);
+}
+
+obs::HistogramSnapshot BatchReport::QueueWaitHistogram() const {
+  return TimingHistogram(timings, &ScenarioTiming::queue_wait_seconds);
+}
+
 std::string BatchReport::Summary() const {
-  char head[256];
-  std::snprintf(head, sizeof(head),
-                "batch: %zu scenario(s) on %zu thread(s) in %.3fms  "
-                "[YES=%zu NO=%zu UNKNOWN=%zu error=%zu]\n",
-                outcomes.size(), num_threads, wall_seconds * 1e3, yes, no,
-                unknown, errors);
-  return std::string(head) + total.ToString();
+  std::string out;
+  StrAppendF(&out,
+             "batch: %zu scenario(s) on %zu thread(s) in %.3fms  "
+             "[YES=%zu NO=%zu UNKNOWN=%zu error=%zu]\n",
+             outcomes.size(), num_threads, wall_seconds * 1e3, yes, no,
+             unknown, errors);
+  if (!timings.empty()) {
+    obs::HistogramSnapshot exec = ExecuteHistogram();
+    obs::HistogramSnapshot wait = QueueWaitHistogram();
+    StrAppendF(&out,
+               "  latency: execute p50=%.3fms p99=%.3fms max=%.3fms  "
+               "queue-wait p50=%.3fms p99=%.3fms\n",
+               exec.ValueAtQuantile(0.50) / 1e6,
+               exec.ValueAtQuantile(0.99) / 1e6, exec.max / 1e6,
+               wait.ValueAtQuantile(0.50) / 1e6,
+               wait.ValueAtQuantile(0.99) / 1e6);
+  }
+  return out + total.ToString();
 }
 
 }  // namespace gdx

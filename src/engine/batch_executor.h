@@ -6,6 +6,7 @@
 
 #include "engine/exchange_engine.h"
 #include "engine/thread_pool.h"
+#include "obs/histogram.h"
 
 namespace gdx {
 
@@ -16,6 +17,17 @@ struct BatchOptions {
   EngineOptions engine;
 };
 
+/// Per-scenario latency attribution (ISSUE 6 satellite): how long the
+/// scenario sat queued behind other work before a worker picked it up,
+/// and how long the solve itself ran. Both were previously
+/// indistinguishable inside Metrics::total_seconds; a resident service
+/// needs them apart — rising queue_wait at flat execute means the pool is
+/// saturating, the opposite means the scenarios got harder.
+struct ScenarioTiming {
+  double queue_wait_seconds = 0;
+  double execute_seconds = 0;
+};
+
 /// Order-stable batch result: outcomes[i] belongs to scenarios[i]
 /// regardless of which worker solved it or in what order workers finished.
 struct BatchReport {
@@ -24,12 +36,22 @@ struct BatchReport {
   /// counters are exact (thread-local attribution) and sum to the
   /// batch-wide cache deltas reported here.
   Metrics total;
+  /// timings[i] belongs to scenarios[i] (ISSUE 6): per-scenario latency
+  /// samples — these feed the batch.queue_wait_ns / batch.execute_ns
+  /// registry histograms and the p50/p99 lines of Summary().
+  std::vector<ScenarioTiming> timings;
   double wall_seconds = 0;
   size_t num_threads = 0;
 
   size_t yes = 0, no = 0, unknown = 0, errors = 0;
 
-  /// Human-readable verdict counts + metrics block for CLI/bench output.
+  /// Deterministically-bucketed latency distributions over `timings`
+  /// (obs/histogram.h layout, nanosecond values).
+  obs::HistogramSnapshot ExecuteHistogram() const;
+  obs::HistogramSnapshot QueueWaitHistogram() const;
+
+  /// Human-readable verdict counts + latency percentiles + metrics block
+  /// for CLI/bench output.
   std::string Summary() const;
 };
 

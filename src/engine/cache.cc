@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/graph_view.h"
+#include "obs/trace.h"
 #include "graph/isomorphism.h"
 #include "graph/nre.h"
 
@@ -193,7 +194,11 @@ CompiledNrePtr EngineCache::GetOrCompile(const NrePtr& nre) {
   }
   // Compile outside the lock: lowering is pure and may recurse into nested
   // tests; holding the mutex would serialize every worker behind it.
-  CompiledNrePtr compiled = CompiledNre::Compile(nre);
+  CompiledNrePtr compiled;
+  {
+    GDX_TRACE_SPAN("cache.compile_nre", "cache");
+    compiled = CompiledNre::Compile(nre);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = compiled_memo_.find(key);
   if (it != compiled_memo_.end()) {
@@ -413,11 +418,13 @@ SnapshotRestoreStats EngineCache::ImportWarmState(WarmState state) {
 }
 
 Status EngineCache::SaveSnapshot(const std::string& path) const {
+  GDX_TRACE_SPAN("snapshot.save", "persist");
   return WriteSnapshotFile(path, ExportWarmState());
 }
 
 Status EngineCache::LoadSnapshot(const std::string& path,
                                  SnapshotRestoreStats* restored) {
+  GDX_TRACE_SPAN("snapshot.load", "persist");
   Result<WarmState> state = ReadSnapshotFile(path);
   if (!state.ok()) return state.status();
   SnapshotRestoreStats stats = ImportWarmState(std::move(state).value());
@@ -441,6 +448,7 @@ void EngineCache::Clear() {
 
 BinaryRelation CachingNreEvaluator::Eval(const NrePtr& nre,
                                          const Graph& g) const {
+  GDX_TRACE_SPAN("cache.nre_eval", "cache");
   std::string key = EngineCache::NreKey(nre, g);
   BinaryRelation relation;
   if (cache_->LookupNre(key, &relation)) return relation;
@@ -451,6 +459,7 @@ BinaryRelation CachingNreEvaluator::Eval(const NrePtr& nre,
 
 BinaryRelation CachingNreEvaluator::EvalOnView(const NrePtr& nre,
                                                const GraphView& view) const {
+  GDX_TRACE_SPAN("cache.nre_eval", "cache");
   std::string key = EngineCache::NreKey(nre, view.graph());
   BinaryRelation relation;
   if (cache_->LookupNre(key, &relation)) return relation;

@@ -6,6 +6,7 @@
 
 #include "chase/chase_compiler.h"
 #include "exchange/solution_check.h"
+#include "obs/trace.h"
 
 namespace gdx {
 namespace {
@@ -107,6 +108,15 @@ ExchangeEngine::ExchangeEngine(EngineOptions options)
   // the pool only needs the extra ones. All concurrent Solves share it.
   size_t workers = intra_solve_threads();
   if (workers > 1) intra_pool_.reset(new ThreadPool(workers - 1));
+  if (options_.stats != nullptr) {
+    telemetry_.reset(new EngineTelemetry(options_.stats));
+  }
+}
+
+void ExchangeEngine::PublishPoolTelemetry() const {
+  if (telemetry_ != nullptr && intra_pool_ != nullptr) {
+    telemetry_->PublishIntraPool(intra_pool_->stats());
+  }
 }
 
 Result<SnapshotRestoreStats> ExchangeEngine::WarmStart(
@@ -139,9 +149,14 @@ ExistenceOptions ExchangeEngine::MakeExistenceOptions(
   out.cancel = cancel;
   // Intra-solve workers serve *this* solve: route their cache traffic to
   // its sink (exact per-solve attribution under concurrent batches).
-  out.worker_scope = [sink](size_t /*worker*/,
+  out.worker_scope = [sink](size_t worker,
                             const std::function<void()>& body) {
     ScopedCacheAttribution attribution(sink);
+    // Worker-rank attribution in the trace (ISSUE 6): one span per
+    // intra-solve worker run, arg = the worker's rank within this solve's
+    // fan-out (0 = the calling thread).
+    (void)worker;  // referenced only by the span under GDX_OBS_DISABLED
+    GDX_TRACE_SPAN("intra.worker", "intra", worker);
     body();
   };
   return out;
@@ -167,6 +182,7 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
       MakeExistenceOptions(&solve_cache, cancel);
   {
     StageTimer total(&m.total_seconds);
+    GDX_TRACE_SPAN("solve", "engine");
 
     // Stage 1 — universal representative (§5), compiled once per content
     // (ISSUE 5 tentpole): the chased memo serves repeats and warm starts;
@@ -176,6 +192,7 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
     bool chase_refuted = false;
     {
       StageTimer t(&m.chase_seconds);
+      GDX_TRACE_SPAN("chase", "engine");
       chased = StageChase(scenario, m);
       if (chased->failed) {
         out.existence.verdict = ExistenceVerdict::kNo;
@@ -192,6 +209,7 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
     // the stage-1 artifact instead of re-chasing.
     if (!chase_refuted) {
       StageTimer t(&m.existence_seconds);
+      GDX_TRACE_SPAN("existence", "engine");
       ExistenceSolver solver(&eval, existence_options);
       out.existence =
           solver.Decide(scenario.setting, *scenario.instance,
@@ -203,6 +221,7 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
     if (out.existence.witness.has_value()) {
       if (options_.minimize_core) {
         StageTimer t(&m.minimize_seconds);
+        GDX_TRACE_SPAN("minimize", "engine");
         out.solution = GreedyCoreMinimize(
             *out.existence.witness, scenario.setting, *scenario.instance,
             eval, *scenario.universe, &out.core_stats);
@@ -219,6 +238,7 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
     if (scenario.query != nullptr && options_.compute_certain_answers &&
         (cancel == nullptr || !cancel->stop_requested())) {
       StageTimer t(&m.certain_seconds);
+      GDX_TRACE_SPAN("certain", "engine");
       if (chase_refuted) {
         CertainAnswerResult vacuous;
         vacuous.no_solution = true;
@@ -233,6 +253,7 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
     // Stage 5 — defensive final check of the materialized solution.
     if (options_.verify_witness && out.solution.has_value()) {
       StageTimer t(&m.verify_seconds);
+      GDX_TRACE_SPAN("verify", "engine");
       out.solution_verified =
           IsSolution(scenario.setting, *scenario.instance, *out.solution,
                      eval, *scenario.universe);
@@ -255,6 +276,10 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
   m.answer_cache_restored_hits = solve_delta.answer_restored_hits;
   m.compile_cache_restored_hits = solve_delta.compile_restored_hits;
   m.chase_cache_restored_hits = solve_delta.chase_restored_hits;
+  // Registry-backed accumulation (ISSUE 6): fold this solve's read-out
+  // view into the engine-wide histograms/counters. One pointer check when
+  // no registry is attached.
+  if (telemetry_ != nullptr) telemetry_->RecordSolve(m);
   return out;
 }
 
@@ -262,6 +287,7 @@ ChasedScenarioPtr ExchangeEngine::StageChase(const Scenario& scenario,
                                              Metrics& m) const {
   std::string key;
   if (options_.enable_cache) {
+    GDX_TRACE_SPAN("cache.chase_lookup", "cache");
     key = ChaseCompiler::Key(scenario.setting, *scenario.instance,
                              *scenario.universe);
     if (ChasedScenarioPtr hit = cache_->LookupChased(key)) {
@@ -272,8 +298,12 @@ ChasedScenarioPtr ExchangeEngine::StageChase(const Scenario& scenario,
       return hit;
     }
   }
-  ChasedScenarioPtr compiled = ChaseCompiler::Compile(
-      scenario.setting, *scenario.instance, *scenario.universe, evaluator());
+  ChasedScenarioPtr compiled;
+  {
+    GDX_TRACE_SPAN("chase.compile", "engine");
+    compiled = ChaseCompiler::Compile(scenario.setting, *scenario.instance,
+                                      *scenario.universe, evaluator());
+  }
   m.chase_triggers = compiled->stats.triggers;
   m.chase_merges = compiled->egd_merges;
   if (options_.enable_cache) cache_->StoreChased(key, compiled);

@@ -8,6 +8,8 @@
 #include "common/status.h"
 #include "engine/cache.h"
 #include "engine/metrics.h"
+#include "engine/telemetry.h"
+#include "obs/stats_registry.h"
 #include "pattern/pattern.h"
 #include "solver/certain.h"
 #include "solver/core_minimizer.h"
@@ -79,6 +81,16 @@ struct EngineOptions {
   /// Cube-and-conquer width of the SAT-backed path (2^k per-worker DPLL
   /// cubes; 0 = single DPLL call). See ExistenceOptions::sat_cube_vars.
   size_t sat_cube_vars = 4;
+
+  /// Observability (ISSUE 6 tentpole): registry the engine folds every
+  /// solve's metrics into — stage-latency histograms (p50/p99 come from
+  /// these), chase/search work counters, cache traffic, intra-pool
+  /// health. nullptr (the default) disables registry recording entirely:
+  /// the engine then pays nothing beyond the Metrics struct it always
+  /// filled. The per-solve Metrics read-out view is unchanged either way;
+  /// the registry is the engine-wide accumulation `--metrics-json` dumps
+  /// (docs/TELEMETRY.md). Borrowed; must outlive the engine.
+  obs::StatsRegistry* stats = nullptr;
 
   ExistenceOptions ToExistenceOptions() const;
 };
@@ -164,6 +176,12 @@ class ExchangeEngine {
   /// The intra-solve worker count Solve actually uses (>= 1).
   size_t intra_solve_threads() const;
 
+  /// Pushes point-in-time engine telemetry — currently the intra-solve
+  /// pool's counters and queue-depth gauge — into EngineOptions::stats.
+  /// No-op without a registry. Called by the batch layer after each
+  /// SolveAll; safe to call any time from one thread.
+  void PublishPoolTelemetry() const;
+
  private:
   CertainAnswerResult ComputeCertainAnswers(
       const Scenario& scenario, const ExistenceReport& existence,
@@ -186,6 +204,9 @@ class ExchangeEngine {
   std::unique_ptr<NreEvaluator> base_eval_;
   std::unique_ptr<EngineCache> cache_;
   std::unique_ptr<CachingNreEvaluator> caching_eval_;
+  /// Registry-backed metric handles; null when EngineOptions::stats is
+  /// null (recording then costs exactly one pointer check per solve).
+  std::unique_ptr<EngineTelemetry> telemetry_;
   /// Workers for the intra-solve fan-out; null when intra_solve_threads
   /// resolves to 1. Mutable state lives inside ThreadPool (internally
   /// synchronized); Solve stays const.

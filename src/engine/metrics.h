@@ -4,8 +4,9 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
 #include <string>
+
+#include "common/strings.h"
 
 namespace gdx {
 
@@ -96,36 +97,45 @@ struct Metrics {
            compile_cache_restored_hits + chase_cache_restored_hits;
   }
 
-  /// Multi-line human-readable summary for CLI / bench output.
+  /// Multi-line human-readable summary for CLI / bench output. Built
+  /// incrementally (ISSUE 6 satellite): the old fixed 1024-byte snprintf
+  /// buffer was one added counter away from silently clipping output CI
+  /// greps for — StrAppendF grows the string to whatever the values need.
   std::string ToString() const {
-    char buf[1024];
-    std::snprintf(
-        buf, sizeof(buf),
-        "metrics {%zu solve(s)}\n"
-        "  wall: total=%.3fms chase=%.3fms existence=%.3fms "
-        "certain=%.3fms minimize=%.3fms verify=%.3fms\n"
-        "  work: triggers=%zu merges=%zu candidates=%zu solutions=%zu\n"
-        "  cache: nre %llu hit / %llu miss, answers %llu hit / %llu miss, "
-        "compile %llu hit / %llu miss, chase %llu hit / %llu miss\n"
-        "  warm: restored-entry hits nre=%llu answers=%llu compile=%llu "
-        "chase=%llu\n",
-        scenarios, total_seconds * 1e3, chase_seconds * 1e3,
-        existence_seconds * 1e3, certain_seconds * 1e3,
-        minimize_seconds * 1e3, verify_seconds * 1e3, chase_triggers,
-        chase_merges, candidates_tried, solutions_enumerated,
-        static_cast<unsigned long long>(nre_cache_hits),
-        static_cast<unsigned long long>(nre_cache_misses),
-        static_cast<unsigned long long>(answer_cache_hits),
-        static_cast<unsigned long long>(answer_cache_misses),
-        static_cast<unsigned long long>(compile_cache_hits),
-        static_cast<unsigned long long>(compile_cache_misses),
-        static_cast<unsigned long long>(chase_cache_hits),
-        static_cast<unsigned long long>(chase_cache_misses),
-        static_cast<unsigned long long>(nre_cache_restored_hits),
-        static_cast<unsigned long long>(answer_cache_restored_hits),
-        static_cast<unsigned long long>(compile_cache_restored_hits),
-        static_cast<unsigned long long>(chase_cache_restored_hits));
-    return buf;
+    std::string out;
+    out.reserve(512);
+    StrAppendF(&out, "metrics {%zu solve(s)}\n", scenarios);
+    StrAppendF(&out,
+               "  wall: total=%.3fms chase=%.3fms existence=%.3fms "
+               "certain=%.3fms minimize=%.3fms verify=%.3fms\n",
+               total_seconds * 1e3, chase_seconds * 1e3,
+               existence_seconds * 1e3, certain_seconds * 1e3,
+               minimize_seconds * 1e3, verify_seconds * 1e3);
+    StrAppendF(&out,
+               "  work: triggers=%zu merges=%zu candidates=%zu "
+               "solutions=%zu\n",
+               chase_triggers, chase_merges, candidates_tried,
+               solutions_enumerated);
+    StrAppendF(&out,
+               "  cache: nre %llu hit / %llu miss, answers %llu hit / "
+               "%llu miss, compile %llu hit / %llu miss, chase %llu hit / "
+               "%llu miss\n",
+               static_cast<unsigned long long>(nre_cache_hits),
+               static_cast<unsigned long long>(nre_cache_misses),
+               static_cast<unsigned long long>(answer_cache_hits),
+               static_cast<unsigned long long>(answer_cache_misses),
+               static_cast<unsigned long long>(compile_cache_hits),
+               static_cast<unsigned long long>(compile_cache_misses),
+               static_cast<unsigned long long>(chase_cache_hits),
+               static_cast<unsigned long long>(chase_cache_misses));
+    StrAppendF(&out,
+               "  warm: restored-entry hits nre=%llu answers=%llu "
+               "compile=%llu chase=%llu\n",
+               static_cast<unsigned long long>(nre_cache_restored_hits),
+               static_cast<unsigned long long>(answer_cache_restored_hits),
+               static_cast<unsigned long long>(compile_cache_restored_hits),
+               static_cast<unsigned long long>(chase_cache_restored_hits));
+    return out;
   }
 };
 

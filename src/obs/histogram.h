@@ -1,0 +1,128 @@
+#ifndef GDX_OBS_HISTOGRAM_H_
+#define GDX_OBS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace gdx {
+namespace obs {
+
+/// Fixed-bucket log-scale histogram layout (ISSUE 6 tentpole part 1).
+///
+/// Values are non-negative integers (the engine records nanoseconds).
+/// Buckets are log2-spaced with kSubBuckets sub-divisions per octave —
+/// the classic HdrHistogram-style log-linear layout: relative bucket
+/// width is at most 1/kSubBuckets (25%), values below kSubBuckets are
+/// exact, and the mapping covers the full uint64 range in
+/// kNumBuckets = 252 buckets. The layout is a compile-time constant, so
+/// every histogram in every process buckets identically and merging two
+/// histograms is plain element-wise addition — commutative, associative,
+/// and loss-free (merge(a,b) == merge(b,a), tested).
+///
+/// All math is integer-only and branch-light; BucketIndex is the hot-path
+/// cost of a Record (one bit-scan, two shifts).
+struct HistogramLayout {
+  static constexpr size_t kSubBucketBits = 2;                 // 4/octave
+  static constexpr size_t kSubBuckets = 1u << kSubBucketBits;
+  /// Octave 0 holds exact values [0, kSubBuckets); octaves 1..62 hold
+  /// kSubBuckets buckets each; the 63rd octave's buckets cover the top
+  /// of the uint64 range.
+  static constexpr size_t kNumBuckets =
+      kSubBuckets + (63 - kSubBucketBits + 1) * kSubBuckets;  // 252
+
+  static constexpr size_t BucketIndex(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<size_t>(v);
+    // h = floor(log2(v)) >= kSubBucketBits.
+    size_t h = 63 - static_cast<size_t>(__builtin_clzll(v));
+    size_t sub =
+        static_cast<size_t>(v >> (h - kSubBucketBits)) & (kSubBuckets - 1);
+    return ((h - kSubBucketBits + 1) << kSubBucketBits) + sub;
+  }
+
+  /// Smallest value mapping to bucket `i`.
+  static constexpr uint64_t BucketLowerBound(size_t i) {
+    if (i < kSubBuckets) return i;
+    size_t octave = i >> kSubBucketBits;       // >= 1
+    size_t sub = i & (kSubBuckets - 1);
+    size_t h = octave + kSubBucketBits - 1;
+    return static_cast<uint64_t>(kSubBuckets + sub) << (h - kSubBucketBits);
+  }
+
+  /// Largest value mapping to bucket `i` (inclusive).
+  static constexpr uint64_t BucketUpperBound(size_t i) {
+    if (i < kSubBuckets) return i;
+    size_t octave = i >> kSubBucketBits;
+    size_t h = octave + kSubBucketBits - 1;
+    uint64_t width = static_cast<uint64_t>(1) << (h - kSubBucketBits);
+    return BucketLowerBound(i) + (width - 1);
+  }
+};
+
+/// A mergeable, comparable histogram snapshot: plain counts, no atomics.
+/// This is both the single-threaded recording type and the read-out type
+/// that StatsRegistry's sharded recorders merge into. Percentiles are
+/// deterministic: a quantile resolves to the *upper bound* of the bucket
+/// containing it, so equal recordings — in any thread interleaving —
+/// report byte-identical percentiles.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = ~static_cast<uint64_t>(0);  // ~0 when empty
+  uint64_t max = 0;
+  std::array<uint64_t, HistogramLayout::kNumBuckets> buckets{};
+
+  void Record(uint64_t value) {
+    ++count;
+    sum += value;
+    min = std::min(min, value);
+    max = std::max(max, value);
+    ++buckets[HistogramLayout::BucketIndex(value)];
+  }
+
+  void Merge(const HistogramSnapshot& other) {
+    count += other.count;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+    for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th recorded value (rank 1 = smallest). 0 when
+  /// empty. q=0 reports min, q=1 reports the max bucket's upper bound.
+  uint64_t ValueAtQuantile(double q) const {
+    if (count == 0) return 0;
+    if (q <= 0.0) return min;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+    if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+    if (rank == 0) rank = 1;
+    if (rank > count) rank = count;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      seen += buckets[i];
+      if (seen >= rank) {
+        // Never report beyond the recorded max (the top bucket's upper
+        // bound can overshoot it by up to 25%).
+        return std::min(HistogramLayout::BucketUpperBound(i), max);
+      }
+    }
+    return max;
+  }
+
+  double MeanNs() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  bool operator==(const HistogramSnapshot& other) const {
+    return count == other.count && sum == other.sum && min == other.min &&
+           max == other.max && buckets == other.buckets;
+  }
+};
+
+}  // namespace obs
+}  // namespace gdx
+
+#endif  // GDX_OBS_HISTOGRAM_H_

@@ -1,0 +1,200 @@
+#include "obs/stats_registry.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+namespace gdx {
+namespace obs {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStatsShards - 1);
+  return shard;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  for (const Shard& shard : shards_) {
+    uint64_t count = shard.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    out.count += count;
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+    uint64_t min = shard.min.load(std::memory_order_relaxed);
+    uint64_t max = shard.max.load(std::memory_order_relaxed);
+    if (min < out.min) out.min = min;
+    if (max > out.max) out.max = max;
+    for (size_t i = 0; i < HistogramLayout::kNumBuckets; ++i) {
+      out.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+Counter* StatsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* StatsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* StatsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string StatsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":";
+  AppendU64(&out, kTelemetrySchemaVersion);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":";
+    AppendU64(&out, counter->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":";
+    AppendI64(&out, gauge->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    HistogramSnapshot snap = histogram->Snapshot();
+    AppendJsonString(&out, name);
+    out += ":{\"count\":";
+    AppendU64(&out, snap.count);
+    out += ",\"sum\":";
+    AppendU64(&out, snap.sum);
+    out += ",\"min\":";
+    AppendU64(&out, snap.count == 0 ? 0 : snap.min);
+    out += ",\"max\":";
+    AppendU64(&out, snap.max);
+    out += ",\"p50\":";
+    AppendU64(&out, snap.ValueAtQuantile(0.50));
+    out += ",\"p90\":";
+    AppendU64(&out, snap.ValueAtQuantile(0.90));
+    out += ",\"p99\":";
+    AppendU64(&out, snap.ValueAtQuantile(0.99));
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) continue;
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      out += "[";
+      AppendU64(&out, HistogramLayout::BucketLowerBound(i));
+      out += ",";
+      AppendU64(&out, snap.buckets[i]);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>> StatsRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> StatsRegistry::GaugeValues()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+StatsRegistry::HistogramValues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->Snapshot());
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace gdx

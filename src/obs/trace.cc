@@ -1,0 +1,205 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace gdx {
+namespace obs {
+
+std::atomic<Tracer*> Tracer::global_{nullptr};
+
+namespace {
+
+std::atomic<uint64_t> next_tracer_id{1};
+
+/// Per-thread cache of "which buffer do I record into" so RecordSpan hits
+/// the registration mutex once per (thread, tracer) pair. Keyed by the
+/// tracer's process-unique id: a dead tracer's cache entry mismatches the
+/// next tracer's id and is simply re-resolved, never dereferenced.
+struct ThreadBufferCache {
+  uint64_t tracer_id = 0;
+  void* buffer = nullptr;
+};
+thread_local ThreadBufferCache tl_buffer_cache;
+
+}  // namespace
+
+Tracer::Tracer(size_t events_per_thread)
+    : tracer_id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      events_per_thread_(events_per_thread == 0 ? 1 : events_per_thread),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() {
+  // Defensive: a tracer must be uninstalled before destruction, but make
+  // the mistake loud-proof rather than a dangling global.
+  Tracer* self = this;
+  global_.compare_exchange_strong(self, nullptr,
+                                  std::memory_order_acq_rel);
+}
+
+Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
+  ThreadBufferCache& cache = tl_buffer_cache;
+  if (cache.tracer_id == tracer_id_) {
+    return *static_cast<ThreadBuffer*>(cache.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(
+      static_cast<uint32_t>(buffers_.size()), events_per_thread_));
+  ThreadBuffer* buffer = buffers_.back().get();
+  cache.tracer_id = tracer_id_;
+  cache.buffer = buffer;
+  return *buffer;
+}
+
+void Tracer::RecordSpan(const char* name, const char* category,
+                        uint64_t start_ns, uint64_t duration_ns,
+                        uint64_t arg, bool has_arg) {
+  ThreadBuffer& buffer = BufferForThisThread();
+  if (buffer.events.size() >= events_per_thread_) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(
+      Event{name, category, start_ns, duration_ns, arg, has_arg});
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+/// One trace event line. ph is "B"/"E"/"M"; ts/dur are microseconds with
+/// nanosecond precision kept in the fraction.
+void AppendEvent(std::string* out, char ph, const char* name,
+                 const char* category, uint64_t ts_ns, uint32_t tid,
+                 uint64_t arg, bool has_arg) {
+  char buf[64];
+  *out += "{\"ph\":\"";
+  out->push_back(ph);
+  *out += "\",\"pid\":1,\"tid\":";
+  std::snprintf(buf, sizeof(buf), "%" PRIu32, tid);
+  *out += buf;
+  *out += ",\"ts\":";
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ts_ns / 1000,
+                ts_ns % 1000);
+  *out += buf;
+  *out += ",\"name\":\"";
+  AppendEscaped(out, name);
+  *out += "\"";
+  if (category != nullptr) {
+    *out += ",\"cat\":\"";
+    AppendEscaped(out, category);
+    *out += "\"";
+  }
+  if (has_arg) {
+    *out += ",\"args\":{\"arg\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, arg);
+    *out += buf;
+    *out += "}";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(1u << 16);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&out, &first](char ph, const char* name,
+                             const char* category, uint64_t ts_ns,
+                             uint32_t tid, uint64_t arg, bool has_arg) {
+    if (!first) out += ",\n";
+    first = false;
+    AppendEvent(&out, ph, name, category, ts_ns, tid, arg, has_arg);
+  };
+  for (const auto& buffer : buffers_) {
+    // Thread metadata: name threads by registration ordinal so Perfetto's
+    // track labels are stable and readable.
+    char name[32];
+    std::snprintf(name, sizeof(name), "gdx-thread-%" PRIu32, buffer->tid);
+    if (!first) out += ",\n";
+    first = false;
+    char buf[32];
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu32, buffer->tid);
+    out += buf;
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    AppendEscaped(&out, name);
+    out += "\"}}";
+
+    // Spans were recorded at *end* time (RAII destructor order). Within a
+    // thread they nest properly, so replaying them in start order with an
+    // explicit stack emits a balanced, correctly nested B/E stream: before
+    // beginning the next span, every already-open span that ends at or
+    // before its start is closed. Ties (equal start) open the longer span
+    // first — that is the enclosing one.
+    std::vector<const Event*> ordered;
+    ordered.reserve(buffer->events.size());
+    for (const Event& e : buffer->events) ordered.push_back(&e);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Event* a, const Event* b) {
+                       if (a->start_ns != b->start_ns) {
+                         return a->start_ns < b->start_ns;
+                       }
+                       return a->duration_ns > b->duration_ns;
+                     });
+    std::vector<const Event*> open;
+    for (const Event* e : ordered) {
+      while (!open.empty() &&
+             open.back()->start_ns + open.back()->duration_ns <=
+                 e->start_ns) {
+        const Event* done = open.back();
+        open.pop_back();
+        emit('E', done->name, done->category,
+             done->start_ns + done->duration_ns, buffer->tid, 0, false);
+      }
+      emit('B', e->name, e->category, e->start_ns, buffer->tid, e->arg,
+           e->has_arg);
+      open.push_back(e);
+    }
+    while (!open.empty()) {
+      const Event* done = open.back();
+      open.pop_back();
+      emit('E', done->name, done->category,
+           done->start_ns + done->duration_ns, buffer->tid, 0, false);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status Tracer::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) return Status::Internal("cannot open trace file: " + path);
+  std::string json = ToJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) return Status::Internal("cannot write trace file: " + path);
+  return Status::Ok();
+}
+
+uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->dropped;
+  return total;
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->events.size();
+  return total;
+}
+
+}  // namespace obs
+}  // namespace gdx

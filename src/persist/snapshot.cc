@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/interner.h"
+#include "obs/trace.h"
 #include "persist/wire.h"
 
 namespace gdx {
@@ -470,6 +471,9 @@ bool ResolveKey(uint32_t ref, const std::vector<std::string>& table,
 }  // namespace
 
 std::string EncodeSnapshot(const WarmState& state) {
+  // Span hooks (ISSUE 6): snapshot encode/decode are the dominant costs
+  // of a warm start / checkpoint; they get their own trace attribution.
+  GDX_TRACE_SPAN("snapshot.encode", "persist");
   // Every memo key goes through one persisted StringInterner: sections
   // store u32 ids, the STRT section stores the table. Ids are assigned in
   // encode-encounter order — deterministic, and stable under decode →
@@ -554,6 +558,7 @@ std::string EncodeSnapshot(const WarmState& state) {
 }
 
 Result<WarmState> DecodeSnapshot(std::string_view bytes) {
+  GDX_TRACE_SPAN("snapshot.decode", "persist");
   WireReader header(bytes);
   std::string_view magic;
   if (!header.ReadRaw(sizeof(kSnapshotMagic), &magic)) {
@@ -756,6 +761,7 @@ Result<WarmState> DecodeSnapshot(std::string_view bytes) {
 }
 
 Status WriteSnapshotFile(const std::string& path, const WarmState& state) {
+  GDX_TRACE_SPAN("snapshot.write_file", "persist");
   std::string bytes = EncodeSnapshot(state);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::NotFound("cannot open for writing: " + path);
@@ -766,6 +772,7 @@ Status WriteSnapshotFile(const std::string& path, const WarmState& state) {
 }
 
 Result<WarmState> ReadSnapshotFile(const std::string& path) {
+  GDX_TRACE_SPAN("snapshot.read_file", "persist");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open snapshot: " + path);
   std::ostringstream buffer;
