@@ -1,0 +1,121 @@
+// BM_ServeThroughput: round-trip latency of the resident exchange
+// service (ISSUE 7) — a client pipelines scenarios over a unix socket
+// into an in-process ExchangeServer whose workers share the sharded
+// warm cache. Exports serve_p50_ns / serve_p99_ns user counters from
+// the server's own serve.request_ns histogram; scripts/bench_diff.py
+// gates any percentile-shaped counter, so a latency regression fails
+// the bench-smoke CI job just like a time/op regression.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/stats_registry.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace gdx {
+namespace {
+
+const char kBenchScenario[] = R"(relation Flight/3
+relation Hotel/2
+fact Flight(01, c1, c2)
+fact Flight(02, c3, c2)
+fact Hotel(01, hx)
+fact Hotel(01, hy)
+fact Hotel(02, hx)
+stgd Flight(x1,x2,x3), Hotel(x1,x4) ->
+     (x2, f . f*, y), (y, h, x4), (y, f . f*, x3)
+egd (x1, h, x3), (x2, h, x3) -> x1 = x2
+query (x1, f . f* [h] . f- . (f-)*, x2) -> x1, x2
+)";
+
+const char kBenchVariant[] = R"(relation Flight/3
+relation Hotel/2
+fact Flight(11, d1, d2)
+fact Hotel(11, hz)
+stgd Flight(x1,x2,x3), Hotel(x1,x4) ->
+     (x2, f, y), (y, h, x4)
+query (x1, f [h], x2) -> x1, x2
+)";
+
+void BM_ServeThroughput(benchmark::State& state) {
+  const size_t num_workers = static_cast<size_t>(state.range(0));
+  const std::string socket_path =
+      "/tmp/gdx_bench_serve_" +
+      std::to_string(static_cast<long>(::getpid())) + ".sock";
+  obs::StatsRegistry registry;
+  serve::ServeOptions options;
+  options.socket_path = socket_path;
+  options.num_workers = num_workers;
+  options.queue_capacity = 256;
+  options.stats = &registry;
+  options.engine.instantiation.max_witnesses_per_edge = 3;
+  options.engine.max_solutions = 16;
+  serve::ExchangeServer server(std::move(options));
+  Status started = server.Start();
+  if (!started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+  serve::ExchangeClient client;
+  Status connected = client.ConnectUnix(socket_path);
+  if (!connected.ok()) {
+    state.SkipWithError(connected.ToString().c_str());
+    return;
+  }
+
+  const std::vector<std::string> corpus = {kBenchScenario, kBenchVariant};
+  constexpr size_t kWindow = 16;
+  uint64_t next_id = 0;
+  size_t outstanding = 0;
+  uint64_t requests = 0;
+  for (auto _ : state) {
+    while (outstanding < kWindow) {
+      Status sent = client.SendRequest(
+          next_id, corpus[next_id % corpus.size()]);
+      if (!sent.ok()) {
+        state.SkipWithError(sent.ToString().c_str());
+        return;
+      }
+      ++next_id;
+      ++outstanding;
+    }
+    serve::ClientReply reply;
+    Status read = client.ReadReply(&reply);
+    if (!read.ok()) {
+      state.SkipWithError(read.ToString().c_str());
+      return;
+    }
+    if (!reply.is_error) ++requests;
+    --outstanding;
+  }
+  // Flush the window so the drain below has nothing in flight.
+  while (outstanding > 0) {
+    serve::ClientReply reply;
+    if (!client.ReadReply(&reply).ok()) break;
+    --outstanding;
+  }
+  client.Shutdown();
+  server.Wait();
+
+  state.SetItemsProcessed(static_cast<int64_t>(requests));
+  for (const auto& [name, snapshot] : registry.HistogramValues()) {
+    if (name == "serve.request_ns") {
+      state.counters["serve_p50_ns"] = static_cast<double>(
+          snapshot.ValueAtQuantile(0.50));
+      state.counters["serve_p99_ns"] = static_cast<double>(
+          snapshot.ValueAtQuantile(0.99));
+    }
+  }
+  ::unlink(socket_path.c_str());
+}
+
+BENCHMARK(BM_ServeThroughput)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gdx
+
+BENCHMARK_MAIN();

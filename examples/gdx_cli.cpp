@@ -31,6 +31,21 @@
 //                                         Perfetto trace-event JSON;
 //                                         --metrics-json dumps the stats
 //                                         registry (docs/TELEMETRY.md)
+//   gdx_cli serve --socket=PATH|--port=N  resident exchange service
+//           [--workers=N] [--queue=N]     (docs/SERVING.md): worker
+//           [--intra-threads=N]           sessions share one warm sharded
+//           [--checkpoint=FILE]           cache; --checkpoint persists it
+//           [--checkpoint-interval-ms=N]  periodically (and on drain) and
+//           [--metrics-json=FILE]         warm-starts from it at startup;
+//                                         runs until a client sends
+//                                         SHUTDOWN (graceful drain)
+//   gdx_cli client --socket=PATH|--port=N pipelined driver: sends each
+//           <a.gdx ...> [--list=FILE]     scenario file's text, retries
+//           [--repeat=K] [--window=N]     QUEUE_FULL rejections, reorders
+//           [--report-out=FILE]           streamed results by request id
+//           [--index-base=N]              and writes the batch-identical
+//           [--stats-out=FILE]            report; --shutdown drains the
+//           [--shutdown] [--ping]         server when done
 //
 // Try:  ./gdx_cli example22.gdx certain
 //       ./gdx_cli batch example22.gdx example22.gdx --threads=4 --repeat=8
@@ -41,6 +56,7 @@
 //       ./gdx_cli batch a.gdx --repeat=32 --trace-out=trace.json
 //                             --metrics-json=metrics.json   (same command)
 //       # open trace.json in Perfetto / chrome://tracing
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +64,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chase/egd_chase.h"
@@ -60,6 +77,8 @@
 #include "graph/graph_io.h"
 #include "obs/stats_registry.h"
 #include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "workload/scenario_parser.h"
 
 using namespace gdx;
@@ -268,6 +287,257 @@ int RunBatch(int argc, char** argv) {
   return report.errors == 0 ? 0 : 1;
 }
 
+int RunServe(int argc, char** argv) {
+  serve::ServeOptions options;
+  options.engine = CliEngineOptions();
+  std::string metrics_json;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--socket=", 9) == 0) {
+      options.socket_path = arg + 9;
+    } else if (std::strncmp(arg, "--port=", 7) == 0) {
+      options.port = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      options.num_workers = static_cast<size_t>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--queue=", 8) == 0) {
+      int queue = std::atoi(arg + 8);
+      if (queue < 1) {
+        std::fprintf(stderr, "--queue must be >= 1\n");
+        return 2;
+      }
+      options.queue_capacity = static_cast<size_t>(queue);
+    } else if (std::strncmp(arg, "--intra-threads=", 16) == 0) {
+      options.engine.intra_solve_threads =
+          static_cast<size_t>(std::atoi(arg + 16));
+    } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
+      options.checkpoint_path = arg + 13;
+    } else if (std::strncmp(arg, "--checkpoint-interval-ms=", 25) == 0) {
+      options.checkpoint_interval_ms =
+          static_cast<uint64_t>(std::atoll(arg + 25));
+    } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+      metrics_json = arg + 15;
+    } else {
+      std::fprintf(stderr, "serve: unknown flag: %s\n", arg);
+      return 2;
+    }
+  }
+  if (options.socket_path.empty() && options.port < 0) {
+    std::fprintf(stderr,
+                 "usage: gdx_cli serve --socket=PATH|--port=N "
+                 "[--workers=N] [--queue=N] [--intra-threads=N] "
+                 "[--checkpoint=FILE] [--checkpoint-interval-ms=N] "
+                 "[--metrics-json=FILE]\n");
+    return 2;
+  }
+  const std::string socket_path = options.socket_path;
+  serve::ExchangeServer server(std::move(options));
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  if (server.bound_port() >= 0) {
+    std::printf("serving on port %d\n", server.bound_port());
+  } else {
+    std::printf("serving on %s\n", socket_path.c_str());
+  }
+  std::fflush(stdout);  // readiness line: scripts wait for it
+  server.Wait();
+  if (!metrics_json.empty()) {
+    std::ofstream out(metrics_json, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics: %s\n",
+                   metrics_json.c_str());
+      return 1;
+    }
+    out << server.stats().ToJson();
+  }
+  std::printf("serve: drained, exiting\n");
+  return 0;
+}
+
+int RunClient(int argc, char** argv) {
+  std::string socket_path, list_file, report_out, stats_out;
+  int port = -1;
+  size_t repeat = 1, window = 16;
+  uint64_t index_base = 0;
+  bool want_shutdown = false, want_ping = false;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--socket=", 9) == 0) {
+      socket_path = arg + 9;
+    } else if (std::strncmp(arg, "--port=", 7) == 0) {
+      port = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--list=", 7) == 0) {
+      list_file = arg + 7;
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      int parsed = std::atoi(arg + 9);
+      if (parsed < 1) {
+        std::fprintf(stderr, "--repeat must be >= 1\n");
+        return 2;
+      }
+      repeat = static_cast<size_t>(parsed);
+    } else if (std::strncmp(arg, "--window=", 9) == 0) {
+      int parsed = std::atoi(arg + 9);
+      if (parsed < 1) {
+        std::fprintf(stderr, "--window must be >= 1\n");
+        return 2;
+      }
+      window = static_cast<size_t>(parsed);
+    } else if (std::strncmp(arg, "--report-out=", 13) == 0) {
+      report_out = arg + 13;
+    } else if (std::strncmp(arg, "--index-base=", 13) == 0) {
+      index_base = static_cast<uint64_t>(std::atoll(arg + 13));
+    } else if (std::strncmp(arg, "--stats-out=", 12) == 0) {
+      stats_out = arg + 12;
+    } else if (std::strcmp(arg, "--shutdown") == 0) {
+      want_shutdown = true;
+    } else if (std::strcmp(arg, "--ping") == 0) {
+      want_ping = true;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (!list_file.empty()) {
+    std::ifstream in(list_file);
+    if (!in) {
+      std::fprintf(stderr, "client: cannot open list: %s\n",
+                   list_file.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) paths.push_back(line);
+    }
+  }
+  if (socket_path.empty() && port < 0) {
+    std::fprintf(stderr,
+                 "usage: gdx_cli client --socket=PATH|--port=N "
+                 "[a.gdx ...] [--list=FILE] [--repeat=K] [--window=N] "
+                 "[--report-out=FILE] [--index-base=N] "
+                 "[--stats-out=FILE] [--shutdown] [--ping]\n");
+    return 2;
+  }
+
+  serve::ExchangeClient client;
+  Status connected = socket_path.empty() ? client.ConnectTcp(port)
+                                         : client.ConnectUnix(socket_path);
+  if (!connected.ok()) return Fail(connected);
+
+  if (want_ping) {
+    Status pinged = client.Ping();
+    if (!pinged.ok()) return Fail(pinged);
+    std::printf("pong\n");
+  }
+
+  // Expand repeat-major, exactly like `batch --repeat`: scenario i is
+  // paths[i % paths.size()], so the reassembled report is byte-identical
+  // to the one-shot batch report over the same list.
+  struct Item {
+    uint64_t id;
+    const std::string* path;
+    std::string text;
+  };
+  std::vector<Item> items;
+  items.reserve(paths.size() * repeat);
+  for (size_t r = 0; r < repeat; ++r) {
+    for (const std::string& path : paths) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "client: cannot open scenario: %s\n",
+                     path.c_str());
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      items.push_back(
+          Item{index_base + items.size(), &path, buffer.str()});
+    }
+  }
+
+  // Pipelined sliding window with QUEUE_FULL retry: at most `window`
+  // scenarios outstanding; an admission rejection re-sends that scenario
+  // (the server stayed healthy — rejection is backpressure, not failure).
+  std::vector<std::string> results(items.size());
+  std::vector<bool> done(items.size(), false);
+  size_t next = 0, outstanding = 0, completed = 0, errors = 0;
+  uint64_t queue_full_retries = 0;
+  while (completed < items.size()) {
+    while (next < items.size() && outstanding < window) {
+      Status sent = client.SendRequest(items[next].id, items[next].text);
+      if (!sent.ok()) return Fail(sent);
+      ++next;
+      ++outstanding;
+    }
+    serve::ClientReply reply;
+    Status read = client.ReadReply(&reply);
+    if (!read.ok()) return Fail(read);
+    if (reply.id < index_base ||
+        reply.id - index_base >= items.size()) {
+      std::fprintf(stderr, "client: reply for unknown id %llu\n",
+                   static_cast<unsigned long long>(reply.id));
+      return 1;
+    }
+    size_t local = static_cast<size_t>(reply.id - index_base);
+    if (reply.is_error && reply.code == serve::ServeError::kQueueFull) {
+      ++queue_full_retries;
+      // Brief backoff: an immediate re-send against a still-full queue
+      // just spins the rejection path; a millisecond lets a worker drain.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      Status sent = client.SendRequest(items[local].id, items[local].text);
+      if (!sent.ok()) return Fail(sent);
+      continue;
+    }
+    if (done[local]) {
+      std::fprintf(stderr, "client: duplicate reply for id %llu\n",
+                   static_cast<unsigned long long>(reply.id));
+      return 1;
+    }
+    done[local] = true;
+    if (reply.is_error) {
+      ++errors;
+      results[local] = reply.text + "\n";
+    } else {
+      results[local] = std::move(reply.text);
+    }
+    ++completed;
+    --outstanding;
+  }
+
+  if (!report_out.empty()) {
+    std::ofstream out(report_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write report: %s\n",
+                   report_out.c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < items.size(); ++i) {
+      out << "[" << items[i].id << "] " << *items[i].path << "\n"
+          << results[i];
+    }
+  }
+  if (!stats_out.empty()) {
+    std::string json;
+    Status got = client.GetStats(&json);
+    if (!got.ok()) return Fail(got);
+    std::ofstream out(stats_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write stats: %s\n",
+                   stats_out.c_str());
+      return 1;
+    }
+    out << json;
+  }
+  if (want_shutdown) {
+    Status drained = client.Shutdown();
+    if (!drained.ok()) return Fail(drained);
+  }
+  std::printf("client: %zu result(s), %zu error(s), %llu QUEUE_FULL "
+              "retr%s\n",
+              completed, errors,
+              static_cast<unsigned long long>(queue_full_retries),
+              queue_full_retries == 1 ? "y" : "ies");
+  return errors == 0 ? 0 : 1;
+}
+
 int RunCheck(Scenario& s, const NreEvaluator& eval, const char* path) {
   std::ifstream in(path);
   if (!in) {
@@ -311,6 +581,12 @@ int RunDot(Scenario& s, const NreEvaluator& eval) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "batch") == 0) {
     return RunBatch(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    return RunServe(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "client") == 0) {
+    return RunClient(argc, argv);
   }
   if (argc < 3) {
     std::fprintf(stderr,

@@ -21,6 +21,13 @@ Two checks, both cheap enough to run on every push:
    ``--metrics-json`` payload is a machine-read interface, so its spec
    rots exactly as expensively as the snapshot format's.
 
+4. The same contract for the serve wire protocol (ISSUE 7):
+   ``docs/SERVING.md`` ("Current `kProtocolVersion`: `N`") must agree
+   with ``src/serve/protocol.h``
+   (``constexpr uint32_t kProtocolVersion = N``) —
+   ``scripts/check_protocol.py`` reimplements the framing from the spec
+   alone, which only stays possible while the spec tracks the code.
+
 Exit code 0 = clean, 1 = findings (listed on stdout).
 """
 
@@ -47,6 +54,13 @@ TELEMETRY_SPEC_RE = re.compile(
 
 STATS_HEADER = os.path.join(REPO, "src", "obs", "stats_registry.h")
 TELEMETRY_SPEC = os.path.join(REPO, "docs", "TELEMETRY.md")
+
+PROTOCOL_HEADER_RE = re.compile(
+    r"constexpr\s+uint32_t\s+kProtocolVersion\s*=\s*(\d+)")
+PROTOCOL_SPEC_RE = re.compile(r"Current\s+`kProtocolVersion`:\s*`(\d+)`")
+
+PROTOCOL_HEADER = os.path.join(REPO, "src", "serve", "protocol.h")
+SERVING_SPEC = os.path.join(REPO, "docs", "SERVING.md")
 
 
 def markdown_files():
@@ -132,9 +146,36 @@ def check_telemetry_version():
     return problems
 
 
+def check_protocol_version():
+    problems = []
+    try:
+        with open(PROTOCOL_HEADER, encoding="utf-8") as handle:
+            header_match = PROTOCOL_HEADER_RE.search(handle.read())
+    except OSError:
+        return [f"missing {os.path.relpath(PROTOCOL_HEADER, REPO)}"]
+    try:
+        with open(SERVING_SPEC, encoding="utf-8") as handle:
+            spec_match = PROTOCOL_SPEC_RE.search(handle.read())
+    except OSError:
+        return [f"missing {os.path.relpath(SERVING_SPEC, REPO)}"]
+    if header_match is None:
+        problems.append("src/serve/protocol.h: kProtocolVersion constant "
+                        "not found (check_docs.py greps for it)")
+    if spec_match is None:
+        problems.append("docs/SERVING.md: no \"Current `kProtocolVersion`: "
+                        "`N`\" line (the spec must declare its version)")
+    if header_match and spec_match and \
+            header_match.group(1) != spec_match.group(1):
+        problems.append(
+            f"version drift: src/serve/protocol.h has kProtocolVersion = "
+            f"{header_match.group(1)} but docs/SERVING.md documents "
+            f"version {spec_match.group(1)}")
+    return problems
+
+
 def main():
     problems = (check_links() + check_format_version()
-                + check_telemetry_version())
+                + check_telemetry_version() + check_protocol_version())
     for problem in problems:
         print(f"check_docs: {problem}")
     if problems:
@@ -142,7 +183,8 @@ def main():
         return 1
     print("check_docs: all markdown links resolve, docs/FORMAT.md matches "
           "kFormatVersion, docs/TELEMETRY.md matches "
-          "kTelemetrySchemaVersion")
+          "kTelemetrySchemaVersion, docs/SERVING.md matches "
+          "kProtocolVersion")
     return 0
 
 

@@ -1,0 +1,445 @@
+#!/usr/bin/env python3
+"""Wire-protocol conformance harness for the resident exchange service.
+
+Reimplements the serve protocol (docs/SERVING.md) from the spec alone —
+stdlib ``struct`` + ``socket``, no project code — and drives a real
+``gdx_cli serve`` process through both the happy path and every
+malformed-input path the spec promises to survive:
+
+  * version handshake (HELLO/HELLO_ACK field-by-field),
+  * typed error codes: VERSION_MISMATCH (payload- and frame-level),
+    BAD_FRAME (nonzero reserved bytes, truncated frames), OVERSIZED_FRAME,
+    UNKNOWN_TYPE, NOT_READY (traffic before HELLO), PARSE_ERROR,
+  * truncated / oversized / garbage frames must never kill the server:
+    after each abuse a fresh well-formed connection must still solve a
+    scenario,
+  * graceful shutdown: SHUTDOWN drains to BYE and the process exits 0.
+
+Exit status 0 iff every check passes. CI runs this inside the serve-soak
+job; locally:  python3 scripts/check_protocol.py --cli build/gdx_cli
+"""
+
+import argparse
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import time
+
+PROTOCOL_VERSION = 1
+FRAME_HEADER_SIZE = 8
+MAX_FRAME_PAYLOAD = 16 << 20
+
+# FrameType
+HELLO = 0x01
+HELLO_ACK = 0x02
+REQUEST = 0x03
+RESULT = 0x04
+ERROR = 0x05
+PING = 0x06
+PONG = 0x07
+STATS_REQ = 0x08
+STATS = 0x09
+SHUTDOWN = 0x0A
+BYE = 0x0B
+
+# ServeError
+E_VERSION_MISMATCH = 1
+E_BAD_FRAME = 2
+E_OVERSIZED_FRAME = 3
+E_UNKNOWN_TYPE = 4
+E_QUEUE_FULL = 5
+E_PARSE_ERROR = 6
+E_SOLVE_FAILED = 7
+E_SHUTTING_DOWN = 8
+E_NOT_READY = 9
+
+ERROR_NAMES = {
+    E_VERSION_MISMATCH: "VERSION_MISMATCH",
+    E_BAD_FRAME: "BAD_FRAME",
+    E_OVERSIZED_FRAME: "OVERSIZED_FRAME",
+    E_UNKNOWN_TYPE: "UNKNOWN_TYPE",
+    E_QUEUE_FULL: "QUEUE_FULL",
+    E_PARSE_ERROR: "PARSE_ERROR",
+    E_SOLVE_FAILED: "SOLVE_FAILED",
+    E_SHUTTING_DOWN: "SHUTTING_DOWN",
+    E_NOT_READY: "NOT_READY",
+}
+
+SCENARIO = """relation Flight/3
+relation Hotel/2
+fact Flight(01, c1, c2)
+fact Flight(02, c3, c2)
+fact Hotel(01, hx)
+fact Hotel(01, hy)
+fact Hotel(02, hx)
+stgd Flight(x1,x2,x3), Hotel(x1,x4) ->
+     (x2, f . f*, y), (y, h, x4), (y, f . f*, x3)
+egd (x1, h, x3), (x2, h, x3) -> x1 = x2
+query (x1, f . f* [h] . f- . (f-)*, x2) -> x1, x2
+"""
+
+
+# --- wire primitives (docs/SERVING.md: little-endian, u64-length bytes) ----
+
+def frame(ftype, payload=b"", version=PROTOCOL_VERSION, reserved=0):
+    return struct.pack("<IBBH", len(payload), ftype, version,
+                       reserved) + payload
+
+
+def put_bytes(data):
+    return struct.pack("<Q", len(data)) + data
+
+
+def enc_hello(version=PROTOCOL_VERSION):
+    return struct.pack("<I", version)
+
+
+def enc_request(req_id, scenario_text):
+    return struct.pack("<QI", req_id, 0) + put_bytes(scenario_text)
+
+
+def dec_hello_ack(payload):
+    version, max_payload, queue_capacity = struct.unpack("<III", payload)
+    return {"version": version, "max_payload": max_payload,
+            "queue_capacity": queue_capacity}
+
+
+def dec_result(payload):
+    (req_id,) = struct.unpack_from("<Q", payload, 0)
+    (length,) = struct.unpack_from("<Q", payload, 8)
+    text = payload[16:16 + length]
+    assert len(text) == length, "truncated RESULT payload"
+    return req_id, text
+
+
+def dec_error(payload):
+    (req_id,) = struct.unpack_from("<Q", payload, 0)
+    (code,) = struct.unpack_from("<H", payload, 8)
+    (length,) = struct.unpack_from("<Q", payload, 10)
+    message = payload[18:18 + length]
+    assert len(message) == length, "truncated ERROR payload"
+    return req_id, code, message
+
+
+class Conn:
+    """One protocol connection over a unix or TCP socket."""
+
+    def __init__(self, socket_path=None, port=None, timeout=30.0):
+        if socket_path:
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self.sock.settimeout(timeout)
+            self.sock.connect(socket_path)
+        else:
+            self.sock = socket.create_connection(("127.0.0.1", port),
+                                                 timeout=timeout)
+
+    def send_raw(self, data):
+        self.sock.sendall(data)
+
+    def send(self, ftype, payload=b"", **kwargs):
+        self.sock.sendall(frame(ftype, payload, **kwargs))
+
+    def recv_exact(self, n):
+        buf = b""
+        while len(buf) < n:
+            chunk = self.sock.recv(n - len(buf))
+            if not chunk:
+                return buf  # EOF
+            buf += chunk
+        return buf
+
+    def read_frame(self):
+        """Returns (type, payload) or None on EOF."""
+        header = self.recv_exact(FRAME_HEADER_SIZE)
+        if not header:
+            return None
+        assert len(header) == FRAME_HEADER_SIZE, "truncated header from server"
+        length, ftype, version, reserved = struct.unpack("<IBBH", header)
+        assert version == PROTOCOL_VERSION, f"server sent version {version}"
+        assert reserved == 0, "server sent nonzero reserved bytes"
+        assert length <= MAX_FRAME_PAYLOAD, "server sent oversized frame"
+        payload = self.recv_exact(length)
+        assert len(payload) == length, "truncated payload from server"
+        return ftype, payload
+
+    def handshake(self):
+        self.send(HELLO, enc_hello())
+        ftype, payload = self.read_frame()
+        assert ftype == HELLO_ACK, f"expected HELLO_ACK, got 0x{ftype:02x}"
+        ack = dec_hello_ack(payload)
+        assert ack["version"] == PROTOCOL_VERSION, ack
+        assert ack["max_payload"] == MAX_FRAME_PAYLOAD, ack
+        assert ack["queue_capacity"] >= 1, ack
+        return ack
+
+    def expect_error(self, want_code):
+        got = self.read_frame()
+        assert got is not None, (
+            f"connection closed before typed {ERROR_NAMES[want_code]}")
+        ftype, payload = got
+        assert ftype == ERROR, f"expected ERROR, got 0x{ftype:02x}"
+        _, code, message = dec_error(payload)
+        assert code == want_code, (
+            f"expected {ERROR_NAMES[want_code]}, got "
+            f"{ERROR_NAMES.get(code, code)}: {message!r}")
+        return message
+
+    def expect_closed(self):
+        """The server must close a connection after a fatal error.
+
+        A close with client bytes still unread (e.g. the payload behind a
+        rejected header) surfaces as ECONNRESET rather than clean EOF;
+        both mean "server hung up", which is what the spec requires.
+        """
+        try:
+            data = self.sock.recv(1)
+        except ConnectionResetError:
+            return
+        assert data == b"", f"expected close, got {data!r}"
+
+    def close(self):
+        self.sock.close()
+
+
+class Harness:
+    def __init__(self, cli, socket_path):
+        self.cli = cli
+        self.socket_path = socket_path
+        self.proc = None
+        self.passed = 0
+
+    def start_server(self):
+        self.proc = subprocess.Popen(
+            [self.cli, "serve", f"--socket={self.socket_path}",
+             "--workers=2", "--queue=8"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        line = self.proc.stdout.readline()
+        assert line.startswith("serving on"), f"no readiness line: {line!r}"
+
+    def server_alive(self):
+        return self.proc.poll() is None
+
+    def connect(self):
+        return Conn(socket_path=self.socket_path)
+
+    def check(self, name, fn, expect_alive=True):
+        try:
+            fn()
+            if expect_alive:
+                assert self.server_alive(), "server process died"
+            print(f"  ok  {name}")
+            self.passed += 1
+        except Exception as exc:  # noqa: BLE001 - report and fail the run
+            print(f"FAIL  {name}: {exc}")
+            raise
+
+    # --- the conformance checks -------------------------------------------
+
+    def check_handshake(self):
+        conn = self.connect()
+        ack = conn.handshake()
+        assert ack["queue_capacity"] == 8, ack
+        conn.close()
+
+    def check_ping_and_stats(self):
+        conn = self.connect()
+        conn.handshake()
+        conn.send(PING)
+        ftype, payload = conn.read_frame()
+        assert ftype == PONG and payload == b"", (ftype, payload)
+        conn.send(STATS_REQ)
+        ftype, payload = conn.read_frame()
+        assert ftype == STATS, f"expected STATS, got 0x{ftype:02x}"
+        (length,) = struct.unpack_from("<Q", payload, 0)
+        body = payload[8:8 + length]
+        assert b"serve.connections" in body, body[:200]
+        conn.close()
+
+    def check_request_roundtrip(self):
+        conn = self.connect()
+        conn.handshake()
+        conn.send(REQUEST, enc_request(7, SCENARIO.encode()))
+        ftype, payload = conn.read_frame()
+        assert ftype == RESULT, f"expected RESULT, got 0x{ftype:02x}"
+        req_id, text = dec_result(payload)
+        assert req_id == 7, req_id
+        assert text, "empty outcome text"
+        conn.close()
+
+    def check_parse_error_is_nonfatal(self):
+        conn = self.connect()
+        conn.handshake()
+        conn.send(REQUEST, enc_request(9, b"relation Broken(/oops"))
+        got = conn.read_frame()
+        assert got[0] == ERROR, got
+        req_id, code, _ = dec_error(got[1])
+        assert (req_id, code) == (9, E_PARSE_ERROR), (req_id, code)
+        # The connection survives a parse error: a good request still works.
+        conn.send(REQUEST, enc_request(10, SCENARIO.encode()))
+        ftype, payload = conn.read_frame()
+        assert ftype == RESULT and dec_result(payload)[0] == 10
+        conn.close()
+
+    def check_traffic_before_hello(self):
+        conn = self.connect()
+        conn.send(PING)
+        conn.expect_error(E_NOT_READY)
+        conn.expect_closed()
+        conn.close()
+
+    def check_hello_payload_version_mismatch(self):
+        conn = self.connect()
+        conn.send(HELLO, enc_hello(version=99))
+        conn.expect_error(E_VERSION_MISMATCH)
+        conn.expect_closed()
+        conn.close()
+
+    def check_frame_version_mismatch(self):
+        conn = self.connect()
+        conn.send(HELLO, enc_hello(), version=2)
+        conn.expect_error(E_VERSION_MISMATCH)
+        conn.expect_closed()
+        conn.close()
+
+    def check_nonzero_reserved(self):
+        conn = self.connect()
+        conn.send(HELLO, enc_hello(), reserved=0xBEEF)
+        conn.expect_error(E_BAD_FRAME)
+        conn.expect_closed()
+        conn.close()
+
+    def check_oversized_length(self):
+        conn = self.connect()
+        conn.send_raw(struct.pack("<IBBH", MAX_FRAME_PAYLOAD + 1, HELLO,
+                                  PROTOCOL_VERSION, 0))
+        conn.expect_error(E_OVERSIZED_FRAME)
+        conn.expect_closed()
+        conn.close()
+
+    def check_unknown_type(self):
+        conn = self.connect()
+        conn.handshake()
+        conn.send(0x7F)
+        conn.expect_error(E_UNKNOWN_TYPE)
+        conn.expect_closed()
+        conn.close()
+
+    def check_truncated_header(self):
+        conn = self.connect()
+        conn.send_raw(b"\x04\x00\x00")  # 3 of 8 header bytes, then close
+        conn.close()
+
+    def check_truncated_payload(self):
+        conn = self.connect()
+        # Header promises 64 payload bytes; deliver 5 and vanish.
+        conn.send_raw(struct.pack("<IBBH", 64, HELLO, PROTOCOL_VERSION, 0))
+        conn.send_raw(b"\x01\x02\x03\x04\x05")
+        conn.close()
+
+    def check_garbage_stream(self):
+        # Deterministic garbage whose first byte-quad decodes to a small
+        # length and whose "version" byte is wrong — exercises the reject
+        # path with bytes that never formed a real frame.
+        conn = self.connect()
+        garbage = bytes((i * 37 + 11) % 251 for i in range(256))
+        conn.send_raw(garbage)
+        # Whatever the server answers (typed error or close), it must not
+        # die and must not echo garbage: drain until EOF.
+        try:
+            while conn.read_frame() is not None:
+                pass
+        except AssertionError:
+            pass  # typed-error frames are fine too; only survival matters
+        except OSError:
+            pass
+        conn.close()
+
+    def check_recovery_after_abuse(self):
+        """After every malformed connection the server still serves."""
+        conn = self.connect()
+        conn.handshake()
+        conn.send(REQUEST, enc_request(77, SCENARIO.encode()))
+        ftype, payload = conn.read_frame()
+        assert ftype == RESULT and dec_result(payload)[0] == 77
+        conn.close()
+
+    def check_graceful_shutdown(self):
+        conn = self.connect()
+        conn.handshake()
+        conn.send(SHUTDOWN)
+        ftype, payload = conn.read_frame()
+        assert ftype == BYE and payload == b"", (ftype, payload)
+        conn.close()
+        try:
+            code = self.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            raise AssertionError("server did not exit after BYE")
+        assert code == 0, f"server exited {code}"
+        rest = self.proc.stdout.read()
+        assert "serve: drained, exiting" in rest, rest
+
+    def run(self):
+        self.start_server()
+        try:
+            self.check("handshake fields", self.check_handshake)
+            self.check("ping/pong + stats", self.check_ping_and_stats)
+            self.check("request round trip", self.check_request_roundtrip)
+            self.check("PARSE_ERROR is typed and non-fatal",
+                       self.check_parse_error_is_nonfatal)
+            self.check("traffic before HELLO -> NOT_READY",
+                       self.check_traffic_before_hello)
+            self.check("HELLO payload version mismatch",
+                       self.check_hello_payload_version_mismatch)
+            self.check("frame-header version mismatch",
+                       self.check_frame_version_mismatch)
+            self.check("nonzero reserved bytes -> BAD_FRAME",
+                       self.check_nonzero_reserved)
+            self.check("oversized length prefix -> OVERSIZED_FRAME",
+                       self.check_oversized_length)
+            self.check("unknown frame type -> UNKNOWN_TYPE",
+                       self.check_unknown_type)
+            self.check("truncated header survived",
+                       self.check_truncated_header)
+            self.check("truncated payload survived",
+                       self.check_truncated_payload)
+            self.check("garbage stream survived", self.check_garbage_stream)
+            self.check("server serves after abuse",
+                       self.check_recovery_after_abuse)
+            self.check("SHUTDOWN drains to BYE, exit 0",
+                       self.check_graceful_shutdown, expect_alive=False)
+        finally:
+            if self.proc.poll() is None:
+                self.proc.send_signal(signal.SIGKILL)
+                self.proc.wait()
+        print(f"check_protocol: {self.passed} checks passed")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", default="build/gdx_cli",
+                        help="path to the gdx_cli binary")
+    parser.add_argument("--socket", default=None,
+                        help="unix socket path (default: a /tmp path)")
+    args = parser.parse_args()
+    if not os.path.exists(args.cli):
+        print(f"error: no such binary: {args.cli}", file=sys.stderr)
+        return 2
+    socket_path = args.socket or f"/tmp/gdx_check_protocol_{os.getpid()}.sock"
+    harness = Harness(os.path.abspath(args.cli), socket_path)
+    try:
+        harness.run()
+    except AssertionError as exc:
+        print(f"check_protocol: FAILED: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

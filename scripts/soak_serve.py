@@ -1,0 +1,320 @@
+#!/usr/bin/env python3
+"""Soak + conformance harness for the resident exchange service.
+
+Drives ``gdx_cli serve`` through the ISSUE 7 acceptance criteria:
+
+1. **Scale**: expands a mixed corpus of scenario variants to >= --total
+   (default 10^4) requests and pushes them from --clients concurrent
+   ``gdx_cli client`` processes through one resident server at
+   saturation (window * clients > queue capacity, so admission control
+   and QUEUE_FULL retries are genuinely exercised).
+2. **Byte-identity**: the clients' reassembled reports must be
+   byte-identical to a one-shot ``gdx_cli batch`` run over the same
+   expanded scenario list — streaming, concurrency, backpressure and
+   the kill/restart below must all be invisible in the results.
+3. **Kill + warm restart**: midway through the soak the server is
+   SIGKILLed and restarted from its latest periodic checkpoint; the
+   remaining clients re-send scenarios the first half already solved,
+   and the restarted server must report **zero** chase misses and zero
+   compile misses (pure restored-entry traffic) via the client's
+   --stats-out JSON.
+4. **Artifact**: writes a latency/metrics JSON (p50/p99 of
+   serve.request_ns, queue/retry counters, phase wall times) for CI to
+   upload.
+
+Usage:  python3 scripts/soak_serve.py --cli build/gdx_cli \
+            [--total 10000] [--clients 4] [--out soak_metrics.json]
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+EXAMPLE22 = """\
+relation Flight/3
+relation Hotel/2
+
+fact Flight(01, c1, c2)
+fact Flight(02, c3, c2)
+fact Hotel(01, hx)
+fact Hotel(01, hy)
+fact Hotel(02, hx)
+
+stgd Flight(x1,x2,x3), Hotel(x1,x4) ->
+     (x2, f . f*, y), (y, h, x4), (y, f . f*, x3)
+
+egd (x1, h, x3), (x2, h, x3) -> x1 = x2
+
+query (x1, f . f* [h] . f- . (f-)*, x2) -> x1, x2
+"""
+
+SMALL_CHAIN = """\
+relation Flight/3
+relation Hotel/2
+fact Flight(11, d1, d2)
+fact Hotel(11, hz)
+stgd Flight(x1,x2,x3), Hotel(x1,x4) ->
+     (x2, f, y), (y, h, x4)
+query (x1, f [h], x2) -> x1, x2
+"""
+
+NO_QUERY = """\
+relation Flight/3
+relation Hotel/2
+fact Flight(21, e1, e2)
+fact Flight(22, e2, e3)
+fact Hotel(21, hq)
+fact Hotel(22, hq)
+stgd Flight(x1,x2,x3), Hotel(x1,x4) ->
+     (x2, f . f*, y), (y, h, x4), (y, f . f*, x3)
+egd (x1, h, x3), (x2, h, x3) -> x1 = x2
+"""
+
+
+def make_corpus(directory):
+    """Writes a mixed corpus of distinct scenario files.
+
+    Distinct constant names give every variant distinct chase/compile
+    cache keys, so the soak exercises many shards of the warm cache, not
+    one hot entry.
+    """
+    corpus = {"example22.gdx": EXAMPLE22,
+              "small_chain.gdx": SMALL_CHAIN,
+              "no_query.gdx": NO_QUERY}
+    # Renamed copies of the flagship scenario: same shape, fresh keys.
+    for i in range(5):
+        text = EXAMPLE22
+        for old, new in (("c1", f"m{i}a"), ("c2", f"m{i}b"),
+                         ("c3", f"m{i}c"), ("hx", f"m{i}x"),
+                         ("hy", f"m{i}y"), ("01", f"5{i}1"),
+                         ("02", f"5{i}2")):
+            text = text.replace(old, new)
+        corpus[f"renamed_{i}.gdx"] = text
+    paths = []
+    for name, text in sorted(corpus.items()):
+        path = os.path.join(directory, name)
+        with open(path, "w") as handle:
+            handle.write(text)
+        paths.append(path)
+    return paths
+
+
+def run(cmd, **kwargs):
+    return subprocess.run(cmd, check=True, text=True,
+                          capture_output=True, **kwargs)
+
+
+def start_server(cli, socket_path, checkpoint, metrics_json, queue=8):
+    # queue=8 < clients * window: concurrent client windows oversubscribe
+    # admission, so the soak genuinely exercises QUEUE_FULL backpressure
+    # and the retry path — not just the happy path.
+    proc = subprocess.Popen(
+        [cli, "serve", f"--socket={socket_path}", "--workers=2",
+         f"--queue={queue}", f"--checkpoint={checkpoint}",
+         "--checkpoint-interval-ms=250",
+         f"--metrics-json={metrics_json}"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    line = proc.stdout.readline()
+    if not line.startswith("serving on"):
+        proc.kill()
+        raise RuntimeError(f"server failed to start: {line!r}")
+    return proc
+
+
+def launch_clients(cli, socket_path, slices, scratch, tag):
+    """Starts one client process per (start, paths) slice; returns procs."""
+    procs = []
+    for slot, (start, chunk) in enumerate(slices):
+        list_file = os.path.join(scratch, f"list_{tag}_{slot}.txt")
+        with open(list_file, "w") as handle:
+            handle.write("\n".join(chunk) + "\n")
+        report = os.path.join(scratch, f"report_{tag}_{slot}.txt")
+        procs.append((report, subprocess.Popen(
+            [cli, "client", f"--socket={socket_path}",
+             f"--list={list_file}", "--window=16",
+             f"--index-base={start}", f"--report-out={report}"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)))
+    return procs
+
+
+def join_clients(procs):
+    reports, retries = [], 0
+    for report, proc in procs:
+        out, _ = proc.communicate(timeout=1800)
+        if proc.returncode != 0:
+            raise RuntimeError(f"client failed ({proc.returncode}):\n{out}")
+        match = re.search(r"(\d+) QUEUE_FULL", out)
+        retries += int(match.group(1)) if match else 0
+        reports.append(report)
+    return reports, retries
+
+
+def chunk_slices(sequence, pieces):
+    """Contiguous slices of the global expanded path sequence."""
+    slices, start = [], 0
+    for i in range(pieces):
+        size = len(sequence) // pieces + (1 if i < len(sequence) % pieces
+                                          else 0)
+        slices.append((start, sequence[start:start + size]))
+        start += size
+    return slices
+
+
+def read_stats(cli, socket_path, scratch, tag):
+    stats_file = os.path.join(scratch, f"stats_{tag}.json")
+    run([cli, "client", f"--socket={socket_path}",
+         f"--stats-out={stats_file}"])
+    with open(stats_file) as handle:
+        return json.load(handle)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", default="build/gdx_cli")
+    parser.add_argument("--total", type=int, default=10000,
+                        help="minimum number of scenario solves")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--out", default="soak_metrics.json",
+                        help="latency/metrics artifact path")
+    args = parser.parse_args()
+    cli = os.path.abspath(args.cli)
+    if not os.path.exists(cli):
+        print(f"error: no such binary: {cli}", file=sys.stderr)
+        return 2
+    if args.clients < 2:
+        print("error: --clients must be >= 2 (half run before the kill, "
+              "half after)", file=sys.stderr)
+        return 2
+
+    scratch = tempfile.mkdtemp(prefix="gdx_soak_")
+    socket_path = os.path.join(scratch, "serve.sock")
+    checkpoint = os.path.join(scratch, "serve.gdxsnap")
+    artifact = {"total_requested": args.total, "clients": args.clients}
+    server = None
+    try:
+        corpus = make_corpus(scratch)
+        repeat = -(-args.total // len(corpus))  # ceil division
+        sequence = corpus * repeat
+        total = len(sequence)
+        print(f"soak: {total} scenarios = {len(corpus)} variants x "
+              f"{repeat}, {args.clients} clients")
+
+        # Ground truth: one-shot batch over the identical expanded list.
+        t0 = time.monotonic()
+        batch_report = os.path.join(scratch, "report_batch.txt")
+        run([cli, "batch", *corpus, f"--repeat={repeat}", "--threads=2",
+             f"--report-out={batch_report}"])
+        artifact["batch_wall_s"] = round(time.monotonic() - t0, 3)
+        print(f"soak: batch ground truth in {artifact['batch_wall_s']}s")
+
+        slices = chunk_slices(sequence, args.clients)
+        half = args.clients // 2
+
+        # Phase 1: first half of the clients against server #1.
+        t0 = time.monotonic()
+        metrics1 = os.path.join(scratch, "metrics_server1.json")
+        server = start_server(cli, socket_path, checkpoint, metrics1)
+        procs = launch_clients(cli, socket_path, slices[:half], scratch,
+                               "p1")
+        reports1, retries1 = join_clients(procs)
+        artifact["phase1_wall_s"] = round(time.monotonic() - t0, 3)
+        artifact["phase1_queue_full_retries"] = retries1
+
+        # Let at least one checkpoint interval elapse so the latest
+        # snapshot covers the full corpus, then kill -9 mid-soak: no
+        # drain, no goodbye — the restart must come back warm purely
+        # from the periodic checkpoint.
+        time.sleep(1.0)
+        assert os.path.exists(checkpoint), "no checkpoint written"
+        server.send_signal(signal.SIGKILL)
+        server.wait()
+        print(f"soak: phase 1 done in {artifact['phase1_wall_s']}s "
+              f"({retries1} QUEUE_FULL retries); server SIGKILLed")
+
+        # Phase 2: restart from the checkpoint, run the remaining
+        # clients — every scenario they send was already chased and
+        # compiled by phase 1, so the warm cache must answer all of it.
+        t0 = time.monotonic()
+        metrics2 = os.path.join(scratch, "metrics_server2.json")
+        server = start_server(cli, socket_path, checkpoint, metrics2)
+        procs = launch_clients(cli, socket_path, slices[half:], scratch,
+                               "p2")
+        reports2, retries2 = join_clients(procs)
+        artifact["phase2_wall_s"] = round(time.monotonic() - t0, 3)
+        artifact["phase2_queue_full_retries"] = retries2
+
+        stats = read_stats(cli, socket_path, scratch, "p2")
+        counters = stats["counters"]
+        chase_misses = counters.get("engine.cache.chase.misses", 0)
+        compile_misses = counters.get("engine.cache.compile.misses", 0)
+        restored = counters.get("engine.cache.restored_hits", 0)
+        restores = counters.get("serve.checkpoint.restores", 0)
+        artifact["post_restart"] = {
+            "chase_misses": chase_misses,
+            "compile_misses": compile_misses,
+            "restored_hits": restored,
+            "checkpoint_restores": restores,
+        }
+        assert restores >= 1, "restarted server did not restore checkpoint"
+        assert chase_misses == 0, (
+            f"warm restart re-chased {chase_misses} scenarios")
+        assert compile_misses == 0, (
+            f"warm restart re-compiled {compile_misses} automata")
+        assert restored > 0, "no restored-entry hits after warm restart"
+        print(f"soak: phase 2 done in {artifact['phase2_wall_s']}s — warm "
+              f"restart: 0 chase misses, 0 compile misses, "
+              f"{restored} restored-entry hits")
+
+        hist = stats.get("histograms", {}).get("serve.request_ns", {})
+        artifact["serve_request_ns"] = {
+            key: hist.get(key) for key in
+            ("count", "p50", "p90", "p99", "min", "max") if key in hist}
+
+        # Drain server #2 so its metrics JSON lands on disk.
+        run([cli, "client", f"--socket={socket_path}", "--shutdown"])
+        server.wait(timeout=60)
+        assert server.returncode == 0, f"server exited {server.returncode}"
+        if os.path.exists(metrics2):
+            with open(metrics2) as handle:
+                artifact["server2_metrics"] = json.load(handle)
+
+        # Byte-identity: clients' reports, reassembled in global-id
+        # order, must equal the one-shot batch report exactly.
+        merged = os.path.join(scratch, "report_merged.txt")
+        with open(merged, "wb") as out:
+            for report in reports1 + reports2:
+                with open(report, "rb") as part:
+                    shutil.copyfileobj(part, out)
+        with open(merged, "rb") as a, open(batch_report, "rb") as b:
+            merged_bytes, batch_bytes = a.read(), b.read()
+        assert merged_bytes == batch_bytes, (
+            "soak reports differ from batch ground truth "
+            f"({len(merged_bytes)} vs {len(batch_bytes)} bytes)")
+        artifact["total_solved"] = total
+        artifact["byte_identical_to_batch"] = True
+        print(f"soak: {total} streamed results byte-identical to batch "
+              f"({len(batch_bytes)} bytes)")
+
+        with open(args.out, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+        print(f"soak: metrics artifact written to {args.out}")
+    except AssertionError as exc:
+        print(f"soak_serve: FAILED: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if server is not None and server.poll() is None:
+            server.kill()
+            server.wait()
+        shutil.rmtree(scratch, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

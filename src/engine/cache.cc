@@ -1,11 +1,14 @@
 #include "engine/cache.h"
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 
 #include "graph/graph_view.h"
 #include "obs/trace.h"
 #include "graph/isomorphism.h"
 #include "graph/nre.h"
+#include "persist/wire.h"
 
 namespace gdx {
 std::string EngineCache::NreKey(const NrePtr& nre, const Graph& g) {
@@ -24,7 +27,46 @@ uint64_t NullBlindRaw(Value v) {
   return v.is_constant() ? v.raw() : kNullMarker;
 }
 
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Shard i's slice of a global cap: cap/S entries plus one of the cap%S
+/// remainder slots, so the shard quotas sum exactly to the cap and the
+/// global entry count can never exceed it. A global cap of 0 (unbounded)
+/// maps to the SIZE_MAX sentinel — a literal per-shard quota of 0 must
+/// mean "evict immediately" (pathological cap < num_shards), not
+/// "unbounded", or tiny caps would silently stop bounding anything.
+size_t ShardQuota(size_t cap, size_t shard, size_t num_shards) {
+  if (cap == 0) return std::numeric_limits<size_t>::max();
+  return cap / num_shards + (shard < cap % num_shards ? 1 : 0);
+}
+
 }  // namespace
+
+EngineCache::EngineCache(EngineCacheOptions options) : options_(options) {
+  size_t n = options_.num_shards == 0 ? 1 : options_.num_shards;
+  n = std::min<size_t>(RoundUpPow2(n), 256);
+  options_.num_shards = n;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    Shard& shard = *shards_.back();
+    shard.max_nre_entries = ShardQuota(options_.max_nre_entries, i, n);
+    shard.max_answer_keys = ShardQuota(options_.max_answer_keys, i, n);
+    shard.max_compiled_entries =
+        ShardQuota(options_.max_compiled_entries, i, n);
+    shard.max_chased_entries = ShardQuota(options_.max_chased_entries, i, n);
+  }
+}
+
+EngineCache::Shard& EngineCache::ShardFor(const std::string& key) const {
+  // FNV-1a over the full key (keys are content signatures, already well
+  // mixed); shard count is a power of two, so masking is exact.
+  return *shards_[Fnv1a64(key) & (shards_.size() - 1)];
+}
 
 std::string EngineCache::AnswerKey(const CnreQuery& query, const Graph& g) {
   std::string key;
@@ -80,68 +122,66 @@ ScopedCacheAttribution::~ScopedCacheAttribution() {
   g_solve_sink = previous_;
 }
 
-void EngineCache::TouchNre(NreEntry& entry) {
-  nre_lru_.splice(nre_lru_.begin(), nre_lru_, entry.lru);
+void EngineCache::TouchNre(Shard& shard, NreEntry& entry) {
+  shard.nre_lru.splice(shard.nre_lru.begin(), shard.nre_lru, entry.lru);
 }
 
-void EngineCache::TouchAnswers(AnswerBucket& bucket) {
-  answer_lru_.splice(answer_lru_.begin(), answer_lru_, bucket.lru);
+void EngineCache::TouchAnswers(Shard& shard, AnswerBucket& bucket) {
+  shard.answer_lru.splice(shard.answer_lru.begin(), shard.answer_lru,
+                          bucket.lru);
 }
 
-void EngineCache::TouchCompiled(CompiledEntry& entry) {
-  compiled_lru_.splice(compiled_lru_.begin(), compiled_lru_, entry.lru);
+void EngineCache::TouchCompiled(Shard& shard, CompiledEntry& entry) {
+  shard.compiled_lru.splice(shard.compiled_lru.begin(), shard.compiled_lru,
+                            entry.lru);
 }
 
-void EngineCache::TouchChased(ChasedEntry& entry) {
-  chased_lru_.splice(chased_lru_.begin(), chased_lru_, entry.lru);
+void EngineCache::TouchChased(Shard& shard, ChasedEntry& entry) {
+  shard.chased_lru.splice(shard.chased_lru.begin(), shard.chased_lru,
+                          entry.lru);
 }
 
-void EngineCache::EvictOverCap() {
-  // Called with mutex_ held. LRU keys fall off the back of each list.
-  if (options_.max_nre_entries != 0) {
-    while (nre_memo_.size() > options_.max_nre_entries) {
-      nre_memo_.erase(nre_lru_.back());
-      nre_lru_.pop_back();
-      ++stats_.nre_evictions;
-    }
+void EngineCache::EvictOverCap(Shard& shard) {
+  // Called with the shard's mutex held. LRU keys fall off the back of
+  // each per-shard list. Quotas use SIZE_MAX for unbounded, so a plain
+  // size comparison covers every case (including a literal quota of 0).
+  while (shard.nre_memo.size() > shard.max_nre_entries) {
+    shard.nre_memo.erase(shard.nre_lru.back());
+    shard.nre_lru.pop_back();
+    ++shard.stats.nre_evictions;
   }
-  if (options_.max_answer_keys != 0) {
-    while (answer_memo_.size() > options_.max_answer_keys) {
-      auto it = answer_memo_.find(answer_lru_.back());
-      answer_entries_ -= it->second.entries.size();
-      answer_memo_.erase(it);
-      answer_lru_.pop_back();
-      ++stats_.answer_evictions;
-    }
+  while (shard.answer_memo.size() > shard.max_answer_keys) {
+    auto it = shard.answer_memo.find(shard.answer_lru.back());
+    shard.answer_entries -= it->second.entries.size();
+    shard.answer_memo.erase(it);
+    shard.answer_lru.pop_back();
+    ++shard.stats.answer_evictions;
   }
-  if (options_.max_compiled_entries != 0) {
-    while (compiled_memo_.size() > options_.max_compiled_entries) {
-      compiled_memo_.erase(compiled_lru_.back());
-      compiled_lru_.pop_back();
-      ++stats_.compile_evictions;
-    }
+  while (shard.compiled_memo.size() > shard.max_compiled_entries) {
+    shard.compiled_memo.erase(shard.compiled_lru.back());
+    shard.compiled_lru.pop_back();
+    ++shard.stats.compile_evictions;
   }
-  if (options_.max_chased_entries != 0) {
-    while (chased_memo_.size() > options_.max_chased_entries) {
-      chased_memo_.erase(chased_lru_.back());
-      chased_lru_.pop_back();
-      ++stats_.chase_evictions;
-    }
+  while (shard.chased_memo.size() > shard.max_chased_entries) {
+    shard.chased_memo.erase(shard.chased_lru.back());
+    shard.chased_lru.pop_back();
+    ++shard.stats.chase_evictions;
   }
 }
 
 ChasedScenarioPtr EngineCache::LookupChased(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = chased_memo_.find(key);
-  if (it == chased_memo_.end()) {
-    ++stats_.chase_misses;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.chased_memo.find(key);
+  if (it == shard.chased_memo.end()) {
+    ++shard.stats.chase_misses;
     if (g_solve_sink != nullptr) {
       g_solve_sink->chase_misses.fetch_add(1, std::memory_order_relaxed);
     }
     return nullptr;
   }
-  ++stats_.chase_hits;
-  if (it->second.restored) ++stats_.chase_restored_hits;
+  ++shard.stats.chase_hits;
+  if (it->second.restored) ++shard.stats.chase_restored_hits;
   if (g_solve_sink != nullptr) {
     g_solve_sink->chase_hits.fetch_add(1, std::memory_order_relaxed);
     if (it->second.restored) {
@@ -149,31 +189,32 @@ ChasedScenarioPtr EngineCache::LookupChased(const std::string& key) {
                                                   std::memory_order_relaxed);
     }
   }
-  TouchChased(it->second);
+  TouchChased(shard, it->second);
   return it->second.artifact;
 }
 
 void EngineCache::StoreChased(const std::string& key,
                               ChasedScenarioPtr artifact) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = chased_memo_.find(key);
-  if (it != chased_memo_.end()) {
-    TouchChased(it->second);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.chased_memo.find(key);
+  if (it != shard.chased_memo.end()) {
+    TouchChased(shard, it->second);
     return;  // racing publishers compiled the same artifact; keep the first
   }
-  chased_lru_.push_front(key);
-  chased_memo_.emplace(key,
-                       ChasedEntry{std::move(artifact), chased_lru_.begin()});
-  EvictOverCap();
+  shard.chased_lru.push_front(key);
+  shard.chased_memo.emplace(
+      key, ChasedEntry{std::move(artifact), shard.chased_lru.begin()});
+  EvictOverCap(shard);
 }
 
 CompiledNrePtr EngineCache::GetOrCompile(const NrePtr& nre) {
   // Each call counts as exactly one hit or one miss, decided by whether
   // the caller was served from the memo — so hits + misses always equals
   // the number of GetOrCompile calls, like the other memos.
-  auto count_hit = [this](bool restored) {
-    ++stats_.compile_hits;  // mutex_ held
-    if (restored) ++stats_.compile_restored_hits;
+  auto count_hit = [](Shard& shard, bool restored) {
+    ++shard.stats.compile_hits;  // shard mutex held
+    if (restored) ++shard.stats.compile_restored_hits;
     if (g_solve_sink != nullptr) {
       g_solve_sink->compile_hits.fetch_add(1, std::memory_order_relaxed);
       if (restored) {
@@ -183,12 +224,13 @@ CompiledNrePtr EngineCache::GetOrCompile(const NrePtr& nre) {
     }
   };
   std::string key = NreRawSignature(*nre);
+  Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = compiled_memo_.find(key);
-    if (it != compiled_memo_.end()) {
-      count_hit(it->second.restored);
-      TouchCompiled(it->second);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.compiled_memo.find(key);
+    if (it != shard.compiled_memo.end()) {
+      count_hit(shard, it->second.restored);
+      TouchCompiled(shard, it->second);
       return it->second.compiled;
     }
   }
@@ -199,39 +241,40 @@ CompiledNrePtr EngineCache::GetOrCompile(const NrePtr& nre) {
     GDX_TRACE_SPAN("cache.compile_nre", "cache");
     compiled = CompiledNre::Compile(nre);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = compiled_memo_.find(key);
-  if (it != compiled_memo_.end()) {
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.compiled_memo.find(key);
+  if (it != shard.compiled_memo.end()) {
     // A racing worker published first; keep its plan (entries are
     // interchangeable — compilation is deterministic) and count the call
     // as the memo serving it.
-    count_hit(it->second.restored);
-    TouchCompiled(it->second);
+    count_hit(shard, it->second.restored);
+    TouchCompiled(shard, it->second);
     return it->second.compiled;
   }
-  ++stats_.compile_misses;
+  ++shard.stats.compile_misses;
   if (g_solve_sink != nullptr) {
     g_solve_sink->compile_misses.fetch_add(1, std::memory_order_relaxed);
   }
-  compiled_lru_.push_front(key);
-  compiled_memo_.emplace(std::move(key),
-                         CompiledEntry{compiled, compiled_lru_.begin()});
-  EvictOverCap();
+  shard.compiled_lru.push_front(key);
+  shard.compiled_memo.emplace(
+      std::move(key), CompiledEntry{compiled, shard.compiled_lru.begin()});
+  EvictOverCap(shard);
   return compiled;
 }
 
 bool EngineCache::LookupNre(const std::string& key, BinaryRelation* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = nre_memo_.find(key);
-  if (it == nre_memo_.end()) {
-    ++stats_.nre_misses;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.nre_memo.find(key);
+  if (it == shard.nre_memo.end()) {
+    ++shard.stats.nre_misses;
     if (g_solve_sink != nullptr) {
       g_solve_sink->nre_misses.fetch_add(1, std::memory_order_relaxed);
     }
     return false;
   }
-  ++stats_.nre_hits;
-  if (it->second.restored) ++stats_.nre_restored_hits;
+  ++shard.stats.nre_hits;
+  if (it->second.restored) ++shard.stats.nre_restored_hits;
   if (g_solve_sink != nullptr) {
     g_solve_sink->nre_hits.fetch_add(1, std::memory_order_relaxed);
     if (it->second.restored) {
@@ -239,33 +282,36 @@ bool EngineCache::LookupNre(const std::string& key, BinaryRelation* out) {
                                                 std::memory_order_relaxed);
     }
   }
-  TouchNre(it->second);
+  TouchNre(shard, it->second);
   *out = it->second.relation;
   return true;
 }
 
 void EngineCache::StoreNre(std::string key, BinaryRelation relation) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = nre_memo_.find(key);
-  if (it != nre_memo_.end()) {
-    TouchNre(it->second);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.nre_memo.find(key);
+  if (it != shard.nre_memo.end()) {
+    TouchNre(shard, it->second);
     return;  // racing workers computed the same relation; keep the first
   }
-  nre_lru_.push_front(key);
-  nre_memo_.emplace(std::move(key),
-                    NreEntry{std::move(relation), nre_lru_.begin()});
-  EvictOverCap();
+  shard.nre_lru.push_front(key);
+  shard.nre_memo.emplace(std::move(key),
+                         NreEntry{std::move(relation),
+                                  shard.nre_lru.begin()});
+  EvictOverCap(shard);
 }
 
 bool EngineCache::LookupAnswers(const std::string& key, const Graph& g,
                                 std::vector<std::vector<Value>>* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = answer_memo_.find(key);
-  if (it != answer_memo_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.answer_memo.find(key);
+  if (it != shard.answer_memo.end()) {
     for (const AnswerEntry& entry : it->second.entries) {
       if (IsomorphicUpToNulls(g, entry.graph)) {
-        ++stats_.answer_hits;
-        if (entry.restored) ++stats_.answer_restored_hits;
+        ++shard.stats.answer_hits;
+        if (entry.restored) ++shard.stats.answer_restored_hits;
         if (g_solve_sink != nullptr) {
           g_solve_sink->answer_hits.fetch_add(1, std::memory_order_relaxed);
           if (entry.restored) {
@@ -273,13 +319,13 @@ bool EngineCache::LookupAnswers(const std::string& key, const Graph& g,
                 1, std::memory_order_relaxed);
           }
         }
-        TouchAnswers(it->second);
+        TouchAnswers(shard, it->second);
         *out = entry.answers;
         return true;
       }
     }
   }
-  ++stats_.answer_misses;
+  ++shard.stats.answer_misses;
   if (g_solve_sink != nullptr) {
     g_solve_sink->answer_misses.fetch_add(1, std::memory_order_relaxed);
   }
@@ -288,132 +334,170 @@ bool EngineCache::LookupAnswers(const std::string& key, const Graph& g,
 
 void EngineCache::StoreAnswers(const std::string& key, const Graph& g,
                                std::vector<std::vector<Value>> answers) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = answer_memo_.find(key);
-  if (it == answer_memo_.end()) {
-    answer_lru_.push_front(key);
-    it = answer_memo_.emplace(key, AnswerBucket{{}, answer_lru_.begin()})
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.answer_memo.find(key);
+  if (it == shard.answer_memo.end()) {
+    shard.answer_lru.push_front(key);
+    it = shard.answer_memo
+             .emplace(key, AnswerBucket{{}, shard.answer_lru.begin()})
              .first;
   } else {
-    TouchAnswers(it->second);
+    TouchAnswers(shard, it->second);
   }
   AnswerBucket& bucket = it->second;
   if (bucket.entries.size() >= kMaxAnswerEntriesPerKey) return;
   bucket.entries.push_back(AnswerEntry{g, std::move(answers), false});
-  ++answer_entries_;
-  EvictOverCap();
+  ++shard.answer_entries;
+  EvictOverCap(shard);
 }
 
 CacheStats EngineCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  CacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.Accumulate(shard->stats);
+  }
+  return out;
 }
 
 CacheSizes EngineCache::sizes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   CacheSizes out;
-  out.nre_entries = nre_memo_.size();
-  out.answer_keys = answer_memo_.size();
-  out.answer_entries = answer_entries_;
-  out.compiled_entries = compiled_memo_.size();
-  out.chased_entries = chased_memo_.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.nre_entries += shard->nre_memo.size();
+    out.answer_keys += shard->answer_memo.size();
+    out.answer_entries += shard->answer_entries;
+    out.compiled_entries += shard->compiled_memo.size();
+    out.chased_entries += shard->chased_memo.size();
+  }
   return out;
 }
 
 void EngineCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_ = CacheStats{};
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->stats = CacheStats{};
+  }
 }
 
 WarmState EngineCache::ExportWarmState() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   WarmState state;
-  // Each LRU list runs most → least recently used front to back; the
-  // snapshot stores least-recent first so a sequential restore rebuilds
-  // the exact recency order.
-  for (auto it = nre_lru_.rbegin(); it != nre_lru_.rend(); ++it) {
-    state.nre.emplace_back(*it, nre_memo_.at(*it).relation);
-  }
-  for (auto it = answer_lru_.rbegin(); it != answer_lru_.rend(); ++it) {
-    const AnswerBucket& bucket = answer_memo_.at(*it);
-    std::vector<WarmState::AnswerEntry> entries;
-    entries.reserve(bucket.entries.size());
-    for (const AnswerEntry& entry : bucket.entries) {
-      entries.push_back(WarmState::AnswerEntry{entry.graph, entry.answers});
+  // Shard-major export: shard 0..S-1, each least- → most-recently used
+  // (every per-shard LRU list runs most → least recent front to back).
+  // ImportWarmState routes keys back to their shard by the same hash, so
+  // a sequential restore rebuilds the exact per-shard recency order and
+  // save → load → save is byte-stable.
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.nre_lru.rbegin(); it != shard.nre_lru.rend();
+         ++it) {
+      state.nre.emplace_back(*it, shard.nre_memo.at(*it).relation);
     }
-    state.answers.emplace_back(*it, std::move(entries));
-  }
-  for (auto it = compiled_lru_.rbegin(); it != compiled_lru_.rend(); ++it) {
-    state.compiled.emplace_back(*it, compiled_memo_.at(*it).compiled);
-  }
-  for (auto it = chased_lru_.rbegin(); it != chased_lru_.rend(); ++it) {
-    state.chased.emplace_back(*it, chased_memo_.at(*it).artifact);
+    for (auto it = shard.answer_lru.rbegin(); it != shard.answer_lru.rend();
+         ++it) {
+      const AnswerBucket& bucket = shard.answer_memo.at(*it);
+      std::vector<WarmState::AnswerEntry> entries;
+      entries.reserve(bucket.entries.size());
+      for (const AnswerEntry& entry : bucket.entries) {
+        entries.push_back(
+            WarmState::AnswerEntry{entry.graph, entry.answers});
+      }
+      state.answers.emplace_back(*it, std::move(entries));
+    }
+    for (auto it = shard.compiled_lru.rbegin();
+         it != shard.compiled_lru.rend(); ++it) {
+      state.compiled.emplace_back(*it, shard.compiled_memo.at(*it).compiled);
+    }
+    for (auto it = shard.chased_lru.rbegin(); it != shard.chased_lru.rend();
+         ++it) {
+      state.chased.emplace_back(*it, shard.chased_memo.at(*it).artifact);
+    }
   }
   return state;
 }
 
 SnapshotRestoreStats EngineCache::ImportWarmState(WarmState state) {
   SnapshotRestoreStats restored;
-  std::lock_guard<std::mutex> lock(mutex_);
-  const uint64_t evictions_before = stats_.evictions();
   // Restored entries merge *under* live ones: a snapshot is by
   // definition older than anything this process computed itself, so
-  // every restored key lands at the cold end of its LRU list — a
-  // mid-life WarmStart can never evict the live working set. Entries
-  // arrive least- to most-recently used; appending them in reverse
-  // (most-recent first) reproduces the snapshot's internal recency
-  // order below the live entries, and leaves the front-to-back order of
-  // a cold-started cache identical to the saving cache's. Keys the
-  // cache already holds win over the snapshot.
+  // every restored key lands at the cold end of its shard's LRU list —
+  // a mid-life WarmStart can never evict the live working set. Entries
+  // arrive least- to most-recently used per shard; appending them in
+  // reverse (most-recent first) reproduces the snapshot's internal
+  // recency order below the live entries. Keys the cache already holds
+  // win over the snapshot. Each entry locks only its own shard, so a
+  // load can proceed while other shards keep serving.
+  uint64_t evictions_before = 0;
+  uint64_t evictions_after = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    evictions_before += shard->stats.evictions();
+  }
   for (auto it = state.nre.rbegin(); it != state.nre.rend(); ++it) {
     auto& [key, relation] = *it;
-    if (nre_memo_.find(key) != nre_memo_.end()) continue;
-    nre_lru_.push_back(key);
-    nre_memo_.emplace(std::move(key),
-                      NreEntry{std::move(relation),
-                               std::prev(nre_lru_.end()), true});
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.nre_memo.find(key) != shard.nre_memo.end()) continue;
+    shard.nre_lru.push_back(key);
+    shard.nre_memo.emplace(std::move(key),
+                           NreEntry{std::move(relation),
+                                    std::prev(shard.nre_lru.end()), true});
     ++restored.nre_entries;
   }
   for (auto it = state.answers.rbegin(); it != state.answers.rend(); ++it) {
     auto& [key, entries] = *it;
-    if (answer_memo_.find(key) != answer_memo_.end()) continue;
-    answer_lru_.push_back(key);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.answer_memo.find(key) != shard.answer_memo.end()) continue;
+    shard.answer_lru.push_back(key);
     AnswerBucket bucket;
-    bucket.lru = std::prev(answer_lru_.end());
+    bucket.lru = std::prev(shard.answer_lru.end());
     for (WarmState::AnswerEntry& entry : entries) {
       if (bucket.entries.size() >= kMaxAnswerEntriesPerKey) break;
       bucket.entries.push_back(AnswerEntry{std::move(entry.graph),
                                            std::move(entry.answers), true});
     }
     restored.answer_entries += bucket.entries.size();
-    answer_entries_ += bucket.entries.size();
-    answer_memo_.emplace(std::move(key), std::move(bucket));
+    shard.answer_entries += bucket.entries.size();
+    shard.answer_memo.emplace(std::move(key), std::move(bucket));
     ++restored.answer_keys;
   }
   for (auto it = state.compiled.rbegin(); it != state.compiled.rend();
        ++it) {
     auto& [key, automaton] = *it;
-    if (compiled_memo_.find(key) != compiled_memo_.end()) continue;
-    compiled_lru_.push_back(key);
-    compiled_memo_.emplace(
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.compiled_memo.find(key) != shard.compiled_memo.end()) {
+      continue;
+    }
+    shard.compiled_lru.push_back(key);
+    shard.compiled_memo.emplace(
         std::move(key),
-        CompiledEntry{std::move(automaton), std::prev(compiled_lru_.end()),
-                      true});
+        CompiledEntry{std::move(automaton),
+                      std::prev(shard.compiled_lru.end()), true});
     ++restored.compiled_entries;
   }
   for (auto it = state.chased.rbegin(); it != state.chased.rend(); ++it) {
     auto& [key, artifact] = *it;
-    if (chased_memo_.find(key) != chased_memo_.end()) continue;
-    chased_lru_.push_back(key);
-    chased_memo_.emplace(
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.chased_memo.find(key) != shard.chased_memo.end()) continue;
+    shard.chased_lru.push_back(key);
+    shard.chased_memo.emplace(
         std::move(key),
-        ChasedEntry{std::move(artifact), std::prev(chased_lru_.end()),
+        ChasedEntry{std::move(artifact), std::prev(shard.chased_lru.end()),
                     true});
     ++restored.chased_entries;
   }
-  EvictOverCap();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    EvictOverCap(*shard);
+    evictions_after += shard->stats.evictions();
+  }
   restored.evicted_on_load =
-      static_cast<size_t>(stats_.evictions() - evictions_before);
+      static_cast<size_t>(evictions_after - evictions_before);
   return restored;
 }
 
@@ -433,17 +517,19 @@ Status EngineCache::LoadSnapshot(const std::string& path,
 }
 
 void EngineCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  nre_memo_.clear();
-  nre_lru_.clear();
-  answer_memo_.clear();
-  answer_lru_.clear();
-  answer_entries_ = 0;
-  compiled_memo_.clear();
-  compiled_lru_.clear();
-  chased_memo_.clear();
-  chased_lru_.clear();
-  stats_ = CacheStats{};
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->nre_memo.clear();
+    shard->nre_lru.clear();
+    shard->answer_memo.clear();
+    shard->answer_lru.clear();
+    shard->answer_entries = 0;
+    shard->compiled_memo.clear();
+    shard->compiled_lru.clear();
+    shard->chased_memo.clear();
+    shard->chased_lru.clear();
+    shard->stats = CacheStats{};
+  }
 }
 
 BinaryRelation CachingNreEvaluator::Eval(const NrePtr& nre,

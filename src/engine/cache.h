@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <list>
 #include <mutex>
 #include <string>
@@ -55,6 +56,25 @@ struct CacheStats {
     return nre_restored_hits + answer_restored_hits +
            compile_restored_hits + chase_restored_hits;
   }
+
+  void Accumulate(const CacheStats& other) {
+    nre_hits += other.nre_hits;
+    nre_misses += other.nre_misses;
+    answer_hits += other.answer_hits;
+    answer_misses += other.answer_misses;
+    compile_hits += other.compile_hits;
+    compile_misses += other.compile_misses;
+    chase_hits += other.chase_hits;
+    chase_misses += other.chase_misses;
+    nre_evictions += other.nre_evictions;
+    answer_evictions += other.answer_evictions;
+    compile_evictions += other.compile_evictions;
+    chase_evictions += other.chase_evictions;
+    nre_restored_hits += other.nre_restored_hits;
+    answer_restored_hits += other.answer_restored_hits;
+    compile_restored_hits += other.compile_restored_hits;
+    chase_restored_hits += other.chase_restored_hits;
+  }
 };
 
 /// What one LoadSnapshot call restored (and immediately dropped again
@@ -83,11 +103,25 @@ struct CacheSizes {
 /// grow without bound). Eviction is LRU at entry granularity for the NRE
 /// and compiled-automaton memos and at key granularity for the answer
 /// memo. 0 = unbounded.
+///
+/// Sharding (ISSUE 7 tentpole): the memos are partitioned into
+/// `num_shards` independent shards by key hash, each behind its own
+/// mutex, so concurrent sessions of a resident server contend only when
+/// they touch the same shard — the single-mutex design serialized every
+/// lookup at service concurrency. Caps are distributed over the shards
+/// (shard i gets cap/S plus one of the cap%S remainder slots), so the
+/// global entry count stays <= the configured cap; LRU eviction is exact
+/// per shard and approximate globally. num_shards = 1 reproduces the old
+/// exact-global-LRU behavior bit for bit (the fine-grained LRU tests pin
+/// it).
 struct EngineCacheOptions {
   size_t max_nre_entries = 1u << 16;
   size_t max_answer_keys = 1u << 13;
   size_t max_compiled_entries = 1u << 12;
   size_t max_chased_entries = 1u << 10;
+  /// Number of lock shards; rounded up to a power of two, clamped to
+  /// [1, 256]. The default suits typical service worker counts.
+  size_t num_shards = 8;
 };
 
 /// Per-solve cache traffic sink (ISSUE 2 satellite): one instance lives on
@@ -148,7 +182,7 @@ class ScopedCacheAttribution {
 };
 
 /// Thread-safe engine-level memo tables (PR 1 tentpole part 3; LRU-capped
-/// and per-solve attributed since ISSUE 2):
+/// and per-solve attributed since ISSUE 2; hash-sharded since ISSUE 7):
 ///
 ///  * NRE memo — ⟦r⟧_G keyed by the NRE's raw structure (kinds + symbol
 ///    ids) and the graph's exact RawSignature. Both are name-free and
@@ -185,11 +219,15 @@ class ScopedCacheAttribution {
 /// automata are immutable shared_ptrs handed out without copying, so a
 /// plan stays alive in callers even after the LRU evicts its entry.
 ///
-/// Thread safety: every public method is safe to call concurrently; one
-/// internal mutex guards all three memos and the counters (compilation
-/// itself deliberately runs outside the lock). Per-solve counter
-/// attribution is routed through the calling thread's thread-local
-/// PerSolveCacheStats sink (ScopedCacheAttribution).
+/// Thread safety (ISSUE 7 tentpole): every public method is safe to call
+/// concurrently. The memos and counters are partitioned into
+/// EngineCacheOptions::num_shards independent shards by FNV-1a key hash,
+/// each behind its own mutex — concurrent sessions of a resident server
+/// contend only on same-shard keys instead of on one global lock
+/// (compilation itself deliberately runs outside any lock). Per-solve
+/// counter attribution is routed through the calling thread's
+/// thread-local PerSolveCacheStats sink (ScopedCacheAttribution) and is
+/// exact regardless of shard count.
 ///
 /// Invalidation: keys are pure functions of evaluation inputs — raw NRE
 /// structure and raw graph content — so entries never go stale and there
@@ -203,19 +241,23 @@ class ScopedCacheAttribution {
 /// scenarios included — through the versioned snapshot format of
 /// docs/FORMAT.md. Loading is transactional
 /// (a corrupt file restores nothing and returns a non-OK Status), keeps
-/// live entries over snapshot duplicates, preserves the snapshot's LRU
-/// order, and respects this cache's LRU caps. Hits on restored entries
-/// are additionally counted in the *_restored_hits counters.
+/// live entries over snapshot duplicates, preserves the snapshot's
+/// per-shard LRU order, and respects this cache's LRU caps. Hits on
+/// restored entries are additionally counted in the *_restored_hits
+/// counters. Export order is shard-major (shard 0..S-1, least- to
+/// most-recently used within each), and import routes entries back to
+/// their shard by the same key hash — save → load → save is
+/// byte-stable for any fixed shard count, and a snapshot written under
+/// one shard count loads correctly under any other.
 class EngineCache : public CompiledNreCache {
  public:
-  explicit EngineCache(EngineCacheOptions options = {})
-      : options_(options) {}
+  explicit EngineCache(EngineCacheOptions options = {});
 
   /// The NRE-memo key for ⟦nre⟧_g (raw NRE structure + exact graph raw
   /// signature). Compute once per evaluation and reuse for lookup + store.
   static std::string NreKey(const NrePtr& nre, const Graph& g);
 
-  /// Looks up ⟦nre⟧_g by key; returns true and fills `*out` on a hit.
+  /// Looks up ⟦r⟧_g by key; returns true and fills `*out` on a hit.
   bool LookupNre(const std::string& key, BinaryRelation* out);
   void StoreNre(std::string key, BinaryRelation relation);
 
@@ -267,8 +309,9 @@ class EngineCache : public CompiledNreCache {
                       SnapshotRestoreStats* restored = nullptr);
 
   /// The snapshot codec's view of the cache content (entries ordered
-  /// least- to most-recently used). Exposed for the persistence layer
-  /// and its tests; SaveSnapshot == WriteSnapshotFile(ExportWarmState).
+  /// shard-major, least- to most-recently used within each shard).
+  /// Exposed for the persistence layer and its tests;
+  /// SaveSnapshot == WriteSnapshotFile(ExportWarmState).
   WarmState ExportWarmState() const;
 
   /// Installs decoded warm state; see LoadSnapshot for the semantics.
@@ -277,6 +320,7 @@ class EngineCache : public CompiledNreCache {
   CacheStats stats() const;
   CacheSizes sizes() const;
   const EngineCacheOptions& options() const { return options_; }
+  size_t num_shards() const { return shards_.size(); }
   void ResetStats();
   void Clear();
 
@@ -310,24 +354,45 @@ class EngineCache : public CompiledNreCache {
     bool restored = false;
   };
 
-  void TouchNre(NreEntry& entry);
-  void TouchAnswers(AnswerBucket& bucket);
-  void TouchCompiled(CompiledEntry& entry);
-  void TouchChased(ChasedEntry& entry);
-  void EvictOverCap();
+  /// One lock shard: a full private copy of the four memos plus its own
+  /// counters and cap quotas. Every mutation of a shard happens under its
+  /// mutex; cross-shard reads (stats/sizes/export) lock one shard at a
+  /// time and merge.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, NreEntry> nre_memo;
+    std::list<std::string> nre_lru;  // front = most recently used
+    std::unordered_map<std::string, AnswerBucket> answer_memo;
+    std::list<std::string> answer_lru;
+    size_t answer_entries = 0;
+    std::unordered_map<std::string, CompiledEntry> compiled_memo;
+    std::list<std::string> compiled_lru;
+    std::unordered_map<std::string, ChasedEntry> chased_memo;
+    std::list<std::string> chased_lru;
+    CacheStats stats;
+    /// This shard's slice of the global caps. SIZE_MAX = unbounded
+    /// (the sentinel a global cap of 0 maps to); a literal 0 means the
+    /// shard retains nothing — that happens when a global cap is smaller
+    /// than the shard count, and keeps the global total within the cap.
+    size_t max_nre_entries = std::numeric_limits<size_t>::max();
+    size_t max_answer_keys = std::numeric_limits<size_t>::max();
+    size_t max_compiled_entries = std::numeric_limits<size_t>::max();
+    size_t max_chased_entries = std::numeric_limits<size_t>::max();
+  };
+
+  Shard& ShardFor(const std::string& key) const;
+
+  static void TouchNre(Shard& shard, NreEntry& entry);
+  static void TouchAnswers(Shard& shard, AnswerBucket& bucket);
+  static void TouchCompiled(Shard& shard, CompiledEntry& entry);
+  static void TouchChased(Shard& shard, ChasedEntry& entry);
+  /// Called with the shard's mutex held.
+  static void EvictOverCap(Shard& shard);
 
   EngineCacheOptions options_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, NreEntry> nre_memo_;
-  std::list<std::string> nre_lru_;  // front = most recently used
-  std::unordered_map<std::string, AnswerBucket> answer_memo_;
-  std::list<std::string> answer_lru_;
-  size_t answer_entries_ = 0;
-  std::unordered_map<std::string, CompiledEntry> compiled_memo_;
-  std::list<std::string> compiled_lru_;
-  std::unordered_map<std::string, ChasedEntry> chased_memo_;
-  std::list<std::string> chased_lru_;
-  CacheStats stats_;
+  /// Fixed at construction (mutexes make Shard immovable, hence the
+  /// unique_ptr indirection).
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// NreEvaluator decorator that memoizes full-relation Eval() calls in an

@@ -1,0 +1,77 @@
+#ifndef GDX_SERVE_BOUNDED_QUEUE_H_
+#define GDX_SERVE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace gdx {
+namespace serve {
+
+/// Bounded MPMC queue with *rejecting* admission control — the server's
+/// backpressure seam. TryPush never blocks: a full queue returns
+/// kFull immediately so the session thread can answer the client with a
+/// typed QUEUE_FULL error instead of stalling the connection (clients
+/// retry; scripts/soak_serve.py drives the server at saturation through
+/// exactly this path). Pop blocks until an item arrives or the queue is
+/// closed *and* drained — so closing lets in-flight work finish
+/// (graceful drain) while refusing new admissions.
+template <typename T>
+class BoundedQueue {
+ public:
+  enum class PushResult { kOk, kFull, kClosed };
+
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  PushResult TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocks until an item is available (returns true) or the queue is
+  /// closed and empty (returns false — the worker's exit signal).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stops admissions; queued items still drain through Pop. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace gdx
+
+#endif  // GDX_SERVE_BOUNDED_QUEUE_H_

@@ -1,0 +1,175 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gdx {
+namespace serve {
+
+Status ExchangeClient::ConnectUnix(const std::string& socket_path) {
+  Close();
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("client: socket path too long: " +
+                                   socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("client: socket: ") +
+                            std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Status::NotFound("client: connect " + socket_path +
+                                     ": " + std::strerror(errno));
+    Close();
+    return status;
+  }
+  return Handshake();
+}
+
+Status ExchangeClient::ConnectTcp(int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("client: socket: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status =
+        Status::NotFound("client: connect port " + std::to_string(port) +
+                         ": " + std::strerror(errno));
+    Close();
+    return status;
+  }
+  return Handshake();
+}
+
+Status ExchangeClient::Handshake() {
+  Status sent = WriteFrame(fd_, FrameType::kHello, EncodeHello());
+  if (!sent.ok()) return sent;
+  Frame frame;
+  Status read = ReadFrame(fd_, &frame);
+  if (!read.ok()) return read;
+  if (frame.type == FrameType::kError) {
+    uint64_t id = 0;
+    ServeError code = ServeError::kNone;
+    std::string message;
+    if (DecodeError(frame.payload, &id, &code, &message)) {
+      return Status::FailedPrecondition(
+          std::string("client: handshake rejected: ") +
+          ServeErrorName(code) + ": " + message);
+    }
+    return Status::FailedPrecondition("client: handshake rejected");
+  }
+  if (frame.type != FrameType::kHelloAck ||
+      !DecodeHelloAck(frame.payload, &ack_)) {
+    return Status::InvalidArgument(
+        "client: expected HELLO_ACK, got frame type " +
+        std::to_string(static_cast<unsigned>(
+            static_cast<uint8_t>(frame.type))));
+  }
+  if (ack_.version != kProtocolVersion) {
+    return Status::FailedPrecondition(
+        "client: server speaks protocol v" + std::to_string(ack_.version) +
+        ", this client speaks v" + std::to_string(kProtocolVersion));
+  }
+  return Status::Ok();
+}
+
+Status ExchangeClient::SendRequest(uint64_t id,
+                                   std::string_view scenario_text) {
+  return WriteFrame(fd_, FrameType::kRequest,
+                    EncodeRequest(id, scenario_text));
+}
+
+Status ExchangeClient::ReadReply(ClientReply* out) {
+  Frame frame;
+  Status read = ReadFrame(fd_, &frame);
+  if (!read.ok()) return read;
+  if (frame.type == FrameType::kResult) {
+    out->is_error = false;
+    out->code = ServeError::kNone;
+    if (!DecodeResult(frame.payload, &out->id, &out->text)) {
+      return Status::InvalidArgument("client: malformed RESULT payload");
+    }
+    return Status::Ok();
+  }
+  if (frame.type == FrameType::kError) {
+    out->is_error = true;
+    if (!DecodeError(frame.payload, &out->id, &out->code, &out->text)) {
+      return Status::InvalidArgument("client: malformed ERROR payload");
+    }
+    return Status::Ok();
+  }
+  return Status::InvalidArgument(
+      "client: expected RESULT or ERROR, got frame type " +
+      std::to_string(
+          static_cast<unsigned>(static_cast<uint8_t>(frame.type))));
+}
+
+Status ExchangeClient::ReadExpected(FrameType expected, Frame* frame) {
+  Status read = ReadFrame(fd_, frame);
+  if (!read.ok()) return read;
+  if (frame->type != expected) {
+    return Status::InvalidArgument(
+        "client: expected frame type " +
+        std::to_string(
+            static_cast<unsigned>(static_cast<uint8_t>(expected))) +
+        ", got " +
+        std::to_string(
+            static_cast<unsigned>(static_cast<uint8_t>(frame->type))));
+  }
+  return Status::Ok();
+}
+
+Status ExchangeClient::Ping() {
+  Status sent = WriteFrame(fd_, FrameType::kPing, "");
+  if (!sent.ok()) return sent;
+  Frame frame;
+  return ReadExpected(FrameType::kPong, &frame);
+}
+
+Status ExchangeClient::GetStats(std::string* json) {
+  Status sent = WriteFrame(fd_, FrameType::kStatsReq, "");
+  if (!sent.ok()) return sent;
+  Frame frame;
+  Status read = ReadExpected(FrameType::kStats, &frame);
+  if (!read.ok()) return read;
+  if (!DecodeStats(frame.payload, json)) {
+    return Status::InvalidArgument("client: malformed STATS payload");
+  }
+  return Status::Ok();
+}
+
+Status ExchangeClient::Shutdown() {
+  Status sent = WriteFrame(fd_, FrameType::kShutdown, "");
+  if (!sent.ok()) return sent;
+  Frame frame;
+  return ReadExpected(FrameType::kBye, &frame);
+}
+
+void ExchangeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace serve
+}  // namespace gdx

@@ -1,0 +1,73 @@
+#ifndef GDX_SERVE_CLIENT_H_
+#define GDX_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace gdx {
+namespace serve {
+
+/// One reply frame, demultiplexed: a streamed result or a typed error.
+/// Replies arrive in *completion* order; `id` correlates them with
+/// requests.
+struct ClientReply {
+  uint64_t id = 0;
+  bool is_error = false;
+  ServeError code = ServeError::kNone;
+  /// Result: the deterministic outcome text. Error: the server message.
+  std::string text;
+};
+
+/// Blocking client of the resident exchange service (serve/protocol.h;
+/// normative spec docs/SERVING.md). Connect* performs the HELLO /
+/// HELLO_ACK version handshake; afterwards requests may be pipelined —
+/// send as many as the admission window allows, then collect replies
+/// with ReadReply. Not thread-safe: one client per thread.
+class ExchangeClient {
+ public:
+  ExchangeClient() = default;
+  ~ExchangeClient() { Close(); }
+  ExchangeClient(const ExchangeClient&) = delete;
+  ExchangeClient& operator=(const ExchangeClient&) = delete;
+
+  Status ConnectUnix(const std::string& socket_path);
+  Status ConnectTcp(int port);  // 127.0.0.1:port
+
+  /// The server's handshake answer (valid after a successful Connect*).
+  const HelloAck& server_ack() const { return ack_; }
+
+  /// Queues one scenario (the `.gdx` text itself, not a path — the
+  /// server has no filesystem dependency on the client). The reply
+  /// arrives later via ReadReply; a kQueueFull error reply means
+  /// "retry", not failure.
+  Status SendRequest(uint64_t id, std::string_view scenario_text);
+
+  /// Blocks for the next result-or-error reply.
+  Status ReadReply(ClientReply* out);
+
+  // Synchronous conveniences — call only with no replies outstanding
+  // (they expect their own answer to be the next frame).
+  Status Ping();
+  Status GetStats(std::string* json);
+  /// Requests a graceful drain and blocks until the server's BYE — by
+  /// then every admitted scenario has finished and checkpointed.
+  Status Shutdown();
+
+  void Close();
+
+ private:
+  Status Handshake();
+  Status ReadExpected(FrameType expected, Frame* frame);
+
+  int fd_ = -1;
+  HelloAck ack_;
+};
+
+}  // namespace serve
+}  // namespace gdx
+
+#endif  // GDX_SERVE_CLIENT_H_

@@ -1,0 +1,245 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "persist/wire.h"
+
+namespace gdx {
+namespace serve {
+
+const char* ServeErrorName(ServeError code) {
+  switch (code) {
+    case ServeError::kNone: return "NONE";
+    case ServeError::kVersionMismatch: return "VERSION_MISMATCH";
+    case ServeError::kBadFrame: return "BAD_FRAME";
+    case ServeError::kOversizedFrame: return "OVERSIZED_FRAME";
+    case ServeError::kUnknownType: return "UNKNOWN_TYPE";
+    case ServeError::kQueueFull: return "QUEUE_FULL";
+    case ServeError::kParseError: return "PARSE_ERROR";
+    case ServeError::kSolveFailed: return "SOLVE_FAILED";
+    case ServeError::kShuttingDown: return "SHUTTING_DOWN";
+    case ServeError::kNotReady: return "NOT_READY";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU8(static_cast<uint8_t>(kProtocolVersion));
+  w.PutU8(0);
+  w.PutU8(0);
+  w.PutRaw(payload);
+  return w.TakeBytes();
+}
+
+std::string EncodeHello(uint32_t version) {
+  WireWriter w;
+  w.PutU32(version);
+  return w.TakeBytes();
+}
+
+bool DecodeHello(std::string_view payload, uint32_t* version) {
+  WireReader r(payload);
+  return r.ReadU32(version) && r.AtEnd();
+}
+
+std::string EncodeHelloAck(const HelloAck& ack) {
+  WireWriter w;
+  w.PutU32(ack.version);
+  w.PutU32(ack.max_payload);
+  w.PutU32(ack.queue_capacity);
+  return w.TakeBytes();
+}
+
+bool DecodeHelloAck(std::string_view payload, HelloAck* ack) {
+  WireReader r(payload);
+  return r.ReadU32(&ack->version) && r.ReadU32(&ack->max_payload) &&
+         r.ReadU32(&ack->queue_capacity) && r.AtEnd();
+}
+
+std::string EncodeRequest(uint64_t id, std::string_view scenario_text) {
+  WireWriter w;
+  w.PutU64(id);
+  w.PutU32(0);  // flags, reserved
+  w.PutBytes(scenario_text);
+  return w.TakeBytes();
+}
+
+bool DecodeRequest(std::string_view payload, Request* out) {
+  WireReader r(payload);
+  std::string_view text;
+  if (!r.ReadU64(&out->id) || !r.ReadU32(&out->flags) ||
+      !r.ReadBytes(&text) || !r.AtEnd()) {
+    return false;
+  }
+  if (out->flags != 0) return false;  // reserved; reject so it stays usable
+  out->scenario_text.assign(text.data(), text.size());
+  return true;
+}
+
+std::string EncodeResult(uint64_t id, std::string_view outcome_text) {
+  WireWriter w;
+  w.PutU64(id);
+  w.PutBytes(outcome_text);
+  return w.TakeBytes();
+}
+
+bool DecodeResult(std::string_view payload, uint64_t* id,
+                  std::string* outcome_text) {
+  WireReader r(payload);
+  std::string_view text;
+  if (!r.ReadU64(id) || !r.ReadBytes(&text) || !r.AtEnd()) return false;
+  outcome_text->assign(text.data(), text.size());
+  return true;
+}
+
+std::string EncodeError(uint64_t id, ServeError code,
+                        std::string_view message) {
+  WireWriter w;
+  w.PutU64(id);
+  w.PutU8(static_cast<uint8_t>(static_cast<uint16_t>(code) & 0xff));
+  w.PutU8(static_cast<uint8_t>(static_cast<uint16_t>(code) >> 8));
+  w.PutBytes(message);
+  return w.TakeBytes();
+}
+
+bool DecodeError(std::string_view payload, uint64_t* id, ServeError* code,
+                 std::string* message) {
+  WireReader r(payload);
+  uint8_t lo = 0, hi = 0;
+  std::string_view text;
+  if (!r.ReadU64(id) || !r.ReadU8(&lo) || !r.ReadU8(&hi) ||
+      !r.ReadBytes(&text) || !r.AtEnd()) {
+    return false;
+  }
+  *code = static_cast<ServeError>(static_cast<uint16_t>(lo) |
+                                  (static_cast<uint16_t>(hi) << 8));
+  message->assign(text.data(), text.size());
+  return true;
+}
+
+std::string EncodeStats(std::string_view json) {
+  WireWriter w;
+  w.PutBytes(json);
+  return w.TakeBytes();
+}
+
+bool DecodeStats(std::string_view payload, std::string* json) {
+  WireReader r(payload);
+  std::string_view text;
+  if (!r.ReadBytes(&text) || !r.AtEnd()) return false;
+  json->assign(text.data(), text.size());
+  return true;
+}
+
+namespace {
+
+/// Reads exactly `len` bytes. Returns the number of bytes read before EOF
+/// (so 0 = clean EOF, len = success), or -1 on a hard error.
+ssize_t ReadExact(int fd, char* buffer, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::recv(fd, buffer + done, len - done, 0);
+    if (n == 0) break;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+}  // namespace
+
+Status WriteAll(int fd, std::string_view bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not a process
+    // signal — a resident server must never die because one client left.
+    ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::NotFound(std::string("socket write failed: ") +
+                              std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+  return WriteAll(fd, EncodeFrame(type, payload));
+}
+
+Status ReadFrame(int fd, Frame* out, ServeError* wire_error) {
+  if (wire_error != nullptr) *wire_error = ServeError::kNone;
+  auto fail = [wire_error](ServeError code, Status status) {
+    if (wire_error != nullptr) *wire_error = code;
+    return status;
+  };
+  char header[kFrameHeaderSize];
+  ssize_t got = ReadExact(fd, header, sizeof(header));
+  if (got == 0) return Status::NotFound("eof");
+  if (got < 0) {
+    return Status::NotFound(std::string("socket read failed: ") +
+                            std::strerror(errno));
+  }
+  if (static_cast<size_t>(got) < sizeof(header)) {
+    return fail(ServeError::kBadFrame,
+                Status::InvalidArgument("truncated frame header"));
+  }
+  WireReader r(std::string_view(header, sizeof(header)));
+  uint32_t len = 0;
+  uint8_t type = 0, version = 0, r0 = 0, r1 = 0;
+  r.ReadU32(&len);
+  r.ReadU8(&type);
+  r.ReadU8(&version);
+  r.ReadU8(&r0);
+  r.ReadU8(&r1);
+  if (version != kProtocolVersion) {
+    return fail(
+        ServeError::kVersionMismatch,
+        Status::FailedPrecondition(
+            "protocol version mismatch: frame has v" +
+            std::to_string(version) + ", this side speaks v" +
+            std::to_string(kProtocolVersion)));
+  }
+  if (r0 != 0 || r1 != 0) {
+    return fail(ServeError::kBadFrame,
+                Status::InvalidArgument(
+                    "nonzero reserved bytes in frame header"));
+  }
+  if (len > kMaxFramePayload) {
+    return fail(ServeError::kOversizedFrame,
+                Status::InvalidArgument(
+                    "oversized frame: payload of " + std::to_string(len) +
+                    " bytes exceeds the " +
+                    std::to_string(kMaxFramePayload) + "-byte cap"));
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.resize(len);
+  if (len > 0) {
+    got = ReadExact(fd, &out->payload[0], len);
+    if (got < 0) {
+      return Status::NotFound(std::string("socket read failed: ") +
+                              std::strerror(errno));
+    }
+    if (static_cast<size_t>(got) < len) {
+      return fail(ServeError::kBadFrame,
+                  Status::InvalidArgument("truncated frame payload"));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace serve
+}  // namespace gdx

@@ -1,0 +1,149 @@
+#ifndef GDX_SERVE_PROTOCOL_H_
+#define GDX_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace gdx {
+namespace serve {
+
+/// Wire protocol of the resident exchange service (ISSUE 7 tentpole).
+/// docs/SERVING.md is the normative spec; scripts/check_docs.py fails CI
+/// when the documented version and this constant drift apart (same
+/// contract as kFormatVersion / docs/FORMAT.md).
+///
+/// Every frame is
+///
+///   u32 payload_len   little-endian, bytes after the 8-byte header
+///   u8  type          FrameType
+///   u8  version       kProtocolVersion (checked on every frame)
+///   u16 reserved      must be 0
+///   payload_len bytes of payload
+///
+/// The length prefix makes framing self-delimiting over a byte stream;
+/// the per-frame version byte makes version mismatch detectable on any
+/// frame, not just the handshake. Payload integers reuse the snapshot
+/// format's little-endian wire primitives (src/persist/wire.h), so the
+/// whole protocol is reimplementable from the two specs with no other
+/// dependency — scripts/check_protocol.py does exactly that in Python.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Frame header size in bytes (u32 len + u8 type + u8 version + u16 0).
+inline constexpr size_t kFrameHeaderSize = 8;
+
+/// Hard cap on a frame payload. A length prefix above this is rejected
+/// *before* any allocation (typed error + connection close), so a garbage
+/// or hostile length cannot balloon server memory.
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;  // 16 MiB
+
+/// Frame types. Unknown types are rejected with ServeError::kUnknownType.
+enum class FrameType : uint8_t {
+  kHello = 0x01,     // client → server: u32 client protocol version
+  kHelloAck = 0x02,  // server → client: u32 version, u32 max payload,
+                     //                  u32 queue capacity
+  kRequest = 0x03,   // client → server: u64 request id, u32 flags (0),
+                     //                  bytes scenario text (.gdx format)
+  kResult = 0x04,    // server → client: u64 request id,
+                     //                  bytes deterministic outcome text
+  kError = 0x05,     // server → client: u64 request id (0 = connection
+                     //                  level), u16 ServeError code,
+                     //                  bytes message
+  kPing = 0x06,      // client → server: empty
+  kPong = 0x07,      // server → client: empty
+  kStatsReq = 0x08,  // client → server: empty
+  kStats = 0x09,     // server → client: bytes telemetry JSON
+                     //                  (docs/TELEMETRY.md schema)
+  kShutdown = 0x0A,  // client → server: empty; starts graceful drain
+  kBye = 0x0B,       // server → client: empty; drain finished, server
+                     //                  exits after closing connections
+};
+
+/// Typed error codes carried by kError frames (u16 on the wire).
+enum class ServeError : uint16_t {
+  kNone = 0,
+  kVersionMismatch = 1,  // frame version != server version (fatal)
+  kBadFrame = 2,         // header/payload malformed (fatal)
+  kOversizedFrame = 3,   // payload_len > kMaxFramePayload (fatal)
+  kUnknownType = 4,      // unrecognized FrameType (fatal)
+  kQueueFull = 5,        // admission control rejected the request
+  kParseError = 6,       // scenario text did not parse
+  kSolveFailed = 7,      // engine returned a non-OK status
+  kShuttingDown = 8,     // server is draining; request not admitted
+  kNotReady = 9,         // request before HELLO handshake (fatal)
+};
+
+const char* ServeErrorName(ServeError code);
+
+/// One decoded frame: type + raw payload bytes (owned).
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Encodes a frame (header + payload) into wire bytes.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+// --- payload codecs --------------------------------------------------------
+// Encoders return payload bytes for EncodeFrame; decoders are
+// bounds-checked and return false on any malformation (short payload,
+// trailing garbage).
+
+std::string EncodeHello(uint32_t version = kProtocolVersion);
+bool DecodeHello(std::string_view payload, uint32_t* version);
+
+struct HelloAck {
+  uint32_t version = kProtocolVersion;
+  uint32_t max_payload = kMaxFramePayload;
+  uint32_t queue_capacity = 0;
+};
+std::string EncodeHelloAck(const HelloAck& ack);
+bool DecodeHelloAck(std::string_view payload, HelloAck* ack);
+
+struct Request {
+  uint64_t id = 0;
+  uint32_t flags = 0;  // reserved; must be 0
+  std::string scenario_text;
+};
+std::string EncodeRequest(uint64_t id, std::string_view scenario_text);
+bool DecodeRequest(std::string_view payload, Request* out);
+
+std::string EncodeResult(uint64_t id, std::string_view outcome_text);
+bool DecodeResult(std::string_view payload, uint64_t* id,
+                  std::string* outcome_text);
+
+std::string EncodeError(uint64_t id, ServeError code,
+                        std::string_view message);
+bool DecodeError(std::string_view payload, uint64_t* id, ServeError* code,
+                 std::string* message);
+
+std::string EncodeStats(std::string_view json);
+bool DecodeStats(std::string_view payload, std::string* json);
+
+// --- blocking socket I/O ---------------------------------------------------
+
+/// Writes all of `bytes` to `fd` (retrying short writes, SIGPIPE
+/// suppressed). Returns a non-OK status when the peer is gone.
+Status WriteAll(int fd, std::string_view bytes);
+
+/// Convenience: encode + write one frame.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Reads exactly one frame from `fd`. Validation order: header read in
+/// full (clean EOF before any header byte reports kNotFound "eof"),
+/// version byte checked, reserved bytes checked, length capped, then the
+/// payload read in full. On a protocol-level failure the optional
+/// `wire_error` receives the typed code to answer with
+/// (kVersionMismatch / kOversizedFrame / kBadFrame; kNone for EOF and
+/// transport errors) — the caller sends that error where the transport
+/// still permits and closes the connection; the server itself never dies
+/// on garbage input (scripts/check_protocol.py drives exactly these
+/// paths).
+Status ReadFrame(int fd, Frame* out, ServeError* wire_error = nullptr);
+
+}  // namespace serve
+}  // namespace gdx
+
+#endif  // GDX_SERVE_PROTOCOL_H_

@@ -1,0 +1,477 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "workload/scenario_parser.h"
+
+namespace gdx {
+namespace serve {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+/// One accepted connection. The session thread is the only reader of the
+/// fd; writers (the session thread for control frames, any worker for a
+/// streamed result) serialize through `write_mutex_` so concurrently
+/// finishing scenarios never interleave frame bytes. The fd closes when
+/// the last reference drops — a session with in-flight jobs outlives its
+/// read loop, so results of admitted work always have somewhere to go.
+class Session {
+ public:
+  explicit Session(int fd) : fd_(fd) {}
+  ~Session() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  int fd() const { return fd_; }
+
+  Status Write(FrameType type, std::string_view payload) {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    return WriteFrame(fd_, type, payload);
+  }
+
+  /// Wakes a read blocked in ReadFrame (recv returns 0) while leaving
+  /// the write half open for a final kBye.
+  void ShutdownRead() { ::shutdown(fd_, SHUT_RD); }
+
+  bool hello_done = false;
+
+ private:
+  int fd_;
+  std::mutex write_mutex_;
+};
+
+ExchangeServer::ExchangeServer(ServeOptions options)
+    : options_(std::move(options)) {}
+
+ExchangeServer::~ExchangeServer() {
+  if (listen_fd_ >= 0) {
+    RequestStop();
+    Wait();
+  }
+  if (!options_.socket_path.empty()) {
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+Status ExchangeServer::Start() {
+  if (options_.stats != nullptr) {
+    stats_ = options_.stats;
+  } else {
+    owned_stats_ = std::make_unique<obs::StatsRegistry>();
+    stats_ = owned_stats_.get();
+  }
+  options_.engine.stats = stats_;
+
+  connections_ = stats_->GetCounter("serve.connections");
+  accepted_ = stats_->GetCounter("serve.requests.accepted");
+  rejected_full_ = stats_->GetCounter("serve.requests.rejected_full");
+  rejected_draining_ =
+      stats_->GetCounter("serve.requests.rejected_draining");
+  completed_ = stats_->GetCounter("serve.requests.completed");
+  request_errors_ = stats_->GetCounter("serve.requests.errors");
+  protocol_errors_ = stats_->GetCounter("serve.protocol_errors");
+  queue_depth_ = stats_->GetGauge("serve.queue_depth");
+  checkpoint_saves_ = stats_->GetCounter("serve.checkpoint.saves");
+  checkpoint_restores_ = stats_->GetCounter("serve.checkpoint.restores");
+  request_ns_ = stats_->GetHistogram("serve.request_ns");
+  queue_wait_ns_ = stats_->GetHistogram("serve.queue_wait_ns");
+
+  engine_ = std::make_unique<ExchangeEngine>(options_.engine);
+
+  // Warm-start from the latest checkpoint: a killed-and-restarted server
+  // resumes with the memos it had already earned, so re-sent scenarios
+  // hit the chased/compiled memos instead of redoing the work (the soak
+  // harness asserts zero chase/compile misses after a restart).
+  if (!options_.checkpoint_path.empty() &&
+      FileExists(options_.checkpoint_path)) {
+    Result<SnapshotRestoreStats> restored =
+        engine_->WarmStart(options_.checkpoint_path);
+    if (restored.ok()) checkpoint_restores_->Increment();
+    // A corrupt checkpoint restores nothing; the server just runs cold.
+  }
+
+  queue_ = std::make_unique<BoundedQueue<Job>>(
+      options_.queue_capacity == 0 ? 1 : options_.queue_capacity);
+
+  const bool use_unix = !options_.socket_path.empty();
+  if (!use_unix && options_.port < 0) {
+    return Status::InvalidArgument(
+        "serve: need --socket=PATH or --port=N");
+  }
+  if (use_unix) {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("serve: socket path too long: " +
+                                     options_.socket_path);
+    }
+    std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+                options_.socket_path.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::Internal(std::string("serve: socket: ") +
+                              std::strerror(errno));
+    }
+    ::unlink(options_.socket_path.c_str());  // stale socket from a crash
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      return Status::Internal("serve: bind " + options_.socket_path +
+                              ": " + std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::Internal(std::string("serve: socket: ") +
+                              std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      return Status::Internal("serve: bind port " +
+                              std::to_string(options_.port) + ": " +
+                              std::strerror(errno));
+    }
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    return Status::Internal(std::string("serve: listen: ") +
+                            std::strerror(errno));
+  }
+  if (!use_unix) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+
+  size_t workers = options_.num_workers;
+  if (workers == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (!options_.checkpoint_path.empty() &&
+      options_.checkpoint_interval_ms > 0) {
+    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void ExchangeServer::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (drain) or hard error
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      continue;
+    }
+    connections_->Increment();
+    auto session = std::make_shared<Session>(fd);
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.push_back(session);
+    session_threads_.emplace_back(
+        [this, session] { SessionLoop(session); });
+  }
+}
+
+void ExchangeServer::SessionLoop(std::shared_ptr<Session> session) {
+  while (true) {
+    Frame frame;
+    ServeError wire_error = ServeError::kNone;
+    Status read = ReadFrame(session->fd(), &frame, &wire_error);
+    if (!read.ok()) {
+      // EOF / transport loss ends the session silently; a malformed
+      // frame gets the typed error first (best effort — the peer may
+      // already be gone). Either way only this connection closes: the
+      // server survives arbitrary garbage (scripts/check_protocol.py).
+      if (wire_error != ServeError::kNone) {
+        protocol_errors_->Increment();
+        session->Write(FrameType::kError,
+                       EncodeError(0, wire_error, read.message()));
+      }
+      break;
+    }
+    if (!HandleFrame(session, frame)) break;
+  }
+  // Drop this session's entry; in-flight jobs keep the fd alive through
+  // their own shared_ptr until their results have streamed.
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i] == session) {
+      sessions_.erase(sessions_.begin() + i);
+      break;
+    }
+  }
+}
+
+bool ExchangeServer::HandleFrame(const std::shared_ptr<Session>& session,
+                                 const Frame& frame) {
+  if (!session->hello_done) {
+    if (frame.type != FrameType::kHello) {
+      protocol_errors_->Increment();
+      session->Write(FrameType::kError,
+                     EncodeError(0, ServeError::kNotReady,
+                                 "first frame must be HELLO"));
+      return false;
+    }
+    uint32_t version = 0;
+    if (!DecodeHello(frame.payload, &version)) {
+      protocol_errors_->Increment();
+      session->Write(FrameType::kError,
+                     EncodeError(0, ServeError::kBadFrame,
+                                 "malformed HELLO payload"));
+      return false;
+    }
+    if (version != kProtocolVersion) {
+      protocol_errors_->Increment();
+      session->Write(
+          FrameType::kError,
+          EncodeError(0, ServeError::kVersionMismatch,
+                      "server speaks protocol v" +
+                          std::to_string(kProtocolVersion) +
+                          ", client sent v" + std::to_string(version)));
+      return false;
+    }
+    session->hello_done = true;
+    HelloAck ack;
+    ack.queue_capacity = static_cast<uint32_t>(queue_->capacity());
+    return session->Write(FrameType::kHelloAck, EncodeHelloAck(ack)).ok();
+  }
+
+  switch (frame.type) {
+    case FrameType::kRequest: {
+      Request request;
+      if (!DecodeRequest(frame.payload, &request)) {
+        protocol_errors_->Increment();
+        session->Write(FrameType::kError,
+                       EncodeError(0, ServeError::kBadFrame,
+                                   "malformed REQUEST payload"));
+        return false;
+      }
+      Job job;
+      job.request_id = request.id;
+      job.scenario_text = std::move(request.scenario_text);
+      job.session = session;
+      job.enqueue_ns = NowNs();
+      switch (queue_->TryPush(std::move(job))) {
+        case BoundedQueue<Job>::PushResult::kOk:
+          accepted_->Increment();
+          queue_depth_->Set(static_cast<int64_t>(queue_->size()));
+          return true;
+        case BoundedQueue<Job>::PushResult::kFull:
+          // Admission control: reject-with-status, never block the
+          // connection. Clients retry; the connection stays healthy.
+          rejected_full_->Increment();
+          session->Write(FrameType::kError,
+                         EncodeError(request.id, ServeError::kQueueFull,
+                                     "scenario queue is full"));
+          return true;
+        case BoundedQueue<Job>::PushResult::kClosed:
+          rejected_draining_->Increment();
+          session->Write(FrameType::kError,
+                         EncodeError(request.id,
+                                     ServeError::kShuttingDown,
+                                     "server is draining"));
+          return true;
+      }
+      return true;
+    }
+    case FrameType::kPing:
+      return session->Write(FrameType::kPong, "").ok();
+    case FrameType::kStatsReq:
+      engine_->PublishPoolTelemetry();
+      return session
+          ->Write(FrameType::kStats, EncodeStats(stats_->ToJson()))
+          .ok();
+    case FrameType::kShutdown:
+      // Graceful drain, synchronously on this session's thread: queued
+      // scenarios finish and stream out, the final checkpoint is
+      // written, then — only then — the requester gets its BYE.
+      Drain();
+      session->Write(FrameType::kBye, "");
+      return false;
+    default:
+      protocol_errors_->Increment();
+      session->Write(
+          FrameType::kError,
+          EncodeError(0, ServeError::kUnknownType,
+                      "unexpected frame type " +
+                          std::to_string(static_cast<unsigned>(
+                              static_cast<uint8_t>(frame.type)))));
+      return false;
+  }
+}
+
+void ExchangeServer::WorkerLoop() {
+  Job job;
+  while (queue_->Pop(&job)) {
+    queue_depth_->Set(static_cast<int64_t>(queue_->size()));
+    queue_wait_ns_->Record(NowNs() - job.enqueue_ns);
+    if (options_.worker_hook_for_test) options_.worker_hook_for_test();
+
+    Result<Scenario> scenario = ParseScenario(job.scenario_text);
+    if (!scenario.ok()) {
+      request_errors_->Increment();
+      job.session->Write(
+          FrameType::kError,
+          EncodeError(job.request_id, ServeError::kParseError,
+                      scenario.status().ToString()));
+      job.session.reset();
+      continue;
+    }
+    Result<ExchangeOutcome> outcome = engine_->Solve(*scenario);
+    if (!outcome.ok()) {
+      request_errors_->Increment();
+      job.session->Write(
+          FrameType::kError,
+          EncodeError(job.request_id, ServeError::kSolveFailed,
+                      outcome.status().ToString()));
+      job.session.reset();
+      continue;
+    }
+    // Stream the result the moment this scenario finishes — completion
+    // order, not request order; the id is the correlation. The payload
+    // is the deterministic, timing-free outcome text: byte-identical to
+    // what `gdx_cli batch` prints for the same scenario.
+    std::string text =
+        outcome->ToString(*scenario->universe, *scenario->alphabet);
+    Status written = job.session->Write(
+        FrameType::kResult, EncodeResult(job.request_id, text));
+    completed_->Increment();
+    request_ns_->Record(NowNs() - job.enqueue_ns);
+    (void)written;  // client gone: its loss, the server moves on
+    job.session.reset();
+  }
+}
+
+void ExchangeServer::CheckpointLoop() {
+  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+  const auto interval =
+      std::chrono::milliseconds(options_.checkpoint_interval_ms);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    checkpoint_cv_.wait_for(lock, interval, [this] {
+      return stopping_.load(std::memory_order_relaxed);
+    });
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    if (SaveCheckpoint().ok()) checkpoint_saves_->Increment();
+  }
+}
+
+Status ExchangeServer::SaveCheckpoint() const {
+  // Write-then-rename: a crash mid-write leaves the previous checkpoint
+  // intact, so the restart path always sees a complete snapshot (the
+  // decoder would reject a torn one anyway — this avoids even that).
+  const std::string tmp = options_.checkpoint_path + ".tmp";
+  Status written = engine_->SaveWarmState(tmp);
+  if (!written.ok()) return written;
+  if (::rename(tmp.c_str(), options_.checkpoint_path.c_str()) != 0) {
+    return Status::Internal(std::string("serve: checkpoint rename: ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void ExchangeServer::Drain() {
+  std::call_once(drain_once_, [this] {
+    stopping_.store(true, std::memory_order_relaxed);
+
+    // 1. No new connections: wake accept() (shutdown on a listening
+    //    socket makes a blocked accept return) and join the loop.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+
+    // 2. No new admissions; queued scenarios still drain through Pop.
+    queue_->Close();
+
+    // 3. Workers finish every admitted scenario and stream its result.
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+
+    // 4. Final checkpoint, after the last solve's memos landed.
+    checkpoint_cv_.notify_all();
+    if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+    if (!options_.checkpoint_path.empty()) {
+      if (SaveCheckpoint().ok()) checkpoint_saves_->Increment();
+    }
+
+    // 5. Wake every blocked session read (write halves stay open: the
+    //    shutdown requester still gets its BYE after this returns).
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      for (const auto& session : sessions_) session->ShutdownRead();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(stopped_mutex_);
+      stopped_ = true;
+    }
+    stopped_cv_.notify_all();
+  });
+}
+
+void ExchangeServer::RequestStop() { Drain(); }
+
+void ExchangeServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(stopped_mutex_);
+    stopped_cv_.wait(lock, [this] { return stopped_; });
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    threads.swap(session_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace serve
+}  // namespace gdx

@@ -1,0 +1,180 @@
+#ifndef GDX_SERVE_SERVER_H_
+#define GDX_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/exchange_engine.h"
+#include "obs/stats_registry.h"
+#include "serve/bounded_queue.h"
+#include "serve/protocol.h"
+
+namespace gdx {
+namespace serve {
+
+/// Configuration of the resident exchange service (ISSUE 7 tentpole).
+/// Exactly one of `socket_path` (AF_UNIX) and `port` (loopback TCP;
+/// 0 = pick an ephemeral port, read it back via bound_port()) selects
+/// the listener.
+struct ServeOptions {
+  std::string socket_path;
+  int port = -1;
+
+  /// Worker sessions sharing the one warm engine (and thus its sharded
+  /// EngineCache). 0 = hardware concurrency.
+  size_t num_workers = 2;
+  /// Scenario queue bound: a request arriving with this many admitted-
+  /// but-unfinished scenarios is rejected with ServeError::kQueueFull.
+  size_t queue_capacity = 64;
+
+  /// Background checkpointing (PR 4 snapshot format): every
+  /// `checkpoint_interval_ms` the cache's warm state is written to
+  /// `checkpoint_path` (tmp file + atomic rename), and once more on
+  /// graceful drain. If the file already exists at startup the server
+  /// warm-starts from it — so a killed and restarted server resumes
+  /// from its latest checkpoint with the memos it had already earned.
+  /// Empty = no checkpointing.
+  std::string checkpoint_path;
+  uint64_t checkpoint_interval_ms = 5000;
+
+  EngineOptions engine;
+
+  /// Registry the serve.* metrics (and the engine's engine.* metrics)
+  /// record into. Borrowed; when null the server owns a private one —
+  /// either way kStatsReq answers with the registry's ToJson.
+  obs::StatsRegistry* stats = nullptr;
+
+  /// Test seam: when set, every worker invokes this after popping a
+  /// scenario and before solving it. Tests block workers here to fill
+  /// the queue deterministically and observe kQueueFull admissions.
+  std::function<void()> worker_hook_for_test;
+};
+
+/// The resident exchange server: accepts connections on a unix or
+/// loopback TCP socket, speaks the length-prefixed protocol of
+/// serve/protocol.h (normative spec: docs/SERVING.md), and runs admitted
+/// scenarios on a worker pool that shares one ExchangeEngine — so every
+/// request after the first benefits from the engine's sharded warm cache
+/// (chase artifacts, compiled automata, NRE and answer memos).
+///
+/// Results stream: each scenario's kResult frame is written the moment
+/// its solve finishes, tagged with the client's request id (replies may
+/// be reordered relative to requests; ids are the correlation). The
+/// outcome text is ExchangeOutcome::ToString — deterministic and
+/// timing-free, so a scenario's served bytes are identical to what a
+/// one-shot `gdx_cli batch` run prints for it (the soak harness diffs
+/// exactly that).
+///
+/// Lifecycle: Start() binds and spawns the accept loop, workers, and the
+/// checkpoint thread; Wait() blocks until a drain finishes. A drain
+/// (client kShutdown frame or RequestStop()) closes admissions, lets
+/// queued scenarios finish and stream out, writes a final checkpoint,
+/// then answers the shutdown requester with kBye and closes every
+/// connection. The server never dies on malformed input: protocol
+/// violations get a typed kError where the transport still permits, and
+/// only that connection closes.
+class ExchangeServer {
+ public:
+  explicit ExchangeServer(ServeOptions options);
+  ~ExchangeServer();
+
+  ExchangeServer(const ExchangeServer&) = delete;
+  ExchangeServer& operator=(const ExchangeServer&) = delete;
+
+  /// Binds the listener, warm-starts from the checkpoint when present,
+  /// and spawns the service threads. Non-blocking.
+  Status Start();
+
+  /// Blocks until the server has fully drained (after a kShutdown frame
+  /// or RequestStop()).
+  void Wait();
+
+  /// Initiates a graceful drain from outside a connection (e.g. a signal
+  /// handler's thread). Idempotent; returns without waiting — pair with
+  /// Wait().
+  void RequestStop();
+
+  /// The TCP port actually bound (after Start(); for port = 0 requests).
+  int bound_port() const { return bound_port_; }
+
+  const ExchangeEngine& engine() const { return *engine_; }
+  obs::StatsRegistry& stats() { return *stats_; }
+
+ private:
+  struct Job {
+    uint64_t request_id = 0;
+    std::string scenario_text;
+    /// Connection the result frame streams back to; shared so a session
+    /// that dies early keeps the fd alive until its jobs finish.
+    std::shared_ptr<class Session> session;
+    uint64_t enqueue_ns = 0;
+  };
+
+  void AcceptLoop();
+  void SessionLoop(std::shared_ptr<Session> session);
+  void WorkerLoop();
+  void CheckpointLoop();
+
+  /// Handles one decoded frame on a session. Returns false when the
+  /// connection must close (protocol violation or BYE).
+  bool HandleFrame(const std::shared_ptr<Session>& session,
+                   const Frame& frame);
+
+  /// The drain sequence (runs at most once): stop admissions, drain the
+  /// queue through the workers, final checkpoint, wake every session.
+  void Drain();
+
+  Status SaveCheckpoint() const;
+
+  ServeOptions options_;
+  std::unique_ptr<obs::StatsRegistry> owned_stats_;
+  obs::StatsRegistry* stats_ = nullptr;
+  std::unique_ptr<ExchangeEngine> engine_;
+  std::unique_ptr<BoundedQueue<Job>> queue_;
+
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::thread checkpoint_thread_;
+  std::mutex checkpoint_mutex_;
+  std::condition_variable checkpoint_cv_;
+
+  std::mutex sessions_mutex_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> session_threads_;
+
+  std::atomic<bool> stopping_{false};
+  std::once_flag drain_once_;
+  std::mutex stopped_mutex_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+
+  // serve.* metric handles (registered once in Start()).
+  obs::Counter* connections_ = nullptr;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* rejected_full_ = nullptr;
+  obs::Counter* rejected_draining_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* request_errors_ = nullptr;
+  obs::Counter* protocol_errors_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Counter* checkpoint_saves_ = nullptr;
+  obs::Counter* checkpoint_restores_ = nullptr;
+  obs::Histogram* request_ns_ = nullptr;
+  obs::Histogram* queue_wait_ns_ = nullptr;
+};
+
+}  // namespace serve
+}  // namespace gdx
+
+#endif  // GDX_SERVE_SERVER_H_

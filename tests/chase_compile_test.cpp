@@ -299,6 +299,7 @@ TEST(ChaseCompileEngineTest, CachedVsFreshByteIdenticalAt1and2and8Workers) {
 TEST(ChasedMemoTest, LruCapBoundsChasedMemo) {
   EngineCacheOptions options;
   options.max_chased_entries = 2;
+  options.num_shards = 1;  // exact global LRU (the behavior under test)
   EngineCache cache(options);
   for (int i = 0; i < 4; ++i) {
     auto artifact = std::make_shared<ChasedScenario>();

@@ -355,6 +355,7 @@ TEST(IntraSolveTest, LruCapBoundsNreMemo) {
   EngineCacheOptions options;
   options.max_nre_entries = 4;
   options.max_answer_keys = 2;
+  options.num_shards = 1;  // exact global LRU (the behavior under test)
   EngineCache cache(options);
   for (int i = 0; i < 10; ++i) {
     cache.StoreNre("key" + std::to_string(i), BinaryRelation{});
@@ -375,6 +376,7 @@ TEST(IntraSolveTest, LruCapBoundsAnswerMemo) {
   EngineCacheOptions options;
   options.max_nre_entries = 4;
   options.max_answer_keys = 2;
+  options.num_shards = 1;  // exact global LRU (the behavior under test)
   EngineCache cache(options);
   Graph g;
   for (int i = 0; i < 5; ++i) {

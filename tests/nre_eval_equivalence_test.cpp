@@ -202,6 +202,7 @@ TEST(CompiledCacheTest, SharesCompilationsAndStaysInvisible) {
 TEST(CompiledCacheTest, LruCapBoundsCompiledMemo) {
   EngineCacheOptions options;
   options.max_compiled_entries = 3;
+  options.num_shards = 1;  // exact global LRU (the behavior under test)
   EngineCache cache(options);
   Alphabet alphabet;
   for (int i = 0; i < 8; ++i) {

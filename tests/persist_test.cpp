@@ -325,6 +325,7 @@ TEST(WarmStartTest, MidLifeWarmStartNeverEvictsLiveWorkingSet) {
 
   EngineCacheOptions options;
   options.max_nre_entries = kCap;
+  options.num_shards = 1;  // exact global LRU (the behavior under test)
   EngineCache cache(options);
   for (size_t i = 0; i < kCap; ++i) {
     cache.StoreNre("live" + std::to_string(i),
@@ -346,7 +347,11 @@ TEST(WarmStartTest, LruCapsRespectedOnLoad) {
   // Save 8 compiled + 6 NRE entries, reload under caps of 3 / 2: only
   // the most recently used survive, eviction counters account for the
   // rest, and lookups confirm which entries made it.
-  EngineCache big;
+  // Single-shard caches on both sides: this test pins exact global LRU
+  // order across a save/restore (which entries survive tight caps).
+  EngineCacheOptions big_options;
+  big_options.num_shards = 1;
+  EngineCache big(big_options);
   Alphabet alphabet;
   std::vector<NrePtr> nres;
   for (int i = 0; i < 8; ++i) {
@@ -362,6 +367,7 @@ TEST(WarmStartTest, LruCapsRespectedOnLoad) {
   EngineCacheOptions capped_options;
   capped_options.max_compiled_entries = 3;
   capped_options.max_nre_entries = 2;
+  capped_options.num_shards = 1;
   EngineCache capped(capped_options);
   SnapshotRestoreStats restored = capped.ImportWarmState(big.ExportWarmState());
   EXPECT_EQ(restored.compiled_entries, 8u);
