@@ -37,15 +37,21 @@
 //           [--checkpoint=FILE]           cache; --checkpoint persists it
 //           [--checkpoint-interval-ms=N]  periodically (and on drain) and
 //           [--metrics-json=FILE]         warm-starts from it at startup;
-//                                         runs until a client sends
-//                                         SHUTDOWN (graceful drain)
+//           [--fault=SPEC]                --fault injects deterministic
+//                                         faults (point:rate:seed, same
+//                                         spec as GDX_FAULT) for the
+//                                         robustness harnesses; runs until
+//                                         a client sends SHUTDOWN
 //   gdx_cli client --socket=PATH|--port=N pipelined driver: sends each
 //           <a.gdx ...> [--list=FILE]     scenario file's text, retries
-//           [--repeat=K] [--window=N]     QUEUE_FULL rejections, reorders
-//           [--report-out=FILE]           streamed results by request id
-//           [--index-base=N]              and writes the batch-identical
-//           [--stats-out=FILE]            report; --shutdown drains the
-//           [--shutdown] [--ping]         server when done
+//           [--repeat=K] [--window=N]     QUEUE_FULL rejections with
+//           [--report-out=FILE]           jittered exponential backoff,
+//           [--index-base=N]              reorders streamed results by id
+//           [--stats-out=FILE]            and writes the batch-identical
+//           [--deadline-ms=N]             report; --deadline-ms attaches a
+//           [--shutdown] [--ping]         solve deadline to every request;
+//                                         --shutdown drains the server
+//                                         when done
 //
 // Try:  ./gdx_cli example22.gdx certain
 //       ./gdx_cli batch example22.gdx example22.gdx --threads=4 --repeat=8
@@ -69,6 +75,7 @@
 
 #include "chase/egd_chase.h"
 #include "chase/pattern_chase.h"
+#include "common/fault.h"
 #include "engine/batch_executor.h"
 #include "engine/exchange_engine.h"
 #include "exchange/solution_check.h"
@@ -316,6 +323,14 @@ int RunServe(int argc, char** argv) {
           static_cast<uint64_t>(std::atoll(arg + 25));
     } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
       metrics_json = arg + 15;
+    } else if (std::strncmp(arg, "--fault=", 8) == 0) {
+      // Same spec as GDX_FAULT (point:rate:seed[,...]); the flag makes a
+      // fault plan visible in the harness command line.
+      if (!fault::Configure(arg + 8)) {
+        std::fprintf(stderr, "serve: malformed --fault spec: %s\n",
+                     arg + 8);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "serve: unknown flag: %s\n", arg);
       return 2;
@@ -326,7 +341,7 @@ int RunServe(int argc, char** argv) {
                  "usage: gdx_cli serve --socket=PATH|--port=N "
                  "[--workers=N] [--queue=N] [--intra-threads=N] "
                  "[--checkpoint=FILE] [--checkpoint-interval-ms=N] "
-                 "[--metrics-json=FILE]\n");
+                 "[--metrics-json=FILE] [--fault=SPEC]\n");
     return 2;
   }
   const std::string socket_path = options.socket_path;
@@ -358,6 +373,7 @@ int RunClient(int argc, char** argv) {
   int port = -1;
   size_t repeat = 1, window = 16;
   uint64_t index_base = 0;
+  uint32_t deadline_ms = 0;
   bool want_shutdown = false, want_ping = false;
   std::vector<std::string> paths;
   for (int i = 2; i < argc; ++i) {
@@ -388,6 +404,13 @@ int RunClient(int argc, char** argv) {
       index_base = static_cast<uint64_t>(std::atoll(arg + 13));
     } else if (std::strncmp(arg, "--stats-out=", 12) == 0) {
       stats_out = arg + 12;
+    } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      int parsed = std::atoi(arg + 14);
+      if (parsed < 1) {
+        std::fprintf(stderr, "--deadline-ms must be >= 1\n");
+        return 2;
+      }
+      deadline_ms = static_cast<uint32_t>(parsed);
     } else if (std::strcmp(arg, "--shutdown") == 0) {
       want_shutdown = true;
     } else if (std::strcmp(arg, "--ping") == 0) {
@@ -413,7 +436,8 @@ int RunClient(int argc, char** argv) {
                  "usage: gdx_cli client --socket=PATH|--port=N "
                  "[a.gdx ...] [--list=FILE] [--repeat=K] [--window=N] "
                  "[--report-out=FILE] [--index-base=N] "
-                 "[--stats-out=FILE] [--shutdown] [--ping]\n");
+                 "[--stats-out=FILE] [--deadline-ms=N] [--shutdown] "
+                 "[--ping]\n");
     return 2;
   }
 
@@ -456,13 +480,20 @@ int RunClient(int argc, char** argv) {
   // Pipelined sliding window with QUEUE_FULL retry: at most `window`
   // scenarios outstanding; an admission rejection re-sends that scenario
   // (the server stayed healthy — rejection is backpressure, not failure).
+  // Retries back off exponentially with deterministic per-id jitter so a
+  // rejected burst does not re-converge into a retry stampede; only
+  // QUEUE_FULL is retried — it is the one rejection issued before
+  // admission, so the re-send is idempotent.
   std::vector<std::string> results(items.size());
   std::vector<bool> done(items.size(), false);
+  std::vector<uint64_t> attempts(items.size(), 0);
+  serve::RetryBackoff backoff(/*seed=*/index_base);
   size_t next = 0, outstanding = 0, completed = 0, errors = 0;
   uint64_t queue_full_retries = 0;
   while (completed < items.size()) {
     while (next < items.size() && outstanding < window) {
-      Status sent = client.SendRequest(items[next].id, items[next].text);
+      Status sent = client.SendRequest(items[next].id, items[next].text,
+                                       deadline_ms);
       if (!sent.ok()) return Fail(sent);
       ++next;
       ++outstanding;
@@ -479,10 +510,10 @@ int RunClient(int argc, char** argv) {
     size_t local = static_cast<size_t>(reply.id - index_base);
     if (reply.is_error && reply.code == serve::ServeError::kQueueFull) {
       ++queue_full_retries;
-      // Brief backoff: an immediate re-send against a still-full queue
-      // just spins the rejection path; a millisecond lets a worker drain.
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      Status sent = client.SendRequest(items[local].id, items[local].text);
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          backoff.DelayUs(items[local].id, ++attempts[local])));
+      Status sent = client.SendRequest(items[local].id, items[local].text,
+                                       deadline_ms);
       if (!sent.ok()) return Fail(sent);
       continue;
     }

@@ -28,6 +28,11 @@ Two checks, both cheap enough to run on every push:
    ``scripts/check_protocol.py`` reimplements the framing from the spec
    alone, which only stays possible while the spec tracks the code.
 
+5. Serve error-code completeness (ISSUE 8): the set of code names
+   ``ServeErrorName`` returns in ``src/serve/protocol.cc`` must equal
+   the set of names in docs/SERVING.md's typed-error table — an error
+   code added, removed, or renamed in only one place fails CI.
+
 Exit code 0 = clean, 1 = findings (listed on stdout).
 """
 
@@ -61,6 +66,13 @@ PROTOCOL_SPEC_RE = re.compile(r"Current\s+`kProtocolVersion`:\s*`(\d+)`")
 
 PROTOCOL_HEADER = os.path.join(REPO, "src", "serve", "protocol.h")
 SERVING_SPEC = os.path.join(REPO, "docs", "SERVING.md")
+
+PROTOCOL_IMPL = os.path.join(REPO, "src", "serve", "protocol.cc")
+# case ServeError::kBadFrame: return "BAD_FRAME";
+ERROR_NAME_RE = re.compile(
+    r'case\s+ServeError::k\w+:\s*return\s+"([A-Z_]+)"')
+# | 2 | `BAD_FRAME` | yes | ...
+ERROR_TABLE_RE = re.compile(r"^\|\s*\d+\s*\|\s*`([A-Z_]+)`", re.M)
 
 
 def markdown_files():
@@ -173,9 +185,42 @@ def check_protocol_version():
     return problems
 
 
+def check_serve_error_names():
+    try:
+        with open(PROTOCOL_IMPL, encoding="utf-8") as handle:
+            code_names = set(ERROR_NAME_RE.findall(handle.read()))
+    except OSError:
+        return [f"missing {os.path.relpath(PROTOCOL_IMPL, REPO)}"]
+    try:
+        with open(SERVING_SPEC, encoding="utf-8") as handle:
+            doc_names = set(ERROR_TABLE_RE.findall(handle.read()))
+    except OSError:
+        return [f"missing {os.path.relpath(SERVING_SPEC, REPO)}"]
+    # kNone has no wire code (it is the "no error" sentinel), so the doc
+    # table rightly omits it.
+    code_names.discard("NONE")
+    if not code_names:
+        return ["src/serve/protocol.cc: no ServeErrorName cases found "
+                "(check_docs.py greps for them)"]
+    if not doc_names:
+        return ["docs/SERVING.md: no typed-error table rows found "
+                "(check_docs.py greps for `| N | `NAME`` rows)"]
+    problems = []
+    for name in sorted(code_names - doc_names):
+        problems.append(
+            f"serve error drift: ServeErrorName returns \"{name}\" but "
+            f"docs/SERVING.md's typed-error table has no such row")
+    for name in sorted(doc_names - code_names):
+        problems.append(
+            f"serve error drift: docs/SERVING.md documents `{name}` but "
+            f"ServeErrorName in src/serve/protocol.cc never returns it")
+    return problems
+
+
 def main():
     problems = (check_links() + check_format_version()
-                + check_telemetry_version() + check_protocol_version())
+                + check_telemetry_version() + check_protocol_version()
+                + check_serve_error_names())
     for problem in problems:
         print(f"check_docs: {problem}")
     if problems:
@@ -184,7 +229,7 @@ def main():
     print("check_docs: all markdown links resolve, docs/FORMAT.md matches "
           "kFormatVersion, docs/TELEMETRY.md matches "
           "kTelemetrySchemaVersion, docs/SERVING.md matches "
-          "kProtocolVersion")
+          "kProtocolVersion and the ServeErrorName set")
     return 0
 
 

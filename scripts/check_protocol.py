@@ -8,8 +8,12 @@ malformed-input path the spec promises to survive:
 
   * version handshake (HELLO/HELLO_ACK field-by-field),
   * typed error codes: VERSION_MISMATCH (payload- and frame-level),
-    BAD_FRAME (nonzero reserved bytes, truncated frames), OVERSIZED_FRAME,
-    UNKNOWN_TYPE, NOT_READY (traffic before HELLO), PARSE_ERROR,
+    BAD_FRAME (nonzero reserved bytes, truncated frames, unknown REQUEST
+    flag bits, malformed CANCEL), OVERSIZED_FRAME, UNKNOWN_TYPE,
+    NOT_READY (traffic before HELLO), PARSE_ERROR,
+  * v2 deadline/cancel conformance: a REQUEST with a generous deadline_ms
+    still round-trips to its RESULT; CANCEL of an unknown id answers a
+    typed UNKNOWN_REQUEST *without* killing the connection or the server,
   * truncated / oversized / garbage frames must never kill the server:
     after each abuse a fresh well-formed connection must still solve a
     scenario,
@@ -28,7 +32,7 @@ import subprocess
 import sys
 import time
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 FRAME_HEADER_SIZE = 8
 MAX_FRAME_PAYLOAD = 16 << 20
 
@@ -44,6 +48,10 @@ STATS_REQ = 0x08
 STATS = 0x09
 SHUTDOWN = 0x0A
 BYE = 0x0B
+CANCEL = 0x0C
+
+# REQUEST flags (v2)
+FLAG_DEADLINE = 1 << 0
 
 # ServeError
 E_VERSION_MISMATCH = 1
@@ -55,6 +63,10 @@ E_PARSE_ERROR = 6
 E_SOLVE_FAILED = 7
 E_SHUTTING_DOWN = 8
 E_NOT_READY = 9
+E_DEADLINE_EXCEEDED = 10
+E_CANCELED = 11
+E_OVERLOADED = 12
+E_UNKNOWN_REQUEST = 13
 
 ERROR_NAMES = {
     E_VERSION_MISMATCH: "VERSION_MISMATCH",
@@ -66,6 +78,10 @@ ERROR_NAMES = {
     E_SOLVE_FAILED: "SOLVE_FAILED",
     E_SHUTTING_DOWN: "SHUTTING_DOWN",
     E_NOT_READY: "NOT_READY",
+    E_DEADLINE_EXCEEDED: "DEADLINE_EXCEEDED",
+    E_CANCELED: "CANCELED",
+    E_OVERLOADED: "OVERLOADED",
+    E_UNKNOWN_REQUEST: "UNKNOWN_REQUEST",
 }
 
 SCENARIO = """relation Flight/3
@@ -97,8 +113,17 @@ def enc_hello(version=PROTOCOL_VERSION):
     return struct.pack("<I", version)
 
 
-def enc_request(req_id, scenario_text):
-    return struct.pack("<QI", req_id, 0) + put_bytes(scenario_text)
+def enc_request(req_id, scenario_text, deadline_ms=0):
+    """v2 REQUEST: id, flags, [deadline_ms iff FLAG_DEADLINE], text."""
+    if deadline_ms:
+        head = struct.pack("<QII", req_id, FLAG_DEADLINE, deadline_ms)
+    else:
+        head = struct.pack("<QI", req_id, 0)
+    return head + put_bytes(scenario_text)
+
+
+def enc_cancel(req_id):
+    return struct.pack("<Q", req_id)
 
 
 def dec_hello_ack(payload):
@@ -283,6 +308,67 @@ class Harness:
         assert ftype == RESULT and dec_result(payload)[0] == 10
         conn.close()
 
+    def check_deadline_request_roundtrip(self):
+        # A deadline the solve comfortably beats must not change the
+        # answer: same RESULT as an undeadlined request.
+        conn = self.connect()
+        conn.handshake()
+        conn.send(REQUEST, enc_request(20, SCENARIO.encode()))
+        ftype, payload = conn.read_frame()
+        assert ftype == RESULT, f"expected RESULT, got 0x{ftype:02x}"
+        _, plain_text = dec_result(payload)
+        conn.send(REQUEST,
+                  enc_request(21, SCENARIO.encode(), deadline_ms=60000))
+        ftype, payload = conn.read_frame()
+        assert ftype == RESULT, f"expected RESULT, got 0x{ftype:02x}"
+        req_id, text = dec_result(payload)
+        assert req_id == 21, req_id
+        assert text == plain_text, "deadline changed the outcome bytes"
+        conn.close()
+
+    def check_cancel_unknown_id(self):
+        # CANCEL of an id that is not in flight is an error, not a crash:
+        # typed UNKNOWN_REQUEST, connection stays usable.
+        conn = self.connect()
+        conn.handshake()
+        conn.send(CANCEL, enc_cancel(0xDEAD))
+        got = conn.read_frame()
+        assert got is not None and got[0] == ERROR, got
+        req_id, code, _ = dec_error(got[1])
+        assert (req_id, code) == (0xDEAD, E_UNKNOWN_REQUEST), (req_id, code)
+        conn.send(PING)
+        ftype, payload = conn.read_frame()
+        assert ftype == PONG, f"connection dead after CANCEL: 0x{ftype:02x}"
+        conn.close()
+
+    def check_malformed_cancel(self):
+        conn = self.connect()
+        conn.handshake()
+        conn.send(CANCEL, b"\x01\x02\x03")  # not a u64
+        conn.expect_error(E_BAD_FRAME)
+        conn.expect_closed()
+        conn.close()
+
+    def check_unknown_request_flags(self):
+        conn = self.connect()
+        conn.handshake()
+        payload = (struct.pack("<QI", 30, 0x80) +
+                   put_bytes(SCENARIO.encode()))
+        conn.send(REQUEST, payload)
+        conn.expect_error(E_BAD_FRAME)
+        conn.expect_closed()
+        conn.close()
+
+    def check_flagged_zero_deadline(self):
+        conn = self.connect()
+        conn.handshake()
+        payload = (struct.pack("<QII", 31, FLAG_DEADLINE, 0) +
+                   put_bytes(SCENARIO.encode()))
+        conn.send(REQUEST, payload)
+        conn.expect_error(E_BAD_FRAME)
+        conn.expect_closed()
+        conn.close()
+
     def check_traffic_before_hello(self):
         conn = self.connect()
         conn.send(PING)
@@ -299,7 +385,7 @@ class Harness:
 
     def check_frame_version_mismatch(self):
         conn = self.connect()
-        conn.send(HELLO, enc_hello(), version=2)
+        conn.send(HELLO, enc_hello(), version=PROTOCOL_VERSION + 1)
         conn.expect_error(E_VERSION_MISMATCH)
         conn.expect_closed()
         conn.close()
@@ -390,6 +476,16 @@ class Harness:
             self.check("request round trip", self.check_request_roundtrip)
             self.check("PARSE_ERROR is typed and non-fatal",
                        self.check_parse_error_is_nonfatal)
+            self.check("deadline_ms round trip is byte-identical",
+                       self.check_deadline_request_roundtrip)
+            self.check("CANCEL of unknown id -> UNKNOWN_REQUEST, non-fatal",
+                       self.check_cancel_unknown_id)
+            self.check("malformed CANCEL -> BAD_FRAME",
+                       self.check_malformed_cancel)
+            self.check("unknown REQUEST flag bits -> BAD_FRAME",
+                       self.check_unknown_request_flags)
+            self.check("flagged zero deadline -> BAD_FRAME",
+                       self.check_flagged_zero_deadline)
             self.check("traffic before HELLO -> NOT_READY",
                        self.check_traffic_before_hello)
             self.check("HELLO payload version mismatch",

@@ -63,19 +63,25 @@ std::string ChaseCompiler::Key(const Setting& setting, const Instance& source,
 ChasedScenarioPtr ChaseCompiler::Compile(const Setting& setting,
                                          const Instance& source,
                                          Universe& universe,
-                                         const NreEvaluator& eval) {
+                                         const NreEvaluator& eval,
+                                         const CancellationToken* cancel) {
   auto artifact = std::make_shared<ChasedScenario>();
   artifact->base_nulls = universe.num_nulls();
-  artifact->pattern =
-      ChaseToPattern(source, setting.st_tgds, universe, &artifact->stats);
-  if (!setting.egds.empty()) {
-    EgdChaseResult egd =
-        ChasePatternEgds(artifact->pattern, setting.egds, eval);
+  artifact->pattern = ChaseToPattern(source, setting.st_tgds, universe,
+                                     &artifact->stats, cancel);
+  if (!setting.egds.empty() &&
+      !(cancel != nullptr && cancel->stop_requested())) {
+    EgdChaseResult egd = ChasePatternEgds(artifact->pattern, setting.egds,
+                                          eval, EgdChasePolicy::kDeferredRounds,
+                                          cancel);
     artifact->egd_merges = egd.merges;
     if (egd.failed) {
       artifact->failed = true;
       artifact->failure_reason = egd.failure_reason;
     }
+  }
+  if (cancel != nullptr && cancel->stop_requested()) {
+    artifact->canceled = true;
   }
   artifact->null_labels = universe.NullLabelsSince(artifact->base_nulls);
   return artifact;

@@ -38,6 +38,12 @@ struct ChasedScenario {
   std::string failure_reason;
   size_t egd_merges = 0;
 
+  /// Set when a CancellationToken fired during compilation (ISSUE 8): the
+  /// pattern is truncated mid-chase and must never be used, cached, or
+  /// persisted. A canceled artifact is a per-solve throwaway — the engine
+  /// skips the chased memo and the snapshot codec never sees one.
+  bool canceled = false;
+
   /// The universe's null count when the chase started, and the labels of
   /// every null the chase created (in creation order). Together they are
   /// the null arena: replaying the artifact appends exactly these nulls.
@@ -66,11 +72,14 @@ class ChaseCompiler {
   /// Runs the s-t pattern chase and, when egds are present, the adapted
   /// egd chase, capturing the result plus the null arena. Appends the
   /// chase's fresh nulls to `universe` exactly as the uncompiled stage
-  /// sequence (ChaseToPattern + ChasePatternEgds) would.
+  /// sequence (ChaseToPattern + ChasePatternEgds) would. `cancel`
+  /// (optional, borrowed) aborts compilation within one chase step; the
+  /// returned artifact then has `canceled == true` (see above).
   static ChasedScenarioPtr Compile(const Setting& setting,
                                    const Instance& source,
                                    Universe& universe,
-                                   const NreEvaluator& eval);
+                                   const NreEvaluator& eval,
+                                   const CancellationToken* cancel = nullptr);
 
   /// Installs a cache/snapshot hit into a universe positioned at the
   /// artifact's own base (universe.num_nulls() == chased.base_nulls — the

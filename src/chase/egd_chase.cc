@@ -14,13 +14,17 @@ bool CollectMerges(const Graph& eval_graph,
                    const std::vector<TargetEgd>& egds,
                    const NreEvaluator& eval, ValuePartition& partition,
                    EgdChaseResult* result, bool* merged_any,
-                   bool first_only) {
+                   bool first_only, const CancellationToken* cancel) {
   // One CSR snapshot for every egd this round (the graph is fixed).
   GraphView view(eval_graph);
   for (const TargetEgd& egd : egds) {
+    if (cancel != nullptr && cancel->stop_requested()) return true;
     CnreMatcher matcher(&egd.body, &view, eval);
     bool ok = true;
     matcher.FindMatches({}, [&](const CnreBinding& match) {
+      // Cancellation poll per body match (ISSUE 8): bounds the abort to
+      // one egd match even when a single round has millions of them.
+      if (cancel != nullptr && cancel->stop_requested()) return false;
       if (!match[egd.x1].has_value() || !match[egd.x2].has_value()) {
         return true;
       }
@@ -50,17 +54,19 @@ template <typename Structure, typename EvalGraphFn>
 EgdChaseResult RunEgdChase(Structure& structure,
                            const std::vector<TargetEgd>& egds,
                            const NreEvaluator& eval, EgdChasePolicy policy,
-                           EvalGraphFn eval_graph_of) {
+                           EvalGraphFn eval_graph_of,
+                           const CancellationToken* cancel) {
   EgdChaseResult result;
   const bool eager = (policy == EgdChasePolicy::kEagerRestart);
   for (;;) {
+    if (cancel != nullptr && cancel->stop_requested()) return result;
     ValuePartition partition;
     bool merged_any = false;
     {
       // The evaluation graph is rebuilt per round (merges change it).
       auto&& eval_graph = eval_graph_of(structure);
       if (!CollectMerges(eval_graph, egds, eval, partition, &result,
-                         &merged_any, eager)) {
+                         &merged_any, eager, cancel)) {
         return result;  // failed
       }
     }
@@ -75,16 +81,19 @@ EgdChaseResult RunEgdChase(Structure& structure,
 EgdChaseResult ChasePatternEgds(GraphPattern& pattern,
                                 const std::vector<TargetEgd>& egds,
                                 const NreEvaluator& eval,
-                                EgdChasePolicy policy) {
+                                EgdChasePolicy policy,
+                                const CancellationToken* cancel) {
   return RunEgdChase(pattern, egds, eval, policy,
-                     [](GraphPattern& p) { return p.DefiniteGraph(); });
+                     [](GraphPattern& p) { return p.DefiniteGraph(); },
+                     cancel);
 }
 
 EgdChaseResult ChaseGraphEgds(Graph& g, const std::vector<TargetEgd>& egds,
                               const NreEvaluator& eval,
-                              EgdChasePolicy policy) {
+                              EgdChasePolicy policy,
+                              const CancellationToken* cancel) {
   return RunEgdChase(g, egds, eval, policy,
-                     [](Graph& graph) -> Graph& { return graph; });
+                     [](Graph& graph) -> Graph& { return graph; }, cancel);
 }
 
 }  // namespace gdx

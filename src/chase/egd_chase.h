@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel_search.h"
 #include "exchange/constraints.h"
 #include "graph/graph.h"
 #include "graph/nre_eval.h"
@@ -38,18 +39,26 @@ struct EgdChaseResult {
 /// matched equalities merge nulls into constants / other nulls (cases
 /// (ii)–(iii)) and fail on constant-constant merges (case (i)). Runs to
 /// fixpoint, rewriting the pattern after each round.
+///
+/// `cancel` (optional, borrowed; ISSUE 8): polled per round and per body
+/// match, so an abort lands within one egd match of the request. A
+/// canceled chase returns with neither `failed` nor a fixpoint — callers
+/// check the token and treat the structure as unusable.
 EgdChaseResult ChasePatternEgds(
     GraphPattern& pattern, const std::vector<TargetEgd>& egds,
     const NreEvaluator& eval,
-    EgdChasePolicy policy = EgdChasePolicy::kDeferredRounds);
+    EgdChasePolicy policy = EgdChasePolicy::kDeferredRounds,
+    const CancellationToken* cancel = nullptr);
 
 /// Egd chase on a concrete graph: egd bodies are evaluated with full NRE
 /// semantics over G; violated equalities merge nodes (constants preferred
 /// as representatives), failing on constant-constant merges. Used to
 /// repair instantiated candidate solutions in the bounded existence search.
+/// `cancel` as in ChasePatternEgds.
 EgdChaseResult ChaseGraphEgds(
     Graph& g, const std::vector<TargetEgd>& egds, const NreEvaluator& eval,
-    EgdChasePolicy policy = EgdChasePolicy::kDeferredRounds);
+    EgdChasePolicy policy = EgdChasePolicy::kDeferredRounds,
+    const CancellationToken* cancel = nullptr);
 
 }  // namespace gdx
 

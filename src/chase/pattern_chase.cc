@@ -6,11 +6,14 @@ namespace gdx {
 
 GraphPattern ChaseToPattern(const Instance& source,
                             const std::vector<StTgd>& tgds,
-                            Universe& universe, PatternChaseStats* stats) {
+                            Universe& universe, PatternChaseStats* stats,
+                            const CancellationToken* cancel) {
   GraphPattern pattern;
   for (const StTgd& tgd : tgds) {
+    if (cancel != nullptr && cancel->stop_requested()) break;
     const std::vector<VarId> existential = tgd.ExistentialVars();
     FindCqMatches(tgd.body, source, [&](const Binding& match) {
+      if (cancel != nullptr && cancel->stop_requested()) return false;
       Binding binding = match;
       for (VarId v : existential) {
         binding[v] = universe.FreshNull();

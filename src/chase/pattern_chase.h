@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/parallel_search.h"
 #include "common/universe.h"
 #include "exchange/mapping.h"
 #include "pattern/pattern.h"
@@ -23,10 +24,16 @@ struct PatternChaseStats {
 /// nulls for the existential variables) and add the resulting NRE-labeled
 /// edges to the pattern. With M_t = ∅ the result is a universal
 /// representative of all solutions (Example 3.2 / Figure 3).
+///
+/// `cancel` (optional, borrowed; ISSUE 8): polled once per trigger, so an
+/// abort lands within one body match of the request. A canceled chase
+/// returns a truncated pattern that must not be used or cached — callers
+/// check the token and discard.
 GraphPattern ChaseToPattern(const Instance& source,
                             const std::vector<StTgd>& tgds,
                             Universe& universe,
-                            PatternChaseStats* stats = nullptr);
+                            PatternChaseStats* stats = nullptr,
+                            const CancellationToken* cancel = nullptr);
 
 }  // namespace gdx
 

@@ -8,9 +8,11 @@ namespace gdx {
 
 Status ChaseTargetTgds(Graph& g, const std::vector<TargetTgd>& tgds,
                        Universe& universe, const NreEvaluator& eval,
-                       size_t max_rounds, TargetTgdChaseStats* stats) {
+                       size_t max_rounds, TargetTgdChaseStats* stats,
+                       const CancellationToken* cancel) {
   // Precompute shortest witnesses per distinct head NRE (by pointer).
   for (size_t round = 0; round < max_rounds; ++round) {
+    if (cancel != nullptr && cancel->stop_requested()) return Status::Ok();
     size_t fired = 0;
     for (const TargetTgd& tgd : tgds) {
       CnreQuery head_query = tgd.HeadQuery();
@@ -30,6 +32,9 @@ Status ChaseTargetTgds(Graph& g, const std::vector<TargetTgd>& tgds,
         });
       }
       for (const CnreBinding& match : unmet) {
+        // Abort lands within one trigger materialization (ISSUE 8); the
+        // partially chased graph is discarded by cancel-aware callers.
+        if (cancel != nullptr && cancel->stop_requested()) return Status::Ok();
         // Fresh nulls for existential head variables of this trigger.
         CnreBinding binding = match;
         for (const CnreAtom& atom : tgd.head) {

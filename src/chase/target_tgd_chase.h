@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/parallel_search.h"
 #include "common/status.h"
 #include "common/universe.h"
 #include "exchange/constraints.h"
@@ -24,10 +25,15 @@ struct TargetTgdChaseStats {
 /// `max_rounds` bounds it; non-convergence returns RESOURCE_EXHAUSTED
 /// (the paper leaves termination for target tgds open; cf. Calì et al.'s
 /// "taming the infinite chase").
+///
+/// `cancel` (optional, borrowed; ISSUE 8): polled per round and per unmet
+/// trigger. A canceled chase returns Ok with the graph only partially
+/// chased — callers check the token and must not treat g as a fixpoint.
 Status ChaseTargetTgds(Graph& g, const std::vector<TargetTgd>& tgds,
                        Universe& universe, const NreEvaluator& eval,
                        size_t max_rounds = 64,
-                       TargetTgdChaseStats* stats = nullptr);
+                       TargetTgdChaseStats* stats = nullptr,
+                       const CancellationToken* cancel = nullptr);
 
 }  // namespace gdx
 

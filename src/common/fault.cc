@@ -1,0 +1,160 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+
+namespace gdx {
+namespace fault {
+namespace {
+
+constexpr size_t kNumPoints = static_cast<size_t>(Point::kNumPoints);
+
+/// Per-point live configuration. All fields are atomics so probes from
+/// worker/session threads race-freely against a Configure() from a test
+/// thread; rates are stored in parts-per-million to keep the draw
+/// integer-only.
+struct PointState {
+  std::atomic<uint32_t> rate_ppm{0};
+  std::atomic<uint64_t> seed{0};
+  std::atomic<uint64_t> draws{0};
+  std::atomic<uint64_t> injected{0};
+};
+
+PointState g_points[kNumPoints];
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+bool ParsePoint(const std::string& name, Point* out) {
+  for (size_t i = 0; i < kNumPoints; ++i) {
+    if (name == PointName(static_cast<Point>(i))) {
+      *out = static_cast<Point>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parses one "point:rate:seed" entry; returns false on any malformation.
+bool ParseEntry(const std::string& entry, Point* point, uint32_t* rate_ppm,
+                uint64_t* seed) {
+  const size_t colon1 = entry.find(':');
+  if (colon1 == std::string::npos) return false;
+  const size_t colon2 = entry.find(':', colon1 + 1);
+  if (colon2 == std::string::npos) return false;
+  if (!ParsePoint(entry.substr(0, colon1), point)) return false;
+  const std::string rate_text = entry.substr(colon1 + 1, colon2 - colon1 - 1);
+  char* end = nullptr;
+  const double rate = std::strtod(rate_text.c_str(), &end);
+  if (end == rate_text.c_str() || *end != '\0' || rate < 0.0 || rate > 1.0) {
+    return false;
+  }
+  const std::string seed_text = entry.substr(colon2 + 1);
+  end = nullptr;
+  const unsigned long long parsed_seed =
+      std::strtoull(seed_text.c_str(), &end, 10);
+  if (end == seed_text.c_str() || *end != '\0') return false;
+  *rate_ppm = static_cast<uint32_t>(rate * 1e6 + 0.5);
+  *seed = static_cast<uint64_t>(parsed_seed);
+  return true;
+}
+
+/// Parses GDX_FAULT once before main() runs. fault.cc is pulled into any
+/// binary whose code contains a probe, so the env spec is live before the
+/// first checkpoint/socket/admission ever happens.
+struct EnvInit {
+  EnvInit() { ConfigureFromEnv(); }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+bool ShouldFailSlow(Point point) {
+  PointState& state = g_points[static_cast<size_t>(point)];
+  const uint32_t rate_ppm = state.rate_ppm.load(std::memory_order_relaxed);
+  if (rate_ppm == 0) return false;
+  const uint64_t draw = state.draws.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t hash =
+      SplitMix64(state.seed.load(std::memory_order_relaxed) ^
+                 (draw * 0xD1B54A32D192ED03ull));
+  if (hash % 1000000ull >= rate_ppm) return false;
+  state.injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace internal
+
+const char* PointName(Point point) {
+  switch (point) {
+    case Point::kCheckpointWrite: return "checkpoint_write";
+    case Point::kCheckpointRename: return "checkpoint_rename";
+    case Point::kSocketRead: return "socket_read";
+    case Point::kSocketWrite: return "socket_write";
+    case Point::kQueueAdmit: return "queue_admit";
+    case Point::kNumPoints: break;
+  }
+  return "unknown";
+}
+
+bool Configure(const std::string& spec) {
+  // Validate the whole spec before installing any of it, so a typo never
+  // half-applies a fault plan.
+  struct Parsed {
+    Point point;
+    uint32_t rate_ppm;
+    uint64_t seed;
+  };
+  Parsed entries[kNumPoints];
+  size_t num_entries = 0;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(start, comma - start);
+    if (!entry.empty()) {
+      if (num_entries >= kNumPoints) return false;
+      Parsed& parsed = entries[num_entries];
+      if (!ParseEntry(entry, &parsed.point, &parsed.rate_ppm,
+                      &parsed.seed)) {
+        return false;
+      }
+      ++num_entries;
+    }
+    start = comma + 1;
+  }
+  for (size_t i = 0; i < kNumPoints; ++i) {
+    g_points[i].rate_ppm.store(0, std::memory_order_relaxed);
+    g_points[i].seed.store(0, std::memory_order_relaxed);
+    g_points[i].draws.store(0, std::memory_order_relaxed);
+    g_points[i].injected.store(0, std::memory_order_relaxed);
+  }
+  bool any = false;
+  for (size_t i = 0; i < num_entries; ++i) {
+    PointState& state = g_points[static_cast<size_t>(entries[i].point)];
+    state.rate_ppm.store(entries[i].rate_ppm, std::memory_order_relaxed);
+    state.seed.store(entries[i].seed, std::memory_order_relaxed);
+    any = any || entries[i].rate_ppm > 0;
+  }
+  internal::g_enabled.store(any, std::memory_order_release);
+  return true;
+}
+
+void ConfigureFromEnv() {
+  const char* spec = std::getenv("GDX_FAULT");
+  if (spec != nullptr && spec[0] != '\0') Configure(spec);
+}
+
+uint64_t InjectedCount(Point point) {
+  return g_points[static_cast<size_t>(point)].injected.load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace fault
+}  // namespace gdx

@@ -1,0 +1,68 @@
+#ifndef GDX_COMMON_FAULT_H_
+#define GDX_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace gdx {
+namespace fault {
+
+/// Deterministic fault-injection points (ISSUE 8 tentpole). Each point is
+/// a place where production code asks "should this operation fail now?"
+/// before doing something that can fail in the real world — a checkpoint
+/// write, a socket syscall, a queue admission. With no configuration the
+/// whole framework is a single relaxed load + branch per probe (the
+/// global enabled flag), so shipping the probes costs nothing.
+///
+/// Configuration comes from the GDX_FAULT environment variable (parsed
+/// once at process start) or an explicit Configure() call:
+///
+///   GDX_FAULT=point:rate:seed[,point:rate:seed...]
+///
+/// e.g. GDX_FAULT=checkpoint_write:0.1:42,socket_write:0.05:7 — `rate` is
+/// the failure probability in [0,1], `seed` makes the failing draw
+/// indices a deterministic function of the spec: the n-th probe of a
+/// point fails iff hash(seed, n) < rate, so a soak run's fault schedule
+/// is reproducible from its spec alone.
+enum class Point : uint8_t {
+  kCheckpointWrite = 0,  // snapshot tmp-file write
+  kCheckpointRename,     // atomic rename over the live checkpoint
+  kSocketRead,           // one frame-read syscall sequence
+  kSocketWrite,          // one frame-write syscall sequence
+  kQueueAdmit,           // admission-queue push
+  kNumPoints,
+};
+
+/// The spec name of a point ("checkpoint_write", ...).
+const char* PointName(Point point);
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+bool ShouldFailSlow(Point point);
+}  // namespace internal
+
+/// The hot-path probe. Off (the default): one relaxed load and a
+/// never-taken branch. On: a deterministic per-point counter draw.
+inline bool ShouldFail(Point point) {
+  return internal::g_enabled.load(std::memory_order_relaxed) &&
+         internal::ShouldFailSlow(point);
+}
+
+/// Parses and installs a spec (see above). An empty spec disables every
+/// point and resets the counters. Returns false (and installs nothing)
+/// on a malformed spec — unknown point name, rate outside [0,1], junk.
+bool Configure(const std::string& spec);
+
+/// Installs the GDX_FAULT environment spec, if present. Runs once
+/// automatically at process start; callable again by tests.
+void ConfigureFromEnv();
+
+/// How many failures a point has injected since its configuration —
+/// soak harnesses assert faults actually fired.
+uint64_t InjectedCount(Point point);
+
+}  // namespace fault
+}  // namespace gdx
+
+#endif  // GDX_COMMON_FAULT_H_

@@ -2,7 +2,9 @@
 #define GDX_COMMON_PARALLEL_SEARCH_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 #include "common/thread_pool.h"
@@ -14,18 +16,90 @@ namespace gdx {
 /// inner loop poll it and abandon their current subrange / cube, turning
 /// the whole solve into a sound "unknown". Distinct from the *internal*
 /// rank ceiling ParallelSearch uses for deterministic early exit.
+///
+/// Deadlines (ISSUE 8 tentpole): a token may additionally carry a
+/// monotonic-clock deadline. stop_requested() checks it and — on expiry —
+/// trips the same flag an explicit RequestStop would, so every poller
+/// (including components that only watch the raw flag(), like the DPLL
+/// inner loop) observes the expiry the moment *any* stage polls the
+/// token. The first stop cause wins and is preserved as reason(), which
+/// is how a server tells CANCELED from DEADLINE_EXCEEDED.
 class CancellationToken {
  public:
-  void RequestStop() { stop_.store(true, std::memory_order_release); }
-  bool stop_requested() const {
-    return stop_.load(std::memory_order_acquire);
+  enum class StopReason : uint8_t {
+    kNone = 0,
+    kCanceled = 1,  // explicit RequestStop
+    kDeadline = 2,  // monotonic deadline expired
+  };
+
+  void RequestStop() { Stop(StopReason::kCanceled); }
+  void RequestStop(StopReason reason) { Stop(reason); }
+
+  /// Arms (or rearms) the deadline. The clock is steady_clock: wall-time
+  /// jumps never expire a solve early or extend it.
+  void SetDeadline(std::chrono::steady_clock::time_point when) {
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            when.time_since_epoch())
+            .count());
+    // 0 is the "no deadline" sentinel; an exactly-zero epoch deadline is
+    // long in the past anyway.
+    deadline_ns_.store(ns == 0 ? 1 : ns, std::memory_order_release);
   }
+  void SetDeadlineAfter(std::chrono::nanoseconds budget) {
+    SetDeadline(std::chrono::steady_clock::now() + budget);
+  }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Polling this *is* the deadline enforcement: past-deadline tokens
+  /// self-trip here (reason kDeadline) before reporting true.
+  bool stop_requested() const {
+    if (stop_.load(std::memory_order_acquire)) return true;
+    const uint64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != 0 && NowNs() >= deadline) {
+      Stop(StopReason::kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  /// Why the token stopped (kNone while still running). Stable: the first
+  /// cause to fire wins, later causes never overwrite it.
+  StopReason reason() const {
+    return static_cast<StopReason>(reason_.load(std::memory_order_acquire));
+  }
+
   /// The raw flag, for components that poll without depending on this
-  /// header's type (e.g. DpllConfig::cancel).
+  /// header's type (e.g. DpllConfig::cancel). Deadline expiry reaches this
+  /// view too, as soon as any caller polls stop_requested().
   const std::atomic<bool>* flag() const { return &stop_; }
 
+  /// Monotonic now, in the same ns-since-steady-epoch scale SetDeadline
+  /// stores (exposed for watchdogs that compare against many tokens).
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
  private:
-  std::atomic<bool> stop_{false};
+  /// const because deadline expiry is detected inside const polls; the
+  /// members it touches are atomics, so this is logically a cache fill.
+  void Stop(StopReason reason) const {
+    uint8_t expected = 0;
+    reason_.compare_exchange_strong(expected,
+                                    static_cast<uint8_t>(reason),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+    stop_.store(true, std::memory_order_release);
+  }
+
+  mutable std::atomic<bool> stop_{false};
+  mutable std::atomic<uint8_t> reason_{0};
+  std::atomic<uint64_t> deadline_ns_{0};
 };
 
 /// Tuning of one ParallelSearch instance. All fields are borrowed; the

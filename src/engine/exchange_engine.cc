@@ -190,11 +190,18 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
     // artifact. A failing adapted chase is a sound "no solution".
     ChasedScenarioPtr chased;
     bool chase_refuted = false;
+    bool chase_canceled = false;
     {
       StageTimer t(&m.chase_seconds);
       GDX_TRACE_SPAN("chase", "engine");
-      chased = StageChase(scenario, m);
-      if (chased->failed) {
+      chased = StageChase(scenario, m, cancel);
+      if (chased->canceled) {
+        // The chase aborted mid-way (ISSUE 8): the pattern is truncated —
+        // neither published in the outcome nor handed to later stages.
+        out.existence.verdict = ExistenceVerdict::kUnknown;
+        out.existence.note = "search cancelled";
+        chase_canceled = true;
+      } else if (chased->failed) {
         out.existence.verdict = ExistenceVerdict::kNo;
         out.existence.refuted_by_chase = true;
         out.existence.note =
@@ -207,7 +214,7 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
 
     // Stage 2 — existence decision under the configured policy, replaying
     // the stage-1 artifact instead of re-chasing.
-    if (!chase_refuted) {
+    if (!chase_refuted && !chase_canceled) {
       StageTimer t(&m.existence_seconds);
       GDX_TRACE_SPAN("existence", "engine");
       ExistenceSolver solver(&eval, existence_options);
@@ -218,8 +225,12 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
     m.candidates_tried = out.existence.candidates_tried;
 
     // Stage 3 — materialize (and optionally core-minimize) the solution.
+    // A witness that exists is complete (Decide only emits verified
+    // solutions), but skip the optional minimization once the token has
+    // fired — it would burn the caller's remaining budget.
     if (out.existence.witness.has_value()) {
-      if (options_.minimize_core) {
+      if (options_.minimize_core &&
+          (cancel == nullptr || !cancel->stop_requested())) {
         StageTimer t(&m.minimize_seconds);
         GDX_TRACE_SPAN("minimize", "engine");
         out.solution = GreedyCoreMinimize(
@@ -251,7 +262,8 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
     }
 
     // Stage 5 — defensive final check of the materialized solution.
-    if (options_.verify_witness && out.solution.has_value()) {
+    if (options_.verify_witness && out.solution.has_value() &&
+        (cancel == nullptr || !cancel->stop_requested())) {
       StageTimer t(&m.verify_seconds);
       GDX_TRACE_SPAN("verify", "engine");
       out.solution_verified =
@@ -276,6 +288,12 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
   m.answer_cache_restored_hits = solve_delta.answer_restored_hits;
   m.compile_cache_restored_hits = solve_delta.compile_restored_hits;
   m.chase_cache_restored_hits = solve_delta.chase_restored_hits;
+  // Typed interruption outcome (ISSUE 8): record why the solve stopped
+  // early. stop_requested() self-trips an expired deadline, so a deadline
+  // that lapsed without any stage polling still surfaces here.
+  if (cancel != nullptr && cancel->stop_requested()) {
+    out.interrupt = cancel->reason();
+  }
   // Registry-backed accumulation (ISSUE 6): fold this solve's read-out
   // view into the engine-wide histograms/counters. One pointer check when
   // no registry is attached.
@@ -284,7 +302,9 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
 }
 
 ChasedScenarioPtr ExchangeEngine::StageChase(const Scenario& scenario,
-                                             Metrics& m) const {
+                                             Metrics& m,
+                                             const CancellationToken* cancel)
+    const {
   std::string key;
   if (options_.enable_cache) {
     GDX_TRACE_SPAN("cache.chase_lookup", "cache");
@@ -302,11 +322,16 @@ ChasedScenarioPtr ExchangeEngine::StageChase(const Scenario& scenario,
   {
     GDX_TRACE_SPAN("chase.compile", "engine");
     compiled = ChaseCompiler::Compile(scenario.setting, *scenario.instance,
-                                      *scenario.universe, evaluator());
+                                      *scenario.universe, evaluator(),
+                                      cancel);
   }
   m.chase_triggers = compiled->stats.triggers;
   m.chase_merges = compiled->egd_merges;
-  if (options_.enable_cache) cache_->StoreChased(key, compiled);
+  // A canceled artifact is truncated mid-chase — never published to the
+  // memo, where it would poison every future solve with the same key.
+  if (options_.enable_cache && !compiled->canceled) {
+    cache_->StoreChased(key, compiled);
+  }
   return compiled;
 }
 

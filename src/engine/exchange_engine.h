@@ -115,6 +115,13 @@ struct ExchangeOutcome {
 
   std::optional<CertainAnswerResult> certain;
 
+  /// Why the solve stopped early, if it did (ISSUE 8): kCanceled /
+  /// kDeadline when the cancellation token fired mid-pipeline (the
+  /// existence verdict is then kUnknown with note "search cancelled"
+  /// unless an earlier stage already settled it), kNone for a full run.
+  /// Excluded from ToString — like timings, it is not semantic content.
+  CancellationToken::StopReason interrupt = CancellationToken::StopReason::kNone;
+
   Metrics metrics;
 
   std::string ToString(const Universe& universe,
@@ -193,7 +200,8 @@ class ExchangeEngine {
   /// and the memo's hit counters tick instead), compiled and published on
   /// a miss. Either way the scenario's universe ends up with exactly the
   /// nulls a fresh chase would have created.
-  ChasedScenarioPtr StageChase(const Scenario& scenario, Metrics& m) const;
+  ChasedScenarioPtr StageChase(const Scenario& scenario, Metrics& m,
+                               const CancellationToken* cancel) const;
   /// ToExistenceOptions() plus the per-call wiring: intra pool, the
   /// solve's cache-attribution worker scope, and the cancellation token.
   ExistenceOptions MakeExistenceOptions(PerSolveCacheStats* sink,

@@ -3,7 +3,9 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <utility>
 
@@ -68,6 +70,99 @@ class BoundedQueue {
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Session-fair bounded MPMC queue (ISSUE 8 tentpole): the same rejecting
+/// admission contract as BoundedQueue, plus per-session round-robin
+/// dispatch and per-session admission quotas, so one chatty client cannot
+/// monopolize either the queue slots or the workers' attention.
+///
+/// Each session key owns a FIFO lane. Pop serves lanes round-robin (one
+/// item per turn, rotating), so K active sessions each get ~1/K of the
+/// worker throughput regardless of how fast any one of them submits.
+/// TryPush enforces two caps: the global capacity, and a per-session quota
+/// of max(1, capacity / active_sessions) — counting the newcomer — so a
+/// burst from one session fills at most its fair share once others are
+/// waiting, while a *lone* session may still use the whole queue (quota =
+/// capacity when it is the only one — single-client behavior, and every
+/// BoundedQueue admission test, is unchanged).
+template <typename T>
+class FairQueue {
+ public:
+  using PushResult = typename BoundedQueue<T>::PushResult;
+
+  explicit FairQueue(size_t capacity) : capacity_(capacity) {}
+
+  PushResult TryPush(uint64_t session, T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (total_ >= capacity_) return PushResult::kFull;
+      auto it = lanes_.find(session);
+      // Quota counts the newcomer's own lane even before it exists.
+      const size_t active = lanes_.size() + (it == lanes_.end() ? 1 : 0);
+      const size_t quota = capacity_ / active > 0 ? capacity_ / active : 1;
+      if (it != lanes_.end() && it->second.size() >= quota) {
+        return PushResult::kFull;
+      }
+      if (it == lanes_.end()) {
+        it = lanes_.emplace(session, std::deque<T>()).first;
+        rr_.push_back(session);  // takes its turn after the current lap
+      }
+      it->second.push_back(std::move(item));
+      ++total_;
+    }
+    ready_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Round-robin Pop: takes the front item of the next session's lane and
+  /// rotates that session to the back of the turn order. Blocks / closes
+  /// exactly like BoundedQueue::Pop.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || total_ > 0; });
+    if (total_ == 0) return false;  // closed and drained
+    const uint64_t session = rr_.front();
+    rr_.pop_front();
+    auto it = lanes_.find(session);
+    *out = std::move(it->second.front());
+    it->second.pop_front();
+    --total_;
+    if (it->second.empty()) {
+      lanes_.erase(it);  // an empty lane holds no turn (and no quota share)
+    } else {
+      rr_.push_back(session);
+    }
+    return true;
+  }
+
+  /// Stops admissions; queued items still drain through Pop. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  /// session -> its FIFO lane. A session has a lane iff it has >= 1 item.
+  std::map<uint64_t, std::deque<T>> lanes_;
+  /// Turn order: each session with a nonempty lane appears exactly once.
+  std::deque<uint64_t> rr_;
+  size_t total_ = 0;
   bool closed_ = false;
 };
 

@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -93,9 +94,14 @@ Status ExchangeClient::Handshake() {
 }
 
 Status ExchangeClient::SendRequest(uint64_t id,
-                                   std::string_view scenario_text) {
+                                   std::string_view scenario_text,
+                                   uint32_t deadline_ms) {
   return WriteFrame(fd_, FrameType::kRequest,
-                    EncodeRequest(id, scenario_text));
+                    EncodeRequest(id, scenario_text, deadline_ms));
+}
+
+Status ExchangeClient::Cancel(uint64_t id) {
+  return WriteFrame(fd_, FrameType::kCancel, EncodeCancel(id));
 }
 
 Status ExchangeClient::ReadReply(ClientReply* out) {
@@ -169,6 +175,28 @@ void ExchangeClient::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+uint64_t RetryBackoff::DelayUs(uint64_t key, uint64_t attempt) const {
+  if (attempt == 0) return 0;
+  // Overflow-safe capped doubling: base << (attempt-1), clamped to cap.
+  uint64_t raw = cap_us_;
+  if (attempt - 1 < 64) {
+    const uint64_t shifted = base_us_ << (attempt - 1);
+    // A wrapped shift reads as "shrunk below base": keep the cap then.
+    raw = (shifted >> (attempt - 1)) == base_us_ ? std::min(shifted, cap_us_)
+                                                 : cap_us_;
+  }
+  // Equal jitter from a SplitMix64 of (seed, key, attempt): deterministic
+  // for a fixed seed, decorrelated across keys and attempts.
+  uint64_t z = seed_ ^ (key * 0x9E3779B97F4A7C15ull) ^
+               (attempt * 0xD1B54A32D192ED03ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const uint64_t half = raw / 2;
+  const uint64_t span = raw - half + 1;
+  return half + z % span;
 }
 
 }  // namespace serve

@@ -43,8 +43,17 @@ class ExchangeClient {
   /// Queues one scenario (the `.gdx` text itself, not a path — the
   /// server has no filesystem dependency on the client). The reply
   /// arrives later via ReadReply; a kQueueFull error reply means
-  /// "retry", not failure.
-  Status SendRequest(uint64_t id, std::string_view scenario_text);
+  /// "retry", not failure. `deadline_ms` > 0 attaches a solve deadline
+  /// (v2): the server answers DEADLINE_EXCEEDED — or sheds with
+  /// OVERLOADED up front — when it cannot finish in time.
+  Status SendRequest(uint64_t id, std::string_view scenario_text,
+                     uint32_t deadline_ms = 0);
+
+  /// Aborts an in-flight request (v2 CANCEL). Fire-and-forget: the
+  /// canceled request's ERROR reply (CANCELED) is the acknowledgment; if
+  /// the id already finished, an UNKNOWN_REQUEST error reply arrives
+  /// instead.
+  Status Cancel(uint64_t id);
 
   /// Blocks for the next result-or-error reply.
   Status ReadReply(ClientReply* out);
@@ -65,6 +74,29 @@ class ExchangeClient {
 
   int fd_ = -1;
   HelloAck ack_;
+};
+
+/// Deterministic capped-exponential retry backoff with equal jitter
+/// (ISSUE 8 satellite): delay for attempt k (1-based) is drawn uniformly
+/// from [raw/2, raw] where raw = min(cap, base << (k-1)). The jitter is a
+/// pure hash of (seed, key, attempt) — stateless and reproducible, so a
+/// soak run with a fixed seed replays byte-identically, while distinct
+/// keys (e.g. request ids) desynchronize: a burst of rejected clients
+/// does not re-converge into a retry stampede.
+class RetryBackoff {
+ public:
+  explicit RetryBackoff(uint64_t seed, uint64_t base_us = 250,
+                        uint64_t cap_us = 50000)
+      : seed_(seed), base_us_(base_us), cap_us_(cap_us) {}
+
+  /// Microseconds to sleep before retry number `attempt` (1-based) of the
+  /// work item identified by `key`.
+  uint64_t DelayUs(uint64_t key, uint64_t attempt) const;
+
+ private:
+  uint64_t seed_;
+  uint64_t base_us_;
+  uint64_t cap_us_;
 };
 
 }  // namespace serve

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault.h"
 #include "persist/wire.h"
 
 namespace gdx {
@@ -24,6 +25,10 @@ const char* ServeErrorName(ServeError code) {
     case ServeError::kSolveFailed: return "SOLVE_FAILED";
     case ServeError::kShuttingDown: return "SHUTTING_DOWN";
     case ServeError::kNotReady: return "NOT_READY";
+    case ServeError::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ServeError::kCanceled: return "CANCELED";
+    case ServeError::kOverloaded: return "OVERLOADED";
+    case ServeError::kUnknownRequest: return "UNKNOWN_REQUEST";
   }
   return "UNKNOWN";
 }
@@ -64,10 +69,17 @@ bool DecodeHelloAck(std::string_view payload, HelloAck* ack) {
          r.ReadU32(&ack->queue_capacity) && r.AtEnd();
 }
 
-std::string EncodeRequest(uint64_t id, std::string_view scenario_text) {
+namespace {
+/// Request flags: bit 0 = a u32 deadline_ms follows the flags word.
+constexpr uint32_t kRequestFlagDeadline = 1u << 0;
+}  // namespace
+
+std::string EncodeRequest(uint64_t id, std::string_view scenario_text,
+                          uint32_t deadline_ms) {
   WireWriter w;
   w.PutU64(id);
-  w.PutU32(0);  // flags, reserved
+  w.PutU32(deadline_ms != 0 ? kRequestFlagDeadline : 0);
+  if (deadline_ms != 0) w.PutU32(deadline_ms);
   w.PutBytes(scenario_text);
   return w.TakeBytes();
 }
@@ -75,13 +87,29 @@ std::string EncodeRequest(uint64_t id, std::string_view scenario_text) {
 bool DecodeRequest(std::string_view payload, Request* out) {
   WireReader r(payload);
   std::string_view text;
-  if (!r.ReadU64(&out->id) || !r.ReadU32(&out->flags) ||
-      !r.ReadBytes(&text) || !r.AtEnd()) {
-    return false;
+  if (!r.ReadU64(&out->id) || !r.ReadU32(&out->flags)) return false;
+  // Unknown flag bits are rejected so they stay usable for future
+  // extensions (a v2 peer cannot silently drop semantics it never knew).
+  if ((out->flags & ~kRequestFlagDeadline) != 0) return false;
+  out->deadline_ms = 0;
+  if ((out->flags & kRequestFlagDeadline) != 0) {
+    if (!r.ReadU32(&out->deadline_ms)) return false;
+    if (out->deadline_ms == 0) return false;  // flagged but absent
   }
-  if (out->flags != 0) return false;  // reserved; reject so it stays usable
+  if (!r.ReadBytes(&text) || !r.AtEnd()) return false;
   out->scenario_text.assign(text.data(), text.size());
   return true;
+}
+
+std::string EncodeCancel(uint64_t id) {
+  WireWriter w;
+  w.PutU64(id);
+  return w.TakeBytes();
+}
+
+bool DecodeCancel(std::string_view payload, uint64_t* id) {
+  WireReader r(payload);
+  return r.ReadU64(id) && r.AtEnd();
 }
 
 std::string EncodeResult(uint64_t id, std::string_view outcome_text) {
@@ -144,6 +172,11 @@ namespace {
 /// Reads exactly `len` bytes. Returns the number of bytes read before EOF
 /// (so 0 = clean EOF, len = success), or -1 on a hard error.
 ssize_t ReadExact(int fd, char* buffer, size_t len) {
+  // Fault point (ISSUE 8): a killed connection, as the reader sees it.
+  if (fault::ShouldFail(fault::Point::kSocketRead)) {
+    errno = ECONNRESET;
+    return -1;
+  }
   size_t done = 0;
   while (done < len) {
     ssize_t n = ::recv(fd, buffer + done, len - done, 0);
@@ -160,6 +193,10 @@ ssize_t ReadExact(int fd, char* buffer, size_t len) {
 }  // namespace
 
 Status WriteAll(int fd, std::string_view bytes) {
+  // Fault point (ISSUE 8): a peer that vanished mid-write.
+  if (fault::ShouldFail(fault::Point::kSocketWrite)) {
+    return Status::NotFound("socket write failed: fault injected");
+  }
   size_t done = 0;
   while (done < bytes.size()) {
     // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not a process

@@ -29,7 +29,10 @@ namespace serve {
 /// format's little-endian wire primitives (src/persist/wire.h), so the
 /// whole protocol is reimplementable from the two specs with no other
 /// dependency — scripts/check_protocol.py does exactly that in Python.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2 (ISSUE 8): REQUEST carries an optional deadline (flags bit 0 +
+/// u32 deadline_ms), CANCEL aborts an in-flight request by id, and the
+/// error space grows typed interruption/overload codes (10–13).
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Frame header size in bytes (u32 len + u8 type + u8 version + u16 0).
 inline constexpr size_t kFrameHeaderSize = 8;
@@ -44,7 +47,9 @@ enum class FrameType : uint8_t {
   kHello = 0x01,     // client → server: u32 client protocol version
   kHelloAck = 0x02,  // server → client: u32 version, u32 max payload,
                      //                  u32 queue capacity
-  kRequest = 0x03,   // client → server: u64 request id, u32 flags (0),
+  kRequest = 0x03,   // client → server: u64 request id, u32 flags
+                     //                  (bit 0: deadline present),
+                     //                  [u32 deadline_ms if bit 0],
                      //                  bytes scenario text (.gdx format)
   kResult = 0x04,    // server → client: u64 request id,
                      //                  bytes deterministic outcome text
@@ -59,6 +64,11 @@ enum class FrameType : uint8_t {
   kShutdown = 0x0A,  // client → server: empty; starts graceful drain
   kBye = 0x0B,       // server → client: empty; drain finished, server
                      //                  exits after closing connections
+  kCancel = 0x0C,    // client → server: u64 request id to abort. No direct
+                     //                  ack: the canceled request's ERROR
+                     //                  (CANCELED) is the acknowledgment.
+                     //                  Unknown/finished ids answer
+                     //                  UNKNOWN_REQUEST (non-fatal).
 };
 
 /// Typed error codes carried by kError frames (u16 on the wire).
@@ -73,6 +83,14 @@ enum class ServeError : uint16_t {
   kSolveFailed = 7,      // engine returned a non-OK status
   kShuttingDown = 8,     // server is draining; request not admitted
   kNotReady = 9,         // request before HELLO handshake (fatal)
+  kDeadlineExceeded = 10,  // the request's deadline lapsed before a
+                           // complete result existed
+  kCanceled = 11,          // aborted by a CANCEL frame or by the session
+                           // disconnecting mid-solve
+  kOverloaded = 12,        // load shed: predicted queue wait already
+                           // exceeds the request's deadline
+  kUnknownRequest = 13,    // CANCEL named an id that is not in flight
+                           // (already answered, or never seen)
 };
 
 const char* ServeErrorName(ServeError code);
@@ -104,11 +122,20 @@ bool DecodeHelloAck(std::string_view payload, HelloAck* ack);
 
 struct Request {
   uint64_t id = 0;
-  uint32_t flags = 0;  // reserved; must be 0
+  uint32_t flags = 0;  // bit 0: deadline present; other bits must be 0
+  /// Solve deadline in milliseconds from server receipt; 0 = none. On the
+  /// wire it is present exactly when flags bit 0 is set (so v2 frames
+  /// without a deadline are byte-identical to v1 modulo the version byte).
+  uint32_t deadline_ms = 0;
   std::string scenario_text;
 };
-std::string EncodeRequest(uint64_t id, std::string_view scenario_text);
+std::string EncodeRequest(uint64_t id, std::string_view scenario_text,
+                          uint32_t deadline_ms = 0);
 bool DecodeRequest(std::string_view payload, Request* out);
+
+/// CANCEL payload: the u64 id of the request to abort.
+std::string EncodeCancel(uint64_t id);
+bool DecodeCancel(std::string_view payload, uint64_t* id);
 
 std::string EncodeResult(uint64_t id, std::string_view outcome_text);
 bool DecodeResult(std::string_view payload, uint64_t* id,

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -13,6 +14,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/fault.h"
 #include "workload/scenario_parser.h"
 
 namespace gdx {
@@ -30,6 +32,15 @@ uint64_t NowNs() {
 bool FileExists(const std::string& path) {
   struct stat st;
   return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Best-effort fsync of a path (file or directory). Durability hardening,
+/// not correctness: a failed fsync degrades to the pre-ISSUE-8 behavior.
+void SyncPath(const char* path, bool directory) {
+  int fd = ::open(path, O_RDONLY | (directory ? O_DIRECTORY : 0));
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
 }
 
 }  // namespace
@@ -61,6 +72,10 @@ class Session {
   void ShutdownRead() { ::shutdown(fd_, SHUT_RD); }
 
   bool hello_done = false;
+  /// Set by the session thread the moment its read loop exits (EOF, reset,
+  /// protocol violation). The watchdog reads it to cancel in-flight work
+  /// whose reply has nowhere to go (ISSUE 8).
+  std::atomic<bool> read_closed{false};
 
  private:
   int fd_;
@@ -97,9 +112,15 @@ Status ExchangeServer::Start() {
   completed_ = stats_->GetCounter("serve.requests.completed");
   request_errors_ = stats_->GetCounter("serve.requests.errors");
   protocol_errors_ = stats_->GetCounter("serve.protocol_errors");
+  canceled_ = stats_->GetCounter("serve.requests.canceled");
+  deadline_exceeded_ =
+      stats_->GetCounter("serve.requests.deadline_exceeded");
+  rejected_overloaded_ =
+      stats_->GetCounter("serve.requests.rejected_overloaded");
   queue_depth_ = stats_->GetGauge("serve.queue_depth");
   checkpoint_saves_ = stats_->GetCounter("serve.checkpoint.saves");
   checkpoint_restores_ = stats_->GetCounter("serve.checkpoint.restores");
+  checkpoint_failures_ = stats_->GetCounter("serve.checkpoint.failures");
   request_ns_ = stats_->GetHistogram("serve.request_ns");
   queue_wait_ns_ = stats_->GetHistogram("serve.queue_wait_ns");
 
@@ -117,7 +138,7 @@ Status ExchangeServer::Start() {
     // A corrupt checkpoint restores nothing; the server just runs cold.
   }
 
-  queue_ = std::make_unique<BoundedQueue<Job>>(
+  queue_ = std::make_unique<FairQueue<Job>>(
       options_.queue_capacity == 0 ? 1 : options_.queue_capacity);
 
   const bool use_unix = !options_.socket_path.empty();
@@ -184,6 +205,7 @@ Status ExchangeServer::Start() {
     unsigned hw = std::thread::hardware_concurrency();
     workers = hw == 0 ? 1 : hw;
   }
+  num_workers_ = workers;
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -191,6 +213,9 @@ Status ExchangeServer::Start() {
   if (!options_.checkpoint_path.empty() &&
       options_.checkpoint_interval_ms > 0) {
     checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
+  if (options_.watchdog_interval_ms > 0) {
+    watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
@@ -235,6 +260,9 @@ void ExchangeServer::SessionLoop(std::shared_ptr<Session> session) {
     }
     if (!HandleFrame(session, frame)) break;
   }
+  // Mark the read half dead *before* deregistering: the watchdog cancels
+  // this session's in-flight solves — their replies have nowhere to go.
+  session->read_closed.store(true, std::memory_order_release);
   // Drop this session's entry; in-flight jobs keep the fd alive through
   // their own shared_ptr until their results have streamed.
   std::lock_guard<std::mutex> lock(sessions_mutex_);
@@ -290,31 +318,108 @@ bool ExchangeServer::HandleFrame(const std::shared_ptr<Session>& session,
                                    "malformed REQUEST payload"));
         return false;
       }
+      // Fault point (ISSUE 8): admission dropped on the floor — the
+      // client sees it as an ordinary QUEUE_FULL and retries.
+      if (fault::ShouldFail(fault::Point::kQueueAdmit)) {
+        rejected_full_->Increment();
+        session->Write(FrameType::kError,
+                       EncodeError(request.id, ServeError::kQueueFull,
+                                   "scenario queue is full"));
+        return true;
+      }
+      // Load shedding (ISSUE 8): when the predicted queue wait alone
+      // already exceeds the request's whole deadline, admitting it only
+      // burns a queue slot on a guaranteed DEADLINE_EXCEEDED. Predict
+      // with the recent-solve EWMA; before any solve finished (EWMA 0)
+      // nothing is shed.
+      if (request.deadline_ms > 0) {
+        const uint64_t ewma = ewma_solve_ns_.load(std::memory_order_relaxed);
+        const uint64_t predicted_wait_ns =
+            queue_->size() * ewma / num_workers_;
+        if (predicted_wait_ns / 1000000 >
+            static_cast<uint64_t>(request.deadline_ms)) {
+          rejected_overloaded_->Increment();
+          session->Write(
+              FrameType::kError,
+              EncodeError(request.id, ServeError::kOverloaded,
+                          "overloaded: predicted queue wait exceeds the "
+                          "request deadline"));
+          return true;
+        }
+      }
       Job job;
       job.request_id = request.id;
       job.scenario_text = std::move(request.scenario_text);
       job.session = session;
       job.enqueue_ns = NowNs();
-      switch (queue_->TryPush(std::move(job))) {
-        case BoundedQueue<Job>::PushResult::kOk:
+      job.deadline_ms = request.deadline_ms;
+      job.cancel = std::make_shared<CancellationToken>();
+      if (request.deadline_ms > 0) {
+        job.cancel->SetDeadlineAfter(
+            std::chrono::milliseconds(request.deadline_ms));
+      }
+      // Register before TryPush: once the job is in the queue a CANCEL
+      // may race ahead of this thread, and it must find the token.
+      const InFlightKey key(session.get(), request.id);
+      {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_[key] = InFlight{job.cancel, session};
+      }
+      const uint64_t lane = reinterpret_cast<uintptr_t>(session.get());
+      switch (queue_->TryPush(lane, std::move(job))) {
+        case FairQueue<Job>::PushResult::kOk:
           accepted_->Increment();
           queue_depth_->Set(static_cast<int64_t>(queue_->size()));
           return true;
-        case BoundedQueue<Job>::PushResult::kFull:
+        case FairQueue<Job>::PushResult::kFull:
           // Admission control: reject-with-status, never block the
           // connection. Clients retry; the connection stays healthy.
+          UnregisterInFlight(session.get(), request.id);
           rejected_full_->Increment();
           session->Write(FrameType::kError,
                          EncodeError(request.id, ServeError::kQueueFull,
                                      "scenario queue is full"));
           return true;
-        case BoundedQueue<Job>::PushResult::kClosed:
+        case FairQueue<Job>::PushResult::kClosed:
+          UnregisterInFlight(session.get(), request.id);
           rejected_draining_->Increment();
           session->Write(FrameType::kError,
                          EncodeError(request.id,
                                      ServeError::kShuttingDown,
                                      "server is draining"));
           return true;
+      }
+      return true;
+    }
+    case FrameType::kCancel: {
+      uint64_t cancel_id = 0;
+      if (!DecodeCancel(frame.payload, &cancel_id)) {
+        protocol_errors_->Increment();
+        session->Write(FrameType::kError,
+                       EncodeError(0, ServeError::kBadFrame,
+                                   "malformed CANCEL payload"));
+        return false;
+      }
+      // Trip the token and nothing else: the worker discovers the stopped
+      // token — at pop for queued jobs, at the next poll mid-solve — and
+      // answers with the typed CANCELED error, which doubles as the ack.
+      // No queue surgery, so queued and running requests cancel the same
+      // way. An id that is not in flight (finished, rejected, or never
+      // seen) is a client-visible soft error, not a connection fault.
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        auto it = inflight_.find(InFlightKey(session.get(), cancel_id));
+        if (it != inflight_.end()) {
+          it->second.token->RequestStop(
+              CancellationToken::StopReason::kCanceled);
+          found = true;
+        }
+      }
+      if (!found) {
+        session->Write(FrameType::kError,
+                       EncodeError(cancel_id, ServeError::kUnknownRequest,
+                                   "no such request in flight"));
       }
       return true;
     }
@@ -351,6 +456,34 @@ void ExchangeServer::WorkerLoop() {
     queue_wait_ns_->Record(NowNs() - job.enqueue_ns);
     if (options_.worker_hook_for_test) options_.worker_hook_for_test();
 
+    // Answers with the typed interruption error for this job's token and
+    // retires the job. stop_requested() self-trips a lapsed deadline, so
+    // even a request whose deadline expired while queued (watchdog not
+    // yet ticked) reports DEADLINE_EXCEEDED here, not a stale solve.
+    auto reply_interrupted = [&]() {
+      const bool deadline = job.cancel->reason() ==
+                            CancellationToken::StopReason::kDeadline;
+      if (deadline) {
+        deadline_exceeded_->Increment();
+      } else {
+        canceled_->Increment();
+      }
+      job.session->Write(
+          FrameType::kError,
+          EncodeError(job.request_id,
+                      deadline ? ServeError::kDeadlineExceeded
+                               : ServeError::kCanceled,
+                      deadline ? "deadline exceeded"
+                               : "request canceled"));
+      UnregisterInFlight(job.session.get(), job.request_id);
+      job.session.reset();
+      job.cancel.reset();
+    };
+    if (job.cancel != nullptr && job.cancel->stop_requested()) {
+      reply_interrupted();  // canceled while queued: skip the solve
+      continue;
+    }
+
     Result<Scenario> scenario = ParseScenario(job.scenario_text);
     if (!scenario.ok()) {
       request_errors_->Increment();
@@ -358,19 +491,36 @@ void ExchangeServer::WorkerLoop() {
           FrameType::kError,
           EncodeError(job.request_id, ServeError::kParseError,
                       scenario.status().ToString()));
+      UnregisterInFlight(job.session.get(), job.request_id);
       job.session.reset();
       continue;
     }
-    Result<ExchangeOutcome> outcome = engine_->Solve(*scenario);
+    const uint64_t solve_start_ns = NowNs();
+    Result<ExchangeOutcome> outcome =
+        engine_->Solve(*scenario, job.cancel.get());
+    if (job.cancel != nullptr && job.cancel->stop_requested()) {
+      // Interrupted mid-solve (CANCEL frame, lapsed deadline, or a dead
+      // session): the partial outcome is discarded — a canceled request
+      // never streams a result, only its typed error.
+      reply_interrupted();
+      continue;
+    }
     if (!outcome.ok()) {
       request_errors_->Increment();
       job.session->Write(
           FrameType::kError,
           EncodeError(job.request_id, ServeError::kSolveFailed,
                       outcome.status().ToString()));
+      UnregisterInFlight(job.session.get(), job.request_id);
       job.session.reset();
       continue;
     }
+    // Completed solves (only — canceled ones are truncated and would drag
+    // the estimate down) feed the overload shedder's latency EWMA.
+    const uint64_t solve_ns = NowNs() - solve_start_ns;
+    const uint64_t prev = ewma_solve_ns_.load(std::memory_order_relaxed);
+    ewma_solve_ns_.store(prev == 0 ? solve_ns : (prev * 7 + solve_ns) / 8,
+                         std::memory_order_relaxed);
     // Stream the result the moment this scenario finishes — completion
     // order, not request order; the id is the correlation. The payload
     // is the deterministic, timing-free outcome text: byte-identical to
@@ -382,7 +532,41 @@ void ExchangeServer::WorkerLoop() {
     completed_->Increment();
     request_ns_->Record(NowNs() - job.enqueue_ns);
     (void)written;  // client gone: its loss, the server moves on
+    UnregisterInFlight(job.session.get(), job.request_id);
     job.session.reset();
+    job.cancel.reset();
+  }
+}
+
+void ExchangeServer::UnregisterInFlight(const void* session,
+                                        uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  inflight_.erase(InFlightKey(session, request_id));
+}
+
+void ExchangeServer::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  const auto interval =
+      std::chrono::milliseconds(options_.watchdog_interval_ms);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    watchdog_cv_.wait_for(lock, interval, [this] {
+      return stopping_.load(std::memory_order_relaxed);
+    });
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    // Sweep the in-flight registry: stop_requested() self-trips lapsed
+    // deadlines (so even a solve stuck in a poll-free region is flagged
+    // the moment anything looks), and requests whose session's read half
+    // died are canceled — their reply has nowhere to go, so every further
+    // cycle they'd burn is pure waste.
+    std::lock_guard<std::mutex> inflight_lock(inflight_mutex_);
+    for (auto& entry : inflight_) {
+      InFlight& inflight = entry.second;
+      if (inflight.token->stop_requested()) continue;
+      if (inflight.session->read_closed.load(std::memory_order_acquire)) {
+        inflight.token->RequestStop(
+            CancellationToken::StopReason::kCanceled);
+      }
+    }
   }
 }
 
@@ -395,7 +579,14 @@ void ExchangeServer::CheckpointLoop() {
       return stopping_.load(std::memory_order_relaxed);
     });
     if (stopping_.load(std::memory_order_relaxed)) break;
-    if (SaveCheckpoint().ok()) checkpoint_saves_->Increment();
+    if (SaveCheckpoint().ok()) {
+      checkpoint_saves_->Increment();
+    } else {
+      // A failed save (disk trouble, injected fault) costs this interval's
+      // checkpoint, nothing else: the previous one is still intact and
+      // the next tick retries.
+      checkpoint_failures_->Increment();
+    }
   }
 }
 
@@ -404,12 +595,32 @@ Status ExchangeServer::SaveCheckpoint() const {
   // intact, so the restart path always sees a complete snapshot (the
   // decoder would reject a torn one anyway — this avoids even that).
   const std::string tmp = options_.checkpoint_path + ".tmp";
+  // Fault point (ISSUE 8): the snapshot write dies mid-file. Unlink the
+  // tmp so the injected failure looks like a crash, not a stale partial.
+  if (fault::ShouldFail(fault::Point::kCheckpointWrite)) {
+    ::unlink(tmp.c_str());
+    return Status::Internal("serve: checkpoint write: fault injected");
+  }
   Status written = engine_->SaveWarmState(tmp);
   if (!written.ok()) return written;
+  // fsync before rename: otherwise a power cut can leave the *renamed*
+  // file with unwritten pages — a torn checkpoint at the durable name.
+  SyncPath(tmp.c_str(), /*directory=*/false);
+  // Fault point (ISSUE 8): crash between write and rename.
+  if (fault::ShouldFail(fault::Point::kCheckpointRename)) {
+    ::unlink(tmp.c_str());
+    return Status::Internal("serve: checkpoint rename: fault injected");
+  }
   if (::rename(tmp.c_str(), options_.checkpoint_path.c_str()) != 0) {
     return Status::Internal(std::string("serve: checkpoint rename: ") +
                             std::strerror(errno));
   }
+  // fsync the directory so the rename itself survives a crash.
+  const size_t slash = options_.checkpoint_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "."
+                                 : options_.checkpoint_path.substr(0, slash);
+  SyncPath(dir.empty() ? "/" : dir.c_str(), /*directory=*/true);
   return Status::Ok();
 }
 
@@ -430,11 +641,22 @@ void ExchangeServer::Drain() {
       if (worker.joinable()) worker.join();
     }
 
+    // 3b. The watchdog goes before the sessions' read halves are shut
+    //     down (step 5): drain-closed reads must not read as client
+    //     disconnects and cancel nothing — there is nothing left in
+    //     flight anyway once the workers joined.
+    watchdog_cv_.notify_all();
+    if (watchdog_thread_.joinable()) watchdog_thread_.join();
+
     // 4. Final checkpoint, after the last solve's memos landed.
     checkpoint_cv_.notify_all();
     if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
     if (!options_.checkpoint_path.empty()) {
-      if (SaveCheckpoint().ok()) checkpoint_saves_->Increment();
+      if (SaveCheckpoint().ok()) {
+        checkpoint_saves_->Increment();
+      } else {
+        checkpoint_failures_->Increment();
+      }
     }
 
     // 5. Wake every blocked session read (write halves stay open: the

@@ -5,10 +5,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -44,6 +46,13 @@ struct ServeOptions {
   /// Empty = no checkpointing.
   std::string checkpoint_path;
   uint64_t checkpoint_interval_ms = 5000;
+
+  /// Watchdog tick (ISSUE 8): how often the server sweeps its in-flight
+  /// requests for lapsed deadlines and disconnected sessions. The sweep
+  /// only *trips* cancellation tokens — the solve stages abort themselves
+  /// at their next poll — so this bounds how stale a queued-but-doomed
+  /// request can get, not the solve abort latency.
+  uint64_t watchdog_interval_ms = 10;
 
   EngineOptions engine;
 
@@ -116,12 +125,30 @@ class ExchangeServer {
     /// that dies early keeps the fd alive until its jobs finish.
     std::shared_ptr<class Session> session;
     uint64_t enqueue_ns = 0;
+    /// Per-request cancellation token (ISSUE 8): carries the request's
+    /// deadline and is tripped by CANCEL frames, the watchdog (lapsed
+    /// deadline / disconnected session), or both. Shared with the
+    /// in-flight registry so a cancel reaches the job wherever it is —
+    /// still queued or mid-solve.
+    std::shared_ptr<CancellationToken> cancel;
+    uint32_t deadline_ms = 0;
   };
+
+  /// In-flight registry entry: everything a CANCEL frame or a watchdog
+  /// sweep needs to reach a request between admission and its reply.
+  struct InFlight {
+    std::shared_ptr<CancellationToken> token;
+    std::shared_ptr<class Session> session;
+  };
+  /// Registry key: (session identity, client request id) — ids are only
+  /// unique per connection, so CANCEL resolves within its own session.
+  using InFlightKey = std::pair<const void*, uint64_t>;
 
   void AcceptLoop();
   void SessionLoop(std::shared_ptr<Session> session);
   void WorkerLoop();
   void CheckpointLoop();
+  void WatchdogLoop();
 
   /// Handles one decoded frame on a session. Returns false when the
   /// connection must close (protocol violation or BYE).
@@ -134,11 +161,15 @@ class ExchangeServer {
 
   Status SaveCheckpoint() const;
 
+  /// Removes (and returns) a request's registry entry; the worker calls
+  /// this once per job, CANCEL lookups read under the same lock.
+  void UnregisterInFlight(const void* session, uint64_t request_id);
+
   ServeOptions options_;
   std::unique_ptr<obs::StatsRegistry> owned_stats_;
   obs::StatsRegistry* stats_ = nullptr;
   std::unique_ptr<ExchangeEngine> engine_;
-  std::unique_ptr<BoundedQueue<Job>> queue_;
+  std::unique_ptr<FairQueue<Job>> queue_;
 
   int listen_fd_ = -1;
   int bound_port_ = -1;
@@ -148,6 +179,17 @@ class ExchangeServer {
   std::thread checkpoint_thread_;
   std::mutex checkpoint_mutex_;
   std::condition_variable checkpoint_cv_;
+  std::thread watchdog_thread_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+
+  std::mutex inflight_mutex_;
+  std::map<InFlightKey, InFlight> inflight_;
+
+  /// EWMA of recent (non-canceled) solve latencies, for the overload
+  /// shedder's queue-wait prediction. 0 until the first solve completes.
+  std::atomic<uint64_t> ewma_solve_ns_{0};
+  size_t num_workers_ = 1;
 
   std::mutex sessions_mutex_;
   std::vector<std::shared_ptr<Session>> sessions_;
@@ -167,9 +209,13 @@ class ExchangeServer {
   obs::Counter* completed_ = nullptr;
   obs::Counter* request_errors_ = nullptr;
   obs::Counter* protocol_errors_ = nullptr;
+  obs::Counter* canceled_ = nullptr;
+  obs::Counter* deadline_exceeded_ = nullptr;
+  obs::Counter* rejected_overloaded_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::Counter* checkpoint_saves_ = nullptr;
   obs::Counter* checkpoint_restores_ = nullptr;
+  obs::Counter* checkpoint_failures_ = nullptr;
   obs::Histogram* request_ns_ = nullptr;
   obs::Histogram* queue_wait_ns_ = nullptr;
 };

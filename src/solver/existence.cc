@@ -21,6 +21,9 @@ struct StagePattern {
   GraphPattern pattern;
   bool failed = false;
   std::string failure_reason;
+  /// The chase was aborted by a cancellation token (ISSUE 8): the pattern
+  /// is truncated and the decision stages must report kUnknown.
+  bool canceled = false;
 };
 
 /// One entry point for "give me the chased pattern": replay the compiled
@@ -33,21 +36,24 @@ struct StagePattern {
 StagePattern BuildStagePattern(const ChasedScenario* chased,
                                const Setting& setting,
                                const Instance& source, Universe& universe,
-                               const NreEvaluator& eval) {
+                               const NreEvaluator& eval,
+                               const CancellationToken* cancel) {
   StagePattern out;
   ChasedScenarioPtr local;
   if (chased == nullptr) {
     // Compile already appends the chase's fresh nulls to `universe`, so
     // the artifact is consumed at its own base: no replay shift needed.
-    local = ChaseCompiler::Compile(setting, source, universe, eval);
+    local = ChaseCompiler::Compile(setting, source, universe, eval, cancel);
     out.pattern = local->pattern;
     out.failed = local->failed;
     out.failure_reason = local->failure_reason;
+    out.canceled = local->canceled;
     return out;
   }
   out.pattern = ReplayChase(*chased, universe);
   out.failed = chased->failed;
   out.failure_reason = chased->failure_reason;
+  out.canceled = chased->canceled;
   return out;
 }
 
@@ -56,16 +62,23 @@ StagePattern BuildStagePattern(const ChasedScenario* chased,
 std::optional<Graph> ExistenceSolver::RepairAndVerify(
     Graph candidate, const Setting& setting, const Instance& source,
     Universe& universe) const {
+  const CancellationToken* cancel = options_.cancel;
   if (!setting.egds.empty()) {
-    EgdChaseResult egd = ChaseGraphEgds(candidate, setting.egds, *eval_);
+    EgdChaseResult egd = ChaseGraphEgds(candidate, setting.egds, *eval_,
+                                        EgdChasePolicy::kDeferredRounds,
+                                        cancel);
     if (egd.failed) return std::nullopt;
   }
+  // A canceled repair leaves the candidate mid-chase: reject it rather
+  // than let a partially repaired graph reach the (expensive) final check.
+  if (Cancelled()) return std::nullopt;
   if (!setting.target_tgds.empty()) {
     const size_t nodes_before = candidate.num_nodes();
     const size_t edges_before = candidate.num_edges();
     Status st = ChaseTargetTgds(candidate, setting.target_tgds, universe,
-                                *eval_, options_.target_tgd_max_rounds);
-    if (!st.ok()) return std::nullopt;
+                                *eval_, options_.target_tgd_max_rounds,
+                                /*stats=*/nullptr, cancel);
+    if (!st.ok() || Cancelled()) return std::nullopt;
     // Target tgd chase may have re-broken egds; re-repair once. The chase
     // is purely additive, so an unchanged node/edge count means it fired
     // nothing and the egds still hold — skip the re-chase (ISSUE 3: the
@@ -73,10 +86,13 @@ std::optional<Graph> ExistenceSolver::RepairAndVerify(
     const bool chase_extended = candidate.num_nodes() != nodes_before ||
                                 candidate.num_edges() != edges_before;
     if (chase_extended && !setting.egds.empty()) {
-      EgdChaseResult egd = ChaseGraphEgds(candidate, setting.egds, *eval_);
+      EgdChaseResult egd = ChaseGraphEgds(candidate, setting.egds, *eval_,
+                                          EgdChasePolicy::kDeferredRounds,
+                                          cancel);
       if (egd.failed) return std::nullopt;
     }
   }
+  if (Cancelled()) return std::nullopt;
   if (!setting.sameas.empty()) {
     Status st = CompleteSameAs(candidate, setting.sameas, *setting.alphabet,
                                *eval_);
@@ -109,8 +125,13 @@ ExistenceReport ExistenceSolver::DecideChaseRefute(
     const Setting& setting, const Instance& source, Universe& universe,
     const ChasedScenario* chased) const {
   ExistenceReport report;
-  StagePattern stage =
-      BuildStagePattern(chased, setting, source, universe, *eval_);
+  StagePattern stage = BuildStagePattern(chased, setting, source, universe,
+                                         *eval_, options_.cancel);
+  if (stage.canceled || Cancelled()) {
+    report.verdict = ExistenceVerdict::kUnknown;
+    report.note = "search cancelled";
+    return report;
+  }
   if (stage.failed) {
     report.verdict = ExistenceVerdict::kNo;
     report.refuted_by_chase = true;
@@ -132,6 +153,11 @@ ExistenceReport ExistenceSolver::DecideChaseRefute(
       return report;
     }
   }
+  if (Cancelled()) {
+    report.verdict = ExistenceVerdict::kUnknown;
+    report.note = "search cancelled";
+    return report;
+  }
   report.verdict = ExistenceVerdict::kUnknown;
   report.note =
       "chase succeeded but canonical instantiation failed verification "
@@ -143,8 +169,13 @@ ExistenceReport ExistenceSolver::DecideBoundedSearch(
     const Setting& setting, const Instance& source, Universe& universe,
     const ChasedScenario* chased) const {
   ExistenceReport report;
-  StagePattern stage =
-      BuildStagePattern(chased, setting, source, universe, *eval_);
+  StagePattern stage = BuildStagePattern(chased, setting, source, universe,
+                                         *eval_, options_.cancel);
+  if (stage.canceled || Cancelled()) {
+    report.verdict = ExistenceVerdict::kUnknown;
+    report.note = "search cancelled";
+    return report;
+  }
   if (stage.failed) {
     report.verdict = ExistenceVerdict::kNo;
     report.refuted_by_chase = true;
@@ -409,8 +440,9 @@ std::vector<Graph> ExistenceSolver::EnumerateSolutions(
   if (!setting.sameas.empty() && setting.alphabet != nullptr) {
     (void)setting.alphabet->SameAsSymbol();
   }
-  StagePattern stage =
-      BuildStagePattern(chased, setting, source, universe, *eval_);
+  StagePattern stage = BuildStagePattern(chased, setting, source, universe,
+                                         *eval_, options_.cancel);
+  if (stage.canceled || Cancelled()) return kept;  // truncated pattern
   if (stage.failed) return kept;  // no solutions at all
   GraphPattern& pattern = stage.pattern;
   PatternInstantiator instantiator(&pattern, options_.instantiation);

@@ -214,11 +214,11 @@ TEST_F(ServeTest, HandshakePingAndStats) {
 TEST_F(ServeTest, FrameVersionMismatchGetsTypedErrorWithoutServerDeath) {
   auto server = StartServer("version");
   int fd = RawConnect(socket_path_);
-  // Hand-crafted frame header carrying protocol version 2.
+  // Hand-crafted frame header carrying a protocol version from the future.
   std::string header;
   header.append(4, '\0');                      // len = 0
   header.push_back(static_cast<char>(0x06));   // PING
-  header.push_back(static_cast<char>(0x02));   // wrong version
+  header.push_back(static_cast<char>(kProtocolVersion + 1));
   header.append(2, '\0');
   ASSERT_TRUE(WriteAll(fd, header).ok());
   EXPECT_EQ(ReadErrorCode(fd), ServeError::kVersionMismatch);
