@@ -1,0 +1,205 @@
+// ISSUE 9: semi-naive (delta) chase vs the legacy full-round chase on
+// million-edge random-graph workloads. The reproduction artifact checks
+// that both algorithms produce identical patterns while the delta chase
+// skips rules (reliance scheduling); the sweeps time ChaseCompiler::
+// Compile under both ChaseAlgorithm values on sparse and dense regimes.
+#include "bench_util.h"
+
+#include <memory>
+
+#include "chase/chase_compiler.h"
+#include "common/thread_pool.h"
+#include "graph/nre_eval.h"
+#include "workload/random_graph.h"
+#include "workload/scenario.h"
+
+namespace gdx {
+namespace {
+
+/// Synthesizes a relational exchange scenario from a random graph: one
+/// binary relation per label holding that label's edges, copy st-tgds
+/// R_i(x, y) -> (x, l_i, y), one existential tgd deriving a hub null per
+/// R_0 fact, two egds that merge only nulls (never constants, so the
+/// chase cannot fail), and one dead egd whose label is never derived —
+/// the shape that exercises reliance skipping end to end.
+struct DeltaWorkload {
+  Scenario scenario;
+  size_t source_edges = 0;
+};
+
+DeltaWorkload MakeDeltaWorkload(size_t num_nodes, size_t num_edges,
+                                size_t num_labels, uint64_t seed) {
+  DeltaWorkload w;
+  Scenario& s = w.scenario;
+  s.universe = std::make_unique<Universe>();
+  s.alphabet = std::make_unique<Alphabet>();
+  s.source_schema = std::make_unique<Schema>();
+
+  RandomGraphParams params;
+  params.num_nodes = num_nodes;
+  params.num_edges = num_edges;
+  params.num_labels = num_labels;
+  params.seed = seed;
+  Graph g = MakeRandomGraph(params, *s.universe, *s.alphabet);
+  w.source_edges = g.num_edges();
+
+  std::vector<RelationId> rels;
+  for (size_t i = 0; i < num_labels; ++i) {
+    rels.push_back(
+        *s.source_schema->AddRelation("R" + std::to_string(i), 2));
+  }
+  s.instance = std::make_unique<Instance>(s.source_schema.get());
+  for (const Edge& e : g.edges()) {
+    (void)s.instance->AddFact(rels[e.label], {e.src, e.dst});
+  }
+
+  s.setting.source_schema = s.source_schema.get();
+  s.setting.alphabet = s.alphabet.get();
+  const SymbolId hub = s.alphabet->Intern("hub");
+  const SymbolId ghost = s.alphabet->Intern("ghost");
+
+  // Copy tgds: R_i(x, y) -> (x, l_i, y).
+  for (size_t i = 0; i < num_labels; ++i) {
+    StTgd tgd(s.source_schema.get());
+    VarId x = tgd.body.InternVar("x");
+    VarId y = tgd.body.InternVar("y");
+    tgd.body.AddAtom(RelAtom{rels[i], {Term::Var(x), Term::Var(y)}});
+    tgd.head.push_back(CnreAtom{
+        Term::Var(x), Nre::Symbol(static_cast<SymbolId>(i)), Term::Var(y)});
+    s.setting.st_tgds.push_back(std::move(tgd));
+  }
+  // Existential tgd: R_0(x, y) -> exists z . (x, hub, z).
+  {
+    StTgd tgd(s.source_schema.get());
+    VarId x = tgd.body.InternVar("x");
+    VarId y = tgd.body.InternVar("y");
+    VarId z = tgd.body.InternVar("z");  // bound by no body atom
+    tgd.body.AddAtom(RelAtom{rels[0], {Term::Var(x), Term::Var(y)}});
+    tgd.head.push_back(
+        CnreAtom{Term::Var(x), Nre::Symbol(hub), Term::Var(z)});
+    s.setting.st_tgds.push_back(std::move(tgd));
+  }
+  // Egd A: the hub nulls of one source node collapse.
+  {
+    TargetEgd egd;
+    VarId x = egd.body.InternVar("x");
+    VarId z1 = egd.body.InternVar("z1");
+    VarId z2 = egd.body.InternVar("z2");
+    egd.body.AddAtom(Term::Var(x), Nre::Symbol(hub), Term::Var(z1));
+    egd.body.AddAtom(Term::Var(x), Nre::Symbol(hub), Term::Var(z2));
+    egd.x1 = z1;
+    egd.x2 = z2;
+    s.setting.egds.push_back(std::move(egd));
+  }
+  // Egd B: an l_0 edge equates its endpoints' hub nulls — the cascading
+  // rule the delta rounds re-join only while hub labels keep changing.
+  {
+    TargetEgd egd;
+    VarId x = egd.body.InternVar("x");
+    VarId y = egd.body.InternVar("y");
+    VarId z = egd.body.InternVar("z");
+    VarId wv = egd.body.InternVar("w");
+    egd.body.AddAtom(Term::Var(x), Nre::Symbol(0), Term::Var(y));
+    egd.body.AddAtom(Term::Var(x), Nre::Symbol(hub), Term::Var(z));
+    egd.body.AddAtom(Term::Var(y), Nre::Symbol(hub), Term::Var(wv));
+    egd.x1 = z;
+    egd.x2 = wv;
+    s.setting.egds.push_back(std::move(egd));
+  }
+  // Dead egd: `ghost` is derived by no st-tgd head, so the reliance
+  // analysis proves this rule can never match and skips it every round.
+  {
+    TargetEgd egd;
+    VarId x1 = egd.body.InternVar("x1");
+    VarId x2 = egd.body.InternVar("x2");
+    VarId y = egd.body.InternVar("y");
+    egd.body.AddAtom(Term::Var(x1), Nre::Symbol(ghost), Term::Var(y));
+    egd.body.AddAtom(Term::Var(x2), Nre::Symbol(ghost), Term::Var(y));
+    egd.x1 = x1;
+    egd.x2 = x2;
+    s.setting.egds.push_back(std::move(egd));
+  }
+  return w;
+}
+
+void PrintRepro() {
+  AutomatonNreEvaluator eval;
+  DeltaWorkload delta_w = MakeDeltaWorkload(2000, 8000, 4, 7);
+  DeltaWorkload naive_w = MakeDeltaWorkload(2000, 8000, 4, 7);
+  ChaseCompileOptions delta_opts;
+  delta_opts.algorithm = ChaseAlgorithm::kDelta;
+  ChaseCompileOptions naive_opts;
+  naive_opts.algorithm = ChaseAlgorithm::kNaive;
+  ChasedScenarioPtr d = ChaseCompiler::Compile(
+      delta_w.scenario.setting, *delta_w.scenario.instance,
+      *delta_w.scenario.universe, eval, delta_opts);
+  ChasedScenarioPtr n = ChaseCompiler::Compile(
+      naive_w.scenario.setting, *naive_w.scenario.instance,
+      *naive_w.scenario.universe, eval, naive_opts);
+  const bool identical =
+      d->pattern.ToString(*delta_w.scenario.universe,
+                          *delta_w.scenario.alphabet) ==
+      n->pattern.ToString(*naive_w.scenario.universe,
+                          *naive_w.scenario.alphabet);
+  std::printf("delta vs naive pattern (2000 nodes, 8000 edges): %s\n",
+              identical ? "byte-identical" : "MISMATCH");
+  std::printf("delta stats: rounds=%zu evaluated=%zu skipped=%zu "
+              "strata=%zu merges=%zu\n",
+              d->delta.delta_rounds, d->delta.evaluated_rules,
+              d->delta.skipped_rules, d->delta.strata, d->egd_merges);
+}
+
+void RunCompileBench(benchmark::State& state, size_t num_nodes,
+                     size_t num_edges, size_t num_labels) {
+  const ChaseAlgorithm algorithm = state.range(1) == 0
+                                       ? ChaseAlgorithm::kDelta
+                                       : ChaseAlgorithm::kNaive;
+  AutomatonNreEvaluator eval;
+  ThreadPool pool(0);  // hardware concurrency
+  size_t skipped = 0, merges = 0, edges = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    DeltaWorkload w =
+        MakeDeltaWorkload(num_nodes, num_edges, num_labels, 7);
+    state.ResumeTiming();
+    ChaseCompileOptions options;
+    options.algorithm = algorithm;
+    options.pool = &pool;
+    options.max_workers = 0;  // pool width
+    ChasedScenarioPtr artifact = ChaseCompiler::Compile(
+        w.scenario.setting, *w.scenario.instance, *w.scenario.universe,
+        eval, options);
+    benchmark::DoNotOptimize(artifact);
+    skipped = artifact->delta.skipped_rules;
+    merges = artifact->egd_merges;
+    edges = artifact->pattern.num_edges();
+  }
+  state.counters["skipped_rules"] = static_cast<double>(skipped);
+  state.counters["egd_merges"] = static_cast<double>(merges);
+  state.counters["pattern_edges"] = static_cast<double>(edges);
+}
+
+/// Sparse regime: avg degree 2, 8 labels — the million-node point is the
+/// ISSUE 9 headline (arg 0 = nodes, arg 1 = 0 delta / 1 naive).
+void BM_DeltaChaseLargeSparse(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  RunCompileBench(state, nodes, nodes * 2, 8);
+}
+BENCHMARK(BM_DeltaChaseLargeSparse)
+    ->ArgsProduct({{1 << 16, 1 << 18, 1 << 20}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Dense regime: avg degree 16 over few labels — heavier egd joins per
+/// round, more merge cascades.
+void BM_DeltaChaseDense(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  RunCompileBench(state, nodes, nodes * 16, 4);
+}
+BENCHMARK(BM_DeltaChaseDense)
+    ->ArgsProduct({{1 << 12, 1 << 14, 1 << 16}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gdx
+
+GDX_BENCH_MAIN(gdx::PrintRepro)

@@ -15,11 +15,15 @@
 //   gdx_cli batch <a.gdx> <b.gdx> ...     solve many scenarios concurrently
 //           [--threads=N] [--repeat=K]    through the BatchExecutor and
 //           [--intra-threads=N]           print the Metrics summary;
-//           [--cache-load=FILE]           --intra-threads fans each solve's
-//           [--cache-save=FILE]           witness search over N workers;
-//           [--report-out=FILE]           --cache-load/--cache-save restore/
-//           [--trace-out=FILE]            persist the engine cache snapshot
-//           [--metrics-json=FILE]         (docs/FORMAT.md) so a new process
+//           [--chase=delta|naive]         --intra-threads fans each solve's
+//           [--cache-load=FILE]           witness search over N workers;
+//           [--cache-save=FILE]           --chase picks the chase algorithm
+//           [--report-out=FILE]           (semi-naive delta vs the legacy
+//           [--trace-out=FILE]            reference — byte-identical, see
+//           [--metrics-json=FILE]         CI's chase-diff job);
+//                                         --cache-load/--cache-save restore/
+//                                         persist the engine cache snapshot
+//                                         (docs/FORMAT.md) so a new process
 //                                         warm-starts with every memo and
 //                                         compiled automaton of the last
 //                                         run; --report-out writes the
@@ -172,6 +176,19 @@ int RunBatch(int argc, char** argv) {
         return 2;
       }
       repeat = static_cast<size_t>(parsed);
+    } else if (std::strncmp(arg, "--chase=", 8) == 0) {
+      // Both algorithms produce byte-identical artifacts (the CI
+      // chase-diff job cmp's the two reports); the flag exists for that
+      // differential and for benchmarking the legacy path.
+      const char* mode = arg + 8;
+      if (std::strcmp(mode, "delta") == 0) {
+        options.engine.chase_policy = ChasePolicy::kDelta;
+      } else if (std::strcmp(mode, "naive") == 0) {
+        options.engine.chase_policy = ChasePolicy::kNaive;
+      } else {
+        std::fprintf(stderr, "--chase must be 'delta' or 'naive'\n");
+        return 2;
+      }
     } else {
       paths.push_back(arg);
     }
@@ -179,9 +196,10 @@ int RunBatch(int argc, char** argv) {
   if (paths.empty()) {
     std::fprintf(stderr,
                  "usage: gdx_cli batch <a.gdx> [b.gdx ...] [--threads=N] "
-                 "[--intra-threads=N] [--repeat=K] [--cache-load=FILE] "
-                 "[--cache-save=FILE] [--report-out=FILE] "
-                 "[--trace-out=FILE] [--metrics-json=FILE]\n");
+                 "[--intra-threads=N] [--repeat=K] [--chase=delta|naive] "
+                 "[--cache-load=FILE] [--cache-save=FILE] "
+                 "[--report-out=FILE] [--trace-out=FILE] "
+                 "[--metrics-json=FILE]\n");
     return 2;
   }
   // Observability (ISSUE 6): both sinks are pay-for-what-you-ask — no

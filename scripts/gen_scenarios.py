@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Emit seeded random exchange scenarios in the .gdx DSL.
+
+The CI chase-diff job (ISSUE 9) feeds the same generated corpus through
+`gdx_cli batch --chase=naive` and `--chase=delta` and byte-compares the
+two --report-out files: the semi-naive, reliance-scheduled chase must be
+observationally identical to the legacy reference on every scenario. The
+generator mirrors the shapes of tests/delta_chase_test.cpp's in-process
+battery — existential heads that mint nulls, complex NRE heads, egds
+whose constant clashes make some chases fail, and labels no rule derives
+(dead rules, the skip case) — so the corpus exercises every regime the
+delta chase treats specially.
+
+Usage:
+    gen_scenarios.py --out DIR [--count N] [--seed S]
+
+Writes N files DIR/gen_XXXX.gdx (deterministic for a given --seed).
+"""
+
+import argparse
+import os
+import random
+
+LABELS = ["a", "b", "c", "d", "hub"]
+BODY_VARS = ["x", "y", "z"]
+EGD_VARS = ["u1", "u2", "v1", "v2"]
+
+
+def scenario_text(rng):
+    lines = ["relation R/2", "relation S/2"]
+    num_consts = rng.randint(3, 6)
+    for _ in range(rng.randint(3, 8)):
+        rel = rng.choice(["R", "S"])
+        lines.append("fact %s(c%d, c%d)" % (rel, rng.randrange(num_consts),
+                                            rng.randrange(num_consts)))
+    for _ in range(rng.randint(1, 4)):
+        body = rng.choice(["R(x, y)", "S(x, y)"])
+        if rng.random() < 0.3:
+            body += rng.choice([", S(y, z)", ", R(y, z)"])
+        heads = []
+        for _ in range(2 if rng.random() < 0.4 else 1):
+            nre = rng.choice(LABELS)
+            shape = rng.random()
+            if shape < 0.15:
+                nre += " . " + rng.choice(LABELS)
+            elif shape < 0.25:
+                nre += " + " + rng.choice(LABELS)
+            elif shape < 0.32:
+                nre += "*"
+            v1 = rng.choice(BODY_VARS)
+            # Existential targets mint the nulls egd merges move around.
+            v2 = ("e%d" % rng.randint(1, 2)) if rng.random() < 0.45 \
+                else rng.choice(BODY_VARS)
+            heads.append("(%s, %s, %s)" % (v1, nre, v2))
+        lines.append("stgd %s -> %s" % (body, ", ".join(heads)))
+    for _ in range(rng.randint(0, 3)):
+        used = []
+        atoms = []
+        for _ in range(2 if rng.random() < 0.5 else 1):
+            lbl = rng.choice(LABELS)
+            if rng.random() < 0.2:
+                lbl += "*"
+            v1, v2 = rng.choice(EGD_VARS), rng.choice(EGD_VARS)
+            used += [v1, v2]
+            atoms.append("(%s, %s, %s)" % (v1, lbl, v2))
+        lines.append("egd %s -> %s = %s" %
+                     (", ".join(atoms), rng.choice(used), rng.choice(used)))
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True, help="output directory")
+    parser.add_argument("--count", type=int, default=250)
+    parser.add_argument("--seed", type=int, default=9)
+    args = parser.parse_args()
+
+    os.makedirs(args.out, exist_ok=True)
+    for i in range(args.count):
+        # One independent stream per file: a count change never reshuffles
+        # the scenarios other files get.
+        rng = random.Random((args.seed << 20) + i)
+        path = os.path.join(args.out, "gen_%04d.gdx" % i)
+        with open(path, "w") as f:
+            f.write(scenario_text(rng))
+    print("wrote %d scenarios to %s (seed %d)" %
+          (args.count, args.out, args.seed))
+
+
+if __name__ == "__main__":
+    main()

@@ -64,27 +64,62 @@ ChasedScenarioPtr ChaseCompiler::Compile(const Setting& setting,
                                          const Instance& source,
                                          Universe& universe,
                                          const NreEvaluator& eval,
-                                         const CancellationToken* cancel) {
+                                         const ChaseCompileOptions& options) {
+  const CancellationToken* cancel = options.cancel;
   auto artifact = std::make_shared<ChasedScenario>();
   artifact->base_nulls = universe.num_nulls();
-  artifact->pattern = ChaseToPattern(source, setting.st_tgds, universe,
-                                     &artifact->stats, cancel);
-  if (!setting.egds.empty() &&
-      !(cancel != nullptr && cancel->stop_requested())) {
-    EgdChaseResult egd = ChasePatternEgds(artifact->pattern, setting.egds,
-                                          eval, EgdChasePolicy::kDeferredRounds,
-                                          cancel);
-    artifact->egd_merges = egd.merges;
-    if (egd.failed) {
-      artifact->failed = true;
-      artifact->failure_reason = egd.failure_reason;
+  // Both algorithms analyze the mapping: the artifact's reliance bytes —
+  // and hence the persisted RELI payload — are algorithm-independent.
+  auto reliance =
+      std::make_shared<const RelianceGraph>(RelianceGraph::Build(setting));
+  artifact->reliance = reliance;
+  if (options.algorithm == ChaseAlgorithm::kNaive) {
+    artifact->pattern = ChaseToPattern(source, setting.st_tgds, universe,
+                                       &artifact->stats, cancel);
+    if (!setting.egds.empty() &&
+        !(cancel != nullptr && cancel->stop_requested())) {
+      EgdChaseResult egd = ChasePatternEgds(
+          artifact->pattern, setting.egds, eval,
+          EgdChasePolicy::kDeferredRounds, cancel);
+      artifact->egd_merges = egd.merges;
+      if (egd.failed) {
+        artifact->failed = true;
+        artifact->failure_reason = egd.failure_reason;
+      }
     }
+  } else {
+    DeltaChaseOptions delta_options;
+    delta_options.pool = options.pool;
+    delta_options.max_workers = options.max_workers;
+    delta_options.cancel = cancel;
+    delta_options.wrap_worker = options.wrap_worker;
+    delta_options.observer = options.observer;
+    DeltaChaseResult run = RunDeltaChase(setting, source, *reliance, universe,
+                                         eval, delta_options);
+    artifact->pattern = std::move(run.pattern);
+    artifact->stats = run.stats;
+    artifact->egd_merges = run.egd.merges;
+    if (run.egd.failed) {
+      artifact->failed = true;
+      artifact->failure_reason = run.egd.failure_reason;
+    }
+    artifact->delta = run.delta;
   }
   if (cancel != nullptr && cancel->stop_requested()) {
     artifact->canceled = true;
   }
   artifact->null_labels = universe.NullLabelsSince(artifact->base_nulls);
   return artifact;
+}
+
+ChasedScenarioPtr ChaseCompiler::Compile(const Setting& setting,
+                                         const Instance& source,
+                                         Universe& universe,
+                                         const NreEvaluator& eval,
+                                         const CancellationToken* cancel) {
+  ChaseCompileOptions options;
+  options.cancel = cancel;
+  return Compile(setting, source, universe, eval, options);
 }
 
 void ChaseCompiler::Adopt(const ChasedScenario& chased, Universe& universe) {

@@ -1,11 +1,15 @@
 #ifndef GDX_CHASE_CHASE_COMPILER_H_
 #define GDX_CHASE_CHASE_COMPILER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "chase/delta_chase.h"
 #include "chase/pattern_chase.h"
+#include "chase/reliance.h"
+#include "common/thread_pool.h"
 #include "common/universe.h"
 #include "exchange/setting.h"
 #include "graph/nre_eval.h"
@@ -49,11 +53,53 @@ struct ChasedScenario {
   /// the null arena: replaying the artifact appends exactly these nulls.
   size_t base_nulls = 0;
   std::vector<std::string> null_labels;
+
+  /// The mapping's positive-reliance analysis (ISSUE 9 tentpole),
+  /// computed once per compilation — by *both* algorithms, so its bytes
+  /// are mode-independent — and persisted in the snapshot's RELI
+  /// companion section. Artifacts decoded from pre-RELI snapshots carry
+  /// nullptr here, which is harmless: the analysis only matters while
+  /// compiling, and a decoded artifact never re-chases.
+  RelianceGraphPtr reliance;
+
+  /// Delta-chase work counters. All zero for ChaseAlgorithm::kNaive and
+  /// for artifacts restored from cache or snapshot (like the chase work
+  /// counters, they describe the compilation that actually ran).
+  DeltaChaseStats delta;
 };
 
 /// Immutable shared handle: the cache, the snapshot codec and every
 /// consuming solve hold the same artifact without copying.
 using ChasedScenarioPtr = std::shared_ptr<const ChasedScenario>;
+
+/// Which chase evaluates the mapping (ISSUE 9 tentpole). Both produce
+/// byte-identical artifacts — the naive algorithm stays as the
+/// differential reference, mirroring how PR 3 kept the dense NRE
+/// evaluator.
+enum class ChaseAlgorithm {
+  /// Semi-naive: reliance-scheduled delta rounds, parallel rule fan-out
+  /// (delta_chase.h). The default.
+  kDelta,
+  /// The legacy full-round stage sequence
+  /// (ChaseToPattern + ChasePatternEgds), always sequential.
+  kNaive,
+};
+
+/// Knobs of one Compile call. All pointers are borrowed for the call.
+struct ChaseCompileOptions {
+  ChaseAlgorithm algorithm = ChaseAlgorithm::kDelta;
+  /// Pool + worker cap for the delta fan-out (DeltaChaseOptions);
+  /// ignored by kNaive. Defaults keep compilation on the caller thread.
+  ThreadPool* pool = nullptr;
+  size_t max_workers = 1;
+  const CancellationToken* cancel = nullptr;
+  /// Wraps every borrowed worker's run (thread-local metric sinks); see
+  /// DeltaChaseOptions::wrap_worker.
+  std::function<void(size_t worker, const std::function<void()>& body)>
+      wrap_worker;
+  /// Per-round skip instrumentation (property tests); kDelta only.
+  DeltaChaseObserver observer;
+};
 
 /// Compile-once/solve-many driver of the chase stage.
 class ChaseCompiler {
@@ -72,14 +118,24 @@ class ChaseCompiler {
   /// Runs the s-t pattern chase and, when egds are present, the adapted
   /// egd chase, capturing the result plus the null arena. Appends the
   /// chase's fresh nulls to `universe` exactly as the uncompiled stage
-  /// sequence (ChaseToPattern + ChasePatternEgds) would. `cancel`
-  /// (optional, borrowed) aborts compilation within one chase step; the
-  /// returned artifact then has `canceled == true` (see above).
+  /// sequence (ChaseToPattern + ChasePatternEgds) would — under either
+  /// algorithm and any worker count; the reliance analysis is built
+  /// either way and rides in the artifact. options.cancel aborts
+  /// compilation within one chase step; the returned artifact then has
+  /// `canceled == true` (see above).
   static ChasedScenarioPtr Compile(const Setting& setting,
                                    const Instance& source,
                                    Universe& universe,
                                    const NreEvaluator& eval,
-                                   const CancellationToken* cancel = nullptr);
+                                   const ChaseCompileOptions& options = {});
+
+  /// Cancellation-only convenience (the pre-options signature): default
+  /// algorithm, caller thread only.
+  static ChasedScenarioPtr Compile(const Setting& setting,
+                                   const Instance& source,
+                                   Universe& universe,
+                                   const NreEvaluator& eval,
+                                   const CancellationToken* cancel);
 
   /// Installs a cache/snapshot hit into a universe positioned at the
   /// artifact's own base (universe.num_nulls() == chased.base_nulls — the

@@ -1,0 +1,124 @@
+#ifndef GDX_CHASE_DELTA_CHASE_H_
+#define GDX_CHASE_DELTA_CHASE_H_
+
+#include <functional>
+#include <vector>
+
+#include "chase/egd_chase.h"
+#include "chase/pattern_chase.h"
+#include "chase/reliance.h"
+#include "common/parallel_search.h"
+#include "common/thread_pool.h"
+#include "common/universe.h"
+#include "exchange/setting.h"
+#include "graph/nre_eval.h"
+#include "pattern/pattern.h"
+#include "relational/instance.h"
+
+namespace gdx {
+
+/// Work counters of one semi-naive chase run (ISSUE 9 tentpole). All four
+/// are zero for the naive reference algorithm — they measure exactly the
+/// machinery the delta path adds.
+struct DeltaChaseStats {
+  /// Evaluation rounds that joined at least one rule: the s-t seed round
+  /// plus every egd round with a non-empty evaluated set.
+  size_t delta_rounds = 0;
+  /// (rule, round) skip events: egds whose body labels saw no delta —
+  /// including mapping-dead egds, skipped in every round.
+  size_t skipped_rules = 0;
+  /// (rule, round) join events: the s-t tgds of the seed round plus every
+  /// evaluated egd per round. skipped / (skipped + evaluated) is the
+  /// fraction of rule firings the reliance analysis saved.
+  size_t evaluated_rules = 0;
+  /// Strata of the reliance graph's condensation.
+  size_t strata = 0;
+};
+
+/// Round-start snapshot handed to a DeltaChaseObserver: which egds this
+/// round joins, which it skips, and the delta labels that decided it.
+/// `pattern` points at the pre-round pattern and is valid only during the
+/// observer call. Round 0 is the first egd round (delta = the whole
+/// seeded pattern, so only mapping-dead egds are skipped).
+struct DeltaRoundInfo {
+  size_t round = 0;
+  const GraphPattern* pattern = nullptr;
+  /// Labels of definite edges an endpoint rewrite touched in the previous
+  /// round, sorted; empty in round 0.
+  std::vector<SymbolId> delta_labels;
+  std::vector<size_t> evaluated_egds;
+  std::vector<size_t> skipped_egds;
+};
+
+/// Per-round instrumentation hook — the seam the reliance soundness
+/// property tests re-check skipped rules through. Called sequentially
+/// from the chasing thread; must not touch the pattern after returning.
+using DeltaChaseObserver = std::function<void(const DeltaRoundInfo&)>;
+
+/// Execution knobs of one delta chase. All pointers are borrowed for the
+/// duration of the call.
+struct DeltaChaseOptions {
+  /// Pool the independent-rule fan-out borrows workers from. nullptr (or
+  /// max_workers <= 1) runs the whole chase on the caller thread — same
+  /// bytes out either way.
+  ThreadPool* pool = nullptr;
+  /// Worker cap *including* the calling thread; 0 = pool size + 1.
+  size_t max_workers = 1;
+  /// Polled per rule task and per body match, as the naive chase does.
+  const CancellationToken* cancel = nullptr;
+  /// Wraps every worker's pull loop (including the caller thread's), e.g.
+  /// to install thread-local per-solve metric sinks. Must invoke `body`
+  /// exactly once. Same contract as ParallelSearchOptions::wrap_worker.
+  std::function<void(size_t worker, const std::function<void()>& body)>
+      wrap_worker;
+  DeltaChaseObserver observer;
+};
+
+/// Everything one chase run produces; field-for-field what the naive
+/// stage sequence (ChaseToPattern + ChasePatternEgds) yields, plus the
+/// delta counters.
+struct DeltaChaseResult {
+  GraphPattern pattern;
+  PatternChaseStats stats;
+  EgdChaseResult egd;
+  DeltaChaseStats delta;
+};
+
+/// Semi-naive chase of the §5 universal representative (ISSUE 9
+/// tentpole; vlog's `seminaiver` shape ported to the st-tgd/egd chase).
+/// Byte-identical to ChaseToPattern + ChasePatternEgds(kDeferredRounds)
+/// at any worker count — same pattern node/edge order, same null ids and
+/// labels, same stats/merge/round/failure fields — by construction:
+///
+///   * Seed round: st-tgd body matches are *collected* in parallel over
+///     the immutable source (one task per tgd — the rules are mutually
+///     independent, level-0 strata of `reliance`), then *folded*
+///     sequentially in (tgd, match) order, which replays the naive
+///     trigger sequence exactly (fresh-null draw order included).
+///   * Egd rounds: each round joins only rules whose body labels
+///     intersect the previous round's delta (labels of definite edges an
+///     endpoint rewrite touched); round 0 joins every non-dead rule.
+///     Matches of the joined rules are collected in parallel against the
+///     round's frozen definite graph — fanned out stratum level by
+///     stratum level — and folded sequentially in (egd, match) order
+///     through a fresh ValuePartition: the naive merge/skip/failure
+///     sequence, byte for byte.
+///
+///   Skipping loses nothing: RunEgdChase rewrites the pattern with a
+///   fresh partition each round, so every match of a no-delta rule binds
+///   x1 and x2 to *equal* values (its matches were already processed —
+///   and equalized — in the round that last saw its labels move), and
+///   mapping-dead rules have no matches at all. See reliance.h; the
+///   delta_chase_test battery re-checks both properties per round.
+///
+/// A canceled run returns a truncated result that must not be used or
+/// cached, exactly like the naive stages (no byte-identity is promised
+/// mid-abort).
+DeltaChaseResult RunDeltaChase(const Setting& setting, const Instance& source,
+                               const RelianceGraph& reliance,
+                               Universe& universe, const NreEvaluator& eval,
+                               const DeltaChaseOptions& options = {});
+
+}  // namespace gdx
+
+#endif  // GDX_CHASE_DELTA_CHASE_H_

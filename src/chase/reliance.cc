@@ -1,0 +1,240 @@
+#include "chase/reliance.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+namespace gdx {
+namespace {
+
+std::atomic<uint64_t> g_build_count{0};
+
+void SortUnique(std::vector<SymbolId>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+bool Intersects(const std::vector<SymbolId>& a,
+                const std::vector<SymbolId>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void CollectNreSymbols(const Nre& nre, std::vector<SymbolId>* out) {
+  // NREs are shared DAGs; revisiting a shared sub-expression just appends
+  // duplicates, which callers sort-unique away — cheaper than a seen-set
+  // at the sizes mappings reach.
+  std::vector<const Nre*> walk{&nre};
+  while (!walk.empty()) {
+    const Nre* node = walk.back();
+    walk.pop_back();
+    switch (node->kind()) {
+      case Nre::Kind::kEpsilon:
+        break;
+      case Nre::Kind::kSymbol:
+      case Nre::Kind::kInverse:
+        out->push_back(node->symbol());
+        break;
+      case Nre::Kind::kUnion:
+      case Nre::Kind::kConcat:
+        walk.push_back(node->left().get());
+        walk.push_back(node->right().get());
+        break;
+      case Nre::Kind::kStar:
+      case Nre::Kind::kNest:
+        walk.push_back(node->child().get());
+        break;
+    }
+  }
+}
+
+bool RelianceGraph::EgdReadsAny(
+    size_t egd_index, const std::vector<SymbolId>& sorted_labels) const {
+  return Intersects(nodes[EgdNode(egd_index)].body_symbols, sorted_labels);
+}
+
+RelianceGraph RelianceGraph::Build(const Setting& setting) {
+  g_build_count.fetch_add(1, std::memory_order_relaxed);
+
+  RelianceGraph g;
+  g.num_st_tgds = setting.st_tgds.size();
+  g.num_egds = setting.egds.size();
+  g.nodes.resize(g.num_rules());
+  g.out.resize(g.num_rules());
+
+  // Every definite label the mapping can ever derive: the union of the
+  // st-tgd single-symbol head labels. Egd merges relocate edges but never
+  // mint labels, so this set is closed under the whole chase.
+  std::vector<SymbolId> possible_definite;
+  for (size_t i = 0; i < g.num_st_tgds; ++i) {
+    RelianceNode& node = g.nodes[i];
+    for (const CnreAtom& atom : setting.st_tgds[i].head) {
+      if (IsSingleSymbol(atom.nre)) {
+        node.definite_head_symbols.push_back(atom.nre->symbol());
+      }
+    }
+    SortUnique(&node.definite_head_symbols);
+    possible_definite.insert(possible_definite.end(),
+                             node.definite_head_symbols.begin(),
+                             node.definite_head_symbols.end());
+  }
+  SortUnique(&possible_definite);
+
+  for (size_t j = 0; j < g.num_egds; ++j) {
+    RelianceNode& node = g.nodes[g.EgdNode(j)];
+    const TargetEgd& egd = setting.egds[j];
+    for (const CnreAtom& atom : egd.body.atoms()) {
+      std::vector<SymbolId> atom_symbols;
+      CollectNreSymbols(*atom.nre, &atom_symbols);
+      SortUnique(&atom_symbols);
+      const bool nullable = atom.nre->Nullable();
+      if (nullable) node.nullable_body_atom = true;
+      // Liveness is over-approximated: Nullable() ignores nest tests, so
+      // an atom whose main path is ε but whose test can never hold stays
+      // "live". Sound — dead rules are only ever *skipped*.
+      if (!nullable && !Intersects(atom_symbols, possible_definite)) {
+        node.dead = true;
+      }
+      node.body_symbols.insert(node.body_symbols.end(), atom_symbols.begin(),
+                               atom_symbols.end());
+    }
+    SortUnique(&node.body_symbols);
+  }
+
+  for (size_t i = 0; i < g.num_st_tgds; ++i) {
+    const RelianceNode& src = g.nodes[i];
+    if (src.definite_head_symbols.empty() && setting.st_tgds[i].head.empty()) {
+      continue;
+    }
+    for (size_t j = 0; j < g.num_egds; ++j) {
+      const RelianceNode& dst = g.nodes[g.EgdNode(j)];
+      if (dst.dead) continue;
+      // A firing st-tgd always adds pattern nodes, so a nullable atom can
+      // seat a fresh ε-match even when no label intersects.
+      if (dst.nullable_body_atom ||
+          Intersects(src.definite_head_symbols, dst.body_symbols)) {
+        g.out[i].push_back(static_cast<uint32_t>(g.EgdNode(j)));
+      }
+    }
+  }
+  for (size_t j1 = 0; j1 < g.num_egds; ++j1) {
+    if (g.nodes[g.EgdNode(j1)].dead) continue;
+    for (size_t j2 = 0; j2 < g.num_egds; ++j2) {
+      const RelianceNode& dst = g.nodes[g.EgdNode(j2)];
+      if (dst.dead) continue;
+      // A merge can relocate definite edges of *any* derivable label onto
+      // new endpoints (and always rewrites nodes), so a consumer reading
+      // any derivable label — or with a nullable atom — may see new
+      // matches. Self-loops included: an egd can re-enable itself.
+      if (dst.nullable_body_atom ||
+          Intersects(dst.body_symbols, possible_definite)) {
+        g.out[g.EgdNode(j1)].push_back(static_cast<uint32_t>(g.EgdNode(j2)));
+      }
+    }
+  }
+  // Inner loops run over ascending targets, so adjacency is born sorted.
+
+  g.DeriveStrata();
+  return g;
+}
+
+uint64_t RelianceGraph::BuildCount() {
+  return g_build_count.load(std::memory_order_relaxed);
+}
+
+void RelianceGraph::DeriveStrata() {
+  const size_t n = num_rules();
+  scc_of.assign(n, 0);
+  strata.clear();
+  stratum_level.clear();
+  if (n == 0) return;
+
+  constexpr uint32_t kUnvisited = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> low(n, 0);
+  std::vector<uint8_t> on_stack(n, 0);
+  std::vector<uint32_t> stack;
+  uint32_t next_index = 0;
+
+  // Iterative Tarjan (the chase compiles arbitrary mappings; no recursion
+  // depth to trust). Roots visited 0..n-1 over sorted adjacency, so the
+  // SCC emission order is a pure function of the graph.
+  struct Frame {
+    uint32_t node;
+    size_t next_edge;
+  };
+  std::vector<Frame> dfs;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    dfs.push_back(Frame{root, 0});
+    while (!dfs.empty()) {
+      const uint32_t v = dfs.back().node;
+      const std::vector<uint32_t>& adj = out[v];
+      if (dfs.back().next_edge < adj.size()) {
+        const uint32_t w = adj[dfs.back().next_edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          dfs.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+        continue;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        low[dfs.back().node] = std::min(low[dfs.back().node], low[v]);
+      }
+      if (low[v] == index[v]) {
+        std::vector<uint32_t> scc;
+        for (;;) {
+          const uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          scc.push_back(w);
+          if (w == v) break;
+        }
+        std::sort(scc.begin(), scc.end());
+        strata.push_back(std::move(scc));
+      }
+    }
+  }
+
+  // Tarjan pops consumers before their producers; reversing puts every
+  // stratum after all strata that feed it.
+  std::reverse(strata.begin(), strata.end());
+  for (uint32_t s = 0; s < strata.size(); ++s) {
+    for (uint32_t rule : strata[s]) scc_of[rule] = s;
+  }
+
+  // Longest producer-chain depth. Cross-stratum edges point forward in
+  // stratum order, so one ascending pass settles every level.
+  stratum_level.assign(strata.size(), 0);
+  for (uint32_t s = 0; s < strata.size(); ++s) {
+    for (uint32_t rule : strata[s]) {
+      for (uint32_t succ : out[rule]) {
+        const uint32_t t = scc_of[succ];
+        if (t != s) {
+          stratum_level[t] = std::max(stratum_level[t], stratum_level[s] + 1);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gdx

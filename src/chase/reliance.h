@@ -1,0 +1,127 @@
+#ifndef GDX_CHASE_RELIANCE_H_
+#define GDX_CHASE_RELIANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exchange/setting.h"
+#include "graph/nre.h"
+
+namespace gdx {
+
+/// Static label analysis of one rule of the mapping (ISSUE 9 tentpole),
+/// the per-node payload of the RelianceGraph. For st-tgds only the head
+/// side matters (their bodies read source *relations*, not the pattern);
+/// for egds only the body side does (they merge nodes, never derive).
+struct RelianceNode {
+  /// Egds: every alphabet symbol the rule's CNRE body can traverse —
+  /// collected over unions, concatenations, stars, inverses and nesting
+  /// tests alike, because a path witnessing any atom may ride on any of
+  /// them. Sorted, duplicate-free. Empty for st-tgds.
+  std::vector<SymbolId> body_symbols;
+
+  /// St-tgds: labels the rule derives as *definite* pattern edges
+  /// (single-symbol head atoms — the only head shape that feeds the egd
+  /// chase's definite subgraph). Sorted, duplicate-free. Empty for egds.
+  std::vector<SymbolId> definite_head_symbols;
+
+  /// Egds: some body atom accepts ε along its main path, so a match of
+  /// that atom can ride on a node alone (no definite edge needed).
+  bool nullable_body_atom = false;
+
+  /// Egds: some body atom is non-nullable yet shares no symbol with any
+  /// definite label the mapping can ever derive — the rule can never
+  /// match and is skipped in every chase round.
+  bool dead = false;
+};
+
+/// The positive-reliance graph of a mapping (ISSUE 9 tentpole; the shape
+/// of vlog's `reliances/reliances.h` ported to the paper's §5 st-tgd/egd
+/// chase): node u relies-positively into node v when firing u can create
+/// a new body match of v. It is a *sound over-approximation* computed
+/// from label sets alone — every real feed is an edge, extra edges only
+/// cost skipped optimization, never correctness:
+///
+///   * nothing feeds an st-tgd (st bodies read the immutable relational
+///     source), so st nodes have no incoming edges;
+///   * st-tgd → egd when the tgd derives a definite label the egd's body
+///     reads, or the egd has a nullable atom (fresh pattern nodes alone
+///     can seat an ε-match);
+///   * egd → egd when both can fire and the consumer reads any label the
+///     mapping derives at all — a merge can relocate edges of *any*
+///     label onto new endpoints, so the producer side cannot be
+///     narrowed by labels (this is why egds typically share one SCC:
+///     cyclic reliances are the expected shape, not an error).
+///
+/// The graph depends only on the mapping (st_tgds + egds) — it is
+/// content-keyed alongside the chased artifact and rides in the
+/// snapshot's RELI companion section (docs/FORMAT.md) so a warm start
+/// replays it without recomputation. `scc_of`/`strata`/`stratum_level`
+/// are a pure function of the persisted fields and are re-derived on
+/// decode (DeriveStrata), like the automata's reversed transitions.
+struct RelianceGraph {
+  /// Rule node order: st-tgds 0..num_st_tgds-1 in mapping order, then
+  /// egds num_st_tgds..num_st_tgds+num_egds-1 in mapping order.
+  size_t num_st_tgds = 0;
+  size_t num_egds = 0;
+  std::vector<RelianceNode> nodes;
+
+  /// Positive-reliance adjacency: out[u] lists every v with u → v,
+  /// sorted ascending, duplicate-free. Self-loops are kept (an egd can
+  /// feed itself); Tarjan handles them.
+  std::vector<std::vector<uint32_t>> out;
+
+  // --- derived by DeriveStrata (never persisted) -----------------------
+
+  /// Rule → index of its stratum in `strata`.
+  std::vector<uint32_t> scc_of;
+  /// Condensation SCCs in topological order (producers before
+  /// consumers); each stratum lists its rules sorted ascending. Every
+  /// cross-stratum edge u → v satisfies scc_of[u] < scc_of[v].
+  std::vector<std::vector<uint32_t>> strata;
+  /// Longest producer-chain depth per stratum: strata sharing a level
+  /// are mutually independent and fan out over the pool together.
+  std::vector<uint32_t> stratum_level;
+
+  size_t num_rules() const { return num_st_tgds + num_egds; }
+  /// Node id of the i-th egd.
+  size_t EgdNode(size_t egd_index) const { return num_st_tgds + egd_index; }
+
+  bool EgdDead(size_t egd_index) const {
+    return nodes[EgdNode(egd_index)].dead;
+  }
+
+  /// True when the egd's body reads any of `sorted_labels` (both sides
+  /// sorted; two-pointer intersection) — the per-round delta test of the
+  /// semi-naive chase.
+  bool EgdReadsAny(size_t egd_index,
+                   const std::vector<SymbolId>& sorted_labels) const;
+
+  /// Analyzes the mapping and derives the strata. Deterministic: equal
+  /// mappings build field-for-field equal graphs.
+  static RelianceGraph Build(const Setting& setting);
+
+  /// Process-wide count of Build calls — the test hook that proves a
+  /// warm start replays a persisted graph with zero recomputation.
+  static uint64_t BuildCount();
+
+  /// Recomputes scc_of / strata / stratum_level from `out` (iterative
+  /// Tarjan; emission order reversed into topological order). The
+  /// snapshot decoder calls this after restoring the persisted fields.
+  void DeriveStrata();
+};
+
+/// Shared immutable handle: the chased artifact, the cache and the
+/// snapshot codec hold one analysis without copying.
+using RelianceGraphPtr = std::shared_ptr<const RelianceGraph>;
+
+/// Appends every alphabet symbol mentioned anywhere in `nre` — through
+/// unions, concatenations, stars, inverses and nesting tests — to *out
+/// (unsorted, duplicates possible). Exposed for the reliance property
+/// tests.
+void CollectNreSymbols(const Nre& nre, std::vector<SymbolId>* out);
+
+}  // namespace gdx
+
+#endif  // GDX_CHASE_RELIANCE_H_

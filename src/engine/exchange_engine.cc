@@ -24,17 +24,17 @@ const char* VerdictName(ExistenceVerdict v) {
 
 ExistenceOptions EngineOptions::ToExistenceOptions() const {
   ExistenceOptions out;
-  switch (chase_policy) {
-    case ChasePolicy::kAuto:
+  switch (existence_policy) {
+    case ExistencePolicy::kAuto:
       out.strategy = ExistenceStrategy::kAuto;
       break;
-    case ChasePolicy::kChaseRefute:
+    case ExistencePolicy::kChaseRefute:
       out.strategy = ExistenceStrategy::kChaseRefute;
       break;
-    case ChasePolicy::kBoundedSearch:
+    case ExistencePolicy::kBoundedSearch:
       out.strategy = ExistenceStrategy::kBoundedSearch;
       break;
-    case ChasePolicy::kSatBacked:
+    case ExistencePolicy::kSatBacked:
       out.strategy = ExistenceStrategy::kSatBacked;
       break;
   }
@@ -194,7 +194,7 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
     {
       StageTimer t(&m.chase_seconds);
       GDX_TRACE_SPAN("chase", "engine");
-      chased = StageChase(scenario, m, cancel);
+      chased = StageChase(scenario, m, &solve_cache, cancel);
       if (chased->canceled) {
         // The chase aborted mid-way (ISSUE 8): the pattern is truncated —
         // neither published in the outcome nor handed to later stages.
@@ -303,6 +303,7 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
 
 ChasedScenarioPtr ExchangeEngine::StageChase(const Scenario& scenario,
                                              Metrics& m,
+                                             PerSolveCacheStats* sink,
                                              const CancellationToken* cancel)
     const {
   std::string key;
@@ -321,12 +322,32 @@ ChasedScenarioPtr ExchangeEngine::StageChase(const Scenario& scenario,
   ChasedScenarioPtr compiled;
   {
     GDX_TRACE_SPAN("chase.compile", "engine");
+    ChaseCompileOptions compile_options;
+    compile_options.algorithm = options_.chase_policy == ChasePolicy::kNaive
+                                    ? ChaseAlgorithm::kNaive
+                                    : ChaseAlgorithm::kDelta;
+    compile_options.pool = intra_pool_.get();
+    compile_options.max_workers = intra_solve_threads();
+    compile_options.cancel = cancel;
+    // Borrowed chase workers serve *this* solve: route their cache
+    // traffic to its sink, exactly like the existence stage's
+    // worker_scope (BatchExecutor cross-checks the per-solve sums).
+    compile_options.wrap_worker = [sink](size_t worker,
+                                         const std::function<void()>& body) {
+      ScopedCacheAttribution attribution(sink);
+      (void)worker;  // referenced only by the span under GDX_OBS_DISABLED
+      GDX_TRACE_SPAN("chase.worker", "chase", worker);
+      body();
+    };
     compiled = ChaseCompiler::Compile(scenario.setting, *scenario.instance,
                                       *scenario.universe, evaluator(),
-                                      cancel);
+                                      compile_options);
   }
   m.chase_triggers = compiled->stats.triggers;
   m.chase_merges = compiled->egd_merges;
+  m.chase_delta_rounds = compiled->delta.delta_rounds;
+  m.chase_skipped_rules = compiled->delta.skipped_rules;
+  m.chase_strata = compiled->delta.strata;
   // A canceled artifact is truncated mid-chase — never published to the
   // memo, where it would poison every future solve with the same key.
   if (options_.enable_cache && !compiled->canceled) {

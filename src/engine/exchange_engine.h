@@ -19,12 +19,26 @@
 namespace gdx {
 
 /// Existence-decision policy of the engine (mirrors ExistenceStrategy; see
-/// solver/existence.h for the semantics of each).
-enum class ChasePolicy {
+/// solver/existence.h for the semantics of each). Named ChasePolicy
+/// through PR 8; renamed when ChasePolicy came to mean the chase
+/// *algorithm* (ISSUE 9).
+enum class ExistencePolicy {
   kAuto,           // pick per setting (default)
   kChaseRefute,    // adapted chase + canonical instantiation only
   kBoundedSearch,  // complete witness-combination enumeration
   kSatBacked,      // flat-fragment CNF + DPLL, bounded-search fallback
+};
+
+/// Which algorithm stage 1 (the chase) runs (ISSUE 9 tentpole). Both are
+/// byte-identical in every output — kNaive is the differential reference
+/// the delta_chase_test battery measures kDelta against, mirroring how
+/// PR 3 kept the dense NRE evaluator.
+enum class ChasePolicy {
+  /// Semi-naive delta rounds with reliance-based rule skipping; rules fan
+  /// out over the intra-solve pool (see chase/delta_chase.h).
+  kDelta,
+  /// Legacy full-round chase, always sequential.
+  kNaive,
 };
 
 /// Which NRE evaluation engine the pipeline runs on.
@@ -35,7 +49,8 @@ enum class EvaluatorKind {
 
 /// Typed knobs of the whole solve pipeline.
 struct EngineOptions {
-  ChasePolicy chase_policy = ChasePolicy::kAuto;
+  ExistencePolicy existence_policy = ExistencePolicy::kAuto;
+  ChasePolicy chase_policy = ChasePolicy::kDelta;
   EvaluatorKind evaluator = EvaluatorKind::kAutomaton;
 
   /// Witness enumeration budgets for pattern instantiation.
@@ -199,8 +214,12 @@ class ExchangeEngine {
   /// content hit (the chase does not run; `m` then records zero triggers
   /// and the memo's hit counters tick instead), compiled and published on
   /// a miss. Either way the scenario's universe ends up with exactly the
-  /// nulls a fresh chase would have created.
+  /// nulls a fresh chase would have created. Compilation runs the
+  /// configured ChasePolicy; under kDelta its rule fan-out borrows the
+  /// intra pool, routing worker cache traffic to `sink` (exact per-solve
+  /// attribution, as the existence stage's workers do).
   ChasedScenarioPtr StageChase(const Scenario& scenario, Metrics& m,
+                               PerSolveCacheStats* sink,
                                const CancellationToken* cancel) const;
   /// ToExistenceOptions() plus the per-call wiring: intra pool, the
   /// solve's cache-attribution worker scope, and the cancellation token.

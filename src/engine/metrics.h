@@ -29,6 +29,14 @@ struct Metrics {
   size_t candidates_tried = 0; // instantiations attempted by the search
   size_t solutions_enumerated = 0;
 
+  // Delta chase work (ISSUE 9): rounds that joined rules, (rule, round)
+  // skip events the reliance analysis saved, and reliance-graph strata.
+  // Zero under ChasePolicy::kNaive and on chased-memo hits (the chase did
+  // not run), like the chase counters above.
+  size_t chase_delta_rounds = 0;
+  size_t chase_skipped_rules = 0;
+  size_t chase_strata = 0;
+
   // Cache effectiveness. Exact per-solve attribution (ISSUE 2 satellite):
   // every thread touching the cache on a solve's behalf — the caller and
   // all intra-solve workers — increments that solve's thread-local-routed
@@ -69,6 +77,9 @@ struct Metrics {
     chase_merges += other.chase_merges;
     candidates_tried += other.candidates_tried;
     solutions_enumerated += other.solutions_enumerated;
+    chase_delta_rounds += other.chase_delta_rounds;
+    chase_skipped_rules += other.chase_skipped_rules;
+    chase_strata += other.chase_strata;
     nre_cache_hits += other.nre_cache_hits;
     nre_cache_misses += other.nre_cache_misses;
     answer_cache_hits += other.answer_cache_hits;
@@ -116,6 +127,9 @@ struct Metrics {
                "solutions=%zu\n",
                chase_triggers, chase_merges, candidates_tried,
                solutions_enumerated);
+    StrAppendF(&out,
+               "  delta-chase: rounds=%zu skipped-rules=%zu strata=%zu\n",
+               chase_delta_rounds, chase_skipped_rules, chase_strata);
     StrAppendF(&out,
                "  cache: nre %llu hit / %llu miss, answers %llu hit / "
                "%llu miss, compile %llu hit / %llu miss, chase %llu hit / "

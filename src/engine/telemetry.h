@@ -20,6 +20,7 @@ namespace gdx {
 ///
 /// Metric names are the docs/TELEMETRY.md schema: `engine.solve.*_ns`
 /// stage-latency histograms, `engine.work.*` chase/search counters,
+/// `engine.chase.*` delta-chase counters (ISSUE 9),
 /// `engine.cache.<memo>.<event>` cache counters, and `pool.<which>.*`
 /// thread-pool counters/gauges.
 class EngineTelemetry {
@@ -36,6 +37,11 @@ class EngineTelemetry {
         solve_verify_(registry->GetHistogram("engine.solve.verify_ns")),
         chase_triggers_(registry->GetCounter("engine.work.chase_triggers")),
         chase_merges_(registry->GetCounter("engine.work.chase_merges")),
+        chase_delta_rounds_(
+            registry->GetCounter("engine.chase.delta_rounds")),
+        chase_skipped_rules_(
+            registry->GetCounter("engine.chase.skipped_rules")),
+        chase_strata_(registry->GetCounter("engine.chase.strata")),
         candidates_(registry->GetCounter("engine.work.candidates_tried")),
         solutions_(
             registry->GetCounter("engine.work.solutions_enumerated")),
@@ -70,6 +76,9 @@ class EngineTelemetry {
     if (m.verify_seconds > 0) solve_verify_->Record(ToNs(m.verify_seconds));
     chase_triggers_->Add(m.chase_triggers);
     chase_merges_->Add(m.chase_merges);
+    chase_delta_rounds_->Add(m.chase_delta_rounds);
+    chase_skipped_rules_->Add(m.chase_skipped_rules);
+    chase_strata_->Add(m.chase_strata);
     candidates_->Add(m.candidates_tried);
     solutions_->Add(m.solutions_enumerated);
     nre_hits_->Add(m.nre_cache_hits);
@@ -109,6 +118,9 @@ class EngineTelemetry {
   obs::Histogram* solve_verify_;
   obs::Counter* chase_triggers_;
   obs::Counter* chase_merges_;
+  obs::Counter* chase_delta_rounds_;
+  obs::Counter* chase_skipped_rules_;
+  obs::Counter* chase_strata_;
   obs::Counter* candidates_;
   obs::Counter* solutions_;
   obs::Counter* nre_hits_;

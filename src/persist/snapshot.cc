@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "chase/reliance.h"
 #include "common/interner.h"
 #include "obs/trace.h"
 #include "persist/wire.h"
@@ -24,6 +25,7 @@ constexpr uint32_t kSecNreMemo = FourCC('N', 'R', 'E', 'M');
 constexpr uint32_t kSecAnswerMemo = FourCC('A', 'N', 'S', 'M');
 constexpr uint32_t kSecAutomata = FourCC('C', 'A', 'U', 'T');
 constexpr uint32_t kSecChased = FourCC('C', 'H', 'S', 'E');
+constexpr uint32_t kSecReliance = FourCC('R', 'E', 'L', 'I');
 
 /// Bytes per section-table entry: id u32 + offset u64 + length u64 +
 /// checksum u64.
@@ -342,7 +344,9 @@ void EncodeChased(const ChasedScenario& chased, WireWriter* out) {
   }
 }
 
-ChasedScenarioPtr DecodeChased(WireReader* in, Status* error) {
+/// Returns the scenario mutable: the RELI pass attaches the reliance
+/// graph after the CHSE pass built the entry.
+std::shared_ptr<ChasedScenario> DecodeChased(WireReader* in, Status* error) {
   auto chased = std::make_shared<ChasedScenario>();
   uint8_t failed;
   std::string_view reason;
@@ -455,6 +459,112 @@ ChasedScenarioPtr DecodeChased(WireReader* in, Status* error) {
   return chased;
 }
 
+// --- reliance graphs -------------------------------------------------------
+
+void EncodeSymbolList(const std::vector<SymbolId>& list, WireWriter* out) {
+  out->PutU64(list.size());
+  for (SymbolId s : list) out->PutU32(s);
+}
+
+/// The RELI payload per entry: the persisted RelianceGraph fields in node
+/// order — flags and symbol lists, then the adjacency rows. The derived
+/// strata are NOT stored; DecodeReliance recomputes them (DeriveStrata),
+/// mirroring how CAUT re-derives reversed automaton transitions.
+void EncodeReliance(const RelianceGraph& graph, WireWriter* out) {
+  out->PutU64(graph.num_st_tgds);
+  out->PutU64(graph.num_egds);
+  for (const RelianceNode& node : graph.nodes) {
+    out->PutU8(node.nullable_body_atom ? 1 : 0);
+    out->PutU8(node.dead ? 1 : 0);
+    EncodeSymbolList(node.body_symbols, out);
+    EncodeSymbolList(node.definite_head_symbols, out);
+  }
+  for (const std::vector<uint32_t>& row : graph.out) {
+    out->PutU64(row.size());
+    for (uint32_t target : row) out->PutU32(target);
+  }
+}
+
+/// Reads one u64-counted list of u32s that the format requires to be
+/// strictly increasing (sorted, duplicate-free — the invariant both the
+/// two-pointer intersections and decode → encode identity rely on) with
+/// every entry below `exclusive_bound`.
+bool DecodeSortedU32s(WireReader* in, uint64_t exclusive_bound,
+                      std::vector<uint32_t>* out, Status* error) {
+  uint64_t count;
+  if (!in->ReadU64(&count)) {
+    *error = Corrupt("truncated reliance list");
+    return false;
+  }
+  uint32_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t v;
+    if (!in->ReadU32(&v)) {
+      *error = Corrupt("truncated reliance list");
+      return false;
+    }
+    if (v >= exclusive_bound) {
+      *error = Corrupt("reliance list entry out of range");
+      return false;
+    }
+    if (i > 0 && v <= prev) {
+      *error = Corrupt("reliance list not strictly increasing");
+      return false;
+    }
+    prev = v;
+    out->push_back(v);
+  }
+  return true;
+}
+
+RelianceGraphPtr DecodeReliance(WireReader* in, Status* error) {
+  uint64_t num_st, num_egds;
+  if (!in->ReadU64(&num_st) || !in->ReadU64(&num_egds)) {
+    *error = Corrupt("truncated reliance header");
+    return nullptr;
+  }
+  // Node ids travel as u32 (adjacency targets, scc indices), so the rule
+  // count must fit.
+  if (num_st > 0xffffffffull || num_egds > 0xffffffffull - num_st) {
+    *error = Corrupt("reliance rule count out of range");
+    return nullptr;
+  }
+  auto graph = std::make_shared<RelianceGraph>();
+  graph->num_st_tgds = static_cast<size_t>(num_st);
+  graph->num_egds = static_cast<size_t>(num_egds);
+  const uint64_t num_nodes = num_st + num_egds;
+  constexpr uint64_t kNoBound = 0x100000000ull;  // any u32 symbol id
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    RelianceNode node;
+    uint8_t nullable, dead;
+    if (!in->ReadU8(&nullable) || !in->ReadU8(&dead)) {
+      *error = Corrupt("truncated reliance node");
+      return nullptr;
+    }
+    if (nullable > 1 || dead > 1) {
+      *error = Corrupt("reliance node flag not boolean");
+      return nullptr;
+    }
+    node.nullable_body_atom = nullable != 0;
+    node.dead = dead != 0;
+    if (!DecodeSortedU32s(in, kNoBound, &node.body_symbols, error) ||
+        !DecodeSortedU32s(in, kNoBound, &node.definite_head_symbols,
+                          error)) {
+      return nullptr;
+    }
+    graph->nodes.push_back(std::move(node));
+  }
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    std::vector<uint32_t> row;
+    if (!DecodeSortedU32s(in, num_nodes, &row, error)) return nullptr;
+    graph->out.push_back(std::move(row));
+  }
+  // scc_of / strata / stratum_level are a pure function of the persisted
+  // fields — recomputed, never trusted from the file.
+  graph->DeriveStrata();
+  return graph;
+}
+
 // --- string table ----------------------------------------------------------
 
 /// Resolves a section's u32 string reference against the decoded table.
@@ -520,6 +630,23 @@ std::string EncodeSnapshot(const WarmState& state) {
     EncodeChased(*chased, &chse);
   }
 
+  // RELI (ISSUE 9) — the reliance analyses of the chased artifacts above,
+  // referencing the same interned keys. Artifacts without one (restored
+  // from pre-RELI snapshots) are simply absent here, so the section count
+  // can be smaller than CHSE's; decode → encode stays the identity
+  // because decoding only attaches what this section lists.
+  WireWriter reli;
+  uint32_t num_reliance = 0;
+  for (const auto& [key, chased] : state.chased) {
+    if (chased->reliance != nullptr) ++num_reliance;
+  }
+  reli.PutU32(num_reliance);
+  for (const auto& [key, chased] : state.chased) {
+    if (chased->reliance == nullptr) continue;
+    reli.PutU32(keys.Intern(key));
+    EncodeReliance(*chased->reliance, &reli);
+  }
+
   WireWriter strt;
   strt.PutU32(static_cast<uint32_t>(keys.size()));
   for (uint32_t id = 0; id < keys.size(); ++id) {
@@ -534,7 +661,8 @@ std::string EncodeSnapshot(const WarmState& state) {
                               {kSecNreMemo, &nrem.bytes()},
                               {kSecAnswerMemo, &ansm.bytes()},
                               {kSecAutomata, &caut.bytes()},
-                              {kSecChased, &chse.bytes()}};
+                              {kSecChased, &chse.bytes()},
+                              {kSecReliance, &reli.bytes()}};
   const size_t num_sections = sizeof(sections) / sizeof(sections[0]);
 
   WireWriter table;
@@ -589,9 +717,9 @@ Result<WarmState> DecodeSnapshot(std::string_view bytes) {
   // Section table: verify bounds and checksums of every section up front
   // (unknown ids included), remember the payloads of the known ones.
   std::string_view strings_payload, nre_payload, answer_payload,
-      automata_payload, chased_payload;
+      automata_payload, chased_payload, reliance_payload;
   bool have_strings = false, have_nre = false, have_answers = false,
-       have_automata = false, have_chased = false;
+       have_automata = false, have_chased = false, have_reliance = false;
   WireReader table_reader(table_bytes);
   for (uint32_t i = 0; i < num_sections; ++i) {
     uint32_t id;
@@ -619,6 +747,8 @@ Result<WarmState> DecodeSnapshot(std::string_view bytes) {
     else if (id == kSecAnswerMemo) fresh = claim(&answer_payload, &have_answers);
     else if (id == kSecAutomata) fresh = claim(&automata_payload, &have_automata);
     else if (id == kSecChased) fresh = claim(&chased_payload, &have_chased);
+    else if (id == kSecReliance)
+      fresh = claim(&reliance_payload, &have_reliance);
     // else: unknown section — checksummed above, otherwise skipped
     // (the forward-compatibility policy of docs/FORMAT.md).
     if (!fresh) return Corrupt("duplicate section");
@@ -739,6 +869,10 @@ Result<WarmState> DecodeSnapshot(std::string_view bytes) {
   // CHSE — chased scenarios (§5 universal representatives), an additive
   // section: absent in pre-ISSUE-5 snapshots, which decode to an empty
   // chased memo.
+  // Decoded mutable so the RELI pass below can attach reliance graphs;
+  // published into the (const-element) WarmState afterwards.
+  std::vector<std::pair<std::string, std::shared_ptr<ChasedScenario>>>
+      chased_entries;
   if (have_chased) {
     WireReader in(chased_payload);
     uint32_t count;
@@ -750,11 +884,51 @@ Result<WarmState> DecodeSnapshot(std::string_view bytes) {
       }
       std::string key;
       if (!ResolveKey(key_ref, table, &key, &error)) return error;
-      ChasedScenarioPtr chased = DecodeChased(&in, &error);
+      std::shared_ptr<ChasedScenario> chased = DecodeChased(&in, &error);
       if (chased == nullptr) return error;
-      state.chased.emplace_back(std::move(key), std::move(chased));
+      chased_entries.emplace_back(std::move(key), std::move(chased));
     }
     if (!in.AtEnd()) return Corrupt("trailing bytes in chased memo");
+  }
+
+  // RELI (ISSUE 9) — reliance analyses keyed like (and attached to) the
+  // CHSE entries. Additive: absent in pre-ISSUE-9 snapshots, whose chased
+  // artifacts then restore with a null reliance (harmless — the analysis
+  // only matters while compiling). A RELI entry that matches no chased
+  // entry, or a second one for the same artifact, is structural corruption.
+  if (have_reliance) {
+    WireReader in(reliance_payload);
+    uint32_t count;
+    if (!in.ReadU32(&count)) return Corrupt("truncated reliance memo");
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t key_ref;
+      if (!in.ReadU32(&key_ref)) {
+        return Corrupt("truncated reliance memo entry");
+      }
+      std::string key;
+      if (!ResolveKey(key_ref, table, &key, &error)) return error;
+      std::shared_ptr<ChasedScenario> target;
+      for (auto& [chased_key, chased] : chased_entries) {
+        if (chased_key == key) {
+          target = chased;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        return Corrupt("reliance entry matches no chased scenario");
+      }
+      if (target->reliance != nullptr) {
+        return Corrupt("duplicate reliance entry");
+      }
+      RelianceGraphPtr graph = DecodeReliance(&in, &error);
+      if (graph == nullptr) return error;
+      target->reliance = std::move(graph);
+    }
+    if (!in.AtEnd()) return Corrupt("trailing bytes in reliance memo");
+  }
+
+  for (auto& [key, chased] : chased_entries) {
+    state.chased.emplace_back(std::move(key), std::move(chased));
   }
 
   return state;

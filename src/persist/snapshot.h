@@ -18,9 +18,10 @@ namespace gdx {
 /// Warm-start persistence (ISSUE 4 tentpole): the codec of the versioned,
 /// length-prefixed binary snapshot that carries an EngineCache's warm
 /// state — NRE memo, null-blind answer memo, compiled-automaton memo
-/// (automata included), and, since ISSUE 5, the chased-scenario memo (§5
-/// universal representatives, patterns and null arenas included) — across
-/// process boundaries. docs/FORMAT.md is the normative byte-level
+/// (automata included), since ISSUE 5 the chased-scenario memo (§5
+/// universal representatives, patterns and null arenas included), and
+/// since ISSUE 9 the reliance analyses of those artifacts (the additive
+/// RELI companion section) — across process boundaries. docs/FORMAT.md is the normative byte-level
 /// specification; this header is its implementation anchor (CI greps
 /// kFormatVersion out of this file and fails when the spec drifts).
 ///

@@ -103,7 +103,7 @@ TEST(CancelTest, FirstStopCauseWins) {
 
 TEST(CancelTest, CanceledSolveIsTypedAndLeavesNoTornCacheEntry) {
   EngineOptions options = PaperOptions();
-  options.chase_policy = ChasePolicy::kBoundedSearch;
+  options.existence_policy = ExistencePolicy::kBoundedSearch;
   ExchangeEngine engine(options);
   Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);
   CancellationToken token;

@@ -114,7 +114,7 @@ TEST(ExchangeEngineTest, Example22SameAsEndToEnd) {
 
 TEST(ExchangeEngineTest, Example52ChaseSucceedsButNoSolution) {
   EngineOptions options = PaperOptions();
-  options.chase_policy = ChasePolicy::kBoundedSearch;
+  options.existence_policy = ExistencePolicy::kBoundedSearch;
   ExchangeEngine engine(options);
   Scenario s = MakeExample52Scenario();
   Result<ExchangeOutcome> outcome = engine.Solve(s);

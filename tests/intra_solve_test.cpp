@@ -414,7 +414,7 @@ TEST(IntraSolveTest, EngineHonorsCacheCapAndStaysCorrect) {
 
 TEST(IntraSolveTest, CancelledSolveReportsUnknown) {
   EngineOptions options = PaperOptions();
-  options.chase_policy = ChasePolicy::kBoundedSearch;
+  options.existence_policy = ExistencePolicy::kBoundedSearch;
   options.intra_solve_threads = 2;
   ExchangeEngine engine(options);
   Scenario s = MakeExample22Scenario(FlightConstraintMode::kEgd);

@@ -4,16 +4,24 @@
 // byte, and must treat every corrupted file (truncation, bit flips, bad
 // magic/version) as a clean cold start, never UB. Restored compiled
 // automata are pitted against freshly compiled ones on the randomized
-// differential from nre_eval_equivalence_test.cpp.
+// differential from nre_eval_equivalence_test.cpp. The ISSUE 9 RELI
+// section (persisted reliance analyses) gets the same treatment at the
+// bottom: byte-stable round trips, bit-flip and semantic-corruption
+// rejection, and a warm start that replays every graph with zero
+// RelianceGraph::Build calls.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "chase/chase_compiler.h"
+#include "chase/reliance.h"
 #include "engine/batch_executor.h"
 #include "engine/cache.h"
 #include "engine/exchange_engine.h"
@@ -573,6 +581,223 @@ TEST(CorruptionTest, GarbageAndEmptyFilesRejected) {
     Result<WarmState> decoded = DecodeSnapshot(garbage);
     EXPECT_FALSE(decoded.ok());
   }
+}
+
+// --- reliance persistence (RELI, ISSUE 9) ----------------------------------
+
+/// Warm state whose chased memo is populated — solving under the default
+/// ChasePolicy::kDelta attaches a reliance analysis to every artifact.
+WarmState MakeRelianceWarmState() {
+  ExchangeEngine engine(TestEngineOptions());
+  std::vector<Scenario> scenarios = MakeScenarios();
+  SolveAllToStrings(engine, scenarios);
+  return engine.cache().ExportWarmState();
+}
+
+TEST(ReliancePersistTest, RoundTripIsByteStableAndFieldExact) {
+  WarmState state = MakeRelianceWarmState();
+  ASSERT_FALSE(state.chased.empty());
+  size_t with_reliance = 0;
+  for (const auto& [key, chased] : state.chased) {
+    if (chased->reliance != nullptr) ++with_reliance;
+  }
+  ASSERT_GT(with_reliance, 0u);
+
+  const std::string bytes = EncodeSnapshot(state);
+  Result<WarmState> decoded = DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(EncodeSnapshot(*decoded), bytes);  // decode→encode identity
+
+  // Every reliance graph restores field-for-field, including the strata
+  // the decoder re-derives (DeriveStrata) rather than reads.
+  ASSERT_EQ(decoded->chased.size(), state.chased.size());
+  for (const auto& [key, original] : state.chased) {
+    const ChasedScenario* restored = nullptr;
+    for (const auto& [dkey, dchased] : decoded->chased) {
+      if (dkey == key) restored = dchased.get();
+    }
+    ASSERT_NE(restored, nullptr) << key;
+    ASSERT_EQ(original->reliance != nullptr, restored->reliance != nullptr);
+    if (original->reliance == nullptr) continue;
+    const RelianceGraph& a = *original->reliance;
+    const RelianceGraph& b = *restored->reliance;
+    EXPECT_EQ(a.num_st_tgds, b.num_st_tgds);
+    EXPECT_EQ(a.num_egds, b.num_egds);
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    for (size_t n = 0; n < a.nodes.size(); ++n) {
+      EXPECT_EQ(a.nodes[n].body_symbols, b.nodes[n].body_symbols);
+      EXPECT_EQ(a.nodes[n].definite_head_symbols,
+                b.nodes[n].definite_head_symbols);
+      EXPECT_EQ(a.nodes[n].nullable_body_atom, b.nodes[n].nullable_body_atom);
+      EXPECT_EQ(a.nodes[n].dead, b.nodes[n].dead);
+    }
+    EXPECT_EQ(a.out, b.out);
+    EXPECT_EQ(a.scc_of, b.scc_of);
+    EXPECT_EQ(a.strata, b.strata);
+    EXPECT_EQ(a.stratum_level, b.stratum_level);
+  }
+}
+
+TEST(ReliancePersistTest, PreReliArtifactsRestoreWithNullReliance) {
+  // A pre-ISSUE-9 snapshot is modeled by chased artifacts without a
+  // reliance graph: the encoder then emits no RELI entry for them and the
+  // restore succeeds with a null analysis — no version bump needed.
+  WarmState state = MakeRelianceWarmState();
+  for (auto& [key, chased] : state.chased) {
+    auto stripped = std::make_shared<ChasedScenario>(*chased);
+    stripped->reliance = nullptr;
+    chased = std::move(stripped);
+  }
+  Result<WarmState> decoded = DecodeSnapshot(EncodeSnapshot(state));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->chased.size(), state.chased.size());
+  for (const auto& [key, chased] : decoded->chased) {
+    EXPECT_EQ(chased->reliance, nullptr) << key;
+  }
+}
+
+TEST(ReliancePersistTest, SemanticallyInvalidGraphsRejected) {
+  // Invalid reliance content behind a *valid* checksum (EncodeSnapshot
+  // writes any WarmState verbatim) must fail RELI validation, not reach
+  // a cache. Each mutation leaves every other section intact.
+  WarmState state = MakeRelianceWarmState();
+  size_t idx = state.chased.size();
+  for (size_t i = 0; i < state.chased.size(); ++i) {
+    if (state.chased[i].second->reliance != nullptr) idx = i;
+  }
+  ASSERT_LT(idx, state.chased.size());
+
+  const auto mutate = [&](const std::function<void(RelianceGraph*)>& fn) {
+    WarmState tampered = MakeRelianceWarmState();
+    auto chased = std::make_shared<ChasedScenario>(*tampered.chased[idx].second);
+    RelianceGraph graph = *chased->reliance;
+    fn(&graph);
+    chased->reliance = std::make_shared<const RelianceGraph>(std::move(graph));
+    tampered.chased[idx].second = std::move(chased);
+    return DecodeSnapshot(EncodeSnapshot(tampered));
+  };
+
+  Result<WarmState> decoded = mutate([](RelianceGraph* g) {
+    g->nodes[0].body_symbols = {5, 5};  // not strictly increasing
+  });
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("increasing"), std::string::npos)
+      << decoded.status().ToString();
+
+  decoded = mutate([](RelianceGraph* g) {
+    // An adjacency target past the node range — keeps the row sorted so
+    // only the bounds check can reject it.
+    g->out[0].push_back(static_cast<uint32_t>(g->nodes.size()));
+  });
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("out of range"),
+            std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST(ReliancePersistTest, DuplicateRelianceEntryRejected) {
+  WarmState state = MakeRelianceWarmState();
+  size_t idx = state.chased.size();
+  for (size_t i = 0; i < state.chased.size(); ++i) {
+    if (state.chased[i].second->reliance != nullptr) idx = i;
+  }
+  ASSERT_LT(idx, state.chased.size());
+  // Two chased entries under one key each carry a reliance graph: the
+  // second RELI record targets an artifact whose analysis is already
+  // attached — structural corruption, not a merge.
+  state.chased.push_back(state.chased[idx]);
+  Result<WarmState> decoded = DecodeSnapshot(EncodeSnapshot(state));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("duplicate reliance"),
+            std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST(ReliancePersistTest, CorruptReliSectionDegradesToColdStart) {
+  // Locate the RELI section via the table and fuzz bits across its
+  // payload: every flip must fail the decode (per-section checksum — no
+  // format version bump involved), and loading such a file must leave
+  // the cache empty. Mirrors the CHSE fuzz in chase_compile_test.
+  std::string bytes = EncodeSnapshot(MakeRelianceWarmState());
+
+  WireReader header(bytes);
+  std::string_view magic;
+  uint32_t version, num_sections;
+  uint64_t table_checksum;
+  ASSERT_TRUE(header.ReadRaw(8, &magic));
+  ASSERT_TRUE(header.ReadU32(&version));
+  ASSERT_TRUE(header.ReadU32(&num_sections));
+  ASSERT_TRUE(header.ReadU64(&table_checksum));
+  uint64_t reli_offset = 0, reli_length = 0;
+  for (uint32_t i = 0; i < num_sections; ++i) {
+    uint32_t id;
+    uint64_t offset, length, checksum;
+    ASSERT_TRUE(header.ReadU32(&id));
+    ASSERT_TRUE(header.ReadU64(&offset));
+    ASSERT_TRUE(header.ReadU64(&length));
+    ASSERT_TRUE(header.ReadU64(&checksum));
+    if (id == (uint32_t('R') | uint32_t('E') << 8 | uint32_t('L') << 16 |
+               uint32_t('I') << 24)) {
+      reli_offset = offset;
+      reli_length = length;
+    }
+  }
+  ASSERT_GT(reli_length, 4u) << "the snapshot must carry reliance entries";
+
+  const size_t step = reli_length > 97 ? reli_length / 97 : 1;
+  for (uint64_t pos = 0; pos < reli_length; pos += step) {
+    std::string flipped = bytes;
+    flipped[reli_offset + pos] = static_cast<char>(
+        static_cast<uint8_t>(flipped[reli_offset + pos]) ^
+        (1u << (pos % 8)));
+    Result<WarmState> decoded = DecodeSnapshot(flipped);
+    EXPECT_FALSE(decoded.ok()) << "flip at RELI byte " << pos;
+  }
+
+  std::string flipped = bytes;
+  flipped[reli_offset + reli_length / 2] ^= 0x20;
+  std::string path = TempPath("corrupt_reli.gdxsnap");
+  WriteFileBytes(path, flipped);
+  EngineCache cache;
+  Status status = cache.LoadSnapshot(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(cache.sizes().chased_entries, 0u);
+  EXPECT_EQ(cache.sizes().nre_entries, 0u);
+}
+
+TEST(ReliancePersistTest, WarmStartReplaysRelianceWithZeroRebuilds) {
+  std::string path = TempPath("warm_reli.gdxsnap");
+  ExchangeEngine cold(TestEngineOptions());
+  std::vector<Scenario> cold_scenarios = MakeScenarios();
+  std::vector<std::string> cold_out =
+      SolveAllToStrings(cold, cold_scenarios);
+  ASSERT_TRUE(cold.SaveWarmState(path).ok());
+
+  ExchangeEngine warm(TestEngineOptions());
+  ASSERT_TRUE(warm.WarmStart(path).ok());
+  // The restored artifacts carry their persisted analyses...
+  WarmState restored = warm.cache().ExportWarmState();
+  size_t with_reliance = 0;
+  for (const auto& [key, chased] : restored.chased) {
+    if (chased->reliance != nullptr) ++with_reliance;
+  }
+  EXPECT_GT(with_reliance, 0u);
+
+  // ...so replaying the full workload builds not a single new graph
+  // (the ISSUE 9 zero-recompute criterion), while outputs stay
+  // byte-identical to the cold run.
+  const uint64_t builds_before = RelianceGraph::BuildCount();
+  std::vector<Scenario> warm_scenarios = MakeScenarios();
+  Metrics warm_total;
+  std::vector<std::string> warm_out =
+      SolveAllToStrings(warm, warm_scenarios, &warm_total);
+  EXPECT_EQ(RelianceGraph::BuildCount(), builds_before);
+  ASSERT_EQ(warm_out.size(), cold_out.size());
+  for (size_t i = 0; i < cold_out.size(); ++i) {
+    EXPECT_EQ(warm_out[i], cold_out[i]) << "scenario " << i;
+  }
+  EXPECT_EQ(warm_total.chase_delta_rounds, 0u);  // no chase ran at all
+  EXPECT_GT(warm_total.chase_cache_restored_hits, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,317 @@
+// ISSUE 9: property tests of the positive-reliance analysis. The graph's
+// structural invariants — node order, dead/nullable flags, adjacency
+// soundness, condensation strata respecting every edge, deterministic
+// rebuilds — are what the delta chase's skipping correctness rests on;
+// the runtime half (skipped rules genuinely yield no new merges) lives in
+// delta_chase_test.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chase/reliance.h"
+#include "common/rng.h"
+#include "workload/scenario_parser.h"
+
+namespace gdx {
+namespace {
+
+Scenario Parse(const std::string& text) {
+  Result<Scenario> s = ParseScenario(text);
+  EXPECT_TRUE(s.ok()) << s.status().ToString() << "\n" << text;
+  return std::move(s).value();
+}
+
+/// Structural invariants every built (or decoded) RelianceGraph upholds.
+void CheckInvariants(const RelianceGraph& g) {
+  const size_t n = g.num_rules();
+  ASSERT_EQ(g.nodes.size(), n);
+  ASSERT_EQ(g.out.size(), n);
+  ASSERT_EQ(g.scc_of.size(), n);
+  ASSERT_EQ(g.stratum_level.size(), g.strata.size());
+
+  // Adjacency: sorted, duplicate-free, in range; st nodes never targets
+  // (nothing feeds an st-tgd — its body reads the immutable source).
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t k = 0; k < g.out[u].size(); ++k) {
+      const uint32_t v = g.out[u][k];
+      ASSERT_LT(v, n);
+      EXPECT_GE(v, g.num_st_tgds) << "edge into an st-tgd node";
+      if (k > 0) {
+        EXPECT_LT(g.out[u][k - 1], v) << "adjacency not sorted";
+      }
+    }
+  }
+
+  // Dead rules are fully disconnected: they can neither fire nor be fed.
+  for (size_t u = 0; u < n; ++u) {
+    if (!g.nodes[u].dead) continue;
+    EXPECT_TRUE(g.out[u].empty());
+    for (size_t w = 0; w < n; ++w) {
+      for (uint32_t v : g.out[w]) EXPECT_NE(v, u);
+    }
+  }
+
+  // Node-order and side-split invariants.
+  for (size_t i = 0; i < g.num_st_tgds; ++i) {
+    EXPECT_TRUE(g.nodes[i].body_symbols.empty());
+    EXPECT_FALSE(g.nodes[i].dead);
+  }
+  for (size_t j = 0; j < g.num_egds; ++j) {
+    EXPECT_TRUE(g.nodes[g.EgdNode(j)].definite_head_symbols.empty());
+  }
+
+  // Strata partition the nodes, each sorted ascending, scc_of consistent.
+  std::vector<int> seen(n, 0);
+  for (uint32_t s = 0; s < g.strata.size(); ++s) {
+    ASSERT_FALSE(g.strata[s].empty());
+    for (size_t k = 0; k < g.strata[s].size(); ++k) {
+      const uint32_t rule = g.strata[s][k];
+      ASSERT_LT(rule, n);
+      ++seen[rule];
+      EXPECT_EQ(g.scc_of[rule], s);
+      if (k > 0) {
+        EXPECT_LT(g.strata[s][k - 1], rule);
+      }
+    }
+  }
+  for (size_t u = 0; u < n; ++u) EXPECT_EQ(seen[u], 1) << "node " << u;
+
+  // Every cross-stratum edge respects the topological order AND strictly
+  // increases the producer-chain level — the property the level-grouped
+  // parallel fan-out relies on (same-level strata are independent).
+  for (size_t u = 0; u < n; ++u) {
+    for (uint32_t v : g.out[u]) {
+      if (g.scc_of[u] == g.scc_of[v]) continue;
+      EXPECT_LT(g.scc_of[u], g.scc_of[v])
+          << "edge " << u << "->" << v << " against stratum order";
+      EXPECT_LT(g.stratum_level[g.scc_of[u]], g.stratum_level[g.scc_of[v]]);
+    }
+  }
+}
+
+// --- CollectNreSymbols ------------------------------------------------------
+
+TEST(CollectNreSymbolsTest, WalksEveryOperator) {
+  // (3 . 5-) | ([7] . 2*)  plus a stray epsilon leaf.
+  NrePtr nre = Nre::Union(
+      Nre::Concat(Nre::Symbol(3), Nre::Inverse(5)),
+      Nre::Concat(Nre::Nest(Nre::Symbol(7)),
+                  Nre::Star(Nre::Concat(Nre::Symbol(2), Nre::Epsilon()))));
+  std::vector<SymbolId> symbols;
+  CollectNreSymbols(*nre, &symbols);
+  std::sort(symbols.begin(), symbols.end());
+  EXPECT_EQ(symbols, (std::vector<SymbolId>{2, 3, 5, 7}));
+
+  std::vector<SymbolId> none;
+  CollectNreSymbols(*Nre::Star(Nre::Epsilon()), &none);
+  EXPECT_TRUE(none.empty());
+}
+
+// --- flags ------------------------------------------------------------------
+
+TEST(RelianceBuildTest, DeadNullableAndLiveFlags) {
+  // h is derived as a definite label; d only through a non-definite head
+  // (h . d*), so no definite d edge can ever exist.
+  Scenario s = Parse(R"(
+    relation R/2
+    fact R(c1, c2)
+    stgd R(x, y) -> (x, h, y)
+    stgd R(x, y) -> (x, h . d*, y)
+    egd (x1, h, y), (x2, h, y) -> x1 = x2
+    egd (x1, d, y), (x2, d, y) -> x1 = x2
+    egd (x1, h*, y), (x2, d, y) -> x1 = x2
+  )");
+  RelianceGraph g = RelianceGraph::Build(s.setting);
+  ASSERT_EQ(g.num_st_tgds, 2u);
+  ASSERT_EQ(g.num_egds, 3u);
+  CheckInvariants(g);
+
+  const SymbolId h = *s.alphabet->Find("h");
+  const SymbolId d = *s.alphabet->Find("d");
+
+  // St-tgd 0 derives definite h; st-tgd 1 derives nothing definite.
+  EXPECT_EQ(g.nodes[0].definite_head_symbols, std::vector<SymbolId>{h});
+  EXPECT_TRUE(g.nodes[1].definite_head_symbols.empty());
+
+  // Egd 0 reads h: live. Egd 1 reads only d (never definite): dead. Egd 2
+  // has a nullable atom (h*): live despite its dead d atom? No — its d
+  // atom is non-nullable and unsatisfiable, so the rule is dead; but the
+  // h* atom additionally marks it nullable.
+  EXPECT_FALSE(g.EgdDead(0));
+  EXPECT_FALSE(g.nodes[g.EgdNode(0)].nullable_body_atom);
+  EXPECT_TRUE(g.EgdDead(1));
+  EXPECT_TRUE(g.EgdDead(2));
+  EXPECT_TRUE(g.nodes[g.EgdNode(2)].nullable_body_atom);
+  EXPECT_EQ(g.nodes[g.EgdNode(2)].body_symbols,
+            (std::vector<SymbolId>{std::min(h, d), std::max(h, d)}));
+
+  // St-tgd 0 feeds egd 0 (shared h); neither st feeds the dead egds.
+  EXPECT_EQ(g.out[0], std::vector<uint32_t>{
+                          static_cast<uint32_t>(g.EgdNode(0))});
+  EXPECT_TRUE(g.out[1].empty());
+  // The live egd relies on itself (merges can re-enable it).
+  EXPECT_EQ(g.out[g.EgdNode(0)],
+            std::vector<uint32_t>{static_cast<uint32_t>(g.EgdNode(0))});
+}
+
+TEST(RelianceBuildTest, NullableAtomAloneKeepsAnEgdLiveAndFed) {
+  // The egd's only atom is epsilon-nullable over an underived label: the
+  // rule stays live (fresh nodes can seat an epsilon match) and every
+  // st-tgd feeds it even with no label overlap.
+  Scenario s = Parse(R"(
+    relation R/2
+    fact R(c1, c2)
+    stgd R(x, y) -> (x, h, y)
+    egd (x1, g*, x2) -> x1 = x2
+  )");
+  RelianceGraph g = RelianceGraph::Build(s.setting);
+  CheckInvariants(g);
+  ASSERT_EQ(g.num_egds, 1u);
+  EXPECT_FALSE(g.EgdDead(0));
+  EXPECT_TRUE(g.nodes[g.EgdNode(0)].nullable_body_atom);
+  EXPECT_EQ(g.out[0],
+            std::vector<uint32_t>{static_cast<uint32_t>(g.EgdNode(0))});
+}
+
+// --- EgdReadsAny ------------------------------------------------------------
+
+TEST(RelianceGraphTest, EgdReadsAnyIsSortedIntersection) {
+  RelianceGraph g;
+  g.num_st_tgds = 0;
+  g.num_egds = 1;
+  g.nodes.resize(1);
+  g.nodes[0].body_symbols = {2, 5, 9};
+  g.out.resize(1);
+  EXPECT_TRUE(g.EgdReadsAny(0, {5}));
+  EXPECT_TRUE(g.EgdReadsAny(0, {1, 3, 9}));
+  EXPECT_TRUE(g.EgdReadsAny(0, {2, 5, 9}));
+  EXPECT_FALSE(g.EgdReadsAny(0, {1, 3, 4, 6, 8, 10}));
+  EXPECT_FALSE(g.EgdReadsAny(0, {}));
+}
+
+// --- strata on a layered mapping --------------------------------------------
+
+TEST(RelianceStrataTest, CyclicEgdsShareOneStratumBehindTheirFeeders) {
+  // Two egds over the same derived label rely on each other (and
+  // themselves): one SCC, placed after the st stratum that feeds it.
+  Scenario s = Parse(R"(
+    relation R/2
+    fact R(c1, c2)
+    stgd R(x, y) -> (x, h, y)
+    egd (x1, h, y), (x2, h, y) -> x1 = x2
+    egd (x, h, y1), (x, h, y2) -> y1 = y2
+  )");
+  RelianceGraph g = RelianceGraph::Build(s.setting);
+  CheckInvariants(g);
+  ASSERT_EQ(g.strata.size(), 2u);
+  EXPECT_EQ(g.strata[0], std::vector<uint32_t>{0});
+  EXPECT_EQ(g.strata[1], (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(g.stratum_level[0], 0u);
+  EXPECT_EQ(g.stratum_level[1], 1u);
+}
+
+TEST(RelianceStrataTest, DisjointLabelEgdsCoupleStaticallyButSplitAtRuntime) {
+  // Two disjoint label families. The *static* analysis still couples the
+  // two egds into one SCC — a merge can relocate definite edges of any
+  // derivable label, so the producer side of an egd -> egd reliance is
+  // label-blind by design (see reliance.h). The *runtime* delta test is
+  // what separates them: each egd reads none of the other's labels, so a
+  // round whose delta is only h-labeled skips the g egd and vice versa.
+  Scenario s = Parse(R"(
+    relation R/2
+    relation S/2
+    fact R(c1, c2)
+    fact S(c3, c4)
+    stgd R(x, y) -> (x, h, y)
+    stgd S(x, y) -> (x, g, y)
+    egd (x1, h, y), (x2, h, y) -> x1 = x2
+    egd (x1, g, y), (x2, g, y) -> x1 = x2
+  )");
+  RelianceGraph g = RelianceGraph::Build(s.setting);
+  CheckInvariants(g);
+  ASSERT_EQ(g.num_egds, 2u);
+  EXPECT_EQ(g.scc_of[g.EgdNode(0)], g.scc_of[g.EgdNode(1)]);
+  EXPECT_FALSE(g.EgdReadsAny(0, g.nodes[g.EgdNode(1)].body_symbols));
+  EXPECT_FALSE(g.EgdReadsAny(1, g.nodes[g.EgdNode(0)].body_symbols));
+  // Each st-tgd statically feeds only the egd of its own label family.
+  EXPECT_EQ(g.out[0],
+            std::vector<uint32_t>{static_cast<uint32_t>(g.EgdNode(0))});
+  EXPECT_EQ(g.out[1],
+            std::vector<uint32_t>{static_cast<uint32_t>(g.EgdNode(1))});
+}
+
+// --- determinism and the BuildCount hook ------------------------------------
+
+TEST(RelianceGraphTest, BuildIsDeterministicAndCounted) {
+  Scenario s = Parse(R"(
+    relation R/2
+    relation S/2
+    fact R(c1, c2)
+    fact S(c2, c3)
+    stgd R(x, y) -> (x, h, y), (y, g, x)
+    stgd S(x, y), R(y, z) -> (x, g . h, z)
+    egd (x1, h, y), (x2, g, y) -> x1 = x2
+    egd (x1, q, y), (x2, q, y) -> x1 = x2
+  )");
+  const uint64_t before = RelianceGraph::BuildCount();
+  RelianceGraph a = RelianceGraph::Build(s.setting);
+  RelianceGraph b = RelianceGraph::Build(s.setting);
+  EXPECT_EQ(RelianceGraph::BuildCount(), before + 2);
+  CheckInvariants(a);
+
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].body_symbols, b.nodes[i].body_symbols);
+    EXPECT_EQ(a.nodes[i].definite_head_symbols,
+              b.nodes[i].definite_head_symbols);
+    EXPECT_EQ(a.nodes[i].nullable_body_atom, b.nodes[i].nullable_body_atom);
+    EXPECT_EQ(a.nodes[i].dead, b.nodes[i].dead);
+  }
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_EQ(a.scc_of, b.scc_of);
+  EXPECT_EQ(a.strata, b.strata);
+  EXPECT_EQ(a.stratum_level, b.stratum_level);
+}
+
+// --- randomized structural battery ------------------------------------------
+
+/// Random mapping text: a few relations, copy/complex st-tgds, egds over
+/// random labels (some underived -> dead rules arise naturally).
+std::string RandomMappingText(uint64_t seed) {
+  Rng rng(seed);
+  const char* labels[] = {"a", "b", "c", "d", "e"};
+  std::string text = "relation R/2\nrelation S/2\nfact R(c1, c2)\n"
+                     "fact S(c2, c3)\n";
+  const int num_st = static_cast<int>(rng.UniformInt(1, 4));
+  for (int i = 0; i < num_st; ++i) {
+    const char* rel = rng.Bernoulli(0.5) ? "R" : "S";
+    std::string head_label = labels[rng.UniformInt(0, 4)];
+    if (rng.Bernoulli(0.3)) {
+      head_label += std::string(" . ") + labels[rng.UniformInt(0, 4)] + "*";
+    }
+    text += std::string("stgd ") + rel + "(x, y) -> (x, " + head_label +
+            ", y)\n";
+  }
+  const int num_egds = static_cast<int>(rng.UniformInt(1, 4));
+  for (int j = 0; j < num_egds; ++j) {
+    std::string l1 = labels[rng.UniformInt(0, 4)];
+    std::string l2 = labels[rng.UniformInt(0, 4)];
+    if (rng.Bernoulli(0.25)) l1 += "*";
+    text += "egd (x1, " + l1 + ", y), (x2, " + l2 + ", y) -> x1 = x2\n";
+  }
+  return text;
+}
+
+TEST(RelianceGraphTest, RandomMappingsUpholdEveryInvariant) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    Scenario s = Parse(RandomMappingText(seed));
+    RelianceGraph g = RelianceGraph::Build(s.setting);
+    ASSERT_NO_FATAL_FAILURE(CheckInvariants(g)) << "seed " << seed;
+    ASSERT_EQ(g.num_st_tgds, s.setting.st_tgds.size());
+    ASSERT_EQ(g.num_egds, s.setting.egds.size());
+  }
+}
+
+}  // namespace
+}  // namespace gdx
