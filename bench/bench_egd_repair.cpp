@@ -1,0 +1,118 @@
+// ISSUE 10 tentpole part 1: component-parallel egd repair at hardware
+// scale. The workload is a random bipartite "alias" graph — n labeled
+// nulls each pointing via h to a random hub constant, plus random
+// null-to-null noise edges — so the functional egd
+// (x1, h, x3), (x2, h, x3) -> x1 = x2 induces one independent merge
+// component per hub: exactly the fan-out shape the parallel policy
+// exploits, with a million-node point for the scaling story. Sequential
+// kDeferredRounds is the byte-identical baseline; both enter the
+// bench_diff.py-gated artifact so a regression in either is visible
+// run-over-run in CI.
+#include "bench_util.h"
+
+#include "chase/egd_chase.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "exchange/parser.h"
+
+namespace gdx {
+namespace {
+
+AutomatonNreEvaluator eval;
+
+constexpr char kFunctionalEgd[] = "(x1, h, x3), (x2, h, x3) -> x1 = x2";
+
+/// n nulls, n/4 hub constants, one h-edge per null to a random hub and
+/// 2n random e-edges between nulls. Total nodes ≈ 1.25 n.
+Graph MakeAliasGraph(size_t n, Universe& universe, Alphabet& alphabet,
+                     uint64_t seed) {
+  SymbolId h = alphabet.Intern("h");
+  SymbolId e = alphabet.Intern("e");
+  Rng rng(seed);
+  std::vector<Value> hubs;
+  const size_t num_hubs = n / 4 + 1;
+  hubs.reserve(num_hubs);
+  for (size_t i = 0; i < num_hubs; ++i) {
+    hubs.push_back(universe.MakeConstant("hub" + std::to_string(i)));
+  }
+  std::vector<Value> nulls;
+  nulls.reserve(n);
+  for (size_t i = 0; i < n; ++i) nulls.push_back(universe.FreshNull());
+  Graph g;
+  for (const Value& null : nulls) {
+    g.AddEdge(null, h, hubs[rng.NextU64() % num_hubs]);
+  }
+  for (size_t i = 0; i < 2 * n; ++i) {
+    g.AddEdge(nulls[rng.NextU64() % n], e, nulls[rng.NextU64() % n]);
+  }
+  return g;
+}
+
+void RunRepairBench(benchmark::State& state, EgdChasePolicy policy,
+                    size_t workers) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Universe universe;
+  Alphabet alphabet;
+  Graph base = MakeAliasGraph(n, universe, alphabet, /*seed=*/41);
+  Result<TargetEgd> egd = ParseTargetEgd(kFunctionalEgd, alphabet, universe);
+  if (!egd.ok()) {
+    state.SkipWithError("egd parse failed");
+    return;
+  }
+  std::vector<TargetEgd> egds;
+  egds.push_back(std::move(*egd));
+  ThreadPool pool(workers > 1 ? workers - 1 : 0);
+  EgdChaseOptions options;
+  options.policy = policy;
+  options.pool = workers > 1 ? &pool : nullptr;
+  options.max_workers = workers;
+
+  EgdChaseResult result;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graph g = base;  // the chase rewrites in place
+    state.ResumeTiming();
+    result = ChaseGraphEgds(g, egds, eval, options);
+    benchmark::DoNotOptimize(g);
+  }
+  state.counters["merges"] = static_cast<double>(result.merges);
+  state.counters["rounds"] = static_cast<double>(result.rounds);
+  state.counters["components"] = static_cast<double>(result.components);
+}
+
+void BM_EgdRepairSequential(benchmark::State& state) {
+  RunRepairBench(state, EgdChasePolicy::kDeferredRounds, 1);
+}
+void BM_EgdRepairParallel(benchmark::State& state) {
+  RunRepairBench(state, EgdChasePolicy::kParallelComponents,
+                 static_cast<size_t>(state.range(1)));
+}
+BENCHMARK(BM_EgdRepairSequential)
+    ->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EgdRepairParallel)
+    ->Args({1 << 14, 1})->Args({1 << 14, 4})
+    ->Args({1 << 17, 4})
+    ->Args({1 << 20, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void PrintRepro() {
+  Universe universe;
+  Alphabet alphabet;
+  Graph g = MakeAliasGraph(1 << 10, universe, alphabet, 41);
+  Result<TargetEgd> egd = ParseTargetEgd(kFunctionalEgd, alphabet, universe);
+  std::vector<TargetEgd> egds;
+  egds.push_back(std::move(*egd));
+  EgdChaseOptions options;
+  options.policy = EgdChasePolicy::kParallelComponents;
+  EgdChaseResult result = ChaseGraphEgds(g, egds, eval, options);
+  std::printf("alias graph 1024 nulls: %zu merges, %zu components, "
+              "%zu rounds, failed=%s\n",
+              result.merges, result.components, result.rounds,
+              result.failed ? "yes" : "no");
+}
+
+}  // namespace
+}  // namespace gdx
+
+GDX_BENCH_MAIN(gdx::PrintRepro)

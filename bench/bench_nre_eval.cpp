@@ -107,6 +107,59 @@ void BM_AutomatonEvalFrom(benchmark::State& state) {
 BENCHMARK(BM_AutomatonEvalFrom)->Arg(100)->Arg(400)->Arg(1600)
     ->Unit(benchmark::kMicrosecond);
 
+/// ISSUE 10 tentpole part 2: dense multi-source evaluation, batched
+/// 64-way bit-parallel BFS vs the per-source reference loop, up to a
+/// million nodes. Args: {num_nodes, num_sources}. The dense-closure query
+/// makes every source reach ~everything, so the per-source loop pays
+/// O(sources × reach) while the batched path serves 64 sources per
+/// product pass — the ≥2× million-node acceptance case of the ISSUE.
+/// scratch_allocs counts arena growth events inside the timed loop
+/// (steady-state must be 0; buffers were allocated per call before).
+void RunMultiSourceBench(benchmark::State& state, MultiSourceMode mode) {
+  Universe universe;
+  Alphabet alphabet;
+  RandomGraphParams params;
+  params.num_nodes = static_cast<size_t>(state.range(0));
+  params.num_edges = params.num_nodes * 4;
+  params.num_labels = 2;
+  Graph g = MakeRandomGraph(params, universe, alphabet);
+  Result<NrePtr> q = ParseNre(kDenseClosureQuery, alphabet);
+  if (!q.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  AutomatonNreEvaluator eval;
+  eval.set_multi_source_mode(mode);
+  std::vector<Value> srcs(
+      g.nodes().begin(),
+      g.nodes().begin() + static_cast<size_t>(state.range(1)));
+  // Warm the thread's scratch arena so the timed loop shows steady state.
+  eval.EvalFromMany(*q, g, srcs);
+  const uint64_t allocs_before = NreEvalScratchAllocs();
+  size_t reached = 0;
+  for (auto _ : state) {
+    std::vector<std::vector<Value>> out = eval.EvalFromMany(*q, g, srcs);
+    benchmark::DoNotOptimize(out);
+    reached = out.empty() ? 0 : out.front().size();
+  }
+  state.counters["reached_from_s0"] = static_cast<double>(reached);
+  state.counters["scratch_allocs"] =
+      static_cast<double>(NreEvalScratchAllocs() - allocs_before);
+}
+
+void BM_NreEvalMultiSourceBatched(benchmark::State& state) {
+  RunMultiSourceBench(state, MultiSourceMode::kBatched);
+}
+void BM_NreEvalMultiSourcePerSource(benchmark::State& state) {
+  RunMultiSourceBench(state, MultiSourceMode::kPerSource);
+}
+BENCHMARK(BM_NreEvalMultiSourceBatched)
+    ->Args({1 << 12, 256})->Args({1 << 16, 256})->Args({1 << 20, 256})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NreEvalMultiSourcePerSource)
+    ->Args({1 << 12, 256})->Args({1 << 16, 256})->Args({1 << 20, 256})
+    ->Unit(benchmark::kMillisecond);
+
 /// NRE depth sweep: random expressions of growing AST depth (fixed graph).
 void BM_DepthSweep(benchmark::State& state) {
   Universe universe;

@@ -16,11 +16,15 @@
 //           [--threads=N] [--repeat=K]    through the BatchExecutor and
 //           [--intra-threads=N]           print the Metrics summary;
 //           [--chase=delta|naive]         --intra-threads fans each solve's
-//           [--cache-load=FILE]           witness search over N workers;
-//           [--cache-save=FILE]           --chase picks the chase algorithm
-//           [--report-out=FILE]           (semi-naive delta vs the legacy
-//           [--trace-out=FILE]            reference — byte-identical, see
-//           [--metrics-json=FILE]         CI's chase-diff job);
+//           [--egd-repair=parallel        witness search over N workers;
+//                 |deferred|eager]        --chase picks the chase algorithm
+//           [--nre-multi-source=batched   (semi-naive delta vs the legacy
+//                 |per-source]            reference); --egd-repair and
+//           [--cache-load=FILE]           --nre-multi-source pick the egd
+//           [--cache-save=FILE]           repair policy and the multi-
+//           [--report-out=FILE]           source NRE strategy — every
+//           [--trace-out=FILE]            combination is byte-identical
+//           [--metrics-json=FILE]         (see CI's chase-diff job);
 //                                         --cache-load/--cache-save restore/
 //                                         persist the engine cache snapshot
 //                                         (docs/FORMAT.md) so a new process
@@ -189,6 +193,37 @@ int RunBatch(int argc, char** argv) {
         std::fprintf(stderr, "--chase must be 'delta' or 'naive'\n");
         return 2;
       }
+    } else if (std::strncmp(arg, "--egd-repair=", 13) == 0) {
+      // All three repair policies are byte-identical (ISSUE 10: CI's
+      // chase-diff job cmp's a parallel vs deferred report); the flag
+      // exists for that differential and the repair ablation bench.
+      const char* mode = arg + 13;
+      if (std::strcmp(mode, "parallel") == 0) {
+        options.engine.egd_policy = EgdChasePolicy::kParallelComponents;
+      } else if (std::strcmp(mode, "deferred") == 0) {
+        options.engine.egd_policy = EgdChasePolicy::kDeferredRounds;
+      } else if (std::strcmp(mode, "eager") == 0) {
+        options.engine.egd_policy = EgdChasePolicy::kEagerRestart;
+      } else {
+        std::fprintf(stderr,
+                     "--egd-repair must be 'parallel', 'deferred' or "
+                     "'eager'\n");
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--nre-multi-source=", 19) == 0) {
+      // Byte-identical pair (ISSUE 10 tentpole part 2): the 64-way
+      // bit-parallel BFS vs the per-source reference loop.
+      const char* mode = arg + 19;
+      if (std::strcmp(mode, "batched") == 0) {
+        options.engine.nre_multi_source = MultiSourceMode::kBatched;
+      } else if (std::strcmp(mode, "per-source") == 0) {
+        options.engine.nre_multi_source = MultiSourceMode::kPerSource;
+      } else {
+        std::fprintf(stderr,
+                     "--nre-multi-source must be 'batched' or "
+                     "'per-source'\n");
+        return 2;
+      }
     } else {
       paths.push_back(arg);
     }
@@ -197,6 +232,8 @@ int RunBatch(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: gdx_cli batch <a.gdx> [b.gdx ...] [--threads=N] "
                  "[--intra-threads=N] [--repeat=K] [--chase=delta|naive] "
+                 "[--egd-repair=parallel|deferred|eager] "
+                 "[--nre-multi-source=batched|per-source] "
                  "[--cache-load=FILE] [--cache-save=FILE] "
                  "[--report-out=FILE] [--trace-out=FILE] "
                  "[--metrics-json=FILE]\n");

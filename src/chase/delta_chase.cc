@@ -1,11 +1,9 @@
 #include "chase/delta_chase.h"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <utility>
 
+#include "common/task_fanout.h"
 #include "common/value_partition.h"
 #include "graph/cnre.h"
 #include "graph/graph_view.h"
@@ -19,73 +17,17 @@ bool Stopped(const CancellationToken* cancel) {
   return cancel != nullptr && cancel->stop_requested();
 }
 
-/// Completion latch for the workers one chase borrows from the shared
-/// pool. ThreadPool::Wait() waits for *every* pending task — including
-/// sibling solves' — so the chase counts down its own tasks instead
-/// (same shape as ParallelSearch's latch).
-class Latch {
- public:
-  explicit Latch(size_t count) : outstanding_(count) {}
-
-  void CountDown() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (--outstanding_ == 0) cv_.notify_all();
-  }
-
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return outstanding_ == 0; });
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  size_t outstanding_;
-};
-
-/// Fans `num_tasks` independent tasks over the pool: workers pull task
-/// indices from an atomic cursor until drained; the caller always
-/// participates (progress without pool slots); blocks until every task
-/// ran. Tasks write disjoint state, so order is free — determinism comes
-/// from the sequential folds that consume the task outputs.
+/// Parallel collection fan-out of one chase: the shared FanOutTasks
+/// helper (common/task_fanout.h, factored out of this file for ISSUE 10's
+/// egd repair) driven by this chase's knobs.
 void RunTasks(const DeltaChaseOptions& options, size_t num_tasks,
               const std::function<void(size_t task, size_t worker)>& task) {
-  size_t workers = 1;
-  if (options.pool != nullptr && options.max_workers != 1 && num_tasks > 1) {
-    const size_t cap = options.max_workers == 0
-                           ? options.pool->num_threads() + 1
-                           : options.max_workers;
-    workers = std::min(cap, num_tasks);
-  }
-  std::atomic<size_t> cursor{0};
-  auto pull = [&](size_t worker) {
-    for (;;) {
-      if (Stopped(options.cancel)) return;
-      const size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (t >= num_tasks) return;
-      task(t, worker);
-    }
-  };
-  auto run = [&](size_t worker) {
-    if (options.wrap_worker) {
-      options.wrap_worker(worker, [&pull, worker] { pull(worker); });
-    } else {
-      pull(worker);
-    }
-  };
-  if (workers <= 1) {
-    run(0);
-    return;
-  }
-  Latch latch(workers - 1);
-  for (size_t w = 1; w < workers; ++w) {
-    options.pool->Submit([&run, &latch, w] {
-      run(w);
-      latch.CountDown();
-    });
-  }
-  run(0);
-  latch.Wait();
+  TaskFanoutOptions fan;
+  fan.pool = options.pool;
+  fan.max_workers = options.max_workers;
+  fan.cancel = options.cancel;
+  fan.wrap_worker = options.wrap_worker;
+  FanOutTasks(fan, num_tasks, task);
 }
 
 /// Seed round: the s-t chase with parallel match collection and a

@@ -51,6 +51,25 @@ class Bitset {
     }
   }
 
+  // --- Word-level mask ops (ISSUE 10 tentpole part 2) ---------------------
+  //
+  // The bit-parallel multi-source BFS packs 64 BFS sources into one word:
+  // word wi holds the source mask of one (state, node) product cell, and
+  // frontier expansion is word-wide OR / AND-NOT instead of per-bit walks.
+
+  size_t num_words() const { return words_.size(); }
+
+  uint64_t WordAt(size_t wi) const { return words_[wi]; }
+
+  /// ORs `mask` into word `wi`; returns the bits this call newly set
+  /// (mask & ~old) — the frontier delta of a level-synchronous round.
+  uint64_t OrWordAt(size_t wi, uint64_t mask) {
+    uint64_t& word = words_[wi];
+    const uint64_t fresh = mask & ~word;
+    word |= fresh;
+    return fresh;
+  }
+
  private:
   std::vector<uint64_t> words_;
 };

@@ -84,7 +84,16 @@ void ParallelSearch::RunWorkers(
       latch.CountDown();
     });
   }
-  run(0);  // The caller always participates: progress without pool slots.
+  {
+    // The caller always participates: progress without pool slots. While
+    // it does, it counts as a pool peer — a nested fan-out inside visit()
+    // (e.g. the per-candidate egd repair) must run inline rather than
+    // Submit-and-wait, because the borrowed workers can be
+    // ordering-coupled to this thread's chunk (ScanAll's lead window) and
+    // would then never get back to the pool queues to serve it.
+    ThreadPool::CooperativeScope scope(options_.pool);
+    run(0);
+  }
   latch.Wait();
 }
 

@@ -108,6 +108,40 @@ class ThreadPool {
     return hw == 0 ? 1 : hw;
   }
 
+  /// The pool the calling thread is a worker of, nullptr off-pool. Lets
+  /// fan-out helpers detect re-entrant use (a pool task fanning out over
+  /// its own pool) and degrade to inline execution: a worker that
+  /// submitted sub-tasks and blocked on their completion could deadlock a
+  /// saturated pool — every worker waiting on jobs only its equally
+  /// blocked peers would ever run.
+  static ThreadPool* Current() { return current_; }
+
+  /// Marks the calling thread as a *cooperative participant* of `pool`
+  /// for the scope's lifetime — the caller slot of a fan-out or parallel
+  /// search that borrowed pool workers and now runs shoulder to shoulder
+  /// with them. Nested fan-outs must treat such a thread exactly like a
+  /// pool worker (run inline, never Submit-and-wait): the cooperating
+  /// siblings may be ordering-coupled to this thread's progress — e.g.
+  /// ScanAll's lead window parks workers until the first incomplete chunk
+  /// (owned here) completes — so parking *this* thread on a latch only a
+  /// parked sibling could serve is a circular wait.
+  class CooperativeScope {
+   public:
+    explicit CooperativeScope(ThreadPool* pool) : prev_(cooperative_) {
+      cooperative_ = pool;
+    }
+    ~CooperativeScope() { cooperative_ = prev_; }
+    CooperativeScope(const CooperativeScope&) = delete;
+    CooperativeScope& operator=(const CooperativeScope&) = delete;
+
+   private:
+    ThreadPool* prev_;
+  };
+
+  /// The pool the calling thread currently cooperates with (innermost
+  /// CooperativeScope), nullptr outside any scope.
+  static ThreadPool* CurrentCooperative() { return cooperative_; }
+
  private:
   struct Queue {
     std::mutex mutex;
@@ -139,6 +173,7 @@ class ThreadPool {
   }
 
   void WorkerLoop(size_t worker) {
+    current_ = this;
     for (;;) {
       std::function<void()> task;
       if (TryPop(worker, task)) {
@@ -174,6 +209,8 @@ class ThreadPool {
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;
   bool stopping_ = false;
+  inline static thread_local ThreadPool* current_ = nullptr;
+  inline static thread_local ThreadPool* cooperative_ = nullptr;
 };
 
 }  // namespace gdx

@@ -416,6 +416,13 @@ class CachingNreEvaluator : public NreEvaluator {
                               Value src) const override {
     return base_->EvalFrom(nre, g, src);
   }
+  /// Pass-through so the base evaluator's 64-way batched BFS serves
+  /// source batches even behind the cache decorator (ISSUE 10).
+  std::vector<std::vector<Value>> EvalFromMany(
+      const NrePtr& nre, const Graph& g,
+      const std::vector<Value>& srcs) const override {
+    return base_->EvalFromMany(nre, g, srcs);
+  }
   bool Contains(const NrePtr& nre, const Graph& g, Value src,
                 Value dst) const override {
     return base_->Contains(nre, g, src, dst);

@@ -42,6 +42,7 @@ ExistenceOptions EngineOptions::ToExistenceOptions() const {
   out.max_candidates = max_candidates;
   out.target_tgd_max_rounds = target_tgd_max_rounds;
   out.dedup_isomorphic = dedup_isomorphic;
+  out.egd_policy = egd_policy;
   if (intra_solve_threads == kIntraSolveAdaptive) {
     // Adaptive scheduling (ISSUE 5 satellite): the sentinel never reaches
     // the solver as a worker count — it becomes "pool size + 1, scaled
@@ -97,8 +98,10 @@ ExchangeEngine::ExchangeEngine(EngineOptions options)
   } else {
     // The cache doubles as the compiled-automaton store (ISSUE 3): every
     // intra-solve worker and batch scenario shares one lowering per NRE.
-    base_eval_.reset(new AutomatonNreEvaluator(
-        options_.enable_cache ? cache_.get() : nullptr));
+    automaton_eval_ = new AutomatonNreEvaluator(
+        options_.enable_cache ? cache_.get() : nullptr);
+    automaton_eval_->set_multi_source_mode(options_.nre_multi_source);
+    base_eval_.reset(automaton_eval_);
   }
   if (options_.enable_cache) {
     caching_eval_.reset(new CachingNreEvaluator(base_eval_.get(),
@@ -110,6 +113,12 @@ ExchangeEngine::ExchangeEngine(EngineOptions options)
   if (workers > 1) intra_pool_.reset(new ThreadPool(workers - 1));
   if (options_.stats != nullptr) {
     telemetry_.reset(new EngineTelemetry(options_.stats));
+    // Batched-BFS pass counters (engine.nre.*) flow straight from the
+    // evaluator into the registry; registry metrics are thread-safe, so
+    // concurrent solves record without coordination.
+    if (automaton_eval_ != nullptr) {
+      automaton_eval_->set_stats_sink(telemetry_.get());
+    }
   }
 }
 
@@ -147,11 +156,15 @@ ExistenceOptions ExchangeEngine::MakeExistenceOptions(
   out.intra_solve_threads = intra_solve_threads();
   out.intra_pool = intra_pool_.get();
   out.cancel = cancel;
+  out.egd_stats = telemetry_.get();
   // Intra-solve workers serve *this* solve: route their cache traffic to
-  // its sink (exact per-solve attribution under concurrent batches).
-  out.worker_scope = [sink](size_t worker,
-                            const std::function<void()>& body) {
+  // its sink (exact per-solve attribution under concurrent batches) and
+  // install the solve's cancellation token for evaluator internals — the
+  // batched BFS polls the thread-local token (ISSUE 10).
+  out.worker_scope = [sink, cancel](size_t worker,
+                                    const std::function<void()>& body) {
     ScopedCacheAttribution attribution(sink);
+    ScopedEvalCancellation eval_cancel(cancel);
     // Worker-rank attribution in the trace (ISSUE 6): one span per
     // intra-solve worker run, arg = the worker's rank within this solve's
     // fan-out (0 = the calling thread).
@@ -178,6 +191,10 @@ Result<ExchangeOutcome> ExchangeEngine::Solve(
   // from the intra-solve workers, which install it via worker_scope.
   PerSolveCacheStats solve_cache;
   ScopedCacheAttribution attribution(&solve_cache);
+  // Evaluator-internal cancellation on the calling thread (workers get it
+  // via worker_scope): the batched multi-source BFS polls this token per
+  // round, bounding an abort inside one long evaluation (ISSUE 10).
+  ScopedEvalCancellation eval_cancel(cancel);
   ExistenceOptions existence_options =
       MakeExistenceOptions(&solve_cache, cancel);
   {

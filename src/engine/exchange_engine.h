@@ -53,6 +53,16 @@ struct EngineOptions {
   ChasePolicy chase_policy = ChasePolicy::kDelta;
   EvaluatorKind evaluator = EvaluatorKind::kAutomaton;
 
+  /// Egd-repair policy of the existence stage's candidate repairs
+  /// (ISSUE 10 tentpole part 1): component-parallel over the intra-solve
+  /// pool by default; the sequential policies are byte-identical ablation
+  /// references (`gdx_cli --egd-repair`).
+  EgdChasePolicy egd_policy = EgdChasePolicy::kParallelComponents;
+  /// Multi-source strategy of the automaton evaluator (ISSUE 10 tentpole
+  /// part 2): 64-way bit-parallel BFS by default; kPerSource pins the
+  /// byte-identical per-source reference loop. Ignored by kNaive.
+  MultiSourceMode nre_multi_source = MultiSourceMode::kBatched;
+
   /// Witness enumeration budgets for pattern instantiation.
   InstantiationOptions instantiation;
   /// Max instantiations the bounded existence search explores.
@@ -229,6 +239,9 @@ class ExchangeEngine {
 
   EngineOptions options_;
   std::unique_ptr<NreEvaluator> base_eval_;
+  /// base_eval_ downcast when it is the automaton engine (else null) —
+  /// for the knobs only that engine has (multi-source mode, stats sink).
+  AutomatonNreEvaluator* automaton_eval_ = nullptr;
   std::unique_ptr<EngineCache> cache_;
   std::unique_ptr<CachingNreEvaluator> caching_eval_;
   /// Registry-backed metric handles; null when EngineOptions::stats is

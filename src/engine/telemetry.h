@@ -3,8 +3,10 @@
 
 #include <cstdint>
 
+#include "chase/egd_chase.h"
 #include "common/thread_pool.h"
 #include "engine/metrics.h"
+#include "graph/nre_eval.h"
 #include "obs/stats_registry.h"
 
 namespace gdx {
@@ -21,9 +23,14 @@ namespace gdx {
 /// Metric names are the docs/TELEMETRY.md schema: `engine.solve.*_ns`
 /// stage-latency histograms, `engine.work.*` chase/search counters,
 /// `engine.chase.*` delta-chase counters (ISSUE 9),
-/// `engine.cache.<memo>.<event>` cache counters, and `pool.<which>.*`
-/// thread-pool counters/gauges.
-class EngineTelemetry {
+/// `engine.cache.<memo>.<event>` cache counters, `pool.<which>.*`
+/// thread-pool counters/gauges, and the ISSUE 10 hot-path counters:
+/// `engine.egd.{parallel_rounds,components}` from the component-parallel
+/// repair (the sinks below — registry metrics are thread-safe, so
+/// concurrent candidate repairs record directly) and
+/// `engine.nre.{batch_passes,sources_per_pass}` from the bit-parallel
+/// multi-source BFS.
+class EngineTelemetry : public EgdRepairStatsSink, public NreEvalStatsSink {
  public:
   explicit EngineTelemetry(obs::StatsRegistry* registry)
       : solve_count_(registry->GetCounter("engine.solve.count")),
@@ -59,7 +66,25 @@ class EngineTelemetry {
         intra_submitted_(registry->GetCounter("pool.intra.submitted")),
         intra_executed_(registry->GetCounter("pool.intra.executed")),
         intra_steals_(registry->GetCounter("pool.intra.steals")),
-        intra_queue_depth_(registry->GetGauge("pool.intra.queue_depth")) {}
+        intra_queue_depth_(registry->GetGauge("pool.intra.queue_depth")),
+        egd_parallel_rounds_(
+            registry->GetCounter("engine.egd.parallel_rounds")),
+        egd_components_(registry->GetCounter("engine.egd.components")),
+        nre_batch_passes_(registry->GetCounter("engine.nre.batch_passes")),
+        nre_sources_per_pass_(
+            registry->GetHistogram("engine.nre.sources_per_pass")) {}
+
+  /// EgdRepairStatsSink: one component-parallel repair round (ISSUE 10).
+  void RecordEgdRepairRound(size_t components) override {
+    egd_parallel_rounds_->Increment();
+    egd_components_->Add(components);
+  }
+
+  /// NreEvalStatsSink: one batched multi-source BFS pass (ISSUE 10).
+  void RecordNreBatchPass(size_t sources) override {
+    nre_batch_passes_->Increment();
+    nre_sources_per_pass_->Record(sources);
+  }
 
   /// Folds one finished solve's read-out view into the registry. The
   /// cache counters in `m` are this solve's exact attribution (ISSUE 2),
@@ -136,6 +161,10 @@ class EngineTelemetry {
   obs::Counter* intra_executed_;
   obs::Counter* intra_steals_;
   obs::Gauge* intra_queue_depth_;
+  obs::Counter* egd_parallel_rounds_;
+  obs::Counter* egd_components_;
+  obs::Counter* nre_batch_passes_;
+  obs::Histogram* nre_sources_per_pass_;
   /// Delta tracking for PublishIntraPool; mutable because publishing is
   /// logically read-only engine observation (single publisher at a time).
   mutable ThreadPoolStats last_intra_;

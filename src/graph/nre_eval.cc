@@ -1,6 +1,7 @@
 #include "graph/nre_eval.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 
@@ -216,6 +217,49 @@ std::vector<Bitset> SolveTests(const CompiledNre& nfa,
   return sets;
 }
 
+// ---------------------------------------------------------------------------
+// Scratch arena (ISSUE 10 satellite): every buffer a traversal needs,
+// hoisted into one thread-local bundle so steady-state evaluation runs
+// allocation-free — Bitset::Resize and vector::assign reuse capacity once
+// the high-water mark is reached. Thread-local because intra-solve
+// workers share one evaluator; each worker reuses its own arena.
+// ---------------------------------------------------------------------------
+
+std::atomic<uint64_t> g_scratch_grows{0};
+
+struct EvalScratch {
+  // Per-source product BFS.
+  Bitset visited;
+  Bitset accepting;
+  std::vector<std::pair<uint32_t, uint32_t>> stack;
+  // Batched multi-source BFS (word-indexed by state * n + node).
+  Bitset reached;
+  std::vector<uint64_t> cur_delta;
+  std::vector<uint64_t> next_delta;
+  std::vector<uint64_t> accept_mask;
+  std::vector<std::pair<uint32_t, uint32_t>> cur_frontier;
+  std::vector<std::pair<uint32_t, uint32_t>> next_frontier;
+  // High-water marks (in bits / words) of the two buffer families.
+  size_t visited_hw = 0;
+  size_t batch_hw = 0;
+
+  /// Records a capacity growth event when `need` exceeds `*hw`. The
+  /// global counter is what NreEvalScratchAllocs() reports.
+  static void Note(size_t* hw, size_t need) {
+    if (need > *hw) {
+      *hw = need;
+      g_scratch_grows.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+EvalScratch& LocalScratch() {
+  static thread_local EvalScratch scratch;
+  return scratch;
+}
+
+thread_local const CancellationToken* t_eval_cancel = nullptr;
+
 /// Forward product BFS from (src, start); marks accepting nodes in
 /// `accepting`. `visited` and `stack` are caller-owned scratch reused
 /// across sources (reset here). When `stop_at` is a valid node id the
@@ -257,6 +301,101 @@ bool ForwardReach(const CompiledNre& nfa, const GraphView& view,
   return found;
 }
 
+// ---------------------------------------------------------------------------
+// Bit-parallel multi-source product BFS (ISSUE 10 tentpole part 2).
+//
+// Layout: one 64-bit word per product cell, word index = state * n + node;
+// bit i of the word means "source lane i reaches this (node, state)". A
+// pass is round-based and level-synchronous: the frontier is the set of
+// words whose mask grew last round, and expanding a frontier word relaxes
+// each of its state's transitions with ONE word-wide OR/AND-NOT
+// (Bitset::OrWordAt returns the newly-set lanes) — so up to 64 sources
+// share every adjacency-row walk. Each (cell, lane) turns on exactly once,
+// giving the same O(reach) frontier work as one per-source BFS, divided
+// across the chunk.
+// ---------------------------------------------------------------------------
+
+/// Largest q * n (in words) the batched buffers may span; larger inputs
+/// fall back to per-source BFS. 2^25 words = 256 MiB per buffer — a
+/// million-node graph batches automata of up to 32 product states.
+constexpr size_t kMaxBatchWords = size_t{1} << 25;
+
+bool BatchFits(size_t n, size_t q) { return q <= kMaxBatchWords / n; }
+
+/// One pass for up to 64 sources (dense node ids in srcs[0..count)).
+/// Postcondition: scratch.accept_mask[v] bit i is set iff
+/// (srcs[i], node v) ∈ ⟦r⟧. Polls the thread's ScopedEvalCancellation
+/// token per round; a fired token leaves a truncated mask the caller
+/// must not use (it checks the token itself).
+void BatchedReach(const CompiledNre& nfa, const GraphView& view,
+                  const std::vector<Bitset>& test_sets,
+                  const uint32_t* srcs, size_t count, EvalScratch& s) {
+  const size_t n = view.num_nodes();
+  const size_t q = nfa.num_states();
+  const size_t words = q * n;
+  EvalScratch::Note(&s.batch_hw, words);
+  s.reached.Resize(words * 64);
+  s.cur_delta.assign(words, 0);
+  s.next_delta.assign(words, 0);
+  s.accept_mask.assign(n, 0);
+  s.cur_frontier.clear();
+  s.next_frontier.clear();
+
+  const auto word_of = [n](uint32_t state, uint32_t node) {
+    return size_t{state} * n + node;
+  };
+  // Seed: lane i starts at (srcs[i], start state).
+  const uint32_t start = nfa.start();
+  for (size_t i = 0; i < count; ++i) {
+    const size_t w = word_of(start, srcs[i]);
+    const uint64_t fresh = s.reached.OrWordAt(w, uint64_t{1} << i);
+    if (fresh != 0) {
+      if (s.cur_delta[w] == 0) s.cur_frontier.emplace_back(start, srcs[i]);
+      s.cur_delta[w] |= fresh;
+    }
+  }
+
+  const CancellationToken* cancel = t_eval_cancel;
+  while (!s.cur_frontier.empty()) {
+    if (cancel != nullptr && cancel->stop_requested()) return;
+    s.next_frontier.clear();
+    for (const auto& [state, v] : s.cur_frontier) {
+      const size_t w = word_of(state, v);
+      const uint64_t mask = s.cur_delta[w];
+      s.cur_delta[w] = 0;
+      const CompiledNre::State& fs = nfa.Forward(state);
+      const auto relax = [&](uint32_t to, uint32_t node) {
+        const size_t tw = word_of(to, node);
+        const uint64_t fresh = s.reached.OrWordAt(tw, mask);
+        if (fresh != 0) {
+          if (s.next_delta[tw] == 0) s.next_frontier.emplace_back(to, node);
+          s.next_delta[tw] |= fresh;
+        }
+      };
+      for (const auto& [test_id, to] : fs.tests) {
+        if (test_sets[test_id].Test(v)) relax(to, v);
+      }
+      for (const auto& [sym, to] : fs.fwd) {
+        for (uint32_t u : view.Out(sym, v)) relax(to, u);
+      }
+      for (const auto& [sym, to] : fs.bwd) {
+        for (uint32_t u : view.In(sym, v)) relax(to, u);
+      }
+    }
+    s.cur_frontier.swap(s.next_frontier);
+    s.cur_delta.swap(s.next_delta);
+  }
+
+  // Accepting lanes: any accepting state's row ORs into the node's mask.
+  for (uint32_t state = 0; state < q; ++state) {
+    if (!nfa.Accepting(state)) continue;
+    const size_t base = size_t{state} * n;
+    for (size_t v = 0; v < n; ++v) {
+      s.accept_mask[v] |= s.reached.WordAt(base + v);
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -277,12 +416,41 @@ std::vector<Value> NreEvaluator::EvalFrom(const NrePtr& nre, const Graph& g,
   return out;
 }
 
+std::vector<std::vector<Value>> NreEvaluator::EvalFromMany(
+    const NrePtr& nre, const Graph& g, const std::vector<Value>& srcs) const {
+  std::vector<std::vector<Value>> out;
+  out.reserve(srcs.size());
+  for (Value src : srcs) out.push_back(EvalFrom(nre, g, src));
+  return out;
+}
+
 bool NreEvaluator::Contains(const NrePtr& nre, const Graph& g, Value src,
                             Value dst) const {
   for (Value v : EvalFrom(nre, g, src)) {
     if (v == dst) return true;
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedEvalCancellation / scratch observability
+// ---------------------------------------------------------------------------
+
+ScopedEvalCancellation::ScopedEvalCancellation(const CancellationToken* cancel)
+    : previous_(t_eval_cancel) {
+  t_eval_cancel = cancel;
+}
+
+ScopedEvalCancellation::~ScopedEvalCancellation() {
+  t_eval_cancel = previous_;
+}
+
+const CancellationToken* ScopedEvalCancellation::Current() {
+  return t_eval_cancel;
+}
+
+uint64_t NreEvalScratchAllocs() {
+  return g_scratch_grows.load(std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -305,15 +473,31 @@ CompiledNrePtr AutomatonNreEvaluator::GetCompiled(const NrePtr& nre) const {
   {
     std::lock_guard<std::mutex> lock(memo_mutex_);
     auto it = local_memo_.find(key);
-    if (it != local_memo_.end()) return it->second;
+    if (it != local_memo_.end()) {
+      // LRU touch (EngineCache semantics, ISSUE 10 satellite): a hit
+      // moves the key to the recency front so hot automata outlive cap
+      // pressure — the memo used to clear wholesale at the cap.
+      local_lru_.splice(local_lru_.begin(), local_lru_, it->second.lru);
+      return it->second.compiled;
+    }
   }
   // Compile outside the lock; a racing worker's duplicate is discarded.
   CompiledNrePtr compiled = CompiledNre::Compile(nre);
   std::lock_guard<std::mutex> lock(memo_mutex_);
-  constexpr size_t kLocalMemoCap = 4096;
-  if (local_memo_.size() >= kLocalMemoCap) local_memo_.clear();
-  // emplace keeps a racing worker's entry if it got there first.
-  return local_memo_.emplace(std::move(key), compiled).first->second;
+  auto it = local_memo_.find(key);
+  if (it != local_memo_.end()) {
+    // A racing worker published first: keep its entry (and touch it).
+    local_lru_.splice(local_lru_.begin(), local_lru_, it->second.lru);
+    return it->second.compiled;
+  }
+  local_lru_.push_front(key);
+  local_memo_.emplace(std::move(key),
+                      LocalMemoEntry{compiled, local_lru_.begin()});
+  while (local_memo_.size() > local_memo_cap_ && !local_lru_.empty()) {
+    local_memo_.erase(local_lru_.back());
+    local_lru_.pop_back();
+  }
+  return compiled;
 }
 
 BinaryRelation AutomatonNreEvaluator::Eval(const NrePtr& nre,
@@ -327,10 +511,11 @@ BinaryRelation AutomatonNreEvaluator::EvalOnView(
   const size_t n = view.num_nodes();
   if (n == 0) return {};
   CompiledNrePtr nfa = GetCompiled(nre);
+  const size_t q = nfa->num_states();
   std::vector<Bitset> test_sets = SolveTests(*nfa, view);
   // Only sources in the automaton's start set can produce pairs; prune
-  // before fanning one forward BFS out per source. An accepting start
-  // state makes every node its own witness — skip the backward pass.
+  // before fanning the forward BFS out. An accepting start state makes
+  // every node its own witness — skip the backward pass.
   Bitset start_set(n);
   if (nfa->Accepting(nfa->start())) {
     for (uint32_t v = 0; v < n; ++v) start_set.Set(v);
@@ -338,17 +523,49 @@ BinaryRelation AutomatonNreEvaluator::EvalOnView(
     start_set = BackwardStartSet(*nfa, view, test_sets);
   }
   BinaryRelation out;
-  Bitset visited(n * nfa->num_states());
-  Bitset accepting(n);
-  std::vector<std::pair<uint32_t, uint32_t>> stack;
-  start_set.ForEachSet([&](size_t v) {
-    ForwardReach(*nfa, view, test_sets, static_cast<uint32_t>(v), visited,
-                 accepting, stack);
-    accepting.ForEachSet([&](size_t w) {
-      out.emplace_back(view.NodeAt(static_cast<uint32_t>(v)),
-                       view.NodeAt(static_cast<uint32_t>(w)));
+  EvalScratch& s = LocalScratch();
+  if (multi_source_mode_ == MultiSourceMode::kBatched && BatchFits(n, q)) {
+    // 64 start-set sources per bit-parallel pass; pair emission order is
+    // free — SortByRaw below canonicalizes, so the relation is
+    // byte-identical to the per-source loop's.
+    const CancellationToken* cancel = t_eval_cancel;
+    std::vector<uint32_t> chunk;
+    chunk.reserve(64);
+    auto flush = [&] {
+      if (chunk.empty()) return;
+      if (cancel != nullptr && cancel->stop_requested()) return;
+      BatchedReach(*nfa, view, test_sets, chunk.data(), chunk.size(), s);
+      if (stats_sink_ != nullptr) {
+        stats_sink_->RecordNreBatchPass(chunk.size());
+      }
+      for (uint32_t v = 0; v < n; ++v) {
+        uint64_t mask = s.accept_mask[v];
+        while (mask != 0) {
+          const size_t lane = static_cast<size_t>(__builtin_ctzll(mask));
+          out.emplace_back(view.NodeAt(chunk[lane]), view.NodeAt(v));
+          mask &= mask - 1;
+        }
+      }
+      chunk.clear();
+    };
+    start_set.ForEachSet([&](size_t v) {
+      chunk.push_back(static_cast<uint32_t>(v));
+      if (chunk.size() == 64) flush();
     });
-  });
+    flush();
+  } else {
+    EvalScratch::Note(&s.visited_hw, n * q);
+    s.visited.Resize(n * q);
+    s.accepting.Resize(n);
+    start_set.ForEachSet([&](size_t v) {
+      ForwardReach(*nfa, view, test_sets, static_cast<uint32_t>(v),
+                   s.visited, s.accepting, s.stack);
+      s.accepting.ForEachSet([&](size_t w) {
+        out.emplace_back(view.NodeAt(static_cast<uint32_t>(v)),
+                         view.NodeAt(static_cast<uint32_t>(w)));
+      });
+    });
+  }
   SortByRaw(out);
   return out;
 }
@@ -361,14 +578,82 @@ std::vector<Value> AutomatonNreEvaluator::EvalFrom(const NrePtr& nre,
   if (src_id == GraphView::kInvalidNode) return {};
   CompiledNrePtr nfa = GetCompiled(nre);
   std::vector<Bitset> test_sets = SolveTests(*nfa, view);
-  Bitset visited(view.num_nodes() * nfa->num_states());
-  Bitset accepting(view.num_nodes());
-  std::vector<std::pair<uint32_t, uint32_t>> stack;
-  ForwardReach(*nfa, view, test_sets, src_id, visited, accepting, stack);
+  EvalScratch& s = LocalScratch();
+  EvalScratch::Note(&s.visited_hw, view.num_nodes() * nfa->num_states());
+  s.visited.Resize(view.num_nodes() * nfa->num_states());
+  s.accepting.Resize(view.num_nodes());
+  ForwardReach(*nfa, view, test_sets, src_id, s.visited, s.accepting,
+               s.stack);
   std::vector<Value> out;
-  accepting.ForEachSet([&](size_t w) {
+  s.accepting.ForEachSet([&](size_t w) {
     out.push_back(view.NodeAt(static_cast<uint32_t>(w)));
   });
+  return out;
+}
+
+std::vector<std::vector<Value>> AutomatonNreEvaluator::EvalFromMany(
+    const NrePtr& nre, const Graph& g, const std::vector<Value>& srcs) const {
+  std::vector<std::vector<Value>> out(srcs.size());
+  if (srcs.empty()) return out;
+  GraphView view(g);
+  const size_t n = view.num_nodes();
+  if (n == 0) return out;
+  CompiledNrePtr nfa = GetCompiled(nre);
+  const size_t q = nfa->num_states();
+  std::vector<Bitset> test_sets = SolveTests(*nfa, view);
+  EvalScratch& s = LocalScratch();
+  if (multi_source_mode_ == MultiSourceMode::kBatched && BatchFits(n, q)) {
+    const CancellationToken* cancel = t_eval_cancel;
+    // Chunk the batch in caller order; lane i of a pass is the chunk's
+    // i-th *resolvable* source (unknown sources keep empty answers, as
+    // EvalFrom returns for them).
+    std::vector<uint32_t> chunk_ids;
+    std::vector<size_t> chunk_slots;
+    chunk_ids.reserve(64);
+    chunk_slots.reserve(64);
+    auto flush = [&] {
+      if (chunk_ids.empty()) return;
+      if (cancel != nullptr && cancel->stop_requested()) return;
+      BatchedReach(*nfa, view, test_sets, chunk_ids.data(),
+                   chunk_ids.size(), s);
+      if (stats_sink_ != nullptr) {
+        stats_sink_->RecordNreBatchPass(chunk_ids.size());
+      }
+      // Ascending node scan keeps each source's answer in dense-id order
+      // — exactly EvalFrom's accepting.ForEachSet order.
+      for (uint32_t v = 0; v < n; ++v) {
+        uint64_t mask = s.accept_mask[v];
+        while (mask != 0) {
+          const size_t lane = static_cast<size_t>(__builtin_ctzll(mask));
+          out[chunk_slots[lane]].push_back(view.NodeAt(v));
+          mask &= mask - 1;
+        }
+      }
+      chunk_ids.clear();
+      chunk_slots.clear();
+    };
+    for (size_t i = 0; i < srcs.size(); ++i) {
+      const uint32_t id = view.IdOf(srcs[i]);
+      if (id == GraphView::kInvalidNode) continue;
+      chunk_ids.push_back(id);
+      chunk_slots.push_back(i);
+      if (chunk_ids.size() == 64) flush();
+    }
+    flush();
+  } else {
+    EvalScratch::Note(&s.visited_hw, n * q);
+    s.visited.Resize(n * q);
+    s.accepting.Resize(n);
+    for (size_t i = 0; i < srcs.size(); ++i) {
+      const uint32_t id = view.IdOf(srcs[i]);
+      if (id == GraphView::kInvalidNode) continue;
+      ForwardReach(*nfa, view, test_sets, id, s.visited, s.accepting,
+                   s.stack);
+      s.accepting.ForEachSet([&](size_t w) {
+        out[i].push_back(view.NodeAt(static_cast<uint32_t>(w)));
+      });
+    }
+  }
   return out;
 }
 
@@ -383,13 +668,14 @@ bool AutomatonNreEvaluator::Contains(const NrePtr& nre, const Graph& g,
   }
   CompiledNrePtr nfa = GetCompiled(nre);
   std::vector<Bitset> test_sets = SolveTests(*nfa, view);
-  Bitset visited(view.num_nodes() * nfa->num_states());
-  Bitset accepting(view.num_nodes());
-  std::vector<std::pair<uint32_t, uint32_t>> stack;
+  EvalScratch& s = LocalScratch();
+  EvalScratch::Note(&s.visited_hw, view.num_nodes() * nfa->num_states());
+  s.visited.Resize(view.num_nodes() * nfa->num_states());
+  s.accepting.Resize(view.num_nodes());
   // ForwardReach reports the stop_at acceptance exactly: every accepting
   // visit of dst_id sets the early-exit flag at push time.
-  return ForwardReach(*nfa, view, test_sets, src_id, visited, accepting,
-                      stack, dst_id);
+  return ForwardReach(*nfa, view, test_sets, src_id, s.visited, s.accepting,
+                      s.stack, dst_id);
 }
 
 // ---------------------------------------------------------------------------

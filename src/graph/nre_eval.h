@@ -1,12 +1,16 @@
 #ifndef GDX_GRAPH_NRE_EVAL_H_
 #define GDX_GRAPH_NRE_EVAL_H_
 
+#include <cstdint>
 #include <functional>
+#include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/parallel_search.h"
 #include "graph/graph.h"
 #include "graph/nre.h"
 #include "graph/nre_compile.h"
@@ -57,6 +61,14 @@ class NreEvaluator {
   virtual std::vector<Value> EvalFrom(const NrePtr& nre, const Graph& g,
                                       Value src) const;
 
+  /// Per-source reachable sets of a whole source batch over one graph:
+  /// out[i] == EvalFrom(nre, g, srcs[i]), element for element. Default:
+  /// loop EvalFrom. The automaton engine overrides with the 64-way
+  /// bit-parallel BFS (ISSUE 10), serving 64 sources per product pass.
+  virtual std::vector<std::vector<Value>> EvalFromMany(
+      const NrePtr& nre, const Graph& g,
+      const std::vector<Value>& srcs) const;
+
   /// True iff (src, dst) ∈ ⟦r⟧_G.
   virtual bool Contains(const NrePtr& nre, const Graph& g, Value src,
                         Value dst) const;
@@ -74,23 +86,81 @@ class NaiveNreEvaluator : public NreEvaluator {
   const char* name() const override { return "naive-relation-algebra"; }
 };
 
+/// Multi-source strategy of the compiled evaluator (ISSUE 10 tentpole
+/// part 2). Both produce byte-identical relations; kPerSource is the
+/// differential-test reference, exactly the pre-ISSUE-10 loop.
+enum class MultiSourceMode {
+  /// Round-based level-synchronous product BFS with 64 sources packed
+  /// into each bitset word (the default): one pass over the reachable
+  /// product region serves 64 start nodes, so dense closure-style NREs
+  /// stop paying O(sources × reach).
+  kBatched,
+  /// One forward product BFS per source.
+  kPerSource,
+};
+
+/// Telemetry seam of the batched evaluator: implemented by the engine's
+/// EngineTelemetry over registry metrics (engine.nre.*). Must be
+/// thread-safe — intra-solve workers share one evaluator.
+class NreEvalStatsSink {
+ public:
+  virtual ~NreEvalStatsSink() = default;
+  /// One batched multi-source BFS pass that served `sources` (<= 64).
+  virtual void RecordNreBatchPass(size_t sources) = 0;
+};
+
+/// Thread-local cancellation scope for evaluator internals (ISSUE 10).
+/// The PR 8 CancellationToken cannot ride the NreEvaluator interface —
+/// evaluators are shared across concurrent solves — so a caller installs
+/// its token per thread (exactly like the cache's ScopedCacheAttribution)
+/// and the batched BFS polls it per level-synchronous round and per
+/// source chunk, bounding an abort inside one long evaluation. A canceled
+/// evaluation returns a truncated result; installers already treat their
+/// whole computation as unusable once the token fired.
+class ScopedEvalCancellation {
+ public:
+  explicit ScopedEvalCancellation(const CancellationToken* cancel);
+  ~ScopedEvalCancellation();
+  ScopedEvalCancellation(const ScopedEvalCancellation&) = delete;
+  ScopedEvalCancellation& operator=(const ScopedEvalCancellation&) = delete;
+
+  /// The calling thread's installed token (nullptr: none).
+  static const CancellationToken* Current();
+
+ private:
+  const CancellationToken* previous_;
+};
+
+/// Total scratch-arena growth events across all threads (monotonic): one
+/// tick whenever a thread's reusable evaluation buffers had to grow past
+/// their high-water mark. Steady-state evaluation over same-sized inputs
+/// adds zero — the allocation-drop counter BM_NreEval reports
+/// (ISSUE 10 satellite; the buffers were allocated per call before).
+uint64_t NreEvalScratchAllocs();
+
 /// Compiled-automaton evaluator (ISSUE 3 tentpole part 3): lowers the NRE
 /// once to a CompiledNre — Thompson NFA with precomputed ε-closures,
 /// reversed transitions and recursively compiled nesting tests — and runs
 /// product-graph BFS over state × node on a GraphView CSR snapshot with
-/// 64-bit-word bitsets. Answers pair- (Contains), source- (EvalFrom) and
-/// all-pairs (Eval) queries without materializing intermediate relations.
-/// Compilations are never repeated: an optional CompiledNreCache shares
-/// them across evaluators, threads and candidate graphs (the engine wires
-/// its EngineCache in, with hit/miss counters); without one the evaluator
-/// memoizes locally, keyed by the Nre's precomputed structural hash, so
-/// hand-wired solvers — which evaluate the same constraint NREs against
-/// thousands of tiny candidate graphs — pay the lowering once too.
+/// 64-bit-word bitsets. Answers pair- (Contains), source- (EvalFrom),
+/// source-batch (EvalFromMany) and all-pairs (Eval) queries without
+/// materializing intermediate relations; multi-source queries run the
+/// 64-way bit-parallel BFS unless MultiSourceMode::kPerSource pins the
+/// reference loop. Compilations are never repeated: an optional
+/// CompiledNreCache shares them across evaluators, threads and candidate
+/// graphs (the engine wires its EngineCache in, with hit/miss counters);
+/// without one the evaluator memoizes locally, keyed by the Nre's
+/// precomputed structural hash, so hand-wired solvers — which evaluate
+/// the same constraint NREs against thousands of tiny candidate graphs —
+/// pay the lowering once too.
 class AutomatonNreEvaluator : public NreEvaluator {
  public:
-  AutomatonNreEvaluator() = default;
-  explicit AutomatonNreEvaluator(CompiledNreCache* compile_cache)
-      : compile_cache_(compile_cache) {}
+  /// Default cap of the local compile memo (entries, LRU-evicted).
+  static constexpr size_t kDefaultLocalMemoCap = 4096;
+
+  explicit AutomatonNreEvaluator(CompiledNreCache* compile_cache = nullptr,
+                                 size_t local_memo_cap = kDefaultLocalMemoCap)
+      : compile_cache_(compile_cache), local_memo_cap_(local_memo_cap) {}
 
   BinaryRelation Eval(const NrePtr& nre, const Graph& g) const override;
   BinaryRelation EvalOnView(const NrePtr& nre,
@@ -102,20 +172,51 @@ class AutomatonNreEvaluator : public NreEvaluator {
   }
   std::vector<Value> EvalFrom(const NrePtr& nre, const Graph& g,
                               Value src) const override;
+  std::vector<std::vector<Value>> EvalFromMany(
+      const NrePtr& nre, const Graph& g,
+      const std::vector<Value>& srcs) const override;
   bool Contains(const NrePtr& nre, const Graph& g, Value src,
                 Value dst) const override;
   const char* name() const override { return "compiled-automaton"; }
 
- private:
+  void set_multi_source_mode(MultiSourceMode mode) {
+    multi_source_mode_ = mode;
+  }
+  MultiSourceMode multi_source_mode() const { return multi_source_mode_; }
+
+  /// Borrowed; must outlive the evaluator. Set before concurrent use.
+  void set_stats_sink(NreEvalStatsSink* sink) { stats_sink_ = sink; }
+
+  /// The compiled form of `nre` — from the shared cache when one is
+  /// wired, else the local LRU memo. Public so tests and benches can
+  /// observe memo identity (the LRU hottest-entry property).
   CompiledNrePtr GetCompiled(const NrePtr& nre) const;
 
+  /// Current local-memo entry count (0 when a shared cache is wired).
+  size_t local_memo_size() const {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    return local_memo_.size();
+  }
+
+ private:
   CompiledNreCache* compile_cache_ = nullptr;
+  MultiSourceMode multi_source_mode_ = MultiSourceMode::kBatched;
+  NreEvalStatsSink* stats_sink_ = nullptr;
   /// Local fallback memo, keyed by NreRawSignature — the same collision-
-  /// free key the EngineCache memo uses. Guarded: intra-solve workers
-  /// share one evaluator. Cleared wholesale at the cap — reachable only
-  /// by pathological unbounded-distinct-NRE streams.
+  /// free key the EngineCache memo uses — with EngineCache's LRU
+  /// semantics: a hit moves its key to the recency list's front, an
+  /// insert over the cap evicts from the back, so hot compiled automata
+  /// survive cap pressure (ISSUE 10 satellite; the memo used to clear
+  /// wholesale at the cap). Guarded: intra-solve workers share one
+  /// evaluator.
+  struct LocalMemoEntry {
+    CompiledNrePtr compiled;
+    std::list<std::string>::iterator lru;
+  };
+  size_t local_memo_cap_ = kDefaultLocalMemoCap;
   mutable std::mutex memo_mutex_;
-  mutable std::unordered_map<std::string, CompiledNrePtr> local_memo_;
+  mutable std::list<std::string> local_lru_;  // front = most recent
+  mutable std::unordered_map<std::string, LocalMemoEntry> local_memo_;
 };
 
 /// Reference semantics for property tests: bounded recursive membership

@@ -63,10 +63,23 @@ std::optional<Graph> ExistenceSolver::RepairAndVerify(
     Graph candidate, const Setting& setting, const Instance& source,
     Universe& universe) const {
   const CancellationToken* cancel = options_.cancel;
+  // Evaluator-internal cancellation (ISSUE 10): the batched multi-source
+  // BFS polls this thread-local token per level-synchronous round, so an
+  // abort lands inside one long NRE evaluation, not after it.
+  ScopedEvalCancellation eval_cancel(cancel);
+  // The repair hot path (ISSUE 10 tentpole part 1): component-parallel by
+  // default, borrowing the same pool and worker scope as the surrounding
+  // witness search — byte-identical output at any worker count.
+  EgdChaseOptions egd_options;
+  egd_options.policy = options_.egd_policy;
+  egd_options.pool = options_.intra_pool;
+  egd_options.max_workers = options_.intra_solve_threads;
+  egd_options.cancel = cancel;
+  egd_options.wrap_worker = options_.worker_scope;
+  egd_options.stats = options_.egd_stats;
   if (!setting.egds.empty()) {
-    EgdChaseResult egd = ChaseGraphEgds(candidate, setting.egds, *eval_,
-                                        EgdChasePolicy::kDeferredRounds,
-                                        cancel);
+    EgdChaseResult egd =
+        ChaseGraphEgds(candidate, setting.egds, *eval_, egd_options);
     if (egd.failed) return std::nullopt;
   }
   // A canceled repair leaves the candidate mid-chase: reject it rather
@@ -86,9 +99,8 @@ std::optional<Graph> ExistenceSolver::RepairAndVerify(
     const bool chase_extended = candidate.num_nodes() != nodes_before ||
                                 candidate.num_edges() != edges_before;
     if (chase_extended && !setting.egds.empty()) {
-      EgdChaseResult egd = ChaseGraphEgds(candidate, setting.egds, *eval_,
-                                          EgdChasePolicy::kDeferredRounds,
-                                          cancel);
+      EgdChaseResult egd =
+          ChaseGraphEgds(candidate, setting.egds, *eval_, egd_options);
       if (egd.failed) return std::nullopt;
     }
   }

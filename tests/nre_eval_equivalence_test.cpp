@@ -9,12 +9,15 @@
 // rather than repeated.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "engine/cache.h"
 #include "engine/exchange_engine.h"
+#include "graph/cnre.h"
 #include "graph/graph_view.h"
 #include "graph/nre_compile.h"
 #include "graph/nre_eval.h"
@@ -261,6 +264,261 @@ TEST(CompiledCacheTest, EngineOutputsByteIdenticalAt1and2and8Workers) {
   for (size_t i = 0; i < at1.size(); ++i) {
     EXPECT_EQ(at2[i], at1[i]) << "scenario " << i << " at 2 workers";
     EXPECT_EQ(at8[i], at1[i]) << "scenario " << i << " at 8 workers";
+  }
+}
+
+// --- Bit-parallel multi-source BFS vs per-source reference (ISSUE 10) ------
+
+class BatchedVsPerSourceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchedVsPerSourceTest, AllEntryPointsAgree) {
+  const uint64_t seed = GetParam();
+  Universe universe;
+  Alphabet alphabet;
+  RandomGraphParams gp;
+  // 16..112 nodes: past 64 the EvalOnView start set spans several source
+  // chunks, exercising the multi-word lane packing.
+  gp.num_nodes = 16 + (seed % 7) * 16;
+  gp.num_edges = 3 * gp.num_nodes;
+  gp.num_labels = 2 + seed % 2;
+  gp.seed = seed;
+  Graph g = MakeRandomGraph(gp, universe, alphabet);
+  GraphView view(g);
+  Rng rng(seed * 6271 + 5);
+
+  AutomatonNreEvaluator batched;
+  batched.set_multi_source_mode(MultiSourceMode::kBatched);
+  AutomatonNreEvaluator per_source;
+  per_source.set_multi_source_mode(MultiSourceMode::kPerSource);
+
+  for (size_t i = 0; i < 3; ++i) {
+    NrePtr nre = MakeRandomNre(3, gp.num_labels, alphabet, rng);
+    const BinaryRelation expected = per_source.EvalOnView(nre, view);
+    EXPECT_EQ(batched.EvalOnView(nre, view), expected)
+        << "seed " << seed << ": " << nre->ToString(alphabet);
+
+    // Whole-graph source batch: element-for-element the per-source loop.
+    const std::vector<Value>& srcs = g.nodes();
+    const std::vector<std::vector<Value>> many =
+        batched.EvalFromMany(nre, g, srcs);
+    ASSERT_EQ(many.size(), srcs.size());
+    for (size_t s = 0; s < srcs.size(); ++s) {
+      EXPECT_EQ(many[s], per_source.EvalFrom(nre, g, srcs[s]))
+          << "seed " << seed << " src " << s;
+    }
+
+    if (!g.nodes().empty()) {
+      Value src = g.nodes()[rng.NextU64() % g.nodes().size()];
+      Value dst = g.nodes()[rng.NextU64() % g.nodes().size()];
+      EXPECT_EQ(batched.Contains(nre, g, src, dst),
+                per_source.Contains(nre, g, src, dst))
+          << "seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds200, BatchedVsPerSourceTest,
+                         ::testing::Range<uint64_t>(1, 201));
+
+TEST(BatchedVsPerSourceTest, CnreSatisfiabilityAgrees) {
+  // The CNRE matcher sits on EvalOnView; batched vs per-source evaluators
+  // must agree on join results and Boolean satisfiability.
+  Universe universe;
+  Alphabet alphabet;
+  AutomatonNreEvaluator batched;
+  batched.set_multi_source_mode(MultiSourceMode::kBatched);
+  AutomatonNreEvaluator per_source;
+  per_source.set_multi_source_mode(MultiSourceMode::kPerSource);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomGraphParams gp;
+    gp.num_nodes = 40;
+    gp.num_edges = 120;
+    gp.num_labels = 2;
+    gp.seed = seed;
+    Graph g = MakeRandomGraph(gp, universe, alphabet);
+    CnreQuery q;
+    VarId x = q.InternVar("x");
+    VarId y = q.InternVar("y");
+    VarId z = q.InternVar("z");
+    Result<NrePtr> hop = ParseNre("(l1 + l2)*", alphabet);
+    Result<NrePtr> back = ParseNre("l2- . l1", alphabet);
+    ASSERT_TRUE(hop.ok() && back.ok());
+    q.AddAtom(Term::Var(x), *hop, Term::Var(y));
+    q.AddAtom(Term::Var(y), *back, Term::Var(z));
+    q.SetHead({x, z});
+    EXPECT_EQ(EvaluateCnre(q, g, batched), EvaluateCnre(q, g, per_source))
+        << "seed " << seed;
+    EXPECT_EQ(CnreSatisfiable(q, g, batched, {}),
+              CnreSatisfiable(q, g, per_source, {}))
+        << "seed " << seed;
+  }
+}
+
+/// Thread-safe capture of batch-pass telemetry for assertions.
+class RecordingNreSink : public NreEvalStatsSink {
+ public:
+  void RecordNreBatchPass(size_t sources) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    passes_.push_back(sources);
+  }
+  std::vector<size_t> passes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return passes_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<size_t> passes_;
+};
+
+TEST(BatchedVsPerSourceTest, LargeBatchesSplitIntoWordSizedPasses) {
+  Universe universe;
+  Alphabet alphabet;
+  RandomGraphParams gp;
+  gp.num_nodes = 200;
+  gp.num_edges = 600;
+  gp.num_labels = 2;
+  gp.seed = 99;
+  Graph g = MakeRandomGraph(gp, universe, alphabet);
+
+  AutomatonNreEvaluator batched;
+  RecordingNreSink sink;
+  batched.set_stats_sink(&sink);
+  Result<NrePtr> nre = ParseNre("(l1 + l2)*", alphabet);
+  ASSERT_TRUE(nre.ok());
+  const std::vector<std::vector<Value>> many =
+      batched.EvalFromMany(*nre, g, g.nodes());
+  ASSERT_EQ(many.size(), 200u);
+
+  // 200 sources → ceil(200/64) = 4 passes, 64 lanes per full word.
+  const std::vector<size_t> passes = sink.passes();
+  ASSERT_EQ(passes.size(), 4u);
+  size_t total = 0;
+  for (size_t sources : passes) {
+    EXPECT_LE(sources, 64u);
+    total += sources;
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(BatchedVsPerSourceTest, InvalidSourcesGetEmptyVectorsInOrder) {
+  Universe universe;
+  Alphabet alphabet;
+  SymbolId a = alphabet.Intern("a");
+  Graph g;
+  Value u = universe.MakeConstant("u");
+  Value v = universe.MakeConstant("v");
+  g.AddEdge(u, a, v);
+  Value stranger = universe.MakeConstant("stranger");  // not in g
+
+  AutomatonNreEvaluator batched;
+  const std::vector<std::vector<Value>> out =
+      batched.EvalFromMany(Nre::Symbol(a), g, {stranger, u, stranger, v});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_TRUE(out[0].empty());
+  EXPECT_EQ(out[1], std::vector<Value>{v});
+  EXPECT_TRUE(out[2].empty());
+  EXPECT_TRUE(out[3].empty());
+}
+
+TEST(BatchedVsPerSourceTest, PreFiredTokenTruncatesBatchedEvaluation) {
+  Universe universe;
+  Alphabet alphabet;
+  RandomGraphParams gp;
+  gp.num_nodes = 120;
+  gp.num_edges = 360;
+  gp.num_labels = 2;
+  gp.seed = 17;
+  Graph g = MakeRandomGraph(gp, universe, alphabet);
+  GraphView view(g);
+  AutomatonNreEvaluator batched;
+  Result<NrePtr> nre = ParseNre("(l1 + l2)*", alphabet);
+  ASSERT_TRUE(nre.ok());
+  const BinaryRelation full = batched.EvalOnView(*nre, view);
+  ASSERT_FALSE(full.empty());
+
+  CancellationToken token;
+  token.RequestStop();
+  ScopedEvalCancellation scope(&token);
+  const BinaryRelation truncated = batched.EvalOnView(*nre, view);
+  // A canceled evaluation may return anything up to the full answer, but
+  // never pairs outside it (no garbage lanes).
+  EXPECT_LE(truncated.size(), full.size());
+  for (const NodePair& pair : truncated) {
+    EXPECT_TRUE(std::binary_search(full.begin(), full.end(), pair));
+  }
+}
+
+// --- Local compile memo LRU (ISSUE 10 satellite) ---------------------------
+
+TEST(LocalMemoLruTest, HottestEntrySurvivesCapPressure) {
+  Alphabet alphabet;
+  AutomatonNreEvaluator eval(/*compile_cache=*/nullptr, /*local_memo_cap=*/3);
+  auto sym = [&](const char* name) { return Nre::Symbol(alphabet.Intern(name)); };
+  NrePtr a = sym("a"), b = sym("b"), c = sym("c"), d = sym("d");
+
+  // Hold the hot entry's compiled form alive so its address cannot be
+  // recycled by a later compile — pointer identity then proves memo reuse.
+  CompiledNrePtr hot = eval.GetCompiled(a);
+  eval.GetCompiled(b);
+  eval.GetCompiled(c);
+  EXPECT_EQ(eval.local_memo_size(), 3u);
+
+  // Touch `a`, making `b` the LRU victim; inserting `d` must evict `b`,
+  // not clear the memo wholesale (the pre-ISSUE-10 behavior).
+  EXPECT_EQ(eval.GetCompiled(a).get(), hot.get());
+  eval.GetCompiled(d);
+  EXPECT_EQ(eval.local_memo_size(), 3u);
+  EXPECT_EQ(eval.GetCompiled(a).get(), hot.get())
+      << "hottest entry was evicted at cap pressure";
+  EXPECT_EQ(eval.local_memo_size(), 3u);  // a, c, d (+ nothing re-added)
+}
+
+TEST(LocalMemoLruTest, RepeatedHitsNeverGrowTheMemo) {
+  Alphabet alphabet;
+  AutomatonNreEvaluator eval(/*compile_cache=*/nullptr, /*local_memo_cap=*/2);
+  NrePtr a = Nre::Symbol(alphabet.Intern("a"));
+  CompiledNrePtr first = eval.GetCompiled(a);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(eval.GetCompiled(a).get(), first.get());
+  }
+  EXPECT_EQ(eval.local_memo_size(), 1u);
+}
+
+// --- Scratch arena steady state (ISSUE 10 satellite) -----------------------
+
+TEST(ScratchArenaTest, SteadyStateEvaluationAllocatesNothing) {
+  Universe universe;
+  Alphabet alphabet;
+  RandomGraphParams gp;
+  gp.num_nodes = 100;
+  gp.num_edges = 300;
+  gp.num_labels = 2;
+  gp.seed = 5;
+  Graph g = MakeRandomGraph(gp, universe, alphabet);
+  GraphView view(g);
+  Result<NrePtr> nre = ParseNre("(l1 + l2)* . l1-", alphabet);
+  ASSERT_TRUE(nre.ok());
+
+  for (MultiSourceMode mode :
+       {MultiSourceMode::kBatched, MultiSourceMode::kPerSource}) {
+    AutomatonNreEvaluator eval;
+    eval.set_multi_source_mode(mode);
+    // Warm-up: grows this thread's scratch to the workload's high-water
+    // mark through every entry point.
+    eval.EvalOnView(*nre, view);
+    eval.EvalFromMany(*nre, g, g.nodes());
+    eval.EvalFrom(*nre, g, g.nodes()[0]);
+
+    const uint64_t before = NreEvalScratchAllocs();
+    for (int i = 0; i < 5; ++i) {
+      eval.EvalOnView(*nre, view);
+      eval.EvalFromMany(*nre, g, g.nodes());
+      eval.EvalFrom(*nre, g, g.nodes()[0]);
+    }
+    EXPECT_EQ(NreEvalScratchAllocs(), before)
+        << "steady-state evaluation grew the scratch arena (mode "
+        << static_cast<int>(mode) << ")";
   }
 }
 

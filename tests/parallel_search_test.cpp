@@ -10,6 +10,7 @@
 #include <set>
 #include <vector>
 
+#include "common/task_fanout.h"
 #include "engine/parallel_search.h"
 
 namespace gdx {
@@ -160,6 +161,32 @@ TEST(ParallelSearchTest, TightLeadWindowStillCoversEveryRank) {
   EXPECT_EQ(visited.size(), 257u);
   ASSERT_FALSE(prefixes.empty());
   EXPECT_EQ(prefixes.back(), 257u);
+}
+
+TEST(ParallelSearchTest, NestedFanOutInsideScanAllCannotLivelock) {
+  // Regression (ISSUE 10): a visit on the *caller* thread fanning out over
+  // the same pool used to Submit-and-wait. With one pool worker parked on
+  // the lead window until the caller's chunk completes, neither thread
+  // could ever progress. Participants must run nested fan-outs inline
+  // (pool workers via ThreadPool::Current(), the caller slot via
+  // ThreadPool::CooperativeScope).
+  ThreadPool pool(1);
+  ParallelSearchOptions options = PooledOptions(&pool, 2);
+  options.max_lead_chunks = 1;
+  ParallelSearch search(options);
+  std::atomic<size_t> nested{0};
+  search.ScanAll(
+      257,
+      [&](size_t, size_t) {
+        TaskFanoutOptions fan;
+        fan.pool = &pool;
+        fan.max_workers = 2;
+        FanOutTasks(fan, 2, [&](size_t, size_t) {
+          nested.fetch_add(1, std::memory_order_relaxed);
+        });
+      },
+      [](size_t) -> size_t { return ParallelSearch::kNotFound; });
+  EXPECT_EQ(nested.load(), 2u * 257u);
 }
 
 TEST(ParallelSearchTest, ZeroRanksStillReportsFinalPrefix) {
